@@ -1,0 +1,95 @@
+// Ablation C: per-hop overhead and the paper's amortization argument.
+//
+// Section IV-B argues the fixed user-level overhead is large relative to
+// a sub-millisecond LAN RTT but amortized over a 35 ms WAN path.  Here we
+// build a thin ring (near=1, no shortcuts) on one LAN, compute the actual
+// greedy path length from each node's live connection table, and show RTT
+// growing linearly with the measured overlay hop count: every extra
+// user-level router adds the same per-hop routing cost.
+#include <map>
+
+#include "common.hpp"
+#include "ipop/node.hpp"
+
+namespace {
+using namespace ipop;
+}
+
+int main() {
+  bench::banner("Ablation: RTT vs overlay hop count", "Section IV-B/IV-D");
+
+  constexpr int kNodes = 10;
+  net::Network net{777};
+  auto& sw = net.add_switch("sw");
+  sim::LinkConfig lan;
+  lan.delay = util::microseconds(200);
+  std::vector<net::Host*> hosts;
+  std::vector<std::unique_ptr<core::IpopNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    auto& h = net.add_host("h" + std::to_string(i));
+    net.connect_to_switch(
+        h.stack(),
+        {"eth0", net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+         24},
+        sw, lan);
+    hosts.push_back(&h);
+    core::IpopConfig cfg;
+    cfg.tap.ip = net::Ipv4Address(172, 16, 0, static_cast<std::uint8_t>(i + 2));
+    cfg.overlay.near_per_side = 1;
+    cfg.overlay.shortcut_target = 0;
+    auto node = std::make_unique<core::IpopNode>(h, cfg);
+    if (i > 0) {
+      node->add_seed({brunet::TransportAddress::Proto::kUdp,
+                      net::Ipv4Address(10, 0, 0, 1), 17001});
+    }
+    nodes.push_back(std::move(node));
+  }
+  for (auto& n : nodes) n->start();
+  net.loop().run_until(net.loop().now() + util::seconds(180));
+
+  std::map<brunet::Address, brunet::BrunetNode*> by_addr;
+  for (auto& n : nodes) by_addr[n->overlay().address()] = &n->overlay();
+
+  // Ping every destination from node 0; bucket by the *measured* greedy
+  // path length.
+  std::map<std::size_t, util::RunningStats> by_hops;
+  for (int j = 1; j < kNodes; ++j) {
+    const auto path =
+        bench::overlay_path(by_addr, nodes[0]->overlay().address(),
+                            nodes[static_cast<std::size_t>(j)]->overlay().address());
+    if (path.empty() ||
+        path.back() != nodes[static_cast<std::size_t>(j)]->overlay().address()) {
+      continue;  // not routable via greedy snapshot (should not happen)
+    }
+    auto result = bench::run_pings(
+        net.loop(), hosts[0]->stack(),
+        net::Ipv4Address(172, 16, 0, static_cast<std::uint8_t>(j + 2)), 100,
+        util::milliseconds(50));
+    if (result.received > 0) {
+      by_hops[path.size() - 1].add(result.rtts_ms.mean());
+    }
+  }
+
+  util::Table table({"overlay hops", "ping RTT mean (ms)",
+                     "marginal cost (ms/hop)"});
+  double prev = 0;
+  std::size_t prev_hops = 0;
+  for (const auto& [hops, stats] : by_hops) {
+    std::string marginal = "-";
+    if (prev_hops != 0 && hops > prev_hops) {
+      marginal = util::Table::num(
+          (stats.mean() - prev) / static_cast<double>(hops - prev_hops), 3);
+    }
+    table.add_row({std::to_string(hops), util::Table::num(stats.mean(), 3),
+                   marginal});
+    prev = stats.mean();
+    prev_hops = hops;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected shape: RTT grows ~linearly with measured overlay hops.\n"
+      "The end-to-end 6-10 ms overhead the paper reports for one hop is\n"
+      "dominated by the *endpoint* capture/inject latency; each additional\n"
+      "overlay router adds its (smaller) per-hop forwarding cost.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation D: decentralized NAT traversal across all NAT-type pairs.
+//
+// Section III-D argues Brunet's traversal (translated-address discovery +
+// simultaneous dialing) handles the cone NAT types without any STUN
+// server, while symmetric-symmetric pairs cannot be punched (the same
+// limitation STUN documents).  We attempt a direct overlay link between
+// two NATted nodes for every combination of the four RFC 3489 NAT types.
+#include "brunet/node.hpp"
+#include "common.hpp"
+#include "net/topology.hpp"
+
+namespace {
+using namespace ipop;
+
+bool try_punch(net::NatType type_a, net::NatType type_b) {
+  net::Network net{static_cast<std::uint64_t>(1000 +
+                                              static_cast<int>(type_a) * 7 +
+                                              static_cast<int>(type_b))};
+  auto& sw = net.add_switch("internet");
+  sim::LinkConfig lan;
+  lan.delay = util::milliseconds(2);
+  auto& seed_host = net.add_host("seed");
+  net.connect_to_switch(seed_host.stack(),
+                        {"eth0", net::Ipv4Address(8, 0, 0, 1), 24}, sw, lan);
+  auto make_site = [&](const char* name, net::NatType t, int idx) {
+    auto& nat = net.add_nat(std::string(name) + "-nat", t);
+    auto& h = net.add_host(name);
+    const net::Ipv4Address priv(192, 168, static_cast<std::uint8_t>(idx), 2);
+    const net::Ipv4Address gw(192, 168, static_cast<std::uint8_t>(idx), 254);
+    const net::Ipv4Address pub(8, 0, 0, static_cast<std::uint8_t>(10 * idx));
+    net.connect(h.stack(), {"eth0", priv, 24}, nat.stack(), {"in", gw, 24},
+                lan);
+    net.connect_to_switch(nat.stack(), {"out", pub, 24}, sw, lan);
+    h.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 0, gw);
+    nat.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 1,
+                          net::Ipv4Address(8, 0, 0, 1));
+    return &h;
+  };
+  auto* ha = make_site("a", type_a, 1);
+  auto* hb = make_site("b", type_b, 2);
+
+  util::Rng rng(99);
+  brunet::NodeConfig cfg;
+  brunet::BrunetNode seed(seed_host, brunet::Address::random(rng), cfg);
+  brunet::BrunetNode na(*ha, brunet::Address::random(rng), cfg);
+  brunet::BrunetNode nb(*hb, brunet::Address::random(rng), cfg);
+  const brunet::TransportAddress seed_ta{
+      brunet::TransportAddress::Proto::kUdp, net::Ipv4Address(8, 0, 0, 1),
+      cfg.port};
+  na.add_seed(seed_ta);
+  nb.add_seed(seed_ta);
+  seed.start();
+  na.start();
+  nb.start();
+  net.loop().run_until(util::seconds(90));
+  return na.table().contains(nb.address()) &&
+         nb.table().contains(na.address());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: NAT traversal matrix (direct edge punched?)",
+                "Section III-D");
+
+  const net::NatType types[] = {
+      net::NatType::kFullCone, net::NatType::kRestrictedCone,
+      net::NatType::kPortRestrictedCone, net::NatType::kSymmetric};
+
+  util::Table table({"A \\ B", "full-cone", "restricted", "port-restr.",
+                     "symmetric"});
+  int punched = 0, total = 0;
+  for (auto ta : types) {
+    std::vector<std::string> row{net::nat_type_name(ta)};
+    for (auto tb : types) {
+      const bool ok = try_punch(ta, tb);
+      row.push_back(ok ? "yes" : "NO");
+      ++total;
+      punched += ok ? 1 : 0;
+      std::printf("  %-22s x %-22s -> %s\n", net::nat_type_name(ta),
+                  net::nat_type_name(tb), ok ? "punched" : "blocked");
+    }
+    table.add_row(row);
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\n%d/%d pairs punched. expected: all cone-cone pairs succeed with\n"
+      "no STUN server (each overlay peer reports observed addresses);\n"
+      "symmetric NATs defeat traversal whenever the far side must hit the\n"
+      "per-destination mapping — symmetric x symmetric always fails, and\n"
+      "symmetric x port-restricted fails because the punch targets a\n"
+      "mapping allocated for the seed, exactly as RFC 3489 predicts.\n",
+      punched, total);
+  return 0;
+}

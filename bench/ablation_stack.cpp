@@ -1,0 +1,68 @@
+// Ablation B (paper Section V.2): single vs double kernel-stack traversal.
+//
+// The paper attributes most of the LAN overhead to every virtual-network
+// packet traversing the kernel TCP/IP stack twice (once on the virtual
+// interface, once on the physical interface) and proposes user-level
+// communication to bypass one traversal.  We sweep the kernel per-packet
+// cost and the user-level scheduling latency to show how much of the
+// 6-10 ms single-hop overhead each contributes.
+#include "common.hpp"
+
+namespace {
+using namespace ipop;
+
+double lan_ipop_rtt(util::Duration stack_delay, util::Duration sched_latency,
+                    util::Duration cpu) {
+  core::Fig4OverlayOptions opts;
+  opts.testbed.host_stack_delay = stack_delay;
+  opts.sched_latency = sched_latency;
+  opts.cpu_per_packet = cpu;
+  auto overlay = bench::make_overlay(
+      brunet::TransportAddress::Proto::kUdp, opts);
+  auto result = bench::run_pings(
+      overlay->loop(), overlay->testbed().f2->stack(), overlay->vip("F4"),
+      200, util::milliseconds(50));
+  return result.rtts_ms.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: kernel-stack traversals and user-level latency",
+                "Section V.2");
+
+  const auto cpu = util::microseconds(240);
+  const auto sched = util::microseconds(1330);
+  const auto kstack = util::microseconds(30);
+
+  util::Table table({"configuration", "LAN IPOP RTT (ms)", "delta (ms)"});
+  const double baseline = lan_ipop_rtt(kstack, sched, cpu);
+  table.add_row({"baseline (double traversal + full user-level latency)",
+                 util::Table::num(baseline, 3), "-"});
+
+  // Section V.2's proposal: user-level NIC access removes one kernel
+  // traversal per host (model: zero kernel per-packet cost).
+  const double no_kernel = lan_ipop_rtt(util::microseconds(0), sched, cpu);
+  table.add_row({"kernel stack bypass (user-level communication)",
+                 util::Table::num(no_kernel, 3),
+                 util::Table::num(no_kernel - baseline, 3)});
+
+  // Halving the scheduling latency (optimized wakeups).
+  const double half_sched = lan_ipop_rtt(kstack, sched / 2, cpu);
+  table.add_row({"halved user-level scheduling latency",
+                 util::Table::num(half_sched, 3),
+                 util::Table::num(half_sched - baseline, 3)});
+
+  // Both optimizations together.
+  const double both = lan_ipop_rtt(util::microseconds(0), sched / 2, cpu);
+  table.add_row({"both optimizations", util::Table::num(both, 3),
+                 util::Table::num(both - baseline, 3)});
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\npaper claim: most of the LAN overhead is user-level processing\n"
+      "latency; bypassing one kernel stack traversal (user-level\n"
+      "communication on cluster NICs) shaves a measurable slice, and\n"
+      "applications remain oblivious to which path is used.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): the hot paths of the IPOP data
+// plane — SHA-1 address mapping, packet codecs, ring-distance arithmetic,
+// greedy next-hop selection, and checksum computation.
+#include <benchmark/benchmark.h>
+
+#include "brunet/connection_table.hpp"
+#include "brunet/packet.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+#include "util/random.hpp"
+#include "util/sha1.hpp"
+
+namespace {
+
+using namespace ipop;
+
+void BM_Sha1AddressFromIp(benchmark::State& state) {
+  std::uint32_t ip = 0xAC100002;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brunet::Address::from_ip(net::Ipv4Address(ip++)));
+  }
+}
+BENCHMARK(BM_Sha1AddressFromIp);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::sha1(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  brunet::Packet pkt;
+  pkt.type = brunet::PacketType::kIpTunnel;
+  pkt.src = brunet::Address::random(rng);
+  pkt.dst = brunet::Address::random(rng);
+  pkt.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    auto bytes = pkt.encode();
+    benchmark::DoNotOptimize(brunet::Packet::decode(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PacketEncodeDecode)->Arg(64)->Arg(1200);
+
+void BM_RingDistance(benchmark::State& state) {
+  util::Rng rng(2);
+  auto a = brunet::Address::random(rng);
+  auto b = brunet::Address::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brunet::Address::ring_distance(a, b));
+  }
+}
+BENCHMARK(BM_RingDistance);
+
+void BM_GreedyNextHop(benchmark::State& state) {
+  util::Rng rng(3);
+  brunet::ConnectionTable table(brunet::Address::random(rng));
+  for (int i = 0; i < state.range(0); ++i) {
+    brunet::Connection c;
+    c.addr = brunet::Address::random(rng);
+    c.type = brunet::ConnectionType::kStructuredNear;
+    table.add(c);
+  }
+  auto target = brunet::Address::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.closest_to(target));
+  }
+}
+BENCHMARK(BM_GreedyNextHop)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+void BM_TcpSegmentRoundTrip(benchmark::State& state) {
+  const auto src = net::Ipv4Address(10, 0, 0, 1);
+  const auto dst = net::Ipv4Address(10, 0, 0, 2);
+  net::TcpSegment seg;
+  seg.src_port = 1234;
+  seg.dst_port = 80;
+  seg.flags.ack = true;
+  seg.payload.assign(1160, 0x42);
+  for (auto _ : state) {
+    auto bytes = seg.encode(src, dst);
+    benchmark::DoNotOptimize(net::TcpSegment::decode(bytes, src, dst));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1160);
+}
+BENCHMARK(BM_TcpSegmentRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Table IV: LSS execution times over IPOP — sequential (1 worker) vs
+// parallel (4 workers), first image (cold NFS caches) reported separately
+// from images 2-6 (warm caches).
+//
+// Paper values (seconds):
+//   1 node : image 1 = 811, images 2-6 = 834  (total 1645)
+//   4 nodes: image 1 = 378, images 2-6 = 217  (total  595)
+//   warm-cache parallel speedup: (834/5) / (217/5) = 3.8x
+//
+// Setup mirrors Section IV-C: F4 is the central NFS file server holding
+// four 32 MB database files; the master runs on F3; workers are F1, F2
+// (ACIS, behind NAT), V1 (VIMS) and L1 (LSU) — three firewalled domains
+// joined only by the IPOP virtual network.  SSH boots the daemons, MPI
+// carries tasks/results, NFS streams the databases.
+#include "apps/lss.hpp"
+#include "common.hpp"
+
+namespace {
+using namespace ipop;
+
+apps::LssReport run_lss(core::Fig4Overlay& overlay,
+                        const std::vector<std::string>& workers) {
+  auto& tb = overlay.testbed();
+  apps::NfsServer nfs(tb.f4->stack());
+  apps::LssConfig cfg;
+  cfg.file_server = overlay.vip("F4");
+  for (int db = 0; db < cfg.databases; ++db) {
+    nfs.add_file("db" + std::to_string(db), cfg.db_size);
+  }
+  std::vector<apps::LssMember> members;
+  members.push_back({&overlay.host("F3"), overlay.vip("F3")});  // master
+  for (const auto& w : workers) {
+    members.push_back({&overlay.host(w), overlay.vip(w)});
+  }
+  apps::LssJob job(std::move(members), cfg);
+  apps::LssReport report;
+  bool done = false;
+  job.run([&](apps::LssReport r) {
+    report = std::move(r);
+    done = true;
+  });
+  auto& loop = overlay.loop();
+  const auto deadline = loop.now() + util::seconds(4 * 3600);
+  while (!done && loop.now() < deadline) {
+    loop.run_until(loop.now() + util::seconds(30));
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table IV: LSS image analysis over IPOP (seq vs parallel)",
+                "Table IV");
+
+  std::printf("building UDP-mode overlay (sequential run)...\n");
+  auto seq_overlay = bench::make_overlay(brunet::TransportAddress::Proto::kUdp);
+  std::printf("running sequential LSS (worker: V1)...\n");
+  auto seq = run_lss(*seq_overlay, {"V1"});
+
+  std::printf("building UDP-mode overlay (parallel run)...\n");
+  auto par_overlay = bench::make_overlay(brunet::TransportAddress::Proto::kUdp);
+  std::printf("running parallel LSS (workers: F1 F2 V1 L1)...\n");
+  auto par = run_lss(*par_overlay, {"F1", "F2", "V1", "L1"});
+
+  util::Table table({"# of nodes", "image 1 (s)", "images 2-6 (s)",
+                     "total (s)"});
+  table.add_row({"paper: 1", "811", "834", "1645"});
+  table.add_row({"ours : 1", util::Table::num(seq.first_image(), 0),
+                 util::Table::num(seq.remaining_images(), 0),
+                 util::Table::num(seq.total(), 0)});
+  table.add_rule();
+  table.add_row({"paper: 4", "378", "217", "595"});
+  table.add_row({"ours : 4", util::Table::num(par.first_image(), 0),
+                 util::Table::num(par.remaining_images(), 0),
+                 util::Table::num(par.total(), 0)});
+  std::printf("%s", table.render().c_str());
+
+  const double paper_speedup = (834.0 / 5) / (217.0 / 5);
+  const double our_speedup =
+      seq.remaining_images() / std::max(1e-9, par.remaining_images());
+  std::printf(
+      "\nwarm-cache parallel speedup: paper %.1fx, measured %.1fx\n"
+      "paper claim: first image is slow (cold NFS caches force remote I/O\n"
+      "over the virtual WAN); once databases are cached locally the\n"
+      "parallel run achieves near-linear speedup — and none of this would\n"
+      "run at all without IPOP, since the nodes span three firewalled\n"
+      "domains with no physical bidirectional connectivity.\n",
+      paper_speedup, our_speedup);
+  return seq.ok && par.ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Planet-Lab-scale overlay example: self-configuration, churn and
+// multi-hop virtual IP routing on a 60-node wide-area deployment.
+//
+// Shows the properties the paper's Section IV-D exercises at 118 nodes:
+// decentralized join, greedy multi-hop routing of tunneled IP packets,
+// and self-repair when nodes leave.  (The full 118-node Figure-5
+// regeneration with loaded CPUs lives in bench/fig5_planetlab.)
+//
+//   $ ./planetlab_overlay
+#include <algorithm>
+#include <cstdio>
+
+#include "ipop/node.hpp"
+#include "net/ping.hpp"
+#include "net/topology.hpp"
+
+using namespace ipop;
+
+int main() {
+  net::PlanetLabOptions plopts;
+  plopts.nodes = 60;
+  plopts.cpu_load_mean = 0.0;  // unloaded: this example is about routing
+  plopts.sched_quantum = util::Duration{0};
+  auto tb = net::build_planetlab(plopts);
+  auto& loop = tb.net->loop();
+
+  std::vector<std::unique_ptr<core::IpopNode>> nodes;
+  const brunet::TransportAddress seed{brunet::TransportAddress::Proto::kUdp,
+                                      tb.ips[0], 17001};
+  for (std::size_t i = 0; i < tb.hosts.size(); ++i) {
+    core::IpopConfig cfg;
+    cfg.tap.ip = net::Ipv4Address(
+        172, 16, static_cast<std::uint8_t>(1 + i / 250),
+        static_cast<std::uint8_t>(1 + i % 250));
+    auto n = std::make_unique<core::IpopNode>(*tb.hosts[i], cfg);
+    if (i != 0) n->add_seed(seed);
+    nodes.push_back(std::move(n));
+  }
+  std::printf("joining %zu nodes...\n", nodes.size());
+  for (auto& n : nodes) n->start();
+  loop.run_until(util::seconds(90));
+
+  std::size_t total_conns = 0, shortcuts = 0;
+  for (auto& n : nodes) {
+    total_conns += n->overlay().table().size();
+    shortcuts += n->overlay().table().count(
+        brunet::ConnectionType::kStructuredFar);
+  }
+  std::printf("overlay up: %.1f connections/node (%zu shortcuts total)\n",
+              double(total_conns) / double(nodes.size()), shortcuts);
+
+  // Virtual pings between random distant pairs.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 59));
+    auto b = static_cast<std::size_t>(rng.uniform_int(0, 59));
+    if (b == a) b = (b + 17) % 60;
+    net::Pinger pinger(tb.hosts[a]->stack());
+    net::Pinger::Options opts;
+    opts.count = 10;
+    opts.interval = util::milliseconds(100);
+    opts.timeout = util::seconds(3);
+    bool done = false;
+    pinger.run(nodes[b]->virtual_ip(), opts, [&](net::PingResult r) {
+      std::printf("pl%-3zu -> pl%-3zu : %2d/%2d replies, RTT mean %7.1f ms\n",
+                  a, b, r.received, r.sent, r.rtts_ms.mean());
+      done = true;
+    });
+    while (!done) loop.run_until(loop.now() + util::seconds(1));
+  }
+
+  // Churn: kill a fifth of the overlay, verify routing still works.
+  std::printf("\nstopping 12 nodes (churn)...\n");
+  for (std::size_t i = 5; i < 60; i += 5) nodes[i]->stop();
+  loop.run_until(loop.now() + util::seconds(60));  // self-repair window
+
+  int ok = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t a = static_cast<std::size_t>(rng.uniform_int(0, 59));
+    std::size_t b = static_cast<std::size_t>(rng.uniform_int(0, 59));
+    if (a % 5 == 0 || b % 5 == 0 || a == b) continue;  // skip dead/self
+    net::Pinger pinger(tb.hosts[a]->stack());
+    net::Pinger::Options opts;
+    opts.count = 3;
+    opts.interval = util::milliseconds(100);
+    opts.timeout = util::seconds(3);
+    bool done = false;
+    pinger.run(nodes[b]->virtual_ip(), opts, [&](net::PingResult r) {
+      ok += r.received;
+      total += r.sent;
+      done = true;
+    });
+    while (!done) loop.run_until(loop.now() + util::seconds(1));
+  }
+  std::printf("after churn: %d/%d pings delivered between surviving nodes\n",
+              ok, total);
+  return 0;
+}

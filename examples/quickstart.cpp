@@ -1,0 +1,94 @@
+// Quickstart: two machines, one of them behind a NAT, joined into a
+// virtual IP network by IPOP.
+//
+// The physical network cannot deliver unsolicited packets to the NATted
+// machine.  After IPOP self-configures, both machines share the
+// 172.16.0.0/16 virtual network and plain `ping` works in both
+// directions — no configuration beyond a seed endpoint.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "ipop/node.hpp"
+#include "net/ping.hpp"
+#include "net/topology.hpp"
+
+using namespace ipop;
+
+int main() {
+  // --- Physical world: alice (public) and bob (behind a cone NAT) --------
+  net::Network network(/*seed=*/2024);
+  auto& internet = network.add_switch("internet");
+  sim::LinkConfig wire;
+  wire.delay = util::milliseconds(10);
+
+  auto& alice = network.add_host("alice");
+  network.connect_to_switch(alice.stack(),
+                            {"eth0", net::Ipv4Address(8, 8, 0, 2), 24},
+                            internet, wire);
+
+  auto& nat = network.add_nat("home-router", net::NatType::kPortRestrictedCone);
+  auto& bob = network.add_host("bob");
+  network.connect(bob.stack(), {"eth0", net::Ipv4Address(192, 168, 0, 2), 24},
+                  nat.stack(), {"in", net::Ipv4Address(192, 168, 0, 1), 24},
+                  wire);
+  network.connect_to_switch(nat.stack(),
+                            {"out", net::Ipv4Address(8, 8, 0, 3), 24},
+                            internet, wire);
+  bob.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                        net::Ipv4Address(192, 168, 0, 1));
+  nat.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 1,
+                        net::Ipv4Address(8, 8, 0, 2));
+
+  // --- IPOP: one node per machine, bob seeds at alice --------------------
+  core::IpopConfig acfg;
+  acfg.tap.ip = net::Ipv4Address(172, 16, 0, 1);
+  core::IpopNode ipop_alice(alice, acfg);
+
+  core::IpopConfig bcfg;
+  bcfg.tap.ip = net::Ipv4Address(172, 16, 0, 2);
+  core::IpopNode ipop_bob(bob, bcfg);
+  ipop_bob.add_seed({brunet::TransportAddress::Proto::kUdp,
+                     net::Ipv4Address(8, 8, 0, 2), 17001});
+
+  ipop_alice.start();
+  ipop_bob.start();
+  std::printf("joining the overlay...\n");
+  network.loop().run_until(util::seconds(20));
+
+  // --- Unmodified ping over the virtual network, BOTH directions ---------
+  auto ping = [&](net::Host& from, net::Ipv4Address to, const char* label) {
+    net::Pinger pinger(from.stack());
+    net::Pinger::Options opts;
+    opts.count = 5;
+    opts.interval = util::milliseconds(200);
+    opts.timeout = util::seconds(2);
+    bool done = false;
+    pinger.run(to, opts, [&](net::PingResult r) {
+      std::printf("%s: %d/%d replies, RTT mean %.2f ms\n", label, r.received,
+                  r.sent, r.rtts_ms.mean());
+      done = true;
+    });
+    while (!done) network.loop().run_until(network.loop().now() + util::seconds(1));
+  };
+
+  ping(alice, net::Ipv4Address(172, 16, 0, 2),
+       "alice -> bob  (unsolicited inbound through the NAT!)");
+  ping(bob, net::Ipv4Address(172, 16, 0, 1), "bob   -> alice");
+
+  std::printf(
+      "\nthe same pair cannot exchange unsolicited packets physically:\n");
+  net::Pinger phys(alice.stack());
+  net::Pinger::Options opts;
+  opts.count = 3;
+  opts.interval = util::milliseconds(200);
+  opts.timeout = util::seconds(2);
+  bool done = false;
+  phys.run(net::Ipv4Address(192, 168, 0, 2), opts, [&](net::PingResult r) {
+    std::printf("alice -> bob's private address: %d/%d replies\n", r.received,
+                r.sent);
+    done = true;
+  });
+  while (!done) network.loop().run_until(network.loop().now() + util::seconds(1));
+  return 0;
+}

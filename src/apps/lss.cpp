@@ -1,0 +1,118 @@
+#include "apps/lss.hpp"
+
+#include "util/bytes.hpp"
+#include "util/logging.hpp"
+
+namespace ipop::apps {
+
+LssJob::LssJob(std::vector<LssMember> members, LssConfig cfg)
+    : members_(std::move(members)), cfg_(cfg) {
+  // Rank table (virtual IPs) shared by all endpoints.
+  std::vector<net::Ipv4Address> ranks;
+  for (const auto& m : members_) ranks.push_back(m.vip);
+
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    // Every member runs the exec service ("lamboot" target).
+    auto exec = std::make_unique<ExecServer>(members_[i].host->stack());
+    exec->register_command(
+        "lamboot", [](const std::string&) { return "lamd running"; });
+    exec_servers_.push_back(std::move(exec));
+    endpoints_.push_back(std::make_unique<MpEndpoint>(
+        members_[i].host->stack(), static_cast<int>(i), ranks));
+  }
+  // Workers mount the shared volume.
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    nfs_clients_.push_back(std::make_unique<NfsClient>(
+        *members_[i].host, cfg_.file_server, cfg_.nfs_port));
+  }
+}
+
+void LssJob::run(std::function<void(LssReport)> done) {
+  done_ = std::move(done);
+  boot_and_start();
+}
+
+void LssJob::boot_and_start() {
+  std::vector<net::Ipv4Address> ranks;
+  for (const auto& m : members_) ranks.push_back(m.vip);
+  MpLauncher::lamboot(members_[0].host->stack(), ranks, [this](bool ok) {
+    if (!ok) {
+      IPOP_LOG_ERROR("LSS: lamboot failed");
+      report_.ok = false;
+      if (done_) done_(report_);
+      return;
+    }
+    for (std::size_t w = 1; w < members_.size(); ++w) worker_loop(w);
+    current_image_ = 0;
+    start_image(0);
+  });
+}
+
+void LssJob::start_image(int image) {
+  if (image >= cfg_.images) {
+    report_.ok = true;
+    if (done_) {
+      auto cb = std::move(done_);
+      cb(report_);
+    }
+    return;
+  }
+  image_started_ = members_[0].host->loop().now();
+  outstanding_ = cfg_.databases;
+  const int workers = static_cast<int>(members_.size()) - 1;
+  for (int db = 0; db < cfg_.databases; ++db) {
+    const int worker_rank = 1 + (db % workers);
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(image));
+    w.u32(static_cast<std::uint32_t>(db));
+    endpoints_[0]->send(worker_rank, kTagTask, w.take());
+  }
+  // Collect all fit results for this image.
+  for (int r = 0; r < cfg_.databases; ++r) {
+    endpoints_[0]->recv(-1, kTagResult, [this](int, MpEndpoint::Message) {
+      if (--outstanding_ == 0) {
+        const auto elapsed =
+            members_[0].host->loop().now() - image_started_;
+        report_.image_seconds.push_back(util::to_seconds(elapsed));
+        start_image(++current_image_);
+      }
+    });
+  }
+}
+
+void LssJob::worker_loop(std::size_t worker_index) {
+  endpoints_[worker_index]->recv(
+      0, kTagTask,
+      [this, worker_index](int, MpEndpoint::Message msg) {
+        try {
+          util::ByteReader r(msg);
+          const int image = static_cast<int>(r.u32());
+          const int db = static_cast<int>(r.u32());
+          handle_task(worker_index, image, db);
+        } catch (const util::ParseError&) {
+        }
+      });
+}
+
+void LssJob::handle_task(std::size_t worker_index, int image, int db) {
+  auto& client = *nfs_clients_[worker_index - 1];
+  auto& host = *members_[worker_index].host;
+  const std::string db_name = "db" + std::to_string(db);
+  // Stream the database through the (possibly warm) NFS cache, then run
+  // the least-squares fit as simulated CPU work, then report back.
+  client.read_file(db_name, cfg_.db_size, [this, worker_index, image, db,
+                                           &host](bool ok) {
+    if (!ok) IPOP_LOG_WARN("LSS: NFS read failed for db" << db);
+    host.cpu().run(cfg_.fit_compute_per_db, [this, worker_index, image, db] {
+      util::ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(image));
+      w.u32(static_cast<std::uint32_t>(db));
+      w.u64(0xF17F17);  // fit result stand-in
+      endpoints_[worker_index]->send(0, kTagResult, w.take());
+      // Ready for the next task.
+      worker_loop(worker_index);
+    });
+  });
+}
+
+}  // namespace ipop::apps

@@ -1,0 +1,90 @@
+// LSS (Light Scattering Spectroscopy) parallel application workalike.
+//
+// The paper's case study (Section IV-C, Table IV): a master/worker MPI
+// program that fits each spectral image against four 32 MB database files
+// served over NFS, across three firewalled sites joined only by IPOP.
+// Per image, each database contributes a least-squares fit (compute) after
+// its records stream in via NFS (I/O: cold first image, warm afterwards).
+// Workers are booted with the SSH-like exec service, tasks and results
+// flow over the message-passing runtime, databases over the NFS client —
+// all riding unmodified TCP sockets on the virtual network.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/mp.hpp"
+#include "apps/nfs.hpp"
+#include "apps/ssh.hpp"
+#include "net/host.hpp"
+
+namespace ipop::apps {
+
+struct LssConfig {
+  int images = 6;
+  int databases = 4;
+  std::uint64_t db_size = 32ull << 20;  // 32 MB each
+  /// Least-squares fitting time per database per image (simulated CPU).
+  util::Duration fit_compute_per_db = util::seconds_f(41.75);
+  net::Ipv4Address file_server;  // NFS server virtual IP
+  std::uint16_t nfs_port = NfsServer::kDefaultPort;
+};
+
+struct LssReport {
+  bool ok = false;
+  /// Wall time per image, seconds.
+  std::vector<double> image_seconds;
+
+  double first_image() const {
+    return image_seconds.empty() ? 0.0 : image_seconds.front();
+  }
+  double remaining_images() const {
+    double s = 0;
+    for (std::size_t i = 1; i < image_seconds.size(); ++i) {
+      s += image_seconds[i];
+    }
+    return s;
+  }
+  double total() const { return first_image() + remaining_images(); }
+};
+
+struct LssMember {
+  net::Host* host = nullptr;
+  net::Ipv4Address vip;  // virtual address (ranks talk over IPOP)
+};
+
+/// One LSS run.  members[0] is the master (no compute); members[1..] are
+/// workers.  Databases are assigned round-robin to workers per image.
+class LssJob {
+ public:
+  LssJob(std::vector<LssMember> members, LssConfig cfg);
+
+  void run(std::function<void(LssReport)> done);
+
+  const NfsClientStats& worker_nfs_stats(int worker_index) const {
+    return nfs_clients_[static_cast<std::size_t>(worker_index)]->stats();
+  }
+
+ private:
+  static constexpr int kTagTask = 1;
+  static constexpr int kTagResult = 2;
+
+  void boot_and_start();
+  void start_image(int image);
+  void worker_loop(std::size_t worker_index);
+  void handle_task(std::size_t worker_index, int image, int db);
+
+  std::vector<LssMember> members_;
+  LssConfig cfg_;
+  std::vector<std::unique_ptr<ExecServer>> exec_servers_;
+  std::vector<std::unique_ptr<MpEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<NfsClient>> nfs_clients_;  // workers only
+  std::function<void(LssReport)> done_;
+  LssReport report_;
+  int current_image_ = 0;
+  int outstanding_ = 0;
+  util::TimePoint image_started_{};
+};
+
+}  // namespace ipop::apps

@@ -1,0 +1,170 @@
+#include "apps/mp.hpp"
+
+#include "apps/ssh.hpp"
+#include "util/bytes.hpp"
+
+namespace ipop::apps {
+
+namespace {
+// Wire frame: [u32 length][u32 src_rank][u32 tag][payload...]
+std::vector<std::uint8_t> frame_message(int src_rank, int tag,
+                                        const MpEndpoint::Message& payload) {
+  util::ByteWriter w(12 + payload.size());
+  w.u32(static_cast<std::uint32_t>(8 + payload.size()));
+  w.u32(static_cast<std::uint32_t>(src_rank));
+  w.u32(static_cast<std::uint32_t>(tag));
+  w.bytes(payload);
+  return w.take();
+}
+}  // namespace
+
+MpEndpoint::MpEndpoint(net::Stack& stack, int rank,
+                       std::vector<net::Ipv4Address> ranks)
+    : stack_(stack), rank_(rank), ranks_(std::move(ranks)) {
+  listener_ =
+      stack_.tcp_listen(static_cast<std::uint16_t>(kBasePort + rank_));
+  if (listener_ != nullptr) {
+    listener_->set_accept_handler([this](std::shared_ptr<net::TcpSocket> s) {
+      // Inbound sockets only ever receive; the sender is identified by the
+      // src_rank field of each frame, so no handshake is needed.
+      adopt_socket(std::move(s), /*connected=*/true);
+    });
+  }
+}
+
+MpEndpoint::~MpEndpoint() {
+  if (listener_ != nullptr) listener_->close();
+  for (auto& [id, peer] : peers_) {
+    if (peer.sock != nullptr) {
+      peer.sock->on_readable = nullptr;
+      peer.sock->on_writable = nullptr;
+      peer.sock->on_connected = nullptr;
+      peer.sock->abort();
+    }
+  }
+}
+
+int MpEndpoint::adopt_socket(std::shared_ptr<net::TcpSocket> sock,
+                             bool connected) {
+  const int id = next_socket_id_++;
+  Peer& peer = peers_[id];
+  peer.sock = std::move(sock);
+  peer.connected = connected;
+  auto sp = peer.sock;
+  sp->on_readable = [this, id] { pump(id); };
+  sp->on_writable = [this, id] { flush(id); };
+  sp->on_connected = [this, id] {
+    peers_[id].connected = true;
+    flush(id);
+  };
+  return id;
+}
+
+void MpEndpoint::ensure_peer(int dst_rank) {
+  if (outbound_.count(dst_rank) > 0) return;
+  auto sock = stack_.tcp_connect(
+      ranks_[static_cast<std::size_t>(dst_rank)],
+      static_cast<std::uint16_t>(kBasePort + dst_rank));
+  if (sock == nullptr) return;
+  outbound_[dst_rank] = adopt_socket(std::move(sock), /*connected=*/false);
+}
+
+void MpEndpoint::send(int dst_rank, int tag, Message payload) {
+  ensure_peer(dst_rank);
+  auto out = outbound_.find(dst_rank);
+  if (out == outbound_.end()) return;  // no route to rank
+  Peer& peer = peers_[out->second];
+  auto framed = frame_message(rank_, tag, payload);
+  peer.tx_backlog.insert(peer.tx_backlog.end(), framed.begin(), framed.end());
+  ++sent_;
+  if (peer.connected) flush(out->second);
+}
+
+void MpEndpoint::flush(int socket_id) {
+  auto it = peers_.find(socket_id);
+  if (it == peers_.end() || it->second.sock == nullptr ||
+      !it->second.connected) {
+    return;
+  }
+  Peer& peer = it->second;
+  while (!peer.tx_backlog.empty()) {
+    const std::size_t n = peer.sock->send(peer.tx_backlog);
+    if (n == 0) break;
+    peer.tx_backlog.erase(peer.tx_backlog.begin(),
+                          peer.tx_backlog.begin() + n);
+  }
+}
+
+void MpEndpoint::pump(int socket_id) {
+  auto it = peers_.find(socket_id);
+  if (it == peers_.end() || it->second.sock == nullptr) return;
+  Peer& peer = it->second;
+  while (true) {
+    auto chunk = peer.sock->receive(64 * 1024);
+    if (chunk.empty()) break;
+    peer.rx_buf.insert(peer.rx_buf.end(), chunk.begin(), chunk.end());
+  }
+  auto& buf = peer.rx_buf;
+  std::size_t pos = 0;
+  while (buf.size() - pos >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(buf[pos]) << 24 |
+                              static_cast<std::uint32_t>(buf[pos + 1]) << 16 |
+                              static_cast<std::uint32_t>(buf[pos + 2]) << 8 |
+                              static_cast<std::uint32_t>(buf[pos + 3]);
+    if (len < 8 || buf.size() - pos - 4 < len) break;
+    util::ByteReader r(
+        std::span<const std::uint8_t>(buf.data() + pos + 4, len));
+    const int src_rank = static_cast<int>(r.u32());
+    const int tag = static_cast<int>(r.u32());
+    Message payload = r.rest_copy();
+    pos += 4 + len;
+    dispatch(src_rank, tag, std::move(payload));
+  }
+  buf.erase(buf.begin(), buf.begin() + pos);
+}
+
+void MpEndpoint::dispatch(int src_rank, int tag, Message payload) {
+  ++received_;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if ((it->src_rank == -1 || it->src_rank == src_rank) && it->tag == tag) {
+      auto cb = std::move(it->cb);
+      pending_.erase(it);
+      cb(src_rank, std::move(payload));
+      return;
+    }
+  }
+  unexpected_.push_back(Unexpected{src_rank, tag, std::move(payload)});
+}
+
+void MpEndpoint::recv(int src_rank, int tag, RecvCallback cb) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if ((src_rank == -1 || it->src_rank == src_rank) && it->tag == tag) {
+      auto msg = std::move(*it);
+      unexpected_.erase(it);
+      cb(msg.src_rank, std::move(msg.payload));
+      return;
+    }
+  }
+  pending_.push_back(Pending{src_rank, tag, std::move(cb)});
+}
+
+void MpLauncher::lamboot(net::Stack& master_stack,
+                         const std::vector<net::Ipv4Address>& ranks,
+                         LaunchCallback done) {
+  auto remaining = std::make_shared<int>(static_cast<int>(ranks.size()));
+  auto ok = std::make_shared<bool>(true);
+  auto done_p = std::make_shared<LaunchCallback>(std::move(done));
+  for (const auto& ip : ranks) {
+    exec_remote(master_stack, ip, "lamboot",
+                [remaining, ok, done_p](std::optional<std::string> out) {
+                  if (!out.has_value()) *ok = false;
+                  if (--*remaining == 0 && *done_p) {
+                    auto cb = std::move(*done_p);
+                    *done_p = nullptr;
+                    cb(*ok);
+                  }
+                });
+  }
+}
+
+}  // namespace ipop::apps

@@ -1,0 +1,209 @@
+#include "apps/nfs.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace ipop::apps {
+
+// Wire protocol (over one TCP connection, strictly one request in flight):
+//   request:  [u32 frame_len][lp_string name][u64 offset][u32 len]
+//   response: [u32 frame_len][u8 status][lp_bytes data]
+
+std::uint8_t NfsServer::content_byte(const std::string& name,
+                                     std::uint64_t offset) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= offset;
+  h *= 1099511628211ull;
+  return static_cast<std::uint8_t>(h >> 32);
+}
+
+NfsServer::NfsServer(net::Stack& stack, std::uint16_t port) : stack_(stack) {
+  listener_ = stack_.tcp_listen(port);
+  if (listener_ != nullptr) {
+    listener_->set_accept_handler(
+        [this](std::shared_ptr<net::TcpSocket> s) { serve(std::move(s)); });
+  }
+}
+
+NfsServer::~NfsServer() {
+  if (listener_ != nullptr) listener_->close();
+}
+
+void NfsServer::add_file(const std::string& name, std::uint64_t size) {
+  files_[name] = size;
+}
+
+void NfsServer::serve(std::shared_ptr<net::TcpSocket> sock) {
+  auto buf = std::make_shared<std::vector<std::uint8_t>>();
+  auto sp = sock;
+  sock->on_readable = [this, sp, buf] {
+    while (true) {
+      auto chunk = sp->receive(64 * 1024);
+      if (chunk.empty()) break;
+      buf->insert(buf->end(), chunk.begin(), chunk.end());
+    }
+    std::size_t pos = 0;
+    while (buf->size() - pos >= 4) {
+      const auto* b = buf->data() + pos;
+      const std::uint32_t frame_len =
+          static_cast<std::uint32_t>(b[0]) << 24 |
+          static_cast<std::uint32_t>(b[1]) << 16 |
+          static_cast<std::uint32_t>(b[2]) << 8 | b[3];
+      if (buf->size() - pos - 4 < frame_len) break;
+      util::ByteReader r(
+          std::span<const std::uint8_t>(buf->data() + pos + 4, frame_len));
+      pos += 4 + frame_len;
+      try {
+        const std::string name = r.lp_string();
+        const std::uint64_t offset = r.u64();
+        const std::uint32_t len = r.u32();
+        ++stats_.requests;
+
+        util::ByteWriter w;
+        auto file = files_.find(name);
+        if (file == files_.end() || offset >= file->second) {
+          w.u8(0);  // not found / EOF
+          w.lp_bytes({});
+        } else {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(len, file->second - offset);
+          std::vector<std::uint8_t> data(static_cast<std::size_t>(n));
+          for (std::uint64_t i = 0; i < n; ++i) {
+            data[static_cast<std::size_t>(i)] = content_byte(name, offset + i);
+          }
+          stats_.bytes_served += n;
+          w.u8(1);
+          w.lp_bytes(data);
+        }
+        util::ByteWriter framed(4 + w.size());
+        framed.u32(static_cast<std::uint32_t>(w.size()));
+        framed.bytes(w.data());
+        auto out = framed.take();
+        sp->send(out);
+      } catch (const util::ParseError&) {
+        sp->abort();
+        return;
+      }
+    }
+    buf->erase(buf->begin(), buf->begin() + pos);
+  };
+}
+
+NfsClient::NfsClient(net::Host& host, net::Ipv4Address server,
+                     std::uint16_t port, NfsClientConfig cfg)
+    : host_(host), server_(server), port_(port), cfg_(cfg) {}
+
+void NfsClient::ensure_connected() {
+  if (sock_ != nullptr) return;
+  sock_ = host_.stack().tcp_connect(server_, port_);
+  if (sock_ == nullptr) return;
+  sock_->on_connected = [this] {
+    connected_ = true;
+    issue_next();
+  };
+  sock_->on_readable = [this] { on_data(); };
+  sock_->on_closed = [this](const std::string&) {
+    connected_ = false;
+    sock_ = nullptr;
+  };
+}
+
+void NfsClient::read_block(const std::string& name, std::uint64_t block_index,
+                           std::function<void(std::vector<std::uint8_t>)> done) {
+  ++stats_.reads;
+  const std::uint64_t offset = block_index * cfg_.block_size;
+  if (cache_.count({name, block_index}) > 0) {
+    ++stats_.cache_hits;
+    // Local disk-cache read: small fixed cost, no network.
+    host_.loop().schedule_after(cfg_.cache_hit_cost,
+                                [done = std::move(done)] { done({}); });
+    return;
+  }
+  ++stats_.cache_misses;
+  Rpc rpc;
+  rpc.name = name;
+  rpc.offset = offset;
+  rpc.len = static_cast<std::uint32_t>(cfg_.block_size);
+  rpc.done = [this, name, block_index, done = std::move(done)](
+                 std::vector<std::uint8_t> data) {
+    cache_.insert({name, block_index});
+    stats_.bytes_fetched += data.size();
+    done(std::move(data));
+  };
+  queue_.push_back(std::move(rpc));
+  ensure_connected();
+  issue_next();
+}
+
+void NfsClient::issue_next() {
+  if (in_flight_ || queue_.empty() || !connected_) return;
+  in_flight_ = true;
+  const Rpc& rpc = queue_.front();
+  util::ByteWriter w;
+  w.lp_string(rpc.name);
+  w.u64(rpc.offset);
+  w.u32(rpc.len);
+  util::ByteWriter framed(4 + w.size());
+  framed.u32(static_cast<std::uint32_t>(w.size()));
+  framed.bytes(w.data());
+  auto out = framed.take();
+  sock_->send(out);
+}
+
+void NfsClient::on_data() {
+  while (true) {
+    auto chunk = sock_->receive(64 * 1024);
+    if (chunk.empty()) break;
+    rx_buf_.insert(rx_buf_.end(), chunk.begin(), chunk.end());
+  }
+  while (rx_buf_.size() >= 4) {
+    const std::uint32_t frame_len =
+        static_cast<std::uint32_t>(rx_buf_[0]) << 24 |
+        static_cast<std::uint32_t>(rx_buf_[1]) << 16 |
+        static_cast<std::uint32_t>(rx_buf_[2]) << 8 | rx_buf_[3];
+    if (rx_buf_.size() - 4 < frame_len) break;
+    std::vector<std::uint8_t> data;
+    try {
+      util::ByteReader r(
+          std::span<const std::uint8_t>(rx_buf_.data() + 4, frame_len));
+      r.u8();  // status (synthetic files always resolve)
+      data = r.lp_bytes();
+    } catch (const util::ParseError&) {
+      rx_buf_.clear();
+      return;
+    }
+    rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + 4 + frame_len);
+    if (!queue_.empty()) {
+      auto rpc = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+      in_flight_ = false;
+      rpc.done(std::move(data));
+    }
+    issue_next();
+  }
+}
+
+void NfsClient::read_file(const std::string& name, std::uint64_t size,
+                          std::function<void(bool ok)> done) {
+  const std::uint64_t blocks =
+      (size + cfg_.block_size - 1) / cfg_.block_size;
+  auto next = std::make_shared<std::function<void(std::uint64_t)>>();
+  auto done_p = std::make_shared<std::function<void(bool)>>(std::move(done));
+  *next = [this, name, blocks, next, done_p](std::uint64_t i) {
+    if (i >= blocks) {
+      (*done_p)(true);
+      return;
+    }
+    read_block(name, i, [next, i](std::vector<std::uint8_t>) {
+      (*next)(i + 1);
+    });
+  };
+  (*next)(0);
+}
+
+}  // namespace ipop::apps

@@ -1,0 +1,123 @@
+#include "apps/ssh.hpp"
+
+#include "util/bytes.hpp"
+
+namespace ipop::apps {
+
+namespace {
+
+/// Length-prefixed string framing over a TCP socket; calls `cb` with each
+/// complete message.  Stores partial data in an external buffer.
+class MessageReader {
+ public:
+  /// Returns complete messages extracted from `buf` after appending data.
+  static std::vector<std::string> drain(std::vector<std::uint8_t>& buf) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (buf.size() - pos >= 4) {
+      const std::uint32_t len = static_cast<std::uint32_t>(buf[pos]) << 24 |
+                                static_cast<std::uint32_t>(buf[pos + 1]) << 16 |
+                                static_cast<std::uint32_t>(buf[pos + 2]) << 8 |
+                                static_cast<std::uint32_t>(buf[pos + 3]);
+      if (buf.size() - pos - 4 < len) break;
+      out.emplace_back(reinterpret_cast<const char*>(buf.data() + pos + 4),
+                       len);
+      pos += 4 + len;
+    }
+    buf.erase(buf.begin(), buf.begin() + pos);
+    return out;
+  }
+
+  static std::vector<std::uint8_t> frame(const std::string& msg) {
+    util::ByteWriter w(4 + msg.size());
+    w.lp_string(msg);
+    return w.take();
+  }
+};
+
+}  // namespace
+
+ExecServer::ExecServer(net::Stack& stack, std::uint16_t port) : stack_(stack) {
+  listener_ = stack_.tcp_listen(port);
+  if (listener_ != nullptr) {
+    listener_->set_accept_handler([this](std::shared_ptr<net::TcpSocket> s) {
+      handle_request(std::move(s));
+    });
+  }
+}
+
+ExecServer::~ExecServer() {
+  if (listener_ != nullptr) listener_->close();
+}
+
+void ExecServer::register_command(const std::string& name,
+                                  CommandHandler handler) {
+  commands_[name] = std::move(handler);
+}
+
+void ExecServer::handle_request(std::shared_ptr<net::TcpSocket> sock) {
+  auto buf = std::make_shared<std::vector<std::uint8_t>>();
+  auto sp = sock;
+  sock->on_readable = [this, sp, buf] {
+    while (true) {
+      auto chunk = sp->receive(4096);
+      if (chunk.empty()) break;
+      buf->insert(buf->end(), chunk.begin(), chunk.end());
+    }
+    for (const auto& msg : MessageReader::drain(*buf)) {
+      ++served_;
+      const auto space = msg.find(' ');
+      const std::string name = msg.substr(0, space);
+      const std::string args =
+          space == std::string::npos ? "" : msg.substr(space + 1);
+      std::string result = "sh: command not found: " + name;
+      auto it = commands_.find(name);
+      if (it != commands_.end()) result = it->second(args);
+      auto framed = MessageReader::frame(result);
+      sp->send(framed);
+      sp->close();
+    }
+  };
+}
+
+void exec_remote(net::Stack& stack, net::Ipv4Address host,
+                 const std::string& command,
+                 std::function<void(std::optional<std::string>)> done,
+                 std::uint16_t port) {
+  auto sock = stack.tcp_connect(host, port);
+  if (sock == nullptr) {
+    done(std::nullopt);
+    return;
+  }
+  auto buf = std::make_shared<std::vector<std::uint8_t>>();
+  auto done_p =
+      std::make_shared<std::function<void(std::optional<std::string>)>>(
+          std::move(done));
+  sock->on_connected = [sock, command] {
+    auto framed = MessageReader::frame(command);
+    sock->send(framed);
+  };
+  sock->on_readable = [sock, buf, done_p] {
+    while (true) {
+      auto chunk = sock->receive(4096);
+      if (chunk.empty()) break;
+      buf->insert(buf->end(), chunk.begin(), chunk.end());
+    }
+    auto msgs = MessageReader::drain(*buf);
+    if (!msgs.empty() && *done_p) {
+      auto cb = std::move(*done_p);
+      *done_p = nullptr;
+      cb(msgs.front());
+      sock->close();
+    }
+  };
+  sock->on_closed = [done_p](const std::string&) {
+    if (*done_p) {
+      auto cb = std::move(*done_p);
+      *done_p = nullptr;
+      cb(std::nullopt);
+    }
+  };
+}
+
+}  // namespace ipop::apps

@@ -1,0 +1,46 @@
+// Minimal SSH-like remote execution service.
+//
+// The paper's LSS case study needs SSH "to start the lam daemons on each
+// compute node before parallel execution begins" (Section IV-C).  This is
+// a functional stand-in: a TCP service on port 22 that receives a command
+// string and responds with its output, used by the MPI-like launcher to
+// boot worker daemons across the virtual network.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/stack.hpp"
+
+namespace ipop::apps {
+
+class ExecServer {
+ public:
+  using CommandHandler = std::function<std::string(const std::string& args)>;
+
+  explicit ExecServer(net::Stack& stack, std::uint16_t port = 22);
+  ~ExecServer();
+
+  /// Register `name` so that "name args..." invokes the handler.
+  void register_command(const std::string& name, CommandHandler handler);
+  std::uint64_t commands_served() const { return served_; }
+
+ private:
+  void handle_request(std::shared_ptr<net::TcpSocket> sock);
+
+  net::Stack& stack_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::map<std::string, CommandHandler> commands_;
+  std::uint64_t served_ = 0;
+};
+
+/// One-shot remote command: connect, send, await reply, close.
+/// `done` receives the output, or nullopt on connection failure/timeout.
+void exec_remote(net::Stack& stack, net::Ipv4Address host,
+                 const std::string& command,
+                 std::function<void(std::optional<std::string>)> done,
+                 std::uint16_t port = 22);
+
+}  // namespace ipop::apps

@@ -1,0 +1,111 @@
+#include "brunet/address.hpp"
+
+#include "util/bytes.hpp"
+
+namespace ipop::brunet {
+
+namespace {
+
+/// out = a - b (mod 2^160).
+Address::Bytes sub_mod(const Address::Bytes& a, const Address::Bytes& b) {
+  Address::Bytes out{};
+  int borrow = 0;
+  for (int i = Address::kBytes - 1; i >= 0; --i) {
+    int v = static_cast<int>(a[i]) - static_cast<int>(b[i]) - borrow;
+    borrow = v < 0 ? 1 : 0;
+    out[i] = static_cast<std::uint8_t>(v & 0xFF);
+  }
+  return out;  // modular: borrow out of the top wraps, which is what we want
+}
+
+/// out = a + b (mod 2^160).
+Address::Bytes add_mod(const Address::Bytes& a, const Address::Bytes& b) {
+  Address::Bytes out{};
+  int carry = 0;
+  for (int i = Address::kBytes - 1; i >= 0; --i) {
+    int v = static_cast<int>(a[i]) + static_cast<int>(b[i]) + carry;
+    carry = v > 0xFF ? 1 : 0;
+    out[i] = static_cast<std::uint8_t>(v & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+int compare_bytes(const Address::Bytes& a, const Address::Bytes& b) {
+  for (std::size_t i = 0; i < Address::kBytes; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Address Address::from_ip(net::Ipv4Address ip) {
+  std::array<std::uint8_t, 4> raw{
+      static_cast<std::uint8_t>(ip.value >> 24),
+      static_cast<std::uint8_t>(ip.value >> 16),
+      static_cast<std::uint8_t>(ip.value >> 8),
+      static_cast<std::uint8_t>(ip.value)};
+  return Address(util::sha1(std::span<const std::uint8_t>(raw.data(), 4)));
+}
+
+Address Address::hash(std::string_view data) {
+  return Address(util::sha1(data));
+}
+
+Address Address::random(util::Rng& rng) {
+  Bytes b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xFF);
+  return Address(b);
+}
+
+Address Address::from_hex(std::string_view hex) {
+  auto raw = util::from_hex(hex);
+  if (raw.size() != kBytes) throw util::ParseError("address must be 40 hex");
+  Bytes b;
+  std::copy(raw.begin(), raw.end(), b.begin());
+  return Address(b);
+}
+
+std::string Address::to_hex() const {
+  return util::to_hex(std::span<const std::uint8_t>(bytes_.data(), kBytes));
+}
+
+Address::Bytes Address::directed_distance(const Address& a, const Address& b) {
+  return sub_mod(b.bytes_, a.bytes_);
+}
+
+Address::Bytes Address::ring_distance(const Address& a, const Address& b) {
+  Bytes d1 = sub_mod(b.bytes_, a.bytes_);
+  Bytes d2 = sub_mod(a.bytes_, b.bytes_);
+  return compare_bytes(d1, d2) <= 0 ? d1 : d2;
+}
+
+bool Address::closer(const Address& target, const Address& x,
+                     const Address& y) {
+  return compare_bytes(ring_distance(target, x), ring_distance(target, y)) < 0;
+}
+
+bool Address::in_range_right(const Address& a, const Address& x,
+                             const Address& b) {
+  // x in (a, b] clockwise  <=>  dist(a->x) != 0 and dist(a->x) <= dist(a->b).
+  const Bytes ax = directed_distance(a, x);
+  const Bytes ab = directed_distance(a, b);
+  const Bytes zero{};
+  if (compare_bytes(ax, zero) == 0) return false;
+  return compare_bytes(ax, ab) <= 0;
+}
+
+Address Address::offset_by_pow2(int bit) const {
+  Bytes delta{};
+  const int byte_index = kBytes - 1 - bit / 8;
+  if (byte_index >= 0) {
+    delta[byte_index] = static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  return Address(add_mod(bytes_, delta));
+}
+
+Address Address::offset_by(const Bytes& delta) const {
+  return Address(add_mod(bytes_, delta));
+}
+
+}  // namespace ipop::brunet

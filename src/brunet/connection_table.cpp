@@ -1,0 +1,133 @@
+#include "brunet/connection_table.hpp"
+
+#include <algorithm>
+
+namespace ipop::brunet {
+
+const char* connection_type_name(ConnectionType t) {
+  switch (t) {
+    case ConnectionType::kLeaf: return "leaf";
+    case ConnectionType::kStructuredNear: return "near";
+    case ConnectionType::kStructuredFar: return "far";
+    case ConnectionType::kTrafficShortcut: return "traffic-shortcut";
+  }
+  return "?";
+}
+
+void ConnectionTable::add(const Connection& conn) {
+  if (conn.addr == self_) return;
+  for (auto& c : conns_) {
+    if (c.addr == conn.addr) {
+      // Keep the strongest classification; refresh the edge.
+      if (static_cast<int>(conn.type) > static_cast<int>(c.type)) {
+        c.type = conn.type;
+      }
+      if (conn.edge != nullptr && conn.edge->is_up() &&
+          (c.edge == nullptr || !c.edge->is_up())) {
+        c.edge = conn.edge;
+      }
+      if (!conn.advertised.empty()) c.advertised = conn.advertised;
+      c.peer_requested_near |= conn.peer_requested_near;
+      return;
+    }
+  }
+  conns_.push_back(conn);
+}
+
+void ConnectionTable::remove(const Address& addr) {
+  std::erase_if(conns_, [&](const Connection& c) { return c.addr == addr; });
+}
+
+bool ConnectionTable::contains(const Address& addr) const {
+  return find(addr) != nullptr;
+}
+
+const Connection* ConnectionTable::find(const Address& addr) const {
+  for (const auto& c : conns_) {
+    if (c.addr == addr) return &c;
+  }
+  return nullptr;
+}
+
+const Connection* ConnectionTable::find_by_edge(const Edge* edge) const {
+  for (const auto& c : conns_) {
+    if (c.edge.get() == edge) return &c;
+  }
+  return nullptr;
+}
+
+const Connection* ConnectionTable::closest_to(const Address& target,
+                                              const Address* exclude) const {
+  const Connection* best = nullptr;
+  for (const auto& c : conns_) {
+    if (exclude != nullptr && c.addr == *exclude) continue;
+    if (best == nullptr || Address::closer(target, c.addr, best->addr)) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+void ConnectionTable::reclassify(std::size_t k) {
+  auto right = right_neighbors(k);
+  auto left = left_neighbors(k);
+  auto is_near = [&](const Connection* c) {
+    for (auto* r : right) {
+      if (r == c) return true;
+    }
+    for (auto* l : left) {
+      if (l == c) return true;
+    }
+    return false;
+  };
+  for (auto& c : conns_) {
+    if (is_near(&c)) {
+      c.type = ConnectionType::kStructuredNear;
+    } else if (c.type == ConnectionType::kStructuredNear) {
+      c.type = ConnectionType::kStructuredFar;
+    }
+  }
+}
+
+std::vector<const Connection*> ConnectionTable::right_neighbors(
+    std::size_t k) const {
+  std::vector<const Connection*> out;
+  out.reserve(conns_.size());
+  for (const auto& c : conns_) out.push_back(&c);
+  std::sort(out.begin(), out.end(),
+            [&](const Connection* a, const Connection* b) {
+              return compare_bytes(Address::directed_distance(self_, a->addr),
+                                   Address::directed_distance(self_, b->addr)) < 0;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<const Connection*> ConnectionTable::left_neighbors(
+    std::size_t k) const {
+  std::vector<const Connection*> out;
+  out.reserve(conns_.size());
+  for (const auto& c : conns_) out.push_back(&c);
+  std::sort(out.begin(), out.end(),
+            [&](const Connection* a, const Connection* b) {
+              return compare_bytes(Address::directed_distance(a->addr, self_),
+                                   Address::directed_distance(b->addr, self_)) < 0;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<const Connection*> ConnectionTable::all() const {
+  std::vector<const Connection*> out;
+  out.reserve(conns_.size());
+  for (const auto& c : conns_) out.push_back(&c);
+  return out;
+}
+
+std::size_t ConnectionTable::count(ConnectionType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(conns_.begin(), conns_.end(),
+                    [&](const Connection& c) { return c.type == t; }));
+}
+
+}  // namespace ipop::brunet

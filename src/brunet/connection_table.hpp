@@ -1,0 +1,83 @@
+// Connection table: the node's view of the ring.
+//
+// Brunet distinguishes structured *near* connections (immediate ring
+// neighbors, which guarantee routability) from structured *far* shortcuts
+// (Kleinberg-style long links that give O(log n) routing) and *leaf*
+// connections (bootstrap edges).  Greedy routing consults all of them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "brunet/address.hpp"
+#include "brunet/transport.hpp"
+
+namespace ipop::brunet {
+
+enum class ConnectionType : std::uint8_t {
+  kLeaf = 0,
+  kStructuredNear = 1,
+  kStructuredFar = 2,
+  /// Traffic-justified direct link (IPOP Section V.1 shortcuts): kept as
+  /// long as the edge lives, exempt from background trimming.
+  kTrafficShortcut = 3,
+};
+
+const char* connection_type_name(ConnectionType t);
+
+struct Connection {
+  Address addr;
+  std::shared_ptr<Edge> edge;
+  ConnectionType type = ConnectionType::kLeaf;
+  /// Dialable endpoints advertised by the peer in its link handshake.
+  /// (The edge's remote endpoint is an ephemeral port for TCP, so gossip
+  /// must use these instead.)
+  std::vector<TransportAddress> advertised;
+  /// The peer asked for this link as one of *its* near connections; we
+  /// never trim such links (prevents trim/relink flapping when the ring
+  /// view is asymmetric).
+  bool peer_requested_near = false;
+};
+
+class ConnectionTable {
+ public:
+  explicit ConnectionTable(Address self) : self_(self) {}
+
+  /// Insert or update; an existing connection to the same address keeps
+  /// the strongest type (near > far > leaf) and the newest edge.
+  void add(const Connection& conn);
+  void remove(const Address& addr);
+  bool contains(const Address& addr) const;
+  const Connection* find(const Address& addr) const;
+  /// Look up the connection using a specific edge instance.
+  const Connection* find_by_edge(const Edge* edge) const;
+
+  /// Connection whose address minimizes ring distance to `target`
+  /// (excluding self; the table never stores self).  `exclude` skips one
+  /// address (used to avoid routing a packet back to its source).
+  const Connection* closest_to(const Address& target,
+                               const Address* exclude = nullptr) const;
+
+  /// Re-label connection types: the k nearest per side become near;
+  /// displaced near connections are kept as far (shortcut) links.
+  void reclassify(std::size_t k);
+
+  /// Ring neighbors: the `k` nearest connections clockwise ("right") or
+  /// counter-clockwise ("left") of self, nearest first.
+  std::vector<const Connection*> right_neighbors(std::size_t k) const;
+  std::vector<const Connection*> left_neighbors(std::size_t k) const;
+
+  std::vector<const Connection*> all() const;
+  std::size_t size() const { return conns_.size(); }
+  std::size_t count(ConnectionType t) const;
+  const Address& self() const { return self_; }
+
+ private:
+  Address self_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace ipop::brunet

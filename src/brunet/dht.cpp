@@ -1,0 +1,158 @@
+#include "brunet/dht.hpp"
+
+#include "util/logging.hpp"
+
+namespace ipop::brunet {
+
+namespace {
+constexpr std::uint8_t kOk = 1;
+constexpr std::uint8_t kNotFound = 0;
+}  // namespace
+
+Dht::Dht(BrunetNode& node, DhtConfig cfg) : node_(node), cfg_(cfg) {
+  node_.set_handler(PacketType::kDhtRequest,
+                    [this](const Packet& pkt) { handle_request(pkt); });
+  republish_timer_ = node_.host().loop().schedule_after(
+      cfg_.republish_interval, [this] { republish_tick(); });
+}
+
+Dht::~Dht() {
+  stopped_ = true;
+  if (republish_timer_ != 0) node_.host().loop().cancel(republish_timer_);
+}
+
+void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
+  ++stats_.puts;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kPut));
+  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
+  w.u64(version_counter_++);
+  w.lp_bytes(value);
+  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
+                [cb = std::move(cb)](std::optional<Packet> resp) {
+                  if (cb) cb(resp.has_value() && !resp->payload.empty() &&
+                             resp->payload[0] == kOk);
+                });
+}
+
+void Dht::get(const Key& key, GetCallback cb) {
+  ++stats_.gets;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kGet));
+  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
+  node_.request(
+      key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
+      [this, cb = std::move(cb)](std::optional<Packet> resp) {
+        if (!resp || resp->payload.empty() || resp->payload[0] == kNotFound) {
+          ++stats_.misses;
+          if (cb) cb(std::nullopt);
+          return;
+        }
+        ++stats_.hits;
+        try {
+          util::ByteReader r(resp->payload);
+          r.u8();  // status
+          if (cb) cb(r.lp_bytes());
+        } catch (const util::ParseError&) {
+          if (cb) cb(std::nullopt);
+        }
+      });
+}
+
+void Dht::handle_request(const Packet& pkt) {
+  Op op;
+  Key key;
+  util::ByteReader r(pkt.payload);
+  try {
+    op = static_cast<Op>(r.u8());
+    Address::Bytes kb{};
+    auto raw = r.bytes(Address::kBytes);
+    std::copy(raw.begin(), raw.end(), kb.begin());
+    key = Address(kb);
+
+    switch (op) {
+      case Op::kPut: {
+        Record rec;
+        rec.version = r.u64();
+        rec.value = r.lp_bytes();
+        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        store_record(key, rec);
+        // Replicate to ring neighbors.
+        util::ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(Op::kReplica));
+        w.bytes(std::span<const std::uint8_t>(key.bytes().data(),
+                                              Address::kBytes));
+        w.u64(rec.version);
+        w.lp_bytes(rec.value);
+        const auto payload = w.take();
+        std::size_t sent = 0;
+        for (const auto* c : node_.table().right_neighbors(cfg_.replicas)) {
+          node_.send(c->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+                     payload);
+          if (++sent >= cfg_.replicas) break;
+        }
+        node_.respond(pkt, PacketType::kDhtResponse, {kOk});
+        return;
+      }
+      case Op::kReplica: {
+        Record rec;
+        rec.version = r.u64();
+        rec.value = r.lp_bytes();
+        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        store_record(key, rec);
+        return;  // replicas are fire-and-forget
+      }
+      case Op::kGet: {
+        auto it = store_.find(key);
+        if (it == store_.end() ||
+            it->second.expires < node_.host().loop().now()) {
+          node_.respond(pkt, PacketType::kDhtResponse, {kNotFound});
+          return;
+        }
+        util::ByteWriter w;
+        w.u8(kOk);
+        w.lp_bytes(it->second.value);
+        node_.respond(pkt, PacketType::kDhtResponse, w.take());
+        return;
+      }
+    }
+  } catch (const util::ParseError&) {
+  }
+}
+
+void Dht::store_record(const Key& key, Record rec) {
+  auto it = store_.find(key);
+  if (it != store_.end() && it->second.version > rec.version) {
+    return;  // stale write: keep the newer record
+  }
+  store_[key] = std::move(rec);
+  stats_.stored = store_.size();
+}
+
+void Dht::republish_tick() {
+  if (stopped_) return;
+  const auto now = node_.host().loop().now();
+  // Expire dead records.
+  std::erase_if(store_, [&](const auto& kv) { return kv.second.expires < now; });
+  stats_.stored = store_.size();
+  // Hand off records whose key is now closer to a connected neighbor than
+  // to us (ring membership changed underneath the data).
+  for (const auto& [key, rec] : store_) {
+    const Connection* best = node_.table().closest_to(key);
+    if (best != nullptr && Address::closer(key, best->addr, node_.address())) {
+      util::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(Op::kReplica));
+      w.bytes(
+          std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
+      w.u64(rec.version);
+      w.lp_bytes(rec.value);
+      node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+                 w.take());
+      ++stats_.handoffs;
+    }
+  }
+  republish_timer_ = node_.host().loop().schedule_after(
+      cfg_.republish_interval, [this] { republish_tick(); });
+}
+
+}  // namespace ipop::brunet

@@ -1,0 +1,79 @@
+// DHT over the structured overlay (closest-node storage + replication).
+//
+// The paper's Section III-E ("Brunet-ARP") needs exactly this: the
+// IP-to-node binding for virtual IP D is stored at the node whose address
+// is closest to SHA1(D) — the "Brunet-ARP-Mapper".  Values are replicated
+// to ring neighbors and handed off when ring membership shifts, the
+// standard DHT remedies the paper cites from the Chord/Tapestry/CAN
+// literature.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "brunet/node.hpp"
+
+namespace ipop::brunet {
+
+struct DhtConfig {
+  /// Copies kept on ring neighbors in addition to the owner.
+  std::size_t replicas = 2;
+  /// Records expire unless refreshed (mobility updates refresh them).
+  Duration record_ttl = util::seconds(600);
+  Duration republish_interval = util::seconds(5);
+};
+
+struct DhtStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stored = 0;
+  std::uint64_t handoffs = 0;
+};
+
+class Dht {
+ public:
+  using Key = Address;
+  using PutCallback = std::function<void(bool ok)>;
+  using GetCallback =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+  Dht(BrunetNode& node, DhtConfig cfg = {});
+  ~Dht();
+
+  /// Store value at the node closest to `key` (plus replicas).
+  void put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb);
+  /// Fetch the freshest value for `key` from its owner.
+  void get(const Key& key, GetCallback cb);
+
+  /// Number of records this node currently stores.
+  std::size_t local_records() const { return store_.size(); }
+  const DhtStats& stats() const { return stats_; }
+
+ private:
+  struct Record {
+    std::vector<std::uint8_t> value;
+    TimePoint expires{};
+    std::uint64_t version = 0;  // writer-supplied monotonic stamp
+  };
+
+  enum class Op : std::uint8_t { kPut = 0, kGet = 1, kReplica = 2 };
+
+  void handle_request(const Packet& pkt);
+  void store_record(const Key& key, Record rec);
+  void republish_tick();
+
+  BrunetNode& node_;
+  DhtConfig cfg_;
+  DhtStats stats_;
+  std::map<Key, Record> store_;
+  std::uint64_t version_counter_ = 1;
+  std::uint64_t republish_timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ipop::brunet

@@ -1,0 +1,826 @@
+#include "brunet/node.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ipop::brunet {
+
+namespace {
+bool is_edge_local(PacketType t) {
+  return static_cast<std::uint8_t>(t) < 10;
+}
+bool is_response_type(PacketType t) {
+  switch (t) {
+    case PacketType::kConnectResponse:
+    case PacketType::kNeighborReply:
+    case PacketType::kPingResponse:
+    case PacketType::kDhtResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void NodeInfo::encode(util::ByteWriter& w) const {
+  w.bytes(std::span<const std::uint8_t>(addr.bytes().data(), Address::kBytes));
+  w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(addrs.size(), 8)));
+  for (std::size_t i = 0; i < addrs.size() && i < 8; ++i) {
+    addrs[i].encode(w);
+  }
+}
+
+NodeInfo NodeInfo::decode(util::ByteReader& r) {
+  NodeInfo info;
+  Address::Bytes b{};
+  auto raw = r.bytes(Address::kBytes);
+  std::copy(raw.begin(), raw.end(), b.begin());
+  info.addr = Address(b);
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    info.addrs.push_back(TransportAddress::decode(r));
+  }
+  return info;
+}
+
+BrunetNode::BrunetNode(net::Host& host, Address addr, NodeConfig cfg)
+    : host_(host), addr_(addr), cfg_(cfg), table_(addr) {}
+
+BrunetNode::~BrunetNode() { stop(); }
+
+void BrunetNode::add_seed(TransportAddress ta) { seeds_.push_back(ta); }
+
+void BrunetNode::start() {
+  if (started_) return;
+  started_ = true;
+  if (cfg_.transport == TransportAddress::Proto::kTcp) {
+    tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
+    tcp_->set_inbound_handler(
+        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+  } else {
+    udp_ = std::make_unique<UdpTransport>(host_, cfg_.port);
+    udp_->set_inbound_handler(
+        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+  }
+  maintenance_tick();
+}
+
+void BrunetNode::stop() {
+  if (!started_) return;
+  started_ = false;
+  auto& loop = host_.loop();
+  if (maintenance_timer_ != 0) loop.cancel(maintenance_timer_);
+  for (auto& [id, pr] : pending_requests_) {
+    if (pr.timer != 0) loop.cancel(pr.timer);
+  }
+  pending_requests_.clear();
+  for (auto& [addr, attempt] : linking_) {
+    if (attempt.timer != 0) loop.cancel(attempt.timer);
+  }
+  linking_.clear();
+  // Close all edges (copy: close mutates the table via callbacks).
+  std::vector<std::shared_ptr<Edge>> edges;
+  for (auto& [ptr, e] : edges_) edges.push_back(e);
+  edges_.clear();
+  for (auto& e : edges) {
+    if (e) e->close();
+  }
+  while (!table_.all().empty()) table_.remove(table_.all().front()->addr);
+}
+
+void BrunetNode::record_observed(const TransportAddress& ta) {
+  if (ta.proto != cfg_.transport) return;
+  if (host_.stack().is_local_ip(ta.ip)) return;  // not translated
+  if (!observed_.insert(ta).second) return;
+  IPOP_LOG_DEBUG(addr_.short_hex() << ": learned translated address "
+                                   << ta.to_string());
+  // Our advertised endpoints changed: refresh every peer's view so gossip
+  // carries the dialable (translated) endpoint, not just the private one.
+  broadcast_identity();
+}
+
+void BrunetNode::broadcast_identity() {
+  Packet ping;
+  ping.type = PacketType::kEdgePing;
+  ping.src = addr_;
+  util::ByteWriter w;
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  ping.payload = w.take();
+  const auto bytes = ping.encode();
+  for (const auto* c : table_.all()) {
+    c->edge->send(bytes);
+  }
+}
+
+std::vector<TransportAddress> BrunetNode::local_addresses() const {
+  std::vector<TransportAddress> out;
+  const auto proto = cfg_.transport;
+  for (std::size_t i = 0; i < host_.stack().interface_count(); ++i) {
+    // The tap interface belongs to the *virtual* network; advertising it
+    // would invite peers to dial through the tunnel they are building.
+    if (host_.stack().interface_name(i).starts_with("tap")) continue;
+    const auto ip = host_.stack().interface_ip(i);
+    if (ip.is_unspecified()) continue;
+    out.push_back({proto, ip, cfg_.port});
+  }
+  for (const auto& obs : observed_) {
+    if (std::find(out.begin(), out.end(), obs) == out.end()) {
+      out.push_back(obs);
+    }
+  }
+  if (out.size() > 8) out.resize(8);
+  return out;
+}
+
+std::optional<Address> BrunetNode::left_neighbor() const {
+  auto v = table_.left_neighbors(1);
+  if (v.empty()) return std::nullopt;
+  return v.front()->addr;
+}
+
+std::optional<Address> BrunetNode::right_neighbor() const {
+  auto v = table_.right_neighbors(1);
+  if (v.empty()) return std::nullopt;
+  return v.front()->addr;
+}
+
+// ---------------------------------------------------------------------------
+// Edge plumbing
+// ---------------------------------------------------------------------------
+
+void BrunetNode::adopt_edge(const std::shared_ptr<Edge>& edge) {
+  edge->touch(host_.loop().now());
+  edges_.emplace(edge.get(), edge);
+  edge->set_receive_handler(
+      [this, e = edge.get()](std::vector<std::uint8_t> bytes) {
+        // Resolve the owning shared_ptr without creating a ref cycle.
+        auto it = edges_.find(e);
+        if (it != edges_.end()) on_edge_packet(it->second, std::move(bytes));
+      });
+  edge->set_close_handler([this, e = edge.get()] { on_edge_closed(e); });
+}
+
+void BrunetNode::on_edge_packet(const std::shared_ptr<Edge>& edge,
+                                std::vector<std::uint8_t> bytes) {
+  if (!started_) return;
+  // User-level packet processing competes for the host CPU: this single
+  // charge is what turns loaded Planet-Lab routers into seconds of delay.
+  host_.cpu().run(cfg_.cpu_per_packet,
+                  [this, edge, bytes = std::move(bytes)]() mutable {
+                    if (!started_) return;
+                    Packet pkt;
+                    try {
+                      pkt = Packet::decode(bytes);
+                    } catch (const util::ParseError&) {
+                      return;
+                    }
+                    process_packet(edge, std::move(pkt));
+                  });
+}
+
+void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
+                                Packet pkt) {
+  if (is_edge_local(pkt.type)) {
+    switch (pkt.type) {
+      case PacketType::kLinkRequest:
+        handle_link_request(edge, pkt);
+        break;
+      case PacketType::kLinkResponse:
+        handle_link_response(edge, pkt);
+        break;
+      case PacketType::kEdgePing:
+        handle_edge_ping(edge, pkt);
+        break;
+      case PacketType::kEdgePong:
+        handle_edge_pong(edge, pkt);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  route(std::move(pkt), /*from_transit=*/true);
+}
+
+void BrunetNode::on_edge_closed(Edge* edge) {
+  edges_.erase(edge);
+  if (const Connection* c = table_.find_by_edge(edge)) {
+    IPOP_LOG_DEBUG(addr_.short_hex() << ": lost edge to "
+                                     << c->addr.short_hex());
+    ++stats_.edges_closed;
+    table_.remove(c->addr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
+                      std::vector<std::uint8_t> payload, std::uint32_t msg_id) {
+  Packet pkt;
+  pkt.type = type;
+  pkt.mode = mode;
+  pkt.ttl = cfg_.default_ttl;
+  pkt.msg_id = msg_id;
+  pkt.src = addr_;
+  pkt.dst = dst;
+  pkt.payload = std::move(payload);
+  route(std::move(pkt), /*from_transit=*/false);
+}
+
+void BrunetNode::route(Packet pkt, bool from_transit) {
+  if (from_transit) {
+    if (pkt.hops >= pkt.ttl) {
+      ++stats_.dropped_ttl;
+      return;
+    }
+    ++pkt.hops;
+  } else {
+    ++stats_.originated;
+  }
+
+  if (pkt.dst == addr_) {
+    deliver(pkt);
+    return;
+  }
+  // Never route a packet back toward its source (unless the destination
+  // *is* the source, e.g. a response).
+  const Address* exclude = (pkt.dst != pkt.src) ? &pkt.src : nullptr;
+  const Connection* best = table_.closest_to(pkt.dst, exclude);
+  const bool have_closer =
+      best != nullptr && Address::closer(pkt.dst, best->addr, addr_);
+  if (!have_closer) {
+    if (pkt.mode == RoutingMode::kClosest) {
+      deliver(pkt);
+    } else if (best == nullptr) {
+      ++stats_.dropped_no_route;
+    } else {
+      ++stats_.dropped_exact;
+    }
+    return;
+  }
+  if (from_transit) ++stats_.forwarded;
+  best->edge->send(pkt.encode());
+}
+
+void BrunetNode::deliver(const Packet& pkt) {
+  ++stats_.delivered;
+  // Response correlation first.
+  if (is_response_type(pkt.type)) {
+    auto it = pending_requests_.find(pkt.msg_id);
+    if (it != pending_requests_.end()) {
+      auto pr = std::move(it->second);
+      pending_requests_.erase(it);
+      if (pr.timer != 0) host_.loop().cancel(pr.timer);
+      if (pr.cb) pr.cb(pkt);
+      return;
+    }
+  }
+  switch (pkt.type) {
+    case PacketType::kConnectRequest:
+      handle_connect_request(pkt);
+      return;
+    case PacketType::kNeighborQuery:
+      handle_neighbor_query(pkt);
+      return;
+    case PacketType::kPing:
+      respond(pkt, PacketType::kPingResponse, pkt.payload);
+      return;
+    default:
+      break;
+  }
+  auto it = handlers_.find(pkt.type);
+  if (it != handlers_.end() && it->second) {
+    it->second(pkt);
+  }
+}
+
+void BrunetNode::set_handler(PacketType type, PacketHandler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void BrunetNode::request(Address dst, PacketType type, RoutingMode mode,
+                         std::vector<std::uint8_t> payload,
+                         ResponseCallback cb) {
+  const std::uint32_t id = next_msg_id();
+  PendingRequest pr;
+  pr.cb = std::move(cb);
+  pr.timer = host_.loop().schedule_after(cfg_.request_timeout, [this, id] {
+    auto it = pending_requests_.find(id);
+    if (it == pending_requests_.end()) return;
+    auto cb2 = std::move(it->second.cb);
+    pending_requests_.erase(it);
+    if (cb2) cb2(std::nullopt);
+  });
+  pending_requests_.emplace(id, std::move(pr));
+  send(dst, type, mode, std::move(payload), id);
+}
+
+void BrunetNode::respond(const Packet& req, PacketType type,
+                         std::vector<std::uint8_t> payload) {
+  send(req.src, type, RoutingMode::kExact, std::move(payload), req.msg_id);
+}
+
+// ---------------------------------------------------------------------------
+// Link handshake
+// ---------------------------------------------------------------------------
+
+void BrunetNode::send_link_request(const std::shared_ptr<Edge>& edge,
+                                   ConnectionType type) {
+  Packet pkt;
+  pkt.type = PacketType::kLinkRequest;
+  pkt.src = addr_;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  edge->remote().encode(w);  // "this is where I believe you are"
+  pkt.payload = w.take();
+  edge->send(pkt.encode());
+}
+
+void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
+                                     const Packet& pkt) {
+  ConnectionType type;
+  NodeInfo sender;
+  TransportAddress my_observed;
+  try {
+    util::ByteReader r(pkt.payload);
+    type = static_cast<ConnectionType>(r.u8());
+    sender = NodeInfo::decode(r);
+    my_observed = TransportAddress::decode(r);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  record_observed(my_observed);
+  Connection conn{sender.addr, edge, type, sender.addrs};
+  conn.peer_requested_near = (type == ConnectionType::kStructuredNear);
+  table_.add(conn);
+  ++stats_.edges_opened;
+  auto link = linking_.find(sender.addr);
+  if (link != linking_.end()) {
+    if (link->second.timer != 0) host_.loop().cancel(link->second.timer);
+    linking_.erase(link);
+  }
+  // Identify ourselves back; tell the peer where we see it.
+  Packet resp;
+  resp.type = PacketType::kLinkResponse;
+  resp.src = addr_;
+  resp.dst = sender.addr;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  edge->remote().encode(w);
+  resp.payload = w.take();
+  edge->send(resp.encode());
+  IPOP_LOG_DEBUG(addr_.short_hex() << ": accepted link from "
+                                   << sender.addr.short_hex() << " ("
+                                   << connection_type_name(type) << ")");
+}
+
+void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
+                                      const Packet& pkt) {
+  ConnectionType type;
+  NodeInfo sender;
+  TransportAddress my_observed;
+  try {
+    util::ByteReader r(pkt.payload);
+    type = static_cast<ConnectionType>(r.u8());
+    sender = NodeInfo::decode(r);
+    my_observed = TransportAddress::decode(r);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  record_observed(my_observed);
+  auto link = linking_.find(sender.addr);
+  if (link != linking_.end()) {
+    type = link->second.type;
+    if (link->second.timer != 0) host_.loop().cancel(link->second.timer);
+    linking_.erase(link);
+  }
+  table_.add(Connection{sender.addr, edge, type, sender.addrs});
+  ++stats_.edges_opened;
+  IPOP_LOG_DEBUG(addr_.short_hex() << ": link established to "
+                                   << sender.addr.short_hex());
+}
+
+void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
+                                  const Packet& pkt) {
+  if (!pkt.payload.empty()) {
+    try {
+      util::ByteReader r(pkt.payload);
+      NodeInfo info = NodeInfo::decode(r);
+      // Refresh the peer's advertised endpoints (it may have just learned
+      // its translated address).
+      table_.add(Connection{info.addr, edge, ConnectionType::kLeaf,
+                            info.addrs});
+    } catch (const util::ParseError&) {
+    }
+  }
+  Packet pong;
+  pong.type = PacketType::kEdgePong;
+  pong.src = addr_;
+  pong.dst = pkt.src;
+  util::ByteWriter w;
+  edge->remote().encode(w);
+  pong.payload = w.take();
+  edge->send(pong.encode());
+}
+
+void BrunetNode::handle_edge_pong(const std::shared_ptr<Edge>& /*edge*/,
+                                  const Packet& pkt) {
+  try {
+    util::ByteReader r(pkt.payload);
+    record_observed(TransportAddress::decode(r));
+  } catch (const util::ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linker (connection establishment, NAT traversal)
+// ---------------------------------------------------------------------------
+
+void BrunetNode::connect_to(const Address& target,
+                            const std::vector<TransportAddress>& candidates,
+                            ConnectionType type) {
+  if (!started_ || target == addr_) return;
+  if (const Connection* existing = table_.find(target)) {
+    // Already connected: upgrade the classification if needed.
+    Connection upgrade;
+    upgrade.addr = target;
+    upgrade.edge = existing->edge;
+    upgrade.type = type;
+    table_.add(upgrade);
+    return;
+  }
+  auto [it, inserted] = linking_.try_emplace(target);
+  if (!inserted) return;  // attempt already running
+  LinkAttempt& attempt = it->second;
+  attempt.type = type;
+  attempt.attempts_left = cfg_.link_attempts;
+  for (const auto& ta : candidates) {
+    if (ta.proto != cfg_.transport) continue;
+    if (std::find(attempt.candidates.begin(), attempt.candidates.end(), ta) ==
+        attempt.candidates.end()) {
+      attempt.candidates.push_back(ta);
+    }
+  }
+  if (attempt.candidates.empty()) {
+    linking_.erase(it);
+    return;
+  }
+  link_retry_tick(target);
+}
+
+void BrunetNode::link_retry_tick(Address target) {
+  auto it = linking_.find(target);
+  if (it == linking_.end() || !started_) return;
+  LinkAttempt& attempt = it->second;
+  if (table_.contains(target)) {
+    linking_.erase(it);
+    return;
+  }
+  if (attempt.attempts_left-- <= 0) {
+    IPOP_LOG_DEBUG(addr_.short_hex() << ": link to " << target.short_hex()
+                                     << " failed (no response)");
+    linking_.erase(it);
+    return;
+  }
+  const ConnectionType type = attempt.type;
+  for (const auto& ta : attempt.candidates) {
+    if (cfg_.transport == TransportAddress::Proto::kUdp) {
+      auto edge = udp_->edge_to(ta.ip, ta.port);
+      if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
+      send_link_request(edge, type);
+    } else {
+      tcp_->connect(ta.ip, ta.port,
+                    [this, target, type](std::shared_ptr<Edge> edge) {
+                      if (edge == nullptr || !started_) return;
+                      if (linking_.find(target) == linking_.end() &&
+                          table_.contains(target)) {
+                        edge->close();  // race: already linked elsewhere
+                        return;
+                      }
+                      adopt_edge(edge);
+                      send_link_request(edge, type);
+                    });
+    }
+  }
+  attempt.timer = host_.loop().schedule_after(
+      cfg_.link_retry, [this, target] { link_retry_tick(target); });
+}
+
+// ---------------------------------------------------------------------------
+// Ring maintenance
+// ---------------------------------------------------------------------------
+
+void BrunetNode::maintenance_tick() {
+  if (!started_) return;
+  bootstrap();
+  if (table_.size() > 0) {
+    if (table_.count(ConnectionType::kStructuredNear) <
+        2 * cfg_.near_per_side) {
+      locate_ring_position();
+    }
+    stabilize();
+    table_.reclassify(cfg_.near_per_side);
+    maintain_shortcuts();
+    trim_connections();
+  }
+  keepalive();
+  // Jittered periodic tick keeps nodes from synchronizing.
+  const double jitter = 0.9 + 0.2 * host_.stack().rng().uniform();
+  const auto interval = util::Duration{static_cast<std::int64_t>(
+      static_cast<double>(cfg_.maintenance_interval.count()) * jitter)};
+  maintenance_timer_ =
+      host_.loop().schedule_after(interval, [this] { maintenance_tick(); });
+}
+
+void BrunetNode::bootstrap() {
+  if (table_.size() > 0 || seeds_.empty()) return;
+  for (const auto& seed : seeds_) {
+    if (seed.proto != cfg_.transport) continue;
+    // Do not dial ourselves.
+    if (host_.stack().is_local_ip(seed.ip) && seed.port == cfg_.port) continue;
+    if (cfg_.transport == TransportAddress::Proto::kUdp) {
+      auto edge = udp_->edge_to(seed.ip, seed.port);
+      if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
+      send_link_request(edge, ConnectionType::kLeaf);
+    } else {
+      tcp_->connect(seed.ip, seed.port,
+                    [this](std::shared_ptr<Edge> edge) {
+                      if (edge == nullptr || !started_) return;
+                      adopt_edge(edge);
+                      send_link_request(edge, ConnectionType::kLeaf);
+                    });
+    }
+  }
+}
+
+void BrunetNode::locate_ring_position() {
+  const Connection* via = table_.closest_to(addr_);
+  if (via == nullptr) return;
+  const std::uint32_t id = next_msg_id();
+  PendingRequest pr;
+  pr.cb = [this](std::optional<Packet> resp) {
+    if (!resp) return;
+    try {
+      util::ByteReader r(resp->payload);
+      NodeInfo closest = NodeInfo::decode(r);
+      const std::uint8_t n = r.u8();
+      std::vector<NodeInfo> infos{closest};
+      for (std::uint8_t i = 0; i < n; ++i) {
+        infos.push_back(NodeInfo::decode(r));
+      }
+      consider_candidates(infos);
+    } catch (const util::ParseError&) {
+    }
+  };
+  pr.timer = host_.loop().schedule_after(cfg_.request_timeout, [this, id] {
+    auto it = pending_requests_.find(id);
+    if (it == pending_requests_.end()) return;
+    auto cb = std::move(it->second.cb);
+    pending_requests_.erase(it);
+    if (cb) cb(std::nullopt);
+  });
+  pending_requests_.emplace(id, std::move(pr));
+
+  // Routed toward our own address; first hop is forced outward so the
+  // packet reaches the node currently closest to our ring position.
+  Packet pkt;
+  pkt.type = PacketType::kConnectRequest;
+  pkt.mode = RoutingMode::kClosest;
+  pkt.ttl = cfg_.default_ttl;
+  pkt.hops = 1;
+  pkt.msg_id = id;
+  pkt.src = addr_;
+  pkt.dst = addr_;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ConnectionType::kStructuredNear));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  pkt.payload = w.take();
+  ++stats_.originated;
+  via->edge->send(pkt.encode());
+}
+
+void BrunetNode::handle_connect_request(const Packet& pkt) {
+  ConnectionType type;
+  NodeInfo requester;
+  try {
+    util::ByteReader r(pkt.payload);
+    type = static_cast<ConnectionType>(r.u8());
+    requester = NodeInfo::decode(r);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  connect_to(requester.addr, requester.addrs, type);
+  // Answer with our identity and our current neighborhood so the joiner
+  // discovers its true ring neighbors.
+  util::ByteWriter w;
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  auto infos = neighbor_infos(cfg_.near_per_side);
+  w.u8(static_cast<std::uint8_t>(infos.size()));
+  for (const auto& info : infos) info.encode(w);
+  respond(pkt, PacketType::kConnectResponse, w.take());
+}
+
+void BrunetNode::stabilize() {
+  for (bool left : {false, true}) {
+    auto v = left ? table_.left_neighbors(1) : table_.right_neighbors(1);
+    if (v.empty()) continue;
+    request(v.front()->addr, PacketType::kNeighborQuery, RoutingMode::kExact,
+            {}, [this](std::optional<Packet> resp) {
+              if (!resp) return;
+              try {
+                util::ByteReader r(resp->payload);
+                const std::uint8_t n = r.u8();
+                std::vector<NodeInfo> infos;
+                for (std::uint8_t i = 0; i < n; ++i) {
+                  infos.push_back(NodeInfo::decode(r));
+                }
+                consider_candidates(infos);
+              } catch (const util::ParseError&) {
+              }
+            });
+  }
+}
+
+void BrunetNode::handle_neighbor_query(const Packet& pkt) {
+  util::ByteWriter w;
+  auto infos = neighbor_infos(cfg_.near_per_side);
+  infos.push_back(NodeInfo{addr_, local_addresses()});
+  w.u8(static_cast<std::uint8_t>(infos.size()));
+  for (const auto& info : infos) info.encode(w);
+  respond(pkt, PacketType::kNeighborReply, w.take());
+}
+
+std::vector<NodeInfo> BrunetNode::neighbor_infos(std::size_t k) const {
+  std::vector<NodeInfo> out;
+  auto add = [&](const Connection* c) {
+    for (const auto& existing : out) {
+      if (existing.addr == c->addr) return;
+    }
+    NodeInfo info;
+    info.addr = c->addr;
+    info.addrs = c->advertised;
+    // The endpoint we actually talk to is dialable for cone NATs; gossip
+    // it alongside whatever the peer advertised.
+    const auto live = c->edge->remote();
+    if (std::find(info.addrs.begin(), info.addrs.end(), live) ==
+        info.addrs.end()) {
+      info.addrs.push_back(live);
+    }
+    out.push_back(std::move(info));
+  };
+  for (const auto* c : table_.left_neighbors(k)) add(c);
+  for (const auto* c : table_.right_neighbors(k)) add(c);
+  return out;
+}
+
+void BrunetNode::consider_candidates(const std::vector<NodeInfo>& infos) {
+  for (const auto& info : infos) {
+    if (info.addr == addr_ || table_.contains(info.addr)) continue;
+    if (should_be_near(info.addr)) {
+      connect_to(info.addr, info.addrs, ConnectionType::kStructuredNear);
+    }
+  }
+}
+
+bool BrunetNode::should_be_near(const Address& candidate) const {
+  const auto right_d = Address::directed_distance(addr_, candidate);
+  const auto left_d = Address::directed_distance(candidate, addr_);
+  std::size_t closer_right = 0;
+  std::size_t closer_left = 0;
+  for (const auto* c : table_.all()) {
+    if (compare_bytes(Address::directed_distance(addr_, c->addr), right_d) < 0) {
+      ++closer_right;
+    }
+    if (compare_bytes(Address::directed_distance(c->addr, addr_), left_d) < 0) {
+      ++closer_left;
+    }
+  }
+  return closer_right < cfg_.near_per_side || closer_left < cfg_.near_per_side;
+}
+
+void BrunetNode::maintain_shortcuts() {
+  if (table_.count(ConnectionType::kStructuredFar) >= cfg_.shortcut_target) {
+    return;
+  }
+  if (table_.size() < 2) return;  // too small for shortcuts to matter
+  // Kleinberg-flavoured target: distance ~ 2^bit with bit uniform, giving
+  // a 1/d density over the ring.
+  auto& rng = host_.stack().rng();
+  const int bit = static_cast<int>(rng.uniform_int(16, 158));
+  Address target = addr_.offset_by_pow2(bit);
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ConnectionType::kStructuredFar));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  request(target, PacketType::kConnectRequest, RoutingMode::kClosest, w.take(),
+          [this](std::optional<Packet> resp) {
+            if (!resp) return;
+            try {
+              util::ByteReader r(resp->payload);
+              NodeInfo closest = NodeInfo::decode(r);
+              const std::uint8_t n = r.u8();
+              std::vector<NodeInfo> infos{closest};
+              for (std::uint8_t i = 0; i < n; ++i) {
+                infos.push_back(NodeInfo::decode(r));
+              }
+              consider_candidates(infos);
+            } catch (const util::ParseError&) {
+            }
+          });
+}
+
+void BrunetNode::request_connection(const Address& target,
+                                    ConnectionType type) {
+  if (!started_ || target == addr_ || table_.contains(target)) return;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  request(target, PacketType::kConnectRequest, RoutingMode::kExact, w.take(),
+          [this, type](std::optional<Packet> resp) {
+            if (!resp) return;
+            try {
+              util::ByteReader r(resp->payload);
+              NodeInfo peer = NodeInfo::decode(r);
+              connect_to(peer.addr, peer.addrs, type);
+            } catch (const util::ParseError&) {
+            }
+          });
+}
+
+void BrunetNode::trim_connections() {
+  // A mature node keeps: its near connections, up to shortcut_target far
+  // links, and any link the peer requested as near.  Everything else is
+  // join-time debris; closing it keeps the overlay sparse so routing is
+  // genuinely multi-hop at scale (as in the real Brunet deployments).
+  if (table_.count(ConnectionType::kStructuredNear) <
+      2 * cfg_.near_per_side) {
+    return;  // ring not saturated yet: keep everything
+  }
+  // Copy candidates by value: removals below reshuffle the table.
+  struct Victim {
+    Address addr;
+    std::shared_ptr<Edge> edge;
+  };
+  std::vector<Victim> trimmable;
+  for (const auto* c : table_.all()) {
+    if (c->type == ConnectionType::kStructuredNear) continue;
+    if (c->type == ConnectionType::kTrafficShortcut) continue;
+    if (c->peer_requested_near) continue;
+    trimmable.push_back({c->addr, c->edge});
+  }
+  if (trimmable.size() <= cfg_.shortcut_target) return;
+  std::sort(trimmable.begin(), trimmable.end(),
+            [](const Victim& a, const Victim& b) {
+              return a.edge->last_received() < b.edge->last_received();
+            });
+  const std::size_t excess = trimmable.size() - cfg_.shortcut_target;
+  for (std::size_t i = 0; i < excess; ++i) {
+    table_.remove(trimmable[i].addr);
+    ++stats_.edges_closed;
+    trimmable[i].edge->close();
+  }
+}
+
+void BrunetNode::keepalive() {
+  const auto now = host_.loop().now();
+  std::vector<Address> dead;
+  std::vector<std::shared_ptr<Edge>> to_ping;
+  for (const auto* c : table_.all()) {
+    const auto idle = now - c->edge->last_received();
+    if (!c->edge->is_up() || idle > cfg_.edge_timeout) {
+      dead.push_back(c->addr);
+    } else if (idle > cfg_.edge_idle_ping) {
+      to_ping.push_back(c->edge);
+    }
+  }
+  for (const auto& addr : dead) {
+    const Connection* c = table_.find(addr);
+    auto edge = c->edge;
+    table_.remove(addr);
+    ++stats_.edges_closed;
+    edge->close();
+  }
+  for (auto& edge : to_ping) {
+    Packet ping;
+    ping.type = PacketType::kEdgePing;
+    ping.src = addr_;
+    edge->send(ping.encode());
+  }
+  // Reap stale edges that are not the table's edge for any connection
+  // (half-open handshakes and losing duplicates).
+  std::vector<std::shared_ptr<Edge>> stale;
+  for (auto& [ptr, e] : edges_) {
+    if (table_.find_by_edge(ptr) != nullptr) continue;
+    if (now - e->last_received() > cfg_.edge_timeout) stale.push_back(e);
+  }
+  for (auto& e : stale) {
+    edges_.erase(e.get());
+    e->close();
+  }
+}
+
+}  // namespace ipop::brunet

@@ -1,0 +1,210 @@
+// BrunetNode: a structured-overlay node (the paper's P2P routing substrate).
+//
+// Responsibilities:
+//  * greedy ring routing (forward to the connection closest to the packet
+//    destination; deliver locally when this node is closest),
+//  * self-configuring ring maintenance: bootstrap from seed endpoints,
+//    locate the ring position with routed ConnectRequests, stabilize near
+//    neighbors by gossiping neighbor lists, grow Kleinberg-style shortcut
+//    connections,
+//  * the linker: decentralized connection establishment with NAT
+//    traversal — both endpoints dial each other's known endpoints
+//    simultaneously (with retries), so one probe always looks like the
+//    response to the other's outbound packet (paper Section III-D),
+//  * translated-address discovery: every link handshake and keepalive
+//    tells the peer which endpoint it is seen as, replacing STUN with a
+//    fully decentralized mechanism,
+//  * edge keepalives and failure detection driving ring self-repair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "brunet/connection_table.hpp"
+#include "brunet/packet.hpp"
+#include "brunet/transport.hpp"
+#include "net/host.hpp"
+
+namespace ipop::brunet {
+
+struct NodeConfig {
+  TransportAddress::Proto transport = TransportAddress::Proto::kUdp;
+  std::uint16_t port = 17001;
+  /// Near (ring-neighbor) connections maintained on each side.
+  std::size_t near_per_side = 2;
+  /// Target number of far/shortcut connections.
+  std::size_t shortcut_target = 2;
+  Duration maintenance_interval = util::milliseconds(500);
+  Duration edge_idle_ping = util::seconds(5);
+  Duration edge_timeout = util::seconds(15);
+  Duration request_timeout = util::seconds(3);
+  Duration link_retry = util::milliseconds(400);
+  int link_attempts = 6;
+  std::uint8_t default_ttl = 32;
+  /// CPU cost charged per received packet (routing is user-level work;
+  /// IPOP raises this to its measured per-packet processing cost).
+  Duration cpu_per_packet = util::microseconds(20);
+};
+
+struct NodeStats {
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_exact = 0;
+  std::uint64_t edges_opened = 0;
+  std::uint64_t edges_closed = 0;
+};
+
+/// Identity + dialable endpoints of a node, gossiped in the maintenance
+/// protocol so peers can run the linker toward it.
+struct NodeInfo {
+  Address addr;
+  std::vector<TransportAddress> addrs;
+
+  void encode(util::ByteWriter& w) const;
+  static NodeInfo decode(util::ByteReader& r);
+};
+
+class BrunetNode {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+  using ResponseCallback = std::function<void(std::optional<Packet>)>;
+
+  BrunetNode(net::Host& host, Address addr, NodeConfig cfg = {});
+  ~BrunetNode();
+
+  BrunetNode(const BrunetNode&) = delete;
+  BrunetNode& operator=(const BrunetNode&) = delete;
+
+  /// Bootstrap endpoint (any existing overlay member).
+  void add_seed(TransportAddress ta);
+  void start();
+  /// Leave the overlay: close every edge and stop timers.
+  void stop();
+  bool started() const { return started_; }
+
+  // --- messaging ---------------------------------------------------------
+  void send(Address dst, PacketType type, RoutingMode mode,
+            std::vector<std::uint8_t> payload, std::uint32_t msg_id = 0);
+  /// Register the handler for an application packet type (kIpTunnel,
+  /// kDhtRequest, kAppData); maintenance types are handled internally.
+  void set_handler(PacketType type, PacketHandler handler);
+  /// Request/response: fresh msg_id, response matched by id; cb receives
+  /// nullopt on timeout.
+  void request(Address dst, PacketType type, RoutingMode mode,
+               std::vector<std::uint8_t> payload, ResponseCallback cb);
+  /// Reply to a received request, echoing its msg_id.
+  void respond(const Packet& req, PacketType type,
+               std::vector<std::uint8_t> payload);
+
+  // --- linker ------------------------------------------------------------
+  /// Establish a direct connection to `target`, dialing all candidates
+  /// (simultaneous-open NAT traversal).  Idempotent while in progress.
+  void connect_to(const Address& target,
+                  const std::vector<TransportAddress>& candidates,
+                  ConnectionType type);
+  /// Ask a known overlay address (whose endpoints we do not know) to link
+  /// with us: a ConnectRequest is routed to it; the target dials back and
+  /// its response gives us its endpoints.  Used by IPOP's traffic-driven
+  /// shortcuts (paper Section V.1).
+  void request_connection(const Address& target, ConnectionType type);
+
+  // --- introspection ------------------------------------------------------
+  const Address& address() const { return addr_; }
+  ConnectionTable& table() { return table_; }
+  const ConnectionTable& table() const { return table_; }
+  net::Host& host() { return host_; }
+  NodeConfig& config() { return cfg_; }
+  const NodeStats& stats() const { return stats_; }
+  /// Local + NAT-observed endpoints, advertised during handshakes.
+  std::vector<TransportAddress> local_addresses() const;
+  std::optional<Address> left_neighbor() const;
+  std::optional<Address> right_neighbor() const;
+
+ private:
+  struct PendingRequest {
+    ResponseCallback cb;
+    std::uint64_t timer = 0;
+  };
+  struct LinkAttempt {
+    std::vector<TransportAddress> candidates;
+    ConnectionType type = ConnectionType::kStructuredNear;
+    int attempts_left = 0;
+    std::uint64_t timer = 0;
+  };
+
+  // Edge plumbing.
+  void adopt_edge(const std::shared_ptr<Edge>& edge);
+  void on_edge_packet(const std::shared_ptr<Edge>& edge,
+                      std::vector<std::uint8_t> bytes);
+  void process_packet(const std::shared_ptr<Edge>& edge, Packet pkt);
+  void on_edge_closed(Edge* edge);
+
+  // Routing.
+  void route(Packet pkt, bool from_transit);
+  void deliver(const Packet& pkt);
+
+  // Link handshake.
+  void send_link_request(const std::shared_ptr<Edge>& edge,
+                         ConnectionType type);
+  void handle_link_request(const std::shared_ptr<Edge>& edge,
+                           const Packet& pkt);
+  void handle_link_response(const std::shared_ptr<Edge>& edge,
+                            const Packet& pkt);
+  void handle_edge_ping(const std::shared_ptr<Edge>& edge, const Packet& pkt);
+  void handle_edge_pong(const std::shared_ptr<Edge>& edge, const Packet& pkt);
+
+  // Ring maintenance.
+  void maintenance_tick();
+  void bootstrap();
+  void locate_ring_position();
+  void stabilize();
+  void reclassify_connections();
+  void maintain_shortcuts();
+  void trim_connections();
+  void keepalive();
+  void handle_connect_request(const Packet& pkt);
+  void handle_neighbor_query(const Packet& pkt);
+  void consider_candidates(const std::vector<NodeInfo>& infos);
+  bool should_be_near(const Address& candidate) const;
+  void link_retry_tick(Address target);
+
+  std::vector<NodeInfo> neighbor_infos(std::size_t k) const;
+  /// Remember a translated endpoint peers observe for us; on new
+  /// discovery, push a refreshed identity to every connection.
+  void record_observed(const TransportAddress& ta);
+  void broadcast_identity();
+  std::uint32_t next_msg_id() { return msg_id_counter_++; }
+
+  net::Host& host_;
+  Address addr_;
+  NodeConfig cfg_;
+  ConnectionTable table_;
+  NodeStats stats_;
+  bool started_ = false;
+
+  std::unique_ptr<TcpTransport> tcp_;
+  std::unique_ptr<UdpTransport> udp_;
+  std::vector<TransportAddress> seeds_;
+  std::set<TransportAddress> observed_;
+
+  // Registry of every adopted edge (handshaken or not).  Ownership here
+  // guarantees the receive-handler lookup succeeds even for duplicate
+  // edges that lost the connection-table race on one side only.
+  std::map<Edge*, std::shared_ptr<Edge>> edges_;
+  std::map<PacketType, PacketHandler> handlers_;
+  std::map<Address, LinkAttempt> linking_;
+  std::map<std::uint32_t, PendingRequest> pending_requests_;
+  std::uint32_t msg_id_counter_ = 1;
+  std::uint64_t maintenance_timer_ = 0;
+};
+
+}  // namespace ipop::brunet

@@ -1,0 +1,57 @@
+#include "brunet/packet.hpp"
+
+namespace ipop::brunet {
+
+const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kLinkRequest: return "LinkRequest";
+    case PacketType::kLinkResponse: return "LinkResponse";
+    case PacketType::kEdgePing: return "EdgePing";
+    case PacketType::kEdgePong: return "EdgePong";
+    case PacketType::kConnectRequest: return "ConnectRequest";
+    case PacketType::kConnectResponse: return "ConnectResponse";
+    case PacketType::kNeighborQuery: return "NeighborQuery";
+    case PacketType::kNeighborReply: return "NeighborReply";
+    case PacketType::kPing: return "Ping";
+    case PacketType::kPingResponse: return "PingResponse";
+    case PacketType::kIpTunnel: return "IpTunnel";
+    case PacketType::kDhtRequest: return "DhtRequest";
+    case PacketType::kDhtResponse: return "DhtResponse";
+    case PacketType::kAppData: return "AppData";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> Packet::encode() const {
+  util::ByteWriter w(kHeaderSize + payload.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(ttl);
+  w.u8(hops);
+  w.u32(msg_id);
+  w.bytes(std::span<const std::uint8_t>(src.bytes().data(), Address::kBytes));
+  w.bytes(std::span<const std::uint8_t>(dst.bytes().data(), Address::kBytes));
+  w.bytes(payload);
+  return w.take();
+}
+
+Packet Packet::decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  Packet p;
+  p.type = static_cast<PacketType>(r.u8());
+  p.mode = static_cast<RoutingMode>(r.u8());
+  p.ttl = r.u8();
+  p.hops = r.u8();
+  p.msg_id = r.u32();
+  Address::Bytes src{}, dst{};
+  auto s = r.bytes(Address::kBytes);
+  std::copy(s.begin(), s.end(), src.begin());
+  auto d = r.bytes(Address::kBytes);
+  std::copy(d.begin(), d.end(), dst.begin());
+  p.src = Address(src);
+  p.dst = Address(dst);
+  p.payload = r.rest_copy();
+  return p;
+}
+
+}  // namespace ipop::brunet

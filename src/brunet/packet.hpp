@@ -1,0 +1,68 @@
+// Brunet P2P packet format.
+//
+// Every message on the overlay — link handshakes, ring maintenance,
+// connection setup, DHT operations and tunneled IP packets (the paper's
+// Figure 3 encapsulation) — is one of these packets.  On the wire a packet
+// rides inside the transport edge (UDP datagram payload or length-framed
+// TCP stream), which itself rides inside the physical IP network; the
+// encapsulated virtual IP packet is the innermost layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "brunet/address.hpp"
+#include "util/bytes.hpp"
+
+namespace ipop::brunet {
+
+enum class PacketType : std::uint8_t {
+  // Edge-local (never routed, ttl ignored).
+  kLinkRequest = 1,   // new edge: sender identifies itself
+  kLinkResponse = 2,  // edge accepted: receiver identifies itself
+  kEdgePing = 3,      // keepalive probe
+  kEdgePong = 4,      // keepalive response; carries observed remote address
+  // Routed.
+  kConnectRequest = 10,   // "please connect to me" (ring join / shortcut)
+  kConnectResponse = 11,  // closest node's neighbor info
+  kNeighborQuery = 12,    // stabilization: ask a peer for its neighbors
+  kNeighborReply = 13,
+  kPing = 20,  // overlay-level echo, for diagnostics
+  kPingResponse = 21,
+  kIpTunnel = 30,  // IPOP: encapsulated virtual IPv4 packet
+  kDhtRequest = 40,
+  kDhtResponse = 41,
+  kAppData = 50,  // generic application payload
+};
+
+const char* packet_type_name(PacketType t);
+
+/// Delivery semantics for routed packets.
+enum class RoutingMode : std::uint8_t {
+  /// Deliver only to the exact destination address; drop if the greedy
+  /// walk ends elsewhere.
+  kExact = 0,
+  /// Deliver to the node closest to the destination (DHT semantics).
+  kClosest = 1,
+};
+
+struct Packet {
+  PacketType type = PacketType::kAppData;
+  RoutingMode mode = RoutingMode::kExact;
+  std::uint8_t ttl = 32;
+  std::uint8_t hops = 0;
+  /// Correlates requests and responses end-to-end.
+  std::uint32_t msg_id = 0;
+  Address src;
+  Address dst;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kHeaderSize = 1 + 1 + 1 + 1 + 4 + 20 + 20;
+
+  std::vector<std::uint8_t> encode() const;
+  static Packet decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace ipop::brunet

@@ -1,0 +1,225 @@
+#include "brunet/transport.hpp"
+
+#include "util/logging.hpp"
+
+namespace ipop::brunet {
+
+// ---------------------------------------------------------------------------
+// TransportAddress
+// ---------------------------------------------------------------------------
+
+std::string TransportAddress::to_string() const {
+  return std::string(proto == Proto::kTcp ? "tcp://" : "udp://") +
+         ip.to_string() + ":" + std::to_string(port);
+}
+
+void TransportAddress::encode(util::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u32(ip.value);
+  w.u16(port);
+}
+
+TransportAddress TransportAddress::decode(util::ByteReader& r) {
+  TransportAddress t;
+  t.proto = static_cast<Proto>(r.u8());
+  t.ip = net::Ipv4Address(r.u32());
+  t.port = r.u16();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// TcpEdge
+// ---------------------------------------------------------------------------
+
+TcpEdge::TcpEdge(sim::EventLoop& loop, std::shared_ptr<net::TcpSocket> sock)
+    : loop_(loop), sock_(std::move(sock)) {}
+
+void TcpEdge::attach() {
+  auto self = shared_from_this();
+  sock_->on_readable = [self] { self->pump(); };
+  sock_->on_closed = [self](const std::string&) {
+    self->up_ = false;
+    self->notify_closed();
+  };
+  sock_->on_writable = [self] {
+    // Flush any backlog that did not fit the socket buffer.
+    if (!self->tx_backlog_.empty()) {
+      const std::size_t n = self->sock_->send(self->tx_backlog_);
+      self->tx_backlog_.erase(self->tx_backlog_.begin(),
+                              self->tx_backlog_.begin() + n);
+    }
+  };
+}
+
+void TcpEdge::send(std::vector<std::uint8_t> bytes) {
+  if (!up_) return;
+  ++tx_;
+  util::ByteWriter w(4 + bytes.size());
+  w.u32(static_cast<std::uint32_t>(bytes.size()));
+  w.bytes(bytes);
+  auto framed = w.take();
+  if (!tx_backlog_.empty()) {
+    tx_backlog_.insert(tx_backlog_.end(), framed.begin(), framed.end());
+    return;
+  }
+  const std::size_t n = sock_->send(framed);
+  if (n < framed.size()) {
+    tx_backlog_.assign(framed.begin() + n, framed.end());
+  }
+}
+
+void TcpEdge::pump() {
+  while (true) {
+    auto chunk = sock_->receive(64 * 1024);
+    if (chunk.empty()) break;
+    rx_buf_.insert(rx_buf_.end(), chunk.begin(), chunk.end());
+  }
+  // Extract complete frames.
+  std::size_t pos = 0;
+  while (rx_buf_.size() - pos >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(rx_buf_[pos]) << 24 |
+                              static_cast<std::uint32_t>(rx_buf_[pos + 1]) << 16 |
+                              static_cast<std::uint32_t>(rx_buf_[pos + 2]) << 8 |
+                              static_cast<std::uint32_t>(rx_buf_[pos + 3]);
+    if (rx_buf_.size() - pos - 4 < len) break;
+    std::vector<std::uint8_t> frame(rx_buf_.begin() + pos + 4,
+                                    rx_buf_.begin() + pos + 4 + len);
+    pos += 4 + len;
+    deliver(loop_.now(), std::move(frame));
+  }
+  rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + pos);
+  if (sock_->eof() && up_) {
+    up_ = false;
+    sock_->close();
+    notify_closed();
+  }
+}
+
+void TcpEdge::close() {
+  if (!up_) return;
+  up_ = false;
+  sock_->close();
+  notify_closed();
+}
+
+TransportAddress TcpEdge::remote() const {
+  return {TransportAddress::Proto::kTcp, sock_->remote_ip(),
+          sock_->remote_port()};
+}
+
+// ---------------------------------------------------------------------------
+// UdpEdge
+// ---------------------------------------------------------------------------
+
+void UdpEdge::send(std::vector<std::uint8_t> bytes) {
+  if (!up_ || transport_ == nullptr) return;
+  ++tx_;
+  transport_->send_to(ip_, port_, std::move(bytes));
+}
+
+void UdpEdge::close() {
+  if (!up_) return;
+  up_ = false;
+  if (transport_ != nullptr) {
+    auto* t = transport_;
+    transport_ = nullptr;
+    t->remove_edge(ip_, port_);
+  }
+  notify_closed();
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(net::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  net::TcpConfig cfg;
+  cfg.nagle = true;  // match the .NET socket default of the prototype
+  listener_ = host_.stack().tcp_listen(port_, cfg);
+  if (listener_ != nullptr) {
+    listener_->set_accept_handler([this](std::shared_ptr<net::TcpSocket> s) {
+      auto edge = std::make_shared<TcpEdge>(host_.loop(), std::move(s));
+      edge->attach();
+      if (on_inbound_) on_inbound_(edge);
+    });
+  }
+}
+
+void TcpTransport::connect(net::Ipv4Address ip, std::uint16_t port,
+                           ConnectCallback cb) {
+  net::TcpConfig cfg;
+  cfg.syn_retries = 3;  // fail reasonably fast behind firewalls
+  cfg.nagle = true;     // match the .NET socket default of the prototype
+  auto sock = host_.stack().tcp_connect(ip, port, cfg);
+  if (sock == nullptr) {
+    cb(nullptr);
+    return;
+  }
+  // Share state between the two callbacks.
+  auto done = std::make_shared<bool>(false);
+  auto cbp = std::make_shared<ConnectCallback>(std::move(cb));
+  sock->on_connected = [this, sock, done, cbp] {
+    if (*done) return;
+    *done = true;
+    auto edge = std::make_shared<TcpEdge>(host_.loop(), sock);
+    edge->attach();
+    (*cbp)(edge);
+  };
+  sock->on_closed = [done, cbp](const std::string&) {
+    if (*done) return;
+    *done = true;
+    (*cbp)(nullptr);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// UdpTransport
+// ---------------------------------------------------------------------------
+
+UdpTransport::UdpTransport(net::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  sock_ = host_.stack().udp_bind(port_);
+  if (sock_ != nullptr) {
+    sock_->set_receive_handler(
+        [this](net::Ipv4Address src, std::uint16_t sport,
+               std::vector<std::uint8_t> data) {
+          on_datagram(src, sport, std::move(data));
+        });
+  }
+}
+
+std::shared_ptr<Edge> UdpTransport::edge_to(net::Ipv4Address ip,
+                                            std::uint16_t port) {
+  auto key = std::pair{ip, port};
+  auto it = edges_.find(key);
+  if (it != edges_.end()) return it->second;
+  auto edge = std::make_shared<UdpEdge>(this, ip, port);
+  edges_[key] = edge;
+  return edge;
+}
+
+void UdpTransport::on_datagram(net::Ipv4Address src, std::uint16_t sport,
+                               std::vector<std::uint8_t> data) {
+  auto key = std::pair{src, sport};
+  auto it = edges_.find(key);
+  if (it == edges_.end()) {
+    auto edge = std::make_shared<UdpEdge>(this, src, sport);
+    edges_[key] = edge;
+    if (on_inbound_) on_inbound_(edge);
+    edge->deliver(host_.loop().now(), std::move(data));
+    return;
+  }
+  it->second->deliver(host_.loop().now(), std::move(data));
+}
+
+void UdpTransport::send_to(net::Ipv4Address ip, std::uint16_t port,
+                           std::vector<std::uint8_t> data) {
+  if (sock_ != nullptr) sock_->send_to(ip, port, std::move(data));
+}
+
+void UdpTransport::remove_edge(net::Ipv4Address ip, std::uint16_t port) {
+  edges_.erase(std::pair{ip, port});
+}
+
+}  // namespace ipop::brunet

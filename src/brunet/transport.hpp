@@ -1,0 +1,191 @@
+// Transport edges: the point-to-point legs of the overlay.
+//
+// Brunet can run over TCP or UDP (the paper evaluates both modes in Tables
+// I-III).  A TcpEdge frames packets onto a TCP stream with a length
+// prefix; UdpEdges share one UDP socket per node and are demultiplexed by
+// remote endpoint.  UDP edges come up as soon as a packet arrives from the
+// remote — exactly the property the decentralized NAT traversal of Section
+// III-D exploits (both sides fire probes; whichever direction the NAT
+// admits brings the edge up).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "util/time.hpp"
+
+namespace ipop::brunet {
+
+using util::Duration;
+using util::TimePoint;
+
+struct TransportAddress {
+  enum class Proto : std::uint8_t { kTcp = 0, kUdp = 1 };
+  Proto proto = Proto::kUdp;
+  net::Ipv4Address ip;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  void encode(util::ByteWriter& w) const;
+  static TransportAddress decode(util::ByteReader& r);
+
+  friend bool operator==(const TransportAddress&,
+                         const TransportAddress&) = default;
+  friend auto operator<=>(const TransportAddress&,
+                          const TransportAddress&) = default;
+};
+
+/// A bidirectional packet pipe to one remote node.
+class Edge {
+ public:
+  using ReceiveHandler = std::function<void(std::vector<std::uint8_t>)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~Edge() = default;
+  virtual void send(std::vector<std::uint8_t> bytes) = 0;
+  virtual void close() = 0;
+  virtual TransportAddress remote() const = 0;
+  virtual bool is_up() const = 0;
+
+  void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
+  void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
+
+  TimePoint last_received() const { return last_received_; }
+  /// Reset the activity clock (called when a node adopts the edge so a
+  /// fresh edge is not immediately reaped by the keepalive sweep).
+  void touch(TimePoint now) { last_received_ = now; }
+  std::uint64_t packets_sent() const { return tx_; }
+  std::uint64_t packets_received() const { return rx_; }
+
+ protected:
+  void deliver(TimePoint now, std::vector<std::uint8_t> bytes) {
+    last_received_ = now;
+    ++rx_;
+    if (on_receive_) on_receive_(std::move(bytes));
+  }
+  void notify_closed() {
+    if (on_close_) {
+      auto cb = std::move(on_close_);
+      on_close_ = nullptr;
+      cb();
+    }
+  }
+
+  ReceiveHandler on_receive_;
+  CloseHandler on_close_;
+  TimePoint last_received_{};
+  std::uint64_t tx_ = 0;
+  std::uint64_t rx_ = 0;
+};
+
+/// TCP edge: length-prefixed packets over a stream socket.
+class TcpEdge : public Edge, public std::enable_shared_from_this<TcpEdge> {
+ public:
+  TcpEdge(sim::EventLoop& loop, std::shared_ptr<net::TcpSocket> sock);
+
+  void send(std::vector<std::uint8_t> bytes) override;
+  void close() override;
+  TransportAddress remote() const override;
+  bool is_up() const override { return up_; }
+
+  /// Wire the socket callbacks; call once after construction.
+  void attach();
+
+ private:
+  void pump();
+
+  sim::EventLoop& loop_;
+  std::shared_ptr<net::TcpSocket> sock_;
+  std::vector<std::uint8_t> rx_buf_;
+  std::vector<std::uint8_t> tx_backlog_;  // bytes the socket couldn't take
+  bool up_ = true;
+};
+
+class UdpTransport;
+
+/// UDP edge: one remote endpoint over the node's shared UDP socket.
+class UdpEdge : public Edge {
+ public:
+  UdpEdge(UdpTransport* transport, net::Ipv4Address ip, std::uint16_t port)
+      : transport_(transport), ip_(ip), port_(port) {}
+
+  void send(std::vector<std::uint8_t> bytes) override;
+  void close() override;
+  TransportAddress remote() const override {
+    return {TransportAddress::Proto::kUdp, ip_, port_};
+  }
+  bool is_up() const override { return up_; }
+
+ private:
+  friend class UdpTransport;
+  UdpTransport* transport_;
+  net::Ipv4Address ip_;
+  std::uint16_t port_;
+  bool up_ = true;
+};
+
+/// Accepts and dials TCP edges for one node.
+class TcpTransport {
+ public:
+  using EdgeHandler = std::function<void(std::shared_ptr<Edge>)>;
+  using ConnectCallback = std::function<void(std::shared_ptr<Edge>)>;
+
+  TcpTransport(net::Host& host, std::uint16_t port);
+
+  void set_inbound_handler(EdgeHandler h) { on_inbound_ = std::move(h); }
+  /// Dial; cb receives nullptr on failure (refused / timeout / filtered).
+  void connect(net::Ipv4Address ip, std::uint16_t port, ConnectCallback cb);
+  std::uint16_t port() const { return port_; }
+
+ private:
+  net::Host& host_;
+  std::uint16_t port_;
+  std::shared_ptr<net::TcpListener> listener_;
+  EdgeHandler on_inbound_;
+};
+
+/// Owns the node's UDP socket and demultiplexes edges by remote endpoint.
+class UdpTransport {
+ public:
+  using EdgeHandler = std::function<void(std::shared_ptr<Edge>)>;
+
+  UdpTransport(net::Host& host, std::uint16_t port);
+
+  void set_inbound_handler(EdgeHandler h) { on_inbound_ = std::move(h); }
+  /// Find or create the edge to a remote endpoint (creating it sends
+  /// nothing; packets flow when the caller sends).
+  std::shared_ptr<Edge> edge_to(net::Ipv4Address ip, std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+  net::Host& host() { return host_; }
+
+ private:
+  friend class UdpEdge;
+  void on_datagram(net::Ipv4Address src, std::uint16_t sport,
+                   std::vector<std::uint8_t> data);
+  void send_to(net::Ipv4Address ip, std::uint16_t port,
+               std::vector<std::uint8_t> data);
+  void remove_edge(net::Ipv4Address ip, std::uint16_t port);
+
+  net::Host& host_;
+  std::uint16_t port_;
+  std::shared_ptr<net::UdpSocket> sock_;
+  EdgeHandler on_inbound_;
+  std::map<std::pair<net::Ipv4Address, std::uint16_t>,
+           std::shared_ptr<UdpEdge>>
+      edges_;
+};
+
+}  // namespace ipop::brunet
+
+template <>
+struct std::hash<ipop::brunet::TransportAddress> {
+  std::size_t operator()(const ipop::brunet::TransportAddress& t) const noexcept {
+    return (static_cast<std::size_t>(t.ip.value) << 17) ^ t.port ^
+           (static_cast<std::size_t>(t.proto) << 1);
+  }
+};

@@ -1,0 +1,89 @@
+#include "ipop/brunet_arp.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ipop::core {
+
+BrunetArp::BrunetArp(brunet::BrunetNode& node, brunet::Dht& dht,
+                     BrunetArpConfig cfg)
+    : node_(node), dht_(dht), cfg_(cfg) {
+  reregister_timer_ = node_.host().loop().schedule_after(
+      cfg_.reregister_interval, [this] { reregister_tick(); });
+}
+
+BrunetArp::~BrunetArp() {
+  stopped_ = true;
+  if (reregister_timer_ != 0) node_.host().loop().cancel(reregister_timer_);
+}
+
+void BrunetArp::register_ip(net::Ipv4Address vip) {
+  if (std::find(registered_.begin(), registered_.end(), vip) ==
+      registered_.end()) {
+    registered_.push_back(vip);
+  }
+  do_register(vip);
+}
+
+void BrunetArp::do_register(net::Ipv4Address vip) {
+  ++stats_.registrations;
+  const auto& addr = node_.address();
+  std::vector<std::uint8_t> value(addr.bytes().begin(), addr.bytes().end());
+  dht_.put(key_for(vip), std::move(value), [vip](bool ok) {
+    if (!ok) {
+      IPOP_LOG_WARN("Brunet-ARP registration for " << vip.to_string()
+                                                   << " failed");
+    }
+  });
+}
+
+void BrunetArp::unregister_ip(net::Ipv4Address vip) {
+  std::erase(registered_, vip);
+  // The DHT record ages out via TTL; an explicit tombstone is not needed
+  // because a migrated IP re-binds with a newer version immediately.
+}
+
+void BrunetArp::reregister_tick() {
+  if (stopped_) return;
+  for (const auto& vip : registered_) do_register(vip);
+  reregister_timer_ = node_.host().loop().schedule_after(
+      cfg_.reregister_interval, [this] { reregister_tick(); });
+}
+
+void BrunetArp::resolve(net::Ipv4Address vip, ResolveCallback cb) {
+  ++stats_.lookups;
+  const auto now = node_.host().loop().now();
+  auto cached = cache_.find(vip);
+  if (cached != cache_.end() && cached->second.expires > now) {
+    ++stats_.cache_hits;
+    cb(cached->second.addr);
+    return;
+  }
+  auto [it, fresh] = in_flight_.try_emplace(vip);
+  it->second.push_back(std::move(cb));
+  if (!fresh) return;  // lookup already running; coalesce
+
+  dht_.get(key_for(vip), [this, vip](std::optional<std::vector<std::uint8_t>> v) {
+    std::optional<brunet::Address> result;
+    if (v && v->size() == brunet::Address::kBytes) {
+      ++stats_.dht_hits;
+      brunet::Address::Bytes b{};
+      std::copy(v->begin(), v->end(), b.begin());
+      result = brunet::Address(b);
+      cache_[vip] = CacheEntry{*result,
+                               node_.host().loop().now() + cfg_.cache_ttl};
+    } else {
+      ++stats_.dht_misses;
+    }
+    auto waiting = in_flight_.find(vip);
+    if (waiting == in_flight_.end()) return;
+    auto callbacks = std::move(waiting->second);
+    in_flight_.erase(waiting);
+    for (auto& callback : callbacks) callback(result);
+  });
+}
+
+void BrunetArp::invalidate(net::Ipv4Address vip) { cache_.erase(vip); }
+
+}  // namespace ipop::core

@@ -1,0 +1,85 @@
+// Brunet-ARP: DHT-backed virtual-IP -> overlay-address resolution
+// (paper Section III-E, "Multiple IPs and mobility").
+//
+// Classic IPOP maps an IP to the node addressed SHA1(IP), which forces one
+// P2P node per virtual IP.  Brunet-ARP instead *stores* the binding
+// IP -> node-address at the "Brunet-ARP-Mapper" (the node closest to
+// SHA1(IP)), so one IPOP node can route for many virtual IPs (e.g. VMs it
+// hosts) and a migrating VM can re-bind its IP to a new node.  Resolvers
+// cache bindings with a TTL; stale entries age out after migration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "brunet/dht.hpp"
+
+namespace ipop::core {
+
+struct BrunetArpConfig {
+  util::Duration cache_ttl = util::seconds(30);
+  util::Duration reregister_interval = util::seconds(60);
+  /// Packets queued per destination while a lookup is in flight.
+  std::size_t pending_queue_limit = 64;
+};
+
+struct BrunetArpStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dht_hits = 0;
+  std::uint64_t dht_misses = 0;
+  std::uint64_t registrations = 0;
+};
+
+class BrunetArp {
+ public:
+  using ResolveCallback =
+      std::function<void(std::optional<brunet::Address>)>;
+
+  BrunetArp(brunet::BrunetNode& node, brunet::Dht& dht,
+            BrunetArpConfig cfg = {});
+  ~BrunetArp();
+
+  /// Announce that this overlay node routes for `vip` (kept fresh by
+  /// periodic re-registration; calling again after migration re-binds).
+  void register_ip(net::Ipv4Address vip);
+  void unregister_ip(net::Ipv4Address vip);
+
+  /// Resolve a virtual IP to an overlay address (cache, then DHT).
+  void resolve(net::Ipv4Address vip, ResolveCallback cb);
+  /// Drop a cached binding (e.g. after delivery failure).
+  void invalidate(net::Ipv4Address vip);
+
+  const BrunetArpStats& stats() const { return stats_; }
+
+  /// DHT key for a virtual IP: SHA1(ip) == the classic IPOP node address,
+  /// so the mapper for D is exactly the paper's "Brunet-ARP-Mapper".
+  static brunet::Address key_for(net::Ipv4Address vip) {
+    return brunet::Address::from_ip(vip);
+  }
+
+ private:
+  struct CacheEntry {
+    brunet::Address addr;
+    util::TimePoint expires{};
+  };
+
+  void do_register(net::Ipv4Address vip);
+  void reregister_tick();
+
+  brunet::BrunetNode& node_;
+  brunet::Dht& dht_;
+  BrunetArpConfig cfg_;
+  BrunetArpStats stats_;
+  std::map<net::Ipv4Address, CacheEntry> cache_;
+  std::map<net::Ipv4Address, std::vector<ResolveCallback>> in_flight_;
+  std::vector<net::Ipv4Address> registered_;
+  std::uint64_t reregister_timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ipop::core

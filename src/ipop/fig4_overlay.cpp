@@ -1,0 +1,93 @@
+#include "ipop/fig4_overlay.hpp"
+
+namespace ipop::core {
+
+namespace {
+net::Ipv4Address vip_of(const std::string& name) {
+  if (name == "F4") return net::Ipv4Address(172, 16, 0, 2);
+  if (name == "F1") return net::Ipv4Address(172, 16, 0, 3);
+  if (name == "F2") return net::Ipv4Address(172, 16, 0, 4);
+  if (name == "V1") return net::Ipv4Address(172, 16, 0, 18);
+  if (name == "L1") return net::Ipv4Address(172, 16, 0, 20);
+  if (name == "F3") return net::Ipv4Address(172, 16, 0, 51);
+  throw std::out_of_range("unknown machine " + name);
+}
+}  // namespace
+
+const std::vector<std::string>& Fig4Overlay::machine_names() {
+  static const std::vector<std::string> names = {"F1", "F2", "F3",
+                                                 "F4", "V1", "L1"};
+  return names;
+}
+
+net::Host& Fig4Overlay::host(const std::string& name) {
+  if (name == "F1") return *tb_.f1;
+  if (name == "F2") return *tb_.f2;
+  if (name == "F3") return *tb_.f3;
+  if (name == "F4") return *tb_.f4;
+  if (name == "V1") return *tb_.v1;
+  if (name == "L1") return *tb_.l1;
+  throw std::out_of_range("unknown machine " + name);
+}
+
+Fig4Overlay::Fig4Overlay(const Fig4OverlayOptions& opts)
+    : tb_(net::build_fig4(opts.testbed)), opts_(opts) {
+  const brunet::TransportAddress seed{opts.transport, tb_.f3_ip, 17001};
+  for (const auto& name : machine_names()) {
+    IpopConfig cfg;
+    cfg.tap.ip = vip_of(name);
+    cfg.overlay.transport = opts.transport;
+    cfg.overlay.near_per_side = opts.near_per_side;
+    cfg.cpu_per_packet = opts.cpu_per_packet;
+    cfg.sched_latency = opts.sched_latency;
+    cfg.use_brunet_arp = opts.use_brunet_arp;
+    cfg.shortcuts = opts.shortcuts;
+    auto node = std::make_unique<IpopNode>(host(name), cfg);
+    if (name != "F3") node->add_seed(seed);
+    vips_[name] = cfg.tap.ip;
+    nodes_[name] = std::move(node);
+  }
+}
+
+void Fig4Overlay::start_all() {
+  for (auto& [name, node] : nodes_) node->start();
+}
+
+bool Fig4Overlay::converge(util::Duration budget) {
+  auto& loop = tb_.net->loop();
+  const auto deadline = loop.now() + budget;
+  auto full = [&] {
+    for (const auto& [name, node] : nodes_) {
+      if (node->overlay().table().size() + 1 < nodes_.size()) return false;
+    }
+    return true;
+  };
+  while (loop.now() < deadline) {
+    loop.run_until(loop.now() + util::milliseconds(500));
+    if (full()) return true;
+  }
+  return full();
+}
+
+bool Fig4Overlay::link_pair(const std::string& a, const std::string& b,
+                            util::Duration budget) {
+  auto& na = node(a).overlay();
+  auto& nb = node(b).overlay();
+  auto& loop = tb_.net->loop();
+  const auto deadline = loop.now() + budget;
+  while (loop.now() < deadline) {
+    if (na.table().contains(nb.address()) &&
+        nb.table().contains(na.address())) {
+      return true;
+    }
+    na.connect_to(nb.address(), nb.local_addresses(),
+                  brunet::ConnectionType::kStructuredFar);
+    nb.connect_to(na.address(), na.local_addresses(),
+                  brunet::ConnectionType::kStructuredFar);
+    loop.run_until(loop.now() + util::milliseconds(500));
+  }
+  return na.table().contains(nb.address()) &&
+         nb.table().contains(na.address());
+}
+
+}  // namespace ipop::core

@@ -1,0 +1,206 @@
+#include "ipop/node.hpp"
+
+#include "net/arp.hpp"
+#include "util/logging.hpp"
+
+namespace ipop::core {
+
+IpopNode::IpopNode(net::Host& host, IpopConfig cfg)
+    : host_(host), cfg_(std::move(cfg)) {
+  tap_ = std::make_unique<TapDevice>(host_, cfg_.tap);
+  // The overlay node's per-packet CPU charge is IPOP's processing cost:
+  // every forwarded tunnel packet costs this much at every overlay hop.
+  cfg_.overlay.cpu_per_packet = cfg_.cpu_per_packet;
+  overlay_ = std::make_unique<brunet::BrunetNode>(
+      host_, brunet::Address::from_ip(cfg_.tap.ip), cfg_.overlay);
+  dht_ = std::make_unique<brunet::Dht>(*overlay_);
+  if (cfg_.use_brunet_arp) {
+    brunet_arp_ = std::make_unique<BrunetArp>(*overlay_, *dht_,
+                                              cfg_.brunet_arp);
+  }
+  shortcuts_ = std::make_unique<ShortcutManager>(*overlay_, cfg_.shortcuts);
+
+  tap_->set_frame_handler(
+      [this](std::vector<std::uint8_t> f) { on_tap_frame(std::move(f)); });
+  overlay_->set_handler(brunet::PacketType::kIpTunnel,
+                        [this](const brunet::Packet& pkt) {
+                          on_tunnel_packet(pkt);
+                        });
+}
+
+IpopNode::~IpopNode() { stop(); }
+
+void IpopNode::start() {
+  if (started_) return;
+  started_ = true;
+  overlay_->start();
+  if (brunet_arp_ != nullptr) brunet_arp_->register_ip(cfg_.tap.ip);
+}
+
+void IpopNode::stop() {
+  if (!started_) return;
+  started_ = false;
+  overlay_->stop();
+}
+
+void IpopNode::route_for(net::Ipv4Address vip) {
+  if (brunet_arp_ == nullptr) {
+    IPOP_LOG_WARN("route_for(" << vip.to_string()
+                               << ") requires Brunet-ARP mode");
+    return;
+  }
+  extra_ips_.insert(vip);
+  if (auto idx = host_.stack().interface_by_name(cfg_.tap.name)) {
+    host_.stack().add_ip_alias(*idx, vip);
+  }
+  brunet_arp_->register_ip(vip);
+}
+
+void IpopNode::unroute_for(net::Ipv4Address vip) {
+  extra_ips_.erase(vip);
+  if (auto idx = host_.stack().interface_by_name(cfg_.tap.name)) {
+    host_.stack().remove_ip_alias(*idx, vip);
+  }
+  if (brunet_arp_ != nullptr) brunet_arp_->unregister_ip(vip);
+}
+
+bool IpopNode::routes_for(net::Ipv4Address ip) const {
+  return ip == cfg_.tap.ip || extra_ips_.count(ip) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: tap -> overlay
+// ---------------------------------------------------------------------------
+
+void IpopNode::on_tap_frame(std::vector<std::uint8_t> frame) {
+  if (!started_) return;
+  ++metrics_.frames_captured;
+  // User-level capture cost: serial CPU work plus pipelined wakeup latency.
+  host_.cpu().run(cfg_.cpu_per_packet,
+                  [this, frame = std::move(frame)]() mutable {
+                    host_.loop().schedule_after(
+                        cfg_.sched_latency,
+                        [this, frame = std::move(frame)]() mutable {
+                          if (started_) process_captured(std::move(frame));
+                        });
+                  });
+}
+
+void IpopNode::process_captured(std::vector<std::uint8_t> frame) {
+  net::EthernetFrame eth;
+  try {
+    eth = net::EthernetFrame::decode(frame);
+  } catch (const util::ParseError&) {
+    ++metrics_.dropped_parse;
+    return;
+  }
+  switch (eth.type) {
+    case net::EtherType::kArp: {
+      // The static gateway entry normally prevents ARP from reaching us;
+      // contain any stray request by answering locally with the gateway
+      // MAC (defense in depth, as in the prototype).
+      ++metrics_.arp_contained;
+      try {
+        auto req = net::ArpMessage::decode(eth.payload);
+        if (req.op != net::ArpOp::kRequest) return;
+        net::ArpMessage reply;
+        reply.op = net::ArpOp::kReply;
+        reply.sender_mac = tap_->gateway_mac();
+        reply.sender_ip = req.target_ip;
+        reply.target_mac = req.sender_mac;
+        reply.target_ip = req.sender_ip;
+        net::EthernetFrame out;
+        out.dst = req.sender_mac;
+        out.src = tap_->gateway_mac();
+        out.type = net::EtherType::kArp;
+        out.payload = reply.encode();
+        tap_->write_frame(out.encode());
+      } catch (const util::ParseError&) {
+      }
+      return;
+    }
+    case net::EtherType::kIpv4:
+      break;
+    default:
+      ++metrics_.dropped_non_ip;  // non-IP traffic stays inside the host
+      return;
+  }
+
+  net::Ipv4Packet ip;
+  try {
+    ip = net::Ipv4Packet::decode(eth.payload);
+  } catch (const util::ParseError&) {
+    ++metrics_.dropped_parse;
+    return;
+  }
+  if (!cfg_.tap.subnet.contains(ip.hdr.dst)) {
+    ++metrics_.dropped_non_ip;  // not on the virtual network
+    return;
+  }
+  tunnel(ip.hdr.dst, std::move(eth.payload));
+}
+
+void IpopNode::tunnel(net::Ipv4Address dst_ip,
+                      std::vector<std::uint8_t> ip_bytes) {
+  auto send_to = [this](brunet::Address addr,
+                        std::vector<std::uint8_t> bytes) {
+    ++metrics_.packets_tunneled;
+    shortcuts_->note_packet(addr);
+    overlay_->send(addr, brunet::PacketType::kIpTunnel,
+                   brunet::RoutingMode::kExact, std::move(bytes));
+  };
+
+  if (!cfg_.use_brunet_arp) {
+    // Classic IPOP: the destination node *is* SHA1(destination IP).
+    send_to(brunet::Address::from_ip(dst_ip), std::move(ip_bytes));
+    return;
+  }
+  brunet_arp_->resolve(
+      dst_ip, [this, send_to, ip_bytes = std::move(ip_bytes)](
+                  std::optional<brunet::Address> addr) mutable {
+        if (!addr) {
+          ++metrics_.dropped_unresolved;
+          return;
+        }
+        send_to(*addr, std::move(ip_bytes));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: overlay -> tap
+// ---------------------------------------------------------------------------
+
+void IpopNode::on_tunnel_packet(const brunet::Packet& pkt) {
+  // The overlay node already charged the per-packet CPU cost on receive;
+  // only the injection latency remains.
+  auto bytes = pkt.payload;
+  host_.loop().schedule_after(cfg_.sched_latency,
+                              [this, bytes = std::move(bytes)]() mutable {
+                                if (started_) inject(std::move(bytes));
+                              });
+}
+
+void IpopNode::inject(std::vector<std::uint8_t> ip_bytes) {
+  net::Ipv4Packet ip;
+  try {
+    ip = net::Ipv4Packet::decode(ip_bytes);
+  } catch (const util::ParseError&) {
+    ++metrics_.dropped_parse;
+    return;
+  }
+  if (!routes_for(ip.hdr.dst)) {
+    ++metrics_.dropped_not_ours;
+    return;
+  }
+  // Rebuild the Ethernet frame exactly as the paper describes: source is
+  // the gateway's ARP-entry MAC, destination is the host's tap MAC.
+  net::EthernetFrame eth;
+  eth.dst = tap_->kernel_mac();
+  eth.src = tap_->gateway_mac();
+  eth.type = net::EtherType::kIpv4;
+  eth.payload = std::move(ip_bytes);
+  ++metrics_.packets_injected;
+  tap_->write_frame(eth.encode());
+}
+
+}  // namespace ipop::core

@@ -1,0 +1,111 @@
+// IpopNode — the paper's primary contribution (Section III).
+//
+// One IpopNode per host glues three things together:
+//
+//   tap device  <-->  user-level IPOP process  <-->  Brunet overlay
+//
+// Outbound: Ethernet frames the kernel writes to tap0 are captured; ARP is
+// contained locally; the IPv4 payload is extracted, the destination
+// virtual IP resolved to an overlay address (SHA1(ip) classically, or via
+// the Brunet-ARP DHT), and the packet tunneled through the P2P overlay
+// (Figure 3 encapsulation).  Inbound: a tunneled IP packet is unwrapped,
+// rebuilt into an Ethernet frame (src = fictitious gateway MAC, dst = tap
+// MAC) and written back to the tap, where the kernel stack delivers it to
+// unmodified applications.
+//
+// User-level processing is modeled with two calibrated knobs per packet:
+// a serial CPU occupancy (bounds throughput) and a scheduling latency
+// (bounds RTT); both scale with host load.  These reproduce the paper's
+// 6-10 ms single-hop overhead and its 20-30 % LAN throughput ratio, as
+// well as the Planet-Lab collapse at load > 10 (Sections IV-B and IV-D).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "brunet/dht.hpp"
+#include "brunet/node.hpp"
+#include "ipop/brunet_arp.hpp"
+#include "ipop/shortcuts.hpp"
+#include "ipop/tap.hpp"
+
+namespace ipop::core {
+
+struct IpopConfig {
+  TapConfig tap;
+  brunet::NodeConfig overlay;
+  /// Serial CPU occupancy per captured/forwarded packet (user-level
+  /// processing: Mono runtime, encapsulation, copies).
+  util::Duration cpu_per_packet = util::microseconds(240);
+  /// Additional pipelined latency per crossing (process wakeups, tap
+  /// scheduling, double kernel-stack traversal).
+  util::Duration sched_latency = util::microseconds(1330);
+  /// Resolve IP -> overlay address via the Brunet-ARP DHT instead of the
+  /// static SHA1 mapping (enables multi-IP routing and migration).
+  bool use_brunet_arp = false;
+  BrunetArpConfig brunet_arp;
+  ShortcutConfig shortcuts;
+};
+
+struct IpopMetrics {
+  std::uint64_t frames_captured = 0;
+  std::uint64_t packets_tunneled = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t arp_contained = 0;
+  std::uint64_t dropped_non_ip = 0;
+  std::uint64_t dropped_parse = 0;
+  std::uint64_t dropped_unresolved = 0;
+  std::uint64_t dropped_not_ours = 0;
+};
+
+class IpopNode {
+ public:
+  /// The overlay address is SHA1(virtual IP), per the paper.
+  IpopNode(net::Host& host, IpopConfig cfg);
+  ~IpopNode();
+
+  IpopNode(const IpopNode&) = delete;
+  IpopNode& operator=(const IpopNode&) = delete;
+
+  void add_seed(brunet::TransportAddress ta) { overlay_->add_seed(ta); }
+  void start();
+  void stop();
+
+  /// Route for an additional virtual IP (a VM hosted here).  Requires
+  /// Brunet-ARP mode; the binding is published to the DHT and the host
+  /// kernel will accept injected packets for it.
+  void route_for(net::Ipv4Address vip);
+  /// Stop routing for a migrated-away IP.
+  void unroute_for(net::Ipv4Address vip);
+
+  net::Ipv4Address virtual_ip() const { return cfg_.tap.ip; }
+  brunet::BrunetNode& overlay() { return *overlay_; }
+  TapDevice& tap() { return *tap_; }
+  brunet::Dht& dht() { return *dht_; }
+  BrunetArp* brunet_arp() { return brunet_arp_.get(); }
+  ShortcutManager& shortcuts() { return *shortcuts_; }
+  const IpopMetrics& metrics() const { return metrics_; }
+  net::Host& host() { return host_; }
+
+ private:
+  void on_tap_frame(std::vector<std::uint8_t> frame);
+  void process_captured(std::vector<std::uint8_t> frame);
+  void tunnel(net::Ipv4Address dst_ip, std::vector<std::uint8_t> ip_bytes);
+  void on_tunnel_packet(const brunet::Packet& pkt);
+  void inject(std::vector<std::uint8_t> ip_bytes);
+  bool routes_for(net::Ipv4Address ip) const;
+
+  net::Host& host_;
+  IpopConfig cfg_;
+  std::unique_ptr<TapDevice> tap_;
+  std::unique_ptr<brunet::BrunetNode> overlay_;
+  std::unique_ptr<brunet::Dht> dht_;
+  std::unique_ptr<BrunetArp> brunet_arp_;
+  std::unique_ptr<ShortcutManager> shortcuts_;
+  std::set<net::Ipv4Address> extra_ips_;
+  IpopMetrics metrics_;
+  bool started_ = false;
+};
+
+}  // namespace ipop::core

@@ -1,0 +1,25 @@
+#include "ipop/shortcuts.hpp"
+
+namespace ipop::core {
+
+void ShortcutManager::note_packet(const brunet::Address& dst) {
+  if (!cfg_.enabled) return;
+  if (node_.table().contains(dst)) {
+    ++stats_.already_direct;
+    return;  // greedy routing already uses the direct edge
+  }
+  const auto now = node_.host().loop().now();
+  Counter& c = counters_[dst];
+  if (now - c.window_start > cfg_.window) {
+    c.window_start = now;
+    c.count = 0;
+  }
+  if (++c.count < cfg_.threshold) return;
+  if (now - c.last_request < cfg_.retry_backoff) return;
+  c.last_request = now;
+  c.count = 0;
+  ++stats_.requests;
+  node_.request_connection(dst, brunet::ConnectionType::kTrafficShortcut);
+}
+
+}  // namespace ipop::core

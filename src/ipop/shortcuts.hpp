@@ -1,0 +1,56 @@
+// Traffic-triggered shortcut connections (paper Section V.1).
+//
+// The paper proposes monitoring P2P traffic per destination and creating a
+// direct edge once a pair's packet rate crosses a threshold — turning a
+// multi-hop overlay path into 1-hop IP routing while the overlay still
+// provides address resolution and bootstrap.  This manager counts tunneled
+// packets per destination in a sliding window and asks the overlay node to
+// link directly when the threshold trips.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "brunet/node.hpp"
+
+namespace ipop::core {
+
+struct ShortcutConfig {
+  bool enabled = false;
+  /// Packets to one destination within one window that trip a shortcut.
+  std::uint32_t threshold = 32;
+  util::Duration window = util::seconds(10);
+  /// Back-off before re-requesting the same destination.
+  util::Duration retry_backoff = util::seconds(30);
+};
+
+struct ShortcutStats {
+  std::uint64_t requests = 0;
+  std::uint64_t already_direct = 0;
+};
+
+class ShortcutManager {
+ public:
+  ShortcutManager(brunet::BrunetNode& node, ShortcutConfig cfg)
+      : node_(node), cfg_(cfg) {}
+
+  /// Record one tunneled packet toward `dst`; may trigger a connection
+  /// request.
+  void note_packet(const brunet::Address& dst);
+
+  const ShortcutStats& stats() const { return stats_; }
+
+ private:
+  struct Counter {
+    std::uint32_t count = 0;
+    util::TimePoint window_start{};
+    util::TimePoint last_request{};
+  };
+
+  brunet::BrunetNode& node_;
+  ShortcutConfig cfg_;
+  ShortcutStats stats_;
+  std::map<brunet::Address, Counter> counters_;
+};
+
+}  // namespace ipop::core

@@ -1,0 +1,35 @@
+#include "net/arp.hpp"
+
+namespace ipop::net {
+
+std::vector<std::uint8_t> ArpMessage::encode() const {
+  util::ByteWriter w(28);
+  w.u16(1);       // hardware type: Ethernet
+  w.u16(0x0800);  // protocol type: IPv4
+  w.u8(6);        // hardware address length
+  w.u8(4);        // protocol address length
+  w.u16(static_cast<std::uint16_t>(op));
+  w.bytes(std::span<const std::uint8_t>(sender_mac.octets.data(), 6));
+  w.u32(sender_ip.value);
+  w.bytes(std::span<const std::uint8_t>(target_mac.octets.data(), 6));
+  w.u32(target_ip.value);
+  return w.take();
+}
+
+ArpMessage ArpMessage::decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u16() != 1 || r.u16() != 0x0800 || r.u8() != 6 || r.u8() != 4) {
+    throw util::ParseError("unsupported ARP format");
+  }
+  ArpMessage m;
+  m.op = static_cast<ArpOp>(r.u16());
+  auto smac = r.bytes(6);
+  std::copy(smac.begin(), smac.end(), m.sender_mac.octets.begin());
+  m.sender_ip = Ipv4Address(r.u32());
+  auto tmac = r.bytes(6);
+  std::copy(tmac.begin(), tmac.end(), m.target_mac.octets.begin());
+  m.target_ip = Ipv4Address(r.u32());
+  return m;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,34 @@
+// ARP (RFC 826) message codec for IPv4 over Ethernet.
+//
+// On the physical substrate ARP behaves normally.  On the IPOP virtual
+// interface the paper's trick applies: a static ARP entry for a fictitious
+// gateway keeps all ARP traffic inside the host, so only IP packets reach
+// the overlay (Section III-A).  Both behaviours use this codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+enum class ArpOp : std::uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+struct ArpMessage {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // zero in requests
+  Ipv4Address target_ip;
+
+  std::vector<std::uint8_t> encode() const;
+  static ArpMessage decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace ipop::net

@@ -1,0 +1,50 @@
+#include "net/ethernet.hpp"
+
+#include <cstdio>
+
+namespace ipop::net {
+
+MacAddress MacAddress::from_index(std::uint64_t index) {
+  // 0x02 prefix: locally administered, unicast.
+  MacAddress m;
+  m.octets[0] = 0x02;
+  m.octets[1] = 0x1b;
+  for (int i = 0; i < 4; ++i) {
+    m.octets[2 + i] = static_cast<std::uint8_t>(index >> (8 * (3 - i)));
+  }
+  return m;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::vector<std::uint8_t> EthernetFrame::encode() const {
+  util::ByteWriter w(kHeaderSize + payload.size());
+  w.bytes(std::span<const std::uint8_t>(dst.octets.data(), 6));
+  w.bytes(std::span<const std::uint8_t>(src.octets.data(), 6));
+  w.u16(static_cast<std::uint16_t>(type));
+  w.bytes(payload);
+  return w.take();
+}
+
+EthernetFrame Ethernet_frame_decode_impl(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  EthernetFrame f;
+  auto d = r.bytes(6);
+  std::copy(d.begin(), d.end(), f.dst.octets.begin());
+  auto s = r.bytes(6);
+  std::copy(s.begin(), s.end(), f.src.octets.begin());
+  f.type = static_cast<EtherType>(r.u16());
+  f.payload = r.rest_copy();
+  return f;
+}
+
+EthernetFrame EthernetFrame::decode(std::span<const std::uint8_t> bytes) {
+  return Ethernet_frame_decode_impl(bytes);
+}
+
+}  // namespace ipop::net

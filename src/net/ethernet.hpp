@@ -1,0 +1,63 @@
+// Ethernet II framing and MAC addresses.
+//
+// IPOP operates on layer-2 frames: the kernel writes Ethernet frames to the
+// tap device, IPOP extracts the IP payload and contains ARP locally (paper
+// Section III-A).  This header provides the frame codec shared by the host
+// stack, the switch-facing NICs and the tap glue.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ipop::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddress broadcast() {
+    return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+  /// Locally administered unicast MAC derived from a small integer;
+  /// the simulator allocates NIC MACs from a global counter.
+  static MacAddress from_index(std::uint64_t index);
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  std::string to_string() const;
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+};
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  EtherType type = EtherType::kIpv4;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kHeaderSize = 14;
+
+  std::vector<std::uint8_t> encode() const;
+  /// Throws util::ParseError on truncated input.
+  static EthernetFrame decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace ipop::net
+
+template <>
+struct std::hash<ipop::net::MacAddress> {
+  std::size_t operator()(const ipop::net::MacAddress& m) const noexcept {
+    std::size_t h = 0;
+    for (auto b : m.octets) h = h * 131 + b;
+    return h;
+  }
+};

@@ -1,0 +1,90 @@
+#include "net/firewall.hpp"
+
+#include "net/icmp.hpp"
+#include "net/udp.hpp"
+#include "util/logging.hpp"
+
+namespace ipop::net {
+
+Firewall::Firewall(sim::EventLoop& loop, std::string name, StackConfig scfg)
+    : name_(std::move(name)), stack_(loop, name_, scfg) {
+  stack_.set_forwarding(true);
+  stack_.set_forward_hook(
+      [this](const Ipv4Packet& pkt, std::size_t in_if, std::size_t out_if) {
+        return filter(pkt, in_if, out_if);
+      });
+}
+
+std::optional<Firewall::FlowKey> Firewall::flow_of(const Ipv4Packet& pkt) {
+  try {
+    switch (pkt.hdr.proto) {
+      case IpProto::kUdp: {
+        auto d = UdpDatagram::decode(pkt.payload);
+        return FlowKey{pkt.hdr.proto, pkt.hdr.src, d.src_port, pkt.hdr.dst,
+                       d.dst_port};
+      }
+      case IpProto::kTcp: {
+        util::ByteReader r(pkt.payload);
+        const std::uint16_t sport = r.u16();
+        const std::uint16_t dport = r.u16();
+        return FlowKey{pkt.hdr.proto, pkt.hdr.src, sport, pkt.hdr.dst, dport};
+      }
+      case IpProto::kIcmp: {
+        auto m = IcmpMessage::decode(pkt.payload);
+        if (!m.is_echo()) return std::nullopt;
+        return FlowKey{pkt.hdr.proto, pkt.hdr.src, m.id, pkt.hdr.dst, m.id};
+      }
+    }
+  } catch (const util::ParseError&) {
+  }
+  return std::nullopt;
+}
+
+bool Firewall::filter(const Ipv4Packet& pkt, std::size_t in_if,
+                      std::size_t /*out_if*/) {
+  auto flow = flow_of(pkt);
+  if (!flow) return false;
+
+  if (in_if == 0) {
+    // Outbound (inside -> outside): first matching chain rule wins.
+    FwAction action = outbound_default_;
+    for (const auto& [rule_action, rule] : outbound_chain_) {
+      if (rule.matches(flow->proto, flow->a_ip, flow->a_port, flow->b_ip,
+                       flow->b_port)) {
+        action = rule_action;
+        break;
+      }
+    }
+    if (action == FwAction::kDeny) {
+      ++stats_.blocked_out;
+      return false;
+    }
+    conntrack_.insert(*flow);
+    ++stats_.allowed_out;
+    return true;
+  }
+
+  // Inbound (outside -> inside): allow replies to tracked flows.
+  const FlowKey reverse{flow->proto, flow->b_ip, flow->b_port, flow->a_ip,
+                        flow->a_port};
+  if (conntrack_.count(reverse) > 0) {
+    ++stats_.allowed_in_established;
+    return true;
+  }
+  for (const auto& rule : inbound_rules_) {
+    if (rule.matches(flow->proto, flow->a_ip, flow->a_port, flow->b_ip,
+                     flow->b_port)) {
+      // Admit and track so the inside host's replies flow out statefully.
+      conntrack_.insert(*flow);
+      ++stats_.allowed_in_rule;
+      return true;
+    }
+  }
+  ++stats_.blocked_in;
+  IPOP_LOG_DEBUG(name_ << ": blocked inbound " << flow->a_ip.to_string() << ":"
+                       << flow->a_port << " -> " << flow->b_ip.to_string()
+                       << ":" << flow->b_port);
+  return false;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,105 @@
+// Stateful site firewall.
+//
+// Recreates the paper's testbed policy (Figure 4): VFW and LFW block all
+// unsolicited inbound traffic except SSH (port 22) from one designated
+// host, and LFW additionally restricts *outbound* connections to a single
+// peer.  Outbound flows create connection-tracking state; return traffic
+// matching that state is admitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/stack.hpp"
+
+namespace ipop::net {
+
+struct FirewallRule {
+  std::optional<IpProto> proto;        // empty: any
+  std::optional<Ipv4Prefix> src;       // empty: any source
+  std::optional<Ipv4Prefix> dst;       // empty: any destination
+  std::optional<std::uint16_t> dst_port;
+
+  bool matches(IpProto p, Ipv4Address s, std::uint16_t /*sp*/, Ipv4Address d,
+               std::uint16_t dp) const {
+    if (proto && *proto != p) return false;
+    if (src && !src->contains(s)) return false;
+    if (dst && !dst->contains(d)) return false;
+    if (dst_port && *dst_port != dp) return false;
+    return true;
+  }
+};
+
+enum class FwAction { kAllow, kDeny };
+
+struct FirewallStats {
+  std::uint64_t allowed_out = 0;
+  std::uint64_t allowed_in_established = 0;
+  std::uint64_t allowed_in_rule = 0;
+  std::uint64_t blocked_in = 0;
+  std::uint64_t blocked_out = 0;
+};
+
+/// Two-interface stateful firewall router: interface 0 = inside,
+/// interface 1 = outside.
+class Firewall {
+ public:
+  Firewall(sim::EventLoop& loop, std::string name, StackConfig scfg = {});
+
+  Stack& stack() { return stack_; }
+  const std::string& name() const { return name_; }
+  const FirewallStats& stats() const { return stats_; }
+
+  /// Permit unsolicited inbound traffic matching the rule.  (Replies to
+  /// tracked outbound flows are always admitted; everything else is
+  /// denied unless a rule matches.)
+  void allow_inbound(FirewallRule rule) {
+    inbound_rules_.push_back(std::move(rule));
+  }
+
+  /// Outbound policy is an ordered chain: first matching rule wins, the
+  /// default action applies otherwise.  This expresses the paper's LFW
+  /// ("only outgoing *TCP* to F3") as
+  ///   allow(tcp, dst=F3); deny(tcp); default allow.
+  void add_outbound_rule(FwAction action, FirewallRule rule) {
+    outbound_chain_.push_back({action, std::move(rule)});
+  }
+  void set_outbound_default(FwAction action) { outbound_default_ = action; }
+
+  // Legacy conveniences.
+  void set_outbound_default_allow(bool allow) {
+    outbound_default_ = allow ? FwAction::kAllow : FwAction::kDeny;
+  }
+  void allow_outbound(FirewallRule rule) {
+    add_outbound_rule(FwAction::kAllow, std::move(rule));
+  }
+  void deny_outbound(FirewallRule rule) {
+    add_outbound_rule(FwAction::kDeny, std::move(rule));
+  }
+
+ private:
+  struct FlowKey {
+    IpProto proto;
+    Ipv4Address a_ip;
+    std::uint16_t a_port;
+    Ipv4Address b_ip;
+    std::uint16_t b_port;
+    auto operator<=>(const FlowKey&) const = default;
+  };
+
+  bool filter(const Ipv4Packet& pkt, std::size_t in_if, std::size_t out_if);
+  static std::optional<FlowKey> flow_of(const Ipv4Packet& pkt);
+
+  std::string name_;
+  Stack stack_;
+  FwAction outbound_default_ = FwAction::kAllow;
+  std::vector<FirewallRule> inbound_rules_;
+  std::vector<std::pair<FwAction, FirewallRule>> outbound_chain_;
+  std::set<FlowKey> conntrack_;
+  FirewallStats stats_;
+};
+
+}  // namespace ipop::net

@@ -1,0 +1,35 @@
+// A simulated machine: one kernel stack plus one CPU.
+//
+// The CPU matters because IPOP is a user-level router: every tunneled
+// packet consumes host CPU, and on loaded machines (Planet-Lab) that
+// contention dominates latency (paper Section IV-D/V).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/stack.hpp"
+#include "sim/cpu.hpp"
+
+namespace ipop::net {
+
+class Host {
+ public:
+  Host(sim::EventLoop& loop, std::string name, StackConfig scfg = {})
+      : name_(std::move(name)),
+        stack_(loop, name_, scfg),
+        cpu_(loop, name_ + "/cpu") {}
+
+  const std::string& name() const { return name_; }
+  Stack& stack() { return stack_; }
+  const Stack& stack() const { return stack_; }
+  sim::CpuScheduler& cpu() { return cpu_; }
+  sim::EventLoop& loop() { return stack_.loop(); }
+
+ private:
+  std::string name_;
+  Stack stack_;
+  sim::CpuScheduler cpu_;
+};
+
+}  // namespace ipop::net

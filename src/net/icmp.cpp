@@ -1,0 +1,35 @@
+#include "net/icmp.hpp"
+
+namespace ipop::net {
+
+std::vector<std::uint8_t> IcmpMessage::encode() const {
+  util::ByteWriter w(8 + payload.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u16(id);
+  w.u16(seq);
+  w.bytes(payload);
+  auto bytes = w.take();
+  const std::uint16_t csum = internet_checksum(bytes);
+  bytes[2] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[3] = static_cast<std::uint8_t>(csum);
+  return bytes;
+}
+
+IcmpMessage IcmpMessage::decode(std::span<const std::uint8_t> bytes) {
+  if (internet_checksum(bytes) != 0) {
+    throw util::ParseError("bad ICMP checksum");
+  }
+  util::ByteReader r(bytes);
+  IcmpMessage m;
+  m.type = static_cast<IcmpType>(r.u8());
+  m.code = r.u8();
+  r.u16();  // checksum already verified
+  m.id = r.u16();
+  m.seq = r.u16();
+  m.payload = r.rest_copy();
+  return m;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,41 @@
+// ICMP codec: echo request/reply plus the error types the stack generates.
+//
+// The paper's Table I and Figure 5 are built from ICMP round-trip times
+// ("ping"), so echo handling is a first-class citizen of the simulated
+// kernel stack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  /// Echo identifier / sequence (unused for error messages).
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+  /// Echo payload, or the original IP header + 8 bytes for errors.
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> encode() const;
+  /// Throws util::ParseError on truncation or bad checksum.
+  static IcmpMessage decode(std::span<const std::uint8_t> bytes);
+
+  bool is_echo() const {
+    return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;
+  }
+};
+
+}  // namespace ipop::net

@@ -1,0 +1,142 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ipop::net {
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int parts = 0;
+  std::size_t pos = 0;
+  while (parts < 4) {
+    std::size_t dot = text.find('.', pos);
+    std::string_view part = (dot == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, dot - pos);
+    unsigned octet = 256;
+    auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255) {
+      throw util::ParseError("bad IPv4 address: " + std::string(text));
+    }
+    value = (value << 8) | octet;
+    ++parts;
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  if (parts != 4) {
+    throw util::ParseError("bad IPv4 address: " + std::string(text));
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view cidr) {
+  std::size_t slash = cidr.find('/');
+  if (slash == std::string_view::npos) {
+    throw util::ParseError("bad CIDR (no slash): " + std::string(cidr));
+  }
+  Ipv4Prefix p;
+  p.network = Ipv4Address::parse(cidr.substr(0, slash));
+  auto lenpart = cidr.substr(slash + 1);
+  int len = -1;
+  auto [ptr, ec] =
+      std::from_chars(lenpart.data(), lenpart.data() + lenpart.size(), len);
+  if (ec != std::errc{} || ptr != lenpart.data() + lenpart.size() || len < 0 ||
+      len > 32) {
+    throw util::ParseError("bad CIDR length: " + std::string(cidr));
+  }
+  p.length = len;
+  return p;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(length);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i] << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
+                                 IpProto proto,
+                                 std::span<const std::uint8_t> segment) {
+  util::ByteWriter w(12 + segment.size());
+  w.u32(src.value);
+  w.u32(dst.value);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u16(static_cast<std::uint16_t>(segment.size()));
+  w.bytes(segment);
+  return internet_checksum(w.data());
+}
+
+std::vector<std::uint8_t> Ipv4Packet::encode() const {
+  util::ByteWriter w(total_length());
+  w.u8(0x45);  // version 4, IHL 5 (no options)
+  w.u8(hdr.tos);
+  w.u16(static_cast<std::uint16_t>(total_length()));
+  w.u16(hdr.id);
+  w.u16(0x4000);  // flags: DF, fragment offset 0 (no fragmentation support)
+  w.u8(hdr.ttl);
+  w.u8(static_cast<std::uint8_t>(hdr.proto));
+  w.u16(0);  // checksum placeholder
+  w.u32(hdr.src.value);
+  w.u32(hdr.dst.value);
+  auto bytes = w.take();
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(bytes.data(), Ipv4Header::kSize));
+  bytes[10] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(csum);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+Ipv4Packet Ipv4Packet::decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  Ipv4Packet p;
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) throw util::ParseError("not IPv4");
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
+  if (ihl != Ipv4Header::kSize) {
+    throw util::ParseError("IPv4 options unsupported");
+  }
+  p.hdr.tos = r.u8();
+  const std::uint16_t total_len = r.u16();
+  if (total_len < Ipv4Header::kSize || total_len > bytes.size()) {
+    throw util::ParseError("bad IPv4 total length");
+  }
+  p.hdr.id = r.u16();
+  const std::uint16_t frag = r.u16();
+  if ((frag & 0x1FFF) != 0 || (frag & 0x2000) != 0) {
+    throw util::ParseError("IPv4 fragmentation unsupported");
+  }
+  p.hdr.ttl = r.u8();
+  p.hdr.proto = static_cast<IpProto>(r.u8());
+  r.u16();  // checksum validated over the raw header below
+  p.hdr.src = Ipv4Address(r.u32());
+  p.hdr.dst = Ipv4Address(r.u32());
+  if (internet_checksum(bytes.subspan(0, Ipv4Header::kSize)) != 0) {
+    throw util::ParseError("bad IPv4 header checksum");
+  }
+  p.payload = r.bytes_copy(total_len - Ipv4Header::kSize);
+  return p;
+}
+
+}  // namespace ipop::net

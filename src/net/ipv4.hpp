@@ -1,0 +1,104 @@
+// IPv4 addresses, prefixes, header codec and the Internet checksum.
+//
+// IPOP tunnels complete IPv4 packets through the overlay (paper Figure 3):
+// the encapsulated payload is exactly the bytes this codec produces.  The
+// same codec drives the simulated kernel stacks, routers, NATs and
+// firewalls of the physical substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ipop::net {
+
+struct Ipv4Address {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t v) : value(v) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value(static_cast<std::uint32_t>(a) << 24 |
+              static_cast<std::uint32_t>(b) << 16 |
+              static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  /// Parse dotted-quad; throws util::ParseError on malformed input.
+  static Ipv4Address parse(std::string_view text);
+
+  std::string to_string() const;
+  bool is_broadcast() const { return value == 0xFFFFFFFFu; }
+  bool is_unspecified() const { return value == 0; }
+
+  friend bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+};
+
+struct Ipv4Prefix {
+  Ipv4Address network;
+  int length = 0;  // 0..32
+
+  static Ipv4Prefix parse(std::string_view cidr);  // "a.b.c.d/len"
+
+  std::uint32_t mask() const {
+    return length == 0 ? 0u : ~0u << (32 - length);
+  }
+  bool contains(Ipv4Address a) const {
+    return (a.value & mask()) == (network.value & mask());
+  }
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+};
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  IpProto proto = IpProto::kUdp;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static constexpr std::size_t kSize = 20;  // no options supported
+};
+
+struct Ipv4Packet {
+  Ipv4Header hdr;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t total_length() const { return Ipv4Header::kSize + payload.size(); }
+
+  /// Serialize with computed header checksum.
+  std::vector<std::uint8_t> encode() const;
+  /// Throws util::ParseError on malformed input or bad header checksum.
+  static Ipv4Packet decode(std::span<const std::uint8_t> bytes);
+};
+
+/// RFC 1071 Internet checksum over `data` (16-bit one's complement sum).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Transport checksum with the IPv4 pseudo-header (used by TCP; UDP may
+/// legally use 0 = "no checksum" over IPv4, which the simulator does).
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
+                                 IpProto proto,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace ipop::net
+
+template <>
+struct std::hash<ipop::net::Ipv4Address> {
+  std::size_t operator()(const ipop::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,189 @@
+#include "net/nat.hpp"
+
+#include "net/icmp.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+#include "util/logging.hpp"
+
+namespace ipop::net {
+
+const char* nat_type_name(NatType t) {
+  switch (t) {
+    case NatType::kFullCone: return "full-cone";
+    case NatType::kRestrictedCone: return "restricted-cone";
+    case NatType::kPortRestrictedCone: return "port-restricted-cone";
+    case NatType::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
+
+NatBox::NatBox(sim::EventLoop& loop, std::string name, NatType type,
+               StackConfig scfg)
+    : name_(std::move(name)), stack_(loop, name_, scfg), type_(type) {
+  stack_.set_forwarding(true);
+  stack_.set_prerouting_hook([this](Ipv4Packet& pkt, std::size_t in_iface) {
+    if (in_iface == 1) return dnat(pkt, in_iface);
+    return true;
+  });
+  stack_.set_postrouting_hook([this](Ipv4Packet& pkt, std::size_t out_iface) {
+    if (out_iface == 1 && !stack_.is_local_ip(pkt.hdr.src)) {
+      return snat(pkt, out_iface);
+    }
+    return true;
+  });
+}
+
+std::optional<std::pair<NatBox::Endpoint, NatBox::Endpoint>>
+NatBox::endpoints_of(const Ipv4Packet& pkt) {
+  try {
+    switch (pkt.hdr.proto) {
+      case IpProto::kUdp: {
+        auto d = UdpDatagram::decode(pkt.payload);
+        return {{Endpoint{pkt.hdr.src, d.src_port},
+                 Endpoint{pkt.hdr.dst, d.dst_port}}};
+      }
+      case IpProto::kTcp: {
+        // Ports are at fixed offsets; skip checksum validation here.
+        util::ByteReader r(pkt.payload);
+        const std::uint16_t sport = r.u16();
+        const std::uint16_t dport = r.u16();
+        return {{Endpoint{pkt.hdr.src, sport}, Endpoint{pkt.hdr.dst, dport}}};
+      }
+      case IpProto::kIcmp: {
+        auto m = IcmpMessage::decode(pkt.payload);
+        if (!m.is_echo()) return std::nullopt;
+        return {{Endpoint{pkt.hdr.src, m.id}, Endpoint{pkt.hdr.dst, m.id}}};
+      }
+    }
+  } catch (const util::ParseError&) {
+  }
+  return std::nullopt;
+}
+
+void NatBox::rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
+                     std::optional<Endpoint> new_dst) {
+  switch (pkt.hdr.proto) {
+    case IpProto::kUdp: {
+      auto d = UdpDatagram::decode(pkt.payload);
+      if (new_src) {
+        pkt.hdr.src = new_src->ip;
+        d.src_port = new_src->port;
+      }
+      if (new_dst) {
+        pkt.hdr.dst = new_dst->ip;
+        d.dst_port = new_dst->port;
+      }
+      pkt.payload = d.encode();
+      break;
+    }
+    case IpProto::kTcp: {
+      auto seg = TcpSegment::decode(pkt.payload, pkt.hdr.src, pkt.hdr.dst);
+      if (new_src) {
+        pkt.hdr.src = new_src->ip;
+        seg.src_port = new_src->port;
+      }
+      if (new_dst) {
+        pkt.hdr.dst = new_dst->ip;
+        seg.dst_port = new_dst->port;
+      }
+      pkt.payload = seg.encode(pkt.hdr.src, pkt.hdr.dst);
+      break;
+    }
+    case IpProto::kIcmp: {
+      auto m = IcmpMessage::decode(pkt.payload);
+      if (new_src) {
+        pkt.hdr.src = new_src->ip;
+        m.id = new_src->port;
+      }
+      if (new_dst) {
+        pkt.hdr.dst = new_dst->ip;
+        m.id = new_dst->port;
+      }
+      pkt.payload = m.encode();
+      break;
+    }
+  }
+}
+
+NatBox::Mapping& NatBox::find_or_create(IpProto proto, const Endpoint& inside,
+                                        const Endpoint& dst) {
+  MapKey key{proto, inside, std::nullopt};
+  if (type_ == NatType::kSymmetric) key.dst = dst;
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) {
+    Mapping m;
+    m.ext_port = next_ext_port_++;
+    m.inside = inside;
+    it = mappings_.emplace(key, std::move(m)).first;
+    by_ext_port_[{proto, it->second.ext_port}] = key;
+    ++stats_.mappings_created;
+    IPOP_LOG_DEBUG(name_ << ": new " << nat_type_name(type_) << " mapping "
+                         << inside.ip.to_string() << ":" << inside.port
+                         << " -> ext port " << it->second.ext_port);
+  }
+  return it->second;
+}
+
+bool NatBox::snat(Ipv4Packet& pkt, std::size_t /*out_iface*/) {
+  auto eps = endpoints_of(pkt);
+  if (!eps) return false;  // untranslatable protocol: drop
+  auto& [src, dst] = *eps;
+  Mapping& m = find_or_create(pkt.hdr.proto, src, dst);
+  m.contacted.insert(dst);
+  rewrite(pkt, Endpoint{external_ip(), m.ext_port}, std::nullopt);
+  ++stats_.translated_out;
+  return true;
+}
+
+bool NatBox::inbound_allowed(const Mapping& m, const Endpoint& remote,
+                             IpProto proto) const {
+  // ICMP echo has no remote port: the "port" slot carries the *local*
+  // query identifier, so filtering can only be per remote IP (this is how
+  // real NATs track ICMP queries).
+  const bool ip_only = proto == IpProto::kIcmp;
+  switch (type_) {
+    case NatType::kFullCone:
+      return true;
+    case NatType::kRestrictedCone:
+      for (const auto& c : m.contacted) {
+        if (c.ip == remote.ip) return true;
+      }
+      return false;
+    case NatType::kPortRestrictedCone:
+    case NatType::kSymmetric:
+      // Symmetric filtering reduces to port-restricted *within* the
+      // per-destination mapping: only the exact destination was recorded.
+      if (ip_only) {
+        for (const auto& c : m.contacted) {
+          if (c.ip == remote.ip) return true;
+        }
+        return false;
+      }
+      return m.contacted.count(remote) > 0;
+  }
+  return false;
+}
+
+bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
+  if (!stack_.is_local_ip(pkt.hdr.dst)) return true;  // not for our ext IP
+  auto eps = endpoints_of(pkt);
+  if (!eps) return false;
+  auto& [remote, ext] = *eps;
+  auto key_it = by_ext_port_.find({pkt.hdr.proto, ext.port});
+  if (key_it == by_ext_port_.end()) {
+    ++stats_.blocked_in;
+    return false;
+  }
+  const Mapping& m = mappings_.at(key_it->second);
+  if (!inbound_allowed(m, remote, pkt.hdr.proto)) {
+    ++stats_.blocked_in;
+    IPOP_LOG_DEBUG(name_ << ": blocked inbound from " << remote.ip.to_string()
+                         << ":" << remote.port << " to ext port " << ext.port);
+    return false;
+  }
+  rewrite(pkt, std::nullopt, m.inside);
+  ++stats_.translated_in;
+  return true;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,99 @@
+// NAT middlebox implementing the four NAT types of RFC 3489 (STUN).
+//
+// The paper's NAT-traversal argument (Section III-D) rests on two observed
+// facts: (1) every NAT lets responses from (B,pb) back in after an
+// outbound packet to (B,pb); (2) all but the symmetric type keep one
+// external port per internal (IP,port) regardless of destination.  This
+// middlebox reproduces those behaviours exactly, so Brunet's decentralized
+// traversal (translated-address discovery + simultaneous dialing) can be
+// demonstrated and property-tested against every NAT type.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "net/stack.hpp"
+
+namespace ipop::net {
+
+enum class NatType {
+  kFullCone,
+  kRestrictedCone,
+  kPortRestrictedCone,
+  kSymmetric,
+};
+
+const char* nat_type_name(NatType t);
+
+struct NatStats {
+  std::uint64_t mappings_created = 0;
+  std::uint64_t translated_out = 0;
+  std::uint64_t translated_in = 0;
+  std::uint64_t blocked_in = 0;
+};
+
+/// Two-interface NAT router.  Interface 0 must be the inside (private)
+/// side, interface 1 the outside (public) side; attach them via the
+/// topology helpers before starting traffic.
+class NatBox {
+ public:
+  NatBox(sim::EventLoop& loop, std::string name, NatType type,
+         StackConfig scfg = {});
+
+  Stack& stack() { return stack_; }
+  NatType type() const { return type_; }
+  const NatStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  /// The external address used for translations (outside interface IP).
+  Ipv4Address external_ip() const { return stack_.interface_ip(1); }
+
+ private:
+  // Endpoint = (ip, port); for ICMP echo, port is the echo identifier.
+  struct Endpoint {
+    Ipv4Address ip;
+    std::uint16_t port = 0;
+    auto operator<=>(const Endpoint&) const = default;
+  };
+  struct MapKey {
+    IpProto proto;
+    Endpoint inside;
+    // Populated only for symmetric NAT: one mapping per destination.
+    std::optional<Endpoint> dst;
+    auto operator<=>(const MapKey&) const = default;
+  };
+  struct Mapping {
+    std::uint16_t ext_port = 0;
+    Endpoint inside;
+    // Destinations this internal endpoint has sent to (for the cone
+    // filtering rules).
+    std::set<Endpoint> contacted;
+  };
+
+  bool snat(Ipv4Packet& pkt, std::size_t out_iface);
+  bool dnat(Ipv4Packet& pkt, std::size_t in_iface);
+  bool inbound_allowed(const Mapping& m, const Endpoint& remote,
+                       IpProto proto) const;
+  Mapping& find_or_create(IpProto proto, const Endpoint& inside,
+                          const Endpoint& dst);
+
+  /// Extract (src,dst) transport endpoints; nullopt for unsupported proto.
+  static std::optional<std::pair<Endpoint, Endpoint>> endpoints_of(
+      const Ipv4Packet& pkt);
+  /// Rewrite source or destination endpoint, fixing checksums.
+  static void rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
+                      std::optional<Endpoint> new_dst);
+
+  std::string name_;
+  Stack stack_;
+  NatType type_;
+  NatStats stats_;
+  std::map<MapKey, Mapping> mappings_;
+  std::map<std::pair<IpProto, std::uint16_t>, MapKey> by_ext_port_;
+  std::uint16_t next_ext_port_ = 1024;
+};
+
+}  // namespace ipop::net

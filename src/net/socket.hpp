@@ -1,0 +1,49 @@
+// UDP socket bound to a simulated host stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+class Stack;
+
+/// Connectionless datagram socket.  Delivery is callback-based: the stack
+/// invokes the receive handler as datagrams arrive (after the simulated
+/// kernel processing delay).
+class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
+ public:
+  using ReceiveHandler = std::function<void(
+      Ipv4Address src, std::uint16_t src_port, std::vector<std::uint8_t> data)>;
+
+  std::uint16_t port() const { return port_; }
+  bool is_open() const { return stack_ != nullptr; }
+
+  void set_receive_handler(ReceiveHandler h) { handler_ = std::move(h); }
+  void send_to(Ipv4Address dst, std::uint16_t dst_port,
+               std::vector<std::uint8_t> data);
+  /// Unbind from the stack; pending callbacks are dropped.
+  void close();
+
+  std::uint64_t datagrams_sent() const { return tx_; }
+  std::uint64_t datagrams_received() const { return rx_; }
+
+ private:
+  friend class Stack;
+  UdpSocket(Stack* stack, std::uint16_t port) : stack_(stack), port_(port) {}
+
+  void deliver(Ipv4Address src, std::uint16_t src_port,
+               std::vector<std::uint8_t> data);
+
+  Stack* stack_;
+  std::uint16_t port_;
+  ReceiveHandler handler_;
+  std::uint64_t tx_ = 0;
+  std::uint64_t rx_ = 0;
+};
+
+}  // namespace ipop::net

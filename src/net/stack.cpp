@@ -1,0 +1,602 @@
+#include "net/stack.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ipop::net {
+
+namespace {
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+std::uint64_t g_mac_counter = 1;
+std::uint64_t g_stack_uid = 1;
+}  // namespace
+
+Stack::Stack(sim::EventLoop& loop, std::string host_name, StackConfig cfg)
+    : loop_(loop),
+      name_(std::move(host_name)),
+      uid_(g_stack_uid++),
+      cfg_(cfg),
+      rng_(cfg.seed != 0 ? cfg.seed : hash_name(name_)) {}
+
+Stack::~Stack() = default;
+
+std::size_t Stack::add_interface(const InterfaceConfig& icfg,
+                                 sim::LinkEnd* link) {
+  auto iface = std::make_unique<Interface>();
+  iface->cfg = icfg;
+  if (iface->cfg.mac == MacAddress{}) {
+    iface->cfg.mac = MacAddress::from_index(g_mac_counter++);
+  }
+  iface->link = link;
+  const std::size_t idx = ifaces_.size();
+  if (link != nullptr) {
+    link->set_receiver(
+        [this, idx](sim::Frame f) { on_frame(idx, std::move(f)); });
+  }
+  ifaces_.push_back(std::move(iface));
+  // Connected route for the interface subnet.
+  if (!icfg.ip.is_unspecified()) {
+    add_route(Ipv4Prefix{Ipv4Address(icfg.ip.value & (icfg.prefix_len == 0
+                                                          ? 0u
+                                                          : ~0u << (32 - icfg.prefix_len))),
+                         icfg.prefix_len},
+              idx);
+  }
+  return idx;
+}
+
+std::optional<std::size_t> Stack::interface_by_name(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < ifaces_.size(); ++i) {
+    if (ifaces_[i]->cfg.name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Stack::add_route(Ipv4Prefix prefix, std::size_t iface,
+                      std::optional<Ipv4Address> gateway, int metric) {
+  routes_.push_back(Route{prefix, iface, gateway, metric});
+}
+
+void Stack::add_static_arp(std::size_t iface, Ipv4Address ip, MacAddress mac) {
+  ifaces_[iface]->arp_table[ip] = mac;
+}
+
+void Stack::add_ip_alias(std::size_t iface, Ipv4Address ip) {
+  auto& aliases = ifaces_[iface]->aliases;
+  if (std::find(aliases.begin(), aliases.end(), ip) == aliases.end()) {
+    aliases.push_back(ip);
+  }
+}
+
+void Stack::remove_ip_alias(std::size_t iface, Ipv4Address ip) {
+  auto& aliases = ifaces_[iface]->aliases;
+  aliases.erase(std::remove(aliases.begin(), aliases.end(), ip),
+                aliases.end());
+}
+
+bool Stack::is_local_ip(Ipv4Address ip) const {
+  for (const auto& iface : ifaces_) {
+    if (iface->cfg.ip == ip) return true;
+    for (const auto& alias : iface->aliases) {
+      if (alias == ip) return true;
+    }
+  }
+  return false;
+}
+
+Ipv4Address Stack::source_ip_for(Ipv4Address dst) const {
+  const Route* r = lookup_route(dst);
+  if (r == nullptr) return Ipv4Address{};
+  return ifaces_[r->iface]->cfg.ip;
+}
+
+const Route* Stack::lookup_route(Ipv4Address dst) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.length > best->prefix.length ||
+        (r.prefix.length == best->prefix.length && r.metric < best->metric)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// Receive pipeline
+// --------------------------------------------------------------------------
+
+void Stack::on_frame(std::size_t iface, sim::Frame frame) {
+  // Kernel receive-path traversal cost.
+  loop_.schedule_after(cfg_.per_packet_delay,
+                       [this, iface, frame = std::move(frame)]() mutable {
+                         process_frame(iface, std::move(frame));
+                       });
+}
+
+void Stack::process_frame(std::size_t iface, sim::Frame frame) {
+  EthernetFrame eth;
+  try {
+    eth = EthernetFrame::decode(frame);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  Interface& ifc = *ifaces_[iface];
+  if (!eth.dst.is_broadcast() && eth.dst != ifc.cfg.mac) {
+    return;  // not addressed to us
+  }
+  switch (eth.type) {
+    case EtherType::kArp:
+      handle_arp(iface, eth.payload);
+      break;
+    case EtherType::kIpv4:
+      handle_ip(iface, eth.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+void Stack::handle_arp(std::size_t iface,
+                       std::span<const std::uint8_t> bytes) {
+  ArpMessage msg;
+  try {
+    msg = ArpMessage::decode(bytes);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  Interface& ifc = *ifaces_[iface];
+  if (!msg.sender_ip.is_unspecified()) {
+    ifc.arp_table[msg.sender_ip] = msg.sender_mac;
+    // Flush any packets queued on this resolution.
+    auto pending = ifc.arp_pending.find(msg.sender_ip);
+    if (pending != ifc.arp_pending.end()) {
+      if (pending->second.timer != 0) loop_.cancel(pending->second.timer);
+      auto queue = std::move(pending->second.queue);
+      ifc.arp_pending.erase(pending);
+      for (auto& pkt : queue) {
+        emit_frame(iface, msg.sender_mac, pkt.encode());
+      }
+    }
+  }
+  if (msg.op == ArpOp::kRequest && msg.target_ip == ifc.cfg.ip) {
+    ArpMessage reply;
+    reply.op = ArpOp::kReply;
+    reply.sender_mac = ifc.cfg.mac;
+    reply.sender_ip = ifc.cfg.ip;
+    reply.target_mac = msg.sender_mac;
+    reply.target_ip = msg.sender_ip;
+    EthernetFrame eth;
+    eth.dst = msg.sender_mac;
+    eth.src = ifc.cfg.mac;
+    eth.type = EtherType::kArp;
+    eth.payload = reply.encode();
+    auto raw = eth.encode();
+    loop_.schedule_after(cfg_.per_packet_delay,
+                         [&ifc, raw = std::move(raw)]() mutable {
+                           if (ifc.link != nullptr) ifc.link->send(std::move(raw));
+                         });
+  }
+}
+
+void Stack::handle_ip(std::size_t iface, std::span<const std::uint8_t> bytes) {
+  Ipv4Packet pkt;
+  try {
+    pkt = Ipv4Packet::decode(bytes);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  ++counters_.ip_rx;
+  if (prerouting_ && !prerouting_(pkt, iface)) {
+    ++counters_.dropped_hook;
+    return;
+  }
+  if (is_local_ip(pkt.hdr.dst) || pkt.hdr.dst.is_broadcast()) {
+    deliver_local(iface, std::move(pkt));
+  } else if (forwarding_) {
+    forward_packet(iface, std::move(pkt));
+  }
+  // Hosts silently drop transit packets when forwarding is disabled.
+}
+
+void Stack::forward_packet(std::size_t iface, Ipv4Packet pkt) {
+  if (pkt.hdr.ttl <= 1) {
+    ++counters_.dropped_ttl;
+    send_icmp_error(pkt, IcmpType::kTimeExceeded, 0);
+    return;
+  }
+  pkt.hdr.ttl -= 1;
+  const Route* route = lookup_route(pkt.hdr.dst);
+  if (route == nullptr) {
+    ++counters_.dropped_no_route;
+    send_icmp_error(pkt, IcmpType::kDestUnreachable, 0);
+    return;
+  }
+  if (forward_ && !forward_(pkt, iface, route->iface)) {
+    ++counters_.dropped_hook;
+    return;
+  }
+  ++counters_.forwarded;
+  const Ipv4Address next_hop = route->gateway.value_or(pkt.hdr.dst);
+  if (postrouting_ && !postrouting_(pkt, route->iface)) {
+    ++counters_.dropped_hook;
+    return;
+  }
+  if (pkt.total_length() > ifaces_[route->iface]->cfg.mtu) {
+    ++counters_.dropped_mtu;
+    send_icmp_error(pkt, IcmpType::kDestUnreachable, 4);  // frag needed
+    return;
+  }
+  resolve_and_send(route->iface, next_hop, std::move(pkt));
+}
+
+// --------------------------------------------------------------------------
+// Send pipeline
+// --------------------------------------------------------------------------
+
+void Stack::send_ip(Ipv4Packet pkt) {
+  if (pkt.hdr.id == 0) pkt.hdr.id = next_ip_id_++;
+  // Loopback: destination is one of our own addresses.
+  if (is_local_ip(pkt.hdr.dst)) {
+    if (pkt.hdr.src.is_unspecified()) pkt.hdr.src = pkt.hdr.dst;
+    ++counters_.ip_tx;
+    loop_.schedule_after(cfg_.per_packet_delay,
+                         [this, pkt = std::move(pkt)]() mutable {
+                           deliver_local(0, std::move(pkt));
+                         });
+    return;
+  }
+  const Route* route = lookup_route(pkt.hdr.dst);
+  if (route == nullptr) {
+    ++counters_.dropped_no_route;
+    return;
+  }
+  if (pkt.hdr.src.is_unspecified()) {
+    pkt.hdr.src = ifaces_[route->iface]->cfg.ip;
+  }
+  ++counters_.ip_tx;
+  const Ipv4Address next_hop = route->gateway.value_or(pkt.hdr.dst);
+  if (postrouting_ && !postrouting_(pkt, route->iface)) {
+    ++counters_.dropped_hook;
+    return;
+  }
+  if (pkt.total_length() > ifaces_[route->iface]->cfg.mtu) {
+    ++counters_.dropped_mtu;
+    return;
+  }
+  resolve_and_send(route->iface, next_hop, std::move(pkt));
+}
+
+void Stack::resolve_and_send(std::size_t iface, Ipv4Address next_hop,
+                             Ipv4Packet pkt) {
+  Interface& ifc = *ifaces_[iface];
+  if (next_hop.is_broadcast()) {
+    emit_frame(iface, MacAddress::broadcast(), pkt.encode());
+    return;
+  }
+  auto arp = ifc.arp_table.find(next_hop);
+  if (arp != ifc.arp_table.end()) {
+    emit_frame(iface, arp->second, pkt.encode());
+    return;
+  }
+  // Queue behind an ARP resolution.
+  PendingArp& pending = ifc.arp_pending[next_hop];
+  pending.queue.push_back(std::move(pkt));
+  if (pending.timer == 0) {
+    pending.attempts = 0;
+    send_arp_request(iface, next_hop);
+    pending.timer = loop_.schedule_after(
+        cfg_.arp_retry, [this, iface, next_hop] { arp_retry(iface, next_hop); });
+  }
+}
+
+void Stack::arp_retry(std::size_t iface, Ipv4Address target) {
+  Interface& ifc = *ifaces_[iface];
+  auto it = ifc.arp_pending.find(target);
+  if (it == ifc.arp_pending.end()) return;
+  PendingArp& pending = it->second;
+  if (++pending.attempts >= cfg_.arp_retries) {
+    counters_.dropped_arp_fail += pending.queue.size();
+    ifc.arp_pending.erase(it);
+    return;
+  }
+  send_arp_request(iface, target);
+  pending.timer = loop_.schedule_after(
+      cfg_.arp_retry, [this, iface, target] { arp_retry(iface, target); });
+}
+
+void Stack::send_arp_request(std::size_t iface, Ipv4Address target) {
+  Interface& ifc = *ifaces_[iface];
+  ArpMessage req;
+  req.op = ArpOp::kRequest;
+  req.sender_mac = ifc.cfg.mac;
+  req.sender_ip = ifc.cfg.ip;
+  req.target_ip = target;
+  EthernetFrame eth;
+  eth.dst = MacAddress::broadcast();
+  eth.src = ifc.cfg.mac;
+  eth.type = EtherType::kArp;
+  eth.payload = req.encode();
+  auto raw = eth.encode();
+  loop_.schedule_after(cfg_.per_packet_delay,
+                       [&ifc, raw = std::move(raw)]() mutable {
+                         if (ifc.link != nullptr) ifc.link->send(std::move(raw));
+                       });
+}
+
+void Stack::emit_frame(std::size_t iface, MacAddress dst,
+                       std::vector<std::uint8_t> ip_bytes) {
+  Interface& ifc = *ifaces_[iface];
+  EthernetFrame eth;
+  eth.dst = dst;
+  eth.src = ifc.cfg.mac;
+  eth.type = EtherType::kIpv4;
+  eth.payload = std::move(ip_bytes);
+  auto raw = eth.encode();
+  // Kernel transmit-path traversal cost.
+  loop_.schedule_after(cfg_.per_packet_delay,
+                       [&ifc, raw = std::move(raw)]() mutable {
+                         if (ifc.link != nullptr) ifc.link->send(std::move(raw));
+                       });
+}
+
+// --------------------------------------------------------------------------
+// Local delivery
+// --------------------------------------------------------------------------
+
+void Stack::deliver_local(std::size_t iface, Ipv4Packet pkt) {
+  (void)iface;
+  switch (pkt.hdr.proto) {
+    case IpProto::kIcmp:
+      deliver_icmp(pkt);
+      break;
+    case IpProto::kUdp:
+      deliver_udp(pkt);
+      break;
+    case IpProto::kTcp:
+      deliver_tcp(pkt);
+      break;
+  }
+}
+
+void Stack::deliver_icmp(const Ipv4Packet& pkt) {
+  IcmpMessage msg;
+  try {
+    msg = IcmpMessage::decode(pkt.payload);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  switch (msg.type) {
+    case IcmpType::kEchoRequest: {
+      ++counters_.icmp_echo_replied;
+      IcmpMessage reply = msg;
+      reply.type = IcmpType::kEchoReply;
+      Ipv4Packet out;
+      out.hdr.proto = IpProto::kIcmp;
+      out.hdr.src = pkt.hdr.dst;
+      out.hdr.dst = pkt.hdr.src;
+      out.payload = reply.encode();
+      send_ip(std::move(out));
+      break;
+    }
+    case IcmpType::kEchoReply:
+      if (echo_reply_handler_) echo_reply_handler_(pkt.hdr.src, msg);
+      break;
+    case IcmpType::kDestUnreachable:
+    case IcmpType::kTimeExceeded:
+      if (icmp_error_handler_) icmp_error_handler_(pkt.hdr.src, msg);
+      break;
+  }
+}
+
+void Stack::send_echo_request(Ipv4Address dst, std::uint16_t id,
+                              std::uint16_t seq,
+                              std::vector<std::uint8_t> payload) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kEchoRequest;
+  msg.id = id;
+  msg.seq = seq;
+  msg.payload = std::move(payload);
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kIcmp;
+  pkt.hdr.dst = dst;
+  pkt.payload = msg.encode();
+  send_ip(std::move(pkt));
+}
+
+void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
+                            std::uint8_t code) {
+  // Never generate errors about ICMP errors.
+  if (original.hdr.proto == IpProto::kIcmp) {
+    try {
+      auto m = IcmpMessage::decode(original.payload);
+      if (!m.is_echo()) return;
+    } catch (const util::ParseError&) {
+      return;
+    }
+  }
+  IcmpMessage msg;
+  msg.type = type;
+  msg.code = code;
+  // Quote the original header + 8 payload bytes, per RFC 792.
+  auto quoted = original.encode();
+  quoted.resize(std::min<std::size_t>(quoted.size(), Ipv4Header::kSize + 8));
+  msg.payload = std::move(quoted);
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kIcmp;
+  pkt.hdr.dst = original.hdr.src;
+  pkt.payload = msg.encode();
+  send_ip(std::move(pkt));
+}
+
+void Stack::deliver_udp(const Ipv4Packet& pkt) {
+  UdpDatagram dgram;
+  try {
+    dgram = UdpDatagram::decode(pkt.payload);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  auto it = udp_socks_.find(dgram.dst_port);
+  if (it == udp_socks_.end()) {
+    send_icmp_error(pkt, IcmpType::kDestUnreachable, 3);  // port unreachable
+    return;
+  }
+  auto sock = it->second;  // keep alive: the handler may close the socket
+  sock->deliver(pkt.hdr.src, dgram.src_port, std::move(dgram.payload));
+}
+
+void Stack::deliver_tcp(const Ipv4Packet& pkt) {
+  TcpSegment seg;
+  try {
+    seg = TcpSegment::decode(pkt.payload, pkt.hdr.src, pkt.hdr.dst);
+  } catch (const util::ParseError&) {
+    ++counters_.dropped_parse;
+    return;
+  }
+  const TcpKey key{pkt.hdr.dst, seg.dst_port, pkt.hdr.src, seg.src_port};
+  auto it = tcp_socks_.find(key);
+  if (it != tcp_socks_.end()) {
+    auto sock = it->second;  // keep alive across potential unregister
+    sock->on_segment(seg);
+    return;
+  }
+  auto lit = tcp_listeners_.find(seg.dst_port);
+  if (lit != tcp_listeners_.end() && seg.flags.syn && !seg.flags.ack) {
+    lit->second->handle_syn(pkt.hdr.dst, seg, pkt.hdr.src);
+    return;
+  }
+  if (!seg.flags.rst) send_tcp_rst_for(pkt, seg);
+}
+
+void Stack::send_tcp_rst_for(const Ipv4Packet& pkt, const TcpSegment& seg) {
+  TcpSegment rst;
+  rst.src_port = seg.dst_port;
+  rst.dst_port = seg.src_port;
+  rst.flags.rst = true;
+  if (seg.flags.ack) {
+    rst.seq = seg.ack;
+  } else {
+    rst.flags.ack = true;
+    rst.seq = 0;
+    rst.ack = seg.seq + static_cast<std::uint32_t>(seg.payload.size()) +
+              (seg.flags.syn ? 1 : 0) + (seg.flags.fin ? 1 : 0);
+  }
+  Ipv4Packet out;
+  out.hdr.proto = IpProto::kTcp;
+  out.hdr.src = pkt.hdr.dst;
+  out.hdr.dst = pkt.hdr.src;
+  out.payload = rst.encode(out.hdr.src, out.hdr.dst);
+  send_ip(std::move(out));
+}
+
+// --------------------------------------------------------------------------
+// Socket management
+// --------------------------------------------------------------------------
+
+std::uint16_t Stack::alloc_ephemeral_port(bool tcp) {
+  for (int tries = 0; tries < 65536; ++tries) {
+    std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 32768;
+    if (p < 32768) continue;
+    if (tcp) {
+      bool used = tcp_listeners_.count(p) > 0;
+      for (const auto& [key, sock] : tcp_socks_) {
+        if (key.local_port == p) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) return p;
+    } else {
+      if (udp_socks_.count(p) == 0) return p;
+    }
+  }
+  return 0;
+}
+
+std::shared_ptr<UdpSocket> Stack::udp_bind(std::uint16_t port) {
+  if (port == 0) port = alloc_ephemeral_port(/*tcp=*/false);
+  if (port == 0 || udp_socks_.count(port) > 0) return nullptr;
+  auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(this, port));
+  udp_socks_[port] = sock;
+  return sock;
+}
+
+void Stack::udp_unregister(std::uint16_t port) { udp_socks_.erase(port); }
+
+std::shared_ptr<TcpSocket> Stack::tcp_connect(Ipv4Address dst,
+                                              std::uint16_t port,
+                                              TcpConfig cfg) {
+  const Route* route = lookup_route(dst);
+  if (route == nullptr) return nullptr;
+  const std::size_t mtu = ifaces_[route->iface]->cfg.mtu;
+  cfg.mss = std::min(cfg.mss, mtu - Ipv4Header::kSize - TcpSegment::kHeaderSize);
+  const std::uint16_t sport = alloc_ephemeral_port(/*tcp=*/true);
+  const Ipv4Address src = ifaces_[route->iface]->cfg.ip;
+  auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(this, cfg));
+  tcp_register(TcpKey{src, sport, dst, port}, sock);
+  sock->start_connect(dst, port, src, sport);
+  return sock;
+}
+
+std::shared_ptr<TcpListener> Stack::tcp_listen(std::uint16_t port,
+                                               TcpConfig cfg) {
+  if (port == 0 || tcp_listeners_.count(port) > 0) return nullptr;
+  auto listener = std::shared_ptr<TcpListener>(new TcpListener(this, port, cfg));
+  tcp_listeners_[port] = listener;
+  return listener;
+}
+
+void Stack::tcp_register(const TcpKey& key, std::shared_ptr<TcpSocket> sock) {
+  tcp_socks_[key] = std::move(sock);
+}
+
+void Stack::tcp_unregister(const TcpKey& key) { tcp_socks_.erase(key); }
+
+// --------------------------------------------------------------------------
+// UdpSocket
+// --------------------------------------------------------------------------
+
+void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
+                        std::vector<std::uint8_t> data) {
+  if (stack_ == nullptr) return;
+  UdpDatagram d;
+  d.src_port = port_;
+  d.dst_port = dst_port;
+  d.payload = std::move(data);
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kUdp;
+  pkt.hdr.dst = dst;
+  pkt.payload = d.encode();
+  ++tx_;
+  stack_->send_ip(std::move(pkt));
+}
+
+void UdpSocket::deliver(Ipv4Address src, std::uint16_t src_port,
+                        std::vector<std::uint8_t> data) {
+  ++rx_;
+  if (handler_) handler_(src, src_port, std::move(data));
+}
+
+void UdpSocket::close() {
+  if (stack_ == nullptr) return;
+  stack_->udp_unregister(port_);
+  stack_ = nullptr;
+  handler_ = nullptr;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,252 @@
+// Simulated kernel TCP/IP stack for one host.
+//
+// Binds network interfaces (LinkEnds) to the protocol implementations:
+// ARP resolution with request queueing, longest-prefix-match routing, ICMP
+// echo (kernel-style auto-reply), UDP/TCP socket demultiplexing, IP
+// forwarding with netfilter-flavoured hooks (PREROUTING / FORWARD /
+// POSTROUTING) that the NAT box and stateful firewall plug into.
+//
+// Each packet pays a configurable per-traversal processing delay.  IPOP's
+// tunneled packets traverse a stack twice per host (virtual interface +
+// physical interface), which the paper identifies as the dominant LAN
+// overhead (Section IV-B) and proposes eliminating (Section V.2); the
+// ablation bench toggles exactly this knob.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/socket.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/link.hpp"
+#include "util/random.hpp"
+
+namespace ipop::net {
+
+struct InterfaceConfig {
+  std::string name = "eth0";
+  Ipv4Address ip;
+  int prefix_len = 24;
+  std::size_t mtu = 1500;
+  /// Zero MAC means "allocate automatically".
+  MacAddress mac{};
+};
+
+struct Route {
+  Ipv4Prefix prefix;
+  std::size_t iface = 0;
+  std::optional<Ipv4Address> gateway;  // empty: directly connected
+  int metric = 0;
+};
+
+struct StackConfig {
+  /// Simulated kernel processing cost per packet per stack traversal
+  /// (applied once on send and once on receive).
+  Duration per_packet_delay = util::microseconds(25);
+  Duration arp_retry = util::seconds(1);
+  int arp_retries = 3;
+  std::uint64_t seed = 0;  // 0: derive from host name
+};
+
+struct StackCounters {
+  std::uint64_t ip_rx = 0;
+  std::uint64_t ip_tx = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_parse = 0;
+  std::uint64_t dropped_hook = 0;
+  std::uint64_t dropped_mtu = 0;
+  std::uint64_t dropped_arp_fail = 0;
+  std::uint64_t icmp_echo_replied = 0;
+};
+
+class Stack {
+ public:
+  Stack(sim::EventLoop& loop, std::string host_name, StackConfig cfg = {});
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  // --- configuration -----------------------------------------------------
+  /// Attach an interface backed by a link end; returns the interface index.
+  std::size_t add_interface(const InterfaceConfig& cfg, sim::LinkEnd* link);
+  std::size_t interface_count() const { return ifaces_.size(); }
+  Ipv4Address interface_ip(std::size_t idx) const { return ifaces_[idx]->cfg.ip; }
+  MacAddress interface_mac(std::size_t idx) const { return ifaces_[idx]->cfg.mac; }
+  const std::string& interface_name(std::size_t idx) const {
+    return ifaces_[idx]->cfg.name;
+  }
+  std::optional<std::size_t> interface_by_name(const std::string& name) const;
+
+  void add_route(Ipv4Prefix prefix, std::size_t iface,
+                 std::optional<Ipv4Address> gateway = {}, int metric = 0);
+  void add_static_arp(std::size_t iface, Ipv4Address ip, MacAddress mac);
+  /// Secondary address on an interface (used by IPOP nodes that route for
+  /// several virtual IPs, e.g. VMs they host).
+  void add_ip_alias(std::size_t iface, Ipv4Address ip);
+  void remove_ip_alias(std::size_t iface, Ipv4Address ip);
+  void set_forwarding(bool enabled) { forwarding_ = enabled; }
+
+  /// PREROUTING: runs before the local-delivery decision; may rewrite the
+  /// packet (NAT DNAT).  Return false to drop.
+  using PreroutingHook = std::function<bool(Ipv4Packet&, std::size_t in_if)>;
+  /// FORWARD: filter for transit packets (stateful firewall).
+  using ForwardHook =
+      std::function<bool(const Ipv4Packet&, std::size_t in_if, std::size_t out_if)>;
+  /// POSTROUTING: runs just before emission of forwarded *and* locally
+  /// generated packets; may rewrite (NAT SNAT).
+  using PostroutingHook = std::function<bool(Ipv4Packet&, std::size_t out_if)>;
+  void set_prerouting_hook(PreroutingHook h) { prerouting_ = std::move(h); }
+  void set_forward_hook(ForwardHook h) { forward_ = std::move(h); }
+  void set_postrouting_hook(PostroutingHook h) { postrouting_ = std::move(h); }
+
+  // --- raw IP ------------------------------------------------------------
+  /// Route and transmit a locally generated packet (fills src if 0).
+  void send_ip(Ipv4Packet pkt);
+
+  // --- ICMP echo ---------------------------------------------------------
+  void send_echo_request(Ipv4Address dst, std::uint16_t id, std::uint16_t seq,
+                         std::vector<std::uint8_t> payload = {});
+  /// Receives echo *replies* addressed to this host.
+  using EchoReplyHandler =
+      std::function<void(Ipv4Address src, const IcmpMessage&)>;
+  void set_echo_reply_handler(EchoReplyHandler h) {
+    echo_reply_handler_ = std::move(h);
+  }
+  /// Receives ICMP errors (dest unreachable / time exceeded).
+  using IcmpErrorHandler =
+      std::function<void(Ipv4Address src, const IcmpMessage&)>;
+  void set_icmp_error_handler(IcmpErrorHandler h) {
+    icmp_error_handler_ = std::move(h);
+  }
+
+  // --- sockets -----------------------------------------------------------
+  /// Bind a UDP socket; port 0 picks an ephemeral port.  Returns nullptr if
+  /// the port is taken.
+  std::shared_ptr<UdpSocket> udp_bind(std::uint16_t port = 0);
+  std::shared_ptr<TcpSocket> tcp_connect(Ipv4Address dst, std::uint16_t port,
+                                         TcpConfig cfg = {});
+  std::shared_ptr<TcpListener> tcp_listen(std::uint16_t port,
+                                          TcpConfig cfg = {});
+
+  // --- introspection -----------------------------------------------------
+  sim::EventLoop& loop() { return loop_; }
+  const std::string& name() const { return name_; }
+  /// Process-unique stack identity (never reused, unlike the address of a
+  /// destroyed Stack); used to key per-stack registries safely.
+  std::uint64_t uid() const { return uid_; }
+  const StackCounters& counters() const { return counters_; }
+  const StackConfig& config() const { return cfg_; }
+  void set_per_packet_delay(Duration d) { cfg_.per_packet_delay = d; }
+  util::Rng& rng() { return rng_; }
+  /// True if `ip` is one of this stack's interface addresses.
+  bool is_local_ip(Ipv4Address ip) const;
+  /// Source address selection for a destination (egress interface IP).
+  Ipv4Address source_ip_for(Ipv4Address dst) const;
+
+ private:
+  friend class UdpSocket;
+  friend class TcpSocket;
+  friend class TcpListener;
+
+  struct PendingArp {
+    std::deque<Ipv4Packet> queue;
+    int attempts = 0;
+    std::uint64_t timer = 0;
+  };
+
+  struct Interface {
+    InterfaceConfig cfg;
+    sim::LinkEnd* link = nullptr;
+    std::vector<Ipv4Address> aliases;
+    std::unordered_map<Ipv4Address, MacAddress> arp_table;
+    std::unordered_map<Ipv4Address, PendingArp> arp_pending;
+  };
+
+  struct TcpKey {
+    Ipv4Address local_ip;
+    std::uint16_t local_port;
+    Ipv4Address remote_ip;
+    std::uint16_t remote_port;
+    bool operator==(const TcpKey&) const = default;
+  };
+  struct TcpKeyHash {
+    std::size_t operator()(const TcpKey& k) const noexcept {
+      std::size_t h = std::hash<Ipv4Address>{}(k.local_ip);
+      h = h * 1315423911u ^ k.local_port;
+      h = h * 1315423911u ^ std::hash<Ipv4Address>{}(k.remote_ip);
+      h = h * 1315423911u ^ k.remote_port;
+      return h;
+    }
+  };
+
+  // Frame/packet pipeline.
+  void on_frame(std::size_t iface, sim::Frame frame);
+  void process_frame(std::size_t iface, sim::Frame frame);
+  void handle_arp(std::size_t iface, std::span<const std::uint8_t> bytes);
+  void handle_ip(std::size_t iface, std::span<const std::uint8_t> bytes);
+  void deliver_local(std::size_t iface, Ipv4Packet pkt);
+  void forward_packet(std::size_t iface, Ipv4Packet pkt);
+  void transmit_on(std::size_t iface, Ipv4Packet pkt);
+  void emit_frame(std::size_t iface, MacAddress dst,
+                  std::vector<std::uint8_t> ip_bytes);
+  void resolve_and_send(std::size_t iface, Ipv4Address next_hop,
+                        Ipv4Packet pkt);
+  void send_arp_request(std::size_t iface, Ipv4Address target);
+  void arp_retry(std::size_t iface, Ipv4Address target);
+
+  const Route* lookup_route(Ipv4Address dst) const;
+  void send_icmp_error(const Ipv4Packet& original, IcmpType type,
+                       std::uint8_t code);
+
+  // Transport demux.
+  void deliver_icmp(const Ipv4Packet& pkt);
+  void deliver_udp(const Ipv4Packet& pkt);
+  void deliver_tcp(const Ipv4Packet& pkt);
+  void send_tcp_rst_for(const Ipv4Packet& pkt, const TcpSegment& seg);
+
+  std::uint16_t alloc_ephemeral_port(bool tcp);
+  void tcp_register(const TcpKey& key, std::shared_ptr<TcpSocket> sock);
+  void tcp_unregister(const TcpKey& key);
+  void udp_unregister(std::uint16_t port);
+
+  sim::EventLoop& loop_;
+  std::string name_;
+  std::uint64_t uid_;
+  StackConfig cfg_;
+  util::Rng rng_;
+  bool forwarding_ = false;
+
+  std::vector<std::unique_ptr<Interface>> ifaces_;
+  std::vector<Route> routes_;
+  std::uint16_t next_ip_id_ = 1;
+  std::uint16_t next_ephemeral_ = 32768;
+
+  PreroutingHook prerouting_;
+  ForwardHook forward_;
+  PostroutingHook postrouting_;
+
+  std::unordered_map<std::uint16_t, std::shared_ptr<UdpSocket>> udp_socks_;
+  std::unordered_map<TcpKey, std::shared_ptr<TcpSocket>, TcpKeyHash> tcp_socks_;
+  std::unordered_map<std::uint16_t, std::shared_ptr<TcpListener>> tcp_listeners_;
+
+  EchoReplyHandler echo_reply_handler_;
+  IcmpErrorHandler icmp_error_handler_;
+  StackCounters counters_;
+};
+
+}  // namespace ipop::net

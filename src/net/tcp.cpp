@@ -1,0 +1,770 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+
+#include "net/stack.hpp"
+#include "util/logging.hpp"
+
+namespace ipop::net {
+
+const char* tcp_state_name(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpSocket::TcpSocket(Stack* stack, TcpConfig cfg) : stack_(stack), cfg_(cfg) {
+  rto_ = cfg_.initial_rto;
+}
+
+TcpSocket::~TcpSocket() {
+  // Timers hold only the event id; cancel defensively.
+  if (stack_ != nullptr) {
+    if (retransmit_timer_ != 0) stack_->loop().cancel(retransmit_timer_);
+    if (persist_timer_ != 0) stack_->loop().cancel(persist_timer_);
+    if (time_wait_timer_ != 0) stack_->loop().cancel(time_wait_timer_);
+  }
+}
+
+std::size_t TcpSocket::send_space() const {
+  return cfg_.send_buf - std::min(cfg_.send_buf, send_queue_.size());
+}
+
+std::size_t TcpSocket::flight_size() const { return snd_nxt_ - snd_una_; }
+
+std::uint16_t TcpSocket::advertised_window() const {
+  const std::size_t space =
+      cfg_.recv_buf - std::min(cfg_.recv_buf, recv_ready_.size());
+  return static_cast<std::uint16_t>(std::min<std::size_t>(space, 65535));
+}
+
+// ---------------------------------------------------------------------------
+// Connection setup
+// ---------------------------------------------------------------------------
+
+void TcpSocket::start_connect(Ipv4Address dst, std::uint16_t dst_port,
+                              Ipv4Address src, std::uint16_t src_port) {
+  local_ip_ = src;
+  local_port_ = src_port;
+  remote_ip_ = dst;
+  remote_port_ = dst_port;
+  iss_ = static_cast<std::uint32_t>(stack_->rng()());
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  ssthresh_ = 64 * 1024 * 1024;  // effectively unbounded until first loss
+  cwnd_ = 2 * cfg_.mss;
+  state_ = TcpState::kSynSent;
+  syn_attempts_ = 1;
+  TcpFlags syn;
+  syn.syn = true;
+  rtt_timing_ = true;
+  rtt_seq_ = iss_;
+  rtt_sent_at_ = stack_->loop().now();
+  emit_segment(iss_, {}, syn);
+  arm_retransmit();
+}
+
+void TcpSocket::start_accept(Ipv4Address local, std::uint16_t local_port,
+                             Ipv4Address remote, std::uint16_t remote_port,
+                             const TcpSegment& syn, TcpListener* listener) {
+  local_ip_ = local;
+  local_port_ = local_port;
+  remote_ip_ = remote;
+  remote_port_ = remote_port;
+  pending_listener_ = listener;
+  iss_ = static_cast<std::uint32_t>(stack_->rng()());
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  rcv_nxt_ = syn.seq + 1;
+  snd_wnd_ = syn.window;
+  ssthresh_ = 64 * 1024 * 1024;
+  cwnd_ = 2 * cfg_.mss;
+  state_ = TcpState::kSynRcvd;
+  TcpFlags synack;
+  synack.syn = true;
+  synack.ack = true;
+  emit_segment(iss_, {}, synack);
+  arm_retransmit();
+}
+
+void TcpSocket::enter_established() {
+  state_ = TcpState::kEstablished;
+  cancel_retransmit();
+  dup_acks_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Segment input
+// ---------------------------------------------------------------------------
+
+void TcpSocket::on_segment(const TcpSegment& seg) {
+  auto self = shared_from_this();  // keep alive through close paths
+  ++stats_.segments_received;
+
+  if (seg.flags.rst) {
+    if (state_ == TcpState::kSynSent) {
+      if (seg.flags.ack && seg.ack == iss_ + 1) {
+        become_closed("connection refused");
+      }
+      return;
+    }
+    // Acceptable if in the receive window (simplified check).
+    if (seq_ge(seg.seq, rcv_nxt_)) become_closed("connection reset");
+    return;
+  }
+
+  switch (state_) {
+    case TcpState::kClosed:
+      return;
+
+    case TcpState::kSynSent: {
+      if (seg.flags.ack && seg.ack != iss_ + 1) {
+        send_rst(seg.ack, 0, false);
+        return;
+      }
+      if (seg.flags.syn && seg.flags.ack) {
+        snd_una_ = seg.ack;
+        rcv_nxt_ = seg.seq + 1;
+        snd_wnd_ = seg.window;
+        if (rtt_timing_) {
+          sample_rtt(stack_->loop().now() - rtt_sent_at_);
+          rtt_timing_ = false;
+        }
+        enter_established();
+        send_ack_now();
+        if (on_connected) on_connected();
+        output();
+      } else if (seg.flags.syn) {
+        // Simultaneous open.
+        rcv_nxt_ = seg.seq + 1;
+        snd_wnd_ = seg.window;
+        state_ = TcpState::kSynRcvd;
+        TcpFlags synack;
+        synack.syn = true;
+        synack.ack = true;
+        emit_segment(iss_, {}, synack);
+        arm_retransmit();
+      }
+      return;
+    }
+
+    case TcpState::kSynRcvd: {
+      if (seg.flags.syn && !seg.flags.ack) {
+        // Retransmitted SYN: re-answer.
+        TcpFlags synack;
+        synack.syn = true;
+        synack.ack = true;
+        emit_segment(iss_, {}, synack);
+        return;
+      }
+      if (seg.flags.ack && seg.ack == iss_ + 1) {
+        snd_una_ = seg.ack;
+        snd_wnd_ = seg.window;
+        enter_established();
+        if (pending_listener_ != nullptr) {
+          auto* listener = pending_listener_;
+          pending_listener_ = nullptr;
+          listener->connection_ready(self);
+        }
+        if (on_connected) on_connected();
+        // Fall through to data processing of this same segment.
+        process_data(seg);
+        output();
+      }
+      return;
+    }
+
+    case TcpState::kTimeWait:
+      // Peer retransmitted its FIN: re-ack it.
+      if (seg.flags.fin) send_ack_now();
+      return;
+
+    default:
+      break;
+  }
+
+  // Data-carrying states.
+  process_ack(seg);
+  if (state_ == TcpState::kClosed) return;  // ack processing may close
+  process_data(seg);
+  if (state_ == TcpState::kClosed) return;
+  output();
+}
+
+void TcpSocket::process_ack(const TcpSegment& seg) {
+  if (!seg.flags.ack) return;
+  const std::uint32_t ack = seg.ack;
+
+  if (seq_gt(ack, snd_nxt_)) {
+    send_ack_now();  // ack for data we have not sent
+    return;
+  }
+
+  if (seq_le(ack, snd_una_)) {
+    // Possible duplicate ack.
+    if (ack == snd_una_ && seg.payload.empty() && !seg.flags.fin &&
+        flight_size() > 0) {
+      ++dup_acks_;
+      ++stats_.dup_acks_received;
+      snd_wnd_ = seg.window;
+      if (!in_recovery_ && dup_acks_ == 3) {
+        ssthresh_ = std::max(flight_size() / 2, 2 * cfg_.mss);
+        recover_ = snd_nxt_;
+        in_recovery_ = true;
+        ++stats_.fast_retransmits;
+        retransmit_front();
+        cwnd_ = ssthresh_ + 3 * cfg_.mss;
+        arm_retransmit();
+      } else if (in_recovery_) {
+        cwnd_ += cfg_.mss;  // window inflation
+        output();
+      }
+    } else {
+      snd_wnd_ = seg.window;
+    }
+    return;
+  }
+
+  // New data acknowledged.
+  std::uint32_t acked = ack - snd_una_;
+  bool fin_now_acked = false;
+  if (fin_sent_ && seq_gt(ack, fin_seq_)) {
+    acked -= 1;
+    fin_now_acked = true;
+  }
+  if (acked > send_queue_.size()) acked = static_cast<std::uint32_t>(send_queue_.size());
+  send_queue_.erase(send_queue_.begin(), send_queue_.begin() + acked);
+  snd_una_ = ack;
+  snd_wnd_ = seg.window;
+  backoff_ = 0;
+
+  if (rtt_timing_ && seq_gt(ack, rtt_seq_)) {
+    sample_rtt(stack_->loop().now() - rtt_sent_at_);
+    rtt_timing_ = false;
+  }
+
+  if (in_recovery_) {
+    if (seq_ge(ack, recover_)) {
+      // Full recovery: deflate to ssthresh.
+      cwnd_ = std::max(ssthresh_, 2 * cfg_.mss);
+      in_recovery_ = false;
+      dup_acks_ = 0;
+    } else {
+      // NewReno partial ack: retransmit the next hole, deflate.
+      retransmit_front();
+      cwnd_ = cwnd_ > acked ? cwnd_ - acked : cfg_.mss;
+      cwnd_ += cfg_.mss;
+      arm_retransmit();
+    }
+  } else {
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += cfg_.mss;  // slow start
+    } else {
+      cwnd_ += std::max<std::size_t>(1, cfg_.mss * cfg_.mss / cwnd_);
+    }
+  }
+
+  if (flight_size() == 0 && !(fin_sent_ && !fin_now_acked)) {
+    cancel_retransmit();
+  } else {
+    arm_retransmit();
+  }
+
+  if (send_buf_was_full_ && send_space() > 0) {
+    send_buf_was_full_ = false;
+    if (on_writable) on_writable();
+  }
+
+  if (fin_now_acked) {
+    fin_acked_by_us_ = true;
+    switch (state_) {
+      case TcpState::kFinWait1:
+        state_ = TcpState::kFinWait2;
+        break;
+      case TcpState::kClosing:
+        enter_time_wait();
+        break;
+      case TcpState::kLastAck:
+        become_closed("");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void TcpSocket::process_data(const TcpSegment& seg) {
+  const std::uint32_t orig_seq = seg.seq;
+  const std::size_t len = seg.payload.size();
+
+  if (len > 0) {
+    std::uint32_t seq = orig_seq;
+    std::span<const std::uint8_t> data(seg.payload);
+
+    if (seq_lt(seq, rcv_nxt_)) {
+      const std::uint32_t overlap = rcv_nxt_ - seq;
+      if (overlap >= data.size()) {
+        send_ack_now();  // entirely old data
+        data = {};
+      } else {
+        data = data.subspan(overlap);
+        seq = rcv_nxt_;
+      }
+    }
+
+    if (!data.empty()) {
+      if (seq_gt(seq, rcv_nxt_)) {
+        // Out of order: buffer (bounded) and send a duplicate ack.
+        if (ooo_bytes_ + data.size() <= cfg_.recv_buf &&
+            out_of_order_.find(seq) == out_of_order_.end()) {
+          out_of_order_.emplace(seq,
+                                std::vector<std::uint8_t>(data.begin(), data.end()));
+          ooo_bytes_ += data.size();
+        }
+        send_ack_now();
+      } else {
+        // In order: accept what fits the receive buffer.
+        const std::size_t space =
+            cfg_.recv_buf - std::min(cfg_.recv_buf, recv_ready_.size());
+        const std::size_t take = std::min(space, data.size());
+        recv_ready_.insert(recv_ready_.end(), data.begin(),
+                           data.begin() + take);
+        rcv_nxt_ += static_cast<std::uint32_t>(take);
+        // Drain contiguous out-of-order segments.  Bytes that do not fit
+        // the receive buffer are dropped unacked; the peer retransmits.
+        auto it = out_of_order_.begin();
+        while (it != out_of_order_.end() && seq_le(it->first, rcv_nxt_)) {
+          const auto& buf = it->second;
+          const std::size_t skip = rcv_nxt_ - it->first;
+          if (skip < buf.size()) {
+            const std::size_t room =
+                cfg_.recv_buf - std::min(cfg_.recv_buf, recv_ready_.size());
+            const std::size_t add = std::min(room, buf.size() - skip);
+            recv_ready_.insert(recv_ready_.end(), buf.begin() + skip,
+                               buf.begin() + skip + add);
+            rcv_nxt_ += static_cast<std::uint32_t>(add);
+          }
+          ooo_bytes_ -= buf.size();
+          it = out_of_order_.erase(it);
+        }
+        stats_.bytes_received += take;
+        send_ack_now();
+        if (take > 0 && on_readable) on_readable();
+      }
+    }
+  }
+
+  if (seg.flags.fin) {
+    const std::uint32_t fin_pos = orig_seq + static_cast<std::uint32_t>(len);
+    if (fin_pos == rcv_nxt_ && !fin_received_) {
+      fin_received_ = true;
+      rcv_nxt_ += 1;
+      send_ack_now();
+      switch (state_) {
+        case TcpState::kEstablished:
+          state_ = TcpState::kCloseWait;
+          break;
+        case TcpState::kFinWait1:
+          state_ = fin_acked_by_us_ ? TcpState::kTimeWait : TcpState::kClosing;
+          if (state_ == TcpState::kTimeWait) enter_time_wait();
+          break;
+        case TcpState::kFinWait2:
+          enter_time_wait();
+          break;
+        default:
+          break;
+      }
+      if (on_readable) on_readable();  // EOF became observable
+    } else if (seq_lt(fin_pos, rcv_nxt_)) {
+      send_ack_now();  // duplicate FIN
+    }
+    // Out-of-order FIN: wait for retransmission of the gap.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+// ---------------------------------------------------------------------------
+
+std::size_t TcpSocket::send(std::span<const std::uint8_t> data) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kSynSent && state_ != TcpState::kSynRcvd) {
+    return 0;
+  }
+  if (fin_queued_) return 0;
+  const std::size_t take = std::min(send_space(), data.size());
+  send_queue_.insert(send_queue_.end(), data.begin(), data.begin() + take);
+  if (take < data.size()) send_buf_was_full_ = true;
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    output();
+  }
+  return take;
+}
+
+std::vector<std::uint8_t> TcpSocket::receive(std::size_t max) {
+  const std::size_t take = std::min(max, recv_ready_.size());
+  std::vector<std::uint8_t> out(recv_ready_.begin(),
+                                recv_ready_.begin() + take);
+  const std::uint16_t before = advertised_window();
+  recv_ready_.erase(recv_ready_.begin(), recv_ready_.begin() + take);
+  // Window-update ack when the window reopens across an MSS boundary.
+  if (state_ != TcpState::kClosed && before < cfg_.mss &&
+      advertised_window() >= cfg_.mss) {
+    send_ack_now();
+  }
+  return out;
+}
+
+void TcpSocket::close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      become_closed("");
+      return;
+    case TcpState::kEstablished:
+    case TcpState::kSynRcvd:
+      state_ = TcpState::kFinWait1;
+      break;
+    case TcpState::kCloseWait:
+      state_ = TcpState::kLastAck;
+      break;
+    default:
+      return;  // already closing/closed
+  }
+  fin_queued_ = true;
+  output();
+}
+
+void TcpSocket::abort() {
+  if (state_ == TcpState::kClosed) return;
+  send_rst(snd_nxt_, rcv_nxt_, true);
+  become_closed("aborted");
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+void TcpSocket::output() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kFinWait1 && state_ != TcpState::kLastAck &&
+      state_ != TcpState::kClosing) {
+    return;
+  }
+
+  while (true) {
+    const std::size_t in_flight = flight_size();
+    const std::size_t wnd = std::min<std::size_t>(cwnd_, snd_wnd_);
+    if (wnd <= in_flight) break;
+    const std::size_t usable = wnd - in_flight;
+    // Unsent bytes start at (snd_nxt_ - snd_una_) minus an unacked FIN's
+    // sequence slot (FIN is only ever sent after all data, so when
+    // fin_sent_ the queue is fully transmitted already).
+    const std::size_t sent_data = fin_sent_ ? send_queue_.size() : in_flight;
+    if (sent_data >= send_queue_.size()) break;
+    const std::size_t avail = send_queue_.size() - sent_data;
+    const std::size_t n = std::min({usable, avail, cfg_.mss});
+    if (n == 0) break;
+    // Nagle: while data is in flight, wait until a full MSS accumulates
+    // (unless this flushes the tail ahead of a queued FIN).
+    if (cfg_.nagle && n < cfg_.mss && in_flight > 0 && !fin_queued_) break;
+    std::vector<std::uint8_t> payload(send_queue_.begin() + sent_data,
+                                      send_queue_.begin() + sent_data + n);
+    TcpFlags flags;
+    flags.ack = true;
+    flags.psh = (sent_data + n == send_queue_.size());
+    if (!rtt_timing_) {
+      rtt_timing_ = true;
+      rtt_seq_ = snd_nxt_;
+      rtt_sent_at_ = stack_->loop().now();
+    }
+    emit_segment(snd_nxt_, payload, flags);
+    stats_.bytes_sent += n;
+    snd_nxt_ += static_cast<std::uint32_t>(n);
+    if (retransmit_timer_ == 0) arm_retransmit();
+  }
+
+  maybe_send_fin();
+
+  // Zero-window probing.
+  if (snd_wnd_ == 0 && flight_size() == 0 && !send_queue_.empty() &&
+      persist_timer_ == 0) {
+    arm_persist();
+  }
+}
+
+void TcpSocket::maybe_send_fin() {
+  if (!fin_queued_ || fin_sent_) return;
+  const std::size_t in_flight = flight_size();
+  if (in_flight < send_queue_.size()) return;  // data still unsent
+  fin_seq_ = snd_nxt_;
+  fin_sent_ = true;
+  TcpFlags flags;
+  flags.fin = true;
+  flags.ack = true;
+  emit_segment(snd_nxt_, {}, flags);
+  snd_nxt_ += 1;
+  arm_retransmit();
+}
+
+void TcpSocket::emit_segment(std::uint32_t seq,
+                             std::span<const std::uint8_t> payload,
+                             TcpFlags flags) {
+  TcpSegment seg;
+  seg.src_port = local_port_;
+  seg.dst_port = remote_port_;
+  seg.seq = seq;
+  seg.ack = flags.ack ? rcv_nxt_ : 0;
+  seg.flags = flags;
+  seg.window = advertised_window();
+  seg.payload.assign(payload.begin(), payload.end());
+  last_advertised_window_ = seg.window;
+
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kTcp;
+  pkt.hdr.src = local_ip_;
+  pkt.hdr.dst = remote_ip_;
+  pkt.payload = seg.encode(local_ip_, remote_ip_);
+  ++stats_.segments_sent;
+  stack_->send_ip(std::move(pkt));
+}
+
+void TcpSocket::send_ack_now() {
+  TcpFlags flags;
+  flags.ack = true;
+  emit_segment(snd_nxt_, {}, flags);
+}
+
+void TcpSocket::send_rst(std::uint32_t seq, std::uint32_t ack, bool with_ack) {
+  TcpFlags flags;
+  flags.rst = true;
+  flags.ack = with_ack;
+  TcpSegment seg;
+  seg.src_port = local_port_;
+  seg.dst_port = remote_port_;
+  seg.seq = seq;
+  seg.ack = with_ack ? ack : 0;
+  seg.flags = flags;
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kTcp;
+  pkt.hdr.src = local_ip_;
+  pkt.hdr.dst = remote_ip_;
+  pkt.payload = seg.encode(local_ip_, remote_ip_);
+  ++stats_.segments_sent;
+  stack_->send_ip(std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void TcpSocket::arm_retransmit() {
+  cancel_retransmit();
+  auto self = weak_from_this();
+  retransmit_timer_ = stack_->loop().schedule_after(
+      current_rto(), [self] {
+        if (auto s = self.lock()) {
+          s->retransmit_timer_ = 0;
+          s->on_retransmit_timeout();
+        }
+      });
+}
+
+void TcpSocket::cancel_retransmit() {
+  if (retransmit_timer_ != 0) {
+    stack_->loop().cancel(retransmit_timer_);
+    retransmit_timer_ = 0;
+  }
+}
+
+void TcpSocket::on_retransmit_timeout() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+
+  if (state_ == TcpState::kSynSent && ++syn_attempts_ > cfg_.syn_retries) {
+    become_closed("connect timeout");
+    return;
+  }
+
+  const bool anything_unacked =
+      flight_size() > 0 || state_ == TcpState::kSynSent ||
+      state_ == TcpState::kSynRcvd || (fin_sent_ && !fin_acked_by_us_);
+  if (!anything_unacked) return;
+
+  ++stats_.timeouts;
+  ssthresh_ = std::max(flight_size() / 2, 2 * cfg_.mss);
+  cwnd_ = cfg_.mss;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  rtt_timing_ = false;  // Karn: never time retransmitted segments
+  if (backoff_ < 12) ++backoff_;
+  retransmit_front();
+  arm_retransmit();
+}
+
+void TcpSocket::retransmit_front() {
+  ++stats_.retransmits;
+  if (state_ == TcpState::kSynSent) {
+    TcpFlags syn;
+    syn.syn = true;
+    emit_segment(iss_, {}, syn);
+    return;
+  }
+  if (state_ == TcpState::kSynRcvd) {
+    TcpFlags synack;
+    synack.syn = true;
+    synack.ack = true;
+    emit_segment(iss_, {}, synack);
+    return;
+  }
+  // Earliest unacked data byte lives at the front of send_queue_.
+  const std::size_t data_in_flight =
+      fin_sent_ ? send_queue_.size() : flight_size();
+  if (!send_queue_.empty() && data_in_flight > 0) {
+    const std::size_t n =
+        std::min({cfg_.mss, send_queue_.size(), data_in_flight});
+    std::vector<std::uint8_t> payload(send_queue_.begin(),
+                                      send_queue_.begin() + n);
+    TcpFlags flags;
+    flags.ack = true;
+    flags.psh = true;
+    emit_segment(snd_una_, payload, flags);
+    stats_.bytes_sent += n;
+    return;
+  }
+  if (fin_sent_ && !fin_acked_by_us_) {
+    TcpFlags flags;
+    flags.fin = true;
+    flags.ack = true;
+    emit_segment(fin_seq_, {}, flags);
+  }
+}
+
+void TcpSocket::arm_persist() {
+  auto self = weak_from_this();
+  persist_timer_ = stack_->loop().schedule_after(
+      cfg_.persist_interval, [self] {
+        if (auto s = self.lock()) {
+          s->persist_timer_ = 0;
+          s->on_persist_timeout();
+        }
+      });
+}
+
+void TcpSocket::on_persist_timeout() {
+  if (state_ == TcpState::kClosed) return;
+  if (snd_wnd_ == 0 && !send_queue_.empty() && flight_size() == 0) {
+    // Window probe: transmit one byte beyond the advertised window.  It is
+    // real data (front of the queue), so it occupies sequence space and is
+    // covered by the retransmission machinery.
+    std::vector<std::uint8_t> probe{send_queue_.front()};
+    TcpFlags flags;
+    flags.ack = true;
+    emit_segment(snd_nxt_, probe, flags);
+    stats_.bytes_sent += 1;
+    snd_nxt_ += 1;
+    arm_retransmit();
+  }
+}
+
+void TcpSocket::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  cancel_retransmit();
+  auto self = weak_from_this();
+  time_wait_timer_ = stack_->loop().schedule_after(
+      cfg_.time_wait, [self] {
+        if (auto s = self.lock()) {
+          s->time_wait_timer_ = 0;
+          s->become_closed("");
+        }
+      });
+}
+
+void TcpSocket::become_closed(const std::string& reason) {
+  if (state_ == TcpState::kClosed && closed_notified_) return;
+  state_ = TcpState::kClosed;
+  cancel_retransmit();
+  if (persist_timer_ != 0) {
+    stack_->loop().cancel(persist_timer_);
+    persist_timer_ = 0;
+  }
+  if (time_wait_timer_ != 0) {
+    stack_->loop().cancel(time_wait_timer_);
+    time_wait_timer_ = 0;
+  }
+  auto self = shared_from_this();
+  stack_->tcp_unregister(
+      Stack::TcpKey{local_ip_, local_port_, remote_ip_, remote_port_});
+  if (!closed_notified_) {
+    closed_notified_ = true;
+    if (on_closed) on_closed(reason);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RTT estimation (Jacobson/Karn)
+// ---------------------------------------------------------------------------
+
+void TcpSocket::sample_rtt(Duration rtt) {
+  if (!srtt_valid_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    srtt_valid_ = true;
+  } else {
+    const auto err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = (rttvar_ * 3 + err) / 4;
+    srtt_ = (srtt_ * 7 + rtt) / 8;
+  }
+  rto_ = srtt_ + std::max<Duration>(4 * rttvar_, util::milliseconds(10));
+}
+
+Duration TcpSocket::current_rto() const {
+  Duration base = srtt_valid_ ? rto_ : cfg_.initial_rto;
+  for (int i = 0; i < backoff_; ++i) {
+    base *= 2;
+    if (base >= cfg_.max_rto) break;
+  }
+  return std::clamp(base, cfg_.min_rto, cfg_.max_rto);
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+void TcpListener::handle_syn(Ipv4Address dst_ip, const TcpSegment& syn,
+                             Ipv4Address src) {
+  // Clamp MSS to the path back toward the client.
+  TcpConfig cfg = cfg_;
+  const Route* route = stack_->lookup_route(src);
+  if (route != nullptr) {
+    const std::size_t mtu = stack_->ifaces_[route->iface]->cfg.mtu;
+    cfg.mss = std::min(cfg.mss,
+                       mtu - Ipv4Header::kSize - TcpSegment::kHeaderSize);
+  }
+  auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(stack_, cfg));
+  stack_->tcp_register(
+      Stack::TcpKey{dst_ip, port_, src, syn.src_port}, sock);
+  sock->start_accept(dst_ip, port_, src, syn.src_port, syn, this);
+}
+
+void TcpListener::connection_ready(std::shared_ptr<TcpSocket> sock) {
+  if (handler_) handler_(std::move(sock));
+}
+
+void TcpListener::close() {
+  if (stack_ != nullptr) {
+    stack_->tcp_listeners_.erase(port_);
+    stack_ = nullptr;
+  }
+}
+
+}  // namespace ipop::net

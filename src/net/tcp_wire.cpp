@@ -1,0 +1,61 @@
+#include "net/tcp_wire.hpp"
+
+namespace ipop::net {
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s += "SYN,";
+  if (ack) s += "ACK,";
+  if (fin) s += "FIN,";
+  if (rst) s += "RST,";
+  if (psh) s += "PSH,";
+  if (!s.empty()) s.pop_back();
+  return s.empty() ? "-" : s;
+}
+
+std::vector<std::uint8_t> TcpSegment::encode(Ipv4Address src_ip,
+                                             Ipv4Address dst_ip) const {
+  util::ByteWriter w(kHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(flags.encode());
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.bytes(payload);
+  auto bytes = w.take();
+  const std::uint16_t csum =
+      transport_checksum(src_ip, dst_ip, IpProto::kTcp, bytes);
+  bytes[16] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[17] = static_cast<std::uint8_t>(csum);
+  return bytes;
+}
+
+TcpSegment TcpSegment::decode(std::span<const std::uint8_t> bytes,
+                              Ipv4Address src_ip, Ipv4Address dst_ip) {
+  if (transport_checksum(src_ip, dst_ip, IpProto::kTcp, bytes) != 0) {
+    throw util::ParseError("bad TCP checksum");
+  }
+  util::ByteReader r(bytes);
+  TcpSegment s;
+  s.src_port = r.u16();
+  s.dst_port = r.u16();
+  s.seq = r.u32();
+  s.ack = r.u32();
+  const std::uint8_t offset_words = r.u8() >> 4;
+  if (offset_words < 5) throw util::ParseError("bad TCP data offset");
+  s.flags = TcpFlags::decode(r.u8());
+  s.window = r.u16();
+  r.u16();  // checksum verified above
+  r.u16();  // urgent pointer ignored
+  const std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
+  if (header_len > bytes.size()) throw util::ParseError("TCP header too long");
+  if (header_len > kHeaderSize) r.skip(header_len - kHeaderSize);
+  s.payload = r.rest_copy();
+  return s;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,76 @@
+// TCP segment codec (header + flags + checksum).
+//
+// Wire format only; connection state, sliding windows and Reno congestion
+// control live in net/tcp.hpp.  Brunet's TCP transport mode and every
+// application stream (ttcp, SSH-like exec, NFS, MPI) serialize through
+// this codec — including the tunneled case where a complete inner TCP
+// segment becomes the payload of an IPOP-encapsulated packet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) |
+                                     (rst ? 0x04 : 0) | (psh ? 0x08 : 0) |
+                                     (ack ? 0x10 : 0));
+  }
+  static TcpFlags decode(std::uint8_t bits) {
+    TcpFlags f;
+    f.fin = bits & 0x01;
+    f.syn = bits & 0x02;
+    f.rst = bits & 0x04;
+    f.psh = bits & 0x08;
+    f.ack = bits & 0x10;
+    return f;
+  }
+  std::string to_string() const;
+};
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kHeaderSize = 20;  // no options
+
+  /// Encode with a valid pseudo-header checksum.
+  std::vector<std::uint8_t> encode(Ipv4Address src_ip,
+                                   Ipv4Address dst_ip) const;
+  /// Throws util::ParseError on truncation or checksum failure.
+  static TcpSegment decode(std::span<const std::uint8_t> bytes,
+                           Ipv4Address src_ip, Ipv4Address dst_ip);
+};
+
+/// Modular 32-bit sequence comparisons (RFC 793 style).
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,313 @@
+#include "net/topology.hpp"
+
+namespace ipop::net {
+
+Host& Network::add_host(const std::string& name, StackConfig scfg) {
+  hosts_.push_back(std::make_unique<Host>(loop_, name, scfg));
+  return *hosts_.back();
+}
+
+Host& Network::add_router(const std::string& name) {
+  StackConfig scfg;
+  scfg.per_packet_delay = util::microseconds(5);
+  Host& r = add_host(name, scfg);
+  r.stack().set_forwarding(true);
+  return r;
+}
+
+sim::Switch& Network::add_switch(const std::string& name) {
+  switches_.push_back(std::make_unique<sim::Switch>(loop_, name));
+  return *switches_.back();
+}
+
+NatBox& Network::add_nat(const std::string& name, NatType type,
+                         StackConfig scfg) {
+  scfg.per_packet_delay = util::microseconds(10);
+  nats_.push_back(std::make_unique<NatBox>(loop_, name, type, scfg));
+  return *nats_.back();
+}
+
+Firewall& Network::add_firewall(const std::string& name, StackConfig scfg) {
+  scfg.per_packet_delay = util::microseconds(10);
+  firewalls_.push_back(std::make_unique<Firewall>(loop_, name, scfg));
+  return *firewalls_.back();
+}
+
+sim::Link& Network::make_link(const sim::LinkConfig& lcfg,
+                              const std::string& name) {
+  links_.push_back(
+      std::make_unique<sim::Link>(loop_, lcfg, rng_.fork(links_.size()), name));
+  return *links_.back();
+}
+
+sim::Link& Network::connect_to_switch(Stack& stack,
+                                      const InterfaceConfig& icfg,
+                                      sim::Switch& sw,
+                                      const sim::LinkConfig& lcfg) {
+  sim::Link& link =
+      make_link(lcfg, stack.name() + "<->" + sw.name());
+  stack.add_interface(icfg, &link.end_a());
+  sw.attach(link.end_b());
+  return link;
+}
+
+sim::Link& Network::connect(Stack& a, const InterfaceConfig& ia, Stack& b,
+                            const InterfaceConfig& ib,
+                            const sim::LinkConfig& lcfg) {
+  sim::Link& link = make_link(lcfg, a.name() + "<->" + b.name());
+  a.add_interface(ia, &link.end_a());
+  b.add_interface(ib, &link.end_b());
+  return link;
+}
+
+Host* Network::find_host(const std::string& name) {
+  for (auto& h : hosts_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 testbed
+// ---------------------------------------------------------------------------
+
+namespace {
+Ipv4Address ip(const char* s) { return Ipv4Address::parse(s); }
+Ipv4Prefix pfx(const char* s) { return Ipv4Prefix::parse(s); }
+}  // namespace
+
+Fig4Testbed build_fig4(const Fig4Options& opts) {
+  Fig4Testbed tb;
+  tb.net = std::make_unique<Network>(opts.seed);
+  Network& net = *tb.net;
+
+  StackConfig host_cfg;
+  host_cfg.per_packet_delay = opts.host_stack_delay;
+
+  sim::LinkConfig lan;
+  lan.delay = opts.lan_link_delay;
+  lan.bandwidth_bps = opts.lan_bw;
+
+  sim::LinkConfig wan_lcfg;
+  wan_lcfg.delay = opts.wan_hop_delay;
+  wan_lcfg.bandwidth_bps = opts.wan_bw;
+  wan_lcfg.jitter = opts.wan_jitter;
+  wan_lcfg.loss_rate = opts.wan_loss;
+  wan_lcfg.queue_bytes = opts.wan_queue_bytes;
+
+  sim::LinkConfig short_wan = wan_lcfg;
+  short_wan.delay = opts.wan_hop_delay / 2;
+
+  // --- Addresses ----------------------------------------------------------
+  tb.f1_ip = ip("10.0.1.1");
+  tb.f2_ip = ip("10.0.1.2");
+  tb.f4_lan_ip = ip("10.0.1.4");
+  tb.f4_pub_ip = ip("128.227.56.83");
+  tb.f3_ip = ip("128.227.136.244");
+  tb.v1_ip = ip("139.70.24.100");
+  tb.l1_ip = ip("130.39.128.10");
+  const auto nat_in_ip = ip("10.0.1.254");
+  const auto nat_out_ip = ip("128.227.56.253");
+  const auto cr_campus_ip = ip("128.227.56.1");
+  const auto cr_f3_ip = ip("128.227.136.1");
+  const auto vfw_in_ip = ip("139.70.24.1");
+  const auto lfw_in_ip = ip("130.39.128.1");
+
+  // --- ACIS private LAN ---------------------------------------------------
+  auto& sw_acis = net.add_switch("sw-acis");
+  tb.f1 = &net.add_host("F1", host_cfg);
+  tb.f2 = &net.add_host("F2", host_cfg);
+  tb.f4 = &net.add_host("F4", host_cfg);
+  net.connect_to_switch(tb.f1->stack(), {"eth0", tb.f1_ip, 24}, sw_acis, lan);
+  net.connect_to_switch(tb.f2->stack(), {"eth0", tb.f2_ip, 24}, sw_acis, lan);
+  net.connect_to_switch(tb.f4->stack(), {"eth0", tb.f4_lan_ip, 24}, sw_acis,
+                        lan);
+
+  tb.campus_nat = &net.add_nat("campus-nat", opts.campus_nat_type);
+  net.connect_to_switch(tb.campus_nat->stack(), {"in", nat_in_ip, 24}, sw_acis,
+                        lan);
+
+  // --- Campus public network ----------------------------------------------
+  auto& sw_campus = net.add_switch("sw-campus");
+  net.connect_to_switch(tb.campus_nat->stack(), {"out", nat_out_ip, 24},
+                        sw_campus, lan);
+  net.connect_to_switch(tb.f4->stack(), {"eth1", tb.f4_pub_ip, 24}, sw_campus,
+                        lan);
+
+  Host& cr = net.add_router("campus-router");
+  net.connect_to_switch(cr.stack(), {"campus", cr_campus_ip, 24}, sw_campus,
+                        lan);
+
+  // F3's separate UF LAN hangs off the campus router.
+  tb.f3 = &net.add_host("F3", host_cfg);
+  net.connect(tb.f3->stack(), {"eth0", tb.f3_ip, 24}, cr.stack(),
+              {"f3net", cr_f3_ip, 24}, lan);
+
+  // --- WAN core: campus-router - W1..W5 (Abilene stand-in) -----------------
+  std::vector<Host*> wan;
+  for (int i = 1; i <= 5; ++i) {
+    wan.push_back(&net.add_router("W" + std::to_string(i)));
+  }
+  auto transfer = [&](int k) {
+    // /30 transfer subnets 10.200.k.0/30 with .1 and .2.
+    const std::uint32_t base = (10u << 24) | (200u << 16) | (k << 8);
+    return std::pair{Ipv4Address(base + 1), Ipv4Address(base + 2)};
+  };
+  {
+    auto [a, b] = transfer(0);
+    net.connect(cr.stack(), {"wan", a, 30}, wan[0]->stack(), {"west", b, 30},
+                wan_lcfg);
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto [a, b] = transfer(i + 1);
+    net.connect(wan[i]->stack(), {"east", a, 30}, wan[i + 1]->stack(),
+                {"west", b, 30}, wan_lcfg);
+  }
+
+  // --- VIMS branch: W5 - WV1 - VFW - V1 ------------------------------------
+  Host& wv1 = net.add_router("WV1");
+  {
+    auto [a, b] = transfer(10);
+    net.connect(wan[4]->stack(), {"vims", a, 30}, wv1.stack(), {"west", b, 30},
+                short_wan);
+  }
+  tb.vfw = &net.add_firewall("VFW");
+  {
+    auto [a, b] = transfer(11);
+    // Firewall convention: interface 0 = inside.  Create inside first.
+    tb.v1 = &net.add_host("V1", host_cfg);
+    net.connect(tb.v1->stack(), {"eth0", tb.v1_ip, 24}, tb.vfw->stack(),
+                {"in", vfw_in_ip, 24}, lan);
+    net.connect(tb.vfw->stack(), {"out", b, 30}, wv1.stack(), {"east", a, 30},
+                short_wan);
+  }
+
+  // --- LSU branch: W5 - WL1 - LFW - L1 --------------------------------------
+  Host& wl1 = net.add_router("WL1");
+  {
+    auto [a, b] = transfer(20);
+    net.connect(wan[4]->stack(), {"lsu", a, 30}, wl1.stack(), {"west", b, 30},
+                short_wan);
+  }
+  tb.lfw = &net.add_firewall("LFW");
+  {
+    auto [a, b] = transfer(21);
+    tb.l1 = &net.add_host("L1", host_cfg);
+    net.connect(tb.l1->stack(), {"eth0", tb.l1_ip, 24}, tb.lfw->stack(),
+                {"in", lfw_in_ip, 24}, lan);
+    net.connect(tb.lfw->stack(), {"out", b, 30}, wl1.stack(), {"east", a, 30},
+                short_wan);
+  }
+  tb.wan_routers = wan;
+  tb.wan_routers.push_back(&wv1);
+  tb.wan_routers.push_back(&wl1);
+
+  // --- Routing -------------------------------------------------------------
+  const auto uf = pfx("128.227.0.0/16");
+  const auto vims = pfx("139.70.24.0/24");
+  const auto lsu = pfx("130.39.128.0/24");
+  const auto any = pfx("0.0.0.0/0");
+
+  // Hosts.
+  tb.f1->stack().add_route(any, 0, nat_in_ip);
+  tb.f2->stack().add_route(any, 0, nat_in_ip);
+  tb.f4->stack().add_route(any, 1, cr_campus_ip);  // default via public side
+  tb.f3->stack().add_route(any, 0, cr_f3_ip);
+  tb.v1->stack().add_route(any, 0, vfw_in_ip);
+  tb.l1->stack().add_route(any, 0, lfw_in_ip);
+
+  // Campus NAT: default to the campus router on its outside interface.
+  tb.campus_nat->stack().add_route(any, 1, cr_campus_ip);
+
+  // Campus router: default east to W1.
+  cr.stack().add_route(any, 2, transfer(0).second);
+
+  // WAN core routers: UF prefixes west, default east; W5 branches.
+  wan[0]->stack().add_route(uf, 0, transfer(0).first);
+  wan[0]->stack().add_route(any, 1, transfer(1).second);
+  for (int i = 1; i < 4; ++i) {
+    wan[i]->stack().add_route(uf, 0, transfer(i).first);
+    wan[i]->stack().add_route(any, 1, transfer(i + 1).second);
+  }
+  wan[4]->stack().add_route(uf, 0, transfer(4).first);
+  wan[4]->stack().add_route(vims, 1, transfer(10).second);
+  wan[4]->stack().add_route(lsu, 2, transfer(20).second);
+
+  wv1.stack().add_route(vims, 1, transfer(11).second);
+  wv1.stack().add_route(any, 0, transfer(10).first);
+  wl1.stack().add_route(lsu, 1, transfer(21).second);
+  wl1.stack().add_route(any, 0, transfer(20).first);
+
+  tb.vfw->stack().add_route(any, 1, transfer(11).first);
+  tb.lfw->stack().add_route(any, 1, transfer(21).first);
+
+  // --- Firewall policy (paper, Figure 4 caption) ---------------------------
+  // VFW/LFW: no unsolicited inbound except SSH (22) from F3.
+  {
+    FirewallRule ssh_from_f3;
+    ssh_from_f3.proto = IpProto::kTcp;
+    ssh_from_f3.src = Ipv4Prefix{tb.f3_ip, 32};
+    ssh_from_f3.dst_port = 22;
+    tb.vfw->allow_inbound(ssh_from_f3);
+    tb.lfw->allow_inbound(ssh_from_f3);
+  }
+  // LFW: outgoing *TCP* only to F3 (the paper's caption); other
+  // protocols (UDP, ICMP) pass outbound, which is what lets IPOP-UDP
+  // self-configure from behind LFW.
+  {
+    FirewallRule tcp_to_f3;
+    tcp_to_f3.proto = IpProto::kTcp;
+    tcp_to_f3.dst = Ipv4Prefix{tb.f3_ip, 32};
+    tb.lfw->add_outbound_rule(FwAction::kAllow, tcp_to_f3);
+    FirewallRule any_tcp;
+    any_tcp.proto = IpProto::kTcp;
+    tb.lfw->add_outbound_rule(FwAction::kDeny, any_tcp);
+  }
+
+  return tb;
+}
+
+// ---------------------------------------------------------------------------
+// Planet-Lab testbed
+// ---------------------------------------------------------------------------
+
+PlanetLabTestbed build_planetlab(const PlanetLabOptions& opts) {
+  PlanetLabTestbed tb;
+  tb.net = std::make_unique<Network>(opts.seed);
+  Network& net = *tb.net;
+  util::Rng rng(opts.seed * 7919 + 17);
+
+  tb.core = &net.add_router("internet-core");
+
+  StackConfig host_cfg;
+  host_cfg.per_packet_delay = opts.host_stack_delay;
+
+  for (int i = 0; i < opts.nodes; ++i) {
+    Host& h = net.add_host("pl" + std::to_string(i), host_cfg);
+    // Subnet 41.<i/250>.<i%250>.0/24; host .2, core .1.
+    const std::uint32_t base =
+        (41u << 24) | ((i / 250) << 16) | ((i % 250) << 8);
+    const Ipv4Address host_ip(base + 2);
+    const Ipv4Address core_ip(base + 1);
+
+    sim::LinkConfig access;
+    access.bandwidth_bps = opts.access_bw;
+    access.delay = util::Duration{static_cast<std::int64_t>(rng.uniform(
+        static_cast<double>(opts.min_access_delay.count()),
+        static_cast<double>(opts.max_access_delay.count())))};
+    access.jitter = opts.access_jitter;
+    net.connect(h.stack(), {"eth0", host_ip, 24}, tb.core->stack(),
+                {"acc" + std::to_string(i), core_ip, 24}, access);
+    h.stack().add_route(Ipv4Prefix::parse("0.0.0.0/0"), 0, core_ip);
+
+    // Heavy-tailed CPU contention, as observed on Planet-Lab by the paper.
+    h.cpu().set_load(rng.exponential(opts.cpu_load_mean));
+    h.cpu().set_sched_quantum(opts.sched_quantum);
+
+    tb.hosts.push_back(&h);
+    tb.ips.push_back(host_ip);
+  }
+  return tb;
+}
+
+}  // namespace ipop::net

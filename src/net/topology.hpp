@@ -1,0 +1,135 @@
+// Experiment topologies.
+//
+// `Network` owns every simulation object (hosts, switches, links,
+// middleboxes) so experiments are single-object RAII.  The builders
+// recreate the paper's testbeds:
+//
+//  * build_fig4()      — the six-machine, three-site testbed of Figure 4:
+//    ACIS private LAN (F1, F2, F4) behind a campus NAT, F4 dual-homed onto
+//    the public campus network, F3 on a second campus LAN, V1 behind the
+//    VIMS firewall and L1 behind the LSU firewall, joined by a ~10-hop WAN.
+//  * build_planetlab() — a 118-node wide-area overlay substrate with
+//    heavy-tailed CPU load at every node (Section IV-D / Figure 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/firewall.hpp"
+#include "net/host.hpp"
+#include "net/nat.hpp"
+#include "net/stack.hpp"
+#include "sim/switch.hpp"
+
+namespace ipop::net {
+
+/// Container/owner for one simulated internetwork.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 42) : rng_(seed) {}
+
+  sim::EventLoop& loop() { return loop_; }
+  util::Rng& rng() { return rng_; }
+
+  Host& add_host(const std::string& name, StackConfig scfg = {});
+  /// A router is a forwarding host with a small (hardware-ish) per-packet
+  /// processing delay.
+  Host& add_router(const std::string& name);
+  sim::Switch& add_switch(const std::string& name);
+  NatBox& add_nat(const std::string& name, NatType type, StackConfig scfg = {});
+  Firewall& add_firewall(const std::string& name, StackConfig scfg = {});
+
+  /// Wire `stack` to a switch with a new interface; returns the link.
+  sim::Link& connect_to_switch(Stack& stack, const InterfaceConfig& icfg,
+                               sim::Switch& sw, const sim::LinkConfig& lcfg);
+  /// Point-to-point wire between two stacks (new interface on each).
+  sim::Link& connect(Stack& a, const InterfaceConfig& ia, Stack& b,
+                     const InterfaceConfig& ib, const sim::LinkConfig& lcfg);
+  /// Create an unattached link (used by the tap device).
+  sim::Link& make_link(const sim::LinkConfig& lcfg, const std::string& name);
+
+  Host* find_host(const std::string& name);
+
+ private:
+  sim::EventLoop loop_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<sim::Switch>> switches_;
+  std::vector<std::unique_ptr<NatBox>> nats_;
+  std::vector<std::unique_ptr<Firewall>> firewalls_;
+  std::vector<std::unique_ptr<sim::Link>> links_;
+};
+
+/// Knobs for the Figure-4 testbed; defaults are calibrated so the physical
+/// ping/ttcp numbers land near the paper's Tables I-III baselines.
+struct Fig4Options {
+  /// Kernel per-packet cost on end hosts.
+  util::Duration host_stack_delay = util::microseconds(30);
+  /// Host-to-switch LAN latency (models VMware + switch path of the ACIS
+  /// testbed; the paper's LAN RTT baseline is 0.6-0.9 ms).
+  util::Duration lan_link_delay = util::microseconds(120);
+  double lan_bw = 100e6;
+  /// Per-WAN-hop propagation; 6 core hops + branches give ~17-19 ms one
+  /// way (paper WAN RTT baseline 34.5-38.8 ms).
+  util::Duration wan_hop_delay = util::milliseconds_f(2.8);
+  util::Duration wan_jitter = util::microseconds(20);
+  double wan_bw = 100e6;
+  /// Random per-frame loss on each WAN hop (0 = clean).  The throughput
+  /// benches use a small real value: loss is what differentiates
+  /// TCP-in-TCP from TCP-in-UDP tunneling (Table III).
+  double wan_loss = 0.0;
+  /// Drop-tail queue per WAN hop.  Small queues make TCP's probing induce
+  /// congestion drops — the regime where TCP-in-TCP melts down.
+  std::size_t wan_queue_bytes = 256 * 1024;
+  NatType campus_nat_type = NatType::kPortRestrictedCone;
+  std::uint64_t seed = 42;
+};
+
+struct Fig4Testbed {
+  std::unique_ptr<Network> net;
+
+  Host* f1 = nullptr;  // ACIS private LAN, VM
+  Host* f2 = nullptr;  // ACIS private LAN, physical
+  Host* f3 = nullptr;  // separate UF LAN, public
+  Host* f4 = nullptr;  // dual-homed: ACIS private + campus public
+  Host* v1 = nullptr;  // VIMS, behind VFW
+  Host* l1 = nullptr;  // LSU, behind LFW
+
+  NatBox* campus_nat = nullptr;
+  Firewall* vfw = nullptr;
+  Firewall* lfw = nullptr;
+  std::vector<Host*> wan_routers;
+
+  // Physical addresses.
+  Ipv4Address f1_ip, f2_ip, f3_ip, f4_lan_ip, f4_pub_ip, v1_ip, l1_ip;
+};
+
+Fig4Testbed build_fig4(const Fig4Options& opts = {});
+
+struct PlanetLabOptions {
+  int nodes = 118;
+  double access_bw = 10e6;
+  util::Duration min_access_delay = util::milliseconds(10);
+  util::Duration max_access_delay = util::milliseconds(80);
+  util::Duration access_jitter = util::milliseconds(2);
+  /// Mean of the exponential CPU-load distribution.  The paper observed
+  /// loads "in excess of 10" on the routing nodes.
+  double cpu_load_mean = 10.0;
+  /// Timeslice quantum for the loaded-host scheduling model (see
+  /// sim::CpuScheduler::set_sched_quantum).
+  util::Duration sched_quantum = util::milliseconds(60);
+  util::Duration host_stack_delay = util::microseconds(30);
+  std::uint64_t seed = 7;
+};
+
+struct PlanetLabTestbed {
+  std::unique_ptr<Network> net;
+  Host* core = nullptr;  // star hub standing in for the Internet core
+  std::vector<Host*> hosts;
+  std::vector<Ipv4Address> ips;
+};
+
+PlanetLabTestbed build_planetlab(const PlanetLabOptions& opts = {});
+
+}  // namespace ipop::net

@@ -1,0 +1,77 @@
+// "ttcp" throughput tool over the simulated stack.
+//
+// Mirrors the paper's bandwidth methodology (Tables II/III): a TCP bulk
+// transfer of a fixed byte count; throughput = bytes / wall time, reported
+// in KB/s as the paper does.  Works unmodified over the physical network
+// and over an IPOP virtual network — which is the entire point of IPOP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/stack.hpp"
+#include "util/time.hpp"
+
+namespace ipop::net {
+
+struct TtcpResult {
+  std::uint64_t bytes = 0;
+  Duration elapsed{};
+  bool ok = false;
+
+  double throughput_kbps() const {  // kilobytes per second, as the paper
+    const double secs = util::to_seconds(elapsed);
+    return secs > 0 ? static_cast<double>(bytes) / 1024.0 / secs : 0.0;
+  }
+};
+
+/// Sink side: accepts one connection, drains it, reports bytes/elapsed
+/// from first connection to FIN.
+class TtcpReceiver {
+ public:
+  TtcpReceiver(Stack& stack, std::uint16_t port);
+
+  void set_done(std::function<void(TtcpResult)> done) {
+    done_ = std::move(done);
+  }
+
+ private:
+  void pump();
+  void finish(bool ok);
+
+  Stack& stack_;
+  std::shared_ptr<TcpListener> listener_;
+  std::shared_ptr<TcpSocket> sock_;
+  std::function<void(TtcpResult)> done_;
+  TtcpResult result_;
+  TimePoint started_{};
+  bool finished_ = false;
+};
+
+/// Source side: connects and streams `total_bytes`, then closes.
+class TtcpSender {
+ public:
+  explicit TtcpSender(Stack& stack) : stack_(stack) {}
+
+  struct Options {
+    std::uint64_t total_bytes = 1 << 20;
+    std::size_t write_chunk = 8 * 1024;
+    TcpConfig tcp{};
+  };
+
+  void run(Ipv4Address dst, std::uint16_t port, const Options& opts,
+           std::function<void(TtcpResult)> done);
+
+ private:
+  void pump();
+
+  Stack& stack_;
+  Options opts_;
+  std::shared_ptr<TcpSocket> sock_;
+  std::function<void(TtcpResult)> done_;
+  std::uint64_t queued_ = 0;
+  TimePoint started_{};
+};
+
+}  // namespace ipop::net

@@ -1,0 +1,29 @@
+#include "net/udp.hpp"
+
+namespace ipop::net {
+
+std::vector<std::uint8_t> UdpDatagram::encode() const {
+  util::ByteWriter w(kHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.u16(0);  // checksum: not computed (legal for IPv4)
+  w.bytes(payload);
+  return w.take();
+}
+
+UdpDatagram UdpDatagram::decode(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  UdpDatagram d;
+  d.src_port = r.u16();
+  d.dst_port = r.u16();
+  const std::uint16_t len = r.u16();
+  if (len < kHeaderSize || len > bytes.size()) {
+    throw util::ParseError("bad UDP length");
+  }
+  r.u16();  // checksum ignored
+  d.payload = r.bytes_copy(len - kHeaderSize);
+  return d;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,29 @@
+// UDP datagram codec.
+//
+// Brunet's UDP transport mode (the configuration that wins the paper's WAN
+// throughput comparison, Table III) and the NAT hole-punching protocol both
+// ride on these datagrams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+
+  static constexpr std::size_t kHeaderSize = 8;
+
+  /// Checksum is emitted as 0 ("not computed"), which is legal for UDP
+  /// over IPv4; frame integrity in the simulator is structural.
+  std::vector<std::uint8_t> encode() const;
+  static UdpDatagram decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace ipop::net

@@ -1,0 +1,77 @@
+#include "sim/event_loop.hpp"
+
+namespace ipop::sim {
+
+EventLoop::EventId EventLoop::schedule_at(TimePoint t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Item{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already ran or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool EventLoop::pop_next(Item& out) {
+  while (!heap_.empty()) {
+    Item item = heap_.top();
+    heap_.pop();
+    auto cit = cancelled_.find(item.id);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;
+    }
+    out = item;
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::run_one() {
+  Item item;
+  if (!pop_next(item)) return false;
+  now_ = item.at;
+  auto it = callbacks_.find(item.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  ++processed_;
+  cb();
+  return true;
+}
+
+std::size_t EventLoop::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && run_one()) ++n;
+  return n;
+}
+
+std::size_t EventLoop::run_until(TimePoint t) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_) {
+    Item item;
+    if (!pop_next(item)) break;
+    if (item.at > t) {
+      // Put it back untouched; cheapest is to re-push.
+      heap_.push(item);
+      break;
+    }
+    now_ = item.at;
+    auto it = callbacks_.find(item.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    cb();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace ipop::sim

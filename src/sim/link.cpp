@@ -1,0 +1,79 @@
+#include "sim/link.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace ipop::sim {
+
+void LinkEnd::send(Frame frame) { link_->transmit(is_a_, std::move(frame)); }
+
+Link::Link(EventLoop& loop, const LinkConfig& cfg, util::Rng rng,
+           std::string name)
+    : Link(loop, cfg, cfg, std::move(rng), std::move(name)) {}
+
+Link::Link(EventLoop& loop, const LinkConfig& a_to_b, const LinkConfig& b_to_a,
+           util::Rng rng, std::string name)
+    : loop_(loop), name_(std::move(name)), rng_(std::move(rng)) {
+  dir_[0].cfg = a_to_b;
+  dir_[1].cfg = b_to_a;
+  a_.link_ = this;
+  a_.is_a_ = true;
+  b_.link_ = this;
+  b_.is_a_ = false;
+}
+
+void Link::transmit(bool from_a, Frame frame) {
+  Direction& d = dir_[from_a ? 0 : 1];
+  LinkEnd& dst = from_a ? b_ : a_;
+  ++d.stats.frames_sent;
+
+  if (!up_) {
+    ++d.stats.frames_dropped_loss;
+    return;
+  }
+  if (d.cfg.loss_rate > 0 && rng_.chance(d.cfg.loss_rate)) {
+    ++d.stats.frames_dropped_loss;
+    return;
+  }
+
+  const TimePoint now = loop_.now();
+  // Current backlog in bytes is the unserialized horizon times bandwidth.
+  double backlog_bytes = 0.0;
+  if (d.cfg.bandwidth_bps > 0 && d.tx_free_at > now) {
+    backlog_bytes = static_cast<double>((d.tx_free_at - now).count()) *
+                    d.cfg.bandwidth_bps / 8e9;
+  }
+  if (backlog_bytes + static_cast<double>(frame.size()) >
+      static_cast<double>(d.cfg.queue_bytes)) {
+    ++d.stats.frames_dropped_queue;
+    IPOP_LOG_TRACE(name_ << ": queue drop (" << backlog_bytes << "B backlog)");
+    return;
+  }
+
+  Duration serialization{};
+  if (d.cfg.bandwidth_bps > 0) {
+    serialization = Duration{static_cast<std::int64_t>(std::llround(
+        static_cast<double>(frame.size()) * 8.0 / d.cfg.bandwidth_bps * 1e9))};
+  }
+  const TimePoint tx_start = std::max(now, d.tx_free_at);
+  const TimePoint tx_done = tx_start + serialization;
+  d.tx_free_at = tx_done;
+
+  Duration jitter{};
+  if (d.cfg.jitter.count() > 0) {
+    jitter = Duration{static_cast<std::int64_t>(
+        rng_.uniform(0, static_cast<double>(d.cfg.jitter.count())))};
+  }
+  const TimePoint deliver_at = tx_done + d.cfg.delay + jitter;
+  const std::size_t frame_size = frame.size();
+
+  loop_.schedule_at(
+      deliver_at, [&d, &dst, frame = std::move(frame), frame_size]() mutable {
+        ++d.stats.frames_delivered;
+        d.stats.bytes_delivered += frame_size;
+        if (dst.receiver_) dst.receiver_(std::move(frame));
+      });
+}
+
+}  // namespace ipop::sim

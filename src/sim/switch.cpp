@@ -1,0 +1,57 @@
+#include "sim/switch.hpp"
+
+namespace ipop::sim {
+
+std::size_t Switch::attach(LinkEnd& end) {
+  const std::size_t port = ports_.size();
+  ports_.push_back(&end);
+  end.set_receiver(
+      [this, port](Frame frame) { handle_frame(port, std::move(frame)); });
+  return port;
+}
+
+Switch::MacKey Switch::mac_key(const Frame& f, std::size_t offset) {
+  MacKey key = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    key = (key << 8) | f[offset + i];
+  }
+  return key;
+}
+
+bool Switch::is_broadcast(const Frame& f) {
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (f[i] != 0xFF) return false;
+  }
+  return true;
+}
+
+void Switch::handle_frame(std::size_t in_port, Frame frame) {
+  if (frame.size() < 14) return;  // runt frame: drop
+
+  mac_table_[mac_key(frame, 6)] = in_port;  // learn source
+
+  auto forward = [this](std::size_t port, Frame f) {
+    loop_.schedule_after(delay_, [this, port, f = std::move(f)]() mutable {
+      ports_[port]->send(std::move(f));
+    });
+  };
+
+  if (!is_broadcast(frame)) {
+    auto it = mac_table_.find(mac_key(frame, 0));
+    if (it != mac_table_.end()) {
+      if (it->second != in_port) {
+        ++forwarded_;
+        forward(it->second, std::move(frame));
+      }
+      return;
+    }
+  }
+  // Broadcast or unknown unicast: flood all other ports.
+  ++flooded_;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p == in_port) continue;
+    forward(p, frame);
+  }
+}
+
+}  // namespace ipop::sim

@@ -1,0 +1,50 @@
+// Learning Ethernet switch.
+//
+// Recreates the paper's LAN segments (the ACIS private LAN holding F1, F2,
+// F4 and the campus public segment).  The switch learns source MACs per
+// port, forwards unicast to the learned port and floods unknown/broadcast
+// destinations, with a small per-frame forwarding latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.hpp"
+
+namespace ipop::sim {
+
+class Switch {
+ public:
+  Switch(EventLoop& loop, std::string name,
+         Duration forwarding_delay = util::microseconds(5))
+      : loop_(loop), name_(std::move(name)), delay_(forwarding_delay) {}
+
+  /// Attach a link end as a switch port; the switch takes over its receive
+  /// handler.  Returns the port index.
+  std::size_t attach(LinkEnd& end);
+
+  std::size_t ports() const { return ports_.size(); }
+  std::uint64_t frames_forwarded() const { return forwarded_; }
+  std::uint64_t frames_flooded() const { return flooded_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  using MacKey = std::uint64_t;  // 48-bit MAC packed into 64 bits
+  static MacKey mac_key(const Frame& f, std::size_t offset);
+  static bool is_broadcast(const Frame& f);
+
+  void handle_frame(std::size_t in_port, Frame frame);
+
+  EventLoop& loop_;
+  std::string name_;
+  Duration delay_;
+  std::vector<LinkEnd*> ports_;
+  std::unordered_map<MacKey, std::size_t> mac_table_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t flooded_ = 0;
+};
+
+}  // namespace ipop::sim

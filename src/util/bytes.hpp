@@ -1,0 +1,149 @@
+// Bounds-checked big-endian byte serialization.
+//
+// Every wire format in the repository (Ethernet, IPv4, TCP, Brunet P2P
+// packets, DHT records, NFS RPCs) is encoded through these two classes so
+// that byte-order and bounds handling live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipop::util {
+
+/// Thrown when a reader runs past the end of its buffer.  Network-facing
+/// parsers catch this at the demultiplex boundary and drop the packet, so a
+/// malformed or truncated packet can never corrupt simulator state.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only big-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u32) byte string.
+  void lp_bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+  /// Length-prefixed (u32) UTF-8 string.
+  void lp_string(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Overwrite a previously written 16-bit field (e.g. a checksum slot).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) throw ParseError("patch_u16 out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked big-endian decoder over a non-owning view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::vector<std::uint8_t> bytes_copy(std::size_t n) {
+    auto s = bytes(n);
+    return {s.begin(), s.end()};
+  }
+  std::vector<std::uint8_t> lp_bytes() {
+    std::uint32_t n = u32();
+    return bytes_copy(n);
+  }
+  std::string lp_string() {
+    std::uint32_t n = u32();
+    auto s = bytes(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+  /// Remaining unread bytes as a view.
+  std::span<const std::uint8_t> rest() { return data_.subspan(pos_); }
+  std::vector<std::uint8_t> rest_copy() {
+    auto s = rest();
+    pos_ = data_.size();
+    return {s.begin(), s.end()};
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw ParseError("ByteReader: truncated input (need " +
+                       std::to_string(n) + " at " + std::to_string(pos_) +
+                       " of " + std::to_string(data_.size()) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Render bytes as lowercase hex (diagnostics and test assertions).
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse hex back into bytes; throws ParseError on odd length / bad digit.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace ipop::util

@@ -1,0 +1,13 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace ipop::util {
+
+double Rng::log_uniform(double lo, double hi) {
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  return std::exp(uniform(llo, lhi));
+}
+
+}  // namespace ipop::util

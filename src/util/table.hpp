@@ -1,0 +1,30 @@
+// ASCII table printer used by the benchmark harnesses to echo the paper's
+// tables next to our measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipop::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal separator row.
+  void add_rule();
+
+  std::string render() const;
+
+  /// printf-style float cell helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string percent(double v, int precision = 0);
+
+ private:
+  std::vector<std::string> headers_;
+  // Empty vector encodes a rule row.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ipop::util

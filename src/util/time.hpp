@@ -1,0 +1,59 @@
+// Simulated-time primitives shared by every module.
+//
+// All of IPOP's reproduction runs on a deterministic discrete-event
+// simulator; time is a signed 64-bit count of simulated nanoseconds.  We
+// wrap std::chrono so arithmetic is type-safe, and provide terse factory
+// helpers because packet-level code constructs durations constantly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ipop::util {
+
+/// Duration of simulated time (nanosecond resolution).
+using Duration = std::chrono::nanoseconds;
+
+/// Absolute simulated time, measured from the start of the simulation.
+using TimePoint = std::chrono::nanoseconds;
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration milliseconds(std::int64_t n) {
+  return Duration{n * 1'000'000};
+}
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+
+/// Fractional-unit helpers (useful for calibration knobs like 0.35 ms).
+constexpr Duration microseconds_f(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e3)};
+}
+constexpr Duration milliseconds_f(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e6)};
+}
+constexpr Duration seconds_f(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e9)};
+}
+
+constexpr double to_seconds(Duration d) { return d.count() / 1e9; }
+constexpr double to_milliseconds(Duration d) { return d.count() / 1e6; }
+constexpr double to_microseconds(Duration d) { return d.count() / 1e3; }
+
+/// Render a duration as a human-readable string, e.g. "1.234ms".
+inline std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.count());
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace ipop::util

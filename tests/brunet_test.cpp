@@ -1,0 +1,597 @@
+// Brunet overlay tests: address arithmetic, packet codec, link handshakes,
+// ring self-configuration (UDP and TCP), greedy routing properties, churn
+// repair, NAT traversal, DHT storage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "brunet/dht.hpp"
+#include "brunet/node.hpp"
+#include "net/topology.hpp"
+
+namespace ipop::brunet {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+net::Ipv4Address ip(const char* s) { return net::Ipv4Address::parse(s); }
+
+// --- Address arithmetic -----------------------------------------------------
+
+TEST(AddressTest, HexRoundTrip) {
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Address a = Address::random(rng);
+    EXPECT_EQ(Address::from_hex(a.to_hex()), a);
+  }
+}
+
+TEST(AddressTest, FromIpIsSha1) {
+  // SHA1 of the 4 raw bytes 172.16.0.2 must be stable and distinct.
+  Address a = Address::from_ip(ip("172.16.0.2"));
+  Address b = Address::from_ip(ip("172.16.0.3"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Address::from_ip(ip("172.16.0.2")));
+}
+
+TEST(AddressTest, RingDistanceSymmetric) {
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    Address a = Address::random(rng);
+    Address b = Address::random(rng);
+    EXPECT_EQ(Address::ring_distance(a, b), Address::ring_distance(b, a));
+  }
+}
+
+TEST(AddressTest, DirectedDistanceWrapsAroundZero) {
+  Address::Bytes near_top{};
+  near_top.fill(0xFF);  // 2^160 - 1
+  Address a(near_top);
+  Address::Bytes two{};
+  two[Address::kBytes - 1] = 2;
+  Address b(two);
+  // Clockwise from (2^160-1) to 2 is 3 steps.
+  auto d = Address::directed_distance(a, b);
+  Address::Bytes three{};
+  three[Address::kBytes - 1] = 3;
+  EXPECT_EQ(d, three);
+}
+
+TEST(AddressTest, CloserIsStrict) {
+  util::Rng rng(9);
+  Address t = Address::random(rng);
+  Address x = Address::random(rng);
+  EXPECT_FALSE(Address::closer(t, x, x));
+  EXPECT_TRUE(Address::closer(x, x, t));  // distance 0 beats anything else
+}
+
+TEST(AddressTest, InRangeRight) {
+  Address::Bytes b10{}, b20{}, b30{};
+  b10[Address::kBytes - 1] = 10;
+  b20[Address::kBytes - 1] = 20;
+  b30[Address::kBytes - 1] = 30;
+  Address a10(b10), a20(b20), a30(b30);
+  EXPECT_TRUE(Address::in_range_right(a10, a20, a30));
+  EXPECT_TRUE(Address::in_range_right(a10, a30, a30));   // inclusive right
+  EXPECT_FALSE(Address::in_range_right(a10, a10, a30));  // exclusive left
+  EXPECT_FALSE(Address::in_range_right(a20, a10, a30));  // wraps: 10 not in (20,30]
+}
+
+TEST(AddressTest, OffsetByPow2) {
+  Address zero;
+  Address one_shifted = zero.offset_by_pow2(0);
+  EXPECT_EQ(one_shifted.bytes()[Address::kBytes - 1], 1);
+  Address big = zero.offset_by_pow2(159);
+  EXPECT_EQ(big.bytes()[0], 0x80);
+}
+
+// --- Packet codec -------------------------------------------------------------
+
+TEST(PacketTest, RoundTrip) {
+  util::Rng rng(3);
+  Packet p;
+  p.type = PacketType::kIpTunnel;
+  p.mode = RoutingMode::kClosest;
+  p.ttl = 17;
+  p.hops = 4;
+  p.msg_id = 0xCAFE;
+  p.src = Address::random(rng);
+  p.dst = Address::random(rng);
+  p.payload = {1, 2, 3, 4, 5};
+  auto bytes = p.encode();
+  EXPECT_EQ(bytes.size(), Packet::kHeaderSize + 5);
+  Packet q = Packet::decode(bytes);
+  EXPECT_EQ(q.type, p.type);
+  EXPECT_EQ(q.mode, p.mode);
+  EXPECT_EQ(q.ttl, 17);
+  EXPECT_EQ(q.hops, 4);
+  EXPECT_EQ(q.msg_id, 0xCAFEu);
+  EXPECT_EQ(q.src, p.src);
+  EXPECT_EQ(q.dst, p.dst);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(PacketTest, TruncatedThrows) {
+  std::vector<std::uint8_t> junk(10, 0);
+  EXPECT_THROW(Packet::decode(junk), util::ParseError);
+}
+
+// --- ConnectionTable -----------------------------------------------------------
+
+TEST(ConnectionTableTest, NeighborOrdering) {
+  Address::Bytes b{};
+  auto mk = [&](std::uint8_t v) {
+    Address::Bytes x{};
+    x[0] = v;  // spread across the top byte
+    return Address(x);
+  };
+  ConnectionTable table(mk(100));
+  for (std::uint8_t v : {10, 50, 120, 200, 240}) {
+    Connection c;
+    c.addr = mk(v);
+    table.add(c);
+  }
+  auto right = table.right_neighbors(2);
+  ASSERT_EQ(right.size(), 2u);
+  EXPECT_EQ(right[0]->addr, mk(120));
+  EXPECT_EQ(right[1]->addr, mk(200));
+  auto left = table.left_neighbors(2);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0]->addr, mk(50));
+  EXPECT_EQ(left[1]->addr, mk(10));
+  (void)b;
+}
+
+TEST(ConnectionTableTest, ClosestToWithExclusion) {
+  auto mk = [&](std::uint8_t v) {
+    Address::Bytes x{};
+    x[0] = v;
+    return Address(x);
+  };
+  ConnectionTable table(mk(0));
+  Connection c10, c20;
+  c10.addr = mk(10);
+  c20.addr = mk(20);
+  table.add(c10);
+  table.add(c20);
+  Address target = mk(12);
+  EXPECT_EQ(table.closest_to(target)->addr, mk(10));
+  Address excl = mk(10);
+  EXPECT_EQ(table.closest_to(target, &excl)->addr, mk(20));
+}
+
+TEST(ConnectionTableTest, AddUpgradesTypeAndDeduplicates) {
+  util::Rng rng(1);
+  ConnectionTable table(Address::random(rng));
+  Address peer = Address::random(rng);
+  Connection leaf;
+  leaf.addr = peer;
+  table.add(leaf);
+  Connection near_conn;
+  near_conn.addr = peer;
+  near_conn.type = ConnectionType::kStructuredNear;
+  table.add(near_conn);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(peer)->type, ConnectionType::kStructuredNear);
+  // Downgrade attempts are ignored.
+  table.add(leaf);
+  EXPECT_EQ(table.find(peer)->type, ConnectionType::kStructuredNear);
+}
+
+// --- Overlay fixtures ------------------------------------------------------------
+
+/// N public hosts on one switch, each running a BrunetNode.
+struct OverlayFixture {
+  net::Network net{101};
+  std::vector<net::Host*> hosts;
+  std::vector<std::unique_ptr<BrunetNode>> nodes;
+  std::vector<Address> addrs;
+
+  void build(int n, TransportAddress::Proto proto, std::uint64_t seed = 77) {
+    util::Rng rng(seed);
+    auto& sw = net.add_switch("sw");
+    sim::LinkConfig lan;
+    lan.delay = util::microseconds(100);
+    for (int i = 0; i < n; ++i) {
+      auto& h = net.add_host("n" + std::to_string(i));
+      const net::Ipv4Address hip(10, 0, static_cast<std::uint8_t>(i / 250),
+                                 static_cast<std::uint8_t>(i % 250 + 1));
+      net.connect_to_switch(h.stack(), {"eth0", hip, 8}, sw, lan);
+      hosts.push_back(&h);
+      NodeConfig cfg;
+      cfg.transport = proto;
+      Address addr = Address::random(rng);
+      auto node = std::make_unique<BrunetNode>(h, addr, cfg);
+      if (i > 0) {
+        node->add_seed({proto, hosts[0]->stack().interface_ip(0), cfg.port});
+      }
+      addrs.push_back(addr);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  void start_all() {
+    for (auto& n : nodes) n->start();
+  }
+
+  /// True when every running node's immediate ring neighbors match the
+  /// global sorted order of addresses.
+  bool ring_consistent() const {
+    std::vector<std::pair<Address, const BrunetNode*>> alive;
+    for (const auto& n : nodes) {
+      if (n->started()) alive.push_back({n->address(), n.get()});
+    }
+    if (alive.size() < 2) return true;
+    std::sort(alive.begin(), alive.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const auto& expect_right = alive[(i + 1) % alive.size()].first;
+      auto right = alive[i].second->right_neighbor();
+      if (!right || *right != expect_right) return false;
+    }
+    return true;
+  }
+
+  /// Run the loop until the ring converges (or the deadline passes).
+  bool converge(util::Duration budget = seconds(60)) {
+    const auto deadline = net.loop().now() + budget;
+    while (net.loop().now() < deadline) {
+      net.loop().run_until(net.loop().now() + milliseconds(500));
+      if (ring_consistent()) return true;
+    }
+    return ring_consistent();
+  }
+};
+
+struct RingFormation : ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingFormation,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+TEST_P(RingFormation, UdpRingConverges) {
+  OverlayFixture f;
+  f.build(GetParam(), TransportAddress::Proto::kUdp);
+  f.start_all();
+  EXPECT_TRUE(f.converge()) << "ring did not converge with " << GetParam()
+                            << " nodes";
+}
+
+TEST(RingFormationTcp, TcpRingConverges) {
+  OverlayFixture f;
+  f.build(8, TransportAddress::Proto::kTcp);
+  f.start_all();
+  EXPECT_TRUE(f.converge());
+}
+
+TEST(OverlayRouting, ExactDeliveryBetweenAllPairs) {
+  OverlayFixture f;
+  f.build(10, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  int delivered = 0;
+  const int n = static_cast<int>(f.nodes.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      f.nodes[j]->set_handler(PacketType::kAppData,
+                              [&delivered](const Packet&) { ++delivered; });
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
+                       {static_cast<std::uint8_t>(i)});
+    }
+  }
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  EXPECT_EQ(delivered, n * (n - 1));
+}
+
+TEST(OverlayRouting, ClosestModeDeliversToClosestNode) {
+  OverlayFixture f;
+  f.build(12, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Address target = Address::random(rng);
+    // Expected owner: node with minimal ring distance.
+    std::size_t expected = 0;
+    for (std::size_t i = 1; i < f.addrs.size(); ++i) {
+      if (Address::closer(target, f.addrs[i], f.addrs[expected])) expected = i;
+    }
+    int hits = 0;
+    for (std::size_t i = 0; i < f.nodes.size(); ++i) {
+      f.nodes[i]->set_handler(
+          PacketType::kAppData,
+          [&hits, i, expected](const Packet&) {
+            EXPECT_EQ(i, expected) << "delivered to wrong owner";
+            ++hits;
+          });
+    }
+    const std::size_t origin = trial % f.nodes.size();
+    f.nodes[origin]->send(target, PacketType::kAppData, RoutingMode::kClosest,
+                          {});
+    f.net.loop().run_until(f.net.loop().now() + seconds(2));
+    if (origin != expected) {
+      EXPECT_EQ(hits, 1) << "trial " << trial;
+    }
+  }
+}
+
+TEST(OverlayRouting, HopCountLogarithmicWithShortcuts) {
+  OverlayFixture f;
+  f.build(24, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  // Give shortcuts time to form.
+  f.net.loop().run_until(f.net.loop().now() + seconds(20));
+  int max_hops = 0;
+  int received = 0;
+  for (std::size_t j = 0; j < f.nodes.size(); ++j) {
+    f.nodes[j]->set_handler(PacketType::kAppData,
+                            [&](const Packet& pkt) {
+                              max_hops = std::max(max_hops, int{pkt.hops});
+                              ++received;
+                            });
+  }
+  for (std::size_t i = 0; i < f.nodes.size(); ++i) {
+    for (std::size_t j = 0; j < f.nodes.size(); ++j) {
+      if (i == j) continue;
+      f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
+                       {});
+    }
+  }
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  EXPECT_EQ(received, static_cast<int>(f.nodes.size() * (f.nodes.size() - 1)));
+  // Pure ring worst case is n/2 = 12; shortcuts should do much better.
+  EXPECT_LE(max_hops, 8);
+}
+
+TEST(OverlayChurn, RingRepairsAfterNodeLeaves) {
+  OverlayFixture f;
+  f.build(8, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  // Kill a middle node (never the seed, index 0).
+  f.nodes[3]->stop();
+  EXPECT_TRUE(f.converge(seconds(120))) << "ring did not repair after leave";
+}
+
+TEST(OverlayChurn, RingAbsorbsLateJoin) {
+  OverlayFixture f;
+  f.build(6, TransportAddress::Proto::kUdp);
+  // Start all but the last.
+  for (std::size_t i = 0; i + 1 < f.nodes.size(); ++i) f.nodes[i]->start();
+  f.net.loop().run_until(seconds(30));
+  f.nodes.back()->start();
+  EXPECT_TRUE(f.converge(seconds(60)));
+}
+
+TEST(OverlayChurn, SurvivesMultipleFailures) {
+  OverlayFixture f;
+  f.build(16, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  f.nodes[5]->stop();
+  f.nodes[9]->stop();
+  f.nodes[12]->stop();
+  EXPECT_TRUE(f.converge(seconds(180)));
+}
+
+TEST(OverlayPing, RequestResponseAndTimeout) {
+  OverlayFixture f;
+  f.build(4, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  bool got = false;
+  f.nodes[0]->request(f.addrs[2], PacketType::kPing, RoutingMode::kExact,
+                      {7, 7}, [&](std::optional<Packet> resp) {
+                        ASSERT_TRUE(resp.has_value());
+                        EXPECT_EQ(resp->payload,
+                                  (std::vector<std::uint8_t>{7, 7}));
+                        got = true;
+                      });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_TRUE(got);
+  // Request to a dead address times out with nullopt.
+  util::Rng rng(4242);
+  bool timed_out = false;
+  f.nodes[0]->request(Address::random(rng), PacketType::kPing,
+                      RoutingMode::kExact, {},
+                      [&](std::optional<Packet> resp) {
+                        EXPECT_FALSE(resp.has_value());
+                        timed_out = true;
+                      });
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  EXPECT_TRUE(timed_out);
+}
+
+// --- NAT traversal -----------------------------------------------------------
+
+struct NatTraversalEnv {
+  // seed (public) -- switch -- natA -- nodeA (private)
+  //                        \-- natB -- nodeB (private)
+  net::Network net{202};
+  net::Host* seed_host = nullptr;
+  net::Host* host_a = nullptr;
+  net::Host* host_b = nullptr;
+  std::unique_ptr<BrunetNode> seed;
+  std::unique_ptr<BrunetNode> node_a;
+  std::unique_ptr<BrunetNode> node_b;
+
+  void build(net::NatType type_a, net::NatType type_b) {
+    auto& sw = net.add_switch("internet");
+    sim::LinkConfig lan;
+    lan.delay = milliseconds(2);
+    seed_host = &net.add_host("seed");
+    net.connect_to_switch(seed_host->stack(), {"eth0", ip("8.0.0.1"), 24}, sw,
+                          lan);
+    auto make_site = [&](const char* name, net::NatType t, const char* priv,
+                         const char* pub) -> net::Host* {
+      auto& nat = net.add_nat(std::string(name) + "-nat", t);
+      auto& h = net.add_host(name);
+      net.connect(h.stack(), {"eth0", ip(priv), 24}, nat.stack(),
+                  {"in", ip((std::string(priv).substr(0, std::string(priv).rfind('.')) + ".254").c_str()), 24},
+                  lan);
+      net.connect_to_switch(nat.stack(), {"out", ip(pub), 24}, sw, lan);
+      h.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                          ip((std::string(priv).substr(0, std::string(priv).rfind('.')) + ".254").c_str()));
+      nat.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 1,
+                            ip("8.0.0.1"));
+      return &h;
+    };
+    host_a = make_site("a", type_a, "192.168.1.2", "8.0.0.10");
+    host_b = make_site("b", type_b, "192.168.2.2", "8.0.0.20");
+
+    util::Rng rng(55);
+    NodeConfig cfg;
+    cfg.transport = TransportAddress::Proto::kUdp;
+    seed = std::make_unique<BrunetNode>(*seed_host, Address::random(rng), cfg);
+    node_a = std::make_unique<BrunetNode>(*host_a, Address::random(rng), cfg);
+    node_b = std::make_unique<BrunetNode>(*host_b, Address::random(rng), cfg);
+    const TransportAddress seed_ta{TransportAddress::Proto::kUdp,
+                                   ip("8.0.0.1"), cfg.port};
+    node_a->add_seed(seed_ta);
+    node_b->add_seed(seed_ta);
+  }
+};
+
+struct NatTraversalFixture : NatTraversalEnv,
+                             ::testing::TestWithParam<net::NatType> {};
+
+INSTANTIATE_TEST_SUITE_P(ConeTypes, NatTraversalFixture,
+                         ::testing::Values(net::NatType::kFullCone,
+                                           net::NatType::kRestrictedCone,
+                                           net::NatType::kPortRestrictedCone));
+
+TEST_P(NatTraversalFixture, NattedNodesJoinViaPublicSeed) {
+  build(GetParam(), GetParam());
+  seed->start();
+  node_a->start();
+  node_b->start();
+  net.loop().run_until(seconds(30));
+  EXPECT_GE(seed->table().size(), 2u);
+  EXPECT_GE(node_a->table().size(), 1u);
+  EXPECT_GE(node_b->table().size(), 1u);
+}
+
+TEST_P(NatTraversalFixture, HolePunchDirectEdgeBetweenNattedNodes) {
+  build(GetParam(), GetParam());
+  seed->start();
+  node_a->start();
+  node_b->start();
+  net.loop().run_until(seconds(60));
+  // Ring of 3: each node must hold connections to both others — including
+  // a punched A<->B edge through both NATs.
+  EXPECT_TRUE(node_a->table().contains(node_b->address()))
+      << "no direct edge A->B through " << net::nat_type_name(GetParam());
+  EXPECT_TRUE(node_b->table().contains(node_a->address()));
+}
+
+TEST(NatTraversalSymmetric, SymmetricPairCannotPunch) {
+  NatTraversalEnv f;
+  f.build(net::NatType::kSymmetric, net::NatType::kSymmetric);
+  f.seed->start();
+  f.node_a->start();
+  f.node_b->start();
+  f.net.loop().run_until(seconds(60));
+  // Both can join via the public seed...
+  EXPECT_TRUE(f.seed->table().contains(f.node_a->address()));
+  EXPECT_TRUE(f.seed->table().contains(f.node_b->address()));
+  // ...but symmetric-symmetric direct traversal must fail (the observed
+  // port is per-destination, so the punch targets the wrong mapping).
+  EXPECT_FALSE(f.node_a->table().contains(f.node_b->address()));
+}
+
+// --- DHT ------------------------------------------------------------------------
+
+struct DhtFixture : ::testing::Test {
+  OverlayFixture f;
+  std::vector<std::unique_ptr<Dht>> dhts;
+
+  void SetUp() override {
+    f.build(8, TransportAddress::Proto::kUdp);
+    f.start_all();
+    ASSERT_TRUE(f.converge());
+    for (auto& n : f.nodes) {
+      dhts.push_back(std::make_unique<Dht>(*n));
+    }
+  }
+};
+
+TEST_F(DhtFixture, PutThenGetFromAnyNode) {
+  const auto key = Address::hash("test-key");
+  bool put_ok = false;
+  dhts[0]->put(key, {1, 2, 3}, [&](bool ok) { put_ok = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(put_ok);
+  for (std::size_t i = 0; i < dhts.size(); ++i) {
+    std::optional<std::vector<std::uint8_t>> got;
+    dhts[i]->get(key, [&](auto v) { got = std::move(v); });
+    f.net.loop().run_until(f.net.loop().now() + seconds(5));
+    ASSERT_TRUE(got.has_value()) << "get from node " << i;
+    EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 2, 3}));
+  }
+}
+
+TEST_F(DhtFixture, GetMissingKeyReturnsNullopt) {
+  std::optional<std::vector<std::uint8_t>> got{{9}};
+  bool called = false;
+  dhts[3]->get(Address::hash("never-stored"), [&](auto v) {
+    got = std::move(v);
+    called = true;
+  });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(DhtFixture, OverwriteKeepsNewestValue) {
+  const auto key = Address::hash("versioned");
+  dhts[1]->put(key, {1}, [](bool) {});
+  f.net.loop().run_until(f.net.loop().now() + seconds(2));
+  dhts[2]->put(key, {2}, [](bool) {});
+  f.net.loop().run_until(f.net.loop().now() + seconds(2));
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[4]->get(key, [&](auto v) { got = std::move(v); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{2}));
+}
+
+TEST_F(DhtFixture, ValueIsReplicated) {
+  const auto key = Address::hash("replicated-key");
+  dhts[0]->put(key, {42}, [](bool) {});
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  std::size_t copies = 0;
+  for (const auto& d : dhts) copies += d->local_records();
+  EXPECT_GE(copies, 2u);  // owner + at least one replica
+}
+
+TEST_F(DhtFixture, SurvivesOwnerFailure) {
+  const auto key = Address::hash("durable-key");
+  dhts[0]->put(key, {7, 7}, [](bool) {});
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  // Find and kill the owner node.
+  std::size_t owner = 0;
+  for (std::size_t i = 1; i < f.addrs.size(); ++i) {
+    if (Address::closer(key, f.addrs[i], f.addrs[owner])) owner = i;
+  }
+  if (owner == 0) GTEST_SKIP() << "owner is the seed; skipping";
+  f.nodes[owner]->stop();
+  ASSERT_TRUE(f.converge(seconds(120)));
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  std::size_t asker = (owner + 1) % dhts.size();
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[asker]->get(key, [&](auto v) { got = std::move(v); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value()) << "value lost after owner failure";
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{7, 7}));
+}
+
+}  // namespace
+}  // namespace ipop::brunet

@@ -1,0 +1,422 @@
+// NAT (all four RFC 3489 types), stateful firewall, and the Figure-4
+// testbed's reachability policy.
+#include <gtest/gtest.h>
+
+#include "net/ping.hpp"
+#include "net/topology.hpp"
+
+namespace ipop::net {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+Ipv4Address ip(const char* s) { return Ipv4Address::parse(s); }
+
+// ---------------------------------------------------------------------------
+// NAT behaviour matrix.
+//
+// inside (10.0.0.2) -- NAT -- outside subnet (8.0.0.0/24) with two public
+// hosts pub1 (8.0.0.10) and pub2 (8.0.0.20).
+// ---------------------------------------------------------------------------
+struct NatFixture : ::testing::TestWithParam<NatType> {
+  Network net{21};
+  Host* inside = nullptr;
+  Host* pub1 = nullptr;
+  Host* pub2 = nullptr;
+  NatBox* nat = nullptr;
+
+  void SetUp() override {
+    inside = &net.add_host("inside");
+    pub1 = &net.add_host("pub1");
+    pub2 = &net.add_host("pub2");
+    nat = &net.add_nat("nat", GetParam());
+    sim::LinkConfig link;
+    link.delay = milliseconds(1);
+    auto& sw = net.add_switch("outside");
+    net.connect(inside->stack(), {"eth0", ip("10.0.0.2"), 24}, nat->stack(),
+                {"in", ip("10.0.0.1"), 24}, link);
+    net.connect_to_switch(nat->stack(), {"out", ip("8.0.0.1"), 24}, sw, link);
+    net.connect_to_switch(pub1->stack(), {"eth0", ip("8.0.0.10"), 24}, sw, link);
+    net.connect_to_switch(pub2->stack(), {"eth0", ip("8.0.0.20"), 24}, sw, link);
+    inside->stack().add_route(Ipv4Prefix::parse("0.0.0.0/0"), 0, ip("10.0.0.1"));
+  }
+
+  struct Echo {
+    Ipv4Address src;
+    std::uint16_t src_port;
+    std::vector<std::uint8_t> data;
+  };
+};
+
+INSTANTIATE_TEST_SUITE_P(AllNatTypes, NatFixture,
+                         ::testing::Values(NatType::kFullCone,
+                                           NatType::kRestrictedCone,
+                                           NatType::kPortRestrictedCone,
+                                           NatType::kSymmetric),
+                         [](const auto& info) {
+                           std::string n = nat_type_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(NatFixture, OutboundUdpIsTranslatedAndRepliesReturn) {
+  auto server = pub1->stack().udp_bind(7000);
+  Ipv4Address seen_src;
+  std::uint16_t seen_port = 0;
+  server->set_receive_handler(
+      [&](Ipv4Address src, std::uint16_t sport, std::vector<std::uint8_t> d) {
+        seen_src = src;
+        seen_port = sport;
+        server->send_to(src, sport, std::move(d));
+      });
+  auto client = inside->stack().udp_bind(5555);
+  std::vector<std::uint8_t> reply;
+  client->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t> d) {
+        reply = std::move(d);
+      });
+  client->send_to(ip("8.0.0.10"), 7000, {1, 2, 3});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(seen_src, ip("8.0.0.1"));  // translated to the NAT's external IP
+  EXPECT_NE(seen_port, 5555);          // translated port
+  EXPECT_EQ(reply, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(nat->stats().mappings_created, 1u);
+}
+
+TEST_P(NatFixture, ThirdPartyInboundFollowsNatTypeRules) {
+  // inside contacts pub1 only; then pub2 tries to reach the mapped port.
+  auto server = pub1->stack().udp_bind(7000);
+  std::uint16_t mapped_port = 0;
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t sport, std::vector<std::uint8_t>) {
+        mapped_port = sport;
+      });
+  auto client = inside->stack().udp_bind(5555);
+  int inside_got = 0;
+  client->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) {
+        ++inside_got;
+      });
+  client->send_to(ip("8.0.0.10"), 7000, {1});
+  net.loop().run_until(seconds(1));
+  ASSERT_NE(mapped_port, 0);
+
+  // pub2 (different IP, some port) sends to the mapping.
+  auto probe = pub2->stack().udp_bind(9000);
+  probe->send_to(ip("8.0.0.1"), mapped_port, {0x77});
+  net.loop().run_until(seconds(2));
+
+  const bool should_pass = GetParam() == NatType::kFullCone;
+  EXPECT_EQ(inside_got > 0, should_pass)
+      << "NAT type " << nat_type_name(GetParam());
+}
+
+TEST_P(NatFixture, SameHostDifferentPortFollowsNatTypeRules) {
+  // inside contacts pub1:7000; pub1 then replies from port 7001.
+  auto server = pub1->stack().udp_bind(7000);
+  std::uint16_t mapped_port = 0;
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t sport, std::vector<std::uint8_t>) {
+        mapped_port = sport;
+      });
+  auto client = inside->stack().udp_bind(5555);
+  int inside_got = 0;
+  client->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) {
+        ++inside_got;
+      });
+  client->send_to(ip("8.0.0.10"), 7000, {1});
+  net.loop().run_until(seconds(1));
+  ASSERT_NE(mapped_port, 0);
+
+  auto other_port = pub1->stack().udp_bind(7001);
+  other_port->send_to(ip("8.0.0.1"), mapped_port, {0x55});
+  net.loop().run_until(seconds(2));
+
+  const bool should_pass = GetParam() == NatType::kFullCone ||
+                           GetParam() == NatType::kRestrictedCone;
+  EXPECT_EQ(inside_got > 0, should_pass)
+      << "NAT type " << nat_type_name(GetParam());
+}
+
+TEST_P(NatFixture, ConePreservesMappingAcrossDestinations) {
+  // The property Brunet traversal relies on: for non-symmetric NATs the
+  // same internal endpoint maps to the same external port regardless of
+  // destination.
+  std::uint16_t port_seen_by_1 = 0, port_seen_by_2 = 0;
+  auto s1 = pub1->stack().udp_bind(7000);
+  s1->set_receive_handler([&](Ipv4Address, std::uint16_t sport,
+                              std::vector<std::uint8_t>) { port_seen_by_1 = sport; });
+  auto s2 = pub2->stack().udp_bind(7000);
+  s2->set_receive_handler([&](Ipv4Address, std::uint16_t sport,
+                              std::vector<std::uint8_t>) { port_seen_by_2 = sport; });
+  auto client = inside->stack().udp_bind(5555);
+  client->send_to(ip("8.0.0.10"), 7000, {1});
+  client->send_to(ip("8.0.0.20"), 7000, {1});
+  net.loop().run_until(seconds(2));
+  ASSERT_NE(port_seen_by_1, 0);
+  ASSERT_NE(port_seen_by_2, 0);
+  if (GetParam() == NatType::kSymmetric) {
+    EXPECT_NE(port_seen_by_1, port_seen_by_2);
+  } else {
+    EXPECT_EQ(port_seen_by_1, port_seen_by_2);
+  }
+}
+
+TEST_P(NatFixture, TcpThroughNatWorksOutbound) {
+  auto listener = pub1->stack().tcp_listen(80);
+  std::vector<std::uint8_t> got;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    auto sp = s;
+    s->on_readable = [&, sp] {
+      auto chunk = sp->receive(4096);
+      got.insert(got.end(), chunk.begin(), chunk.end());
+    };
+  });
+  auto client = inside->stack().tcp_connect(ip("8.0.0.10"), 80);
+  ASSERT_NE(client, nullptr);
+  client->on_connected = [&] {
+    client->send(std::vector<std::uint8_t>{9, 8, 7});
+  };
+  net.loop().run_until(seconds(5));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST_P(NatFixture, UnsolicitedInboundToUnmappedPortBlocked) {
+  auto probe = pub2->stack().udp_bind(9000);
+  const auto blocked_before = nat->stats().blocked_in;
+  probe->send_to(ip("8.0.0.1"), 40000, {1});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(nat->stats().blocked_in, blocked_before + 1);
+}
+
+TEST_P(NatFixture, PingThroughNat) {
+  Pinger pinger(inside->stack());
+  Pinger::Options opts;
+  opts.count = 3;
+  opts.interval = milliseconds(10);
+  opts.timeout = milliseconds(500);
+  PingResult res;
+  pinger.run(ip("8.0.0.10"), opts, [&](PingResult r) { res = std::move(r); });
+  net.loop().run_until(seconds(5));
+  EXPECT_EQ(res.received, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Firewall
+// ---------------------------------------------------------------------------
+struct FirewallFixture : ::testing::Test {
+  Network net{31};
+  Host* in_host = nullptr;
+  Host* out_host = nullptr;
+  Firewall* fw = nullptr;
+
+  void SetUp() override {
+    in_host = &net.add_host("in");
+    out_host = &net.add_host("out");
+    fw = &net.add_firewall("fw");
+    sim::LinkConfig link;
+    link.delay = milliseconds(1);
+    net.connect(in_host->stack(), {"eth0", ip("192.168.0.2"), 24}, fw->stack(),
+                {"in", ip("192.168.0.1"), 24}, link);
+    net.connect(fw->stack(), {"out", ip("8.1.0.1"), 24}, out_host->stack(),
+                {"eth0", ip("8.1.0.2"), 24}, link);
+    in_host->stack().add_route(Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                               ip("192.168.0.1"));
+    out_host->stack().add_route(Ipv4Prefix::parse("192.168.0.0/24"), 0,
+                                ip("8.1.0.1"));
+  }
+};
+
+TEST_F(FirewallFixture, OutboundAllowedRepliesTracked) {
+  auto server = out_host->stack().udp_bind(5000);
+  server->set_receive_handler(
+      [&](Ipv4Address src, std::uint16_t sport, std::vector<std::uint8_t> d) {
+        server->send_to(src, sport, std::move(d));
+      });
+  auto client = in_host->stack().udp_bind(0);
+  int got = 0;
+  client->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) { ++got; });
+  client->send_to(ip("8.1.0.2"), 5000, {1});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(fw->stats().allowed_in_established, 1u);
+}
+
+TEST_F(FirewallFixture, UnsolicitedInboundBlocked) {
+  auto server = in_host->stack().udp_bind(5000);
+  int got = 0;
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) { ++got; });
+  auto probe = out_host->stack().udp_bind(0);
+  probe->send_to(ip("192.168.0.2"), 5000, {1});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(got, 0);
+  EXPECT_GE(fw->stats().blocked_in, 1u);
+}
+
+TEST_F(FirewallFixture, InboundRulePuncturesFirewall) {
+  FirewallRule ssh;
+  ssh.proto = IpProto::kTcp;
+  ssh.dst_port = 22;
+  fw->allow_inbound(ssh);
+  auto listener = in_host->stack().tcp_listen(22);
+  bool accepted = false;
+  listener->set_accept_handler(
+      [&](std::shared_ptr<TcpSocket>) { accepted = true; });
+  auto client = out_host->stack().tcp_connect(ip("192.168.0.2"), 22);
+  net.loop().run_until(seconds(5));
+  EXPECT_TRUE(accepted);
+  // But a different port stays closed.
+  bool connected80 = false;
+  auto c80 = out_host->stack().tcp_connect(ip("192.168.0.2"), 80,
+                                           TcpConfig{.syn_retries = 2});
+  c80->on_connected = [&] { connected80 = true; };
+  net.loop().run_until(seconds(60));
+  EXPECT_FALSE(connected80);
+}
+
+TEST_F(FirewallFixture, OutboundDefaultDenyWithAllowList) {
+  fw->set_outbound_default_allow(false);
+  FirewallRule to5000;
+  to5000.proto = IpProto::kUdp;
+  to5000.dst_port = 5000;
+  fw->allow_outbound(to5000);
+  auto s5000 = out_host->stack().udp_bind(5000);
+  auto s6000 = out_host->stack().udp_bind(6000);
+  int got5000 = 0, got6000 = 0;
+  s5000->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) { ++got5000; });
+  s6000->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) { ++got6000; });
+  auto client = in_host->stack().udp_bind(0);
+  client->send_to(ip("8.1.0.2"), 5000, {1});
+  client->send_to(ip("8.1.0.2"), 6000, {1});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(got5000, 1);
+  EXPECT_EQ(got6000, 0);
+  EXPECT_GE(fw->stats().blocked_out, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure-4 testbed reachability
+// ---------------------------------------------------------------------------
+struct Fig4Fixture : ::testing::Test {
+  Fig4Testbed tb = build_fig4();
+
+  int ping_once(Host& from, Ipv4Address to) {
+    Pinger pinger(from.stack());
+    Pinger::Options opts;
+    opts.count = 3;
+    opts.interval = milliseconds(50);
+    opts.timeout = seconds(1);
+    int received = -1;
+    pinger.run(to, opts, [&](PingResult r) { received = r.received; });
+    tb.net->loop().run_until(tb.net->loop().now() + seconds(10));
+    return received;
+  }
+};
+
+TEST_F(Fig4Fixture, LanPingF2toF4) {
+  EXPECT_EQ(ping_once(*tb.f2, tb.f4_lan_ip), 3);
+}
+
+TEST_F(Fig4Fixture, LanRttMatchesPaperBallpark) {
+  Pinger pinger(tb.f2->stack());
+  Pinger::Options opts;
+  opts.count = 100;
+  opts.interval = milliseconds(10);
+  opts.timeout = seconds(1);
+  PingResult res;
+  pinger.run(tb.f4_lan_ip, opts, [&](PingResult r) { res = std::move(r); });
+  tb.net->loop().run_until(seconds(30));
+  ASSERT_EQ(res.received, 100);
+  // Paper Table I physical LAN RTT: 0.625-0.898 ms.
+  EXPECT_GT(res.rtts_ms.mean(), 0.3);
+  EXPECT_LT(res.rtts_ms.mean(), 1.2);
+}
+
+TEST_F(Fig4Fixture, WanPingF4toV1MatchesPaperBallpark) {
+  Pinger pinger(tb.f4->stack());
+  Pinger::Options opts;
+  opts.count = 100;
+  opts.interval = milliseconds(20);
+  opts.timeout = seconds(2);
+  PingResult res;
+  pinger.run(tb.v1_ip, opts, [&](PingResult r) { res = std::move(r); });
+  tb.net->loop().run_until(seconds(60));
+  // V1 is firewalled: ICMP echo from F4 creates state outbound... but the
+  // request is *inbound* at VFW, so it must be blocked.
+  EXPECT_EQ(res.received, 0);
+}
+
+TEST_F(Fig4Fixture, V1CanPingOutToF4) {
+  Pinger pinger(tb.v1->stack());
+  Pinger::Options opts;
+  opts.count = 100;
+  opts.interval = milliseconds(20);
+  opts.timeout = seconds(2);
+  PingResult res;
+  pinger.run(tb.f4_pub_ip, opts, [&](PingResult r) { res = std::move(r); });
+  tb.net->loop().run_until(seconds(60));
+  ASSERT_EQ(res.received, 100);
+  // Paper Table I physical WAN RTT: 34.5-38.8 ms.
+  EXPECT_GT(res.rtts_ms.mean(), 30.0);
+  EXPECT_LT(res.rtts_ms.mean(), 42.0);
+}
+
+TEST_F(Fig4Fixture, F2BehindNatCanReachPublicF3) {
+  EXPECT_EQ(ping_once(*tb.f2, tb.f3_ip), 3);
+}
+
+TEST_F(Fig4Fixture, OutsideCannotReachNattedF2) {
+  EXPECT_EQ(ping_once(*tb.f3, tb.f2_ip), 0);
+}
+
+TEST_F(Fig4Fixture, F3CanSshIntoV1AndL1) {
+  for (Host* target : {tb.v1, tb.l1}) {
+    auto listener = target->stack().tcp_listen(22);
+    bool accepted = false;
+    listener->set_accept_handler(
+        [&](std::shared_ptr<TcpSocket>) { accepted = true; });
+    auto client = tb.f3->stack().tcp_connect(
+        target->stack().interface_ip(0), 22);
+    tb.net->loop().run_until(tb.net->loop().now() + seconds(10));
+    EXPECT_TRUE(accepted) << target->name();
+  }
+}
+
+TEST_F(Fig4Fixture, F4CannotSshIntoV1) {
+  auto listener = tb.v1->stack().tcp_listen(22);
+  bool accepted = false;
+  listener->set_accept_handler(
+      [&](std::shared_ptr<TcpSocket>) { accepted = true; });
+  auto client =
+      tb.f4->stack().tcp_connect(tb.v1_ip, 22, TcpConfig{.syn_retries = 2});
+  tb.net->loop().run_until(seconds(60));
+  EXPECT_FALSE(accepted);
+}
+
+TEST_F(Fig4Fixture, L1OutboundRestrictedToF3) {
+  // L1 -> F3 allowed.
+  auto l3 = tb.f3->stack().tcp_listen(7777);
+  bool to_f3 = false;
+  l3->set_accept_handler([&](std::shared_ptr<TcpSocket>) { to_f3 = true; });
+  auto c1 = tb.l1->stack().tcp_connect(tb.f3_ip, 7777);
+  // L1 -> F4 blocked by LFW outbound policy.
+  auto l4 = tb.f4->stack().tcp_listen(7777);
+  bool to_f4 = false;
+  l4->set_accept_handler([&](std::shared_ptr<TcpSocket>) { to_f4 = true; });
+  auto c2 = tb.l1->stack().tcp_connect(tb.f4_pub_ip, 7777,
+                                       TcpConfig{.syn_retries = 2});
+  tb.net->loop().run_until(seconds(60));
+  EXPECT_TRUE(to_f3);
+  EXPECT_FALSE(to_f4);
+}
+
+}  // namespace
+}  // namespace ipop::net

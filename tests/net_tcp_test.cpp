@@ -1,0 +1,367 @@
+// TCP tests: handshake, transfer integrity, congestion behaviour, loss
+// recovery, window limits, teardown, resets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/topology.hpp"
+#include "net/ttcp.hpp"
+
+namespace ipop::net {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+Ipv4Address ip(const char* s) { return Ipv4Address::parse(s); }
+
+/// Two hosts joined by a configurable point-to-point link.
+struct TcpFixture : ::testing::Test {
+  Network net{11};
+  Host* a = nullptr;
+  Host* b = nullptr;
+  sim::Link* link = nullptr;
+
+  void wire(sim::LinkConfig cfg) {
+    a = &net.add_host("a");
+    b = &net.add_host("b");
+    link = &net.connect(a->stack(), {"eth0", ip("10.0.0.1"), 24}, b->stack(),
+                        {"eth0", ip("10.0.0.2"), 24}, cfg);
+  }
+
+  static sim::LinkConfig lan() {
+    sim::LinkConfig cfg;
+    cfg.delay = util::microseconds(100);
+    cfg.bandwidth_bps = 100e6;
+    return cfg;
+  }
+};
+
+TEST_F(TcpFixture, HandshakeAndCallbacks) {
+  wire(lan());
+  auto listener = b->stack().tcp_listen(80);
+  ASSERT_NE(listener, nullptr);
+  std::shared_ptr<TcpSocket> server;
+  listener->set_accept_handler(
+      [&](std::shared_ptr<TcpSocket> s) { server = std::move(s); });
+  bool connected = false;
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  ASSERT_NE(client, nullptr);
+  client->on_connected = [&] { connected = true; };
+  net.loop().run_until(seconds(2));
+  EXPECT_TRUE(connected);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->remote_port(), client->local_port());
+}
+
+TEST_F(TcpFixture, SmallTransferArrivesIntact) {
+  wire(lan());
+  auto listener = b->stack().tcp_listen(80);
+  std::vector<std::uint8_t> received;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    auto sp = s;
+    s->on_readable = [&received, sp] {
+      auto chunk = sp->receive(4096);
+      received.insert(received.end(), chunk.begin(), chunk.end());
+    };
+  });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  std::vector<std::uint8_t> msg(300);
+  std::iota(msg.begin(), msg.end(), 0);
+  client->on_connected = [&] { client->send(msg); };
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(received, msg);
+}
+
+TEST_F(TcpFixture, BulkTransferIntegrityAndCompletion) {
+  wire(lan());
+  constexpr std::size_t kTotal = 2 * 1024 * 1024;
+  auto listener = b->stack().tcp_listen(80);
+  std::size_t received = 0;
+  std::uint64_t checksum = 0;
+  bool server_eof = false;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    auto sp = s;
+    s->on_readable = [&, sp] {
+      while (true) {
+        auto chunk = sp->receive(65536);
+        if (chunk.empty()) break;
+        for (auto byte : chunk) checksum += byte;
+        received += chunk.size();
+      }
+      if (sp->eof()) server_eof = true;
+    };
+  });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  std::size_t queued = 0;
+  std::uint64_t sent_checksum = 0;
+  auto pump = [&] {
+    while (queued < kTotal) {
+      std::vector<std::uint8_t> chunk(
+          std::min<std::size_t>(8192, kTotal - queued));
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<std::uint8_t>((queued + i) * 31);
+      }
+      const std::size_t sent = client->send(chunk);
+      for (std::size_t i = 0; i < sent; ++i) sent_checksum += chunk[i];
+      queued += sent;
+      if (sent < chunk.size()) return;
+    }
+    client->close();
+  };
+  client->on_connected = pump;
+  client->on_writable = pump;
+  net.loop().run_until(seconds(60));
+  EXPECT_EQ(received, kTotal);
+  EXPECT_EQ(checksum, sent_checksum);
+  EXPECT_TRUE(server_eof);
+}
+
+TEST_F(TcpFixture, TransferSurvivesHeavyLoss) {
+  auto cfg = lan();
+  cfg.loss_rate = 0.05;  // 5% loss both ways
+  wire(cfg);
+  constexpr std::size_t kTotal = 256 * 1024;
+  auto listener = b->stack().tcp_listen(80);
+  std::vector<std::uint8_t> received;
+  received.reserve(kTotal);
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    auto sp = s;
+    s->on_readable = [&, sp] {
+      while (true) {
+        auto chunk = sp->receive(65536);
+        if (chunk.empty()) break;
+        received.insert(received.end(), chunk.begin(), chunk.end());
+      }
+    };
+  });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  std::size_t queued = 0;
+  auto pump = [&] {
+    while (queued < kTotal) {
+      std::vector<std::uint8_t> chunk(
+          std::min<std::size_t>(4096, kTotal - queued));
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<std::uint8_t>((queued + i) % 251);
+      }
+      const std::size_t sent = client->send(chunk);
+      queued += sent;
+      if (sent < chunk.size()) return;
+    }
+    client->close();
+  };
+  client->on_connected = pump;
+  client->on_writable = pump;
+  net.loop().run_until(seconds(600));
+  ASSERT_EQ(received.size(), kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(received[i], static_cast<std::uint8_t>(i % 251)) << "at " << i;
+  }
+  EXPECT_GT(client->stats().retransmits, 0u);
+}
+
+TEST_F(TcpFixture, FastRetransmitOnIsolatedLoss) {
+  auto cfg = lan();
+  cfg.loss_rate = 0.01;
+  wire(cfg);
+  TtcpReceiver receiver(b->stack(), 80);
+  TtcpSender sender(a->stack());
+  TtcpSender::Options opts;
+  opts.total_bytes = 512 * 1024;
+  TtcpResult result;
+  receiver.set_done([&](TtcpResult r) { result = r; });
+  sender.run(ip("10.0.0.2"), 80, opts, [](TtcpResult) {});
+  net.loop().run_until(seconds(300));
+  EXPECT_EQ(result.bytes, opts.total_bytes);
+  // With light loss most recoveries should be fast retransmits, and the
+  // connection must not collapse into pure timeout recovery.
+  EXPECT_GT(result.throughput_kbps(), 100.0);
+}
+
+TEST_F(TcpFixture, ThroughputIsWindowLimitedOnLongFatPipe) {
+  sim::LinkConfig cfg;
+  cfg.delay = milliseconds(20);  // 40 ms RTT
+  cfg.bandwidth_bps = 100e6;
+  wire(cfg);
+  TtcpReceiver receiver(b->stack(), 80);
+  TtcpSender sender(a->stack());
+  TtcpSender::Options opts;
+  opts.total_bytes = 4 * 1024 * 1024;
+  TtcpResult result;
+  receiver.set_done([&](TtcpResult r) { result = r; });
+  sender.run(ip("10.0.0.2"), 80, opts, [](TtcpResult) {});
+  net.loop().run_until(seconds(120));
+  ASSERT_EQ(result.bytes, opts.total_bytes);
+  // 64 KB window / 40 ms RTT = 1600 KB/s theoretical ceiling.
+  EXPECT_LT(result.throughput_kbps(), 1700.0);
+  EXPECT_GT(result.throughput_kbps(), 1000.0);
+}
+
+TEST_F(TcpFixture, LanThroughputApproachesLineRate) {
+  wire(lan());
+  TtcpReceiver receiver(b->stack(), 80);
+  TtcpSender sender(a->stack());
+  TtcpSender::Options opts;
+  opts.total_bytes = 8 * 1024 * 1024;
+  TtcpResult result;
+  receiver.set_done([&](TtcpResult r) { result = r; });
+  sender.run(ip("10.0.0.2"), 80, opts, [](TtcpResult) {});
+  net.loop().run_until(seconds(60));
+  ASSERT_EQ(result.bytes, opts.total_bytes);
+  // 100 Mbps = 12.2 MB/s; expect most of it through one TCP stream.
+  EXPECT_GT(result.throughput_kbps(), 7000.0);
+  EXPECT_LT(result.throughput_kbps(), 12500.0);
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortIsRefused) {
+  wire(lan());
+  std::string reason;
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 4321);
+  client->on_closed = [&](std::string r) { reason = std::move(r); };
+  net.loop().run_until(seconds(5));
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(reason, "connection refused");
+}
+
+TEST_F(TcpFixture, ConnectTimesOutWhenPeerSilent) {
+  auto cfg = lan();
+  wire(cfg);
+  link->set_up(false);  // black hole
+  std::string reason;
+  TcpConfig tcfg;
+  tcfg.syn_retries = 3;
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80, tcfg);
+  client->on_closed = [&](std::string r) { reason = std::move(r); };
+  net.loop().run_until(seconds(120));
+  EXPECT_EQ(reason, "connect timeout");
+}
+
+TEST_F(TcpFixture, GracefulCloseBothDirections) {
+  wire(lan());
+  auto listener = b->stack().tcp_listen(80);
+  std::shared_ptr<TcpSocket> server;
+  bool server_closed = false, client_closed = false;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    server = std::move(s);
+    server->on_readable = [&] {
+      if (server->eof()) server->close();  // close our side on EOF
+    };
+    server->on_closed = [&](std::string) { server_closed = true; };
+  });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  client->on_connected = [&] { client->close(); };
+  client->on_closed = [&](std::string) { client_closed = true; };
+  net.loop().run_until(seconds(120));  // covers TIME_WAIT
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, AbortSendsReset) {
+  wire(lan());
+  auto listener = b->stack().tcp_listen(80);
+  std::shared_ptr<TcpSocket> server;
+  std::string server_reason = "unset";
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    server = std::move(s);
+    server->on_closed = [&](std::string r) { server_reason = std::move(r); };
+  });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  client->on_connected = [&] { client->abort(); };
+  net.loop().run_until(seconds(5));
+  EXPECT_EQ(server_reason, "connection reset");
+}
+
+TEST_F(TcpFixture, ZeroWindowStallsAndRecovers) {
+  wire(lan());
+  TcpConfig small;
+  small.recv_buf = 4096;  // tiny receive buffer: reader-paced flow
+  auto listener = b->stack().tcp_listen(80, small);
+  std::shared_ptr<TcpSocket> server;
+  std::size_t received = 0;
+  listener->set_accept_handler(
+      [&](std::shared_ptr<TcpSocket> s) { server = std::move(s); });
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  constexpr std::size_t kTotal = 64 * 1024;
+  std::size_t queued = 0;
+  auto pump = [&] {
+    while (queued < kTotal) {
+      std::vector<std::uint8_t> chunk(
+          std::min<std::size_t>(8192, kTotal - queued));
+      const std::size_t sent = client->send(chunk);
+      queued += sent;
+      if (sent < chunk.size()) return;
+    }
+    client->close();
+  };
+  client->on_connected = pump;
+  client->on_writable = pump;
+  // Slow reader: drain 2 KB every 50 ms.
+  std::function<void()> drain = [&] {
+    if (server) {
+      auto chunk = server->receive(2048);
+      received += chunk.size();
+    }
+    if (received < kTotal) {
+      net.loop().schedule_after(milliseconds(50), drain);
+    }
+  };
+  net.loop().schedule_after(milliseconds(50), drain);
+  net.loop().run_until(seconds(600));
+  EXPECT_EQ(received, kTotal);
+}
+
+TEST_F(TcpFixture, ManyParallelConnections) {
+  wire(lan());
+  constexpr int kConns = 20;
+  auto listener = b->stack().tcp_listen(80);
+  int server_done = 0;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    auto sp = s;
+    auto count = std::make_shared<std::size_t>(0);
+    s->on_readable = [&, sp, count] {
+      while (true) {
+        auto chunk = sp->receive(4096);
+        if (chunk.empty()) break;
+        *count += chunk.size();
+      }
+      if (sp->eof()) {
+        EXPECT_EQ(*count, 1000u);
+        ++server_done;
+        sp->close();
+      }
+    };
+  });
+  std::vector<std::shared_ptr<TcpSocket>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    auto c = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+    ASSERT_NE(c, nullptr);
+    c->on_connected = [c] {
+      std::vector<std::uint8_t> data(1000, 0x42);
+      c->send(data);
+      c->close();
+    };
+    clients.push_back(c);
+  }
+  net.loop().run_until(seconds(120));
+  EXPECT_EQ(server_done, kConns);
+}
+
+TEST_F(TcpFixture, CongestionWindowGrowsFromSlowStart) {
+  wire(lan());
+  auto listener = b->stack().tcp_listen(80);
+  listener->set_accept_handler([](std::shared_ptr<TcpSocket>) {});
+  auto client = a->stack().tcp_connect(ip("10.0.0.2"), 80);
+  const std::size_t initial_cwnd = client->cwnd();
+  std::vector<std::uint8_t> data(200 * 1024, 1);
+  client->on_connected = [&] { client->send(data); };
+  net.loop().run_until(seconds(10));
+  EXPECT_GT(client->cwnd(), initial_cwnd);
+  EXPECT_GT(client->srtt().count(), 0);
+}
+
+}  // namespace
+}  // namespace ipop::net

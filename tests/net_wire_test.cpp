@@ -1,0 +1,241 @@
+// Unit tests for the wire-format codecs: Ethernet, ARP, IPv4, ICMP, UDP, TCP.
+#include <gtest/gtest.h>
+
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+
+namespace ipop::net {
+namespace {
+
+TEST(MacTest, FormatAndBroadcast) {
+  MacAddress m{{0x02, 0x1b, 0x00, 0x00, 0x00, 0x05}};
+  EXPECT_EQ(m.to_string(), "02:1b:00:00:00:05");
+  EXPECT_FALSE(m.is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+}
+
+TEST(MacTest, FromIndexUnique) {
+  EXPECT_NE(MacAddress::from_index(1), MacAddress::from_index(2));
+  // Locally administered unicast: low bits of first octet are 0b10.
+  EXPECT_EQ(MacAddress::from_index(7).octets[0] & 0x03, 0x02);
+}
+
+TEST(EthernetTest, RoundTrip) {
+  EthernetFrame f;
+  f.dst = MacAddress::from_index(1);
+  f.src = MacAddress::from_index(2);
+  f.type = EtherType::kArp;
+  f.payload = {1, 2, 3, 4};
+  auto bytes = f.encode();
+  EXPECT_EQ(bytes.size(), EthernetFrame::kHeaderSize + 4);
+  auto g = EthernetFrame::decode(bytes);
+  EXPECT_EQ(g.dst, f.dst);
+  EXPECT_EQ(g.src, f.src);
+  EXPECT_EQ(g.type, EtherType::kArp);
+  EXPECT_EQ(g.payload, f.payload);
+}
+
+TEST(EthernetTest, TruncatedThrows) {
+  std::vector<std::uint8_t> short_frame(10, 0);
+  EXPECT_THROW(EthernetFrame::decode(short_frame), util::ParseError);
+}
+
+TEST(Ipv4AddressTest, ParseFormat) {
+  auto a = Ipv4Address::parse("172.16.0.2");
+  EXPECT_EQ(a.to_string(), "172.16.0.2");
+  EXPECT_EQ(a.value, 0xAC100002u);
+  EXPECT_EQ(Ipv4Address(172, 16, 0, 2), a);
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Address::parse("256.1.1.1"), util::ParseError);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3"), util::ParseError);
+  EXPECT_THROW(Ipv4Address::parse("a.b.c.d"), util::ParseError);
+  EXPECT_THROW(Ipv4Address::parse(""), util::ParseError);
+}
+
+TEST(Ipv4PrefixTest, ContainsAndMask) {
+  auto p = Ipv4Prefix::parse("172.16.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Address::parse("172.16.255.1")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse("172.17.0.1")));
+  EXPECT_EQ(p.to_string(), "172.16.0.0/16");
+  auto all = Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Address::parse("8.8.8.8")));
+  auto host = Ipv4Prefix::parse("10.0.0.1/32");
+  EXPECT_TRUE(host.contains(Ipv4Address::parse("10.0.0.1")));
+  EXPECT_FALSE(host.contains(Ipv4Address::parse("10.0.0.2")));
+}
+
+TEST(Ipv4PrefixTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0"), util::ParseError);
+  EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/33"), util::ParseError);
+}
+
+TEST(ChecksumTest, KnownVector) {
+  // Example from RFC 1071 discussions.
+  std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(ChecksumTest, OddLength) {
+  // Odd trailing byte is padded with zero: 0x0102 + 0x0300 = 0x0402.
+  std::vector<std::uint8_t> data{0x01, 0x02, 0x03};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x0402));
+}
+
+TEST(Ipv4PacketTest, RoundTrip) {
+  Ipv4Packet p;
+  p.hdr.src = Ipv4Address::parse("10.0.0.1");
+  p.hdr.dst = Ipv4Address::parse("10.0.0.2");
+  p.hdr.proto = IpProto::kUdp;
+  p.hdr.ttl = 31;
+  p.payload = {9, 9, 9};
+  auto bytes = p.encode();
+  auto q = Ipv4Packet::decode(bytes);
+  EXPECT_EQ(q.hdr.src, p.hdr.src);
+  EXPECT_EQ(q.hdr.dst, p.hdr.dst);
+  EXPECT_EQ(q.hdr.proto, IpProto::kUdp);
+  EXPECT_EQ(q.hdr.ttl, 31);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Ipv4PacketTest, CorruptedHeaderChecksumRejected) {
+  Ipv4Packet p;
+  p.hdr.src = Ipv4Address::parse("10.0.0.1");
+  p.hdr.dst = Ipv4Address::parse("10.0.0.2");
+  auto bytes = p.encode();
+  bytes[8] ^= 0xFF;  // flip the TTL
+  EXPECT_THROW(Ipv4Packet::decode(bytes), util::ParseError);
+}
+
+TEST(Ipv4PacketTest, BadLengthRejected) {
+  Ipv4Packet p;
+  p.hdr.src = Ipv4Address::parse("10.0.0.1");
+  p.hdr.dst = Ipv4Address::parse("10.0.0.2");
+  p.payload = {1, 2, 3, 4};
+  auto bytes = p.encode();
+  bytes.resize(22);  // truncate below total_length
+  EXPECT_THROW(Ipv4Packet::decode(bytes), util::ParseError);
+}
+
+TEST(ArpTest, RoundTrip) {
+  ArpMessage m;
+  m.op = ArpOp::kRequest;
+  m.sender_mac = MacAddress::from_index(3);
+  m.sender_ip = Ipv4Address::parse("10.0.0.3");
+  m.target_ip = Ipv4Address::parse("10.0.0.9");
+  auto bytes = m.encode();
+  EXPECT_EQ(bytes.size(), 28u);
+  auto g = ArpMessage::decode(bytes);
+  EXPECT_EQ(g.op, ArpOp::kRequest);
+  EXPECT_EQ(g.sender_mac, m.sender_mac);
+  EXPECT_EQ(g.sender_ip, m.sender_ip);
+  EXPECT_EQ(g.target_ip, m.target_ip);
+}
+
+TEST(IcmpTest, EchoRoundTrip) {
+  IcmpMessage m;
+  m.type = IcmpType::kEchoRequest;
+  m.id = 0x1234;
+  m.seq = 7;
+  m.payload = {0xDE, 0xAD};
+  auto bytes = m.encode();
+  auto g = IcmpMessage::decode(bytes);
+  EXPECT_EQ(g.type, IcmpType::kEchoRequest);
+  EXPECT_EQ(g.id, 0x1234);
+  EXPECT_EQ(g.seq, 7);
+  EXPECT_EQ(g.payload, m.payload);
+  EXPECT_TRUE(g.is_echo());
+}
+
+TEST(IcmpTest, ChecksumValidated) {
+  IcmpMessage m;
+  m.type = IcmpType::kEchoReply;
+  auto bytes = m.encode();
+  bytes[4] ^= 0x01;
+  EXPECT_THROW(IcmpMessage::decode(bytes), util::ParseError);
+}
+
+TEST(UdpTest, RoundTrip) {
+  UdpDatagram d;
+  d.src_port = 1111;
+  d.dst_port = 53;
+  d.payload = {5, 6, 7, 8, 9};
+  auto bytes = d.encode();
+  auto g = UdpDatagram::decode(bytes);
+  EXPECT_EQ(g.src_port, 1111);
+  EXPECT_EQ(g.dst_port, 53);
+  EXPECT_EQ(g.payload, d.payload);
+}
+
+TEST(UdpTest, BadLengthRejected) {
+  UdpDatagram d;
+  d.payload = {1, 2, 3};
+  auto bytes = d.encode();
+  bytes[4] = 0;
+  bytes[5] = 2;  // length < header size
+  EXPECT_THROW(UdpDatagram::decode(bytes), util::ParseError);
+}
+
+TEST(TcpWireTest, RoundTripWithChecksum) {
+  const auto src = Ipv4Address::parse("1.2.3.4");
+  const auto dst = Ipv4Address::parse("5.6.7.8");
+  TcpSegment s;
+  s.src_port = 4000;
+  s.dst_port = 80;
+  s.seq = 0xAABBCCDD;
+  s.ack = 0x11223344;
+  s.flags.syn = true;
+  s.flags.ack = true;
+  s.window = 8192;
+  s.payload = {1, 2, 3};
+  auto bytes = s.encode(src, dst);
+  auto g = TcpSegment::decode(bytes, src, dst);
+  EXPECT_EQ(g.src_port, 4000);
+  EXPECT_EQ(g.dst_port, 80);
+  EXPECT_EQ(g.seq, 0xAABBCCDDu);
+  EXPECT_EQ(g.ack, 0x11223344u);
+  EXPECT_TRUE(g.flags.syn);
+  EXPECT_TRUE(g.flags.ack);
+  EXPECT_FALSE(g.flags.fin);
+  EXPECT_EQ(g.window, 8192);
+  EXPECT_EQ(g.payload, s.payload);
+}
+
+TEST(TcpWireTest, ChecksumCoversPseudoHeader) {
+  const auto src = Ipv4Address::parse("1.2.3.4");
+  const auto dst = Ipv4Address::parse("5.6.7.8");
+  TcpSegment s;
+  auto bytes = s.encode(src, dst);
+  // Decoding with different addresses must fail the pseudo-header checksum.
+  EXPECT_THROW(
+      TcpSegment::decode(bytes, Ipv4Address::parse("9.9.9.9"), dst),
+      util::ParseError);
+}
+
+TEST(TcpWireTest, FlagsEncodeDecode) {
+  TcpFlags f;
+  f.syn = f.fin = f.psh = true;
+  auto g = TcpFlags::decode(f.encode());
+  EXPECT_TRUE(g.syn);
+  EXPECT_TRUE(g.fin);
+  EXPECT_TRUE(g.psh);
+  EXPECT_FALSE(g.ack);
+  EXPECT_FALSE(g.rst);
+  EXPECT_EQ(g.to_string(), "SYN,FIN,PSH");
+}
+
+TEST(TcpWireTest, SequenceComparisonsWrap) {
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x10u));  // wraps forward
+  EXPECT_TRUE(seq_gt(0x10u, 0xFFFFFFF0u));
+  EXPECT_TRUE(seq_le(5u, 5u));
+  EXPECT_TRUE(seq_ge(5u, 5u));
+  EXPECT_FALSE(seq_lt(5u, 5u));
+}
+
+}  // namespace
+}  // namespace ipop::net

@@ -1,0 +1,355 @@
+// Unit tests for src/sim: event loop, CPU scheduler, link, switch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/link.hpp"
+#include "sim/switch.hpp"
+
+namespace ipop::sim {
+namespace {
+
+using util::microseconds;
+using util::milliseconds;
+using util::seconds;
+
+// --- EventLoop ---------------------------------------------------------------
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), milliseconds(30));
+}
+
+TEST(EventLoopTest, FifoAtEqualTimestamps) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.schedule_at(milliseconds(1), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, CancelAfterRunIsHarmless) {
+  EventLoop loop;
+  auto id = loop.schedule_at(milliseconds(1), [] {});
+  loop.run();
+  loop.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(milliseconds(10), [&] { ++count; });
+  loop.schedule_at(milliseconds(20), [&] { ++count; });
+  loop.schedule_at(milliseconds(30), [&] { ++count; });
+  loop.run_until(milliseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), milliseconds(20));
+  loop.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoopTest, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(milliseconds(1), recurse);
+  };
+  loop.schedule_after(milliseconds(1), recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), milliseconds(5));
+}
+
+TEST(EventLoopTest, PastTimestampsClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(milliseconds(10), [] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_at(milliseconds(1), [&] { ran = true; });  // in the past
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), milliseconds(10));
+}
+
+TEST(EventLoopTest, StopInterruptsRun) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(milliseconds(1), [&] {
+    ++count;
+    loop.stop();
+  });
+  loop.schedule_at(milliseconds(2), [&] { ++count; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+// --- CpuScheduler --------------------------------------------------------------
+
+TEST(CpuTest, SerializesWork) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, "cpu");
+  std::vector<std::int64_t> done_at;
+  cpu.run(milliseconds(10), [&] { done_at.push_back(loop.now().count()); });
+  cpu.run(milliseconds(5), [&] { done_at.push_back(loop.now().count()); });
+  loop.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_EQ(done_at[0], milliseconds(10).count());
+  EXPECT_EQ(done_at[1], milliseconds(15).count());  // queued behind first
+}
+
+TEST(CpuTest, LoadScalesCost) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, "cpu");
+  cpu.set_load(9.0);  // 10x slowdown
+  std::int64_t done = 0;
+  cpu.run(milliseconds(10), [&] { done = loop.now().count(); });
+  loop.run();
+  EXPECT_EQ(done, milliseconds(100).count());
+}
+
+TEST(CpuTest, IdleGapsDoNotAccumulate) {
+  EventLoop loop;
+  CpuScheduler cpu(loop, "cpu");
+  std::int64_t done = 0;
+  cpu.run(milliseconds(1), [] {});
+  loop.run();
+  loop.schedule_at(milliseconds(100), [&] {
+    cpu.run(milliseconds(2), [&] { done = loop.now().count(); });
+  });
+  loop.run();
+  EXPECT_EQ(done, milliseconds(102).count());
+  EXPECT_EQ(cpu.busy_total(), milliseconds(3));
+  EXPECT_EQ(cpu.tasks(), 2u);
+}
+
+// --- Link -----------------------------------------------------------------------
+
+sim::Frame make_frame(std::size_t size) { return sim::Frame(size, 0x5A); }
+
+TEST(LinkTest, DeliversWithPropagationDelay) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = milliseconds(5);
+  cfg.bandwidth_bps = 0;  // no serialization
+  Link link(loop, cfg, util::Rng(1));
+  std::int64_t arrival = -1;
+  link.end_b().set_receiver([&](Frame) { arrival = loop.now().count(); });
+  link.end_a().send(make_frame(100));
+  loop.run();
+  EXPECT_EQ(arrival, milliseconds(5).count());
+}
+
+TEST(LinkTest, SerializationDelayMatchesBandwidth) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = Duration{0};
+  cfg.bandwidth_bps = 8e6;  // 1 byte per microsecond
+  Link link(loop, cfg, util::Rng(1));
+  std::int64_t arrival = -1;
+  link.end_b().set_receiver([&](Frame) { arrival = loop.now().count(); });
+  link.end_a().send(make_frame(1000));
+  loop.run();
+  EXPECT_EQ(arrival, microseconds(1000).count());
+}
+
+TEST(LinkTest, BackToBackFramesQueueBehindEachOther) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = Duration{0};
+  cfg.bandwidth_bps = 8e6;
+  Link link(loop, cfg, util::Rng(1));
+  std::vector<std::int64_t> arrivals;
+  link.end_b().set_receiver([&](Frame) { arrivals.push_back(loop.now().count()); });
+  link.end_a().send(make_frame(1000));
+  link.end_a().send(make_frame(1000));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], microseconds(1000).count());
+  EXPECT_EQ(arrivals[1], microseconds(2000).count());
+}
+
+TEST(LinkTest, DropTailQueueOverflow) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = Duration{0};
+  cfg.bandwidth_bps = 8e6;
+  cfg.queue_bytes = 2500;  // fits two 1000B frames plus change
+  Link link(loop, cfg, util::Rng(1));
+  int delivered = 0;
+  link.end_b().set_receiver([&](Frame) { ++delivered; });
+  for (int i = 0; i < 10; ++i) link.end_a().send(make_frame(1000));
+  loop.run();
+  EXPECT_LT(delivered, 10);
+  EXPECT_EQ(link.stats_a_to_b().frames_dropped_queue,
+            10u - static_cast<unsigned>(delivered));
+}
+
+TEST(LinkTest, RandomLossDropsApproximatelyRate) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = microseconds(1);
+  cfg.bandwidth_bps = 0;
+  cfg.loss_rate = 0.3;
+  Link link(loop, cfg, util::Rng(99));
+  int delivered = 0;
+  link.end_b().set_receiver([&](Frame) { ++delivered; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) link.end_a().send(make_frame(64));
+  loop.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.7, 0.03);
+}
+
+TEST(LinkTest, DirectionsAreIndependent) {
+  EventLoop loop;
+  LinkConfig ab;
+  ab.delay = milliseconds(1);
+  ab.bandwidth_bps = 0;
+  LinkConfig ba;
+  ba.delay = milliseconds(7);
+  ba.bandwidth_bps = 0;
+  Link link(loop, ab, ba, util::Rng(1));
+  std::int64_t at_b = -1, at_a = -1;
+  link.end_b().set_receiver([&](Frame) { at_b = loop.now().count(); });
+  link.end_a().set_receiver([&](Frame) { at_a = loop.now().count(); });
+  link.end_a().send(make_frame(10));
+  link.end_b().send(make_frame(10));
+  loop.run();
+  EXPECT_EQ(at_b, milliseconds(1).count());
+  EXPECT_EQ(at_a, milliseconds(7).count());
+}
+
+TEST(LinkTest, DownLinkDropsEverything) {
+  EventLoop loop;
+  LinkConfig cfg;
+  Link link(loop, cfg, util::Rng(1));
+  int delivered = 0;
+  link.end_b().set_receiver([&](Frame) { ++delivered; });
+  link.set_up(false);
+  link.end_a().send(make_frame(10));
+  loop.run();
+  EXPECT_EQ(delivered, 0);
+  link.set_up(true);
+  link.end_a().send(make_frame(10));
+  loop.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(LinkTest, JitterBoundsDelay) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.delay = milliseconds(10);
+  cfg.bandwidth_bps = 0;
+  cfg.jitter = milliseconds(5);
+  Link link(loop, cfg, util::Rng(5));
+  std::vector<std::int64_t> arrivals;
+  std::int64_t sent_at = 0;
+  link.end_b().set_receiver([&](Frame) { arrivals.push_back(loop.now().count()); });
+  for (int i = 0; i < 100; ++i) {
+    loop.schedule_at(seconds(i), [&link] { link.end_a().send(make_frame(8)); });
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sent_at = seconds(static_cast<std::int64_t>(i)).count();
+    const auto delay = arrivals[i] - sent_at;
+    EXPECT_GE(delay, milliseconds(10).count());
+    EXPECT_LT(delay, milliseconds(15).count());
+  }
+}
+
+// --- Switch -----------------------------------------------------------------------
+
+struct SwitchFixture : ::testing::Test {
+  // Three "hosts" hanging off one switch; frames are hand-rolled
+  // [dst6][src6][type2] headers.
+  EventLoop loop;
+  Switch sw{loop, "sw"};
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::vector<Frame>> received{3};
+
+  void SetUp() override {
+    LinkConfig cfg;
+    cfg.delay = microseconds(10);
+    for (int i = 0; i < 3; ++i) {
+      links.push_back(std::make_unique<Link>(loop, cfg, util::Rng(i + 1)));
+      sw.attach(links[i]->end_b());
+      links[i]->end_a().set_receiver(
+          [this, i](Frame f) { received[i].push_back(std::move(f)); });
+    }
+  }
+
+  static Frame frame(int dst, int src) {
+    Frame f(64, 0);
+    auto set_mac = [&](std::size_t off, int idx) {
+      if (idx < 0) {
+        std::fill(f.begin() + off, f.begin() + off + 6, 0xFF);
+      } else {
+        f[off + 5] = static_cast<std::uint8_t>(idx + 1);
+      }
+    };
+    set_mac(0, dst);
+    set_mac(6, src);
+    f[12] = 0x08;
+    return f;
+  }
+};
+
+TEST_F(SwitchFixture, FloodsUnknownDestination) {
+  links[0]->end_a().send(frame(2, 0));
+  loop.run();
+  EXPECT_EQ(received[0].size(), 0u);  // never echoed to sender
+  EXPECT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(received[2].size(), 1u);
+}
+
+TEST_F(SwitchFixture, LearnsAndForwardsUnicast) {
+  links[2]->end_a().send(frame(-1, 2));  // teach the switch where MAC 2 lives
+  loop.run();
+  received.assign(3, {});
+  links[0]->end_a().send(frame(2, 0));
+  loop.run();
+  EXPECT_EQ(received[1].size(), 0u);  // no flood: learned port
+  EXPECT_EQ(received[2].size(), 1u);
+  EXPECT_GE(sw.frames_forwarded(), 1u);
+}
+
+TEST_F(SwitchFixture, BroadcastReachesAllOthers) {
+  links[1]->end_a().send(frame(-1, 1));
+  loop.run();
+  EXPECT_EQ(received[0].size(), 1u);
+  EXPECT_EQ(received[1].size(), 0u);
+  EXPECT_EQ(received[2].size(), 1u);
+}
+
+TEST_F(SwitchFixture, RuntFramesDropped) {
+  links[0]->end_a().send(Frame(5, 0xAA));
+  loop.run();
+  EXPECT_EQ(received[1].size(), 0u);
+  EXPECT_EQ(received[2].size(), 0u);
+}
+
+}  // namespace
+}  // namespace ipop::sim

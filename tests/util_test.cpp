@@ -1,0 +1,281 @@
+// Unit tests for src/util: SHA-1, byte codecs, statistics, RNG, tables.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "util/sha1.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace ipop::util {
+namespace {
+
+// --- SHA-1 (FIPS 180-1 / RFC 3174 vectors) ---------------------------------
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, LongerVector) {
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  auto digest = ctx.finish();
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(digest.data(), digest.size())),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 ctx;
+    ctx.update(std::string_view(msg).substr(0, split));
+    ctx.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.finish(), sha1(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, BlockBoundaryLengths) {
+  // Exercise padding across the 55/56/63/64-byte boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha1 ctx;
+    ctx.update(msg);
+    EXPECT_EQ(ctx.finish(), sha1(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha1Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha1("172.16.0.2"), sha1("172.16.0.3"));
+}
+
+// --- Byte codecs ------------------------------------------------------------
+
+TEST(BytesTest, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(BytesTest, LengthPrefixed) {
+  ByteWriter w;
+  w.lp_string("hello");
+  w.lp_bytes(std::vector<std::uint8_t>{9, 8, 7});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.lp_string(), "hello");
+  EXPECT_EQ(r.lp_bytes(), (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(BytesTest, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.u16(), ParseError);
+}
+
+TEST(BytesTest, LengthPrefixBeyondBufferThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.lp_bytes(), ParseError);
+}
+
+TEST(BytesTest, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u8(5);
+  w.patch_u16(0, 0xBEEF);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  std::vector<std::uint8_t> data{0x00, 0x7F, 0xFF, 0x12};
+  EXPECT_EQ(to_hex(data), "007fff12");
+  EXPECT_EQ(from_hex("007fff12"), data);
+  EXPECT_EQ(from_hex("007FFF12"), data);
+  EXPECT_THROW(from_hex("abc"), ParseError);   // odd length
+  EXPECT_THROW(from_hex("zz"), ParseError);    // bad digit
+}
+
+TEST(BytesTest, RestAndSkip) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  ByteReader r(w.data());
+  r.skip(1);
+  auto rest = r.rest_copy();
+  EXPECT_EQ(rest, (std::vector<std::uint8_t>{2, 3}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// --- Statistics --------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsMergeMatchesCombined) {
+  Rng rng(123);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.normal(10, 3);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(StatsTest, HistogramBinning) {
+  Histogram h(0, 10, 10);
+  h.add(-5);    // clamps into first bin
+  h.add(0.5);
+  h.add(9.5);
+  h.add(15);    // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[9], 2u);
+  EXPECT_NE(h.render().find('#'), std::string::npos);
+  EXPECT_NE(h.to_csv().find("bin_lo"), std::string::npos);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, ForkIndependentButStable) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// --- Time helpers ---------------------------------------------------------------
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(milliseconds(3).count(), 3'000'000);
+  EXPECT_EQ(to_milliseconds(milliseconds(3)), 3.0);
+  EXPECT_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_EQ(milliseconds_f(0.5).count(), 500'000);
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(format_duration(nanoseconds(500)), "500ns");
+  EXPECT_EQ(format_duration(milliseconds(2)), "2.000ms");
+}
+
+// --- Table ------------------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(0.295, 0), "30%");
+}
+
+}  // namespace
+}  // namespace ipop::util
