@@ -30,8 +30,8 @@ void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
   w.lp_bytes(value);
   node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
                 [cb = std::move(cb)](std::optional<Packet> resp) {
-                  if (cb) cb(resp.has_value() && !resp->payload.empty() &&
-                             resp->payload[0] == kOk);
+                  if (cb) cb(resp.has_value() && !resp->payload().empty() &&
+                             resp->payload()[0] == kOk);
                 });
 }
 
@@ -43,14 +43,14 @@ void Dht::get(const Key& key, GetCallback cb) {
   node_.request(
       key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
       [this, cb = std::move(cb)](std::optional<Packet> resp) {
-        if (!resp || resp->payload.empty() || resp->payload[0] == kNotFound) {
+        if (!resp || resp->payload().empty() || resp->payload()[0] == kNotFound) {
           ++stats_.misses;
           if (cb) cb(std::nullopt);
           return;
         }
         ++stats_.hits;
         try {
-          util::ByteReader r(resp->payload);
+          util::ByteReader r(resp->payload());
           r.u8();  // status
           if (cb) cb(r.lp_bytes());
         } catch (const util::ParseError&) {
@@ -62,7 +62,7 @@ void Dht::get(const Key& key, GetCallback cb) {
 void Dht::handle_request(const Packet& pkt) {
   Op op;
   Key key;
-  util::ByteReader r(pkt.payload);
+  util::ByteReader r(pkt.payload());
   try {
     op = static_cast<Op>(r.u8());
     Address::Bytes kb{};
@@ -91,7 +91,8 @@ void Dht::handle_request(const Packet& pkt) {
                      payload);
           if (++sent >= cfg_.replicas) break;
         }
-        node_.respond(pkt, PacketType::kDhtResponse, {kOk});
+        node_.respond(pkt, PacketType::kDhtResponse,
+                      std::vector<std::uint8_t>{kOk});
         return;
       }
       case Op::kReplica: {
@@ -106,7 +107,8 @@ void Dht::handle_request(const Packet& pkt) {
         auto it = store_.find(key);
         if (it == store_.end() ||
             it->second.expires < node_.host().loop().now()) {
-          node_.respond(pkt, PacketType::kDhtResponse, {kNotFound});
+          node_.respond(pkt, PacketType::kDhtResponse,
+                        std::vector<std::uint8_t>{kNotFound});
           return;
         }
         util::ByteWriter w;

@@ -106,10 +106,11 @@ void BrunetNode::broadcast_identity() {
   ping.src = addr_;
   util::ByteWriter w;
   NodeInfo{addr_, local_addresses()}.encode(w);
-  ping.payload = w.take();
-  const auto bytes = ping.encode();
+  ping.set_payload(w.take());
+  // One wire buffer, shared by every edge's send.
+  const auto wire = ping.to_wire();
   for (const auto* c : table_.all()) {
-    c->edge->send(bytes);
+    c->edge->send(wire);
   }
 }
 
@@ -153,7 +154,7 @@ void BrunetNode::adopt_edge(const std::shared_ptr<Edge>& edge) {
   edge->touch(host_.loop().now());
   edges_.emplace(edge.get(), edge);
   edge->set_receive_handler(
-      [this, e = edge.get()](std::vector<std::uint8_t> bytes) {
+      [this, e = edge.get()](util::Buffer bytes) {
         // Resolve the owning shared_ptr without creating a ref cycle.
         auto it = edges_.find(e);
         if (it != edges_.end()) on_edge_packet(it->second, std::move(bytes));
@@ -162,7 +163,7 @@ void BrunetNode::adopt_edge(const std::shared_ptr<Edge>& edge) {
 }
 
 void BrunetNode::on_edge_packet(const std::shared_ptr<Edge>& edge,
-                                std::vector<std::uint8_t> bytes) {
+                                util::Buffer bytes) {
   if (!started_) return;
   // User-level packet processing competes for the host CPU: this single
   // charge is what turns loaded Planet-Lab routers into seconds of delay.
@@ -171,7 +172,9 @@ void BrunetNode::on_edge_packet(const std::shared_ptr<Edge>& edge,
                     if (!started_) return;
                     Packet pkt;
                     try {
-                      pkt = Packet::decode(bytes);
+                      // Header parse only; the payload stays in `bytes`,
+                      // now owned by the packet.
+                      pkt = Packet::decode(std::move(bytes));
                     } catch (const util::ParseError&) {
                       return;
                     }
@@ -218,7 +221,7 @@ void BrunetNode::on_edge_closed(Edge* edge) {
 // ---------------------------------------------------------------------------
 
 void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
-                      std::vector<std::uint8_t> payload, std::uint32_t msg_id) {
+                      util::Buffer payload, std::uint32_t msg_id) {
   Packet pkt;
   pkt.type = type;
   pkt.mode = mode;
@@ -226,8 +229,13 @@ void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
   pkt.msg_id = msg_id;
   pkt.src = addr_;
   pkt.dst = dst;
-  pkt.payload = std::move(payload);
+  pkt.set_payload(std::move(payload));
   route(std::move(pkt), /*from_transit=*/false);
+}
+
+void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
+                      std::vector<std::uint8_t> payload, std::uint32_t msg_id) {
+  send(dst, type, mode, util::Buffer::wrap(std::move(payload)), msg_id);
 }
 
 void BrunetNode::route(Packet pkt, bool from_transit) {
@@ -262,7 +270,10 @@ void BrunetNode::route(Packet pkt, bool from_transit) {
     return;
   }
   if (from_transit) ++stats_.forwarded;
-  best->edge->send(pkt.encode());
+  // For a transit packet to_wire() is a one-byte in-place hop-count patch
+  // and the *same* buffer goes out on the next edge: forwarding cost is
+  // O(1) header work, not O(packet size) copies.
+  best->edge->send(pkt.to_wire());
 }
 
 void BrunetNode::deliver(const Packet& pkt) {
@@ -286,7 +297,11 @@ void BrunetNode::deliver(const Packet& pkt) {
       handle_neighbor_query(pkt);
       return;
     case PacketType::kPing:
-      respond(pkt, PacketType::kPingResponse, pkt.payload);
+      // Echo the payload back.  The response adopts the request's payload
+      // bytes; since the request packet is still alive here, the header
+      // prepend takes the copy-on-shared path exactly once (ownership
+      // rule 2) instead of corrupting the request's wire image.
+      respond(pkt, PacketType::kPingResponse, pkt.share_payload());
       return;
     default:
       break;
@@ -319,8 +334,13 @@ void BrunetNode::request(Address dst, PacketType type, RoutingMode mode,
 }
 
 void BrunetNode::respond(const Packet& req, PacketType type,
-                         std::vector<std::uint8_t> payload) {
+                         util::Buffer payload) {
   send(req.src, type, RoutingMode::kExact, std::move(payload), req.msg_id);
+}
+
+void BrunetNode::respond(const Packet& req, PacketType type,
+                         std::vector<std::uint8_t> payload) {
+  respond(req, type, util::Buffer::wrap(std::move(payload)));
 }
 
 // ---------------------------------------------------------------------------
@@ -336,8 +356,8 @@ void BrunetNode::send_link_request(const std::shared_ptr<Edge>& edge,
   w.u8(static_cast<std::uint8_t>(type));
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);  // "this is where I believe you are"
-  pkt.payload = w.take();
-  edge->send(pkt.encode());
+  pkt.set_payload(w.take());
+  edge->send(pkt.to_wire());
 }
 
 void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
@@ -346,7 +366,7 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
   NodeInfo sender;
   TransportAddress my_observed;
   try {
-    util::ByteReader r(pkt.payload);
+    util::ByteReader r(pkt.payload());
     type = static_cast<ConnectionType>(r.u8());
     sender = NodeInfo::decode(r);
     my_observed = TransportAddress::decode(r);
@@ -372,8 +392,8 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
   w.u8(static_cast<std::uint8_t>(type));
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);
-  resp.payload = w.take();
-  edge->send(resp.encode());
+  resp.set_payload(w.take());
+  edge->send(resp.to_wire());
   IPOP_LOG_DEBUG(addr_.short_hex() << ": accepted link from "
                                    << sender.addr.short_hex() << " ("
                                    << connection_type_name(type) << ")");
@@ -385,7 +405,7 @@ void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
   NodeInfo sender;
   TransportAddress my_observed;
   try {
-    util::ByteReader r(pkt.payload);
+    util::ByteReader r(pkt.payload());
     type = static_cast<ConnectionType>(r.u8());
     sender = NodeInfo::decode(r);
     my_observed = TransportAddress::decode(r);
@@ -407,9 +427,9 @@ void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
 
 void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
                                   const Packet& pkt) {
-  if (!pkt.payload.empty()) {
+  if (!pkt.payload().empty()) {
     try {
-      util::ByteReader r(pkt.payload);
+      util::ByteReader r(pkt.payload());
       NodeInfo info = NodeInfo::decode(r);
       // Refresh the peer's advertised endpoints (it may have just learned
       // its translated address).
@@ -424,14 +444,14 @@ void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
   pong.dst = pkt.src;
   util::ByteWriter w;
   edge->remote().encode(w);
-  pong.payload = w.take();
-  edge->send(pong.encode());
+  pong.set_payload(w.take());
+  edge->send(pong.to_wire());
 }
 
 void BrunetNode::handle_edge_pong(const std::shared_ptr<Edge>& /*edge*/,
                                   const Packet& pkt) {
   try {
-    util::ByteReader r(pkt.payload);
+    util::ByteReader r(pkt.payload());
     record_observed(TransportAddress::decode(r));
   } catch (const util::ParseError&) {
   }
@@ -566,7 +586,7 @@ void BrunetNode::locate_ring_position() {
   pr.cb = [this](std::optional<Packet> resp) {
     if (!resp) return;
     try {
-      util::ByteReader r(resp->payload);
+      util::ByteReader r(resp->payload());
       NodeInfo closest = NodeInfo::decode(r);
       const std::uint8_t n = r.u8();
       std::vector<NodeInfo> infos{closest};
@@ -599,16 +619,16 @@ void BrunetNode::locate_ring_position() {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(ConnectionType::kStructuredNear));
   NodeInfo{addr_, local_addresses()}.encode(w);
-  pkt.payload = w.take();
+  pkt.set_payload(w.take());
   ++stats_.originated;
-  via->edge->send(pkt.encode());
+  via->edge->send(pkt.to_wire());
 }
 
 void BrunetNode::handle_connect_request(const Packet& pkt) {
   ConnectionType type;
   NodeInfo requester;
   try {
-    util::ByteReader r(pkt.payload);
+    util::ByteReader r(pkt.payload());
     type = static_cast<ConnectionType>(r.u8());
     requester = NodeInfo::decode(r);
   } catch (const util::ParseError&) {
@@ -633,7 +653,7 @@ void BrunetNode::stabilize() {
             {}, [this](std::optional<Packet> resp) {
               if (!resp) return;
               try {
-                util::ByteReader r(resp->payload);
+                util::ByteReader r(resp->payload());
                 const std::uint8_t n = r.u8();
                 std::vector<NodeInfo> infos;
                 for (std::uint8_t i = 0; i < n; ++i) {
@@ -720,7 +740,7 @@ void BrunetNode::maintain_shortcuts() {
           [this](std::optional<Packet> resp) {
             if (!resp) return;
             try {
-              util::ByteReader r(resp->payload);
+              util::ByteReader r(resp->payload());
               NodeInfo closest = NodeInfo::decode(r);
               const std::uint8_t n = r.u8();
               std::vector<NodeInfo> infos{closest};
@@ -743,7 +763,7 @@ void BrunetNode::request_connection(const Address& target,
           [this, type](std::optional<Packet> resp) {
             if (!resp) return;
             try {
-              util::ByteReader r(resp->payload);
+              util::ByteReader r(resp->payload());
               NodeInfo peer = NodeInfo::decode(r);
               connect_to(peer.addr, peer.addrs, type);
             } catch (const util::ParseError&) {
@@ -808,7 +828,7 @@ void BrunetNode::keepalive() {
     Packet ping;
     ping.type = PacketType::kEdgePing;
     ping.src = addr_;
-    edge->send(ping.encode());
+    edge->send(ping.to_wire());
   }
   // Reap stale edges that are not the table's edge for any connection
   // (half-open handshakes and losing duplicates).

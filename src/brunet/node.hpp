@@ -92,6 +92,11 @@ class BrunetNode {
   bool started() const { return started_; }
 
   // --- messaging ---------------------------------------------------------
+  /// Buffer overload: the zero-copy path.  A payload with kHeaderSize
+  /// bytes of headroom (e.g. a captured tap frame) is encapsulated in
+  /// place; otherwise it is copied exactly once into the wire image.
+  void send(Address dst, PacketType type, RoutingMode mode,
+            util::Buffer payload, std::uint32_t msg_id = 0);
   void send(Address dst, PacketType type, RoutingMode mode,
             std::vector<std::uint8_t> payload, std::uint32_t msg_id = 0);
   /// Register the handler for an application packet type (kIpTunnel,
@@ -102,6 +107,7 @@ class BrunetNode {
   void request(Address dst, PacketType type, RoutingMode mode,
                std::vector<std::uint8_t> payload, ResponseCallback cb);
   /// Reply to a received request, echoing its msg_id.
+  void respond(const Packet& req, PacketType type, util::Buffer payload);
   void respond(const Packet& req, PacketType type,
                std::vector<std::uint8_t> payload);
 
@@ -143,8 +149,7 @@ class BrunetNode {
 
   // Edge plumbing.
   void adopt_edge(const std::shared_ptr<Edge>& edge);
-  void on_edge_packet(const std::shared_ptr<Edge>& edge,
-                      std::vector<std::uint8_t> bytes);
+  void on_edge_packet(const std::shared_ptr<Edge>& edge, util::Buffer bytes);
   void process_packet(const std::shared_ptr<Edge>& edge, Packet pkt);
   void on_edge_closed(Edge* edge);
 

@@ -1,5 +1,7 @@
 #include "brunet/packet.hpp"
 
+#include <algorithm>
+
 namespace ipop::brunet {
 
 const char* packet_type_name(PacketType t) {
@@ -22,8 +24,56 @@ const char* packet_type_name(PacketType t) {
   return "?";
 }
 
+util::BufferView Packet::payload() const {
+  if (!wire_) return buf_.view();
+  return buf_.view(kHeaderSize, buf_.size() - kHeaderSize);
+}
+
+util::Buffer Packet::share_payload() const {
+  if (!wire_) return buf_.share();
+  return buf_.share(kHeaderSize, buf_.size() - kHeaderSize);
+}
+
+void Packet::set_payload(std::vector<std::uint8_t> bytes) {
+  set_payload(util::Buffer::wrap(std::move(bytes)));
+}
+
+void Packet::set_payload(util::Buffer bytes) {
+  buf_ = std::move(bytes);
+  wire_ = false;
+}
+
+void Packet::finalize() {
+  if (wire_) {
+    // Transit only mutates ttl/hops: sync them with two in-place patches.
+    buf_.patch_u8(kTtlOffset, ttl);
+    buf_.patch_u8(kHopsOffset, hops);
+    return;
+  }
+  // Prepend the header into the payload buffer's headroom (zero-copy when
+  // the storage is uniquely owned, one reallocation otherwise).
+  auto h = buf_.grow_front(kHeaderSize);
+  h[0] = static_cast<std::uint8_t>(type);
+  h[1] = static_cast<std::uint8_t>(mode);
+  h[2] = ttl;
+  h[3] = hops;
+  h[4] = static_cast<std::uint8_t>(msg_id >> 24);
+  h[5] = static_cast<std::uint8_t>(msg_id >> 16);
+  h[6] = static_cast<std::uint8_t>(msg_id >> 8);
+  h[7] = static_cast<std::uint8_t>(msg_id);
+  std::copy(src.bytes().begin(), src.bytes().end(), h.data() + 8);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), h.data() + 8 + Address::kBytes);
+  wire_ = true;
+}
+
+util::Buffer Packet::to_wire() {
+  finalize();
+  return buf_;
+}
+
 std::vector<std::uint8_t> Packet::encode() const {
-  util::ByteWriter w(kHeaderSize + payload.size());
+  const auto body = payload();
+  util::ByteWriter w(kHeaderSize + body.size());
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(static_cast<std::uint8_t>(mode));
   w.u8(ttl);
@@ -31,12 +81,12 @@ std::vector<std::uint8_t> Packet::encode() const {
   w.u32(msg_id);
   w.bytes(std::span<const std::uint8_t>(src.bytes().data(), Address::kBytes));
   w.bytes(std::span<const std::uint8_t>(dst.bytes().data(), Address::kBytes));
-  w.bytes(payload);
+  w.bytes(body);
   return w.take();
 }
 
-Packet Packet::decode(std::span<const std::uint8_t> bytes) {
-  util::ByteReader r(bytes);
+Packet Packet::decode(util::Buffer wire) {
+  util::ByteReader r(wire.view());
   Packet p;
   p.type = static_cast<PacketType>(r.u8());
   p.mode = static_cast<RoutingMode>(r.u8());
@@ -50,8 +100,13 @@ Packet Packet::decode(std::span<const std::uint8_t> bytes) {
   std::copy(d.begin(), d.end(), dst.begin());
   p.src = Address(src);
   p.dst = Address(dst);
-  p.payload = r.rest_copy();
+  p.buf_ = std::move(wire);
+  p.wire_ = true;
   return p;
+}
+
+Packet Packet::decode(std::span<const std::uint8_t> bytes) {
+  return decode(util::Buffer::copy_of(bytes));
 }
 
 }  // namespace ipop::brunet

@@ -6,6 +6,14 @@
 // rides inside the transport edge (UDP datagram payload or length-framed
 // TCP stream), which itself rides inside the physical IP network; the
 // encapsulated virtual IP packet is the innermost layer.
+//
+// A Packet is a parsed header over a shared util::Buffer, not an owning
+// struct: decoding a received wire buffer costs a 48-byte header parse and
+// zero payload copies, and forwarding patches the hop count with a
+// one-byte in-place write and resends the *same* buffer on the next edge
+// (the Serval overlay-frame idiom).  Building a packet locally writes the
+// header into the payload buffer's headroom when possible, so IPOP's
+// Figure-3 encapsulation never copies the captured IP packet either.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "brunet/address.hpp"
+#include "util/buffer.hpp"
 #include "util/bytes.hpp"
 
 namespace ipop::brunet {
@@ -57,12 +66,47 @@ struct Packet {
   std::uint32_t msg_id = 0;
   Address src;
   Address dst;
-  std::vector<std::uint8_t> payload;
 
   static constexpr std::size_t kHeaderSize = 1 + 1 + 1 + 1 + 4 + 20 + 20;
+  /// Wire offsets of the transit-mutable header bytes.
+  static constexpr std::size_t kTtlOffset = 2;
+  static constexpr std::size_t kHopsOffset = 3;
 
+  /// Payload view, aliasing the packet's shared buffer.  Valid while any
+  /// handle to that buffer exists (the Packet itself holds one).
+  util::BufferView payload() const;
+  /// Owning sub-buffer of the payload bytes, sharing storage with the
+  /// wire image — the zero-copy way to unwrap a tunneled IP packet or
+  /// echo a payload back.
+  util::Buffer share_payload() const;
+  void set_payload(std::vector<std::uint8_t> bytes);
+  void set_payload(util::Buffer bytes);
+
+  /// True once the buffer holds the full wire image (after decode(Buffer)
+  /// or finalize()).
+  bool has_wire() const { return wire_; }
+  /// Materialize or refresh the wire image and return a handle sharing
+  /// its storage.  For a packet decoded from the wire this is two
+  /// one-byte patches (ttl, hops) — the payload is never copied.  For a
+  /// locally built packet the header is prepended into the payload
+  /// buffer's headroom (zero-copy when uniquely owned, one copy
+  /// otherwise).
+  util::Buffer to_wire();
+
+  /// Legacy owning codec (tests, benches, compatibility): allocates and
+  /// copies.
   std::vector<std::uint8_t> encode() const;
+  /// Zero-copy decode: parses the header and adopts `wire` as the shared
+  /// backing store.  Throws util::ParseError on truncation.
+  static Packet decode(util::Buffer wire);
+  /// Copying decode for non-owned input.
   static Packet decode(std::span<const std::uint8_t> bytes);
+
+ private:
+  void finalize();
+
+  util::Buffer buf_;   // wire image if wire_, else payload-only storage
+  bool wire_ = false;
 };
 
 }  // namespace ipop::brunet

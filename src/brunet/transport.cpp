@@ -51,12 +51,14 @@ void TcpEdge::attach() {
   };
 }
 
-void TcpEdge::send(std::vector<std::uint8_t> bytes) {
+void TcpEdge::send(util::Buffer bytes) {
   if (!up_) return;
   ++tx_;
+  // Length-framing onto the stream necessarily serializes the packet; the
+  // zero-copy fast path is the UDP transport (the paper's WAN winner).
   util::ByteWriter w(4 + bytes.size());
   w.u32(static_cast<std::uint32_t>(bytes.size()));
-  w.bytes(bytes);
+  w.bytes(bytes.as_span());
   auto framed = w.take();
   if (!tx_backlog_.empty()) {
     tx_backlog_.insert(tx_backlog_.end(), framed.begin(), framed.end());
@@ -82,8 +84,8 @@ void TcpEdge::pump() {
                               static_cast<std::uint32_t>(rx_buf_[pos + 2]) << 8 |
                               static_cast<std::uint32_t>(rx_buf_[pos + 3]);
     if (rx_buf_.size() - pos - 4 < len) break;
-    std::vector<std::uint8_t> frame(rx_buf_.begin() + pos + 4,
-                                    rx_buf_.begin() + pos + 4 + len);
+    auto frame = util::Buffer::copy_of(
+        std::span<const std::uint8_t>(rx_buf_.data() + pos + 4, len));
     pos += 4 + len;
     deliver(loop_.now(), std::move(frame));
   }
@@ -111,7 +113,7 @@ TransportAddress TcpEdge::remote() const {
 // UdpEdge
 // ---------------------------------------------------------------------------
 
-void UdpEdge::send(std::vector<std::uint8_t> bytes) {
+void UdpEdge::send(util::Buffer bytes) {
   if (!up_ || transport_ == nullptr) return;
   ++tx_;
   transport_->send_to(ip_, port_, std::move(bytes));
@@ -201,20 +203,23 @@ std::shared_ptr<Edge> UdpTransport::edge_to(net::Ipv4Address ip,
 
 void UdpTransport::on_datagram(net::Ipv4Address src, std::uint16_t sport,
                                std::vector<std::uint8_t> data) {
+  // Adopt the datagram's bytes without copying; the edge's receiver (and
+  // the routing layer above it) share this one buffer.
+  auto buffer = util::Buffer::wrap(std::move(data));
   auto key = std::pair{src, sport};
   auto it = edges_.find(key);
   if (it == edges_.end()) {
     auto edge = std::make_shared<UdpEdge>(this, src, sport);
     edges_[key] = edge;
     if (on_inbound_) on_inbound_(edge);
-    edge->deliver(host_.loop().now(), std::move(data));
+    edge->deliver(host_.loop().now(), std::move(buffer));
     return;
   }
-  it->second->deliver(host_.loop().now(), std::move(data));
+  it->second->deliver(host_.loop().now(), std::move(buffer));
 }
 
 void UdpTransport::send_to(net::Ipv4Address ip, std::uint16_t port,
-                           std::vector<std::uint8_t> data) {
+                           util::Buffer data) {
   if (sock_ != nullptr) sock_->send_to(ip, port, std::move(data));
 }
 

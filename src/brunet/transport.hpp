@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/host.hpp"
+#include "util/buffer.hpp"
 #include "util/time.hpp"
 
 namespace ipop::brunet {
@@ -40,14 +41,17 @@ struct TransportAddress {
                           const TransportAddress&) = default;
 };
 
-/// A bidirectional packet pipe to one remote node.
+/// A bidirectional packet pipe to one remote node.  Packets cross an edge
+/// as shared util::Buffers: sending shares the caller's buffer handle (no
+/// payload copy), so forwarding a routed packet onto the next edge is
+/// refcount traffic, not memcpy traffic.
 class Edge {
  public:
-  using ReceiveHandler = std::function<void(std::vector<std::uint8_t>)>;
+  using ReceiveHandler = std::function<void(util::Buffer)>;
   using CloseHandler = std::function<void()>;
 
   virtual ~Edge() = default;
-  virtual void send(std::vector<std::uint8_t> bytes) = 0;
+  virtual void send(util::Buffer bytes) = 0;
   virtual void close() = 0;
   virtual TransportAddress remote() const = 0;
   virtual bool is_up() const = 0;
@@ -63,7 +67,7 @@ class Edge {
   std::uint64_t packets_received() const { return rx_; }
 
  protected:
-  void deliver(TimePoint now, std::vector<std::uint8_t> bytes) {
+  void deliver(TimePoint now, util::Buffer bytes) {
     last_received_ = now;
     ++rx_;
     if (on_receive_) on_receive_(std::move(bytes));
@@ -88,7 +92,7 @@ class TcpEdge : public Edge, public std::enable_shared_from_this<TcpEdge> {
  public:
   TcpEdge(sim::EventLoop& loop, std::shared_ptr<net::TcpSocket> sock);
 
-  void send(std::vector<std::uint8_t> bytes) override;
+  void send(util::Buffer bytes) override;
   void close() override;
   TransportAddress remote() const override;
   bool is_up() const override { return up_; }
@@ -114,7 +118,7 @@ class UdpEdge : public Edge {
   UdpEdge(UdpTransport* transport, net::Ipv4Address ip, std::uint16_t port)
       : transport_(transport), ip_(ip), port_(port) {}
 
-  void send(std::vector<std::uint8_t> bytes) override;
+  void send(util::Buffer bytes) override;
   void close() override;
   TransportAddress remote() const override {
     return {TransportAddress::Proto::kUdp, ip_, port_};
@@ -167,8 +171,7 @@ class UdpTransport {
   friend class UdpEdge;
   void on_datagram(net::Ipv4Address src, std::uint16_t sport,
                    std::vector<std::uint8_t> data);
-  void send_to(net::Ipv4Address ip, std::uint16_t port,
-               std::vector<std::uint8_t> data);
+  void send_to(net::Ipv4Address ip, std::uint16_t port, util::Buffer data);
   void remove_edge(net::Ipv4Address ip, std::uint16_t port);
 
   net::Host& host_;

@@ -21,7 +21,7 @@ IpopNode::IpopNode(net::Host& host, IpopConfig cfg)
   shortcuts_ = std::make_unique<ShortcutManager>(*overlay_, cfg_.shortcuts);
 
   tap_->set_frame_handler(
-      [this](std::vector<std::uint8_t> f) { on_tap_frame(std::move(f)); });
+      [this](util::Buffer f) { on_tap_frame(std::move(f)); });
   overlay_->set_handler(brunet::PacketType::kIpTunnel,
                         [this](const brunet::Packet& pkt) {
                           on_tunnel_packet(pkt);
@@ -72,7 +72,7 @@ bool IpopNode::routes_for(net::Ipv4Address ip) const {
 // Outbound: tap -> overlay
 // ---------------------------------------------------------------------------
 
-void IpopNode::on_tap_frame(std::vector<std::uint8_t> frame) {
+void IpopNode::on_tap_frame(util::Buffer frame) {
   if (!started_) return;
   ++metrics_.frames_captured;
   // User-level capture cost: serial CPU work plus pipelined wakeup latency.
@@ -86,10 +86,12 @@ void IpopNode::on_tap_frame(std::vector<std::uint8_t> frame) {
                   });
 }
 
-void IpopNode::process_captured(std::vector<std::uint8_t> frame) {
-  net::EthernetFrame eth;
+void IpopNode::process_captured(util::Buffer frame) {
+  // Parse the headers as views into the captured frame; the payload bytes
+  // are never copied on the capture path.
+  net::EthernetView eth;
   try {
-    eth = net::EthernetFrame::decode(frame);
+    eth = net::EthernetView::parse(frame.view());
   } catch (const util::ParseError&) {
     ++metrics_.dropped_parse;
     return;
@@ -114,7 +116,7 @@ void IpopNode::process_captured(std::vector<std::uint8_t> frame) {
         out.src = tap_->gateway_mac();
         out.type = net::EtherType::kArp;
         out.payload = reply.encode();
-        tap_->write_frame(out.encode());
+        tap_->write_frame(util::Buffer::wrap(out.encode()));
       } catch (const util::ParseError&) {
       }
       return;
@@ -126,9 +128,9 @@ void IpopNode::process_captured(std::vector<std::uint8_t> frame) {
       return;
   }
 
-  net::Ipv4Packet ip;
+  net::Ipv4View ip;
   try {
-    ip = net::Ipv4Packet::decode(eth.payload);
+    ip = net::Ipv4View::parse(eth.payload);
   } catch (const util::ParseError&) {
     ++metrics_.dropped_parse;
     return;
@@ -137,13 +139,17 @@ void IpopNode::process_captured(std::vector<std::uint8_t> frame) {
     ++metrics_.dropped_non_ip;  // not on the virtual network
     return;
   }
-  tunnel(ip.hdr.dst, std::move(eth.payload));
+  // Figure-3 encapsulation, zero-copy: strip the Ethernet header (the 14
+  // bytes become headroom) and trim link padding; the Brunet header is
+  // later prepended into that headroom by Packet::to_wire().
+  const std::size_t ip_len = net::Ipv4Header::kSize + ip.payload.size();
+  frame.drop_front(net::EthernetFrame::kHeaderSize);
+  frame.drop_back(frame.size() - ip_len);
+  tunnel(ip.hdr.dst, std::move(frame));
 }
 
-void IpopNode::tunnel(net::Ipv4Address dst_ip,
-                      std::vector<std::uint8_t> ip_bytes) {
-  auto send_to = [this](brunet::Address addr,
-                        std::vector<std::uint8_t> bytes) {
+void IpopNode::tunnel(net::Ipv4Address dst_ip, util::Buffer ip_bytes) {
+  auto send_to = [this](brunet::Address addr, util::Buffer bytes) {
     ++metrics_.packets_tunneled;
     shortcuts_->note_packet(addr);
     overlay_->send(addr, brunet::PacketType::kIpTunnel,
@@ -172,18 +178,19 @@ void IpopNode::tunnel(net::Ipv4Address dst_ip,
 
 void IpopNode::on_tunnel_packet(const brunet::Packet& pkt) {
   // The overlay node already charged the per-packet CPU cost on receive;
-  // only the injection latency remains.
-  auto bytes = pkt.payload;
+  // only the injection latency remains.  Unwrapping the tunneled IP packet
+  // is a sub-buffer share, not a copy.
+  auto bytes = pkt.share_payload();
   host_.loop().schedule_after(cfg_.sched_latency,
                               [this, bytes = std::move(bytes)]() mutable {
                                 if (started_) inject(std::move(bytes));
                               });
 }
 
-void IpopNode::inject(std::vector<std::uint8_t> ip_bytes) {
-  net::Ipv4Packet ip;
+void IpopNode::inject(util::Buffer ip_bytes) {
+  net::Ipv4View ip;
   try {
-    ip = net::Ipv4Packet::decode(ip_bytes);
+    ip = net::Ipv4View::parse(ip_bytes.view());
   } catch (const util::ParseError&) {
     ++metrics_.dropped_parse;
     return;
@@ -193,14 +200,13 @@ void IpopNode::inject(std::vector<std::uint8_t> ip_bytes) {
     return;
   }
   // Rebuild the Ethernet frame exactly as the paper describes: source is
-  // the gateway's ARP-entry MAC, destination is the host's tap MAC.
-  net::EthernetFrame eth;
-  eth.dst = tap_->kernel_mac();
-  eth.src = tap_->gateway_mac();
-  eth.type = net::EtherType::kIpv4;
-  eth.payload = std::move(ip_bytes);
+  // the gateway's ARP-entry MAC, destination is the host's tap MAC.  The
+  // header lands in the headroom left by the consumed Brunet header, so
+  // injection does not copy the packet either.
   ++metrics_.packets_injected;
-  tap_->write_frame(eth.encode());
+  tap_->write_frame(net::frame_onto(std::move(ip_bytes), tap_->kernel_mac(),
+                                    tap_->gateway_mac(),
+                                    net::EtherType::kIpv4));
 }
 
 }  // namespace ipop::core

@@ -89,11 +89,11 @@ class IpopNode {
   net::Host& host() { return host_; }
 
  private:
-  void on_tap_frame(std::vector<std::uint8_t> frame);
-  void process_captured(std::vector<std::uint8_t> frame);
-  void tunnel(net::Ipv4Address dst_ip, std::vector<std::uint8_t> ip_bytes);
+  void on_tap_frame(util::Buffer frame);
+  void process_captured(util::Buffer frame);
+  void tunnel(net::Ipv4Address dst_ip, util::Buffer ip_bytes);
   void on_tunnel_packet(const brunet::Packet& pkt);
-  void inject(std::vector<std::uint8_t> ip_bytes);
+  void inject(util::Buffer ip_bytes);
   bool routes_for(net::Ipv4Address ip) const;
 
   net::Host& host_;

@@ -2,6 +2,31 @@
 
 namespace ipop::core {
 
+void ShortcutManager::evict(util::TimePoint now) {
+  // Sweep: anything whose measurement window and request back-off both
+  // expired carries no information worth keeping.
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    const Counter& c = it->second;
+    if (now - c.window_start > cfg_.window &&
+        now - c.last_request > cfg_.retry_backoff) {
+      it = counters_.erase(it);
+      ++stats_.evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (counters_.empty() || counters_.size() < cfg_.max_tracked) return;
+  // Everything is still live (pathological: > max_tracked hot
+  // destinations inside one window).  Drop the stalest counter to keep
+  // the bound hard.
+  auto stalest = counters_.begin();
+  for (auto it = counters_.begin(); it != counters_.end(); ++it) {
+    if (it->second.window_start < stalest->second.window_start) stalest = it;
+  }
+  counters_.erase(stalest);
+  ++stats_.evicted;
+}
+
 void ShortcutManager::note_packet(const brunet::Address& dst) {
   if (!cfg_.enabled) return;
   if (node_.table().contains(dst)) {
@@ -9,7 +34,12 @@ void ShortcutManager::note_packet(const brunet::Address& dst) {
     return;  // greedy routing already uses the direct edge
   }
   const auto now = node_.host().loop().now();
-  Counter& c = counters_[dst];
+  auto it = counters_.find(dst);
+  if (it == counters_.end()) {
+    if (counters_.size() >= cfg_.max_tracked) evict(now);
+    it = counters_.emplace(dst, Counter{}).first;
+  }
+  Counter& c = it->second;
   if (now - c.window_start > cfg_.window) {
     c.window_start = now;
     c.count = 0;

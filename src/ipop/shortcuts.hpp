@@ -22,11 +22,17 @@ struct ShortcutConfig {
   util::Duration window = util::seconds(10);
   /// Back-off before re-requesting the same destination.
   util::Duration retry_backoff = util::seconds(30);
+  /// Upper bound on tracked destinations.  Inserting past the bound first
+  /// sweeps counters whose window (and back-off) expired, then — if the
+  /// map is still full — evicts the stalest counter, so a node forwarding
+  /// traffic for many destinations cannot grow memory without bound.
+  std::size_t max_tracked = 1024;
 };
 
 struct ShortcutStats {
   std::uint64_t requests = 0;
   std::uint64_t already_direct = 0;
+  std::uint64_t evicted = 0;
 };
 
 class ShortcutManager {
@@ -39,6 +45,8 @@ class ShortcutManager {
   void note_packet(const brunet::Address& dst);
 
   const ShortcutStats& stats() const { return stats_; }
+  /// Destinations currently tracked (bounded by cfg.max_tracked).
+  std::size_t tracked() const { return counters_.size(); }
 
  private:
   struct Counter {
@@ -46,6 +54,10 @@ class ShortcutManager {
     util::TimePoint window_start{};
     util::TimePoint last_request{};
   };
+
+  /// Drop counters whose window and back-off both expired; if none
+  /// qualified and the map is full, drop the stalest counter.
+  void evict(util::TimePoint now);
 
   brunet::BrunetNode& node_;
   ShortcutConfig cfg_;

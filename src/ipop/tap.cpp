@@ -39,7 +39,7 @@ TapDevice::TapDevice(net::Host& host, const TapConfig& cfg)
   });
 }
 
-void TapDevice::write_frame(std::vector<std::uint8_t> frame) {
+void TapDevice::write_frame(util::Buffer frame) {
   ++frames_written_;
   link_.end_b().send(std::move(frame));
 }

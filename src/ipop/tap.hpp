@@ -36,14 +36,17 @@ struct TapConfig {
 
 class TapDevice {
  public:
-  using FrameHandler = std::function<void(std::vector<std::uint8_t>)>;
+  /// Frames cross the tap as shared buffers.  Kernel-emitted frames carry
+  /// util::kPacketHeadroom spare front bytes, so IPOP can strip the
+  /// Ethernet header and prepend the Brunet tunnel header in place.
+  using FrameHandler = std::function<void(util::Buffer)>;
 
   TapDevice(net::Host& host, const TapConfig& cfg);
 
   /// User face: frames the kernel emitted on tap0 arrive here.
   void set_frame_handler(FrameHandler h) { handler_ = std::move(h); }
   /// User face: inject a frame into the kernel as if received on tap0.
-  void write_frame(std::vector<std::uint8_t> frame);
+  void write_frame(util::Buffer frame);
 
   const TapConfig& config() const { return cfg_; }
   net::MacAddress kernel_mac() const { return kernel_mac_; }

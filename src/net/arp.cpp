@@ -16,7 +16,7 @@ std::vector<std::uint8_t> ArpMessage::encode() const {
   return w.take();
 }
 
-ArpMessage ArpMessage::decode(std::span<const std::uint8_t> bytes) {
+ArpMessage ArpMessage::decode(util::BufferView bytes) {
   util::ByteReader r(bytes);
   if (r.u16() != 1 || r.u16() != 0x0800 || r.u8() != 6 || r.u8() != 4) {
     throw util::ParseError("unsupported ARP format");

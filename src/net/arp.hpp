@@ -28,7 +28,10 @@ struct ArpMessage {
   Ipv4Address target_ip;
 
   std::vector<std::uint8_t> encode() const;
-  static ArpMessage decode(std::span<const std::uint8_t> bytes);
+  /// ARP is all fixed-size fields, so the view-backed parse is already
+  /// copy-free; throws util::ParseError on truncation or non-Ethernet/IPv4
+  /// formats.
+  static ArpMessage decode(util::BufferView bytes);
 };
 
 }  // namespace ipop::net

@@ -1,5 +1,6 @@
 #include "net/ethernet.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ipop::net {
@@ -22,29 +23,58 @@ std::string MacAddress::to_string() const {
   return buf;
 }
 
+namespace {
+void write_header(std::uint8_t* out, const MacAddress& dst,
+                  const MacAddress& src, EtherType type) {
+  std::copy(dst.octets.begin(), dst.octets.end(), out);
+  std::copy(src.octets.begin(), src.octets.end(), out + 6);
+  const auto t = static_cast<std::uint16_t>(type);
+  out[12] = static_cast<std::uint8_t>(t >> 8);
+  out[13] = static_cast<std::uint8_t>(t);
+}
+}  // namespace
+
 std::vector<std::uint8_t> EthernetFrame::encode() const {
-  util::ByteWriter w(kHeaderSize + payload.size());
-  w.bytes(std::span<const std::uint8_t>(dst.octets.data(), 6));
-  w.bytes(std::span<const std::uint8_t>(src.octets.data(), 6));
-  w.u16(static_cast<std::uint16_t>(type));
-  w.bytes(payload);
-  return w.take();
+  std::vector<std::uint8_t> out(kHeaderSize + payload.size());
+  write_header(out.data(), dst, src, type);
+  std::copy(payload.begin(), payload.end(), out.begin() + kHeaderSize);
+  return out;
 }
 
-EthernetFrame Ethernet_frame_decode_impl(std::span<const std::uint8_t> bytes) {
-  util::ByteReader r(bytes);
-  EthernetFrame f;
+util::Buffer EthernetFrame::encode_buffer(std::size_t headroom) const {
+  auto frame = util::Buffer::allocate(kHeaderSize + payload.size(), headroom);
+  write_header(frame.data(), dst, src, type);
+  std::copy(payload.begin(), payload.end(), frame.data() + kHeaderSize);
+  return frame;
+}
+
+EthernetView EthernetView::parse(util::BufferView frame) {
+  util::ByteReader r(frame);
+  EthernetView v;
   auto d = r.bytes(6);
-  std::copy(d.begin(), d.end(), f.dst.octets.begin());
+  std::copy(d.begin(), d.end(), v.dst.octets.begin());
   auto s = r.bytes(6);
-  std::copy(s.begin(), s.end(), f.src.octets.begin());
-  f.type = static_cast<EtherType>(r.u16());
-  f.payload = r.rest_copy();
+  std::copy(s.begin(), s.end(), v.src.octets.begin());
+  v.type = static_cast<EtherType>(r.u16());
+  v.payload = r.rest_view();
+  return v;
+}
+
+EthernetFrame EthernetFrame::decode(util::BufferView bytes) {
+  EthernetView v = EthernetView::parse(bytes);
+  EthernetFrame f;
+  f.dst = v.dst;
+  f.src = v.src;
+  f.type = v.type;
+  f.payload = v.payload.to_vector();
   return f;
 }
 
-EthernetFrame EthernetFrame::decode(std::span<const std::uint8_t> bytes) {
-  return Ethernet_frame_decode_impl(bytes);
+util::Buffer frame_onto(util::Buffer payload, const MacAddress& dst,
+                        const MacAddress& src, EtherType type) {
+  auto slot = payload.grow_front(EthernetFrame::kHeaderSize);
+  write_header(slot.data(), dst, src, type);
+  return payload;
 }
 
 }  // namespace ipop::net

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/buffer.hpp"
 #include "util/bytes.hpp"
 
 namespace ipop::net {
@@ -47,9 +48,31 @@ struct EthernetFrame {
   static constexpr std::size_t kHeaderSize = 14;
 
   std::vector<std::uint8_t> encode() const;
+  /// Encode into a shared buffer with `headroom` spare bytes in front, so
+  /// downstream consumers (IPOP's tap capture) can strip this header and
+  /// prepend tunnel headers without copying the payload.
+  util::Buffer encode_buffer(std::size_t headroom) const;
   /// Throws util::ParseError on truncated input.
-  static EthernetFrame decode(std::span<const std::uint8_t> bytes);
+  static EthernetFrame decode(util::BufferView bytes);
 };
+
+/// Zero-copy parsed Ethernet header: `payload` aliases the input view.
+struct EthernetView {
+  MacAddress dst;
+  MacAddress src;
+  EtherType type = EtherType::kIpv4;
+  util::BufferView payload;
+
+  /// Throws util::ParseError on truncated input.
+  static EthernetView parse(util::BufferView frame);
+};
+
+/// Frame `payload` by prepending an Ethernet II header — in place when the
+/// buffer's headroom and unique ownership allow, with one reallocation
+/// otherwise.  This is how IPOP injects tunneled IP packets back into the
+/// kernel without copying them.
+util::Buffer frame_onto(util::Buffer payload, const MacAddress& dst,
+                        const MacAddress& src, EtherType type);
 
 }  // namespace ipop::net
 

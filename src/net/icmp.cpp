@@ -17,18 +17,29 @@ std::vector<std::uint8_t> IcmpMessage::encode() const {
   return bytes;
 }
 
-IcmpMessage IcmpMessage::decode(std::span<const std::uint8_t> bytes) {
+IcmpView IcmpView::parse(util::BufferView bytes) {
   if (internet_checksum(bytes) != 0) {
     throw util::ParseError("bad ICMP checksum");
   }
   util::ByteReader r(bytes);
-  IcmpMessage m;
+  IcmpView m;
   m.type = static_cast<IcmpType>(r.u8());
   m.code = r.u8();
   r.u16();  // checksum already verified
   m.id = r.u16();
   m.seq = r.u16();
-  m.payload = r.rest_copy();
+  m.payload = r.rest_view();
+  return m;
+}
+
+IcmpMessage IcmpMessage::decode(util::BufferView bytes) {
+  IcmpView v = IcmpView::parse(bytes);
+  IcmpMessage m;
+  m.type = v.type;
+  m.code = v.code;
+  m.id = v.id;
+  m.seq = v.seq;
+  m.payload = v.payload.to_vector();
   return m;
 }
 

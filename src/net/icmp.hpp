@@ -31,7 +31,24 @@ struct IcmpMessage {
 
   std::vector<std::uint8_t> encode() const;
   /// Throws util::ParseError on truncation or bad checksum.
-  static IcmpMessage decode(std::span<const std::uint8_t> bytes);
+  static IcmpMessage decode(util::BufferView bytes);
+
+  bool is_echo() const {
+    return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;
+  }
+};
+
+/// Zero-copy parsed ICMP message: `payload` aliases the input view.  Lets
+/// middleboxes (NAT, firewall) peek at echo ids without owning copies.
+struct IcmpView {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+  util::BufferView payload;
+
+  /// Throws util::ParseError on truncation or bad checksum.
+  static IcmpView parse(util::BufferView bytes);
 
   bool is_echo() const {
     return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;

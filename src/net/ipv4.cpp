@@ -108,9 +108,9 @@ std::vector<std::uint8_t> Ipv4Packet::encode() const {
   return bytes;
 }
 
-Ipv4Packet Ipv4Packet::decode(std::span<const std::uint8_t> bytes) {
+Ipv4View Ipv4View::parse(util::BufferView bytes) {
   util::ByteReader r(bytes);
-  Ipv4Packet p;
+  Ipv4View p;
   const std::uint8_t ver_ihl = r.u8();
   if ((ver_ihl >> 4) != 4) throw util::ParseError("not IPv4");
   const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
@@ -132,10 +132,18 @@ Ipv4Packet Ipv4Packet::decode(std::span<const std::uint8_t> bytes) {
   r.u16();  // checksum validated over the raw header below
   p.hdr.src = Ipv4Address(r.u32());
   p.hdr.dst = Ipv4Address(r.u32());
-  if (internet_checksum(bytes.subspan(0, Ipv4Header::kSize)) != 0) {
+  if (internet_checksum(bytes.subview(0, Ipv4Header::kSize)) != 0) {
     throw util::ParseError("bad IPv4 header checksum");
   }
-  p.payload = r.bytes_copy(total_len - Ipv4Header::kSize);
+  p.payload = r.view_bytes(total_len - Ipv4Header::kSize);
+  return p;
+}
+
+Ipv4Packet Ipv4Packet::decode(util::BufferView bytes) {
+  Ipv4View v = Ipv4View::parse(bytes);
+  Ipv4Packet p;
+  p.hdr = v.hdr;
+  p.payload = v.payload.to_vector();
   return p;
 }
 

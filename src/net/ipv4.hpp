@@ -82,7 +82,20 @@ struct Ipv4Packet {
   /// Serialize with computed header checksum.
   std::vector<std::uint8_t> encode() const;
   /// Throws util::ParseError on malformed input or bad header checksum.
-  static Ipv4Packet decode(std::span<const std::uint8_t> bytes);
+  static Ipv4Packet decode(util::BufferView bytes);
+};
+
+/// Zero-copy parsed IPv4 packet: `payload` aliases the input view (and is
+/// trimmed to the header's total-length field, dropping link padding).
+/// Used on the IPOP fast path, where the packet bytes are tunneled onward
+/// verbatim and an owning copy would be pure waste.
+struct Ipv4View {
+  Ipv4Header hdr;
+  util::BufferView payload;
+
+  /// Validates version/IHL/fragmentation/total-length/header checksum;
+  /// throws util::ParseError like Ipv4Packet::decode.
+  static Ipv4View parse(util::BufferView bytes);
 };
 
 /// RFC 1071 Internet checksum over `data` (16-bit one's complement sum).

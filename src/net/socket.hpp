@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "util/buffer.hpp"
 
 namespace ipop::net {
 
@@ -26,6 +27,10 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
   void set_receive_handler(ReceiveHandler h) { handler_ = std::move(h); }
   void send_to(Ipv4Address dst, std::uint16_t dst_port,
                std::vector<std::uint8_t> data);
+  /// Shared-buffer variant: the datagram is built with exactly one copy of
+  /// `data` (into the simulated kernel's owned packet), matching the copy
+  /// a real sendto() performs at the user/kernel boundary.
+  void send_to(Ipv4Address dst, std::uint16_t dst_port, util::Buffer data);
   /// Unbind from the stack; pending callbacks are dropped.
   void close();
 

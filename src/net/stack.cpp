@@ -182,7 +182,7 @@ void Stack::handle_arp(std::size_t iface,
     eth.src = ifc.cfg.mac;
     eth.type = EtherType::kArp;
     eth.payload = reply.encode();
-    auto raw = eth.encode();
+    auto raw = util::Buffer::wrap(eth.encode());
     loop_.schedule_after(cfg_.per_packet_delay,
                          [&ifc, raw = std::move(raw)]() mutable {
                            if (ifc.link != nullptr) ifc.link->send(std::move(raw));
@@ -329,7 +329,7 @@ void Stack::send_arp_request(std::size_t iface, Ipv4Address target) {
   eth.src = ifc.cfg.mac;
   eth.type = EtherType::kArp;
   eth.payload = req.encode();
-  auto raw = eth.encode();
+  auto raw = util::Buffer::wrap(eth.encode());
   loop_.schedule_after(cfg_.per_packet_delay,
                        [&ifc, raw = std::move(raw)]() mutable {
                          if (ifc.link != nullptr) ifc.link->send(std::move(raw));
@@ -344,7 +344,10 @@ void Stack::emit_frame(std::size_t iface, MacAddress dst,
   eth.src = ifc.cfg.mac;
   eth.type = EtherType::kIpv4;
   eth.payload = std::move(ip_bytes);
-  auto raw = eth.encode();
+  // Reserve headroom in front of the frame: when it pops out of a tap
+  // device, IPOP strips this Ethernet header and prepends the Brunet
+  // tunnel header into the same storage — zero payload copies.
+  auto raw = eth.encode_buffer(util::kPacketHeadroom);
   // Kernel transmit-path traversal cost.
   loop_.schedule_after(cfg_.per_packet_delay,
                        [&ifc, raw = std::move(raw)]() mutable {
@@ -573,15 +576,20 @@ void Stack::tcp_unregister(const TcpKey& key) { tcp_socks_.erase(key); }
 
 void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
                         std::vector<std::uint8_t> data) {
+  send_to(dst, dst_port, util::Buffer::wrap(std::move(data)));
+}
+
+void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
+                        util::Buffer data) {
   if (stack_ == nullptr) return;
-  UdpDatagram d;
-  d.src_port = port_;
-  d.dst_port = dst_port;
-  d.payload = std::move(data);
+  // One copy, straight into the datagram (the user/kernel crossing).
+  util::ByteWriter w(UdpDatagram::kHeaderSize + data.size());
+  UdpDatagram::encode_header(w, port_, dst_port, data.size());
+  w.bytes(data.as_span());
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kUdp;
   pkt.hdr.dst = dst;
-  pkt.payload = d.encode();
+  pkt.payload = w.take();
   ++tx_;
   stack_->send_ip(std::move(pkt));
 }

@@ -2,12 +2,18 @@
 
 namespace ipop::net {
 
-std::vector<std::uint8_t> UdpDatagram::encode() const {
-  util::ByteWriter w(kHeaderSize + payload.size());
+void UdpDatagram::encode_header(util::ByteWriter& w, std::uint16_t src_port,
+                                std::uint16_t dst_port,
+                                std::size_t payload_len) {
   w.u16(src_port);
   w.u16(dst_port);
-  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload_len));
   w.u16(0);  // checksum: not computed (legal for IPv4)
+}
+
+std::vector<std::uint8_t> UdpDatagram::encode() const {
+  util::ByteWriter w(kHeaderSize + payload.size());
+  encode_header(w, src_port, dst_port, payload.size());
   w.bytes(payload);
   return w.take();
 }

@@ -24,6 +24,12 @@ struct UdpDatagram {
   /// over IPv4; frame integrity in the simulator is structural.
   std::vector<std::uint8_t> encode() const;
   static UdpDatagram decode(std::span<const std::uint8_t> bytes);
+
+  /// Append the 8-byte header for a datagram carrying `payload_len`
+  /// bytes (the single definition of the wire header, shared by encode()
+  /// and the zero-copy socket path).
+  static void encode_header(util::ByteWriter& w, std::uint16_t src_port,
+                            std::uint16_t dst_port, std::size_t payload_len);
 };
 
 }  // namespace ipop::net

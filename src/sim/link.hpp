@@ -16,11 +16,15 @@
 #include <vector>
 
 #include "sim/event_loop.hpp"
+#include "util/buffer.hpp"
 #include "util/random.hpp"
 
 namespace ipop::sim {
 
-using Frame = std::vector<std::uint8_t>;
+/// Frames are reference-counted buffers: a link (and the learning switch
+/// flooding a frame out of several ports) forwards the handle, never the
+/// bytes, so the physical substrate adds zero payload copies.
+using Frame = util::Buffer;
 using FrameHandler = std::function<void(Frame)>;
 
 struct LinkConfig {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,62 @@ namespace ipop::util {
 class ParseError : public std::runtime_error {
  public:
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Non-owning bounds-checked view of immutable bytes: the zero-copy
+/// counterpart of std::span used throughout the packet pipeline.  Every
+/// accessor throws ParseError instead of invoking undefined behaviour on
+/// out-of-range access, so parsers can slice wire data freely.
+///
+/// A BufferView does not keep the underlying storage alive; holders must
+/// keep the owning util::Buffer (or vector) in scope.  Views handed out by
+/// brunet::Packet alias the packet's shared buffer and remain valid for as
+/// long as any handle to that buffer exists.
+class BufferView {
+ public:
+  constexpr BufferView() = default;
+  constexpr BufferView(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  BufferView(std::span<const std::uint8_t> s)  // NOLINT: intentional implicit
+      : data_(s.data()), size_(s.size()) {}
+  BufferView(const std::vector<std::uint8_t>& v)  // NOLINT: implicit
+      : data_(v.data()), size_(v.size()) {}
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::uint8_t operator[](std::size_t i) const {
+    if (i >= size_) throw ParseError("BufferView: index out of range");
+    return data_[i];
+  }
+  /// Sub-view [offset, offset+len); throws ParseError on out-of-bounds.
+  BufferView subview(std::size_t offset, std::size_t len) const {
+    if (offset > size_ || len > size_ - offset) {
+      throw ParseError("BufferView: subview out of range");
+    }
+    return {data_ + offset, len};
+  }
+  /// Sub-view from offset to the end; throws ParseError on out-of-bounds.
+  BufferView subview(std::size_t offset) const {
+    if (offset > size_) throw ParseError("BufferView: subview out of range");
+    return {data_ + offset, size_ - offset};
+  }
+
+  std::span<const std::uint8_t> as_span() const { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return as_span(); }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+  std::vector<std::uint8_t> to_vector() const { return {data_, data_ + size_}; }
+
+  friend bool operator==(BufferView a, BufferView b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// Append-only big-endian encoder.
@@ -70,6 +127,11 @@ class ByteWriter {
 };
 
 /// Bounds-checked big-endian decoder over a non-owning view.
+///
+/// Two modes of consuming byte ranges exist side by side: the historical
+/// `*_copy` accessors return owning vectors, while the view-backed
+/// accessors (`view_bytes`, `rest_view`) return BufferViews aliasing the
+/// reader's input — the mode the zero-copy parsers in net/ use.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -112,8 +174,17 @@ class ByteReader {
     auto s = bytes(n);
     return {reinterpret_cast<const char*>(s.data()), s.size()};
   }
+  /// Zero-copy: the next n bytes as a view aliasing the input.
+  BufferView view_bytes(std::size_t n) { return BufferView(bytes(n)); }
   /// Remaining unread bytes as a view.
   std::span<const std::uint8_t> rest() { return data_.subspan(pos_); }
+  /// Zero-copy: all remaining bytes as a view aliasing the input
+  /// (consumes them, like rest_copy).
+  BufferView rest_view() {
+    auto s = rest();
+    pos_ = data_.size();
+    return BufferView(s);
+  }
   std::vector<std::uint8_t> rest_copy() {
     auto s = rest();
     pos_ = data_.size();

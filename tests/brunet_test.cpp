@@ -99,10 +99,10 @@ TEST(PacketTest, RoundTrip) {
   p.msg_id = 0xCAFE;
   p.src = Address::random(rng);
   p.dst = Address::random(rng);
-  p.payload = {1, 2, 3, 4, 5};
+  p.set_payload({1, 2, 3, 4, 5});
   auto bytes = p.encode();
   EXPECT_EQ(bytes.size(), Packet::kHeaderSize + 5);
-  Packet q = Packet::decode(bytes);
+  Packet q = Packet::decode(std::span<const std::uint8_t>(bytes));
   EXPECT_EQ(q.type, p.type);
   EXPECT_EQ(q.mode, p.mode);
   EXPECT_EQ(q.ttl, 17);
@@ -110,12 +110,13 @@ TEST(PacketTest, RoundTrip) {
   EXPECT_EQ(q.msg_id, 0xCAFEu);
   EXPECT_EQ(q.src, p.src);
   EXPECT_EQ(q.dst, p.dst);
-  EXPECT_EQ(q.payload, p.payload);
+  EXPECT_EQ(q.payload(), p.payload());
 }
 
 TEST(PacketTest, TruncatedThrows) {
   std::vector<std::uint8_t> junk(10, 0);
-  EXPECT_THROW(Packet::decode(junk), util::ParseError);
+  EXPECT_THROW(Packet::decode(std::span<const std::uint8_t>(junk)),
+               util::ParseError);
 }
 
 // --- ConnectionTable -----------------------------------------------------------
@@ -283,7 +284,7 @@ TEST(OverlayRouting, ExactDeliveryBetweenAllPairs) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
-                       {static_cast<std::uint8_t>(i)});
+                       std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
     }
   }
   f.net.loop().run_until(f.net.loop().now() + seconds(10));
@@ -314,7 +315,7 @@ TEST(OverlayRouting, ClosestModeDeliversToClosestNode) {
     }
     const std::size_t origin = trial % f.nodes.size();
     f.nodes[origin]->send(target, PacketType::kAppData, RoutingMode::kClosest,
-                          {});
+                          std::vector<std::uint8_t>{});
     f.net.loop().run_until(f.net.loop().now() + seconds(2));
     if (origin != expected) {
       EXPECT_EQ(hits, 1) << "trial " << trial;
@@ -342,7 +343,7 @@ TEST(OverlayRouting, HopCountLogarithmicWithShortcuts) {
     for (std::size_t j = 0; j < f.nodes.size(); ++j) {
       if (i == j) continue;
       f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
-                       {});
+                       std::vector<std::uint8_t>{});
     }
   }
   f.net.loop().run_until(f.net.loop().now() + seconds(10));
@@ -391,8 +392,9 @@ TEST(OverlayPing, RequestResponseAndTimeout) {
   f.nodes[0]->request(f.addrs[2], PacketType::kPing, RoutingMode::kExact,
                       {7, 7}, [&](std::optional<Packet> resp) {
                         ASSERT_TRUE(resp.has_value());
-                        EXPECT_EQ(resp->payload,
-                                  (std::vector<std::uint8_t>{7, 7}));
+                        EXPECT_EQ(resp->payload(),
+                                  util::BufferView(
+                                      std::vector<std::uint8_t>{7, 7}));
                         got = true;
                       });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));

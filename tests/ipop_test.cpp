@@ -35,9 +35,9 @@ struct TapFixture : ::testing::Test {
 };
 
 TEST_F(TapFixture, KernelFrameReachesUserFace) {
-  std::vector<std::vector<std::uint8_t>> captured;
+  std::vector<util::Buffer> captured;
   tap->set_frame_handler(
-      [&](std::vector<std::uint8_t> f) { captured.push_back(std::move(f)); });
+      [&](util::Buffer f) { captured.push_back(std::move(f)); });
   // Kernel-side traffic: ping another virtual IP; the echo request must
   // pop out of the tap's user face as an Ethernet frame to the gateway.
   h->stack().send_echo_request(ip("172.16.0.77"), 1, 1);
@@ -53,7 +53,7 @@ TEST_F(TapFixture, KernelFrameReachesUserFace) {
 
 TEST_F(TapFixture, NoArpEverEmittedOnTap) {
   int arp_frames = 0;
-  tap->set_frame_handler([&](std::vector<std::uint8_t> f) {
+  tap->set_frame_handler([&](util::Buffer f) {
     auto eth = net::EthernetFrame::decode(f);
     if (eth.type == net::EtherType::kArp) ++arp_frames;
   });
@@ -84,9 +84,31 @@ TEST_F(TapFixture, InjectedFrameReachesKernel) {
   eth.src = tap->gateway_mac();
   eth.type = net::EtherType::kIpv4;
   eth.payload = pkt.encode();
-  tap->write_frame(eth.encode());
+  tap->write_frame(util::Buffer::wrap(eth.encode()));
   net.loop().run_until(seconds(2));
   EXPECT_EQ(replies, 1);
+}
+
+TEST_F(TapFixture, CapturedFramesCarryHeadroomForEncapsulation) {
+  // Kernel-emitted frames must arrive with enough headroom that stripping
+  // the Ethernet header leaves room to prepend the 48-byte Brunet header
+  // in place (the zero-copy Figure-3 encapsulation).
+  std::vector<util::Buffer> captured;
+  tap->set_frame_handler(
+      [&](util::Buffer f) { captured.push_back(std::move(f)); });
+  h->stack().send_echo_request(ip("172.16.0.77"), 1, 1);
+  net.loop().run_until(seconds(2));
+  ASSERT_EQ(captured.size(), 1u);
+  util::Buffer frame = std::move(captured[0]);
+  const std::uint8_t* ip_start = frame.data() + net::EthernetFrame::kHeaderSize;
+  frame.drop_front(net::EthernetFrame::kHeaderSize);
+  ASSERT_GE(frame.headroom(), brunet::Packet::kHeaderSize);
+  // The encapsulation itself must not move the IP bytes.
+  brunet::Packet pkt;
+  pkt.type = brunet::PacketType::kIpTunnel;
+  pkt.set_payload(std::move(frame));
+  auto wire = pkt.to_wire();
+  EXPECT_EQ(wire.data() + brunet::Packet::kHeaderSize, ip_start);
 }
 
 TEST_F(TapFixture, MtuIsAppliedToTcpMss) {
@@ -299,6 +321,36 @@ TEST_F(IpopLanFixture, ShortcutTriggersDirectConnection) {
   const auto& stats = nodes[0]->shortcuts().stats();
   // Fully-meshed small overlay: packets already ride a direct edge.
   EXPECT_GT(stats.already_direct + stats.requests, 0u);
+}
+
+TEST(ShortcutEvictionTest, CounterMapStaysBounded) {
+  // A node forwarding traffic for many destinations must not leak one
+  // counter per destination forever.
+  net::Network net{97};
+  auto& h = net.add_host("h");
+  brunet::NodeConfig ncfg;
+  brunet::BrunetNode node(h, brunet::Address::hash("evict"), ncfg);
+  ShortcutConfig scfg;
+  scfg.enabled = true;
+  scfg.max_tracked = 16;
+  scfg.window = util::seconds(1);
+  ShortcutManager mgr(node, scfg);
+
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    mgr.note_packet(brunet::Address::random(rng));
+    // Advance time so earlier windows expire and become sweepable.
+    net.loop().run_until(net.loop().now() + milliseconds(20));
+  }
+  EXPECT_LE(mgr.tracked(), scfg.max_tracked);
+  EXPECT_GT(mgr.stats().evicted, 0u);
+
+  // The hard bound holds even when every destination stays hot inside one
+  // window (stalest-counter eviction).
+  for (int i = 0; i < 100; ++i) {
+    mgr.note_packet(brunet::Address::random(rng));
+  }
+  EXPECT_LE(mgr.tracked(), scfg.max_tracked);
 }
 
 // ---------------------------------------------------------------------------

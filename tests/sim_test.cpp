@@ -147,7 +147,9 @@ TEST(CpuTest, IdleGapsDoNotAccumulate) {
 
 // --- Link -----------------------------------------------------------------------
 
-sim::Frame make_frame(std::size_t size) { return sim::Frame(size, 0x5A); }
+sim::Frame make_frame(std::size_t size) {
+  return sim::Frame::filled(size, 0x5A);
+}
 
 TEST(LinkTest, DeliversWithPropagationDelay) {
   EventLoop loop;
@@ -302,10 +304,10 @@ struct SwitchFixture : ::testing::Test {
   }
 
   static Frame frame(int dst, int src) {
-    Frame f(64, 0);
+    Frame f = Frame::filled(64, 0);
     auto set_mac = [&](std::size_t off, int idx) {
       if (idx < 0) {
-        std::fill(f.begin() + off, f.begin() + off + 6, 0xFF);
+        std::fill(f.data() + off, f.data() + off + 6, 0xFF);
       } else {
         f[off + 5] = static_cast<std::uint8_t>(idx + 1);
       }
@@ -345,7 +347,7 @@ TEST_F(SwitchFixture, BroadcastReachesAllOthers) {
 }
 
 TEST_F(SwitchFixture, RuntFramesDropped) {
-  links[0]->end_a().send(Frame(5, 0xAA));
+  links[0]->end_a().send(Frame::filled(5, 0xAA));
   loop.run();
   EXPECT_EQ(received[1].size(), 0u);
   EXPECT_EQ(received[2].size(), 0u);
