@@ -1,0 +1,133 @@
+// Ablation (paper Section V.2): copies at the simulated kernel's stack
+// crossings.
+//
+// The paper attributes a large share of IPOP's per-packet cost to the
+// user/kernel boundary: every virtual-network packet crosses the kernel
+// stack twice per host, and each crossing historically copies the
+// payload.  The zero-copy pipeline removes those copies — received frames
+// are adopted as shared buffers, NAT patches ports/checksums in place,
+// and transmit prepends headers into recovered headroom.  The
+// `copy_at_stack_crossing` StackConfig toggle reinstates the copies so
+// their cost is directly measurable.
+//
+// This bench pushes a UDP stream inside -> NAT -> outside in both
+// configurations and reports (a) payload bytes copied per forwarded
+// packet at each stack (from StackCounters, exact) and (b) the real
+// wall-clock cost per simulated packet (the discrete-event clock is
+// oblivious to memcpy; the host CPU is not).
+#include <chrono>
+
+#include "common.hpp"
+#include "net/topology.hpp"
+
+namespace {
+using namespace ipop;
+
+struct RunResult {
+  double nat_copied_per_pkt = 0.0;
+  double end_hosts_copied_per_pkt = 0.0;
+  double wall_us_per_pkt = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+RunResult run(bool copy_at_crossing, int packets) {
+  net::StackConfig scfg;
+  scfg.copy_at_stack_crossing = copy_at_crossing;
+  net::Network netw{17};
+  auto& inside = netw.add_host("inside", scfg);
+  auto& outside = netw.add_host("outside", scfg);
+  auto& nat = netw.add_nat("nat", net::NatType::kPortRestrictedCone, scfg);
+  sim::LinkConfig link;
+  link.delay = util::microseconds(50);
+  netw.connect(inside.stack(), {"eth0", net::Ipv4Address(10, 0, 0, 2), 24},
+               nat.stack(), {"in", net::Ipv4Address(10, 0, 0, 1), 24}, link);
+  netw.connect(nat.stack(), {"out", net::Ipv4Address(8, 0, 0, 1), 24},
+               outside.stack(), {"eth0", net::Ipv4Address(8, 0, 0, 2), 24},
+               link);
+  inside.stack().add_route(net::Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                           net::Ipv4Address(10, 0, 0, 1));
+
+  auto server = outside.stack().udp_bind(7000);
+  std::uint64_t received = 0;
+  server->set_receive_handler(
+      [&](net::Ipv4Address, std::uint16_t, util::Buffer) { ++received; });
+  auto client = inside.stack().udp_bind(5555);
+
+  // A full 1400-byte virtual-network packet (1372B payload + 28B headers),
+  // sent through the shared-buffer socket API with proper headroom so the
+  // default path has no inherent copy.
+  auto payload = util::Buffer::allocate(1372, util::kPacketHeadroom);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+
+  // Warm up ARP resolution and the NAT mapping.
+  client->send_to(net::Ipv4Address(8, 0, 0, 2), 7000, payload.clone());
+  netw.loop().run_for(util::seconds(1));
+
+  const auto nat_before = nat.stack().counters().payload_bytes_copied;
+  const auto hosts_before = inside.stack().counters().payload_bytes_copied +
+                            outside.stack().counters().payload_bytes_copied;
+  const auto received_before = received;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < packets; ++i) {
+    client->send_to(net::Ipv4Address(8, 0, 0, 2), 7000,
+                    payload.clone(util::kPacketHeadroom));
+    netw.loop().run_for(util::milliseconds(1));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.delivered = received - received_before;
+  r.nat_copied_per_pkt =
+      static_cast<double>(nat.stack().counters().payload_bytes_copied -
+                          nat_before) /
+      packets;
+  r.end_hosts_copied_per_pkt =
+      static_cast<double>(inside.stack().counters().payload_bytes_copied +
+                          outside.stack().counters().payload_bytes_copied -
+                          hosts_before) /
+      packets;
+  r.wall_us_per_pkt =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / packets;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: payload copies at kernel stack crossings",
+                "Section V.2");
+
+  constexpr int kPackets = 20000;
+  const RunResult zero_copy = run(/*copy_at_crossing=*/false, kPackets);
+  const RunResult copying = run(/*copy_at_crossing=*/true, kPackets);
+
+  util::Table table({"configuration", "NAT bytes copied/pkt",
+                     "end-host bytes copied/pkt", "wall us/pkt",
+                     "delivered"});
+  table.add_row({"zero-copy pipeline (default)",
+                 util::Table::num(zero_copy.nat_copied_per_pkt, 1),
+                 util::Table::num(zero_copy.end_hosts_copied_per_pkt, 1),
+                 util::Table::num(zero_copy.wall_us_per_pkt, 3),
+                 std::to_string(zero_copy.delivered) + "/" +
+                     std::to_string(kPackets)});
+  table.add_row({"copy_at_stack_crossing ablation",
+                 util::Table::num(copying.nat_copied_per_pkt, 1),
+                 util::Table::num(copying.end_hosts_copied_per_pkt, 1),
+                 util::Table::num(copying.wall_us_per_pkt, 3),
+                 std::to_string(copying.delivered) + "/" +
+                     std::to_string(kPackets)});
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: 0 bytes copied per NAT-rewritten forward at the default\n"
+      "config (ports and checksums are patched in the shared buffer); the\n"
+      "ablation copies the payload at every crossing — two per stack\n"
+      "traversal — reproducing the kernel-path cost the paper proposes\n"
+      "eliminating.  The simulated clock is identical in both runs; the\n"
+      "difference is real CPU time per packet.\n");
+  return (zero_copy.nat_copied_per_pkt == 0.0 &&
+          zero_copy.delivered == kPackets)
+             ? 0
+             : 1;
+}

@@ -270,10 +270,11 @@ void BrunetNode::route(Packet pkt, bool from_transit) {
     return;
   }
   if (from_transit) ++stats_.forwarded;
-  // For a transit packet to_wire() is a one-byte in-place hop-count patch
-  // and the *same* buffer goes out on the next edge: forwarding cost is
-  // O(1) header work, not O(packet size) copies.
-  best->edge->send(pkt.to_wire());
+  // For a transit packet take_wire() is a one-byte in-place hop-count
+  // patch and the *same* buffer goes out on the next edge — released by
+  // the Packet, so the UDP layer below can prepend its headers into the
+  // storage too: forwarding cost is O(1) header work, zero copies.
+  best->edge->send(pkt.take_wire());
 }
 
 void BrunetNode::deliver(const Packet& pkt) {
@@ -357,7 +358,7 @@ void BrunetNode::send_link_request(const std::shared_ptr<Edge>& edge,
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);  // "this is where I believe you are"
   pkt.set_payload(w.take());
-  edge->send(pkt.to_wire());
+  edge->send(pkt.take_wire());
 }
 
 void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
@@ -393,7 +394,7 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);
   resp.set_payload(w.take());
-  edge->send(resp.to_wire());
+  edge->send(resp.take_wire());
   IPOP_LOG_DEBUG(addr_.short_hex() << ": accepted link from "
                                    << sender.addr.short_hex() << " ("
                                    << connection_type_name(type) << ")");
@@ -445,7 +446,7 @@ void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
   util::ByteWriter w;
   edge->remote().encode(w);
   pong.set_payload(w.take());
-  edge->send(pong.to_wire());
+  edge->send(pong.take_wire());
 }
 
 void BrunetNode::handle_edge_pong(const std::shared_ptr<Edge>& /*edge*/,
@@ -621,7 +622,7 @@ void BrunetNode::locate_ring_position() {
   NodeInfo{addr_, local_addresses()}.encode(w);
   pkt.set_payload(w.take());
   ++stats_.originated;
-  via->edge->send(pkt.to_wire());
+  via->edge->send(pkt.take_wire());
 }
 
 void BrunetNode::handle_connect_request(const Packet& pkt) {
@@ -828,7 +829,7 @@ void BrunetNode::keepalive() {
     Packet ping;
     ping.type = PacketType::kEdgePing;
     ping.src = addr_;
-    edge->send(ping.to_wire());
+    edge->send(ping.take_wire());
   }
   // Reap stale edges that are not the table's edge for any connection
   // (half-open handshakes and losing duplicates).

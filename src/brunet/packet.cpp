@@ -71,18 +71,10 @@ util::Buffer Packet::to_wire() {
   return buf_;
 }
 
-std::vector<std::uint8_t> Packet::encode() const {
-  const auto body = payload();
-  util::ByteWriter w(kHeaderSize + body.size());
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u8(static_cast<std::uint8_t>(mode));
-  w.u8(ttl);
-  w.u8(hops);
-  w.u32(msg_id);
-  w.bytes(std::span<const std::uint8_t>(src.bytes().data(), Address::kBytes));
-  w.bytes(std::span<const std::uint8_t>(dst.bytes().data(), Address::kBytes));
-  w.bytes(body);
-  return w.take();
+util::Buffer Packet::take_wire() {
+  finalize();
+  wire_ = false;
+  return std::move(buf_);
 }
 
 Packet Packet::decode(util::Buffer wire) {

@@ -92,10 +92,12 @@ struct Packet {
   /// buffer's headroom (zero-copy when uniquely owned, one copy
   /// otherwise).
   util::Buffer to_wire();
+  /// to_wire() + release: returns the wire buffer and leaves the packet
+  /// empty.  Use at the final send site — the transport (and the
+  /// simulated kernel below it) then holds the storage uniquely and can
+  /// prepend its headers into the same buffer instead of reallocating.
+  util::Buffer take_wire();
 
-  /// Legacy owning codec (tests, benches, compatibility): allocates and
-  /// copies.
-  std::vector<std::uint8_t> encode() const;
   /// Zero-copy decode: parses the header and adopts `wire` as the shared
   /// backing store.  Throws util::ParseError on truncation.
   static Packet decode(util::Buffer wire);

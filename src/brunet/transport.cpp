@@ -183,9 +183,10 @@ UdpTransport::UdpTransport(net::Host& host, std::uint16_t port)
     : host_(host), port_(port) {
   sock_ = host_.stack().udp_bind(port_);
   if (sock_ != nullptr) {
+    // Zero-copy receive: the datagram arrives as a sub-buffer of the
+    // frame the NIC delivered — no kernel/user copy on the overlay path.
     sock_->set_receive_handler(
-        [this](net::Ipv4Address src, std::uint16_t sport,
-               std::vector<std::uint8_t> data) {
+        [this](net::Ipv4Address src, std::uint16_t sport, util::Buffer data) {
           on_datagram(src, sport, std::move(data));
         });
   }
@@ -202,10 +203,9 @@ std::shared_ptr<Edge> UdpTransport::edge_to(net::Ipv4Address ip,
 }
 
 void UdpTransport::on_datagram(net::Ipv4Address src, std::uint16_t sport,
-                               std::vector<std::uint8_t> data) {
-  // Adopt the datagram's bytes without copying; the edge's receiver (and
-  // the routing layer above it) share this one buffer.
-  auto buffer = util::Buffer::wrap(std::move(data));
+                               util::Buffer buffer) {
+  // The edge's receiver (and the routing layer above it) share the
+  // delivered frame's buffer; nothing is copied on this host.
   auto key = std::pair{src, sport};
   auto it = edges_.find(key);
   if (it == edges_.end()) {

@@ -170,7 +170,7 @@ class UdpTransport {
  private:
   friend class UdpEdge;
   void on_datagram(net::Ipv4Address src, std::uint16_t sport,
-                   std::vector<std::uint8_t> data);
+                   util::Buffer data);
   void send_to(net::Ipv4Address ip, std::uint16_t port, util::Buffer data);
   void remove_edge(net::Ipv4Address ip, std::uint16_t port);
 

@@ -2,29 +2,39 @@
 
 namespace ipop::core {
 
+void ShortcutManager::erase(std::map<brunet::Address, Counter>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  counters_.erase(it);
+  ++stats_.evicted;
+}
+
 void ShortcutManager::evict(util::TimePoint now) {
-  // Sweep: anything whose measurement window and request back-off both
-  // expired carries no information worth keeping.
-  for (auto it = counters_.begin(); it != counters_.end();) {
+  // The LRU front is the counter untouched the longest.  Pop while it
+  // carries no information worth keeping (measurement window and request
+  // back-off both expired) — amortized O(1) per insertion.
+  bool removed = false;
+  while (!lru_.empty()) {
+    auto it = counters_.find(lru_.front());
     const Counter& c = it->second;
     if (now - c.window_start > cfg_.window &&
         now - c.last_request > cfg_.retry_backoff) {
-      it = counters_.erase(it);
-      ++stats_.evicted;
+      erase(it);
+      removed = true;
     } else {
-      ++it;
+      break;
     }
   }
-  if (counters_.empty() || counters_.size() < cfg_.max_tracked) return;
-  // Everything is still live (pathological: > max_tracked hot
-  // destinations inside one window).  Drop the stalest counter to keep
-  // the bound hard.
-  auto stalest = counters_.begin();
-  for (auto it = counters_.begin(); it != counters_.end(); ++it) {
-    if (it->second.window_start < stalest->second.window_start) stalest = it;
+  if (removed || counters_.empty() || counters_.size() < cfg_.max_tracked) {
+    return;
   }
-  counters_.erase(stalest);
-  ++stats_.evicted;
+  // Everything is still live (pathological: > max_tracked hot
+  // destinations inside one window).  Drop the least-recently-used
+  // counter to keep the bound hard.  Deliberate trade-off: a force-
+  // evicted counter forgets its request back-off, so under sustained
+  // destination churn a re-created counter may re-request earlier than
+  // retry_backoff — bounded extra connect traffic, in exchange for a
+  // hard memory bound with no per-eviction bookkeeping.
+  erase(counters_.find(lru_.front()));
 }
 
 void ShortcutManager::note_packet(const brunet::Address& dst) {
@@ -38,6 +48,10 @@ void ShortcutManager::note_packet(const brunet::Address& dst) {
   if (it == counters_.end()) {
     if (counters_.size() >= cfg_.max_tracked) evict(now);
     it = counters_.emplace(dst, Counter{}).first;
+    it->second.lru_pos = lru_.insert(lru_.end(), dst);
+  } else {
+    // Touch: move to the LRU back in O(1).
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
   }
   Counter& c = it->second;
   if (now - c.window_start > cfg_.window) {

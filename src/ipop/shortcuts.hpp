@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 
 #include "brunet/node.hpp"
@@ -22,10 +23,12 @@ struct ShortcutConfig {
   util::Duration window = util::seconds(10);
   /// Back-off before re-requesting the same destination.
   util::Duration retry_backoff = util::seconds(30);
-  /// Upper bound on tracked destinations.  Inserting past the bound first
-  /// sweeps counters whose window (and back-off) expired, then — if the
-  /// map is still full — evicts the stalest counter, so a node forwarding
-  /// traffic for many destinations cannot grow memory without bound.
+  /// Upper bound on tracked destinations.  Counters live on an LRU list:
+  /// each packet touches its counter to the list's back in O(1), and
+  /// inserting past the bound pops expired (then least-recently-used)
+  /// counters off the front in O(1) — a node forwarding traffic for many
+  /// destinations cannot grow memory without bound, and the hot set is
+  /// never the part evicted.
   std::size_t max_tracked = 1024;
 };
 
@@ -53,16 +56,20 @@ class ShortcutManager {
     std::uint32_t count = 0;
     util::TimePoint window_start{};
     util::TimePoint last_request{};
+    /// Position in lru_ (front = least recently touched).
+    std::list<brunet::Address>::iterator lru_pos;
   };
 
-  /// Drop counters whose window and back-off both expired; if none
-  /// qualified and the map is full, drop the stalest counter.
+  /// O(1): pop expired counters off the LRU front; if none were expired
+  /// and the map is full, pop the least-recently-used counter.
   void evict(util::TimePoint now);
+  void erase(std::map<brunet::Address, Counter>::iterator it);
 
   brunet::BrunetNode& node_;
   ShortcutConfig cfg_;
   ShortcutStats stats_;
   std::map<brunet::Address, Counter> counters_;
+  std::list<brunet::Address> lru_;
 };
 
 }  // namespace ipop::core

@@ -1,7 +1,6 @@
 #include "net/firewall.hpp"
 
-#include "net/icmp.hpp"
-#include "net/udp.hpp"
+#include "net/l4_patch.hpp"
 #include "util/logging.hpp"
 
 namespace ipop::net {
@@ -16,28 +15,12 @@ Firewall::Firewall(sim::EventLoop& loop, std::string name, StackConfig scfg)
 }
 
 std::optional<Firewall::FlowKey> Firewall::flow_of(const Ipv4Packet& pkt) {
-  try {
-    switch (pkt.hdr.proto) {
-      case IpProto::kUdp: {
-        auto d = UdpDatagram::decode(pkt.payload);
-        return FlowKey{pkt.hdr.proto, pkt.hdr.src, d.src_port, pkt.hdr.dst,
-                       d.dst_port};
-      }
-      case IpProto::kTcp: {
-        util::ByteReader r(pkt.payload);
-        const std::uint16_t sport = r.u16();
-        const std::uint16_t dport = r.u16();
-        return FlowKey{pkt.hdr.proto, pkt.hdr.src, sport, pkt.hdr.dst, dport};
-      }
-      case IpProto::kIcmp: {
-        auto m = IcmpMessage::decode(pkt.payload);
-        if (!m.is_echo()) return std::nullopt;
-        return FlowKey{pkt.hdr.proto, pkt.hdr.src, m.id, pkt.hdr.dst, m.id};
-      }
-    }
-  } catch (const util::ParseError&) {
-  }
-  return std::nullopt;
+  // Shared view-based classification (net/l4_patch.hpp): the filter
+  // reads ports/ids without ever copying the payload it only inspects.
+  auto eps = l4_endpoints_of(pkt);
+  if (!eps) return std::nullopt;
+  return FlowKey{pkt.hdr.proto, eps->first.ip, eps->first.port,
+                 eps->second.ip, eps->second.port};
 }
 
 bool Firewall::filter(const Ipv4Packet& pkt, std::size_t in_if,

@@ -1,35 +1,45 @@
 #include "net/icmp.hpp"
 
+#include <algorithm>
+
 namespace ipop::net {
 
+util::Buffer IcmpMessage::encode_buffer(std::size_t headroom) const {
+  auto buf =
+      util::Buffer::allocate(IcmpView::kHeaderSize + payload.size(), headroom);
+  std::uint8_t* p = buf.data();
+  p[IcmpView::kTypeOffset] = static_cast<std::uint8_t>(type);
+  p[IcmpView::kCodeOffset] = code;
+  util::store_u16(p + IcmpView::kChecksumOffset, 0);  // placeholder
+  util::store_u16(p + IcmpView::kIdOffset, id);
+  util::store_u16(p + IcmpView::kSeqOffset, seq);
+  std::copy(payload.begin(), payload.end(), p + IcmpView::kHeaderSize);
+  util::store_u16(p + IcmpView::kChecksumOffset,
+                  internet_checksum(buf.as_span()));
+  return buf;
+}
+
 std::vector<std::uint8_t> IcmpMessage::encode() const {
-  util::ByteWriter w(8 + payload.size());
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u8(code);
-  w.u16(0);  // checksum placeholder
-  w.u16(id);
-  w.u16(seq);
-  w.bytes(payload);
-  auto bytes = w.take();
-  const std::uint16_t csum = internet_checksum(bytes);
-  bytes[2] = static_cast<std::uint8_t>(csum >> 8);
-  bytes[3] = static_cast<std::uint8_t>(csum);
-  return bytes;
+  return encode_buffer(0).to_vector();
+}
+
+IcmpView IcmpView::parse_headers(util::BufferView bytes) {
+  util::ByteReader r(bytes);
+  IcmpView m;
+  m.type = static_cast<IcmpType>(r.u8());
+  m.code = r.u8();
+  r.u16();  // checksum: validated by parse(), not here
+  m.id = r.u16();
+  m.seq = r.u16();
+  m.payload = r.rest_view();
+  return m;
 }
 
 IcmpView IcmpView::parse(util::BufferView bytes) {
   if (internet_checksum(bytes) != 0) {
     throw util::ParseError("bad ICMP checksum");
   }
-  util::ByteReader r(bytes);
-  IcmpView m;
-  m.type = static_cast<IcmpType>(r.u8());
-  m.code = r.u8();
-  r.u16();  // checksum already verified
-  m.id = r.u16();
-  m.seq = r.u16();
-  m.payload = r.rest_view();
-  return m;
+  return parse_headers(bytes);
 }
 
 IcmpMessage IcmpMessage::decode(util::BufferView bytes) {

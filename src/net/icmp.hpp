@@ -30,6 +30,9 @@ struct IcmpMessage {
   std::vector<std::uint8_t> payload;
 
   std::vector<std::uint8_t> encode() const;
+  /// Encode into a shared buffer with `headroom` spare front bytes so the
+  /// IP and Ethernet headers prepend downstream without copying.
+  util::Buffer encode_buffer(std::size_t headroom) const;
   /// Throws util::ParseError on truncation or bad checksum.
   static IcmpMessage decode(util::BufferView bytes);
 
@@ -40,6 +43,8 @@ struct IcmpMessage {
 
 /// Zero-copy parsed ICMP message: `payload` aliases the input view.  Lets
 /// middleboxes (NAT, firewall) peek at echo ids without owning copies.
+/// Field offsets are exposed for in-place patching (NAT id rewrite, the
+/// kernel echo reply's type flip).
 struct IcmpView {
   IcmpType type = IcmpType::kEchoRequest;
   std::uint8_t code = 0;
@@ -47,8 +52,19 @@ struct IcmpView {
   std::uint16_t seq = 0;
   util::BufferView payload;
 
+  static constexpr std::size_t kTypeOffset = 0;
+  static constexpr std::size_t kCodeOffset = 1;
+  static constexpr std::size_t kChecksumOffset = 2;
+  static constexpr std::size_t kIdOffset = 4;
+  static constexpr std::size_t kSeqOffset = 6;
+  static constexpr std::size_t kHeaderSize = 8;
+
   /// Throws util::ParseError on truncation or bad checksum.
   static IcmpView parse(util::BufferView bytes);
+  /// Structural parse only (no checksum validation) — what middleboxes
+  /// classifying or rewriting transit traffic need: they must not drop
+  /// on (or re-sum) a checksum the endpoints own.
+  static IcmpView parse_headers(util::BufferView bytes);
 
   bool is_echo() const {
     return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;

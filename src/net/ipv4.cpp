@@ -1,5 +1,6 @@
 #include "net/ipv4.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 
@@ -87,25 +88,46 @@ std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
   return internet_checksum(w.data());
 }
 
+std::uint16_t checksum_update(std::uint16_t csum, std::uint16_t old_word,
+                              std::uint16_t new_word) {
+  // HC' = ~(~HC + ~m + m'), folded back to 16 bits.
+  std::uint32_t sum = static_cast<std::uint16_t>(~csum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Packet::encode_header(std::uint8_t* out, const Ipv4Header& hdr,
+                               std::size_t total_len) {
+  out[0] = 0x45;  // version 4, IHL 5 (no options)
+  out[1] = hdr.tos;
+  util::store_u16(out + 2, static_cast<std::uint16_t>(total_len));
+  util::store_u16(out + 4, hdr.id);
+  util::store_u16(out + 6, 0x4000);  // DF, fragment offset 0
+  out[8] = hdr.ttl;
+  out[9] = static_cast<std::uint8_t>(hdr.proto);
+  util::store_u16(out + 10, 0);  // checksum placeholder
+  util::store_u32(out + 12, hdr.src.value);
+  util::store_u32(out + 16, hdr.dst.value);
+  util::store_u16(out + 10, internet_checksum(std::span<const std::uint8_t>(
+                                out, Ipv4Header::kSize)));
+}
+
 std::vector<std::uint8_t> Ipv4Packet::encode() const {
-  util::ByteWriter w(total_length());
-  w.u8(0x45);  // version 4, IHL 5 (no options)
-  w.u8(hdr.tos);
-  w.u16(static_cast<std::uint16_t>(total_length()));
-  w.u16(hdr.id);
-  w.u16(0x4000);  // flags: DF, fragment offset 0 (no fragmentation support)
-  w.u8(hdr.ttl);
-  w.u8(static_cast<std::uint8_t>(hdr.proto));
-  w.u16(0);  // checksum placeholder
-  w.u32(hdr.src.value);
-  w.u32(hdr.dst.value);
-  auto bytes = w.take();
-  const std::uint16_t csum = internet_checksum(
-      std::span<const std::uint8_t>(bytes.data(), Ipv4Header::kSize));
-  bytes[10] = static_cast<std::uint8_t>(csum >> 8);
-  bytes[11] = static_cast<std::uint8_t>(csum);
-  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  std::vector<std::uint8_t> bytes(total_length());
+  encode_header(bytes.data(), hdr, total_length());
+  std::copy(payload.begin(), payload.end(),
+            bytes.begin() + Ipv4Header::kSize);
   return bytes;
+}
+
+util::Buffer Ipv4Packet::take_wire() {
+  util::Buffer wire = std::move(payload);
+  const std::size_t total = Ipv4Header::kSize + wire.size();
+  auto slot = wire.grow_front(Ipv4Header::kSize);
+  encode_header(slot.data(), hdr, total);
+  return wire;
 }
 
 Ipv4View Ipv4View::parse(util::BufferView bytes) {
@@ -143,7 +165,19 @@ Ipv4Packet Ipv4Packet::decode(util::BufferView bytes) {
   Ipv4View v = Ipv4View::parse(bytes);
   Ipv4Packet p;
   p.hdr = v.hdr;
-  p.payload = v.payload.to_vector();
+  p.payload = util::Buffer::copy_of(v.payload, util::kPacketHeadroom);
+  return p;
+}
+
+Ipv4Packet Ipv4Packet::decode(util::Buffer bytes) {
+  Ipv4View v = Ipv4View::parse(bytes.view());
+  Ipv4Packet p;
+  p.hdr = v.hdr;
+  // Trim link padding off the back, turn the consumed header into
+  // headroom, and adopt the storage: no payload bytes move.
+  bytes.drop_back(bytes.size() - Ipv4Header::kSize - v.payload.size());
+  bytes.drop_front(Ipv4Header::kSize);
+  p.payload = std::move(bytes);
   return p;
 }
 

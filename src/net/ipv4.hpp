@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/buffer.hpp"
 #include "util/bytes.hpp"
 
 namespace ipop::net {
@@ -75,14 +76,40 @@ struct Ipv4Header {
 
 struct Ipv4Packet {
   Ipv4Header hdr;
-  std::vector<std::uint8_t> payload;
+  /// L4 payload as a shared buffer: the receive path adopts the arriving
+  /// frame's storage, middlebox hooks patch fields in place, and the
+  /// transmit path prepends the IP header into the buffer's headroom —
+  /// zero payload copies through the simulated kernel.
+  util::Buffer payload;
 
   std::size_t total_length() const { return Ipv4Header::kSize + payload.size(); }
 
-  /// Serialize with computed header checksum.
+  /// Owning serialization with computed header checksum (tests,
+  /// compatibility); leaves `payload` untouched.
   std::vector<std::uint8_t> encode() const;
-  /// Throws util::ParseError on malformed input or bad header checksum.
+  /// Write the 20-byte header (with computed checksum) for a packet of
+  /// `total_len` bytes into a pre-sized slot — the single definition of
+  /// the header wire format, shared by encode(), take_wire() and the
+  /// ICMP error path's truncated RFC 792 quote.
+  static void encode_header(std::uint8_t* out, const Ipv4Header& hdr,
+                            std::size_t total_len);
+  /// Consume `payload` and return the wire image: the 20-byte header is
+  /// written into the buffer's headroom — zero-copy when the storage is
+  /// uniquely referenced and roomy, one reallocation otherwise.
+  util::Buffer take_wire();
+  /// True when take_wire() (followed by an Ethernet prepend of
+  /// `link_headroom` more bytes) will reuse headroom instead of
+  /// reallocating — the stacks' bytes-copied accounting.
+  bool wire_in_place(std::size_t link_headroom = 0) const {
+    return payload.use_count() == 1 &&
+           payload.headroom() >= Ipv4Header::kSize + link_headroom;
+  }
+  /// Copying decode for non-owned input.  Throws util::ParseError on
+  /// malformed input or bad header checksum.
   static Ipv4Packet decode(util::BufferView bytes);
+  /// Zero-copy decode: adopts `bytes` as the payload's backing store (the
+  /// 20 header bytes and any link padding become head/tailroom).
+  static Ipv4Packet decode(util::Buffer bytes);
 };
 
 /// Zero-copy parsed IPv4 packet: `payload` aliases the input view (and is
@@ -106,6 +133,13 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
 std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
                                  IpProto proto,
                                  std::span<const std::uint8_t> segment);
+
+/// Incremental Internet-checksum update (RFC 1624 eqn. 3): the checksum
+/// after one 16-bit word of the covered data changes from `old_word` to
+/// `new_word`.  Lets NAT rewrite ports/addresses without re-summing the
+/// payload.
+std::uint16_t checksum_update(std::uint16_t csum, std::uint16_t old_word,
+                              std::uint16_t new_word);
 
 }  // namespace ipop::net
 

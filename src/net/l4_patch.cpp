@@ -1,0 +1,136 @@
+#include "net/l4_patch.hpp"
+
+#include "net/icmp.hpp"
+#include "net/tcp_wire.hpp"
+#include "net/udp.hpp"
+
+namespace ipop::net {
+
+namespace {
+
+/// Accumulates 16-bit word substitutions into a transport checksum.
+/// Inactive for UDP's "no checksum" sentinel (0 stays 0 on the wire).
+struct ChecksumPatcher {
+  std::uint16_t csum = 0;
+  bool active = false;
+
+  void sub16(std::uint16_t old_word, std::uint16_t new_word) {
+    if (active) csum = checksum_update(csum, old_word, new_word);
+  }
+  void sub32(std::uint32_t old_val, std::uint32_t new_val) {
+    sub16(static_cast<std::uint16_t>(old_val >> 16),
+          static_cast<std::uint16_t>(new_val >> 16));
+    sub16(static_cast<std::uint16_t>(old_val),
+          static_cast<std::uint16_t>(new_val));
+  }
+};
+
+/// Shared UDP/TCP port rewrite: both carry src/dst ports in the first two
+/// 16-bit words and a pseudo-header checksum covering the IP addresses.
+void patch_ports(Ipv4Packet& pkt, ChecksumPatcher& cp,
+                 std::size_t src_port_offset, std::size_t dst_port_offset,
+                 const std::optional<L4Endpoint>& new_src,
+                 const std::optional<L4Endpoint>& new_dst) {
+  if (new_src) {
+    cp.sub32(pkt.hdr.src.value, new_src->ip.value);
+    cp.sub16(util::load_u16(pkt.payload.data() + src_port_offset),
+             new_src->port);
+    pkt.payload.patch_u16(src_port_offset, new_src->port);
+  }
+  if (new_dst) {
+    cp.sub32(pkt.hdr.dst.value, new_dst->ip.value);
+    cp.sub16(util::load_u16(pkt.payload.data() + dst_port_offset),
+             new_dst->port);
+    pkt.payload.patch_u16(dst_port_offset, new_dst->port);
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<L4Endpoint, L4Endpoint>> l4_endpoints_of(
+    const Ipv4Packet& pkt) {
+  try {
+    switch (pkt.hdr.proto) {
+      case IpProto::kUdp: {
+        auto v = UdpView::parse(pkt.payload.view());
+        return {{L4Endpoint{pkt.hdr.src, v.src_port},
+                 L4Endpoint{pkt.hdr.dst, v.dst_port}}};
+      }
+      case IpProto::kTcp: {
+        auto v = TcpView::parse(pkt.payload.view());
+        return {{L4Endpoint{pkt.hdr.src, v.src_port},
+                 L4Endpoint{pkt.hdr.dst, v.dst_port}}};
+      }
+      case IpProto::kIcmp: {
+        auto v = IcmpView::parse_headers(pkt.payload.view());
+        if (!v.is_echo()) return std::nullopt;
+        return {{L4Endpoint{pkt.hdr.src, v.id},
+                 L4Endpoint{pkt.hdr.dst, v.id}}};
+      }
+    }
+  } catch (const util::ParseError&) {
+  }
+  return std::nullopt;
+}
+
+std::size_t patch_l4_endpoints(Ipv4Packet& pkt,
+                               std::optional<L4Endpoint> new_src,
+                               std::optional<L4Endpoint> new_dst) {
+  if (!new_src && !new_dst) return 0;
+  std::size_t copied = 0;
+  if (pkt.payload.use_count() > 1) {
+    // Copy-on-write: another handle (a flooded frame, a queued
+    // retransmit) still reads the original bytes.
+    copied = pkt.payload.size();
+    pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
+  }
+  switch (pkt.hdr.proto) {
+    case IpProto::kUdp: {
+      UdpView v = UdpView::parse(pkt.payload.view());
+      ChecksumPatcher cp{v.checksum, v.checksum != 0};
+      patch_ports(pkt, cp, UdpView::kSrcPortOffset, UdpView::kDstPortOffset,
+                  new_src, new_dst);
+      if (cp.active) {
+        pkt.payload.patch_u16(UdpView::kChecksumOffset,
+                              cp.csum == 0 ? 0xFFFF : cp.csum);
+      }
+      break;
+    }
+    case IpProto::kTcp: {
+      TcpView v = TcpView::parse(pkt.payload.view());
+      ChecksumPatcher cp{v.checksum, true};
+      patch_ports(pkt, cp, TcpView::kSrcPortOffset, TcpView::kDstPortOffset,
+                  new_src, new_dst);
+      pkt.payload.patch_u16(TcpView::kChecksumOffset, cp.csum);
+      break;
+    }
+    case IpProto::kIcmp: {
+      // Structural parse: a middlebox neither validates nor re-sums the
+      // endpoint-owned checksum — the id swap is one incremental update.
+      IcmpView v = IcmpView::parse_headers(pkt.payload.view());
+      if (!v.is_echo()) {
+        throw util::ParseError("cannot rewrite non-echo ICMP");
+      }
+      if (new_src && new_dst) {
+        // One id field cannot carry two rewrites; refusing beats
+        // silently dropping one of them (twice-NAT patches at each box).
+        throw util::ParseError("ICMP rewrite cannot change both endpoints");
+      }
+      // The ICMP checksum covers only the ICMP message (no pseudo-header),
+      // so an address change costs nothing and the id swap is one update.
+      ChecksumPatcher cp{
+          util::load_u16(pkt.payload.data() + IcmpView::kChecksumOffset),
+          true};
+      const std::uint16_t new_id = new_src ? new_src->port : new_dst->port;
+      cp.sub16(v.id, new_id);
+      pkt.payload.patch_u16(IcmpView::kIdOffset, new_id);
+      pkt.payload.patch_u16(IcmpView::kChecksumOffset, cp.csum);
+      break;
+    }
+  }
+  if (new_src) pkt.hdr.src = new_src->ip;
+  if (new_dst) pkt.hdr.dst = new_dst->ip;
+  return copied;
+}
+
+}  // namespace ipop::net

@@ -1,0 +1,48 @@
+// In-place L4 endpoint rewriting for middleboxes (NAT).
+//
+// The pre-refactor NAT decoded the full L4 payload into an owning struct,
+// mutated it and re-encoded — two full payload copies per translated
+// packet.  These helpers instead patch the port/identifier fields directly
+// in the packet's shared buffer and update checksums incrementally
+// (RFC 1624), so a translation costs O(1) byte writes regardless of
+// packet size.  If the payload's storage is shared (e.g. a switch-flooded
+// frame whose other copies are still in flight), it is cloned first
+// (copy-on-write) so no other holder can observe the rewrite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "net/ipv4.hpp"
+
+namespace ipop::net {
+
+/// A transport endpoint as middleboxes see it.  For ICMP echo, `port`
+/// carries the query identifier.
+struct L4Endpoint {
+  Ipv4Address ip;
+  std::uint16_t port = 0;
+  auto operator<=>(const L4Endpoint&) const = default;
+};
+
+/// Extract the (src, dst) transport endpoints of `pkt` — UDP/TCP ports,
+/// or the ICMP echo id in both slots.  Returns nullopt for unsupported
+/// protocols, non-echo ICMP and malformed payloads (the shared
+/// classification step of the NAT and the stateful firewall).
+std::optional<std::pair<L4Endpoint, L4Endpoint>> l4_endpoints_of(
+    const Ipv4Packet& pkt);
+
+/// Rewrite the source and/or destination transport endpoint of `pkt`
+/// (UDP/TCP ports, ICMP echo id) in place, fixing the L4 checksum
+/// incrementally — including the pseudo-header contribution of the IP
+/// address change for UDP/TCP.  A UDP checksum of 0 ("not computed") is
+/// preserved as 0.  Returns the number of payload bytes copied: 0 on the
+/// in-place path, the payload size when copy-on-write triggered on shared
+/// storage.  Throws util::ParseError on malformed L4 payloads and on
+/// non-echo ICMP (which has no rewritable query id).
+std::size_t patch_l4_endpoints(Ipv4Packet& pkt,
+                               std::optional<L4Endpoint> new_src,
+                               std::optional<L4Endpoint> new_dst);
+
+}  // namespace ipop::net

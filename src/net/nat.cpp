@@ -1,6 +1,7 @@
 #include "net/nat.hpp"
 
 #include "net/icmp.hpp"
+#include "net/l4_patch.hpp"
 #include "net/tcp_wire.hpp"
 #include "net/udp.hpp"
 #include "util/logging.hpp"
@@ -18,8 +19,12 @@ const char* nat_type_name(NatType t) {
 }
 
 NatBox::NatBox(sim::EventLoop& loop, std::string name, NatType type,
-               StackConfig scfg)
-    : name_(std::move(name)), stack_(loop, name_, scfg), type_(type) {
+               StackConfig scfg, NatConfig ncfg)
+    : name_(std::move(name)),
+      stack_(loop, name_, scfg),
+      type_(type),
+      ncfg_(ncfg),
+      next_ext_port_(ncfg.first_ext_port) {
   stack_.set_forwarding(true);
   stack_.set_prerouting_hook([this](Ipv4Packet& pkt, std::size_t in_iface) {
     if (in_iface == 1) return dnat(pkt, in_iface);
@@ -33,104 +38,100 @@ NatBox::NatBox(sim::EventLoop& loop, std::string name, NatType type,
   });
 }
 
-std::optional<std::pair<NatBox::Endpoint, NatBox::Endpoint>>
-NatBox::endpoints_of(const Ipv4Packet& pkt) {
-  try {
-    switch (pkt.hdr.proto) {
-      case IpProto::kUdp: {
-        auto d = UdpDatagram::decode(pkt.payload);
-        return {{Endpoint{pkt.hdr.src, d.src_port},
-                 Endpoint{pkt.hdr.dst, d.dst_port}}};
-      }
-      case IpProto::kTcp: {
-        // Ports are at fixed offsets; skip checksum validation here.
-        util::ByteReader r(pkt.payload);
-        const std::uint16_t sport = r.u16();
-        const std::uint16_t dport = r.u16();
-        return {{Endpoint{pkt.hdr.src, sport}, Endpoint{pkt.hdr.dst, dport}}};
-      }
-      case IpProto::kIcmp: {
-        auto m = IcmpMessage::decode(pkt.payload);
-        if (!m.is_echo()) return std::nullopt;
-        return {{Endpoint{pkt.hdr.src, m.id}, Endpoint{pkt.hdr.dst, m.id}}};
-      }
+NatBox::~NatBox() {
+  if (sweep_timer_ != 0) stack_.loop().cancel(sweep_timer_);
+}
+
+void NatBox::schedule_sweep() {
+  // Armed lazily (first mapping) and re-armed only while mappings remain,
+  // so an idle NAT leaves the event loop drainable.
+  sweep_timer_ = stack_.loop().schedule_after(ncfg_.sweep_interval, [this] {
+    sweep_timer_ = 0;
+    expire_idle(stack_.loop().now());
+    if (!mappings_.empty()) schedule_sweep();
+  });
+}
+
+void NatBox::expire_idle(util::TimePoint now) {
+  for (auto it = mappings_.begin(); it != mappings_.end();) {
+    if (now - it->second.last_used > ncfg_.mapping_idle_timeout) {
+      IPOP_LOG_DEBUG(name_ << ": expired mapping "
+                           << it->second.inside.ip.to_string() << ":"
+                           << it->second.inside.port << " (ext port "
+                           << it->second.ext_port << ")");
+      by_ext_port_.erase({it->first.proto, it->second.ext_port});
+      --ext_ports_in_use_[it->first.proto];
+      it = mappings_.erase(it);
+      ++stats_.mappings_expired;
+    } else {
+      ++it;
     }
-  } catch (const util::ParseError&) {
   }
-  return std::nullopt;
+}
+
+std::uint16_t NatBox::alloc_ext_port(IpProto proto) {
+  // Exhaustion fast path: without it, every packet of every unmapped
+  // flow would re-scan the full port range once the space fills up.
+  const std::size_t capacity = 65536u - ncfg_.first_ext_port;
+  if (ext_ports_in_use_[proto] >= capacity) return 0;
+  // Wrap within [first_ext_port, 65535], skipping ports whose mapping is
+  // still live — a reclaimed port becomes allocatable again once its
+  // mapping expires, and a wrapped counter can never alias a live one.
+  for (int tries = 0; tries < 65536; ++tries) {
+    // Invariant: next_ext_port_ stays in [first_ext_port, 65535] (the
+    // wrap below resets it before the next read).
+    const std::uint16_t p = next_ext_port_++;
+    if (next_ext_port_ == 0) next_ext_port_ = ncfg_.first_ext_port;
+    if (by_ext_port_.find({proto, p}) == by_ext_port_.end()) return p;
+  }
+  return 0;
 }
 
 void NatBox::rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
                      std::optional<Endpoint> new_dst) {
-  switch (pkt.hdr.proto) {
-    case IpProto::kUdp: {
-      auto d = UdpDatagram::decode(pkt.payload);
-      if (new_src) {
-        pkt.hdr.src = new_src->ip;
-        d.src_port = new_src->port;
-      }
-      if (new_dst) {
-        pkt.hdr.dst = new_dst->ip;
-        d.dst_port = new_dst->port;
-      }
-      pkt.payload = d.encode();
-      break;
-    }
-    case IpProto::kTcp: {
-      auto seg = TcpSegment::decode(pkt.payload, pkt.hdr.src, pkt.hdr.dst);
-      if (new_src) {
-        pkt.hdr.src = new_src->ip;
-        seg.src_port = new_src->port;
-      }
-      if (new_dst) {
-        pkt.hdr.dst = new_dst->ip;
-        seg.dst_port = new_dst->port;
-      }
-      pkt.payload = seg.encode(pkt.hdr.src, pkt.hdr.dst);
-      break;
-    }
-    case IpProto::kIcmp: {
-      auto m = IcmpMessage::decode(pkt.payload);
-      if (new_src) {
-        pkt.hdr.src = new_src->ip;
-        m.id = new_src->port;
-      }
-      if (new_dst) {
-        pkt.hdr.dst = new_dst->ip;
-        m.id = new_dst->port;
-      }
-      pkt.payload = m.encode();
-      break;
-    }
-  }
+  stats_.rewrite_bytes_copied +=
+      patch_l4_endpoints(pkt, std::move(new_src), std::move(new_dst));
 }
 
-NatBox::Mapping& NatBox::find_or_create(IpProto proto, const Endpoint& inside,
+NatBox::Mapping* NatBox::find_or_create(IpProto proto, const Endpoint& inside,
                                         const Endpoint& dst) {
   MapKey key{proto, inside, std::nullopt};
   if (type_ == NatType::kSymmetric) key.dst = dst;
   auto it = mappings_.find(key);
   if (it == mappings_.end()) {
+    const std::uint16_t ext = alloc_ext_port(proto);
+    if (ext == 0) {
+      ++stats_.dropped_port_exhausted;
+      return nullptr;
+    }
     Mapping m;
-    m.ext_port = next_ext_port_++;
+    m.ext_port = ext;
     m.inside = inside;
     it = mappings_.emplace(key, std::move(m)).first;
-    by_ext_port_[{proto, it->second.ext_port}] = key;
+    by_ext_port_[{proto, ext}] = key;
+    ++ext_ports_in_use_[proto];
+    if (sweep_timer_ == 0) schedule_sweep();
     ++stats_.mappings_created;
     IPOP_LOG_DEBUG(name_ << ": new " << nat_type_name(type_) << " mapping "
                          << inside.ip.to_string() << ":" << inside.port
                          << " -> ext port " << it->second.ext_port);
   }
-  return it->second;
+  it->second.last_used = stack_.loop().now();
+  return &it->second;
 }
 
 bool NatBox::snat(Ipv4Packet& pkt, std::size_t /*out_iface*/) {
-  auto eps = endpoints_of(pkt);
+  auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;  // untranslatable protocol: drop
   auto& [src, dst] = *eps;
-  Mapping& m = find_or_create(pkt.hdr.proto, src, dst);
-  m.contacted.insert(dst);
-  rewrite(pkt, Endpoint{external_ip(), m.ext_port}, std::nullopt);
+  Mapping* m = find_or_create(pkt.hdr.proto, src, dst);
+  if (m == nullptr) return false;  // external port space exhausted
+  m->contacted.insert(dst);
+  try {
+    rewrite(pkt, Endpoint{external_ip(), m->ext_port}, std::nullopt);
+  } catch (const util::ParseError&) {
+    return false;
+  }
   ++stats_.translated_out;
   return true;
 }
@@ -166,7 +167,7 @@ bool NatBox::inbound_allowed(const Mapping& m, const Endpoint& remote,
 
 bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
   if (!stack_.is_local_ip(pkt.hdr.dst)) return true;  // not for our ext IP
-  auto eps = endpoints_of(pkt);
+  auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;
   auto& [remote, ext] = *eps;
   auto key_it = by_ext_port_.find({pkt.hdr.proto, ext.port});
@@ -174,14 +175,19 @@ bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
     ++stats_.blocked_in;
     return false;
   }
-  const Mapping& m = mappings_.at(key_it->second);
+  Mapping& m = mappings_.at(key_it->second);
   if (!inbound_allowed(m, remote, pkt.hdr.proto)) {
     ++stats_.blocked_in;
     IPOP_LOG_DEBUG(name_ << ": blocked inbound from " << remote.ip.to_string()
                          << ":" << remote.port << " to ext port " << ext.port);
     return false;
   }
-  rewrite(pkt, std::nullopt, m.inside);
+  try {
+    rewrite(pkt, std::nullopt, m.inside);
+  } catch (const util::ParseError&) {
+    return false;
+  }
+  m.last_used = stack_.loop().now();
   ++stats_.translated_in;
   return true;
 }

@@ -7,6 +7,13 @@
 // middlebox reproduces those behaviours exactly, so Brunet's decentralized
 // traversal (translated-address discovery + simultaneous dialing) can be
 // demonstrated and property-tested against every NAT type.
+//
+// Translations patch ports/ids and checksums in place in the packet's
+// shared buffer (net/l4_patch.hpp) — a forwarded packet crosses the box
+// with zero payload copies.  Mappings carry an idle timeout: a periodic
+// sweep reclaims stale entries and their external ports, so a long-lived
+// box neither grows without bound nor wraps its port counter into stale
+// by-external-port state.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 #include <set>
 #include <string>
 
+#include "net/l4_patch.hpp"
 #include "net/stack.hpp"
 
 namespace ipop::net {
@@ -28,11 +36,28 @@ enum class NatType {
 
 const char* nat_type_name(NatType t);
 
+struct NatConfig {
+  /// Mappings idle longer than this are reclaimed together with their
+  /// external port.  Brunet pings idle edges every ~5 s, so live overlay
+  /// flows comfortably outlive the default.
+  util::Duration mapping_idle_timeout = util::seconds(60);
+  /// Cadence of the reclamation sweep.
+  util::Duration sweep_interval = util::seconds(10);
+  /// First external port handed out; allocation wraps within
+  /// [first_ext_port, 65535], skipping ports still mapped.
+  std::uint16_t first_ext_port = 1024;
+};
+
 struct NatStats {
   std::uint64_t mappings_created = 0;
+  std::uint64_t mappings_expired = 0;
   std::uint64_t translated_out = 0;
   std::uint64_t translated_in = 0;
   std::uint64_t blocked_in = 0;
+  std::uint64_t dropped_port_exhausted = 0;
+  /// Payload bytes copied by rewrites: 0 on the unicast fast path (ports
+  /// are patched in place); copy-on-write on shared storage counts here.
+  std::uint64_t rewrite_bytes_copied = 0;
 };
 
 /// Two-interface NAT router.  Interface 0 must be the inside (private)
@@ -41,23 +66,30 @@ struct NatStats {
 class NatBox {
  public:
   NatBox(sim::EventLoop& loop, std::string name, NatType type,
-         StackConfig scfg = {});
+         StackConfig scfg = {}, NatConfig ncfg = {});
+  ~NatBox();
+
+  NatBox(const NatBox&) = delete;
+  NatBox& operator=(const NatBox&) = delete;
 
   Stack& stack() { return stack_; }
   NatType type() const { return type_; }
   const NatStats& stats() const { return stats_; }
+  const NatConfig& config() const { return ncfg_; }
   const std::string& name() const { return name_; }
 
   /// The external address used for translations (outside interface IP).
   Ipv4Address external_ip() const { return stack_.interface_ip(1); }
 
+  /// Live translation entries (bounded by the idle sweep).
+  std::size_t mapping_count() const { return mappings_.size(); }
+  /// Drop mappings idle past the timeout, releasing their external ports.
+  /// Runs on a periodic timer; exposed for tests.
+  void expire_idle(util::TimePoint now);
+
  private:
-  // Endpoint = (ip, port); for ICMP echo, port is the echo identifier.
-  struct Endpoint {
-    Ipv4Address ip;
-    std::uint16_t port = 0;
-    auto operator<=>(const Endpoint&) const = default;
-  };
+  // (ip, port); for ICMP echo, port is the echo identifier.
+  using Endpoint = L4Endpoint;
   struct MapKey {
     IpProto proto;
     Endpoint inside;
@@ -71,29 +103,38 @@ class NatBox {
     // Destinations this internal endpoint has sent to (for the cone
     // filtering rules).
     std::set<Endpoint> contacted;
+    // Refreshed by traffic in either direction; drives idle expiry.
+    util::TimePoint last_used{};
   };
 
   bool snat(Ipv4Packet& pkt, std::size_t out_iface);
   bool dnat(Ipv4Packet& pkt, std::size_t in_iface);
   bool inbound_allowed(const Mapping& m, const Endpoint& remote,
                        IpProto proto) const;
-  Mapping& find_or_create(IpProto proto, const Endpoint& inside,
+  /// nullptr when the external port space is exhausted.
+  Mapping* find_or_create(IpProto proto, const Endpoint& inside,
                           const Endpoint& dst);
+  /// 0 when every port in [first_ext_port, 65535] is in use.
+  std::uint16_t alloc_ext_port(IpProto proto);
+  /// Armed lazily when the first mapping appears; stops re-arming once
+  /// the table drains, so an idle NAT leaves the event loop drainable.
+  void schedule_sweep();
 
-  /// Extract (src,dst) transport endpoints; nullopt for unsupported proto.
-  static std::optional<std::pair<Endpoint, Endpoint>> endpoints_of(
-      const Ipv4Packet& pkt);
-  /// Rewrite source or destination endpoint, fixing checksums.
-  static void rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
-                      std::optional<Endpoint> new_dst);
+  /// Rewrite source or destination endpoint in place (ports/ids patched
+  /// in the shared buffer, checksums updated incrementally).
+  void rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
+               std::optional<Endpoint> new_dst);
 
   std::string name_;
   Stack stack_;
   NatType type_;
+  NatConfig ncfg_;
   NatStats stats_;
   std::map<MapKey, Mapping> mappings_;
   std::map<std::pair<IpProto, std::uint16_t>, MapKey> by_ext_port_;
-  std::uint16_t next_ext_port_ = 1024;
+  std::map<IpProto, std::size_t> ext_ports_in_use_;
+  std::uint16_t next_ext_port_;
+  std::uint64_t sweep_timer_ = 0;
 };
 
 }  // namespace ipop::net

@@ -20,16 +20,32 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
  public:
   using ReceiveHandler = std::function<void(
       Ipv4Address src, std::uint16_t src_port, std::vector<std::uint8_t> data)>;
+  /// Zero-copy variant: the payload arrives as a sub-buffer of the
+  /// received frame (shared storage — clone before mutating if another
+  /// holder may still read it).
+  using BufferReceiveHandler = std::function<void(
+      Ipv4Address src, std::uint16_t src_port, util::Buffer data)>;
 
   std::uint16_t port() const { return port_; }
   bool is_open() const { return stack_ != nullptr; }
 
-  void set_receive_handler(ReceiveHandler h) { handler_ = std::move(h); }
+  /// Owning-vector receive path: each datagram costs one payload copy at
+  /// the kernel/user crossing (counted in StackCounters).
+  void set_receive_handler(ReceiveHandler h) {
+    handler_ = std::move(h);
+    buf_handler_ = nullptr;
+  }
+  /// Shared-buffer receive path: delivery is a sub-buffer share, the copy
+  /// the paper's Section V.2 proposes eliminating.
+  void set_receive_handler(BufferReceiveHandler h) {
+    buf_handler_ = std::move(h);
+    handler_ = nullptr;
+  }
   void send_to(Ipv4Address dst, std::uint16_t dst_port,
                std::vector<std::uint8_t> data);
-  /// Shared-buffer variant: the datagram is built with exactly one copy of
-  /// `data` (into the simulated kernel's owned packet), matching the copy
-  /// a real sendto() performs at the user/kernel boundary.
+  /// Shared-buffer variant: the 8-byte UDP header is prepended into the
+  /// buffer's headroom, so a send costs zero payload copies (unless the
+  /// storage is shared or cramped, which reallocates once).
   void send_to(Ipv4Address dst, std::uint16_t dst_port, util::Buffer data);
   /// Unbind from the stack; pending callbacks are dropped.
   void close();
@@ -41,12 +57,12 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
   friend class Stack;
   UdpSocket(Stack* stack, std::uint16_t port) : stack_(stack), port_(port) {}
 
-  void deliver(Ipv4Address src, std::uint16_t src_port,
-               std::vector<std::uint8_t> data);
+  void deliver(Ipv4Address src, std::uint16_t src_port, util::Buffer data);
 
   Stack* stack_;
   std::uint16_t port_;
   ReceiveHandler handler_;
+  BufferReceiveHandler buf_handler_;
   std::uint64_t tx_ = 0;
   std::uint64_t rx_ = 0;
 };

@@ -124,9 +124,9 @@ void Stack::on_frame(std::size_t iface, sim::Frame frame) {
 }
 
 void Stack::process_frame(std::size_t iface, sim::Frame frame) {
-  EthernetFrame eth;
+  EthernetView eth;
   try {
-    eth = EthernetFrame::decode(frame);
+    eth = EthernetView::parse(frame.view());
   } catch (const util::ParseError&) {
     ++counters_.dropped_parse;
     return;
@@ -140,7 +140,11 @@ void Stack::process_frame(std::size_t iface, sim::Frame frame) {
       handle_arp(iface, eth.payload);
       break;
     case EtherType::kIpv4:
-      handle_ip(iface, eth.payload);
+      // Hand the frame buffer itself to the IP layer: the 14 stripped
+      // Ethernet bytes become headroom and the stored payload bytes are
+      // never copied again on this host.
+      frame.drop_front(EthernetFrame::kHeaderSize);
+      handle_ip(iface, std::move(frame));
       break;
     default:
       break;
@@ -166,7 +170,7 @@ void Stack::handle_arp(std::size_t iface,
       auto queue = std::move(pending->second.queue);
       ifc.arp_pending.erase(pending);
       for (auto& pkt : queue) {
-        emit_frame(iface, msg.sender_mac, pkt.encode());
+        emit_ip(iface, msg.sender_mac, std::move(pkt));
       }
     }
   }
@@ -182,23 +186,25 @@ void Stack::handle_arp(std::size_t iface,
     eth.src = ifc.cfg.mac;
     eth.type = EtherType::kArp;
     eth.payload = reply.encode();
-    auto raw = util::Buffer::wrap(eth.encode());
-    loop_.schedule_after(cfg_.per_packet_delay,
-                         [&ifc, raw = std::move(raw)]() mutable {
-                           if (ifc.link != nullptr) ifc.link->send(std::move(raw));
-                         });
+    emit_frame(iface, util::Buffer::wrap(eth.encode()));
   }
 }
 
-void Stack::handle_ip(std::size_t iface, std::span<const std::uint8_t> bytes) {
+void Stack::handle_ip(std::size_t iface, util::Buffer bytes) {
   Ipv4Packet pkt;
   try {
-    pkt = Ipv4Packet::decode(bytes);
+    pkt = Ipv4Packet::decode(std::move(bytes));
   } catch (const util::ParseError&) {
     ++counters_.dropped_parse;
     return;
   }
   ++counters_.ip_rx;
+  if (cfg_.copy_at_stack_crossing) {
+    // Ablation: the pre-zero-copy kernel copied the packet out of the
+    // receive ring on every traversal.
+    counters_.payload_bytes_copied += pkt.payload.size();
+    pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
+  }
   if (prerouting_ && !prerouting_(pkt, iface)) {
     ++counters_.dropped_hook;
     return;
@@ -283,12 +289,12 @@ void Stack::resolve_and_send(std::size_t iface, Ipv4Address next_hop,
                              Ipv4Packet pkt) {
   Interface& ifc = *ifaces_[iface];
   if (next_hop.is_broadcast()) {
-    emit_frame(iface, MacAddress::broadcast(), pkt.encode());
+    emit_ip(iface, MacAddress::broadcast(), std::move(pkt));
     return;
   }
   auto arp = ifc.arp_table.find(next_hop);
   if (arp != ifc.arp_table.end()) {
-    emit_frame(iface, arp->second, pkt.encode());
+    emit_ip(iface, arp->second, std::move(pkt));
     return;
   }
   // Queue behind an ARP resolution.
@@ -329,28 +335,36 @@ void Stack::send_arp_request(std::size_t iface, Ipv4Address target) {
   eth.src = ifc.cfg.mac;
   eth.type = EtherType::kArp;
   eth.payload = req.encode();
-  auto raw = util::Buffer::wrap(eth.encode());
-  loop_.schedule_after(cfg_.per_packet_delay,
-                       [&ifc, raw = std::move(raw)]() mutable {
-                         if (ifc.link != nullptr) ifc.link->send(std::move(raw));
-                       });
+  emit_frame(iface, util::Buffer::wrap(eth.encode()));
 }
 
-void Stack::emit_frame(std::size_t iface, MacAddress dst,
-                       std::vector<std::uint8_t> ip_bytes) {
+void Stack::emit_ip(std::size_t iface, MacAddress dst, Ipv4Packet pkt) {
   Interface& ifc = *ifaces_[iface];
-  EthernetFrame eth;
-  eth.dst = dst;
-  eth.src = ifc.cfg.mac;
-  eth.type = EtherType::kIpv4;
-  eth.payload = std::move(ip_bytes);
-  // Reserve headroom in front of the frame: when it pops out of a tap
-  // device, IPOP strips this Ethernet header and prepends the Brunet
-  // tunnel header into the same storage — zero payload copies.
-  auto raw = eth.encode_buffer(util::kPacketHeadroom);
+  if (cfg_.copy_at_stack_crossing) {
+    // Ablation: the pre-zero-copy kernel serialized the packet into a
+    // fresh frame on every transmit.
+    counters_.payload_bytes_copied += pkt.payload.size();
+    pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
+  }
+  if (!pkt.wire_in_place(EthernetFrame::kHeaderSize)) {
+    // Shared or cramped storage: the header prepend reallocates once.
+    counters_.payload_bytes_copied += pkt.payload.size();
+  }
+  // The IP header lands in the payload buffer's headroom, the Ethernet
+  // header in front of that; locally generated and forwarded packets
+  // alike leave without their payload ever moving.  Freshly allocated
+  // storage carries util::kPacketHeadroom spare front bytes, so when the
+  // frame pops out of a tap device IPOP can strip this Ethernet header
+  // and prepend the Brunet tunnel header into the same storage.
+  emit_frame(iface,
+             frame_onto(pkt.take_wire(), dst, ifc.cfg.mac, EtherType::kIpv4));
+}
+
+void Stack::emit_frame(std::size_t iface, util::Buffer frame) {
+  Interface& ifc = *ifaces_[iface];
   // Kernel transmit-path traversal cost.
   loop_.schedule_after(cfg_.per_packet_delay,
-                       [&ifc, raw = std::move(raw)]() mutable {
+                       [&ifc, raw = std::move(frame)]() mutable {
                          if (ifc.link != nullptr) ifc.link->send(std::move(raw));
                        });
 }
@@ -363,10 +377,10 @@ void Stack::deliver_local(std::size_t iface, Ipv4Packet pkt) {
   (void)iface;
   switch (pkt.hdr.proto) {
     case IpProto::kIcmp:
-      deliver_icmp(pkt);
+      deliver_icmp(std::move(pkt));
       break;
     case IpProto::kUdp:
-      deliver_udp(pkt);
+      deliver_udp(std::move(pkt));
       break;
     case IpProto::kTcp:
       deliver_tcp(pkt);
@@ -374,33 +388,59 @@ void Stack::deliver_local(std::size_t iface, Ipv4Packet pkt) {
   }
 }
 
-void Stack::deliver_icmp(const Ipv4Packet& pkt) {
-  IcmpMessage msg;
+void Stack::deliver_icmp(Ipv4Packet pkt) {
+  IcmpView msg;
   try {
-    msg = IcmpMessage::decode(pkt.payload);
+    msg = IcmpView::parse(pkt.payload.view());
   } catch (const util::ParseError&) {
     ++counters_.dropped_parse;
     return;
   }
+  // Handlers receive an owning message (the kernel/user crossing).
+  auto to_message = [&msg] {
+    IcmpMessage m;
+    m.type = msg.type;
+    m.code = msg.code;
+    m.id = msg.id;
+    m.seq = msg.seq;
+    m.payload = msg.payload.to_vector();
+    return m;
+  };
   switch (msg.type) {
     case IcmpType::kEchoRequest: {
       ++counters_.icmp_echo_replied;
-      IcmpMessage reply = msg;
-      reply.type = IcmpType::kEchoReply;
+      // Kernel-style echo: the reply reuses the request's buffer — flip
+      // the type byte in place and fix the checksum incrementally
+      // (RFC 1624) instead of re-encoding the payload.
       Ipv4Packet out;
       out.hdr.proto = IpProto::kIcmp;
       out.hdr.src = pkt.hdr.dst;
       out.hdr.dst = pkt.hdr.src;
-      out.payload = reply.encode();
+      out.payload = std::move(pkt.payload);
+      if (out.payload.use_count() > 1) {
+        // Shared storage (e.g. a flooded frame): copy-on-write.
+        counters_.payload_bytes_copied += out.payload.size();
+        out.payload = out.payload.clone(util::kPacketHeadroom);
+      }
+      const std::uint16_t old_word = static_cast<std::uint16_t>(
+          static_cast<std::uint16_t>(IcmpType::kEchoRequest) << 8 | msg.code);
+      const std::uint16_t new_word = static_cast<std::uint16_t>(
+          static_cast<std::uint16_t>(IcmpType::kEchoReply) << 8 | msg.code);
+      const std::uint16_t old_csum =
+          util::load_u16(out.payload.data() + IcmpView::kChecksumOffset);
+      out.payload.patch_u8(IcmpView::kTypeOffset,
+                           static_cast<std::uint8_t>(IcmpType::kEchoReply));
+      out.payload.patch_u16(IcmpView::kChecksumOffset,
+                            checksum_update(old_csum, old_word, new_word));
       send_ip(std::move(out));
       break;
     }
     case IcmpType::kEchoReply:
-      if (echo_reply_handler_) echo_reply_handler_(pkt.hdr.src, msg);
+      if (echo_reply_handler_) echo_reply_handler_(pkt.hdr.src, to_message());
       break;
     case IcmpType::kDestUnreachable:
     case IcmpType::kTimeExceeded:
-      if (icmp_error_handler_) icmp_error_handler_(pkt.hdr.src, msg);
+      if (icmp_error_handler_) icmp_error_handler_(pkt.hdr.src, to_message());
       break;
   }
 }
@@ -416,7 +456,7 @@ void Stack::send_echo_request(Ipv4Address dst, std::uint16_t id,
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kIcmp;
   pkt.hdr.dst = dst;
-  pkt.payload = msg.encode();
+  pkt.payload = msg.encode_buffer(util::kPacketHeadroom);
   send_ip(std::move(pkt));
 }
 
@@ -425,7 +465,7 @@ void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
   // Never generate errors about ICMP errors.
   if (original.hdr.proto == IpProto::kIcmp) {
     try {
-      auto m = IcmpMessage::decode(original.payload);
+      auto m = IcmpView::parse(original.payload.view());
       if (!m.is_echo()) return;
     } catch (const util::ParseError&) {
       return;
@@ -434,23 +474,38 @@ void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
   IcmpMessage msg;
   msg.type = type;
   msg.code = code;
-  // Quote the original header + 8 payload bytes, per RFC 792.
-  auto quoted = original.encode();
-  quoted.resize(std::min<std::size_t>(quoted.size(), Ipv4Header::kSize + 8));
+  // Quote the original header + 8 payload bytes, per RFC 792.  The
+  // header (carrying the original total-length field) is re-serialized
+  // directly into the quote: the payload beyond 8 bytes is never copied.
+  const std::size_t quote_payload =
+      std::min<std::size_t>(original.payload.size(), 8);
+  std::vector<std::uint8_t> quoted(Ipv4Header::kSize + quote_payload);
+  Ipv4Packet::encode_header(quoted.data(), original.hdr,
+                            original.total_length());
+  std::copy_n(original.payload.begin(), quote_payload,
+              quoted.begin() + Ipv4Header::kSize);
   msg.payload = std::move(quoted);
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kIcmp;
   pkt.hdr.dst = original.hdr.src;
-  pkt.payload = msg.encode();
+  pkt.payload = msg.encode_buffer(util::kPacketHeadroom);
   send_ip(std::move(pkt));
 }
 
-void Stack::deliver_udp(const Ipv4Packet& pkt) {
-  UdpDatagram dgram;
+void Stack::deliver_udp(Ipv4Packet pkt) {
+  UdpView dgram;
   try {
-    dgram = UdpDatagram::decode(pkt.payload);
+    dgram = UdpView::parse(pkt.payload.view());
   } catch (const util::ParseError&) {
     ++counters_.dropped_parse;
+    return;
+  }
+  // A nonzero checksum is validated against the pseudo-header; 0 means
+  // "not computed" and is accepted (RFC 768).
+  if (dgram.checksum != 0 &&
+      transport_checksum(pkt.hdr.src, pkt.hdr.dst, IpProto::kUdp,
+                         pkt.payload.view(0, dgram.length)) != 0) {
+    ++counters_.dropped_checksum;
     return;
   }
   auto it = udp_socks_.find(dgram.dst_port);
@@ -459,7 +514,14 @@ void Stack::deliver_udp(const Ipv4Packet& pkt) {
     return;
   }
   auto sock = it->second;  // keep alive: the handler may close the socket
-  sock->deliver(pkt.hdr.src, dgram.src_port, std::move(dgram.payload));
+  const Ipv4Address src = pkt.hdr.src;
+  const std::uint16_t sport = dgram.src_port;
+  // Delivery is a sub-buffer share of the received frame: drop the UDP
+  // header (and any padding past the length field) without copying.
+  util::Buffer data = std::move(pkt.payload);
+  data.drop_back(data.size() - dgram.length);
+  data.drop_front(UdpDatagram::kHeaderSize);
+  sock->deliver(src, sport, std::move(data));
 }
 
 void Stack::deliver_tcp(const Ipv4Packet& pkt) {
@@ -502,7 +564,8 @@ void Stack::send_tcp_rst_for(const Ipv4Packet& pkt, const TcpSegment& seg) {
   out.hdr.proto = IpProto::kTcp;
   out.hdr.src = pkt.hdr.dst;
   out.hdr.dst = pkt.hdr.src;
-  out.payload = rst.encode(out.hdr.src, out.hdr.dst);
+  out.payload =
+      rst.encode_buffer(out.hdr.src, out.hdr.dst, util::kPacketHeadroom);
   send_ip(std::move(out));
 }
 
@@ -576,28 +639,53 @@ void Stack::tcp_unregister(const TcpKey& key) { tcp_socks_.erase(key); }
 
 void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
                         std::vector<std::uint8_t> data) {
+  // The wrapped vector has no headroom, so the header prepend below
+  // reallocates once — the copy a real sendto() performs.
   send_to(dst, dst_port, util::Buffer::wrap(std::move(data)));
 }
 
 void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
                         util::Buffer data) {
   if (stack_ == nullptr) return;
-  // One copy, straight into the datagram (the user/kernel crossing).
-  util::ByteWriter w(UdpDatagram::kHeaderSize + data.size());
-  UdpDatagram::encode_header(w, port_, dst_port, data.size());
-  w.bytes(data.as_span());
+  if (stack_->cfg_.copy_at_stack_crossing) {
+    // Ablation: force the historical user/kernel send copy.
+    stack_->counters_.payload_bytes_copied += data.size();
+    data = data.clone(util::kPacketHeadroom);
+  }
+  if (!(data.use_count() == 1 &&
+        data.headroom() >= UdpDatagram::kHeaderSize)) {
+    stack_->counters_.payload_bytes_copied += data.size();
+  }
+  // The 8-byte header lands in the user buffer's headroom: the send
+  // crosses into the simulated kernel without copying the payload (the
+  // copy the paper's Section V.2 proposes eliminating).
+  const std::size_t payload_len = data.size();
+  auto slot = data.grow_front(UdpDatagram::kHeaderSize);
+  UdpDatagram::write_header(slot.data(), port_, dst_port, payload_len);
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kUdp;
   pkt.hdr.dst = dst;
-  pkt.payload = w.take();
+  pkt.payload = std::move(data);
   ++tx_;
   stack_->send_ip(std::move(pkt));
 }
 
 void UdpSocket::deliver(Ipv4Address src, std::uint16_t src_port,
-                        std::vector<std::uint8_t> data) {
+                        util::Buffer data) {
   ++rx_;
-  if (handler_) handler_(src, src_port, std::move(data));
+  if (buf_handler_) {
+    if (stack_ != nullptr && stack_->cfg_.copy_at_stack_crossing) {
+      // Ablation: force the historical kernel/user delivery copy.
+      stack_->counters_.payload_bytes_copied += data.size();
+      data = data.clone();
+    }
+    buf_handler_(src, src_port, std::move(data));
+  } else if (handler_) {
+    if (stack_ != nullptr) {
+      stack_->counters_.payload_bytes_copied += data.size();
+    }
+    handler_(src, src_port, data.to_vector());
+  }
 }
 
 void UdpSocket::close() {

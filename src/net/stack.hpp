@@ -58,6 +58,13 @@ struct StackConfig {
   Duration arp_retry = util::seconds(1);
   int arp_retries = 3;
   std::uint64_t seed = 0;  // 0: derive from host name
+  /// Ablation toggle (paper Section V.2): when true the stack deep-copies
+  /// the packet payload at every stack crossing — socket send, IP
+  /// receive, frame emission, socket delivery — reproducing the copying
+  /// kernel path whose elimination the paper proposes.  When false (the
+  /// default) the pipeline is zero-copy and `payload_bytes_copied` stays
+  /// at 0 on unicast forwarding paths.
+  bool copy_at_stack_crossing = false;
 };
 
 struct StackCounters {
@@ -67,10 +74,15 @@ struct StackCounters {
   std::uint64_t dropped_no_route = 0;
   std::uint64_t dropped_ttl = 0;
   std::uint64_t dropped_parse = 0;
+  std::uint64_t dropped_checksum = 0;
   std::uint64_t dropped_hook = 0;
   std::uint64_t dropped_mtu = 0;
   std::uint64_t dropped_arp_fail = 0;
   std::uint64_t icmp_echo_replied = 0;
+  /// Payload bytes memcpy'd by this stack: 0 on the default zero-copy
+  /// path; the copy_at_stack_crossing ablation, owning-vector socket
+  /// APIs and shared-storage reallocations account here.
+  std::uint64_t payload_bytes_copied = 0;
 };
 
 class Stack {
@@ -194,16 +206,19 @@ class Stack {
     }
   };
 
-  // Frame/packet pipeline.
+  // Frame/packet pipeline.  Received frames are adopted, not copied: the
+  // frame buffer becomes the Ipv4Packet's payload storage and the reply /
+  // forward path prepends fresh headers into the recovered headroom.
   void on_frame(std::size_t iface, sim::Frame frame);
   void process_frame(std::size_t iface, sim::Frame frame);
   void handle_arp(std::size_t iface, std::span<const std::uint8_t> bytes);
-  void handle_ip(std::size_t iface, std::span<const std::uint8_t> bytes);
+  void handle_ip(std::size_t iface, util::Buffer bytes);
   void deliver_local(std::size_t iface, Ipv4Packet pkt);
   void forward_packet(std::size_t iface, Ipv4Packet pkt);
-  void transmit_on(std::size_t iface, Ipv4Packet pkt);
-  void emit_frame(std::size_t iface, MacAddress dst,
-                  std::vector<std::uint8_t> ip_bytes);
+  /// Serialize headers into the payload buffer's headroom and hand the
+  /// frame to the link (the transmit-side stack traversal).
+  void emit_ip(std::size_t iface, MacAddress dst, Ipv4Packet pkt);
+  void emit_frame(std::size_t iface, util::Buffer frame);
   void resolve_and_send(std::size_t iface, Ipv4Address next_hop,
                         Ipv4Packet pkt);
   void send_arp_request(std::size_t iface, Ipv4Address target);
@@ -214,8 +229,8 @@ class Stack {
                        std::uint8_t code);
 
   // Transport demux.
-  void deliver_icmp(const Ipv4Packet& pkt);
-  void deliver_udp(const Ipv4Packet& pkt);
+  void deliver_icmp(Ipv4Packet pkt);
+  void deliver_udp(Ipv4Packet pkt);
   void deliver_tcp(const Ipv4Packet& pkt);
   void send_tcp_rst_for(const Ipv4Packet& pkt, const TcpSegment& seg);
 

@@ -534,7 +534,8 @@ void TcpSocket::emit_segment(std::uint32_t seq,
   pkt.hdr.proto = IpProto::kTcp;
   pkt.hdr.src = local_ip_;
   pkt.hdr.dst = remote_ip_;
-  pkt.payload = seg.encode(local_ip_, remote_ip_);
+  pkt.payload =
+      seg.encode_buffer(local_ip_, remote_ip_, util::kPacketHeadroom);
   ++stats_.segments_sent;
   stack_->send_ip(std::move(pkt));
 }
@@ -559,7 +560,8 @@ void TcpSocket::send_rst(std::uint32_t seq, std::uint32_t ack, bool with_ack) {
   pkt.hdr.proto = IpProto::kTcp;
   pkt.hdr.src = local_ip_;
   pkt.hdr.dst = remote_ip_;
-  pkt.payload = seg.encode(local_ip_, remote_ip_);
+  pkt.payload =
+      seg.encode_buffer(local_ip_, remote_ip_, util::kPacketHeadroom);
   ++stats_.segments_sent;
   stack_->send_ip(std::move(pkt));
 }

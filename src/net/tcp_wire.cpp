@@ -1,5 +1,7 @@
 #include "net/tcp_wire.hpp"
 
+#include <algorithm>
+
 namespace ipop::net {
 
 std::string TcpFlags::to_string() const {
@@ -13,25 +15,51 @@ std::string TcpFlags::to_string() const {
   return s.empty() ? "-" : s;
 }
 
+util::Buffer TcpSegment::encode_buffer(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                       std::size_t headroom) const {
+  auto buf = util::Buffer::allocate(kHeaderSize + payload.size(), headroom);
+  std::uint8_t* p = buf.data();
+  util::store_u16(p, src_port);
+  util::store_u16(p + 2, dst_port);
+  util::store_u32(p + 4, seq);
+  util::store_u32(p + 8, ack);
+  p[12] = 5 << 4;  // data offset 5 words, no options
+  p[13] = flags.encode();
+  util::store_u16(p + 14, window);
+  util::store_u16(p + 16, 0);  // checksum placeholder
+  util::store_u16(p + 18, 0);  // urgent pointer
+  std::copy(payload.begin(), payload.end(), p + kHeaderSize);
+  util::store_u16(p + TcpView::kChecksumOffset,
+                  transport_checksum(src_ip, dst_ip, IpProto::kTcp,
+                                     buf.as_span()));
+  return buf;
+}
+
 std::vector<std::uint8_t> TcpSegment::encode(Ipv4Address src_ip,
                                              Ipv4Address dst_ip) const {
-  util::ByteWriter w(kHeaderSize + payload.size());
-  w.u16(src_port);
-  w.u16(dst_port);
-  w.u32(seq);
-  w.u32(ack);
-  w.u8(5 << 4);  // data offset 5 words, no options
-  w.u8(flags.encode());
-  w.u16(window);
-  w.u16(0);  // checksum placeholder
-  w.u16(0);  // urgent pointer
-  w.bytes(payload);
-  auto bytes = w.take();
-  const std::uint16_t csum =
-      transport_checksum(src_ip, dst_ip, IpProto::kTcp, bytes);
-  bytes[16] = static_cast<std::uint8_t>(csum >> 8);
-  bytes[17] = static_cast<std::uint8_t>(csum);
-  return bytes;
+  return encode_buffer(src_ip, dst_ip, 0).to_vector();
+}
+
+TcpView TcpView::parse(util::BufferView bytes) {
+  util::ByteReader r(bytes);
+  TcpView v;
+  v.src_port = r.u16();
+  v.dst_port = r.u16();
+  v.seq = r.u32();
+  v.ack = r.u32();
+  const std::uint8_t offset_words = r.u8() >> 4;
+  if (offset_words < 5) throw util::ParseError("bad TCP data offset");
+  v.flags = TcpFlags::decode(r.u8());
+  v.window = r.u16();
+  v.checksum = r.u16();
+  r.u16();  // urgent pointer ignored
+  const std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
+  if (header_len > bytes.size()) throw util::ParseError("TCP header too long");
+  if (header_len > TcpSegment::kHeaderSize) {
+    r.skip(header_len - TcpSegment::kHeaderSize);
+  }
+  v.payload = r.rest_view();
+  return v;
 }
 
 TcpSegment TcpSegment::decode(std::span<const std::uint8_t> bytes,
@@ -39,22 +67,15 @@ TcpSegment TcpSegment::decode(std::span<const std::uint8_t> bytes,
   if (transport_checksum(src_ip, dst_ip, IpProto::kTcp, bytes) != 0) {
     throw util::ParseError("bad TCP checksum");
   }
-  util::ByteReader r(bytes);
+  TcpView v = TcpView::parse(bytes);
   TcpSegment s;
-  s.src_port = r.u16();
-  s.dst_port = r.u16();
-  s.seq = r.u32();
-  s.ack = r.u32();
-  const std::uint8_t offset_words = r.u8() >> 4;
-  if (offset_words < 5) throw util::ParseError("bad TCP data offset");
-  s.flags = TcpFlags::decode(r.u8());
-  s.window = r.u16();
-  r.u16();  // checksum verified above
-  r.u16();  // urgent pointer ignored
-  const std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
-  if (header_len > bytes.size()) throw util::ParseError("TCP header too long");
-  if (header_len > kHeaderSize) r.skip(header_len - kHeaderSize);
-  s.payload = r.rest_copy();
+  s.src_port = v.src_port;
+  s.dst_port = v.dst_port;
+  s.seq = v.seq;
+  s.ack = v.ack;
+  s.flags = v.flags;
+  s.window = v.window;
+  s.payload = v.payload.to_vector();
   return s;
 }
 

@@ -54,9 +54,35 @@ struct TcpSegment {
   /// Encode with a valid pseudo-header checksum.
   std::vector<std::uint8_t> encode(Ipv4Address src_ip,
                                    Ipv4Address dst_ip) const;
+  /// Encode into a shared buffer with `headroom` spare front bytes so the
+  /// IP and Ethernet headers prepend downstream without copying.
+  util::Buffer encode_buffer(Ipv4Address src_ip, Ipv4Address dst_ip,
+                             std::size_t headroom) const;
   /// Throws util::ParseError on truncation or checksum failure.
   static TcpSegment decode(std::span<const std::uint8_t> bytes,
                            Ipv4Address src_ip, Ipv4Address dst_ip);
+};
+
+/// Zero-copy parsed TCP header: `payload` aliases the input view.
+/// Structural checks only (TcpSegment::decode validates the checksum) —
+/// what middleboxes reading ports need.  Field offsets are exposed so NAT
+/// can patch ports/checksum in place.
+struct TcpView {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  util::BufferView payload;
+
+  static constexpr std::size_t kSrcPortOffset = 0;
+  static constexpr std::size_t kDstPortOffset = 2;
+  static constexpr std::size_t kChecksumOffset = 16;
+
+  /// Throws util::ParseError on truncation or a bad data offset.
+  static TcpView parse(util::BufferView bytes);
 };
 
 /// Modular 32-bit sequence comparisons (RFC 793 style).

@@ -21,9 +21,9 @@ sim::Switch& Network::add_switch(const std::string& name) {
 }
 
 NatBox& Network::add_nat(const std::string& name, NatType type,
-                         StackConfig scfg) {
+                         StackConfig scfg, NatConfig ncfg) {
   scfg.per_packet_delay = util::microseconds(10);
-  nats_.push_back(std::make_unique<NatBox>(loop_, name, type, scfg));
+  nats_.push_back(std::make_unique<NatBox>(loop_, name, type, scfg, ncfg));
   return *nats_.back();
 }
 

@@ -37,7 +37,8 @@ class Network {
   /// processing delay.
   Host& add_router(const std::string& name);
   sim::Switch& add_switch(const std::string& name);
-  NatBox& add_nat(const std::string& name, NatType type, StackConfig scfg = {});
+  NatBox& add_nat(const std::string& name, NatType type, StackConfig scfg = {},
+                  NatConfig ncfg = {});
   Firewall& add_firewall(const std::string& name, StackConfig scfg = {});
 
   /// Wire `stack` to a switch with a new interface; returns the link.

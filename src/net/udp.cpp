@@ -1,34 +1,63 @@
 #include "net/udp.hpp"
 
+#include <algorithm>
+
 namespace ipop::net {
 
-void UdpDatagram::encode_header(util::ByteWriter& w, std::uint16_t src_port,
-                                std::uint16_t dst_port,
-                                std::size_t payload_len) {
-  w.u16(src_port);
-  w.u16(dst_port);
-  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload_len));
-  w.u16(0);  // checksum: not computed (legal for IPv4)
+void UdpDatagram::write_header(std::uint8_t* out, std::uint16_t src_port,
+                               std::uint16_t dst_port,
+                               std::size_t payload_len) {
+  util::store_u16(out + UdpView::kSrcPortOffset, src_port);
+  util::store_u16(out + UdpView::kDstPortOffset, dst_port);
+  util::store_u16(out + UdpView::kLengthOffset,
+                  static_cast<std::uint16_t>(kHeaderSize + payload_len));
+  // Checksum: not computed (legal for IPv4).
+  util::store_u16(out + UdpView::kChecksumOffset, 0);
 }
 
 std::vector<std::uint8_t> UdpDatagram::encode() const {
-  util::ByteWriter w(kHeaderSize + payload.size());
-  encode_header(w, src_port, dst_port, payload.size());
-  w.bytes(payload);
-  return w.take();
+  std::vector<std::uint8_t> bytes(kHeaderSize + payload.size());
+  write_header(bytes.data(), src_port, dst_port, payload.size());
+  std::copy(payload.begin(), payload.end(), bytes.begin() + kHeaderSize);
+  return bytes;
 }
 
-UdpDatagram UdpDatagram::decode(std::span<const std::uint8_t> bytes) {
+std::vector<std::uint8_t> UdpDatagram::encode(Ipv4Address src,
+                                              Ipv4Address dst) const {
+  auto bytes = encode();
+  std::uint16_t csum = transport_checksum(src, dst, IpProto::kUdp, bytes);
+  if (csum == 0) csum = 0xFFFF;  // 0 would mean "no checksum"
+  util::store_u16(bytes.data() + UdpView::kChecksumOffset, csum);
+  return bytes;
+}
+
+UdpView UdpView::parse(util::BufferView bytes) {
   util::ByteReader r(bytes);
-  UdpDatagram d;
-  d.src_port = r.u16();
-  d.dst_port = r.u16();
-  const std::uint16_t len = r.u16();
-  if (len < kHeaderSize || len > bytes.size()) {
+  UdpView v;
+  v.src_port = r.u16();
+  v.dst_port = r.u16();
+  v.length = r.u16();
+  if (v.length < UdpDatagram::kHeaderSize || v.length > bytes.size()) {
     throw util::ParseError("bad UDP length");
   }
-  r.u16();  // checksum ignored
-  d.payload = r.bytes_copy(len - kHeaderSize);
+  v.checksum = r.u16();
+  v.payload = bytes.subview(UdpDatagram::kHeaderSize,
+                            v.length - UdpDatagram::kHeaderSize);
+  return v;
+}
+
+UdpDatagram UdpDatagram::decode(util::BufferView bytes, Ipv4Address src,
+                                Ipv4Address dst) {
+  UdpView v = UdpView::parse(bytes);
+  if (v.checksum != 0 &&
+      transport_checksum(src, dst, IpProto::kUdp,
+                         bytes.subview(0, v.length)) != 0) {
+    throw util::ParseError("bad UDP checksum");
+  }
+  UdpDatagram d;
+  d.src_port = v.src_port;
+  d.dst_port = v.dst_port;
+  d.payload = v.payload.to_vector();
   return d;
 }
 

@@ -23,13 +23,41 @@ struct UdpDatagram {
   /// Checksum is emitted as 0 ("not computed"), which is legal for UDP
   /// over IPv4; frame integrity in the simulator is structural.
   std::vector<std::uint8_t> encode() const;
-  static UdpDatagram decode(std::span<const std::uint8_t> bytes);
+  /// Encode with a real pseudo-header checksum (0 is transmitted as
+  /// 0xFFFF per RFC 768, since 0 means "no checksum").
+  std::vector<std::uint8_t> encode(Ipv4Address src, Ipv4Address dst) const;
+  /// Decode + validate: a nonzero checksum field is verified against the
+  /// IPv4 pseudo-header; 0 = "no checksum" skips validation (RFC 768).
+  /// Throws util::ParseError on truncation, bad length or bad checksum.
+  static UdpDatagram decode(util::BufferView bytes, Ipv4Address src,
+                            Ipv4Address dst);
 
-  /// Append the 8-byte header for a datagram carrying `payload_len`
-  /// bytes (the single definition of the wire header, shared by encode()
-  /// and the zero-copy socket path).
-  static void encode_header(util::ByteWriter& w, std::uint16_t src_port,
-                            std::uint16_t dst_port, std::size_t payload_len);
+  /// Write the 8-byte header (checksum 0) into a pre-sized slot — the
+  /// single definition of the wire header, shared by encode() and the
+  /// zero-copy socket path, which lays it into a buffer's headroom.
+  static void write_header(std::uint8_t* out, std::uint16_t src_port,
+                           std::uint16_t dst_port, std::size_t payload_len);
+};
+
+/// Zero-copy parsed UDP header: `payload` aliases the input view (trimmed
+/// to the length field).  Structural checks only — middleboxes reading
+/// ports must not drop on checksums they do not own; endpoint delivery
+/// validates via UdpDatagram::decode or an explicit transport_checksum.
+/// Field offsets are exposed so NAT can patch ports/checksum in place.
+struct UdpView {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // header + payload bytes on the wire
+  std::uint16_t checksum = 0;  // 0: not computed
+  util::BufferView payload;
+
+  static constexpr std::size_t kSrcPortOffset = 0;
+  static constexpr std::size_t kDstPortOffset = 2;
+  static constexpr std::size_t kLengthOffset = 4;
+  static constexpr std::size_t kChecksumOffset = 6;
+
+  /// Throws util::ParseError on truncation or a bad length field.
+  static UdpView parse(util::BufferView bytes);
 };
 
 }  // namespace ipop::net

@@ -28,9 +28,11 @@
 namespace ipop::util {
 
 /// Headroom reserved in front of freshly allocated packet buffers so the
-/// virtual-network encapsulation chain (14B Ethernet strip, 48B Brunet
-/// header, 14B Ethernet rebuild) prepends without reallocating.
-inline constexpr std::size_t kPacketHeadroom = 64;
+/// virtual-network encapsulation chain prepends without reallocating.
+/// The deepest consumer is a tunneled send: 14B Ethernet strip at the tap
+/// refunds itself, then 48B Brunet header + 8B UDP + 20B IPv4 + 14B
+/// Ethernet = 90B of prepends before the frame hits the physical link.
+inline constexpr std::size_t kPacketHeadroom = 128;
 
 class Buffer {
  public:

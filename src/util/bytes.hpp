@@ -211,6 +211,22 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Raw big-endian stores/loads for writing wire fields directly into
+/// pre-sized buffer memory (the zero-copy codecs' counterpart of
+/// ByteWriter's append API).  Callers are responsible for bounds.
+inline void store_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void store_u32(std::uint8_t* p, std::uint32_t v) {
+  store_u16(p, static_cast<std::uint16_t>(v >> 16));
+  store_u16(p + 2, static_cast<std::uint16_t>(v));
+}
+inline std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) << 8 |
+                                    p[1]);
+}
+
 /// Render bytes as lowercase hex (diagnostics and test assertions).
 std::string to_hex(std::span<const std::uint8_t> data);
 

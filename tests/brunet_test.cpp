@@ -100,9 +100,9 @@ TEST(PacketTest, RoundTrip) {
   p.src = Address::random(rng);
   p.dst = Address::random(rng);
   p.set_payload({1, 2, 3, 4, 5});
-  auto bytes = p.encode();
-  EXPECT_EQ(bytes.size(), Packet::kHeaderSize + 5);
-  Packet q = Packet::decode(std::span<const std::uint8_t>(bytes));
+  auto wire = p.to_wire();
+  EXPECT_EQ(wire.size(), Packet::kHeaderSize + 5);
+  Packet q = Packet::decode(wire.share());
   EXPECT_EQ(q.type, p.type);
   EXPECT_EQ(q.mode, p.mode);
   EXPECT_EQ(q.ttl, 17);

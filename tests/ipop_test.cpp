@@ -78,7 +78,7 @@ TEST_F(TapFixture, InjectedFrameReachesKernel) {
   pkt.hdr.proto = net::IpProto::kIcmp;
   pkt.hdr.src = ip("172.16.0.77");
   pkt.hdr.dst = ip("172.16.0.9");
-  pkt.payload = icmp.encode();
+  pkt.payload = util::Buffer::wrap(icmp.encode());
   net::EthernetFrame eth;
   eth.dst = tap->kernel_mac();
   eth.src = tap->gateway_mac();
@@ -346,11 +346,41 @@ TEST(ShortcutEvictionTest, CounterMapStaysBounded) {
   EXPECT_GT(mgr.stats().evicted, 0u);
 
   // The hard bound holds even when every destination stays hot inside one
-  // window (stalest-counter eviction).
+  // window (LRU eviction).
   for (int i = 0; i < 100; ++i) {
     mgr.note_packet(brunet::Address::random(rng));
   }
   EXPECT_LE(mgr.tracked(), scfg.max_tracked);
+}
+
+TEST(ShortcutEvictionTest, LruKeepsHotDestination) {
+  // Eviction is least-recently-used: a destination touched on every
+  // packet survives an arbitrary stream of one-off destinations.
+  net::Network net{98};
+  auto& h = net.add_host("h");
+  brunet::NodeConfig ncfg;
+  brunet::BrunetNode node(h, brunet::Address::hash("lru"), ncfg);
+  ShortcutConfig scfg;
+  scfg.enabled = true;
+  scfg.max_tracked = 8;
+  // Huge threshold/window so the hot counter's survival is observable via
+  // the request it eventually triggers (no back-off: simulated time does
+  // not advance in this test).
+  scfg.threshold = 400;
+  scfg.window = util::seconds(3600);
+  scfg.retry_backoff = util::seconds(0);
+  ShortcutManager mgr(node, scfg);
+
+  const auto hot = brunet::Address::hash("hot-destination");
+  util::Rng rng(6);
+  for (int i = 0; i < 400; ++i) {
+    mgr.note_packet(hot);  // touched every round: never the LRU front
+    mgr.note_packet(brunet::Address::random(rng));  // one-off churn
+  }
+  EXPECT_LE(mgr.tracked(), scfg.max_tracked);
+  // The hot counter reached the threshold despite hundreds of evictions,
+  // so it was never reset by eviction.
+  EXPECT_EQ(mgr.stats().requests, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
-// NAT (all four RFC 3489 types), stateful firewall, and the Figure-4
-// testbed's reachability policy.
+// NAT (all four RFC 3489 types) — behaviour matrix, mapping lifetime,
+// in-place rewriting — stateful firewall, and the Figure-4 testbed's
+// reachability policy.
 #include <gtest/gtest.h>
 
+#include "net/l4_patch.hpp"
 #include "net/ping.hpp"
 #include "net/topology.hpp"
 
@@ -203,6 +205,282 @@ TEST_P(NatFixture, PingThroughNat) {
   pinger.run(ip("8.0.0.10"), opts, [&](PingResult r) { res = std::move(r); });
   net.loop().run_until(seconds(5));
   EXPECT_EQ(res.received, 3);
+}
+
+// ---------------------------------------------------------------------------
+// NAT mapping lifetime: idle expiry and external-port reclamation
+// ---------------------------------------------------------------------------
+struct NatLifetimeFixture : ::testing::Test {
+  Network net{22};
+  Host* inside = nullptr;
+  Host* outside = nullptr;
+  NatBox* nat = nullptr;
+
+  void SetUp() override {
+    inside = &net.add_host("inside");
+    outside = &net.add_host("outside");
+    NatConfig ncfg;
+    ncfg.mapping_idle_timeout = seconds(5);
+    ncfg.sweep_interval = seconds(1);
+    // Two allocatable ports before the counter wraps: 65534, 65535.
+    ncfg.first_ext_port = 65534;
+    nat = &net.add_nat("nat", NatType::kPortRestrictedCone, {}, ncfg);
+    sim::LinkConfig link;
+    link.delay = milliseconds(1);
+    net.connect(inside->stack(), {"eth0", ip("10.0.0.2"), 24}, nat->stack(),
+                {"in", ip("10.0.0.1"), 24}, link);
+    net.connect(nat->stack(), {"out", ip("8.0.0.1"), 24}, outside->stack(),
+                {"eth0", ip("8.0.0.2"), 24}, link);
+    inside->stack().add_route(Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                              ip("10.0.0.1"));
+  }
+};
+
+TEST_F(NatLifetimeFixture, IdleMappingsExpireAndBlockInbound) {
+  auto server = outside->stack().udp_bind(7000);
+  std::uint16_t mapped_port = 0;
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t sport, std::vector<std::uint8_t>) {
+        mapped_port = sport;
+      });
+  auto client = inside->stack().udp_bind(5555);
+  client->send_to(ip("8.0.0.2"), 7000, {1});
+  net.loop().run_until(seconds(1));
+  ASSERT_NE(mapped_port, 0);
+  EXPECT_EQ(nat->mapping_count(), 1u);
+
+  // No traffic for longer than the idle timeout: the sweep reclaims the
+  // mapping (a long-lived box does not accumulate one entry per flow
+  // forever).
+  net.loop().run_until(seconds(10));
+  EXPECT_EQ(nat->mapping_count(), 0u);
+  EXPECT_GE(nat->stats().mappings_expired, 1u);
+
+  // The reclaimed external port no longer routes inside.
+  auto probe = outside->stack().udp_bind(9000);
+  const auto blocked_before = nat->stats().blocked_in;
+  probe->send_to(ip("8.0.0.1"), mapped_port, {2});
+  net.loop().run_until(seconds(12));
+  EXPECT_EQ(nat->stats().blocked_in, blocked_before + 1);
+}
+
+TEST_F(NatLifetimeFixture, TrafficRefreshesMappings) {
+  auto server = outside->stack().udp_bind(7000);
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) {});
+  auto client = inside->stack().udp_bind(5555);
+  // Send every 2 s for 20 s: always inside the 5 s idle timeout.
+  for (int i = 0; i < 10; ++i) {
+    client->send_to(ip("8.0.0.2"), 7000, {1});
+    net.loop().run_until(net.loop().now() + seconds(2));
+  }
+  EXPECT_EQ(nat->mapping_count(), 1u);
+  EXPECT_EQ(nat->stats().mappings_expired, 0u);
+  EXPECT_EQ(nat->stats().mappings_created, 1u);
+}
+
+TEST_F(NatLifetimeFixture, ExternalPortWrapReusesExpiredPortsCleanly) {
+  // Regression for the port-wrap bug: next_ext_port_ used to increment
+  // forever, so past 64k mappings the counter wrapped into ports whose
+  // by_ext_port_ entries still pointed at old mappings.  With two
+  // allocatable ports (65534, 65535), flows A and B take both; after
+  // they expire, flows C and D must get the *same* ports, and inbound
+  // traffic must reach C/D — not the stale A/B state.
+  auto server = outside->stack().udp_bind(7000);
+  std::vector<std::uint16_t> seen_ports;
+  server->set_receive_handler(
+      [&](Ipv4Address src, std::uint16_t sport, std::vector<std::uint8_t> d) {
+        seen_ports.push_back(sport);
+        server->send_to(src, sport, std::move(d));  // echo
+      });
+  auto a = inside->stack().udp_bind(5001);
+  auto b = inside->stack().udp_bind(5002);
+  a->send_to(ip("8.0.0.2"), 7000, {1});
+  b->send_to(ip("8.0.0.2"), 7000, {1});
+  net.loop().run_until(seconds(1));
+  ASSERT_EQ(seen_ports.size(), 2u);
+  EXPECT_EQ(nat->stats().mappings_created, 2u);
+
+  // A third concurrent flow finds the port space exhausted and is
+  // dropped, not silently aliased onto a live mapping.
+  auto c = inside->stack().udp_bind(5003);
+  c->send_to(ip("8.0.0.2"), 7000, {1});
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(seen_ports.size(), 2u);
+  EXPECT_GE(nat->stats().dropped_port_exhausted, 1u);
+
+  // Let A and B expire, then open two fresh flows from different inside
+  // ports: the wrapped counter must hand out the reclaimed ports again.
+  net.loop().run_until(seconds(10));
+  ASSERT_EQ(nat->mapping_count(), 0u);
+  seen_ports.clear();
+  int d_replies = 0, e_replies = 0;
+  auto d = inside->stack().udp_bind(6001);
+  auto e = inside->stack().udp_bind(6002);
+  d->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) {
+        ++d_replies;
+      });
+  e->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) {
+        ++e_replies;
+      });
+  d->send_to(ip("8.0.0.2"), 7000, {2});
+  e->send_to(ip("8.0.0.2"), 7000, {2});
+  net.loop().run_until(seconds(12));
+  ASSERT_EQ(seen_ports.size(), 2u);
+  // Reused external ports from the reclaimed pair...
+  for (auto p : seen_ports) EXPECT_GE(p, 65534);
+  // ...and the echoes came back to the *new* flows (no stale
+  // by_ext_port_ collision sending them to 5001/5002).
+  EXPECT_EQ(d_replies, 1);
+  EXPECT_EQ(e_replies, 1);
+}
+
+// ---------------------------------------------------------------------------
+// In-place NAT rewrite (zero-copy, refcount-verified)
+// ---------------------------------------------------------------------------
+
+TEST(L4PatchTest, UdpRewritePatchesInPlaceAndFixesChecksum) {
+  const auto src = ip("10.0.0.2");
+  const auto dst = ip("8.0.0.10");
+  const auto ext = ip("8.0.0.1");
+  UdpDatagram d;
+  d.src_port = 5555;
+  d.dst_port = 7000;
+  d.payload = {1, 2, 3, 4, 5, 6, 7};
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kUdp;
+  pkt.hdr.src = src;
+  pkt.hdr.dst = dst;
+  pkt.payload = util::Buffer::wrap(d.encode(src, dst));  // real checksum
+
+  const std::uint8_t* storage = pkt.payload.data();
+  const std::size_t copied =
+      patch_l4_endpoints(pkt, L4Endpoint{ext, 62001}, std::nullopt);
+  // Uniquely owned: patched in place, zero bytes copied.
+  EXPECT_EQ(copied, 0u);
+  EXPECT_EQ(pkt.payload.data(), storage);
+  EXPECT_EQ(pkt.hdr.src, ext);
+  // The incrementally updated checksum validates against the new
+  // pseudo-header, and the ports/payload read back correctly.
+  auto g = UdpDatagram::decode(pkt.payload.view(), ext, dst);
+  EXPECT_EQ(g.src_port, 62001);
+  EXPECT_EQ(g.dst_port, 7000);
+  EXPECT_EQ(g.payload, d.payload);
+}
+
+TEST(L4PatchTest, UdpZeroChecksumStaysZero) {
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kUdp;
+  pkt.hdr.src = ip("10.0.0.2");
+  pkt.hdr.dst = ip("8.0.0.10");
+  UdpDatagram d;
+  d.src_port = 5555;
+  d.dst_port = 7000;
+  d.payload = {9, 9};
+  pkt.payload = util::Buffer::wrap(d.encode());  // checksum 0 = none
+  patch_l4_endpoints(pkt, L4Endpoint{ip("8.0.0.1"), 60000}, std::nullopt);
+  auto v = UdpView::parse(pkt.payload.view());
+  EXPECT_EQ(v.src_port, 60000);
+  EXPECT_EQ(v.checksum, 0);  // "no checksum" is preserved per RFC 768
+}
+
+TEST(L4PatchTest, TcpRewriteKeepsChecksumValid) {
+  const auto src = ip("10.0.0.2");
+  const auto dst = ip("8.0.0.10");
+  const auto ext = ip("8.0.0.1");
+  TcpSegment seg;
+  seg.src_port = 44000;
+  seg.dst_port = 80;
+  seg.seq = 1234;
+  seg.flags.psh = true;
+  seg.flags.ack = true;
+  seg.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kTcp;
+  pkt.hdr.src = src;
+  pkt.hdr.dst = dst;
+  pkt.payload = seg.encode_buffer(src, dst, 0);
+
+  const std::uint8_t* storage = pkt.payload.data();
+  EXPECT_EQ(patch_l4_endpoints(pkt, L4Endpoint{ext, 62002}, std::nullopt), 0u);
+  EXPECT_EQ(pkt.payload.data(), storage);
+  // decode() re-validates the pseudo-header checksum end to end.
+  auto g = TcpSegment::decode(pkt.payload.view(), ext, dst);
+  EXPECT_EQ(g.src_port, 62002);
+  EXPECT_EQ(g.payload, seg.payload);
+}
+
+TEST(L4PatchTest, IcmpIdRewriteKeepsChecksumValid) {
+  IcmpMessage m;
+  m.type = IcmpType::kEchoRequest;
+  m.id = 77;
+  m.seq = 3;
+  m.payload = {1, 2, 3};
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kIcmp;
+  pkt.hdr.src = ip("10.0.0.2");
+  pkt.hdr.dst = ip("8.0.0.10");
+  pkt.payload = util::Buffer::wrap(m.encode());
+  EXPECT_EQ(
+      patch_l4_endpoints(pkt, L4Endpoint{ip("8.0.0.1"), 4242}, std::nullopt),
+      0u);
+  auto g = IcmpMessage::decode(pkt.payload.view());  // validates checksum
+  EXPECT_EQ(g.id, 4242);
+  EXPECT_EQ(g.seq, 3);
+}
+
+TEST(L4PatchTest, SharedStorageTriggersCopyOnWrite) {
+  // Like buffer_test's shared-prepend case: a rewrite on shared storage
+  // must not corrupt the bytes another holder still reads.
+  UdpDatagram d;
+  d.src_port = 5555;
+  d.dst_port = 7000;
+  d.payload = {42, 43, 44};
+  Ipv4Packet pkt;
+  pkt.hdr.proto = IpProto::kUdp;
+  pkt.hdr.src = ip("10.0.0.2");
+  pkt.hdr.dst = ip("8.0.0.10");
+  pkt.payload = util::Buffer::wrap(d.encode());
+  util::Buffer other = pkt.payload.share();  // e.g. a flooded sibling
+  ASSERT_EQ(pkt.payload.use_count(), 2);
+
+  const std::size_t copied =
+      patch_l4_endpoints(pkt, L4Endpoint{ip("8.0.0.1"), 60001}, std::nullopt);
+  EXPECT_EQ(copied, other.size());        // copy-on-write, counted
+  EXPECT_NE(pkt.payload.data(), other.data());
+  EXPECT_TRUE(pkt.payload.unique());
+  // The sibling still reads the original port...
+  EXPECT_EQ(UdpView::parse(other.view()).src_port, 5555);
+  // ...while the packet carries the rewrite.
+  EXPECT_EQ(UdpView::parse(pkt.payload.view()).src_port, 60001);
+}
+
+TEST_F(NatLifetimeFixture, ForwardedPacketCrossesNatWithZeroCopies) {
+  // The tentpole's acceptance criterion at test granularity: after ARP
+  // and mapping warm-up, a NAT-translated forward moves zero payload
+  // bytes — header prepends reuse headroom, the port rewrite patches the
+  // shared buffer in place.
+  auto server = outside->stack().udp_bind(7000);
+  server->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, util::Buffer) {});
+  auto client = inside->stack().udp_bind(5555);
+  auto payload = util::Buffer::allocate(1000, util::kPacketHeadroom);
+  client->send_to(ip("8.0.0.2"), 7000, payload.clone(util::kPacketHeadroom));
+  net.loop().run_until(seconds(1));
+
+  const auto nat_before = nat->stack().counters().payload_bytes_copied;
+  const auto fwd_before = nat->stack().counters().forwarded;
+  for (int i = 0; i < 50; ++i) {
+    client->send_to(ip("8.0.0.2"), 7000,
+                    payload.clone(util::kPacketHeadroom));
+  }
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(nat->stack().counters().forwarded, fwd_before + 50);
+  EXPECT_EQ(nat->stack().counters().payload_bytes_copied, nat_before);
+  EXPECT_EQ(nat->stats().rewrite_bytes_copied, 0u);
+  EXPECT_EQ(server->datagrams_received(), 51u);
 }
 
 // ---------------------------------------------------------------------------

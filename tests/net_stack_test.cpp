@@ -114,6 +114,43 @@ TEST_F(LanFixture, UdpToClosedPortTriggersIcmpUnreachable) {
   EXPECT_EQ(errors, 1);
 }
 
+TEST_F(LanFixture, UdpBadChecksumDroppedGoodChecksumDelivered) {
+  auto rx = b->stack().udp_bind(5000);
+  int got = 0;
+  rx->set_receive_handler(
+      [&](Ipv4Address, std::uint16_t, std::vector<std::uint8_t>) { ++got; });
+
+  // A datagram with a valid pseudo-header checksum is delivered.
+  UdpDatagram d;
+  d.src_port = 4000;
+  d.dst_port = 5000;
+  d.payload = {1, 2, 3};
+  Ipv4Packet good;
+  good.hdr.proto = IpProto::kUdp;
+  good.hdr.src = ip("10.0.0.1");
+  good.hdr.dst = ip("10.0.0.2");
+  good.payload =
+      util::Buffer::wrap(d.encode(good.hdr.src, good.hdr.dst));
+  a->stack().send_ip(std::move(good));
+  net.loop().run_until(seconds(1));
+  EXPECT_EQ(got, 1);
+
+  // The same datagram with a corrupted nonzero checksum is dropped and
+  // counted — it must not be silently accepted as it used to be.
+  auto bytes = d.encode(ip("10.0.0.1"), ip("10.0.0.2"));
+  bytes[6] ^= 0x5A;
+  Ipv4Packet bad;
+  bad.hdr.proto = IpProto::kUdp;
+  bad.hdr.src = ip("10.0.0.1");
+  bad.hdr.dst = ip("10.0.0.2");
+  bad.payload = util::Buffer::wrap(std::move(bytes));
+  const auto dropped_before = b->stack().counters().dropped_checksum;
+  a->stack().send_ip(std::move(bad));
+  net.loop().run_until(seconds(2));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(b->stack().counters().dropped_checksum, dropped_before + 1);
+}
+
 TEST_F(LanFixture, DuplicateUdpBindRejected) {
   auto s1 = a->stack().udp_bind(7000);
   auto s2 = a->stack().udp_bind(7000);
@@ -227,7 +264,7 @@ TEST_F(RoutedFixture, TtlExpiryGeneratesTimeExceeded) {
   pkt.hdr.proto = IpProto::kIcmp;
   pkt.hdr.dst = ip("10.3.0.1");
   pkt.hdr.ttl = 2;  // dies at the second router
-  pkt.payload = echo.encode();
+  pkt.payload = util::Buffer::wrap(echo.encode());
   a->stack().send_ip(std::move(pkt));
   net.loop().run_until(seconds(5));
   EXPECT_EQ(time_exceeded, 1);
@@ -255,7 +292,7 @@ TEST_F(RoutedFixture, MtuExceededDropsPacket) {
   d.src_port = 1;
   d.dst_port = 2;
   d.payload.assign(2000, 0xAA);
-  pkt.payload = d.encode();
+  pkt.payload = util::Buffer::wrap(d.encode());
   const auto before = a->stack().counters().dropped_mtu;
   a->stack().send_ip(std::move(pkt));
   net.loop().run_until(seconds(1));

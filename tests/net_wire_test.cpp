@@ -93,14 +93,14 @@ TEST(Ipv4PacketTest, RoundTrip) {
   p.hdr.dst = Ipv4Address::parse("10.0.0.2");
   p.hdr.proto = IpProto::kUdp;
   p.hdr.ttl = 31;
-  p.payload = {9, 9, 9};
+  p.payload = util::Buffer::wrap({9, 9, 9});
   auto bytes = p.encode();
-  auto q = Ipv4Packet::decode(bytes);
+  auto q = Ipv4Packet::decode(util::BufferView(bytes));
   EXPECT_EQ(q.hdr.src, p.hdr.src);
   EXPECT_EQ(q.hdr.dst, p.hdr.dst);
   EXPECT_EQ(q.hdr.proto, IpProto::kUdp);
   EXPECT_EQ(q.hdr.ttl, 31);
-  EXPECT_EQ(q.payload, p.payload);
+  EXPECT_EQ(q.payload.view(), p.payload.view());
 }
 
 TEST(Ipv4PacketTest, CorruptedHeaderChecksumRejected) {
@@ -109,17 +109,17 @@ TEST(Ipv4PacketTest, CorruptedHeaderChecksumRejected) {
   p.hdr.dst = Ipv4Address::parse("10.0.0.2");
   auto bytes = p.encode();
   bytes[8] ^= 0xFF;  // flip the TTL
-  EXPECT_THROW(Ipv4Packet::decode(bytes), util::ParseError);
+  EXPECT_THROW(Ipv4Packet::decode(util::BufferView(bytes)), util::ParseError);
 }
 
 TEST(Ipv4PacketTest, BadLengthRejected) {
   Ipv4Packet p;
   p.hdr.src = Ipv4Address::parse("10.0.0.1");
   p.hdr.dst = Ipv4Address::parse("10.0.0.2");
-  p.payload = {1, 2, 3, 4};
+  p.payload = util::Buffer::wrap({1, 2, 3, 4});
   auto bytes = p.encode();
   bytes.resize(22);  // truncate below total_length
-  EXPECT_THROW(Ipv4Packet::decode(bytes), util::ParseError);
+  EXPECT_THROW(Ipv4Packet::decode(util::BufferView(bytes)), util::ParseError);
 }
 
 TEST(ArpTest, RoundTrip) {
@@ -166,7 +166,8 @@ TEST(UdpTest, RoundTrip) {
   d.dst_port = 53;
   d.payload = {5, 6, 7, 8, 9};
   auto bytes = d.encode();
-  auto g = UdpDatagram::decode(bytes);
+  auto g = UdpDatagram::decode(bytes, Ipv4Address::parse("10.0.0.1"),
+                               Ipv4Address::parse("10.0.0.2"));
   EXPECT_EQ(g.src_port, 1111);
   EXPECT_EQ(g.dst_port, 53);
   EXPECT_EQ(g.payload, d.payload);
@@ -178,7 +179,60 @@ TEST(UdpTest, BadLengthRejected) {
   auto bytes = d.encode();
   bytes[4] = 0;
   bytes[5] = 2;  // length < header size
-  EXPECT_THROW(UdpDatagram::decode(bytes), util::ParseError);
+  EXPECT_THROW(UdpDatagram::decode(bytes, Ipv4Address{}, Ipv4Address{}),
+               util::ParseError);
+}
+
+TEST(UdpTest, NonzeroChecksumValidated) {
+  const auto src = Ipv4Address::parse("10.0.0.1");
+  const auto dst = Ipv4Address::parse("10.0.0.2");
+  UdpDatagram d;
+  d.src_port = 1111;
+  d.dst_port = 53;
+  d.payload = {5, 6, 7};
+  auto bytes = d.encode(src, dst);  // real pseudo-header checksum
+  EXPECT_NE(bytes[6] | bytes[7], 0);
+  auto g = UdpDatagram::decode(bytes, src, dst);
+  EXPECT_EQ(g.payload, d.payload);
+  // A flipped payload bit no longer matches the checksum...
+  bytes[10] ^= 0x01;
+  EXPECT_THROW(UdpDatagram::decode(bytes, src, dst), util::ParseError);
+  bytes[10] ^= 0x01;
+  // ...and so does a wrong pseudo-header (different source address).
+  EXPECT_THROW(
+      UdpDatagram::decode(bytes, Ipv4Address::parse("9.9.9.9"), dst),
+      util::ParseError);
+}
+
+TEST(UdpTest, ZeroChecksumMeansNotComputed) {
+  // RFC 768: checksum 0 = "no checksum"; corrupt-looking payloads must
+  // still decode when the sender opted out.
+  const auto src = Ipv4Address::parse("10.0.0.1");
+  const auto dst = Ipv4Address::parse("10.0.0.2");
+  UdpDatagram d;
+  d.src_port = 1;
+  d.dst_port = 2;
+  d.payload = {0xFF, 0x00, 0xFF};
+  auto bytes = d.encode();
+  EXPECT_EQ(bytes[6], 0);
+  EXPECT_EQ(bytes[7], 0);
+  auto g = UdpDatagram::decode(bytes, src, dst);
+  EXPECT_EQ(g.payload, d.payload);
+}
+
+TEST(ChecksumTest, IncrementalUpdateMatchesRecompute) {
+  // checksum_update (RFC 1624) must agree with a full re-sum after a
+  // 16-bit word substitution.
+  std::vector<std::uint8_t> data{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC};
+  const std::uint16_t before = internet_checksum(data);
+  const std::uint16_t old_word = 0x5678;
+  const std::uint16_t new_word = 0xCAFE;
+  data[2] = 0xCA;
+  data[3] = 0xFE;
+  EXPECT_EQ(checksum_update(before, old_word, new_word),
+            internet_checksum(data));
+  // Identity substitution is a no-op.
+  EXPECT_EQ(checksum_update(before, old_word, old_word), before);
 }
 
 TEST(TcpWireTest, RoundTripWithChecksum) {
