@@ -221,17 +221,26 @@ BENCHMARK(BM_NatRewriteCopyAtCrossing)->Arg(64)->Arg(1372);
 
 /// End-to-end check through the full simulated network: one UDP packet
 /// per iteration crosses inside -> NAT -> outside; the NAT stack's own
-/// counters report how many payload bytes it copied.  Arg 0 = default
-/// zero-copy config (must report 0), Arg 1 = copy_at_stack_crossing
-/// ablation.
+/// counters report how many payload bytes it copied.  Arg 0: 0 = default
+/// zero-copy config (must report 0), 1 = copy_at_stack_crossing ablation.
+/// Arg 1: concurrent flows kept live in the NAT's conntrack table — the
+/// regression context for the per-forward mapping lookup (the
+/// conntrack_entries counter records the table size the fast path
+/// searched).
 void BM_NatForwardSim(benchmark::State& state) {
   const bool ablation = state.range(0) != 0;
+  const int flows = static_cast<int>(state.range(1));
   net::StackConfig nat_cfg;
   nat_cfg.copy_at_stack_crossing = ablation;
+  // The background flows only send once: a generous idle budget keeps the
+  // table at the configured size for the whole measured run.
+  net::NatConfig ncfg;
+  ncfg.timeouts.udp_idle = util::seconds(1'000'000);
   net::Network netw{11};
   auto& inside = netw.add_host("inside");
   auto& outside = netw.add_host("outside");
-  auto& nat = netw.add_nat("nat", net::NatType::kPortRestrictedCone, nat_cfg);
+  auto& nat =
+      netw.add_nat("nat", net::NatType::kPortRestrictedCone, nat_cfg, ncfg);
   sim::LinkConfig link;
   link.delay = util::microseconds(20);
   netw.connect(inside.stack(), {"eth0", net::Ipv4Address(10, 0, 0, 2), 24},
@@ -247,7 +256,19 @@ void BM_NatForwardSim(benchmark::State& state) {
       [&](net::Ipv4Address, std::uint16_t, util::Buffer) { ++received; });
   auto client = inside.stack().udp_bind(5555);
   const std::vector<std::uint8_t> payload(1372, 0x5A);
-  // Warm up ARP resolution and the NAT mapping.
+  // Background flows populate the conntrack table the measured flow's
+  // lookups must traverse (one mapping per inside port).
+  std::vector<std::shared_ptr<net::UdpSocket>> background;
+  for (int i = 1; i < flows; ++i) {
+    auto sock =
+        inside.stack().udp_bind(static_cast<std::uint16_t>(20000 + i));
+    sock->send_to(net::Ipv4Address(8, 0, 0, 2), 7000, {0x42});
+    background.push_back(std::move(sock));
+    // Drain in batches so the one-shot burst does not overrun the link
+    // queue (a dropped datagram would never create its mapping).
+    if (i % 64 == 0) netw.loop().run_for(util::milliseconds(10));
+  }
+  // Warm up ARP resolution and the measured flow's NAT mapping.
   client->send_to(net::Ipv4Address(8, 0, 0, 2), 7000, payload);
   netw.loop().run_for(util::seconds(1));
   const auto copied_before = nat.stack().counters().payload_bytes_copied;
@@ -263,8 +284,14 @@ void BM_NatForwardSim(benchmark::State& state) {
       iters;
   state.counters["delivered_fraction"] =
       static_cast<double>(received - received_before) / iters;
+  state.counters["conntrack_entries"] =
+      static_cast<double>(nat.mapping_count());
 }
-BENCHMARK(BM_NatForwardSim)->Arg(0)->Arg(1);
+BENCHMARK(BM_NatForwardSim)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 256})
+    ->Args({0, 4096});
 
 void BM_TcpSegmentRoundTrip(benchmark::State& state) {
   const auto src = net::Ipv4Address(10, 0, 0, 1);

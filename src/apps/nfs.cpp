@@ -194,13 +194,18 @@ void NfsClient::read_file(const std::string& name, std::uint64_t size,
       (size + cfg_.block_size - 1) / cfg_.block_size;
   auto next = std::make_shared<std::function<void(std::uint64_t)>>();
   auto done_p = std::make_shared<std::function<void(bool)>>(std::move(done));
-  *next = [this, name, blocks, next, done_p](std::uint64_t i) {
+  // The step function captures itself weakly; the strong reference lives
+  // in the in-flight RPC continuation, so the chain frees itself on
+  // completion (or with the client's queue) instead of cycling forever.
+  *next = [this, name, blocks, next_w = std::weak_ptr(next),
+           done_p](std::uint64_t i) {
     if (i >= blocks) {
       (*done_p)(true);
       return;
     }
-    read_block(name, i, [next, i](std::vector<std::uint8_t>) {
-      (*next)(i + 1);
+    auto self = next_w.lock();
+    read_block(name, i, [self, i](std::vector<std::uint8_t>) {
+      (*self)(i + 1);
     });
   };
   (*next)(0);

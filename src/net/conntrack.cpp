@@ -1,0 +1,79 @@
+#include "net/conntrack.hpp"
+
+namespace ipop::net {
+
+const char* ct_tcp_state_name(CtTcpState s) {
+  switch (s) {
+    case CtTcpState::kNone: return "NONE";
+    case CtTcpState::kSynSent: return "SYN_SENT";
+    case CtTcpState::kSynRecv: return "SYN_RECV";
+    case CtTcpState::kEstablished: return "ESTABLISHED";
+    case CtTcpState::kFinWait: return "FIN_WAIT";
+    case CtTcpState::kTimeWait: return "TIME_WAIT";
+    case CtTcpState::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+
+void CtFlow::on_tcp_flags(const TcpFlags& f, bool from_originator) {
+  if (f.rst) {
+    tcp = CtTcpState::kClosed;
+    return;
+  }
+  if (f.syn && !f.ack) {
+    // A fresh SYN restarts tracking — including tuple reuse after a
+    // closed flow's state has not yet been swept (port churn).
+    tcp = CtTcpState::kSynSent;
+    fin_seen[0] = fin_seen[1] = false;
+    return;
+  }
+  if (f.syn && f.ack) {
+    if (!from_originator &&
+        (tcp == CtTcpState::kSynSent || tcp == CtTcpState::kNone)) {
+      tcp = CtTcpState::kSynRecv;
+    }
+    return;
+  }
+  if (f.fin) {
+    fin_seen[from_originator ? 0 : 1] = true;
+    tcp = (fin_seen[0] && fin_seen[1]) ? CtTcpState::kTimeWait
+                                       : CtTcpState::kFinWait;
+    return;
+  }
+  // Plain ACK: completes the handshake; a mid-flow pickup (no handshake
+  // observed) is assumed established, as real trackers do with loose
+  // pickup enabled.
+  if (tcp == CtTcpState::kSynRecv || tcp == CtTcpState::kNone) {
+    tcp = CtTcpState::kEstablished;
+  }
+}
+
+util::Duration CtFlow::timeout(IpProto proto,
+                               const ConntrackTimeouts& t) const {
+  switch (proto) {
+    case IpProto::kUdp: return t.udp_idle;
+    case IpProto::kIcmp: return t.icmp_idle;
+    case IpProto::kTcp: break;
+  }
+  switch (tcp) {
+    case CtTcpState::kNone:
+    case CtTcpState::kSynSent:
+    case CtTcpState::kSynRecv: return t.tcp_syn;
+    case CtTcpState::kEstablished: return t.tcp_established;
+    case CtTcpState::kFinWait: return t.tcp_fin_wait;
+    case CtTcpState::kTimeWait: return t.tcp_time_wait;
+    case CtTcpState::kClosed: return t.tcp_closed;
+  }
+  return t.tcp_syn;
+}
+
+std::optional<TcpFlags> tcp_flags_of(const Ipv4Packet& pkt) {
+  if (pkt.hdr.proto != IpProto::kTcp) return std::nullopt;
+  try {
+    return TcpView::parse(pkt.payload.view()).flags;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ipop::net

@@ -1,17 +1,42 @@
 #include "net/firewall.hpp"
 
-#include "net/l4_patch.hpp"
 #include "util/logging.hpp"
 
 namespace ipop::net {
 
-Firewall::Firewall(sim::EventLoop& loop, std::string name, StackConfig scfg)
-    : name_(std::move(name)), stack_(loop, name_, scfg) {
+Firewall::Firewall(sim::EventLoop& loop, std::string name, StackConfig scfg,
+                   FirewallConfig fwcfg)
+    : name_(std::move(name)),
+      stack_(loop, name_, scfg),
+      fwcfg_(fwcfg),
+      sweeper_(loop, fwcfg.sweep_interval, [this](util::TimePoint now) {
+        expire_idle(now);
+        return !conntrack_.empty();
+      }) {
   stack_.set_forwarding(true);
   stack_.set_forward_hook(
       [this](const Ipv4Packet& pkt, std::size_t in_if, std::size_t out_if) {
         return filter(pkt, in_if, out_if);
       });
+}
+
+Firewall::~Firewall() = default;
+
+void Firewall::expire_idle(util::TimePoint now) {
+  for (auto it = conntrack_.begin(); it != conntrack_.end();) {
+    if (it->second.expired(now, it->first.proto, fwcfg_.timeouts)) {
+      IPOP_LOG_DEBUG(name_ << ": expired conntrack "
+                           << it->first.a_ip.to_string() << ":"
+                           << it->first.a_port << " -> "
+                           << it->first.b_ip.to_string() << ":"
+                           << it->first.b_port << " ("
+                           << ct_tcp_state_name(it->second.tcp) << ")");
+      it = conntrack_.erase(it);
+      ++stats_.conntrack_expired;
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::optional<Firewall::FlowKey> Firewall::flow_of(const Ipv4Packet& pkt) {
@@ -23,13 +48,80 @@ std::optional<Firewall::FlowKey> Firewall::flow_of(const Ipv4Packet& pkt) {
                  eps->second.ip, eps->second.port};
 }
 
+void Firewall::note_tracked(CtFlow& flow, const Ipv4Packet& pkt,
+                            bool from_originator) {
+  if (auto flags = tcp_flags_of(pkt)) {
+    flow.on_tcp_flags(*flags, from_originator);
+  }
+  flow.last_used = stack_.loop().now();
+}
+
+CtFlow& Firewall::track_new(const FlowKey& key) {
+  auto [it, inserted] = conntrack_.try_emplace(key);
+  if (inserted) sweeper_.ensure_armed();
+  return it->second;
+}
+
 bool Firewall::filter(const Ipv4Packet& pkt, std::size_t in_if,
                       std::size_t /*out_if*/) {
+  const bool outbound = in_if == 0;
   auto flow = flow_of(pkt);
-  if (!flow) return false;
+  if (!flow) {
+    // Non-echo ICMP: errors about a tracked flow pass as related traffic.
+    if (pkt.hdr.proto == IpProto::kIcmp) {
+      return filter_icmp_error(pkt, outbound);
+    }
+    return false;
+  }
 
-  if (in_if == 0) {
-    // Outbound (inside -> outside): first matching chain rule wins.
+  const auto flags = tcp_flags_of(pkt);
+  if (flags && flags->syn && !flags->ack) {
+    // A fresh SYN never rides an existing entry (netfilter semantics):
+    // letting it would turn any tracked tuple into a renewable hole an
+    // outside host could keep open with bare SYNs.
+    auto it = conntrack_.find(*flow);
+    const bool from_originator = it != conntrack_.end();
+    if (!from_originator) it = conntrack_.find(flow->reversed());
+    if (it != conntrack_.end()) {
+      if (from_originator && (it->second.tcp == CtTcpState::kSynSent ||
+                              it->second.tcp == CtTcpState::kSynRecv)) {
+        // The originator retransmitting its own SYN (e.g. the SYN-ACK
+        // was lost on the inside leg): still the same half-open flow.
+        note_tracked(it->second, pkt, /*from_originator=*/true);
+        ++(outbound ? stats_.allowed_out : stats_.allowed_in_established);
+        return true;
+      }
+      if (it->second.tcp == CtTcpState::kTimeWait ||
+          it->second.tcp == CtTcpState::kClosed) {
+        // Tuple reuse after teardown: the dead entry is dropped and the
+        // SYN is admitted only if the chains accept a NEW flow below.
+        conntrack_.erase(it);
+      } else {
+        // SYN inside a live flow: invalid — drop without refreshing (or
+        // restarting) the tracked state.
+        ++(outbound ? stats_.blocked_out : stats_.blocked_in);
+        return false;
+      }
+    }
+  } else {
+    // Tracked flows bypass the chains in both orientations (stateful
+    // semantics: established traffic keeps flowing even under
+    // default-deny policies); the entry's TCP state advances with every
+    // segment.
+    if (auto it = conntrack_.find(*flow); it != conntrack_.end()) {
+      note_tracked(it->second, pkt, /*from_originator=*/true);
+      ++(outbound ? stats_.allowed_out : stats_.allowed_in_established);
+      return true;
+    }
+    if (auto it = conntrack_.find(flow->reversed()); it != conntrack_.end()) {
+      note_tracked(it->second, pkt, /*from_originator=*/false);
+      ++(outbound ? stats_.allowed_out : stats_.allowed_in_established);
+      return true;
+    }
+  }
+
+  if (outbound) {
+    // New flow inside -> outside: first matching chain rule wins.
     FwAction action = outbound_default_;
     for (const auto& [rule_action, rule] : outbound_chain_) {
       if (rule.matches(flow->proto, flow->a_ip, flow->a_port, flow->b_ip,
@@ -42,23 +134,17 @@ bool Firewall::filter(const Ipv4Packet& pkt, std::size_t in_if,
       ++stats_.blocked_out;
       return false;
     }
-    conntrack_.insert(*flow);
+    note_tracked(track_new(*flow), pkt, /*from_originator=*/true);
     ++stats_.allowed_out;
     return true;
   }
 
-  // Inbound (outside -> inside): allow replies to tracked flows.
-  const FlowKey reverse{flow->proto, flow->b_ip, flow->b_port, flow->a_ip,
-                        flow->a_port};
-  if (conntrack_.count(reverse) > 0) {
-    ++stats_.allowed_in_established;
-    return true;
-  }
+  // New flow outside -> inside: denied unless a rule punctures the wall.
   for (const auto& rule : inbound_rules_) {
     if (rule.matches(flow->proto, flow->a_ip, flow->a_port, flow->b_ip,
                      flow->b_port)) {
       // Admit and track so the inside host's replies flow out statefully.
-      conntrack_.insert(*flow);
+      note_tracked(track_new(*flow), pkt, /*from_originator=*/true);
       ++stats_.allowed_in_rule;
       return true;
     }
@@ -67,6 +153,26 @@ bool Firewall::filter(const Ipv4Packet& pkt, std::size_t in_if,
   IPOP_LOG_DEBUG(name_ << ": blocked inbound " << flow->a_ip.to_string() << ":"
                        << flow->a_port << " -> " << flow->b_ip.to_string()
                        << ":" << flow->b_port);
+  return false;
+}
+
+bool Firewall::filter_icmp_error(const Ipv4Packet& pkt, bool outbound) {
+  auto q = icmp_error_quote(pkt);
+  if (q) {
+    // The quoted packet is one this box forwarded earlier; admit the
+    // error if that flow is tracked in either orientation (conntrack's
+    // RELATED state).  The error itself does not refresh the flow.
+    const FlowKey quoted{q->proto, q->src.ip, q->src.port, q->dst.ip,
+                         q->dst.port};
+    if (conntrack_.count(quoted) > 0 ||
+        conntrack_.count(quoted.reversed()) > 0) {
+      ++stats_.allowed_related;
+      return true;
+    }
+  }
+  ++(outbound ? stats_.blocked_out : stats_.blocked_in);
+  IPOP_LOG_DEBUG(name_ << ": blocked unrelated ICMP error ("
+                       << (outbound ? "outbound" : "inbound") << ")");
   return false;
 }
 

@@ -39,6 +39,9 @@ struct IcmpMessage {
   bool is_echo() const {
     return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;
   }
+  bool is_error() const {
+    return type == IcmpType::kDestUnreachable || type == IcmpType::kTimeExceeded;
+  }
 };
 
 /// Zero-copy parsed ICMP message: `payload` aliases the input view.  Lets
@@ -58,6 +61,9 @@ struct IcmpView {
   static constexpr std::size_t kIdOffset = 4;
   static constexpr std::size_t kSeqOffset = 6;
   static constexpr std::size_t kHeaderSize = 8;
+  /// Where the quoted original IPv4 packet (header + 8 payload bytes,
+  /// RFC 792) starts inside an error message.
+  static constexpr std::size_t kQuoteOffset = kHeaderSize;
 
   /// Throws util::ParseError on truncation or bad checksum.
   static IcmpView parse(util::BufferView bytes);
@@ -68,6 +74,9 @@ struct IcmpView {
 
   bool is_echo() const {
     return type == IcmpType::kEchoRequest || type == IcmpType::kEchoReply;
+  }
+  bool is_error() const {
+    return type == IcmpType::kDestUnreachable || type == IcmpType::kTimeExceeded;
   }
 };
 

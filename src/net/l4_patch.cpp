@@ -73,6 +73,153 @@ std::optional<std::pair<L4Endpoint, L4Endpoint>> l4_endpoints_of(
   return std::nullopt;
 }
 
+std::optional<IcmpQuoteView> parse_ipv4_quote(util::BufferView bytes,
+                                              std::size_t base_offset) {
+  try {
+    util::BufferView quote = bytes.subview(base_offset);
+    if (quote.size() < Ipv4Header::kSize + 8) return std::nullopt;
+    util::ByteReader r(quote);
+    const std::uint8_t ver_ihl = r.u8();
+    if (ver_ihl != 0x45) return std::nullopt;  // options / not IPv4
+    r.u8();   // tos
+    r.u16();  // total length (covers bytes the quote truncated away)
+    r.u16();  // id
+    r.u16();  // flags/fragment
+    r.u8();   // ttl
+    const auto proto = static_cast<IpProto>(r.u8());
+    r.u16();  // quoted header checksum: patched, never validated, here
+    IcmpQuoteView q;
+    q.proto = proto;
+    q.src_ip = Ipv4Address(r.u32());
+    q.dst_ip = Ipv4Address(r.u32());
+    q.ip_offset = base_offset;
+    q.l4_offset = base_offset + Ipv4Header::kSize;
+    q.l4_len = quote.size() - Ipv4Header::kSize;
+    util::BufferView l4 = quote.subview(Ipv4Header::kSize);
+    switch (proto) {
+      case IpProto::kUdp:
+      case IpProto::kTcp: {
+        util::ByteReader lr(l4);
+        q.src = L4Endpoint{q.src_ip, lr.u16()};
+        q.dst = L4Endpoint{q.dst_ip, lr.u16()};
+        return q;
+      }
+      case IpProto::kIcmp: {
+        // Only quoted echo queries map back to a tracked flow (errors are
+        // never generated about errors); the id sits in both slots, like
+        // l4_endpoints_of.
+        const auto t = static_cast<IcmpType>(l4[0]);
+        if (t != IcmpType::kEchoRequest && t != IcmpType::kEchoReply) {
+          return std::nullopt;
+        }
+        const std::uint16_t id = util::load_u16(l4.data() + IcmpView::kIdOffset);
+        q.src = L4Endpoint{q.src_ip, id};
+        q.dst = L4Endpoint{q.dst_ip, id};
+        return q;
+      }
+    }
+  } catch (const util::ParseError&) {
+  }
+  return std::nullopt;
+}
+
+std::optional<IcmpQuoteView> icmp_error_quote(const Ipv4Packet& pkt) {
+  if (pkt.hdr.proto != IpProto::kIcmp) return std::nullopt;
+  try {
+    IcmpView v = IcmpView::parse_headers(pkt.payload.view());
+    if (!v.is_error()) return std::nullopt;
+    return parse_ipv4_quote(pkt.payload.view(), IcmpView::kQuoteOffset);
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t patch_icmp_quote_endpoint(Ipv4Packet& pkt, const IcmpQuoteView& q,
+                                      bool src_side, const L4Endpoint& repl,
+                                      std::optional<Ipv4Address> new_outer_src,
+                                      std::optional<Ipv4Address> new_outer_dst) {
+  std::size_t copied = 0;
+  if (pkt.payload.use_count() > 1) {
+    // Copy-on-write: another handle (a flooded frame, a queued
+    // retransmit) still reads the original bytes.
+    copied = pkt.payload.size();
+    pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
+  }
+  util::Buffer& b = pkt.payload;
+  // Every 16-bit word rewritten inside the ICMP message is folded into
+  // the outer ICMP checksum, which covers the whole quote.
+  ChecksumPatcher outer{util::load_u16(b.data() + IcmpView::kChecksumOffset),
+                        true};
+  auto patch_word = [&](std::size_t off, std::uint16_t v) {
+    outer.sub16(util::load_u16(b.data() + off), v);
+    b.patch_u16(off, v);
+  };
+
+  const Ipv4Address old_ip = src_side ? q.src_ip : q.dst_ip;
+  const std::uint16_t old_port = src_side ? q.src.port : q.dst.port;
+  const std::size_t addr_off = q.ip_offset + (src_side ? 12 : 16);
+  const bool ip_changed = repl.ip != old_ip;
+  const bool port_changed = repl.port != old_port;
+
+  if (ip_changed) {
+    // Quoted IP header: address words plus the quoted header checksum.
+    const std::size_t ip_csum_off = q.ip_offset + 10;
+    ChecksumPatcher inner_ip{util::load_u16(b.data() + ip_csum_off), true};
+    inner_ip.sub32(old_ip.value, repl.ip.value);
+    patch_word(addr_off, static_cast<std::uint16_t>(repl.ip.value >> 16));
+    patch_word(addr_off + 2, static_cast<std::uint16_t>(repl.ip.value));
+    patch_word(ip_csum_off, inner_ip.csum);
+  }
+
+  switch (q.proto) {
+    case IpProto::kUdp:
+    case IpProto::kTcp: {
+      const std::size_t port_off = q.l4_offset + (src_side ? 0 : 2);
+      if (port_changed) patch_word(port_off, repl.port);
+      // The quoted transport checksum (pseudo-header + ports) is only
+      // present when the 8-byte quote reaches it: always for UDP
+      // (offset 6), only for untruncated TCP quotes (offset 16).
+      const bool quoted_csum_present =
+          q.proto == IpProto::kUdp ? q.l4_len >= 8 : q.l4_len >= 18;
+      if (quoted_csum_present && (ip_changed || port_changed)) {
+        const std::size_t csum_off =
+            q.l4_offset + (q.proto == IpProto::kUdp ? UdpView::kChecksumOffset
+                                                    : TcpView::kChecksumOffset);
+        const std::uint16_t old_csum = util::load_u16(b.data() + csum_off);
+        // RFC 768: a zero UDP checksum means "not computed" — it must
+        // cross the rewrite as zero, not as an incremental update of 0.
+        if (!(q.proto == IpProto::kUdp && old_csum == 0)) {
+          ChecksumPatcher l4csum{old_csum, true};
+          if (ip_changed) l4csum.sub32(old_ip.value, repl.ip.value);
+          if (port_changed) l4csum.sub16(old_port, repl.port);
+          std::uint16_t v = l4csum.csum;
+          if (q.proto == IpProto::kUdp && v == 0) v = 0xFFFF;
+          patch_word(csum_off, v);
+        }
+      }
+      break;
+    }
+    case IpProto::kIcmp: {
+      // Quoted echo: the id swap touches the quoted ICMP checksum (no
+      // pseudo-header, so the address change costs nothing).
+      if (port_changed) {
+        const std::size_t id_off = q.l4_offset + IcmpView::kIdOffset;
+        const std::size_t csum_off = q.l4_offset + IcmpView::kChecksumOffset;
+        ChecksumPatcher inner{util::load_u16(b.data() + csum_off), true};
+        inner.sub16(old_port, repl.port);
+        patch_word(id_off, repl.port);
+        patch_word(csum_off, inner.csum);
+      }
+      break;
+    }
+  }
+
+  b.patch_u16(IcmpView::kChecksumOffset, outer.csum);
+  if (new_outer_src) pkt.hdr.src = *new_outer_src;
+  if (new_outer_dst) pkt.hdr.dst = *new_outer_dst;
+  return copied;
+}
+
 std::size_t patch_l4_endpoints(Ipv4Packet& pkt,
                                std::optional<L4Endpoint> new_src,
                                std::optional<L4Endpoint> new_dst) {

@@ -45,4 +45,44 @@ std::size_t patch_l4_endpoints(Ipv4Packet& pkt,
                                std::optional<L4Endpoint> new_src,
                                std::optional<L4Endpoint> new_dst);
 
+/// Parsed view of the IPv4 + truncated-L4 quote inside an ICMP error
+/// message (RFC 792: original header + at least 8 payload bytes).  The
+/// offsets are relative to the start of the ICMP message, so a middlebox
+/// can patch the quote in place inside `pkt.payload`.
+struct IcmpQuoteView {
+  IpProto proto;      // quoted packet's transport protocol
+  Ipv4Address src_ip; // quoted packet's addresses
+  Ipv4Address dst_ip;
+  L4Endpoint src;     // quoted transport endpoints (ports / echo id)
+  L4Endpoint dst;
+  std::size_t ip_offset = 0;  // quoted IPv4 header
+  std::size_t l4_offset = 0;  // quoted transport header (first bytes)
+  std::size_t l4_len = 0;     // quoted transport bytes available (>= 8)
+};
+
+/// Parse a quoted IPv4 packet starting at `base_offset` within `bytes`.
+/// Returns nullopt when the quote is malformed or carries a protocol /
+/// ICMP type no middlebox can map to a flow.  The quoted header checksum
+/// is not validated (middleboxes do not own it) and the quote is allowed
+/// to be truncated after 8 transport bytes.
+std::optional<IcmpQuoteView> parse_ipv4_quote(util::BufferView bytes,
+                                              std::size_t base_offset = 0);
+
+/// Classify `pkt` as an ICMP error (kDestUnreachable / kTimeExceeded)
+/// and parse its embedded quote.  Returns nullopt for anything else.
+std::optional<IcmpQuoteView> icmp_error_quote(const Ipv4Packet& pkt);
+
+/// Rewrite one endpoint of the quote embedded in ICMP-error `pkt` in
+/// place: the quoted IP address + port (or echo id) on the source side
+/// (`src_side` true) or destination side, plus the outer IP header
+/// addresses.  All checksums are fixed incrementally — the quoted IP
+/// header checksum, the quoted UDP/TCP/ICMP checksum where the quote
+/// carries it (a zero quoted UDP checksum stays zero per RFC 768), and
+/// the outer ICMP checksum over the rewritten quote.  Returns payload
+/// bytes copied: 0 in place, the payload size under copy-on-write.
+std::size_t patch_icmp_quote_endpoint(Ipv4Packet& pkt, const IcmpQuoteView& q,
+                                      bool src_side, const L4Endpoint& repl,
+                                      std::optional<Ipv4Address> new_outer_src,
+                                      std::optional<Ipv4Address> new_outer_dst);
+
 }  // namespace ipop::net

@@ -24,7 +24,11 @@ NatBox::NatBox(sim::EventLoop& loop, std::string name, NatType type,
       stack_(loop, name_, scfg),
       type_(type),
       ncfg_(ncfg),
-      next_ext_port_(ncfg.first_ext_port) {
+      next_ext_port_(ncfg.first_ext_port),
+      sweeper_(loop, ncfg.sweep_interval, [this](util::TimePoint now) {
+        expire_idle(now);
+        return !mappings_.empty();
+      }) {
   stack_.set_forwarding(true);
   stack_.set_prerouting_hook([this](Ipv4Packet& pkt, std::size_t in_iface) {
     if (in_iface == 1) return dnat(pkt, in_iface);
@@ -38,27 +42,16 @@ NatBox::NatBox(sim::EventLoop& loop, std::string name, NatType type,
   });
 }
 
-NatBox::~NatBox() {
-  if (sweep_timer_ != 0) stack_.loop().cancel(sweep_timer_);
-}
-
-void NatBox::schedule_sweep() {
-  // Armed lazily (first mapping) and re-armed only while mappings remain,
-  // so an idle NAT leaves the event loop drainable.
-  sweep_timer_ = stack_.loop().schedule_after(ncfg_.sweep_interval, [this] {
-    sweep_timer_ = 0;
-    expire_idle(stack_.loop().now());
-    if (!mappings_.empty()) schedule_sweep();
-  });
-}
+NatBox::~NatBox() = default;
 
 void NatBox::expire_idle(util::TimePoint now) {
   for (auto it = mappings_.begin(); it != mappings_.end();) {
-    if (now - it->second.last_used > ncfg_.mapping_idle_timeout) {
+    if (it->second.flow.expired(now, it->first.proto, ncfg_.timeouts)) {
       IPOP_LOG_DEBUG(name_ << ": expired mapping "
                            << it->second.inside.ip.to_string() << ":"
                            << it->second.inside.port << " (ext port "
-                           << it->second.ext_port << ")");
+                           << it->second.ext_port << ", "
+                           << ct_tcp_state_name(it->second.flow.tcp) << ")");
       by_ext_port_.erase({it->first.proto, it->second.ext_port});
       --ext_ports_in_use_[it->first.proto];
       it = mappings_.erase(it);
@@ -67,6 +60,12 @@ void NatBox::expire_idle(util::TimePoint now) {
       ++it;
     }
   }
+}
+
+CtTcpState NatBox::tcp_state_of(std::uint16_t ext_port) const {
+  auto it = by_ext_port_.find({IpProto::kTcp, ext_port});
+  if (it == by_ext_port_.end()) return CtTcpState::kNone;
+  return mappings_.at(it->second).flow.tcp;
 }
 
 std::uint16_t NatBox::alloc_ext_port(IpProto proto) {
@@ -93,6 +92,12 @@ void NatBox::rewrite(Ipv4Packet& pkt, std::optional<Endpoint> new_src,
       patch_l4_endpoints(pkt, std::move(new_src), std::move(new_dst));
 }
 
+void NatBox::track_tcp(Mapping& m, const Ipv4Packet& pkt, bool from_inside) {
+  if (auto flags = tcp_flags_of(pkt)) {
+    m.flow.on_tcp_flags(*flags, from_inside);
+  }
+}
+
 NatBox::Mapping* NatBox::find_or_create(IpProto proto, const Endpoint& inside,
                                         const Endpoint& dst) {
   MapKey key{proto, inside, std::nullopt};
@@ -110,23 +115,27 @@ NatBox::Mapping* NatBox::find_or_create(IpProto proto, const Endpoint& inside,
     it = mappings_.emplace(key, std::move(m)).first;
     by_ext_port_[{proto, ext}] = key;
     ++ext_ports_in_use_[proto];
-    if (sweep_timer_ == 0) schedule_sweep();
+    sweeper_.ensure_armed();
     ++stats_.mappings_created;
     IPOP_LOG_DEBUG(name_ << ": new " << nat_type_name(type_) << " mapping "
                          << inside.ip.to_string() << ":" << inside.port
                          << " -> ext port " << it->second.ext_port);
   }
-  it->second.last_used = stack_.loop().now();
+  it->second.flow.last_used = stack_.loop().now();
   return &it->second;
 }
 
 bool NatBox::snat(Ipv4Packet& pkt, std::size_t /*out_iface*/) {
+  if (pkt.hdr.proto == IpProto::kIcmp) {
+    if (auto q = icmp_error_quote(pkt)) return snat_icmp_error(pkt, *q);
+  }
   auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;  // untranslatable protocol: drop
   auto& [src, dst] = *eps;
   Mapping* m = find_or_create(pkt.hdr.proto, src, dst);
   if (m == nullptr) return false;  // external port space exhausted
   m->contacted.insert(dst);
+  track_tcp(*m, pkt, /*from_inside=*/true);
   try {
     rewrite(pkt, Endpoint{external_ip(), m->ext_port}, std::nullopt);
   } catch (const util::ParseError&) {
@@ -167,6 +176,9 @@ bool NatBox::inbound_allowed(const Mapping& m, const Endpoint& remote,
 
 bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
   if (!stack_.is_local_ip(pkt.hdr.dst)) return true;  // not for our ext IP
+  if (pkt.hdr.proto == IpProto::kIcmp) {
+    if (auto q = icmp_error_quote(pkt)) return dnat_icmp_error(pkt, *q);
+  }
   auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;
   auto& [remote, ext] = *eps;
@@ -187,8 +199,76 @@ bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
   } catch (const util::ParseError&) {
     return false;
   }
-  m.last_used = stack_.loop().now();
+  track_tcp(m, pkt, /*from_inside=*/false);
+  m.flow.last_used = stack_.loop().now();
   ++stats_.translated_in;
+  return true;
+}
+
+bool NatBox::dnat_icmp_error(Ipv4Packet& pkt, const IcmpQuoteView& q) {
+  // The quote is the outbound packet as it left this box post-SNAT: its
+  // source must be one of our external endpoints.  Match it back to the
+  // mapping by external port.  Unlike regular inbound traffic the error
+  // may legitimately come from *any* address on the path (an intermediate
+  // router), so the related-flow admission skips the per-type address
+  // filtering — this is what conntrack's RELATED state does.
+  if (q.src_ip != external_ip()) {
+    ++stats_.icmp_errors_orphaned;
+    return false;
+  }
+  auto key_it = by_ext_port_.find({q.proto, q.src.port});
+  if (key_it == by_ext_port_.end()) {
+    ++stats_.icmp_errors_orphaned;
+    return false;
+  }
+  Mapping& m = mappings_.at(key_it->second);
+  // The quoted packet must be one the inside host actually sent: an
+  // off-path forger who guessed a live external port still cannot name a
+  // destination this mapping never contacted.  (For the symmetric type
+  // this also pins the per-destination mapping.)  A quoted echo carries
+  // the *rewritten* query id in its port slot, so — like inbound_allowed
+  // — ICMP can only match per destination IP.
+  bool contacted = false;
+  if (q.proto == IpProto::kIcmp) {
+    for (const auto& c : m.contacted) {
+      if (c.ip == q.dst.ip) {
+        contacted = true;
+        break;
+      }
+    }
+  } else {
+    contacted = m.contacted.count(q.dst) > 0;
+  }
+  if (!contacted) {
+    ++stats_.icmp_errors_orphaned;
+    return false;
+  }
+  stats_.rewrite_bytes_copied += patch_icmp_quote_endpoint(
+      pkt, q, /*src_side=*/true, m.inside,
+      /*new_outer_src=*/std::nullopt, /*new_outer_dst=*/m.inside.ip);
+  ++stats_.icmp_errors_translated_in;
+  IPOP_LOG_DEBUG(name_ << ": translated inbound ICMP error for ext port "
+                       << q.src.port << " back to "
+                       << m.inside.ip.to_string() << ":" << m.inside.port);
+  return true;
+}
+
+bool NatBox::snat_icmp_error(Ipv4Packet& pkt, const IcmpQuoteView& q) {
+  // An inside host reporting on an inbound (post-DNAT) packet: the quote's
+  // destination is the inside endpoint; restore the external view before
+  // the error leaves.
+  MapKey key{q.proto, q.dst, std::nullopt};
+  if (type_ == NatType::kSymmetric) key.dst = q.src;
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) {
+    ++stats_.icmp_errors_orphaned;
+    return false;
+  }
+  const Endpoint ext{external_ip(), it->second.ext_port};
+  stats_.rewrite_bytes_copied += patch_icmp_quote_endpoint(
+      pkt, q, /*src_side=*/false, ext,
+      /*new_outer_src=*/external_ip(), /*new_outer_dst=*/std::nullopt);
+  ++stats_.icmp_errors_translated_out;
   return true;
 }
 

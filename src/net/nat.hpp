@@ -10,10 +10,19 @@
 //
 // Translations patch ports/ids and checksums in place in the packet's
 // shared buffer (net/l4_patch.hpp) — a forwarded packet crosses the box
-// with zero payload copies.  Mappings carry an idle timeout: a periodic
-// sweep reclaims stale entries and their external ports, so a long-lived
-// box neither grows without bound nor wraps its port counter into stale
-// by-external-port state.
+// with zero payload copies.  Mapping lifetime is connection-tracked
+// (net/conntrack.hpp): UDP and ICMP age on idle timers, TCP follows the
+// observed SYN/FIN/RST lifecycle — short budgets for half-open and
+// closing flows, a long one for established connections — and a periodic
+// sweep reclaims dead entries together with their external ports, so a
+// long-lived box neither grows without bound nor wraps its port counter
+// into stale by-external-port state.
+//
+// ICMP errors generated beyond the box (TTL exceeded, port unreachable,
+// frag needed) are translated back to the inside host by parsing the
+// quoted original packet out of the error, matching it to a live mapping
+// and rewriting both the outer header and the embedded quote in place —
+// traceroute and path-MTU discovery work across the NAT.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,7 @@
 #include <set>
 #include <string>
 
+#include "net/conntrack.hpp"
 #include "net/l4_patch.hpp"
 #include "net/stack.hpp"
 
@@ -37,10 +47,9 @@ enum class NatType {
 const char* nat_type_name(NatType t);
 
 struct NatConfig {
-  /// Mappings idle longer than this are reclaimed together with their
-  /// external port.  Brunet pings idle edges every ~5 s, so live overlay
-  /// flows comfortably outlive the default.
-  util::Duration mapping_idle_timeout = util::seconds(60);
+  /// Per-protocol / per-TCP-state mapping lifetimes.  A mapping idle past
+  /// its budget is reclaimed together with its external port.
+  ConntrackTimeouts timeouts;
   /// Cadence of the reclamation sweep.
   util::Duration sweep_interval = util::seconds(10);
   /// First external port handed out; allocation wraps within
@@ -55,6 +64,12 @@ struct NatStats {
   std::uint64_t translated_in = 0;
   std::uint64_t blocked_in = 0;
   std::uint64_t dropped_port_exhausted = 0;
+  /// ICMP errors whose embedded quote matched a live mapping and was
+  /// rewritten back to the inside (in) / out to the public side (out).
+  std::uint64_t icmp_errors_translated_in = 0;
+  std::uint64_t icmp_errors_translated_out = 0;
+  /// ICMP errors quoting no live mapping (dropped).
+  std::uint64_t icmp_errors_orphaned = 0;
   /// Payload bytes copied by rewrites: 0 on the unicast fast path (ports
   /// are patched in place); copy-on-write on shared storage counts here.
   std::uint64_t rewrite_bytes_copied = 0;
@@ -81,10 +96,13 @@ class NatBox {
   /// The external address used for translations (outside interface IP).
   Ipv4Address external_ip() const { return stack_.interface_ip(1); }
 
-  /// Live translation entries (bounded by the idle sweep).
+  /// Live translation entries (bounded by the conntrack sweep).
   std::size_t mapping_count() const { return mappings_.size(); }
-  /// Drop mappings idle past the timeout, releasing their external ports.
-  /// Runs on a periodic timer; exposed for tests.
+  /// Tracked TCP state of the mapping holding `ext_port`, for tests and
+  /// introspection; kNone for unmapped ports and non-TCP mappings.
+  CtTcpState tcp_state_of(std::uint16_t ext_port) const;
+  /// Drop mappings idle past their conntrack budget, releasing their
+  /// external ports.  Runs on a periodic timer; exposed for tests.
   void expire_idle(util::TimePoint now);
 
  private:
@@ -103,12 +121,20 @@ class NatBox {
     // Destinations this internal endpoint has sent to (for the cone
     // filtering rules).
     std::set<Endpoint> contacted;
-    // Refreshed by traffic in either direction; drives idle expiry.
-    util::TimePoint last_used{};
+    // TCP lifecycle + last-used time; drives per-state expiry.
+    CtFlow flow;
   };
 
   bool snat(Ipv4Packet& pkt, std::size_t out_iface);
   bool dnat(Ipv4Packet& pkt, std::size_t in_iface);
+  /// Translate an ICMP error crossing inward (outer dst = external IP):
+  /// match the quoted source endpoint to a mapping by external port and
+  /// rewrite outer dst + embedded quote back to the inside endpoint.
+  bool dnat_icmp_error(Ipv4Packet& pkt, const IcmpQuoteView& q);
+  /// Translate an ICMP error crossing outward (an inside host reporting
+  /// on an inbound flow): rewrite outer src + embedded quoted destination
+  /// to the external endpoint.
+  bool snat_icmp_error(Ipv4Packet& pkt, const IcmpQuoteView& q);
   bool inbound_allowed(const Mapping& m, const Endpoint& remote,
                        IpProto proto) const;
   /// nullptr when the external port space is exhausted.
@@ -116,9 +142,8 @@ class NatBox {
                           const Endpoint& dst);
   /// 0 when every port in [first_ext_port, 65535] is in use.
   std::uint16_t alloc_ext_port(IpProto proto);
-  /// Armed lazily when the first mapping appears; stops re-arming once
-  /// the table drains, so an idle NAT leaves the event loop drainable.
-  void schedule_sweep();
+  /// Advance the mapping's TCP state machine off the packet's flags.
+  void track_tcp(Mapping& m, const Ipv4Packet& pkt, bool from_inside);
 
   /// Rewrite source or destination endpoint in place (ports/ids patched
   /// in the shared buffer, checksums updated incrementally).
@@ -134,7 +159,7 @@ class NatBox {
   std::map<std::pair<IpProto, std::uint16_t>, MapKey> by_ext_port_;
   std::map<IpProto, std::size_t> ext_ports_in_use_;
   std::uint16_t next_ext_port_;
-  std::uint64_t sweep_timer_ = 0;
+  CtSweepTimer sweeper_;
 };
 
 }  // namespace ipop::net

@@ -58,6 +58,14 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket> {
   UdpSocket(Stack* stack, std::uint16_t port) : stack_(stack), port_(port) {}
 
   void deliver(Ipv4Address src, std::uint16_t src_port, util::Buffer data);
+  /// Called by ~Stack: unhook from the dying stack and drop the receive
+  /// handlers, whose captures may hold the only shared_ptr cycle keeping
+  /// this socket alive.
+  void detach() {
+    stack_ = nullptr;
+    handler_ = nullptr;
+    buf_handler_ = nullptr;
+  }
 
   Stack* stack_;
   std::uint16_t port_;

@@ -26,7 +26,21 @@ Stack::Stack(sim::EventLoop& loop, std::string host_name, StackConfig cfg)
       cfg_(cfg),
       rng_(cfg.seed != 0 ? cfg.seed : hash_name(name_)) {}
 
-Stack::~Stack() = default;
+Stack::~Stack() {
+  // Break handler-capture reference cycles: a socket whose on_readable /
+  // receive handler captures a shared_ptr to itself (a common fixture and
+  // app idiom) would otherwise never be destroyed.  Detach clears those
+  // std::functions and unhooks the socket from this dying stack.
+  for (auto& w : udp_created_) {
+    if (auto s = w.lock()) s->detach();
+  }
+  for (auto& w : tcp_created_) {
+    if (auto s = w.lock()) s->detach();
+  }
+  for (auto& w : listeners_created_) {
+    if (auto l = w.lock()) l->detach();
+  }
+}
 
 std::size_t Stack::add_interface(const InterfaceConfig& icfg,
                                  sim::LinkEnd* link) {
@@ -440,7 +454,14 @@ void Stack::deliver_icmp(Ipv4Packet pkt) {
       break;
     case IcmpType::kDestUnreachable:
     case IcmpType::kTimeExceeded:
-      if (icmp_error_handler_) icmp_error_handler_(pkt.hdr.src, to_message());
+      ++counters_.icmp_errors_delivered;
+      if (icmp_error_handler_) {
+        // Invoke a copy: the handler may replace itself (net::Traceroute
+        // restores the displaced handler from inside its last callback),
+        // and reassigning the member would destroy the executing closure.
+        auto handler = icmp_error_handler_;
+        handler(pkt.hdr.src, to_message());
+      }
       break;
   }
 }
@@ -489,6 +510,7 @@ void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
   pkt.hdr.proto = IpProto::kIcmp;
   pkt.hdr.dst = original.hdr.src;
   pkt.payload = msg.encode_buffer(util::kPacketHeadroom);
+  ++counters_.icmp_errors_sent;
   send_ip(std::move(pkt));
 }
 
@@ -599,6 +621,7 @@ std::shared_ptr<UdpSocket> Stack::udp_bind(std::uint16_t port) {
   if (port == 0 || udp_socks_.count(port) > 0) return nullptr;
   auto sock = std::shared_ptr<UdpSocket>(new UdpSocket(this, port));
   udp_socks_[port] = sock;
+  remember(udp_created_, sock);
   return sock;
 }
 
@@ -624,10 +647,12 @@ std::shared_ptr<TcpListener> Stack::tcp_listen(std::uint16_t port,
   if (port == 0 || tcp_listeners_.count(port) > 0) return nullptr;
   auto listener = std::shared_ptr<TcpListener>(new TcpListener(this, port, cfg));
   tcp_listeners_[port] = listener;
+  remember(listeners_created_, listener);
   return listener;
 }
 
 void Stack::tcp_register(const TcpKey& key, std::shared_ptr<TcpSocket> sock) {
+  remember(tcp_created_, sock);
   tcp_socks_[key] = std::move(sock);
 }
 
@@ -691,8 +716,7 @@ void UdpSocket::deliver(Ipv4Address src, std::uint16_t src_port,
 void UdpSocket::close() {
   if (stack_ == nullptr) return;
   stack_->udp_unregister(port_);
-  stack_ = nullptr;
-  handler_ = nullptr;
+  detach();
 }
 
 }  // namespace ipop::net

@@ -79,6 +79,11 @@ struct StackCounters {
   std::uint64_t dropped_mtu = 0;
   std::uint64_t dropped_arp_fail = 0;
   std::uint64_t icmp_echo_replied = 0;
+  /// ICMP errors this stack generated (TTL exceeded, port/frag
+  /// unreachable) and errors delivered to the local error handler —
+  /// traceroute and PMTU-style scenarios read these.
+  std::uint64_t icmp_errors_sent = 0;
+  std::uint64_t icmp_errors_delivered = 0;
   /// Payload bytes memcpy'd by this stack: 0 on the default zero-copy
   /// path; the copy_at_stack_crossing ablation, owning-vector socket
   /// APIs and shared-storage reallocations account here.
@@ -145,6 +150,9 @@ class Stack {
   void set_icmp_error_handler(IcmpErrorHandler h) {
     icmp_error_handler_ = std::move(h);
   }
+  /// Current handler — lets a tool (net::Traceroute) take the slot over
+  /// temporarily and restore it when done.
+  IcmpErrorHandler icmp_error_handler() const { return icmp_error_handler_; }
 
   // --- sockets -----------------------------------------------------------
   /// Bind a UDP socket; port 0 picks an ephemeral port.  Returns nullptr if
@@ -239,6 +247,20 @@ class Stack {
   void tcp_unregister(const TcpKey& key);
   void udp_unregister(std::uint16_t port);
 
+  /// Every socket/listener ever created on this stack, weakly held (the
+  /// live maps above only cover *open* ones).  ~Stack walks these and
+  /// detaches survivors — clearing user callbacks that capture shared
+  /// pointers back to the socket — so handler-capture reference cycles
+  /// cannot outlive the stack (LeakSanitizer runs clean over the tests).
+  template <typename T>
+  static void remember(std::vector<std::weak_ptr<T>>& reg,
+                       const std::shared_ptr<T>& sock) {
+    if (reg.size() >= 32 && reg.size() % 32 == 0) {
+      std::erase_if(reg, [](const auto& w) { return w.expired(); });
+    }
+    reg.push_back(sock);
+  }
+
   sim::EventLoop& loop_;
   std::string name_;
   std::uint64_t uid_;
@@ -258,6 +280,9 @@ class Stack {
   std::unordered_map<std::uint16_t, std::shared_ptr<UdpSocket>> udp_socks_;
   std::unordered_map<TcpKey, std::shared_ptr<TcpSocket>, TcpKeyHash> tcp_socks_;
   std::unordered_map<std::uint16_t, std::shared_ptr<TcpListener>> tcp_listeners_;
+  std::vector<std::weak_ptr<UdpSocket>> udp_created_;
+  std::vector<std::weak_ptr<TcpSocket>> tcp_created_;
+  std::vector<std::weak_ptr<TcpListener>> listeners_created_;
 
   EchoReplyHandler echo_reply_handler_;
   IcmpErrorHandler icmp_error_handler_;

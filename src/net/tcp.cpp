@@ -36,6 +36,25 @@ TcpSocket::~TcpSocket() {
   }
 }
 
+void TcpSocket::detach() {
+  if (stack_ != nullptr) {
+    if (retransmit_timer_ != 0) stack_->loop().cancel(retransmit_timer_);
+    if (persist_timer_ != 0) stack_->loop().cancel(persist_timer_);
+    if (time_wait_timer_ != 0) stack_->loop().cancel(time_wait_timer_);
+    retransmit_timer_ = persist_timer_ = time_wait_timer_ = 0;
+  }
+  stack_ = nullptr;
+  pending_listener_ = nullptr;
+  // Dead state: every user-facing entry point (send/close/abort) becomes
+  // a no-op rather than dereferencing the destroyed stack.
+  state_ = TcpState::kClosed;
+  closed_notified_ = true;
+  on_connected = nullptr;
+  on_readable = nullptr;
+  on_writable = nullptr;
+  on_closed = nullptr;
+}
+
 std::size_t TcpSocket::send_space() const {
   return cfg_.send_buf - std::min(cfg_.send_buf, send_queue_.size());
 }

@@ -121,6 +121,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
 
   TcpSocket(Stack* stack, TcpConfig cfg);
 
+  /// Called by ~Stack: cancel timers, unhook from the dying stack and
+  /// drop the user callbacks, whose captures may hold the only
+  /// shared_ptr cycle keeping this socket alive.
+  void detach();
+
   void start_connect(Ipv4Address dst, std::uint16_t dst_port,
                      Ipv4Address src, std::uint16_t src_port);
   void start_accept(Ipv4Address local, std::uint16_t local_port,
@@ -233,6 +238,10 @@ class TcpListener : public std::enable_shared_from_this<TcpListener> {
 
   void handle_syn(Ipv4Address dst_ip, const TcpSegment& syn, Ipv4Address src);
   void connection_ready(std::shared_ptr<TcpSocket> sock);
+  void detach() {
+    stack_ = nullptr;
+    handler_ = nullptr;
+  }
 
   Stack* stack_;
   std::uint16_t port_;

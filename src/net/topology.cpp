@@ -27,9 +27,10 @@ NatBox& Network::add_nat(const std::string& name, NatType type,
   return *nats_.back();
 }
 
-Firewall& Network::add_firewall(const std::string& name, StackConfig scfg) {
+Firewall& Network::add_firewall(const std::string& name, StackConfig scfg,
+                                FirewallConfig fwcfg) {
   scfg.per_packet_delay = util::microseconds(10);
-  firewalls_.push_back(std::make_unique<Firewall>(loop_, name, scfg));
+  firewalls_.push_back(std::make_unique<Firewall>(loop_, name, scfg, fwcfg));
   return *firewalls_.back();
 }
 

@@ -39,7 +39,8 @@ class Network {
   sim::Switch& add_switch(const std::string& name);
   NatBox& add_nat(const std::string& name, NatType type, StackConfig scfg = {},
                   NatConfig ncfg = {});
-  Firewall& add_firewall(const std::string& name, StackConfig scfg = {});
+  Firewall& add_firewall(const std::string& name, StackConfig scfg = {},
+                         FirewallConfig fwcfg = {});
 
   /// Wire `stack` to a switch with a new interface; returns the link.
   sim::Link& connect_to_switch(Stack& stack, const InterfaceConfig& icfg,
