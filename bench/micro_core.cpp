@@ -13,6 +13,7 @@
 
 #include "brunet/connection_table.hpp"
 #include "brunet/packet.hpp"
+#include "brunet/transport.hpp"
 #include "net/ipv4.hpp"
 #include "net/l4_patch.hpp"
 #include "net/tcp_wire.hpp"
@@ -292,6 +293,163 @@ BENCHMARK(BM_NatForwardSim)
     ->Args({1, 1})
     ->Args({0, 256})
     ->Args({0, 4096});
+
+// --- scatter-gather transport sends ----------------------------------------
+// The two send paths the BufferChain refactor rewired: TCP edges link
+// length-framed packets into the socket queue as shared handles (no
+// stream serialization copy), and UDP fan-outs share one payload buffer
+// across a sendmmsg-style batch.  `bytes_copied_per_*` counts CPU
+// memcpys on the sender (socket + stack); `bytes_gathered_per_*` is the
+// NIC-style scatter-gather walk that assembles the wire image.
+
+/// One Brunet-packet-sized buffer per iteration crosses a TcpEdge.  The
+/// sender must not copy the payload: framing is a separate 4-byte
+/// segment, the socket queue links shared handles, and segments gather
+/// queue ranges straight into the wire image.
+void BM_TcpEdgeStreamSend(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  net::Network netw{13};
+  auto& ha = netw.add_host("ea");
+  auto& hb = netw.add_host("eb");
+  sim::LinkConfig link;
+  link.delay = util::microseconds(50);
+  link.bandwidth_bps = 10e9;
+  netw.connect(ha.stack(), {"eth0", net::Ipv4Address(10, 0, 0, 1), 24},
+               hb.stack(), {"eth0", net::Ipv4Address(10, 0, 0, 2), 24}, link);
+  auto listener = hb.stack().tcp_listen(4000);
+  std::shared_ptr<brunet::TcpEdge> server_edge;
+  std::uint64_t received = 0;
+  listener->set_accept_handler([&](std::shared_ptr<net::TcpSocket> s) {
+    server_edge = std::make_shared<brunet::TcpEdge>(netw.loop(), std::move(s));
+    server_edge->attach();
+    server_edge->set_receive_handler([&](util::Buffer) { ++received; });
+  });
+  auto csock = ha.stack().tcp_connect(net::Ipv4Address(10, 0, 0, 2), 4000);
+  auto client_edge = std::make_shared<brunet::TcpEdge>(netw.loop(), csock);
+  client_edge->attach();
+  netw.loop().run_for(util::seconds(1));  // handshake + ARP warmup
+  const auto& tcp_stats = client_edge->socket()->stats();
+  const auto& stack_ctr = ha.stack().counters();
+  const auto copied0 =
+      tcp_stats.payload_bytes_copied + stack_ctr.payload_bytes_copied;
+  const auto gathered0 =
+      tcp_stats.payload_bytes_gathered + stack_ctr.payload_bytes_gathered;
+  const auto received0 = received;
+  for (auto _ : state) {
+    client_edge->send(
+        util::Buffer::allocate(payload_size, util::kPacketHeadroom));
+    netw.loop().run_for(util::milliseconds(1));
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size));
+  state.counters["bytes_copied_per_send"] =
+      static_cast<double>(tcp_stats.payload_bytes_copied +
+                          stack_ctr.payload_bytes_copied - copied0) /
+      iters;
+  state.counters["bytes_gathered_per_send"] =
+      static_cast<double>(tcp_stats.payload_bytes_gathered +
+                          stack_ctr.payload_bytes_gathered - gathered0) /
+      iters;
+  state.counters["delivered_fraction"] =
+      static_cast<double>(received - received0) / iters;
+}
+BENCHMARK(BM_TcpEdgeStreamSend)->Arg(64)->Arg(1400);
+
+struct UdpFanoutEnv {
+  net::Network netw{17};
+  net::Host* tx_host;
+  net::Host* rx_host;
+  std::shared_ptr<net::UdpSocket> tx;
+  std::shared_ptr<net::UdpSocket> rx;
+  std::uint64_t received = 0;
+
+  UdpFanoutEnv() {
+    tx_host = &netw.add_host("fa");
+    rx_host = &netw.add_host("fb");
+    sim::LinkConfig link;
+    link.delay = util::microseconds(50);
+    link.bandwidth_bps = 10e9;
+    netw.connect(tx_host->stack(), {"eth0", net::Ipv4Address(10, 0, 0, 1), 24},
+                 rx_host->stack(), {"eth0", net::Ipv4Address(10, 0, 0, 2), 24},
+                 link);
+    rx = rx_host->stack().udp_bind(7000);
+    rx->set_receive_handler(
+        [this](net::Ipv4Address, std::uint16_t, util::Buffer) { ++received; });
+    tx = tx_host->stack().udp_bind(5000);
+    // ARP warmup.
+    tx->send_to(net::Ipv4Address(10, 0, 0, 2), 7000, {0x1});
+    netw.loop().run_for(util::seconds(1));
+  }
+};
+
+/// Pre-batch fan-out: one owning vector (header + payload copied
+/// together) and one socket crossing per replica.
+void BM_UdpFanoutCopyPerDest(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  UdpFanoutEnv env;
+  const std::vector<std::uint8_t> header(48, 0xA5);
+  const std::vector<std::uint8_t> payload(1200, 0x5A);
+  const auto& c = env.tx_host->stack().counters();
+  const auto copied0 = c.payload_bytes_copied;
+  const auto calls0 = c.udp_send_calls;
+  const auto sent0 = env.tx->datagrams_sent();
+  for (auto _ : state) {
+    for (int i = 0; i < replicas; ++i) {
+      std::vector<std::uint8_t> wire = header;
+      wire.insert(wire.end(), payload.begin(), payload.end());
+      env.tx->send_to(net::Ipv4Address(10, 0, 0, 2), 7000, std::move(wire));
+    }
+    env.netw.loop().run_for(util::milliseconds(1));
+  }
+  const auto datagrams =
+      static_cast<double>(env.tx->datagrams_sent() - sent0);
+  state.counters["bytes_copied_per_datagram"] =
+      static_cast<double>(c.payload_bytes_copied - copied0) / datagrams;
+  state.counters["datagrams_per_syscall"] =
+      datagrams / static_cast<double>(c.udp_send_calls - calls0);
+}
+BENCHMARK(BM_UdpFanoutCopyPerDest)->Arg(8);
+
+/// Batched fan-out: every replica shares one payload buffer (its header
+/// rides a separate per-destination segment) and the whole batch crosses
+/// the socket once.
+void BM_UdpFanoutBatchShared(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  UdpFanoutEnv env;
+  const auto payload =
+      util::Buffer::copy_of(std::vector<std::uint8_t>(1200, 0x5A));
+  const auto& c = env.tx_host->stack().counters();
+  const auto copied0 = c.payload_bytes_copied;
+  const auto gathered0 = c.payload_bytes_gathered;
+  const auto calls0 = c.udp_send_calls;
+  const auto sent0 = env.tx->datagrams_sent();
+  for (auto _ : state) {
+    std::vector<net::UdpSendItem> items;
+    items.reserve(static_cast<std::size_t>(replicas));
+    for (int i = 0; i < replicas; ++i) {
+      util::BufferChain chain;
+      auto hdr = util::Buffer::allocate(48, util::kPacketHeadroom);
+      hdr.writable()[0] = static_cast<std::uint8_t>(i);
+      chain.append(std::move(hdr));
+      chain.append(payload.share());
+      items.push_back(
+          net::UdpSendItem{net::Ipv4Address(10, 0, 0, 2), 7000,
+                           std::move(chain)});
+    }
+    env.tx->send_batch(items);
+    env.netw.loop().run_for(util::milliseconds(1));
+  }
+  const auto datagrams =
+      static_cast<double>(env.tx->datagrams_sent() - sent0);
+  state.counters["bytes_copied_per_datagram"] =
+      static_cast<double>(c.payload_bytes_copied - copied0) / datagrams;
+  state.counters["bytes_gathered_per_datagram"] =
+      static_cast<double>(c.payload_bytes_gathered - gathered0) / datagrams;
+  state.counters["datagrams_per_syscall"] =
+      datagrams / static_cast<double>(c.udp_send_calls - calls0);
+}
+BENCHMARK(BM_UdpFanoutBatchShared)->Arg(8);
 
 void BM_TcpSegmentRoundTrip(benchmark::State& state) {
   const auto src = net::Ipv4Address(10, 0, 0, 1);

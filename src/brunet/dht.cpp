@@ -77,20 +77,24 @@ void Dht::handle_request(const Packet& pkt) {
         rec.value = r.lp_bytes();
         rec.expires = node_.host().loop().now() + cfg_.record_ttl;
         store_record(key, rec);
-        // Replicate to ring neighbors.
+        // Replicate to ring neighbors: the replica record is serialized
+        // once and the fan-out shares that one buffer — each replica
+        // packet prepends its own header segment, and replicas routing
+        // over the same edge leave in one batched transport send.
         util::ByteWriter w;
         w.u8(static_cast<std::uint8_t>(Op::kReplica));
         w.bytes(std::span<const std::uint8_t>(key.bytes().data(),
                                               Address::kBytes));
         w.u64(rec.version);
         w.lp_bytes(rec.value);
-        const auto payload = w.take();
-        std::size_t sent = 0;
+        const auto payload = util::Buffer::wrap(w.take());
+        std::vector<Address> replicas;
         for (const auto* c : node_.table().right_neighbors(cfg_.replicas)) {
-          node_.send(c->addr, PacketType::kDhtRequest, RoutingMode::kExact,
-                     payload);
-          if (++sent >= cfg_.replicas) break;
+          replicas.push_back(c->addr);
+          if (replicas.size() >= cfg_.replicas) break;
         }
+        node_.send_batch(replicas, PacketType::kDhtRequest,
+                         RoutingMode::kExact, payload.share());
         node_.respond(pkt, PacketType::kDhtResponse,
                       std::vector<std::uint8_t>{kOk});
         return;

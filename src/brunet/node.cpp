@@ -238,6 +238,88 @@ void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
   send(dst, type, mode, util::Buffer::wrap(std::move(payload)), msg_id);
 }
 
+std::size_t BrunetNode::send_batch(std::span<const Address> dsts,
+                                   PacketType type, RoutingMode mode,
+                                   util::Buffer payload) {
+  // Per-edge groups (shared_ptr: a deliver() reentering the node must
+  // not invalidate an edge we still have frames for).
+  std::vector<std::pair<std::shared_ptr<Edge>, std::vector<util::BufferChain>>>
+      batches;
+  std::size_t accepted = 0;
+  for (const Address& dst : dsts) {
+    Packet pkt;
+    pkt.type = type;
+    pkt.mode = mode;
+    pkt.ttl = cfg_.default_ttl;
+    pkt.src = addr_;
+    pkt.dst = dst;
+    ++stats_.originated;
+    if (dst == addr_) {
+      pkt.set_payload(payload.share());
+      deliver(pkt);
+      ++accepted;
+      continue;
+    }
+    const auto [best, have_closer] = pick_next_hop(dst, pkt.src);
+    if (!have_closer) {
+      if (mode == RoutingMode::kClosest) {
+        pkt.set_payload(payload.share());
+        deliver(pkt);
+        ++accepted;
+      } else if (best == nullptr) {
+        ++stats_.dropped_no_route;
+      } else {
+        ++stats_.dropped_exact;
+      }
+      continue;
+    }
+    // Per-destination header segment in front of the shared payload —
+    // the payload's storage is never duplicated across the fan-out.
+    auto chain = pkt.wire_chain(payload.share());
+    auto it = std::find_if(batches.begin(), batches.end(), [&](const auto& b) {
+      return b.first.get() == best->edge.get();
+    });
+    if (it == batches.end()) {
+      batches.emplace_back(best->edge, std::vector<util::BufferChain>{});
+      it = std::prev(batches.end());
+    }
+    it->second.push_back(std::move(chain));
+    ++accepted;
+  }
+  // Cork the shared UDP socket across the dispatch: every UDP edge's
+  // frames — whatever their destination — leave in one sendmmsg-style
+  // socket crossing.  TCP edges batch per edge (one gathered stream
+  // write each).  RAII: a throwing edge send must not leave the
+  // transport corked forever (staged datagrams would never flush).
+  struct CorkGuard {
+    UdpTransport* t;
+    explicit CorkGuard(UdpTransport* t) : t(t) {
+      if (t != nullptr) t->cork();
+    }
+    ~CorkGuard() {
+      if (t != nullptr) t->uncork();
+    }
+  } cork_guard(udp_.get());
+  for (auto& [edge, chains] : batches) {
+    if (chains.size() == 1) {
+      edge->send_chain(std::move(chains.front()));
+    } else {
+      edge->send_batch(std::move(chains));
+    }
+  }
+  return accepted;
+}
+
+BrunetNode::NextHop BrunetNode::pick_next_hop(const Address& dst,
+                                              const Address& src) const {
+  // Never route a packet back toward its source (unless the destination
+  // *is* the source, e.g. a response).
+  const Address* exclude = (dst != src) ? &src : nullptr;
+  const Connection* best = table_.closest_to(dst, exclude);
+  return {best,
+          best != nullptr && Address::closer(dst, best->addr, addr_)};
+}
+
 void BrunetNode::route(Packet pkt, bool from_transit) {
   if (from_transit) {
     if (pkt.hops >= pkt.ttl) {
@@ -253,12 +335,7 @@ void BrunetNode::route(Packet pkt, bool from_transit) {
     deliver(pkt);
     return;
   }
-  // Never route a packet back toward its source (unless the destination
-  // *is* the source, e.g. a response).
-  const Address* exclude = (pkt.dst != pkt.src) ? &pkt.src : nullptr;
-  const Connection* best = table_.closest_to(pkt.dst, exclude);
-  const bool have_closer =
-      best != nullptr && Address::closer(pkt.dst, best->addr, addr_);
+  const auto [best, have_closer] = pick_next_hop(pkt.dst, pkt.src);
   if (!have_closer) {
     if (pkt.mode == RoutingMode::kClosest) {
       deliver(pkt);

@@ -23,7 +23,9 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "brunet/connection_table.hpp"
@@ -99,6 +101,16 @@ class BrunetNode {
             util::Buffer payload, std::uint32_t msg_id = 0);
   void send(Address dst, PacketType type, RoutingMode mode,
             std::vector<std::uint8_t> payload, std::uint32_t msg_id = 0);
+  /// Fan-out send: one routed packet per destination, every packet
+  /// sharing `payload`'s storage (each destination's 48-byte header is
+  /// written into its own small segment with headroom for the transport
+  /// prepends).  Destinations routing over the same edge leave in one
+  /// batched transport send — UDP crosses the socket sendmmsg-style,
+  /// TCP as one gathered stream write.  Returns packets sent or
+  /// delivered locally (routing drops are excluded and counted in
+  /// NodeStats as usual).
+  std::size_t send_batch(std::span<const Address> dsts, PacketType type,
+                         RoutingMode mode, util::Buffer payload);
   /// Register the handler for an application packet type (kIpTunnel,
   /// kDhtRequest, kAppData); maintenance types are handled internally.
   void set_handler(PacketType type, PacketHandler handler);
@@ -154,6 +166,15 @@ class BrunetNode {
   void on_edge_closed(Edge* edge);
 
   // Routing.
+  struct NextHop {
+    const Connection* best = nullptr;
+    /// best exists and is strictly closer to the destination than we
+    /// are (the greedy-forwarding condition).
+    bool have_closer = false;
+  };
+  /// Greedy next-hop selection shared by route() and send_batch();
+  /// `src` is excluded so a packet never routes back toward its origin.
+  NextHop pick_next_hop(const Address& dst, const Address& src) const;
   void route(Packet pkt, bool from_transit);
   void deliver(const Packet& pkt);
 

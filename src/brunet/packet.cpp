@@ -43,6 +43,19 @@ void Packet::set_payload(util::Buffer bytes) {
   wire_ = false;
 }
 
+void Packet::write_header(std::uint8_t* h) const {
+  h[0] = static_cast<std::uint8_t>(type);
+  h[1] = static_cast<std::uint8_t>(mode);
+  h[2] = ttl;
+  h[3] = hops;
+  h[4] = static_cast<std::uint8_t>(msg_id >> 24);
+  h[5] = static_cast<std::uint8_t>(msg_id >> 16);
+  h[6] = static_cast<std::uint8_t>(msg_id >> 8);
+  h[7] = static_cast<std::uint8_t>(msg_id);
+  std::copy(src.bytes().begin(), src.bytes().end(), h + 8);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), h + 8 + Address::kBytes);
+}
+
 void Packet::finalize() {
   if (wire_) {
     // Transit only mutates ttl/hops: sync them with two in-place patches.
@@ -53,17 +66,17 @@ void Packet::finalize() {
   // Prepend the header into the payload buffer's headroom (zero-copy when
   // the storage is uniquely owned, one reallocation otherwise).
   auto h = buf_.grow_front(kHeaderSize);
-  h[0] = static_cast<std::uint8_t>(type);
-  h[1] = static_cast<std::uint8_t>(mode);
-  h[2] = ttl;
-  h[3] = hops;
-  h[4] = static_cast<std::uint8_t>(msg_id >> 24);
-  h[5] = static_cast<std::uint8_t>(msg_id >> 16);
-  h[6] = static_cast<std::uint8_t>(msg_id >> 8);
-  h[7] = static_cast<std::uint8_t>(msg_id);
-  std::copy(src.bytes().begin(), src.bytes().end(), h.data() + 8);
-  std::copy(dst.bytes().begin(), dst.bytes().end(), h.data() + 8 + Address::kBytes);
+  write_header(h.data());
   wire_ = true;
+}
+
+util::BufferChain Packet::wire_chain(util::Buffer shared_payload) const {
+  auto hdr = util::Buffer::allocate(kHeaderSize, util::kPacketHeadroom);
+  write_header(hdr.data());
+  util::BufferChain chain;
+  chain.append(std::move(hdr));
+  chain.append(std::move(shared_payload));
+  return chain;
 }
 
 util::Buffer Packet::to_wire() {

@@ -23,6 +23,7 @@
 
 #include "brunet/address.hpp"
 #include "util/buffer.hpp"
+#include "util/buffer_chain.hpp"
 #include "util/bytes.hpp"
 
 namespace ipop::brunet {
@@ -97,6 +98,14 @@ struct Packet {
   /// simulated kernel below it) then holds the storage uniquely and can
   /// prepend its headers into the same buffer instead of reallocating.
   util::Buffer take_wire();
+  /// Wire image as a scatter-gather chain: the 48-byte header (taken
+  /// from this packet's fields; its own buffer/payload is ignored) is
+  /// written into a small per-destination buffer — with headroom so the
+  /// transport/UDP/IP headers prepend into it downstream — and
+  /// `shared_payload` is linked behind it untouched.  The fan-out idiom:
+  /// N destinations share one payload buffer, each rides its own header
+  /// segment.
+  util::BufferChain wire_chain(util::Buffer shared_payload) const;
 
   /// Zero-copy decode: parses the header and adopts `wire` as the shared
   /// backing store.  Throws util::ParseError on truncation.
@@ -105,6 +114,7 @@ struct Packet {
   static Packet decode(std::span<const std::uint8_t> bytes);
 
  private:
+  void write_header(std::uint8_t* h) const;
   void finalize();
 
   util::Buffer buf_;   // wire image if wire_, else payload-only storage

@@ -42,32 +42,53 @@ void TcpEdge::attach() {
     self->notify_closed();
   };
   sock_->on_writable = [self] {
-    // Flush any backlog that did not fit the socket buffer.
+    // Flush any backlog that did not fit the socket buffer: the socket
+    // links the chain's shared handles in place, so the flush moves no
+    // bytes and copies no handles.
     if (!self->tx_backlog_.empty()) {
-      const std::size_t n = self->sock_->send(self->tx_backlog_);
-      self->tx_backlog_.erase(self->tx_backlog_.begin(),
-                              self->tx_backlog_.begin() + n);
+      self->sock_->send_from(self->tx_backlog_);
     }
   };
 }
 
-void TcpEdge::send(util::Buffer bytes) {
-  if (!up_) return;
-  ++tx_;
-  // Length-framing onto the stream necessarily serializes the packet; the
-  // zero-copy fast path is the UDP transport (the paper's WAN winner).
-  util::ByteWriter w(4 + bytes.size());
-  w.u32(static_cast<std::uint32_t>(bytes.size()));
-  w.bytes(bytes.as_span());
-  auto framed = w.take();
+util::BufferChain TcpEdge::frame(util::BufferChain chain) {
+  // The length prefix rides its own 4-byte segment; the packet bytes are
+  // linked behind it untouched (no stream serialization copy).
+  auto hdr = util::Buffer::allocate(4, 0);
+  util::store_u32(hdr.data(), static_cast<std::uint32_t>(chain.size()));
+  chain.prepend(std::move(hdr));
+  return chain;
+}
+
+void TcpEdge::enqueue(util::BufferChain framed) {
   if (!tx_backlog_.empty()) {
-    tx_backlog_.insert(tx_backlog_.end(), framed.begin(), framed.end());
+    // Earlier frames are still queued: preserve stream order.
+    tx_backlog_.append(std::move(framed));
     return;
   }
-  const std::size_t n = sock_->send(framed);
-  if (n < framed.size()) {
-    tx_backlog_.assign(framed.begin() + n, framed.end());
+  sock_->send_from(framed);  // consumes the accepted prefix in place
+  if (!framed.empty()) tx_backlog_ = std::move(framed);
+}
+
+void TcpEdge::send(util::Buffer bytes) {
+  send_chain(util::BufferChain(std::move(bytes)));
+}
+
+void TcpEdge::send_chain(util::BufferChain chain) {
+  if (!up_) return;
+  ++tx_;
+  enqueue(frame(std::move(chain)));
+}
+
+void TcpEdge::send_batch(std::vector<util::BufferChain> chains) {
+  if (!up_) return;
+  util::BufferChain all;
+  for (auto& c : chains) {
+    ++tx_;
+    all.append(frame(std::move(c)));
   }
+  // All frames cross the socket in one gathered write.
+  enqueue(std::move(all));
 }
 
 void TcpEdge::pump() {
@@ -117,6 +138,28 @@ void UdpEdge::send(util::Buffer bytes) {
   if (!up_ || transport_ == nullptr) return;
   ++tx_;
   transport_->send_to(ip_, port_, std::move(bytes));
+}
+
+void UdpEdge::send_chain(util::BufferChain chain) {
+  // A closed edge (or one whose transport is being torn down) swallows
+  // the send — never reach into a dead transport/socket.
+  if (!up_ || transport_ == nullptr) return;
+  ++tx_;
+  if (transport_->corked()) {
+    transport_->stage(ip_, port_, std::move(chain));
+    return;
+  }
+  transport_->send_to(ip_, port_, std::move(chain));
+}
+
+void UdpEdge::send_batch(std::vector<util::BufferChain> chains) {
+  if (!up_ || transport_ == nullptr) return;
+  tx_ += chains.size();
+  if (transport_->corked()) {
+    for (auto& c : chains) transport_->stage(ip_, port_, std::move(c));
+    return;
+  }
+  transport_->send_batch(ip_, port_, std::move(chains));
 }
 
 void UdpEdge::close() {
@@ -221,6 +264,38 @@ void UdpTransport::on_datagram(net::Ipv4Address src, std::uint16_t sport,
 void UdpTransport::send_to(net::Ipv4Address ip, std::uint16_t port,
                            util::Buffer data) {
   if (sock_ != nullptr) sock_->send_to(ip, port, std::move(data));
+}
+
+void UdpTransport::send_to(net::Ipv4Address ip, std::uint16_t port,
+                           util::BufferChain data) {
+  if (sock_ != nullptr) sock_->send_to(ip, port, std::move(data));
+}
+
+void UdpTransport::send_batch(net::Ipv4Address ip, std::uint16_t port,
+                              std::vector<util::BufferChain> chains) {
+  if (sock_ == nullptr) return;
+  std::vector<net::UdpSendItem> items;
+  items.reserve(chains.size());
+  for (auto& chain : chains) {
+    items.push_back(net::UdpSendItem{ip, port, std::move(chain)});
+  }
+  sock_->send_batch(items);
+}
+
+void UdpTransport::stage(net::Ipv4Address ip, std::uint16_t port,
+                         util::BufferChain chain) {
+  staged_.push_back(net::UdpSendItem{ip, port, std::move(chain)});
+}
+
+void UdpTransport::uncork() {
+  if (cork_ == 0) return;
+  if (--cork_ > 0 || staged_.empty()) return;
+  auto items = std::move(staged_);
+  staged_.clear();
+  // One socket-API crossing for the whole staged fan-out.  A socket that
+  // closed (or was detached by a dying stack) while the batch was
+  // pending drops it here instead of reaching into dead state.
+  if (sock_ != nullptr) sock_->send_batch(items);
 }
 
 void UdpTransport::remove_edge(net::Ipv4Address ip, std::uint16_t port) {

@@ -18,6 +18,7 @@
 
 #include "net/host.hpp"
 #include "util/buffer.hpp"
+#include "util/buffer_chain.hpp"
 #include "util/time.hpp"
 
 namespace ipop::brunet {
@@ -52,6 +53,19 @@ class Edge {
 
   virtual ~Edge() = default;
   virtual void send(util::Buffer bytes) = 0;
+  /// Scatter-gather send: the chain's segments (e.g. a per-destination
+  /// header in front of a shared payload buffer) cross the edge without
+  /// being flattened by the caller.  The base fallback coalesces once;
+  /// transports override with a copy-free path.
+  virtual void send_chain(util::BufferChain chain) {
+    send(chain.coalesce().share());
+  }
+  /// Batched send: every chain is one packet, emitted with a single
+  /// transport crossing where the transport supports it (UDP's
+  /// sendmmsg-style socket batch, one gathered stream write for TCP).
+  virtual void send_batch(std::vector<util::BufferChain> chains) {
+    for (auto& c : chains) send_chain(std::move(c));
+  }
   virtual void close() = 0;
   virtual TransportAddress remote() const = 0;
   virtual bool is_up() const = 0;
@@ -87,12 +101,21 @@ class Edge {
   std::uint64_t rx_ = 0;
 };
 
-/// TCP edge: length-prefixed packets over a stream socket.
+/// TCP edge: length-prefixed packets over a stream socket.  Framing is
+/// scatter-gather: the 4-byte length prefix rides its own tiny segment in
+/// front of the packet buffer, and the chain is linked straight into the
+/// socket's send queue — the length-framed stream copy of the historical
+/// path (frame vector build + socket enqueue) is gone.
 class TcpEdge : public Edge, public std::enable_shared_from_this<TcpEdge> {
  public:
   TcpEdge(sim::EventLoop& loop, std::shared_ptr<net::TcpSocket> sock);
 
   void send(util::Buffer bytes) override;
+  void send_chain(util::BufferChain chain) override;
+  /// One gathered stream write for the whole batch: frames are linked
+  /// into the socket send queue back to back and the socket is crossed
+  /// once.
+  void send_batch(std::vector<util::BufferChain> chains) override;
   void close() override;
   TransportAddress remote() const override;
   bool is_up() const override { return up_; }
@@ -100,13 +123,21 @@ class TcpEdge : public Edge, public std::enable_shared_from_this<TcpEdge> {
   /// Wire the socket callbacks; call once after construction.
   void attach();
 
+  /// Underlying stream socket (stats introspection for tests/benches).
+  const std::shared_ptr<net::TcpSocket>& socket() const { return sock_; }
+
  private:
   void pump();
+  /// Prepend the 4-byte length prefix as its own segment.
+  static util::BufferChain frame(util::BufferChain chain);
+  /// Link `framed` into the socket queue, spilling what does not fit
+  /// into the backlog chain (flushed from on_writable).
+  void enqueue(util::BufferChain framed);
 
   sim::EventLoop& loop_;
   std::shared_ptr<net::TcpSocket> sock_;
   std::vector<std::uint8_t> rx_buf_;
-  std::vector<std::uint8_t> tx_backlog_;  // bytes the socket couldn't take
+  util::BufferChain tx_backlog_;  // frames the socket couldn't take
   bool up_ = true;
 };
 
@@ -119,6 +150,9 @@ class UdpEdge : public Edge {
       : transport_(transport), ip_(ip), port_(port) {}
 
   void send(util::Buffer bytes) override;
+  void send_chain(util::BufferChain chain) override;
+  /// One sendmmsg-style socket crossing for the whole batch.
+  void send_batch(std::vector<util::BufferChain> chains) override;
   void close() override;
   TransportAddress remote() const override {
     return {TransportAddress::Proto::kUdp, ip_, port_};
@@ -166,12 +200,31 @@ class UdpTransport {
   std::shared_ptr<Edge> edge_to(net::Ipv4Address ip, std::uint16_t port);
   std::uint16_t port() const { return port_; }
   net::Host& host() { return host_; }
+  /// Underlying socket (stats introspection for tests/benches).
+  const std::shared_ptr<net::UdpSocket>& socket() const { return sock_; }
+
+  /// sendmmsg-style corking: between cork() and uncork(), chain/batch
+  /// sends on *any* of this transport's edges are staged instead of
+  /// emitted, and the final uncork flushes every staged datagram —
+  /// across edges and destinations — through one UdpSocket::send_batch
+  /// call.  Nests (cork twice, flush on the last uncork).  A socket that
+  /// closed while corked drops the staged batch safely.
+  void cork() { ++cork_; }
+  void uncork();
+  bool corked() const { return cork_ > 0; }
 
  private:
   friend class UdpEdge;
   void on_datagram(net::Ipv4Address src, std::uint16_t sport,
                    util::Buffer data);
   void send_to(net::Ipv4Address ip, std::uint16_t port, util::Buffer data);
+  void send_to(net::Ipv4Address ip, std::uint16_t port,
+               util::BufferChain data);
+  /// One UdpSocket::send_batch call for all chains toward one endpoint.
+  void send_batch(net::Ipv4Address ip, std::uint16_t port,
+                  std::vector<util::BufferChain> chains);
+  void stage(net::Ipv4Address ip, std::uint16_t port,
+             util::BufferChain chain);
   void remove_edge(net::Ipv4Address ip, std::uint16_t port);
 
   net::Host& host_;
@@ -181,6 +234,8 @@ class UdpTransport {
   std::map<std::pair<net::Ipv4Address, std::uint16_t>,
            std::shared_ptr<UdpEdge>>
       edges_;
+  int cork_ = 0;
+  std::vector<net::UdpSendItem> staged_;
 };
 
 }  // namespace ipop::brunet

@@ -23,7 +23,9 @@ enum class IcmpType : std::uint8_t {
 struct IcmpMessage {
   IcmpType type = IcmpType::kEchoRequest;
   std::uint8_t code = 0;
-  /// Echo identifier / sequence (unused for error messages).
+  /// Echo identifier / sequence.  For error messages `id` is unused and
+  /// `seq` (the second header word's low 16 bits) carries the error's
+  /// auxiliary info — the RFC 1191 next-hop MTU for frag-needed.
   std::uint16_t id = 0;
   std::uint16_t seq = 0;
   /// Echo payload, or the original IP header + 8 bytes for errors.

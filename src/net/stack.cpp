@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/l4_patch.hpp"
 #include "util/logging.hpp"
 
 namespace ipop::net {
@@ -254,9 +255,14 @@ void Stack::forward_packet(std::size_t iface, Ipv4Packet pkt) {
     ++counters_.dropped_hook;
     return;
   }
-  if (pkt.total_length() > ifaces_[route->iface]->cfg.mtu) {
+  const std::size_t egress_mtu = ifaces_[route->iface]->cfg.mtu;
+  if (pkt.total_length() > egress_mtu) {
     ++counters_.dropped_mtu;
-    send_icmp_error(pkt, IcmpType::kDestUnreachable, 4);  // frag needed
+    // Frag needed: report the next-hop MTU (RFC 1191) so the sender's
+    // path-MTU discovery can react with a correctly sized segment.
+    send_icmp_error(pkt, IcmpType::kDestUnreachable, 4,
+                    static_cast<std::uint16_t>(
+                        std::min<std::size_t>(egress_mtu, 65535)));
     return;
   }
   resolve_and_send(route->iface, next_hop, std::move(pkt));
@@ -455,6 +461,20 @@ void Stack::deliver_icmp(Ipv4Packet pkt) {
     case IcmpType::kDestUnreachable:
     case IcmpType::kTimeExceeded:
       ++counters_.icmp_errors_delivered;
+      if (msg.type == IcmpType::kDestUnreachable && msg.code == 4) {
+        // Frag needed: kernel-style path-MTU discovery.  Map the quoted
+        // original packet back to the TCP connection that sent it and
+        // let it shrink its MSS (msg.seq carries the next-hop MTU).
+        if (auto quote = icmp_error_quote(pkt);
+            quote && quote->proto == IpProto::kTcp) {
+          auto it = tcp_socks_.find(TcpKey{quote->src_ip, quote->src.port,
+                                           quote->dst_ip, quote->dst.port});
+          if (it != tcp_socks_.end()) {
+            auto sock = it->second;  // keep alive across state changes
+            sock->handle_frag_needed(msg.seq);
+          }
+        }
+      }
       if (icmp_error_handler_) {
         // Invoke a copy: the handler may replace itself (net::Traceroute
         // restores the displaced handler from inside its last callback),
@@ -482,7 +502,7 @@ void Stack::send_echo_request(Ipv4Address dst, std::uint16_t id,
 }
 
 void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
-                            std::uint8_t code) {
+                            std::uint8_t code, std::uint16_t info) {
   // Never generate errors about ICMP errors.
   if (original.hdr.proto == IpProto::kIcmp) {
     try {
@@ -495,6 +515,9 @@ void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
   IcmpMessage msg;
   msg.type = type;
   msg.code = code;
+  // The second header word's low half (the echo `seq` slot) carries the
+  // error's auxiliary info — the next-hop MTU for frag-needed.
+  msg.seq = info;
   // Quote the original header + 8 payload bytes, per RFC 792.  The
   // header (carrying the original total-length field) is re-serialized
   // directly into the quote: the payload beyond 8 bytes is never copied.
@@ -672,21 +695,69 @@ void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
 void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
                         util::Buffer data) {
   if (stack_ == nullptr) return;
-  if (stack_->cfg_.copy_at_stack_crossing) {
-    // Ablation: force the historical user/kernel send copy.
-    stack_->counters_.payload_bytes_copied += data.size();
-    data = data.clone(util::kPacketHeadroom);
+  ++stack_->counters_.udp_send_calls;
+  emit_datagram(dst, dst_port, util::BufferChain(std::move(data)));
+}
+
+void UdpSocket::send_to(Ipv4Address dst, std::uint16_t dst_port,
+                        util::BufferChain data) {
+  if (stack_ == nullptr) return;
+  ++stack_->counters_.udp_send_calls;
+  emit_datagram(dst, dst_port, std::move(data));
+}
+
+std::size_t UdpSocket::send_batch(std::span<UdpSendItem> items) {
+  // A batch issued against a closed socket (or one whose stack died and
+  // detached it) is dropped wholesale — never touch a dead stack.
+  if (stack_ == nullptr) return 0;
+  ++stack_->counters_.udp_send_calls;
+  std::size_t sent = 0;
+  for (UdpSendItem& item : items) {
+    if (stack_ == nullptr) break;  // defensive: closed mid-batch
+    emit_datagram(item.dst, item.dst_port, std::move(item.payload));
+    ++sent;
   }
-  if (!(data.use_count() == 1 &&
-        data.headroom() >= UdpDatagram::kHeaderSize)) {
-    stack_->counters_.payload_bytes_copied += data.size();
+  return sent;
+}
+
+void UdpSocket::emit_datagram(Ipv4Address dst, std::uint16_t dst_port,
+                              util::BufferChain payload) {
+  const std::size_t payload_len = payload.size();
+  util::Buffer data;
+  if (payload.segments() > 1) {
+    // Scatter-gather datagram build: header + every chain segment come
+    // together in one NIC-style gather pass into fresh storage (with
+    // headroom for the IP/Ethernet prepends downstream).  Attributed to
+    // payload_bytes_gathered — DMA descriptor work, not a CPU copy on
+    // the send path — except under the copy_at_stack_crossing ablation,
+    // where it is exactly the historical kernel copy.
+    data = util::Buffer::allocate(UdpDatagram::kHeaderSize + payload_len,
+                                  util::kPacketHeadroom);
+    UdpDatagram::write_header(data.data(), port_, dst_port, payload_len);
+    payload.gather(0, data.writable().subspan(UdpDatagram::kHeaderSize));
+    if (stack_->cfg_.copy_at_stack_crossing) {
+      stack_->counters_.payload_bytes_copied += payload_len;
+    } else {
+      stack_->counters_.payload_bytes_gathered += payload_len;
+    }
+  } else {
+    if (payload.segments() == 1) data = payload.segment(0).share();
+    payload.clear();
+    if (stack_->cfg_.copy_at_stack_crossing) {
+      // Ablation: force the historical user/kernel send copy.
+      stack_->counters_.payload_bytes_copied += data.size();
+      data = data.clone(util::kPacketHeadroom);
+    }
+    if (!(data.use_count() == 1 &&
+          data.headroom() >= UdpDatagram::kHeaderSize)) {
+      stack_->counters_.payload_bytes_copied += data.size();
+    }
+    // The 8-byte header lands in the user buffer's headroom: the send
+    // crosses into the simulated kernel without copying the payload (the
+    // copy the paper's Section V.2 proposes eliminating).
+    auto slot = data.grow_front(UdpDatagram::kHeaderSize);
+    UdpDatagram::write_header(slot.data(), port_, dst_port, payload_len);
   }
-  // The 8-byte header lands in the user buffer's headroom: the send
-  // crosses into the simulated kernel without copying the payload (the
-  // copy the paper's Section V.2 proposes eliminating).
-  const std::size_t payload_len = data.size();
-  auto slot = data.grow_front(UdpDatagram::kHeaderSize);
-  UdpDatagram::write_header(slot.data(), port_, dst_port, payload_len);
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kUdp;
   pkt.hdr.dst = dst;

@@ -88,6 +88,16 @@ struct StackCounters {
   /// path; the copy_at_stack_crossing ablation, owning-vector socket
   /// APIs and shared-storage reallocations account here.
   std::uint64_t payload_bytes_copied = 0;
+  /// Payload bytes assembled by the scatter-gather walk at datagram /
+  /// segment build time — the simulated NIC's DMA descriptor pass over a
+  /// BufferChain, deliberately kept apart from payload_bytes_copied (no
+  /// CPU memcpy on the host's critical path).
+  std::uint64_t payload_bytes_gathered = 0;
+  /// UDP socket-API crossings ("syscalls"): one per send_to, one per
+  /// send_batch regardless of batch size.  datagrams_sent /
+  /// udp_send_calls is the sends-per-syscall amortization the
+  /// sendmmsg-style batch API buys.
+  std::uint64_t udp_send_calls = 0;
 };
 
 class Stack {
@@ -233,8 +243,10 @@ class Stack {
   void arp_retry(std::size_t iface, Ipv4Address target);
 
   const Route* lookup_route(Ipv4Address dst) const;
+  /// `info` lands in the second header word's low 16 bits — the RFC 1191
+  /// next-hop-MTU slot for frag-needed (code 4) errors, 0 otherwise.
   void send_icmp_error(const Ipv4Packet& original, IcmpType type,
-                       std::uint8_t code);
+                       std::uint8_t code, std::uint16_t info = 0);
 
   // Transport demux.
   void deliver_icmp(Ipv4Packet pkt);

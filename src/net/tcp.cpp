@@ -262,7 +262,7 @@ void TcpSocket::process_ack(const TcpSegment& seg) {
     fin_now_acked = true;
   }
   if (acked > send_queue_.size()) acked = static_cast<std::uint32_t>(send_queue_.size());
-  send_queue_.erase(send_queue_.begin(), send_queue_.begin() + acked);
+  send_queue_.drop_front(acked);
   snd_una_ = ack;
   snd_wnd_ = seg.window;
   backoff_ = 0;
@@ -412,6 +412,32 @@ void TcpSocket::process_data(const TcpSegment& seg) {
   }
 }
 
+void TcpSocket::handle_frag_needed(std::size_t next_hop_mtu) {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+  if (next_hop_mtu < 68 || next_hop_mtu > 65535) {
+    // Old-style router that reports no MTU: fall back to the RFC 1191
+    // default plateau.
+    next_hop_mtu = 576;
+  }
+  // Clamp to a sane floor *before* the staleness check: if the floor
+  // means the MSS cannot actually shrink, bail out entirely — reacting
+  // anyway would retransmit an unsendable segment on every ICMP error
+  // (an unthrottled livelock; the RTO path must own that case).
+  const std::size_t new_mss = std::max<std::size_t>(
+      next_hop_mtu - Ipv4Header::kSize - TcpSegment::kHeaderSize, 64);
+  if (new_mss >= cfg_.mss) return;  // stale, bogus, or already at floor
+  cfg_.mss = new_mss;
+  ++stats_.pmtu_shrinks;
+  // The oversized segment was dropped in the network, not by congestion:
+  // resend it at the new size immediately, leaving cwnd/ssthresh alone.
+  // Karn's rule: never time a retransmitted range.
+  rtt_timing_ = false;
+  if (flight_size() > 0) {
+    retransmit_front();
+    arm_retransmit();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Application interface
 // ---------------------------------------------------------------------------
@@ -423,9 +449,51 @@ std::size_t TcpSocket::send(std::span<const std::uint8_t> data) {
   }
   if (fin_queued_) return 0;
   const std::size_t take = std::min(send_space(), data.size());
-  send_queue_.insert(send_queue_.end(), data.begin(), data.begin() + take);
+  if (take > 0) {
+    // The historical owning path: one user/socket copy into a fresh
+    // queue segment.
+    stats_.payload_bytes_copied += take;
+    send_queue_.append(util::Buffer::copy_of(data.subspan(0, take)));
+  }
   if (take < data.size()) send_buf_was_full_ = true;
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    output();
+  }
+  return take;
+}
+
+std::size_t TcpSocket::send(util::Buffer data) {
+  return send(util::BufferChain(std::move(data)));
+}
+
+std::size_t TcpSocket::send(util::BufferChain data) {
+  return send_from(data);
+}
+
+std::size_t TcpSocket::send_from(util::BufferChain& chain) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kSynSent && state_ != TcpState::kSynRcvd) {
+    return 0;
+  }
+  if (fin_queued_) return 0;
+  const std::size_t take = std::min(send_space(), chain.size());
+  if (take < chain.size()) send_buf_was_full_ = true;
+  // Link shared handles into the queue — zero payload copies; a partial
+  // accept links a sub-buffer share of the prefix.
+  std::size_t left = take;
+  for (std::size_t i = 0; i < chain.segments() && left > 0; ++i) {
+    const util::Buffer& seg = chain.segment(i);
+    if (left >= seg.size()) {
+      send_queue_.append(seg.share());
+      left -= seg.size();
+    } else {
+      send_queue_.append(seg.share(0, left));
+      left = 0;
+    }
+  }
+  chain.drop_front(take);
+  if (take > 0 &&
+      (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait)) {
     output();
   }
   return take;
@@ -497,8 +565,6 @@ void TcpSocket::output() {
     // Nagle: while data is in flight, wait until a full MSS accumulates
     // (unless this flushes the tail ahead of a queued FIN).
     if (cfg_.nagle && n < cfg_.mss && in_flight > 0 && !fin_queued_) break;
-    std::vector<std::uint8_t> payload(send_queue_.begin() + sent_data,
-                                      send_queue_.begin() + sent_data + n);
     TcpFlags flags;
     flags.ack = true;
     flags.psh = (sent_data + n == send_queue_.size());
@@ -507,7 +573,7 @@ void TcpSocket::output() {
       rtt_seq_ = snd_nxt_;
       rtt_sent_at_ = stack_->loop().now();
     }
-    emit_segment(snd_nxt_, payload, flags);
+    emit_data_segment(snd_nxt_, sent_data, n, flags);
     stats_.bytes_sent += n;
     snd_nxt_ += static_cast<std::uint32_t>(n);
     if (retransmit_timer_ == 0) arm_retransmit();
@@ -536,9 +602,7 @@ void TcpSocket::maybe_send_fin() {
   arm_retransmit();
 }
 
-void TcpSocket::emit_segment(std::uint32_t seq,
-                             std::span<const std::uint8_t> payload,
-                             TcpFlags flags) {
+TcpSegment TcpSocket::make_segment(std::uint32_t seq, TcpFlags flags) {
   TcpSegment seg;
   seg.src_port = local_port_;
   seg.dst_port = remote_port_;
@@ -546,17 +610,37 @@ void TcpSocket::emit_segment(std::uint32_t seq,
   seg.ack = flags.ack ? rcv_nxt_ : 0;
   seg.flags = flags;
   seg.window = advertised_window();
-  seg.payload.assign(payload.begin(), payload.end());
   last_advertised_window_ = seg.window;
+  return seg;
+}
 
+void TcpSocket::emit_wire(util::Buffer seg_wire) {
   Ipv4Packet pkt;
   pkt.hdr.proto = IpProto::kTcp;
   pkt.hdr.src = local_ip_;
   pkt.hdr.dst = remote_ip_;
-  pkt.payload =
-      seg.encode_buffer(local_ip_, remote_ip_, util::kPacketHeadroom);
+  pkt.payload = std::move(seg_wire);
   ++stats_.segments_sent;
   stack_->send_ip(std::move(pkt));
+}
+
+void TcpSocket::emit_segment(std::uint32_t seq,
+                             std::span<const std::uint8_t> payload,
+                             TcpFlags flags) {
+  TcpSegment seg = make_segment(seq, flags);
+  seg.payload.assign(payload.begin(), payload.end());
+  emit_wire(seg.encode_buffer(local_ip_, remote_ip_, util::kPacketHeadroom));
+}
+
+void TcpSocket::emit_data_segment(std::uint32_t seq, std::size_t queue_offset,
+                                  std::size_t len, TcpFlags flags) {
+  TcpSegment seg = make_segment(seq, flags);
+  // The queued bytes reach the wire image through one scatter-gather
+  // walk (the simulated NIC's DMA descriptor pass), never through an
+  // intermediate owning vector.
+  stats_.payload_bytes_gathered += len;
+  emit_wire(seg.encode_gather(local_ip_, remote_ip_, util::kPacketHeadroom,
+                              send_queue_, queue_offset, len));
 }
 
 void TcpSocket::send_ack_now() {
@@ -653,12 +737,10 @@ void TcpSocket::retransmit_front() {
   if (!send_queue_.empty() && data_in_flight > 0) {
     const std::size_t n =
         std::min({cfg_.mss, send_queue_.size(), data_in_flight});
-    std::vector<std::uint8_t> payload(send_queue_.begin(),
-                                      send_queue_.begin() + n);
     TcpFlags flags;
     flags.ack = true;
     flags.psh = true;
-    emit_segment(snd_una_, payload, flags);
+    emit_data_segment(snd_una_, 0, n, flags);
     stats_.bytes_sent += n;
     return;
   }
@@ -687,10 +769,9 @@ void TcpSocket::on_persist_timeout() {
     // Window probe: transmit one byte beyond the advertised window.  It is
     // real data (front of the queue), so it occupies sequence space and is
     // covered by the retransmission machinery.
-    std::vector<std::uint8_t> probe{send_queue_.front()};
     TcpFlags flags;
     flags.ack = true;
-    emit_segment(snd_nxt_, probe, flags);
+    emit_data_segment(snd_nxt_, 0, 1, flags);
     stats_.bytes_sent += 1;
     snd_nxt_ += 1;
     arm_retransmit();

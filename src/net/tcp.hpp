@@ -19,6 +19,7 @@
 
 #include "net/ipv4.hpp"
 #include "net/tcp_wire.hpp"
+#include "util/buffer_chain.hpp"
 #include "util/time.hpp"
 
 namespace ipop::net {
@@ -73,6 +74,15 @@ struct TcpStats {
   std::uint64_t fast_retransmits = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t dup_acks_received = 0;
+  /// Payload bytes memcpy'd at the send API (the user/kernel crossing):
+  /// the span overload copies into a queue segment; the Buffer/chain
+  /// overloads link shared handles instead and cost 0.
+  std::uint64_t payload_bytes_copied = 0;
+  /// Send-queue bytes gathered into segment wire images — the simulated
+  /// NIC's scatter-gather walk (DMA descriptor work, not CPU copies).
+  std::uint64_t payload_bytes_gathered = 0;
+  /// Path-MTU discovery events: ICMP frag-needed shrank the MSS.
+  std::uint64_t pmtu_shrinks = 0;
 };
 
 /// A TCP connection endpoint.  All I/O is callback-driven; see the on_*
@@ -91,8 +101,20 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   ~TcpSocket();
 
   /// Queue bytes for transmission; returns how many were accepted
-  /// (bounded by send-buffer space).
+  /// (bounded by send-buffer space).  This overload copies once into a
+  /// fresh queue segment (counted in TcpStats::payload_bytes_copied).
   std::size_t send(std::span<const std::uint8_t> data);
+  /// Zero-copy send: the buffer handle is linked into the send queue
+  /// (bytes stay where they are until segments gather them for the
+  /// wire).  Partial accepts link a sub-buffer share of the prefix.
+  std::size_t send(util::Buffer data);
+  /// writev-style scatter-gather send: every chain segment is linked
+  /// into the send queue without copying.
+  std::size_t send(util::BufferChain data);
+  /// In-place variant: links the accepted prefix and drops it from
+  /// `chain`, so a caller draining a backlog repeatedly pays no
+  /// per-attempt handle copies (the unaccepted tail stays in `chain`).
+  std::size_t send_from(util::BufferChain& chain);
   /// Take up to `max` bytes of in-order received data.
   std::vector<std::uint8_t> receive(std::size_t max);
   std::size_t bytes_readable() const { return recv_ready_.size(); }
@@ -138,6 +160,13 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   void output();  // transmit as much as windows allow
   void emit_segment(std::uint32_t seq, std::span<const std::uint8_t> payload,
                     TcpFlags flags);
+  /// Data segment: payload bytes are gathered from [queue_offset,
+  /// queue_offset+len) of the send queue directly into the wire image —
+  /// no intermediate owning vector.
+  void emit_data_segment(std::uint32_t seq, std::size_t queue_offset,
+                         std::size_t len, TcpFlags flags);
+  TcpSegment make_segment(std::uint32_t seq, TcpFlags flags);
+  void emit_wire(util::Buffer seg_wire);
   void send_ack_now();
   void send_rst(std::uint32_t seq, std::uint32_t ack, bool with_ack);
   std::size_t flight_size() const;
@@ -146,6 +175,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   // --- input path --------------------------------------------------------
   void process_ack(const TcpSegment& seg);
   void process_data(const TcpSegment& seg);
+  /// ICMP frag-needed (code 4) for this connection: clamp the MSS to the
+  /// reported next-hop MTU and resend the blackholed segment at the new
+  /// size (RFC 1191 path-MTU discovery; not a congestion signal).
+  void handle_frag_needed(std::size_t next_hop_mtu);
   void handle_accepted_fin();
   void enter_established();
   void maybe_send_fin();
@@ -175,12 +208,15 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   std::uint16_t remote_port_ = 0;
 
   // Send side.  snd_una_..snd_nxt_ is in flight; send_queue_ holds bytes
-  // starting at sequence snd_una_ (after handshake).
+  // starting at sequence snd_una_ (after handshake).  The queue is a
+  // scatter-gather chain: Buffer sends link shared handles, acked bytes
+  // drop off the front, and segment emission gathers ranges straight
+  // into the wire image.
   std::uint32_t iss_ = 0;
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
   std::uint32_t snd_wnd_ = 0;
-  std::deque<std::uint8_t> send_queue_;
+  util::BufferChain send_queue_;
   bool fin_queued_ = false;  // close() called; FIN after data drains
   bool fin_sent_ = false;
   std::uint32_t fin_seq_ = 0;

@@ -15,20 +15,46 @@ std::string TcpFlags::to_string() const {
   return s.empty() ? "-" : s;
 }
 
+namespace {
+
+/// Header bytes (checksum slot zeroed) into a pre-sized 20-byte slot —
+/// the single wire-header definition shared by the copying and gathering
+/// encoders.
+void write_tcp_header(std::uint8_t* p, const TcpSegment& seg) {
+  util::store_u16(p, seg.src_port);
+  util::store_u16(p + 2, seg.dst_port);
+  util::store_u32(p + 4, seg.seq);
+  util::store_u32(p + 8, seg.ack);
+  p[12] = 5 << 4;  // data offset 5 words, no options
+  p[13] = seg.flags.encode();
+  util::store_u16(p + 14, seg.window);
+  util::store_u16(p + 16, 0);  // checksum placeholder
+  util::store_u16(p + 18, 0);  // urgent pointer
+}
+
+}  // namespace
+
 util::Buffer TcpSegment::encode_buffer(Ipv4Address src_ip, Ipv4Address dst_ip,
                                        std::size_t headroom) const {
   auto buf = util::Buffer::allocate(kHeaderSize + payload.size(), headroom);
   std::uint8_t* p = buf.data();
-  util::store_u16(p, src_port);
-  util::store_u16(p + 2, dst_port);
-  util::store_u32(p + 4, seq);
-  util::store_u32(p + 8, ack);
-  p[12] = 5 << 4;  // data offset 5 words, no options
-  p[13] = flags.encode();
-  util::store_u16(p + 14, window);
-  util::store_u16(p + 16, 0);  // checksum placeholder
-  util::store_u16(p + 18, 0);  // urgent pointer
+  write_tcp_header(p, *this);
   std::copy(payload.begin(), payload.end(), p + kHeaderSize);
+  util::store_u16(p + TcpView::kChecksumOffset,
+                  transport_checksum(src_ip, dst_ip, IpProto::kTcp,
+                                     buf.as_span()));
+  return buf;
+}
+
+util::Buffer TcpSegment::encode_gather(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                       std::size_t headroom,
+                                       const util::BufferChain& queue,
+                                       std::size_t offset,
+                                       std::size_t len) const {
+  auto buf = util::Buffer::allocate(kHeaderSize + len, headroom);
+  std::uint8_t* p = buf.data();
+  write_tcp_header(p, *this);
+  queue.gather(offset, buf.writable().subspan(kHeaderSize));
   util::store_u16(p + TcpView::kChecksumOffset,
                   transport_checksum(src_ip, dst_ip, IpProto::kTcp,
                                      buf.as_span()));

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/ipv4.hpp"
+#include "util/buffer_chain.hpp"
 
 namespace ipop::net {
 
@@ -58,6 +59,15 @@ struct TcpSegment {
   /// IP and Ethernet headers prepend downstream without copying.
   util::Buffer encode_buffer(Ipv4Address src_ip, Ipv4Address dst_ip,
                              std::size_t headroom) const;
+  /// Scatter-gather encode: header fields come from *this (this->payload
+  /// is ignored), the payload bytes are gathered straight out of
+  /// [offset, offset+len) of `queue` into the wire image — the send
+  /// queue's bytes reach the segment without an intermediate owning
+  /// vector.  The checksum covers the gathered bytes.
+  util::Buffer encode_gather(Ipv4Address src_ip, Ipv4Address dst_ip,
+                             std::size_t headroom,
+                             const util::BufferChain& queue,
+                             std::size_t offset, std::size_t len) const;
   /// Throws util::ParseError on truncation or checksum failure.
   static TcpSegment decode(std::span<const std::uint8_t> bytes,
                            Ipv4Address src_ip, Ipv4Address dst_ip);

@@ -8,11 +8,13 @@
 
 #include "brunet/packet.hpp"
 #include "util/buffer.hpp"
+#include "util/buffer_chain.hpp"
 
 namespace ipop {
 namespace {
 
 using util::Buffer;
+using util::BufferChain;
 using util::BufferView;
 using util::ParseError;
 
@@ -204,6 +206,120 @@ TEST(PacketZeroCopyTest, HeadroomEncapsulationDoesNotCopyPayload) {
 TEST(PacketZeroCopyTest, TruncatedWireThrows) {
   Buffer junk = Buffer::copy_of(pattern(10));
   EXPECT_THROW(brunet::Packet::decode(junk.share()), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// BufferChain: the scatter-gather iovec
+// ---------------------------------------------------------------------------
+
+TEST(BufferChainTest, PrependAppendAreHandleTrafficOnly) {
+  Buffer payload = Buffer::copy_of(pattern(100));
+  const std::uint8_t* payload_ptr = payload.data();
+  BufferChain chain;
+  chain.append(payload.share());
+  Buffer header = Buffer::copy_of(pattern(8));
+  const std::uint8_t* header_ptr = header.data();
+  chain.prepend(header.share());
+  EXPECT_EQ(chain.size(), 108u);
+  EXPECT_EQ(chain.segments(), 2u);
+  // The segments alias the original storage — nothing moved.
+  EXPECT_EQ(chain.segment(0).data(), header_ptr);
+  EXPECT_EQ(chain.segment(1).data(), payload_ptr);
+  EXPECT_EQ(chain.at(0), 0);
+  EXPECT_EQ(chain.at(8), 0);    // first payload byte
+  EXPECT_EQ(chain.at(107), 99); // last payload byte
+}
+
+TEST(BufferChainTest, EmptyBuffersAreNeverStored) {
+  BufferChain chain;
+  chain.append(Buffer());
+  chain.prepend(Buffer::allocate(0, 16));
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.segments(), 0u);
+  chain.append(Buffer::copy_of(pattern(4)));
+  EXPECT_EQ(chain.segments(), 1u);
+}
+
+TEST(BufferChainTest, GatherCrossesSegmentBoundaries) {
+  BufferChain chain;
+  auto bytes = pattern(30);
+  chain.append(Buffer::copy_of({bytes.data(), 10}));
+  chain.append(Buffer::copy_of({bytes.data() + 10, 10}));
+  chain.append(Buffer::copy_of({bytes.data() + 20, 10}));
+  std::vector<std::uint8_t> out(18);
+  chain.gather(7, out);  // spans all three segments
+  EXPECT_EQ(out, std::vector<std::uint8_t>(bytes.begin() + 7,
+                                           bytes.begin() + 25));
+  EXPECT_EQ(chain.to_vector(), bytes);
+}
+
+TEST(BufferChainTest, DropFrontUnlinksAndTrims) {
+  BufferChain chain;
+  auto bytes = pattern(30);
+  chain.append(Buffer::copy_of({bytes.data(), 10}));
+  chain.append(Buffer::copy_of({bytes.data() + 10, 20}));
+  chain.drop_front(15);  // whole first segment + 5 bytes of the second
+  EXPECT_EQ(chain.size(), 15u);
+  EXPECT_EQ(chain.segments(), 1u);
+  EXPECT_EQ(chain.at(0), 15);
+  chain.drop_front(15);
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(BufferChainTest, LazyCoalesceFlattensOnceAndCaches) {
+  BufferChain chain;
+  auto bytes = pattern(40);
+  chain.append(Buffer::copy_of({bytes.data(), 16}));
+  chain.append(Buffer::copy_of({bytes.data() + 16, 24}));
+  const Buffer& flat = chain.coalesce();
+  EXPECT_EQ(flat.view(), BufferView(bytes));
+  EXPECT_EQ(chain.segments(), 1u);
+  // Cached: coalescing again returns the same storage.
+  const std::uint8_t* flat_ptr = flat.data();
+  EXPECT_EQ(chain.coalesce().data(), flat_ptr);
+  // Flattened storage carries headroom for downstream prepends.
+  EXPECT_GE(chain.segment(0).headroom(), util::kPacketHeadroom);
+}
+
+TEST(BufferChainTest, SingleSegmentCoalesceIsZeroCopy) {
+  Buffer b = Buffer::copy_of(pattern(12));
+  const std::uint8_t* ptr = b.data();
+  BufferChain chain(b.share());
+  EXPECT_EQ(chain.coalesce().data(), ptr);
+}
+
+TEST(BufferChainTest, TryShareWithinOneSegmentAliasesStorage) {
+  BufferChain chain;
+  auto bytes = pattern(20);
+  chain.append(Buffer::copy_of({bytes.data(), 10}));
+  chain.append(Buffer::copy_of({bytes.data() + 10, 10}));
+  auto sub = chain.try_share(12, 6);
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->data(), chain.segment(1).data() + 2);
+  // A range spanning the boundary cannot be shared.
+  EXPECT_FALSE(chain.try_share(8, 6).has_value());
+}
+
+TEST(BufferChainTest, BoundsViolationsThrow) {
+  BufferChain chain;
+  chain.append(Buffer::copy_of(pattern(10)));
+  std::vector<std::uint8_t> out(4);
+  EXPECT_THROW(chain.gather(8, out), ParseError);
+  EXPECT_THROW(chain.drop_front(11), ParseError);
+  EXPECT_THROW(chain.at(10), ParseError);
+  EXPECT_THROW(chain.try_share(6, 6), ParseError);
+  EXPECT_THROW(chain.segment(1), ParseError);
+}
+
+TEST(BufferChainTest, AppendChainSplicesSegments) {
+  BufferChain a;
+  a.append(Buffer::copy_of(pattern(5)));
+  BufferChain b;
+  b.append(Buffer::copy_of(pattern(3)));
+  b.append(Buffer::copy_of(pattern(2)));
+  a.append(std::move(b));
+  EXPECT_EQ(a.segments(), 3u);
+  EXPECT_EQ(a.size(), 10u);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for bench_micro_core JSON output.
+
+Usage:
+    tools/bench_gate.py FRESH.json [--baseline BENCH_micro_core.json]
+    tools/bench_gate.py FRESH.json --self-test
+
+Two classes of deterministic checks (wall-clock timings are deliberately
+NOT gated — CI machines are too noisy):
+
+  * zero-copy invariants: the counters that prove the scatter-gather
+    pipeline ships 0 CPU payload copies must be exactly 0.
+  * key-counter regressions vs the committed baseline: batching
+    amortization (datagrams_per_syscall) must not fall below the
+    baseline, and delivery fractions must stay near 1.
+
+--self-test verifies the gate actually fails on a deliberately regressed
+copy counter (and on a lost batch amortization), then exits 0.  CI runs
+it after the real gate so a silently broken parser cannot pass green.
+"""
+
+import argparse
+import copy
+import json
+import re
+import sys
+
+# Counters that must be exactly 0 for matching benchmark names.  The
+# ablation/legacy variants (BM_ForwardHopCopy, BM_NatRewriteCopyAtCrossing,
+# BM_NatForwardSim/1/*, BM_UdpFanoutCopyPerDest) are intentionally absent:
+# their nonzero counters are the comparison, not a regression.
+ZERO_RULES = [
+    (r"^BM_ForwardHopZeroCopy/", "bytes_copied_per_hop"),
+    (r"^BM_NatRewriteInPlace/", "bytes_copied_per_forward"),
+    (r"^BM_NatForwardSim/0/", "bytes_copied_per_forward"),
+    (r"^BM_TcpEdgeStreamSend/", "bytes_copied_per_send"),
+    (r"^BM_UdpFanoutBatchShared/", "bytes_copied_per_datagram"),
+]
+
+# (name regex, counter, absolute floor): fresh value must be >= floor.
+FLOOR_RULES = [
+    (r"^BM_NatForwardSim/0/", "delivered_fraction", 0.9),
+    (r"^BM_TcpEdgeStreamSend/", "delivered_fraction", 0.9),
+]
+
+# (name regex, counter): fresh value must be >= the committed baseline's
+# (deterministic amortization counters; a drop means batching broke).
+BASELINE_MIN_RULES = [
+    (r"^BM_UdpFanoutBatchShared/", "datagrams_per_syscall"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def runs(doc):
+    return {
+        b["name"]: b
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def check(fresh_doc, baseline_doc):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    fresh = runs(fresh_doc)
+    baseline = runs(baseline_doc) if baseline_doc else {}
+
+    def matching(rules_name_re):
+        return [(n, b) for n, b in fresh.items() if re.search(rules_name_re, n)]
+
+    for name_re, counter in ZERO_RULES:
+        matched = matching(name_re)
+        if not matched:
+            failures.append(f"no benchmark matches {name_re} (bench deleted?)")
+            continue
+        for name, bench in matched:
+            value = bench.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif value != 0:
+                failures.append(
+                    f"{name}: {counter} = {value} (zero-copy invariant broken)")
+
+    for name_re, counter, floor in FLOOR_RULES:
+        for name, bench in matching(name_re):
+            value = bench.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif value < floor:
+                failures.append(f"{name}: {counter} = {value} < floor {floor}")
+
+    for name_re, counter in BASELINE_MIN_RULES:
+        for name, bench in matching(name_re):
+            base = baseline.get(name)
+            if base is None or counter not in base:
+                continue  # no committed reference for this run/counter
+            value = bench.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif value < base[counter]:
+                failures.append(
+                    f"{name}: {counter} regressed to {value} "
+                    f"(baseline {base[counter]})")
+
+    return failures
+
+
+def self_test(fresh_doc, baseline_doc):
+    """The gate must fail when a gated counter is deliberately regressed."""
+    clean = check(fresh_doc, baseline_doc)
+    if clean:
+        print("self-test inconclusive: gate already failing:", file=sys.stderr)
+        for f in clean:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+
+    # Regress every zero-rule counter on its first matching benchmark.
+    for name_re, counter in ZERO_RULES:
+        doc = copy.deepcopy(fresh_doc)
+        for b in doc["benchmarks"]:
+            if re.search(name_re, b["name"]) and counter in b:
+                b[counter] = 1456.0
+                break
+        if not check(doc, baseline_doc):
+            print(f"self-test FAILED: regressed {counter} on {name_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
+    # Regress the batch amortization below its committed baseline.
+    for name_re, counter in BASELINE_MIN_RULES:
+        doc = copy.deepcopy(fresh_doc)
+        for b in doc["benchmarks"]:
+            if re.search(name_re, b["name"]) and counter in b:
+                b[counter] = 0.5
+                break
+        if not check(doc, baseline_doc):
+            print(f"self-test FAILED: regressed {counter} on {name_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
+    print("self-test OK: gate fails on deliberately regressed counters")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="bench_micro_core JSON from this run")
+    ap.add_argument("--baseline", default="BENCH_micro_core.json",
+                    help="committed reference JSON (default: %(default)s)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches a regressed counter")
+    args = ap.parse_args()
+
+    fresh_doc = load(args.fresh)
+    try:
+        baseline_doc = load(args.baseline)
+    except FileNotFoundError:
+        print(f"warning: baseline {args.baseline} not found; "
+              "baseline-relative rules skipped", file=sys.stderr)
+        baseline_doc = None
+
+    if args.self_test:
+        sys.exit(self_test(fresh_doc, baseline_doc))
+
+    failures = check(fresh_doc, baseline_doc)
+    if failures:
+        print("bench gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("bench gate OK: zero-copy invariants hold, "
+          "no key-counter regressions")
+
+
+if __name__ == "__main__":
+    main()
