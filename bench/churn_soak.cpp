@@ -1,0 +1,439 @@
+// Churn soak: the self-configuration workload.
+//
+// N IPOP nodes boot with no preassigned virtual IP on one simulated LAN,
+// lease addresses through DHCP-over-the-DHT, and are then subjected to
+// Poisson churn — graceful leaves (kDeparting + DHT handoff), abrupt
+// failures (keepalive-miss detection + re-replication) and re-joins (a
+// fresh lease acquisition) — while the harness continuously audits the
+// three viability metrics the related smart-grid trade-off study singles
+// out (arXiv 2112.06848):
+//
+//   * virtual-IP acquisition latency (join cost under churn),
+//   * duplicate leases (the atomic-create invariant; must be zero),
+//   * Brunet-ARP resolution success rate (can traffic still find nodes).
+//
+// Results go to BENCH_churn_soak.json in google-benchmark JSON shape so
+// tools/bench_gate.py --suite churn can gate CI on them.
+//
+//   bench_churn_soak [--nodes N] [--churn-minutes M] [--churn-rate R]
+//                    [--seed S] [--out PATH]
+//
+// R is expressed in events per node per minute (0.10 = "10% churn").
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipop/node.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using ipop::util::milliseconds;
+using ipop::util::seconds;
+
+struct Options {
+  int nodes = 64;
+  double churn_minutes = 20.0;
+  double churn_rate = 0.10;  // events / node / minute
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_churn_soak.json";
+};
+
+struct SoakNode {
+  ipop::net::Host* host = nullptr;
+  std::unique_ptr<ipop::core::IpopNode> node;
+  bool live = false;
+  ipop::util::TimePoint started{};
+  ipop::util::TimePoint configured{};
+};
+
+struct Metrics {
+  ipop::util::Samples acquisition_ms;
+  std::uint64_t churn_events = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t graceful_leaves = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t duplicate_leases = 0;
+  std::uint64_t lease_audits = 0;
+  std::uint64_t resolution_attempts = 0;
+  std::uint64_t resolution_successes = 0;
+  std::uint64_t resolution_aborted = 0;
+  std::uint64_t resolution_misses = 0;  // lookup returned nothing
+  std::uint64_t resolution_wrong = 0;   // lookup returned a stale owner
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      opt.nodes = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--churn-minutes") == 0) {
+      opt.churn_minutes = std::atof(next());
+    } else if (std::strcmp(argv[i], "--churn-rate") == 0) {
+      opt.churn_rate = std::atof(next());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opt.out = next();
+    } else {
+      std::fprintf(stderr, "unknown arg %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("churn soak: %d nodes, %.0f%% churn/node/min, %.1f min\n",
+              opt.nodes, opt.churn_rate * 100.0, opt.churn_minutes);
+
+  ipop::net::Network net{opt.seed};
+  auto& loop = net.loop();
+  auto& sw = net.add_switch("core");
+  ipop::sim::LinkConfig lan;
+  lan.delay = ipop::util::microseconds(200);
+
+  Metrics m;
+  std::vector<SoakNode> soak(static_cast<std::size_t>(opt.nodes));
+  for (int i = 0; i < opt.nodes; ++i) {
+    auto& s = soak[static_cast<std::size_t>(i)];
+    auto& h = net.add_host("c" + std::to_string(i));
+    net.connect_to_switch(
+        h.stack(),
+        {"eth0",
+         ipop::net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i / 200),
+                                static_cast<std::uint8_t>(i % 200 + 1)),
+         16},
+        sw, lan);
+    s.host = &h;
+    ipop::core::IpopConfig cfg;
+    cfg.use_dhcp = true;
+    cfg.dhcp.renew_interval = seconds(30);
+    cfg.overlay.near_per_side = 2;
+    // Churn-tuned failure detection: a crashed node blackholes every
+    // route through it until keepalive evicts the edge, so the soak runs
+    // the aggressive timers a churn-heavy deployment would use.
+    cfg.overlay.edge_idle_ping = seconds(2);
+    cfg.overlay.edge_timeout = seconds(6);
+    // Modest user-level costs: the soak measures protocol dynamics, not
+    // the calibrated Planet-Lab processing model.
+    cfg.cpu_per_packet = ipop::util::microseconds(50);
+    cfg.sched_latency = ipop::util::microseconds(200);
+    s.node = std::make_unique<ipop::core::IpopNode>(h, cfg);
+    if (i > 0) {
+      s.node->add_seed({ipop::brunet::TransportAddress::Proto::kUdp,
+                        soak[0].host->stack().interface_ip(0), 17001});
+    }
+    s.node->set_configured_handler([&m, &s, &loop](ipop::net::Ipv4Address) {
+      s.configured = loop.now();
+      m.acquisition_ms.add(ipop::util::to_milliseconds(s.configured -
+                                                       s.started));
+    });
+  }
+
+  // --- warmup: staggered joins, wait for full self-configuration --------
+  for (auto& s : soak) {
+    s.started = loop.now();
+    s.live = true;
+    s.node->start();
+    loop.run_until(loop.now() + milliseconds(250));
+  }
+  const auto warmup_deadline = loop.now() + seconds(300);
+  auto all_configured = [&] {
+    return std::all_of(soak.begin(), soak.end(), [](const SoakNode& s) {
+      return !s.live || s.node->self_configured();
+    });
+  };
+  while (loop.now() < warmup_deadline && !all_configured()) {
+    loop.run_until(loop.now() + milliseconds(500));
+  }
+  if (!all_configured()) {
+    std::fprintf(stderr, "FAIL: warmup did not self-configure all nodes\n");
+    return 1;
+  }
+  std::printf("warmup done at t=%.1fs: %d nodes self-configured, "
+              "mean acquisition %.1f ms\n",
+              ipop::util::to_seconds(loop.now()), opt.nodes,
+              m.acquisition_ms.mean());
+
+  // --- churn + continuous audit ------------------------------------------
+  ipop::util::Rng rng(opt.seed * 7919 + 13);
+  const double events_per_minute =
+      opt.churn_rate * static_cast<double>(opt.nodes);
+  const auto t_end =
+      loop.now() + ipop::util::seconds_f(opt.churn_minutes * 60.0);
+
+  auto live_configured = [&]() {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+      if (soak[i].live && soak[i].node->self_configured() &&
+          loop.now() - soak[i].configured > seconds(2)) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  };
+
+  auto audit_leases = [&] {
+    ++m.lease_audits;
+    std::map<ipop::net::Ipv4Address, int> holders;
+    for (const auto& s : soak) {
+      if (s.live && s.node->self_configured()) {
+        ++holders[s.node->virtual_ip()];
+      }
+    }
+    for (const auto& [ip, count] : holders) {
+      if (count > 1) {
+        m.duplicate_leases += static_cast<std::uint64_t>(count - 1);
+        std::fprintf(stderr, "DUPLICATE LEASE: %s held by %d nodes\n",
+                     ip.to_string().c_str(), count);
+      }
+    }
+  };
+
+  auto probe_resolution = [&] {
+    auto ready = live_configured();
+    if (ready.size() < 2) return;
+    for (int p = 0; p < 8; ++p) {
+      const auto ai = ready[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ready.size()) - 1))];
+      auto bi = ai;
+      while (bi == ai) {
+        bi = ready[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(ready.size()) - 1))];
+      }
+      const auto vip = soak[bi].node->virtual_ip();
+      const auto expect = soak[bi].node->overlay().address();
+      ++m.resolution_attempts;
+      soak[ai].node->brunet_arp()->resolve(
+          vip, [&m, &soak, ai, expect](
+                   std::optional<ipop::brunet::Address> addr) {
+            if (!soak[ai].live) {
+              // The prober itself churned away mid-lookup; the timeout
+              // says nothing about the DHT.
+              ++m.resolution_aborted;
+              return;
+            }
+            if (addr && *addr == expect) {
+              ++m.resolution_successes;
+            } else if (!addr) {
+              ++m.resolution_misses;
+            } else {
+              ++m.resolution_wrong;
+            }
+          });
+    }
+  };
+
+  auto churn_event = [&] {
+    ++m.churn_events;
+    std::vector<std::size_t> live;
+    std::vector<std::size_t> down;
+    for (std::size_t i = 1; i < soak.size(); ++i) {  // node 0 = seed, pinned
+      (soak[i].live ? live : down).push_back(i);
+    }
+    const double live_fraction =
+        static_cast<double>(live.size() + 1) / static_cast<double>(opt.nodes);
+    const double roll = rng.uniform();
+    if (!down.empty() && (live_fraction < 0.85 || roll < 0.4)) {
+      const auto i = down[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(down.size()) - 1))];
+      ++m.joins;
+      soak[i].started = loop.now();
+      soak[i].live = true;
+      soak[i].node->start();
+    } else if (!live.empty()) {
+      const auto i = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      soak[i].live = false;
+      if (roll < 0.7) {
+        ++m.graceful_leaves;
+        soak[i].node->leave();
+      } else {
+        ++m.failures;
+        soak[i].node->stop();  // crash: no departure notice
+      }
+    }
+  };
+
+  auto next_event =
+      loop.now() + ipop::util::seconds_f(rng.exponential(
+                       60.0 / events_per_minute));
+  auto next_audit = loop.now() + seconds(5);
+  while (loop.now() < t_end) {
+    const auto next = std::min(std::min(next_event, next_audit), t_end);
+    loop.run_until(next);
+    if (loop.now() >= next_event) {
+      churn_event();
+      next_event = loop.now() + ipop::util::seconds_f(rng.exponential(
+                                    60.0 / events_per_minute));
+    }
+    if (loop.now() >= next_audit) {
+      audit_leases();
+      probe_resolution();
+      next_audit = loop.now() + seconds(5);
+    }
+  }
+  // Drain: let in-flight lookups and reacquisitions settle, final audit.
+  loop.run_until(loop.now() + seconds(30));
+  audit_leases();
+
+  std::uint64_t live_count = 0;
+  std::uint64_t configured_count = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t rereplications = 0;
+  std::uint64_t dhcp_conflicts = 0;
+  std::uint64_t lease_losses = 0;
+  std::uint64_t keepalive_evictions = 0;
+  std::uint64_t departures_seen = 0;
+  std::uint64_t arp_invalidations = 0;
+  for (const auto& s : soak) {
+    if (s.live) {
+      ++live_count;
+      if (s.node->self_configured()) ++configured_count;
+    }
+    handoffs += s.node->dht().stats().handoffs;
+    rereplications += s.node->dht().stats().rereplications;
+    dhcp_conflicts += s.node->dhcp()->stats().conflicts;
+    lease_losses += s.node->dhcp()->stats().lost_leases;
+    keepalive_evictions += s.node->overlay().stats().keepalive_evictions;
+    departures_seen += s.node->overlay().stats().departures_seen;
+    arp_invalidations += s.node->brunet_arp()->stats().invalidations;
+  }
+  const double resolution_rate =
+      m.resolution_attempts > m.resolution_aborted
+          ? static_cast<double>(m.resolution_successes) /
+                static_cast<double>(m.resolution_attempts -
+                                    m.resolution_aborted)
+          : 1.0;
+  const double acquired_fraction =
+      live_count > 0 ? static_cast<double>(configured_count) /
+                           static_cast<double>(live_count)
+                     : 1.0;
+
+  std::printf(
+      "soak done: %llu events (%llu joins, %llu leaves, %llu fails)\n"
+      "  duplicate leases: %llu across %llu audits\n"
+      "  resolution: %llu/%llu ok (%.4f; %llu aborted, %llu misses, "
+      "%llu stale)\n"
+      "  acquisition latency: mean %.1f ms, p95 %.1f ms, max %.1f ms\n"
+      "  dht: %llu handoffs, %llu re-replications; dhcp conflicts %llu, "
+      "leases lost %llu\n"
+      "  churn detection: %llu keepalive evictions, %llu departures seen, "
+      "%llu arp invalidations\n",
+      static_cast<unsigned long long>(m.churn_events),
+      static_cast<unsigned long long>(m.joins),
+      static_cast<unsigned long long>(m.graceful_leaves),
+      static_cast<unsigned long long>(m.failures),
+      static_cast<unsigned long long>(m.duplicate_leases),
+      static_cast<unsigned long long>(m.lease_audits),
+      static_cast<unsigned long long>(m.resolution_successes),
+      static_cast<unsigned long long>(m.resolution_attempts -
+                                      m.resolution_aborted),
+      resolution_rate,
+      static_cast<unsigned long long>(m.resolution_aborted),
+      static_cast<unsigned long long>(m.resolution_misses),
+      static_cast<unsigned long long>(m.resolution_wrong),
+      m.acquisition_ms.mean(), m.acquisition_ms.percentile(95),
+      m.acquisition_ms.percentile(100),
+      static_cast<unsigned long long>(handoffs),
+      static_cast<unsigned long long>(rereplications),
+      static_cast<unsigned long long>(dhcp_conflicts),
+      static_cast<unsigned long long>(lease_losses),
+      static_cast<unsigned long long>(keepalive_evictions),
+      static_cast<unsigned long long>(departures_seen),
+      static_cast<unsigned long long>(arp_invalidations));
+
+  // google-benchmark JSON shape, so tools/bench_gate.py shares one parser.
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"executable\": \"bench_churn_soak\",\n"
+               "    \"nodes\": %d,\n"
+               "    \"churn_rate_per_node_per_min\": %.4f,\n"
+               "    \"churn_minutes\": %.2f,\n"
+               "    \"seed\": %llu\n"
+               "  },\n"
+               "  \"benchmarks\": [\n"
+               "    {\n"
+               "      \"name\": \"ChurnSoak/%d\",\n"
+               "      \"run_type\": \"iteration\",\n"
+               "      \"iterations\": 1,\n"
+               "      \"real_time\": %.3f,\n"
+               "      \"cpu_time\": %.3f,\n"
+               "      \"time_unit\": \"s\",\n"
+               "      \"churn_events\": %llu,\n"
+               "      \"joins\": %llu,\n"
+               "      \"graceful_leaves\": %llu,\n"
+               "      \"failures\": %llu,\n"
+               "      \"duplicate_leases\": %llu,\n"
+               "      \"lease_audits\": %llu,\n"
+               "      \"resolution_attempts\": %llu,\n"
+               "      \"resolution_aborted\": %llu,\n"
+               "      \"resolution_success_rate\": %.6f,\n"
+               "      \"lease_acquired_fraction\": %.6f,\n"
+               "      \"acquisition_latency_ms_mean\": %.3f,\n"
+               "      \"acquisition_latency_ms_p95\": %.3f,\n"
+               "      \"acquisition_latency_ms_max\": %.3f,\n"
+               "      \"dht_handoffs\": %llu,\n"
+               "      \"dht_rereplications\": %llu,\n"
+               "      \"dhcp_conflicts\": %llu,\n"
+               "      \"lease_losses\": %llu,\n"
+               "      \"keepalive_evictions\": %llu,\n"
+               "      \"departures_seen\": %llu,\n"
+               "      \"arp_invalidations\": %llu\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
+               opt.nodes, opt.churn_rate, opt.churn_minutes,
+               static_cast<unsigned long long>(opt.seed), opt.nodes,
+               ipop::util::to_seconds(loop.now()),
+               ipop::util::to_seconds(loop.now()),
+               static_cast<unsigned long long>(m.churn_events),
+               static_cast<unsigned long long>(m.joins),
+               static_cast<unsigned long long>(m.graceful_leaves),
+               static_cast<unsigned long long>(m.failures),
+               static_cast<unsigned long long>(m.duplicate_leases),
+               static_cast<unsigned long long>(m.lease_audits),
+               static_cast<unsigned long long>(m.resolution_attempts),
+               static_cast<unsigned long long>(m.resolution_aborted),
+               resolution_rate, acquired_fraction,
+               m.acquisition_ms.mean(), m.acquisition_ms.percentile(95),
+               m.acquisition_ms.percentile(100),
+               static_cast<unsigned long long>(handoffs),
+               static_cast<unsigned long long>(rereplications),
+               static_cast<unsigned long long>(dhcp_conflicts),
+               static_cast<unsigned long long>(lease_losses),
+               static_cast<unsigned long long>(keepalive_evictions),
+               static_cast<unsigned long long>(departures_seen),
+               static_cast<unsigned long long>(arp_invalidations));
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.out.c_str());
+
+  // The soak binary itself enforces the hard invariants so a CI leg
+  // without the gate script still fails loudly.
+  if (m.duplicate_leases != 0) {
+    std::fprintf(stderr, "FAIL: duplicate leases\n");
+    return 1;
+  }
+  if (resolution_rate < 0.99) {
+    std::fprintf(stderr, "FAIL: resolution success %.4f < 0.99\n",
+                 resolution_rate);
+    return 1;
+  }
+  return 0;
+}

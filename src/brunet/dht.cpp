@@ -7,18 +7,40 @@ namespace ipop::brunet {
 namespace {
 constexpr std::uint8_t kOk = 1;
 constexpr std::uint8_t kNotFound = 0;
+constexpr std::uint8_t kConflict = 2;  // create(): key taken by other value
 }  // namespace
 
-Dht::Dht(BrunetNode& node, DhtConfig cfg) : node_(node), cfg_(cfg) {
+Dht::Dht(BrunetNode& node, DhtConfig cfg)
+    : node_(node), cfg_(cfg), alive_(std::make_shared<bool>(true)) {
   node_.set_handler(PacketType::kDhtRequest,
                     [this](const Packet& pkt) { handle_request(pkt); });
   republish_timer_ = node_.host().loop().schedule_after(
       cfg_.republish_interval, [this] { republish_tick(); });
+  // Churn hooks: a dead connection may have held replicas of our records;
+  // a graceful departure hands every record onward before edges drop.
+  node_.add_connection_lost_observer(
+      [this, alive = std::weak_ptr<bool>(alive_)](const Address& lost) {
+        if (alive.expired()) return;
+        // The departed peer may come back (same overlay address after a
+        // crash/rejoin): clear the handoff stamps aimed at it so the
+        // republish tick re-sends the records it lost, instead of
+        // starving the rejoined owner forever.
+        for (auto& [key, rec] : store_) {
+          if (rec.handed && rec.handed_to == lost) rec.handed = false;
+        }
+        schedule_rereplication();
+      });
+  node_.add_departure_hook([this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    handoff_all();
+  });
 }
 
 Dht::~Dht() {
   stopped_ = true;
-  if (republish_timer_ != 0) node_.host().loop().cancel(republish_timer_);
+  auto& loop = node_.host().loop();
+  if (republish_timer_ != 0) loop.cancel(republish_timer_);
+  if (rereplicate_timer_ != 0) loop.cancel(rereplicate_timer_);
 }
 
 void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
@@ -35,15 +57,51 @@ void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
                 });
 }
 
+void Dht::create(const Key& key, std::vector<std::uint8_t> value,
+                 PutCallback cb) {
+  ++stats_.creates;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kCreate));
+  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
+  w.u64(version_counter_++);
+  w.lp_bytes(value);
+  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
+                [cb = std::move(cb)](std::optional<Packet> resp) {
+                  if (cb) cb(resp.has_value() && !resp->payload().empty() &&
+                             resp->payload()[0] == kOk);
+                });
+}
+
 void Dht::get(const Key& key, GetCallback cb) {
   ++stats_.gets;
+  get_attempt(key, cfg_.get_retries, std::move(cb));
+}
+
+void Dht::get_attempt(const Key& key, int retries_left, GetCallback cb) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kGet));
   w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
   node_.request(
       key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
-      [this, cb = std::move(cb)](std::optional<Packet> resp) {
-        if (!resp || resp->payload().empty() || resp->payload()[0] == kNotFound) {
+      [this, key, retries_left, cb = std::move(cb),
+       alive = std::weak_ptr<bool>(alive_)](std::optional<Packet> resp) mutable {
+        if (alive.expired()) return;
+        if (!resp || resp->payload().empty() ||
+            resp->payload()[0] == kNotFound) {
+          // Miss or timeout: under churn the request may have died on a
+          // route through a dead-but-not-yet-evicted node; give the ring
+          // a beat to heal and ask again.
+          if (retries_left > 0 && !stopped_) {
+            ++stats_.get_retries;
+            node_.host().loop().schedule_after(
+                cfg_.get_retry_delay,
+                [this, key, retries_left, cb = std::move(cb),
+                 alive2 = std::move(alive)]() mutable {
+                  if (alive2.expired() || stopped_) return;
+                  get_attempt(key, retries_left - 1, std::move(cb));
+                });
+            return;
+          }
           ++stats_.misses;
           if (cb) cb(std::nullopt);
           return;
@@ -76,25 +134,33 @@ void Dht::handle_request(const Packet& pkt) {
         rec.version = r.u64();
         rec.value = r.lp_bytes();
         rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        bump_version(key, rec);
         store_record(key, rec);
-        // Replicate to ring neighbors: the replica record is serialized
-        // once and the fan-out shares that one buffer — each replica
-        // packet prepends its own header segment, and replicas routing
-        // over the same edge leave in one batched transport send.
-        util::ByteWriter w;
-        w.u8(static_cast<std::uint8_t>(Op::kReplica));
-        w.bytes(std::span<const std::uint8_t>(key.bytes().data(),
-                                              Address::kBytes));
-        w.u64(rec.version);
-        w.lp_bytes(rec.value);
-        const auto payload = util::Buffer::wrap(w.take());
-        std::vector<Address> replicas;
-        for (const auto* c : node_.table().right_neighbors(cfg_.replicas)) {
-          replicas.push_back(c->addr);
-          if (replicas.size() >= cfg_.replicas) break;
+        replicate(key, rec);
+        node_.respond(pkt, PacketType::kDhtResponse,
+                      std::vector<std::uint8_t>{kOk});
+        return;
+      }
+      case Op::kCreate: {
+        Record rec;
+        rec.version = r.u64();
+        rec.value = r.lp_bytes();
+        // Owner-side uniqueness check: a live record with a different
+        // value wins; an expired record or the writer's own value does
+        // not block (the latter is how a lease holder renews).
+        auto it = store_.find(key);
+        if (it != store_.end() &&
+            it->second.expires >= node_.host().loop().now() &&
+            it->second.value != rec.value) {
+          ++stats_.create_conflicts;
+          node_.respond(pkt, PacketType::kDhtResponse,
+                        std::vector<std::uint8_t>{kConflict});
+          return;
         }
-        node_.send_batch(replicas, PacketType::kDhtRequest,
-                         RoutingMode::kExact, payload.share());
+        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        bump_version(key, rec);
+        store_record(key, rec);
+        replicate(key, rec);
         node_.respond(pkt, PacketType::kDhtResponse,
                       std::vector<std::uint8_t>{kOk});
         return;
@@ -126,6 +192,80 @@ void Dht::handle_request(const Packet& pkt) {
   }
 }
 
+void Dht::bump_version(const Key& key, Record& rec) {
+  // Writers stamp versions from their own independent counters, so an
+  // accepted overwrite must also dominate whatever version the previous
+  // writer left here (and on the replicas) — otherwise store_record()
+  // keeps the old record while the owner already answered kOk.
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    rec.version = std::max(rec.version, it->second.version + 1);
+  }
+}
+
+std::vector<std::uint8_t> Dht::encode_replica(const Key& key,
+                                              const Record& rec) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kReplica));
+  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
+  w.u64(rec.version);
+  w.lp_bytes(rec.value);
+  return w.take();
+}
+
+void Dht::replicate(const Key& key, const Record& rec) {
+  // Replicate to ring neighbors: the replica record is serialized once
+  // and the fan-out shares that one buffer — each replica packet prepends
+  // its own header segment, and replicas routing over the same edge leave
+  // in one batched transport send.
+  const auto payload = util::Buffer::wrap(encode_replica(key, rec));
+  std::vector<Address> replicas;
+  for (const auto* c : node_.table().right_neighbors(cfg_.replicas)) {
+    replicas.push_back(c->addr);
+    if (replicas.size() >= cfg_.replicas) break;
+  }
+  node_.send_batch(replicas, PacketType::kDhtRequest, RoutingMode::kExact,
+                   payload.share());
+}
+
+bool Dht::owns(const Key& key) const {
+  const Connection* best = node_.table().closest_to(key);
+  return best == nullptr ||
+         !Address::closer(key, best->addr, node_.address());
+}
+
+void Dht::schedule_rereplication() {
+  if (stopped_ || rereplicate_timer_ != 0) return;
+  rereplicate_timer_ = node_.host().loop().schedule_after(
+      cfg_.rereplicate_delay, [this] {
+        rereplicate_timer_ = 0;
+        rereplicate_owned();
+      });
+}
+
+void Dht::rereplicate_owned() {
+  if (stopped_) return;
+  const auto now = node_.host().loop().now();
+  for (const auto& [key, rec] : store_) {
+    if (rec.expires < now || !owns(key)) continue;
+    replicate(key, rec);
+    ++stats_.rereplications;
+  }
+}
+
+void Dht::handoff_all() {
+  // Departing: push every record (owned or replica) to the connected node
+  // now closest to its key.  Routed kExact over the still-open edges; the
+  // receiver absorbs it as a plain replica write.
+  for (const auto& [key, rec] : store_) {
+    const Connection* best = node_.table().closest_to(key);
+    if (best == nullptr) continue;
+    node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+               encode_replica(key, rec));
+    ++stats_.handoffs;
+  }
+}
+
 void Dht::store_record(const Key& key, Record rec) {
   auto it = store_.find(key);
   if (it != store_.end() && it->second.version > rec.version) {
@@ -142,20 +282,20 @@ void Dht::republish_tick() {
   std::erase_if(store_, [&](const auto& kv) { return kv.second.expires < now; });
   stats_.stored = store_.size();
   // Hand off records whose key is now closer to a connected neighbor than
-  // to us (ring membership changed underneath the data).
-  for (const auto& [key, rec] : store_) {
+  // to us (ring membership changed underneath the data).  Each copy is
+  // forwarded once per distinct owner: the handed_to stamp suppresses the
+  // re-send until ownership shifts again or the record is rewritten.
+  for (auto& [key, rec] : store_) {
     const Connection* best = node_.table().closest_to(key);
-    if (best != nullptr && Address::closer(key, best->addr, node_.address())) {
-      util::ByteWriter w;
-      w.u8(static_cast<std::uint8_t>(Op::kReplica));
-      w.bytes(
-          std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-      w.u64(rec.version);
-      w.lp_bytes(rec.value);
-      node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
-                 w.take());
-      ++stats_.handoffs;
+    if (best == nullptr || !Address::closer(key, best->addr, node_.address())) {
+      continue;
     }
+    if (rec.handed && rec.handed_to == best->addr) continue;
+    node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+               encode_replica(key, rec));
+    rec.handed = true;
+    rec.handed_to = best->addr;
+    ++stats_.handoffs;
   }
   republish_timer_ = node_.host().loop().schedule_after(
       cfg_.republish_interval, [this] { republish_tick(); });

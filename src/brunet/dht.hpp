@@ -24,6 +24,15 @@ struct DhtConfig {
   /// Records expire unless refreshed (mobility updates refresh them).
   Duration record_ttl = util::seconds(600);
   Duration republish_interval = util::seconds(5);
+  /// Grace period between a lost connection and the re-replication pass it
+  /// triggers (lets ring repair re-link first so the copies land on the
+  /// *new* neighbors, and coalesces a burst of failures into one pass).
+  Duration rereplicate_delay = util::milliseconds(500);
+  /// A get() that misses (not-found or timeout) is retried this many
+  /// times: under churn the first attempt often dies on a route through a
+  /// not-yet-evicted dead node, and by the retry the ring has healed.
+  int get_retries = 2;
+  Duration get_retry_delay = util::milliseconds(1500);
 };
 
 struct DhtStats {
@@ -33,6 +42,15 @@ struct DhtStats {
   std::uint64_t misses = 0;
   std::uint64_t stored = 0;
   std::uint64_t handoffs = 0;
+  std::uint64_t creates = 0;
+  /// Second-chance lookups issued after a miss/timeout under churn.
+  std::uint64_t get_retries = 0;
+  /// Owner-side create() rejections: a live record with a different value
+  /// already held the key.
+  std::uint64_t create_conflicts = 0;
+  /// Records pushed back out to ring neighbors after a connection loss
+  /// left them under-replicated.
+  std::uint64_t rereplications = 0;
 };
 
 class Dht {
@@ -47,6 +65,13 @@ class Dht {
 
   /// Store value at the node closest to `key` (plus replicas).
   void put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb);
+  /// Atomic create-if-absent: succeeds only when no live record holds the
+  /// key, or the existing record already carries exactly `value` (so the
+  /// writer can renew its own claim with the same call — the refresh
+  /// pushes the expiry out and re-replicates).  The uniqueness check runs
+  /// on the owner, making this the allocation primitive DHCP-over-DHT
+  /// leases are built on; accepted creates replicate like put().
+  void create(const Key& key, std::vector<std::uint8_t> value, PutCallback cb);
   /// Fetch the freshest value for `key` from its owner.
   void get(const Key& key, GetCallback cb);
 
@@ -59,13 +84,38 @@ class Dht {
     std::vector<std::uint8_t> value;
     TimePoint expires{};
     std::uint64_t version = 0;  // writer-supplied monotonic stamp
+    /// Ring-shift handoff bookkeeping: the owner this copy was already
+    /// forwarded to.  Without it every replica re-sends every record to
+    /// the owner on every republish tick — at 64 nodes that snowballs
+    /// into hundreds of redundant handoffs per second.
+    Address handed_to{};
+    bool handed = false;
   };
 
-  enum class Op : std::uint8_t { kPut = 0, kGet = 1, kReplica = 2 };
+  enum class Op : std::uint8_t { kPut = 0, kGet = 1, kReplica = 2,
+                                 kCreate = 3 };
 
   void handle_request(const Packet& pkt);
+  void get_attempt(const Key& key, int retries_left, GetCallback cb);
+  /// Raise an accepted write's version above the stored record's (writers
+  /// stamp from independent counters; an overwrite the owner accepted
+  /// must dominate the previous writer's stamp on every replica too).
+  void bump_version(const Key& key, Record& rec);
+  /// The kReplica wire image: op byte + key + version + lp value (shared
+  /// by replication fan-out, ring-shift handoff and departure handoff).
+  std::vector<std::uint8_t> encode_replica(const Key& key, const Record& rec);
   void store_record(const Key& key, Record rec);
   void republish_tick();
+  /// Serialize `rec` once and fan the kReplica out to the ring neighbors
+  /// (one shared payload buffer, batched per edge).
+  void replicate(const Key& key, const Record& rec);
+  /// A connection died: schedule one coalesced re-replication pass.
+  void schedule_rereplication();
+  void rereplicate_owned();
+  /// Graceful-departure hook: hand every stored record to the connected
+  /// node now closest to its key, before our edges go down.
+  void handoff_all();
+  bool owns(const Key& key) const;
 
   BrunetNode& node_;
   DhtConfig cfg_;
@@ -73,7 +123,11 @@ class Dht {
   std::map<Key, Record> store_;
   std::uint64_t version_counter_ = 1;
   std::uint64_t republish_timer_ = 0;
+  std::uint64_t rereplicate_timer_ = 0;
   bool stopped_ = false;
+  /// Sentinel for the observer lambdas registered with the node (the node
+  /// may outlive this Dht; expired weak_ptr = dead Dht, do nothing).
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace ipop::brunet

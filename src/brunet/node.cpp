@@ -44,6 +44,14 @@ NodeInfo NodeInfo::decode(util::ByteReader& r) {
   return info;
 }
 
+std::size_t encode_node_infos(util::ByteWriter& w,
+                              std::span<const NodeInfo> infos) {
+  const std::size_t n = std::min<std::size_t>(infos.size(), 255);
+  w.u8(static_cast<std::uint8_t>(n));
+  for (std::size_t i = 0; i < n; ++i) infos[i].encode(w);
+  return n;
+}
+
 BrunetNode::BrunetNode(net::Host& host, Address addr, NodeConfig cfg)
     : host_(host), addr_(addr), cfg_(cfg), table_(addr) {}
 
@@ -64,6 +72,56 @@ void BrunetNode::start() {
         [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
   }
   maintenance_tick();
+}
+
+void BrunetNode::leave() {
+  if (!started_) return;
+  // Hand off state (DHT records, ring position) first, while every edge
+  // is still fully open: peers close the shared edge as soon as the
+  // kDeparting notice arrives, so on stream transports anything queued
+  // behind the notice would be discarded with the socket.
+  for (auto& hook : departure_hooks_) {
+    if (hook) hook();
+  }
+  // Then tell every peer we are going: one shared wire image carrying our
+  // identity and neighbor list, so the two sides of the ring gap can link
+  // to each other immediately instead of waiting for keepalive misses and
+  // stabilization to rediscover the neighborhood.
+  Packet notice;
+  notice.type = PacketType::kDeparting;
+  notice.src = addr_;
+  util::ByteWriter w;
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
+  notice.set_payload(w.take());
+  const auto wire = notice.to_wire();
+  for (const auto* c : table_.all()) {
+    c->edge->send(wire);
+  }
+  stop();
+}
+
+void BrunetNode::add_connection_lost_observer(ConnectionLostHandler h) {
+  conn_lost_observers_.push_back(std::move(h));
+}
+
+void BrunetNode::add_departure_hook(std::function<void()> hook) {
+  departure_hooks_.push_back(std::move(hook));
+}
+
+void BrunetNode::notify_connection_lost(const Address& addr) {
+  for (auto& observer : conn_lost_observers_) {
+    if (observer) observer(addr);
+  }
+}
+
+void BrunetNode::evict_connection(const Address& addr) {
+  const Connection* c = table_.find(addr);
+  if (c == nullptr) return;
+  auto edge = c->edge;
+  table_.remove(addr);
+  if (edge) edge->close();
+  notify_connection_lost(addr);
 }
 
 void BrunetNode::stop() {
@@ -87,6 +145,11 @@ void BrunetNode::stop() {
     if (e) e->close();
   }
   while (!table_.all().empty()) table_.remove(table_.all().front()->addr);
+  // Tear the transports down: a stopped node's sockets close, so inbound
+  // traffic can no longer spawn edges that would dangle across a later
+  // restart (start() builds fresh transports).
+  udp_.reset();
+  tcp_.reset();
 }
 
 void BrunetNode::record_observed(const TransportAddress& ta) {
@@ -198,6 +261,9 @@ void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
       case PacketType::kEdgePong:
         handle_edge_pong(edge, pkt);
         break;
+      case PacketType::kDeparting:
+        handle_departing(edge, pkt);
+        break;
       default:
         break;
     }
@@ -209,10 +275,11 @@ void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
 void BrunetNode::on_edge_closed(Edge* edge) {
   edges_.erase(edge);
   if (const Connection* c = table_.find_by_edge(edge)) {
-    IPOP_LOG_DEBUG(addr_.short_hex() << ": lost edge to "
-                                     << c->addr.short_hex());
+    const Address addr = c->addr;  // copy: remove() invalidates c
+    IPOP_LOG_DEBUG(addr_.short_hex() << ": lost edge to " << addr.short_hex());
     ++stats_.edges_closed;
-    table_.remove(c->addr);
+    table_.remove(addr);
+    notify_connection_lost(addr);
   }
 }
 
@@ -535,6 +602,34 @@ void BrunetNode::handle_edge_pong(const std::shared_ptr<Edge>& /*edge*/,
   }
 }
 
+void BrunetNode::handle_departing(const std::shared_ptr<Edge>& edge,
+                                  const Packet& pkt) {
+  NodeInfo sender;
+  std::vector<NodeInfo> neighbors;
+  try {
+    util::ByteReader r(pkt.payload());
+    sender = NodeInfo::decode(r);
+    const std::uint8_t n = r.u8();
+    for (std::uint8_t i = 0; i < n; ++i) {
+      neighbors.push_back(NodeInfo::decode(r));
+    }
+  } catch (const util::ParseError&) {
+    return;
+  }
+  ++stats_.departures_seen;
+  IPOP_LOG_DEBUG(addr_.short_hex() << ": peer " << sender.addr.short_hex()
+                                   << " is departing gracefully");
+  if (table_.contains(sender.addr)) {
+    ++stats_.edges_closed;
+    evict_connection(sender.addr);
+  }
+  edges_.erase(edge.get());
+  edge->close();
+  // The departed node handed us its neighborhood: link to whoever should
+  // now be our ring neighbor so the gap closes without a repair cycle.
+  consider_candidates(neighbors);
+}
+
 // ---------------------------------------------------------------------------
 // Linker (connection establishment, NAT traversal)
 // ---------------------------------------------------------------------------
@@ -638,14 +733,29 @@ void BrunetNode::maintenance_tick() {
 void BrunetNode::bootstrap() {
   if (table_.size() > 0 || seeds_.empty()) return;
   for (const auto& seed : seeds_) {
-    if (seed.proto != cfg_.transport) continue;
     // Do not dial ourselves.
     if (host_.stack().is_local_ip(seed.ip) && seed.port == cfg_.port) continue;
-    if (cfg_.transport == TransportAddress::Proto::kUdp) {
+    // A seed whose protocol differs from our configured transport is still
+    // dialable: bring up the matching transport lazily and bootstrap
+    // through it (a UDP node handed only TCP seeds must not spin forever).
+    // Ring links made later by the linker still use cfg_.transport; only
+    // the bootstrap leaf edge crosses protocols.
+    if (seed.proto != cfg_.transport) ++stats_.bootstrap_cross_proto;
+    if (seed.proto == TransportAddress::Proto::kUdp) {
+      if (udp_ == nullptr) {
+        udp_ = std::make_unique<UdpTransport>(host_, cfg_.port);
+        udp_->set_inbound_handler(
+            [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+      }
       auto edge = udp_->edge_to(seed.ip, seed.port);
       if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
       send_link_request(edge, ConnectionType::kLeaf);
     } else {
+      if (tcp_ == nullptr) {
+        tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
+        tcp_->set_inbound_handler(
+            [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+      }
       tcp_->connect(seed.ip, seed.port,
                     [this](std::shared_ptr<Edge> edge) {
                       if (edge == nullptr || !started_) return;
@@ -717,9 +827,7 @@ void BrunetNode::handle_connect_request(const Packet& pkt) {
   // discovers its true ring neighbors.
   util::ByteWriter w;
   NodeInfo{addr_, local_addresses()}.encode(w);
-  auto infos = neighbor_infos(cfg_.near_per_side);
-  w.u8(static_cast<std::uint8_t>(infos.size()));
-  for (const auto& info : infos) info.encode(w);
+  encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
   respond(pkt, PacketType::kConnectResponse, w.take());
 }
 
@@ -746,10 +854,13 @@ void BrunetNode::stabilize() {
 
 void BrunetNode::handle_neighbor_query(const Packet& pkt) {
   util::ByteWriter w;
-  auto infos = neighbor_infos(cfg_.near_per_side);
-  infos.push_back(NodeInfo{addr_, local_addresses()});
-  w.u8(static_cast<std::uint8_t>(infos.size()));
-  for (const auto& info : infos) info.encode(w);
+  // Self goes first: it is the one entry the querier cannot learn
+  // elsewhere, so the 255-entry clamp must never be able to cut it.
+  std::vector<NodeInfo> infos{NodeInfo{addr_, local_addresses()}};
+  for (auto& info : neighbor_infos(cfg_.near_per_side)) {
+    infos.push_back(std::move(info));
+  }
+  encode_node_infos(w, infos);
   respond(pkt, PacketType::kNeighborReply, w.take());
 }
 
@@ -896,11 +1007,11 @@ void BrunetNode::keepalive() {
     }
   }
   for (const auto& addr : dead) {
-    const Connection* c = table_.find(addr);
-    auto edge = c->edge;
-    table_.remove(addr);
     ++stats_.edges_closed;
-    edge->close();
+    ++stats_.keepalive_evictions;
+    // Eviction notifies the churn observers: the DHT re-replicates
+    // records the dead peer was holding copies of.
+    evict_connection(addr);
   }
   for (auto& edge : to_ping) {
     Packet ping;

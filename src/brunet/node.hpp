@@ -63,6 +63,14 @@ struct NodeStats {
   std::uint64_t dropped_exact = 0;
   std::uint64_t edges_opened = 0;
   std::uint64_t edges_closed = 0;
+  /// Seeds dialed through the secondary (non-configured) transport
+  /// because their protocol did not match cfg_.transport.
+  std::uint64_t bootstrap_cross_proto = 0;
+  /// kDeparting notices received from gracefully leaving peers.
+  std::uint64_t departures_seen = 0;
+  /// Connections evicted by keepalive-miss failure detection (edge
+  /// timeout / dead edge), as opposed to graceful departures.
+  std::uint64_t keepalive_evictions = 0;
 };
 
 /// Identity + dialable endpoints of a node, gossiped in the maintenance
@@ -74,6 +82,13 @@ struct NodeInfo {
   void encode(util::ByteWriter& w) const;
   static NodeInfo decode(util::ByteReader& r);
 };
+
+/// Encode a NodeInfo list behind its u8 count prefix, clamping to the 255
+/// entries the count byte can express (a >255-neighbor reply would
+/// otherwise silently truncate the count and desynchronize the decoder).
+/// Returns the number of infos actually encoded.
+std::size_t encode_node_infos(util::ByteWriter& w,
+                              std::span<const NodeInfo> infos);
 
 class BrunetNode {
  public:
@@ -89,9 +104,32 @@ class BrunetNode {
   /// Bootstrap endpoint (any existing overlay member).
   void add_seed(TransportAddress ta);
   void start();
-  /// Leave the overlay: close every edge and stop timers.
+  /// Leave the overlay: close every edge and stop timers.  An abrupt stop
+  /// — peers only find out via keepalive misses (models a crash).
   void stop();
+  /// Graceful departure: announce kDeparting to every connection (handing
+  /// each side our neighbor list so the ring re-links around the gap
+  /// immediately), run the registered departure hooks (the DHT hands off
+  /// its records here), then stop().
+  void leave();
   bool started() const { return started_; }
+  /// True once this node is attached to the overlay: it has at least one
+  /// connection, or it *is* the overlay origin (no seeds configured).
+  /// Consumers that must not act on a still-isolated view of the ring —
+  /// the DHCP lease prober above all — poll this before trusting
+  /// kClosest routing.
+  bool joined() const { return seeds_.empty() || table_.size() > 0; }
+
+  // --- churn observers ----------------------------------------------------
+  using ConnectionLostHandler = std::function<void(const Address&)>;
+  /// Called whenever a connection leaves the table for good — keepalive
+  /// eviction, edge close, or a peer's graceful kDeparting notice.  The
+  /// DHT uses this to re-replicate records that lost a replica holder;
+  /// Brunet-ARP uses it to invalidate bindings owned by the dead peer.
+  void add_connection_lost_observer(ConnectionLostHandler h);
+  /// Called from leave() after the departure notices go out but while the
+  /// node can still route — subsystems hand off state here.
+  void add_departure_hook(std::function<void()> hook);
 
   // --- messaging ---------------------------------------------------------
   /// Buffer overload: the zero-copy path.  A payload with kHeaderSize
@@ -187,6 +225,10 @@ class BrunetNode {
                             const Packet& pkt);
   void handle_edge_ping(const std::shared_ptr<Edge>& edge, const Packet& pkt);
   void handle_edge_pong(const std::shared_ptr<Edge>& edge, const Packet& pkt);
+  void handle_departing(const std::shared_ptr<Edge>& edge, const Packet& pkt);
+  /// Drop a connection and tell the churn observers about it.
+  void evict_connection(const Address& addr);
+  void notify_connection_lost(const Address& addr);
 
   // Ring maintenance.
   void maintenance_tick();
@@ -221,6 +263,8 @@ class BrunetNode {
   std::unique_ptr<UdpTransport> udp_;
   std::vector<TransportAddress> seeds_;
   std::set<TransportAddress> observed_;
+  std::vector<ConnectionLostHandler> conn_lost_observers_;
+  std::vector<std::function<void()>> departure_hooks_;
 
   // Registry of every adopted edge (handshaken or not).  Ownership here
   // guarantees the receive-handler lookup succeeds even for duplicate

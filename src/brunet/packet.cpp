@@ -10,6 +10,7 @@ const char* packet_type_name(PacketType t) {
     case PacketType::kLinkResponse: return "LinkResponse";
     case PacketType::kEdgePing: return "EdgePing";
     case PacketType::kEdgePong: return "EdgePong";
+    case PacketType::kDeparting: return "Departing";
     case PacketType::kConnectRequest: return "ConnectRequest";
     case PacketType::kConnectResponse: return "ConnectResponse";
     case PacketType::kNeighborQuery: return "NeighborQuery";

@@ -34,6 +34,7 @@ enum class PacketType : std::uint8_t {
   kLinkResponse = 2,  // edge accepted: receiver identifies itself
   kEdgePing = 3,      // keepalive probe
   kEdgePong = 4,      // keepalive response; carries observed remote address
+  kDeparting = 5,     // graceful leave: sender hands off its ring position
   // Routed.
   kConnectRequest = 10,   // "please connect to me" (ring join / shortcut)
   kConnectResponse = 11,  // closest node's neighbor info

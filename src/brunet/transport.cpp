@@ -177,6 +177,10 @@ void UdpEdge::close() {
 // TcpTransport
 // ---------------------------------------------------------------------------
 
+TcpTransport::~TcpTransport() {
+  if (listener_ != nullptr) listener_->close();
+}
+
 TcpTransport::TcpTransport(net::Host& host, std::uint16_t port)
     : host_(host), port_(port) {
   net::TcpConfig cfg;
@@ -201,19 +205,30 @@ void TcpTransport::connect(net::Ipv4Address ip, std::uint16_t port,
     cb(nullptr);
     return;
   }
-  // Share state between the two callbacks.
+  // Share state between the two callbacks.  The alive sentinel guards
+  // the dial window across transport teardown: a node may stop() (which
+  // destroys its transports) while the simulated handshake is still in
+  // flight, and the late completion must not touch the dead transport —
+  // or the caller whose lambda rides in cbp.
   auto done = std::make_shared<bool>(false);
   auto cbp = std::make_shared<ConnectCallback>(std::move(cb));
-  sock->on_connected = [this, sock, done, cbp] {
+  sock->on_connected = [this, alive = std::weak_ptr<bool>(alive_), sock, done,
+                        cbp] {
     if (*done) return;
     *done = true;
+    if (alive.expired()) {
+      sock->close();
+      return;
+    }
     auto edge = std::make_shared<TcpEdge>(host_.loop(), sock);
     edge->attach();
     (*cbp)(edge);
   };
-  sock->on_closed = [done, cbp](const std::string&) {
+  sock->on_closed = [alive = std::weak_ptr<bool>(alive_), done,
+                     cbp](const std::string&) {
     if (*done) return;
     *done = true;
+    if (alive.expired()) return;
     (*cbp)(nullptr);
   };
 }
@@ -233,6 +248,18 @@ UdpTransport::UdpTransport(net::Host& host, std::uint16_t port)
           on_datagram(src, sport, std::move(data));
         });
   }
+}
+
+UdpTransport::~UdpTransport() {
+  // Detach rather than close(): no close-handler callbacks from a
+  // destructor — surviving edge handles just go down and drop sends.
+  for (auto& [key, edge] : edges_) {
+    edge->up_ = false;
+    edge->transport_ = nullptr;
+  }
+  edges_.clear();
+  // close() unregisters the port and detaches the handlers.
+  if (sock_ != nullptr) sock_->close();
 }
 
 std::shared_ptr<Edge> UdpTransport::edge_to(net::Ipv4Address ip,

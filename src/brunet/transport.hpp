@@ -174,6 +174,9 @@ class TcpTransport {
   using ConnectCallback = std::function<void(std::shared_ptr<Edge>)>;
 
   TcpTransport(net::Host& host, std::uint16_t port);
+  /// Stops accepting (closes the listener).  Established TcpEdges own
+  /// their sockets and outlive the transport.
+  ~TcpTransport();
 
   void set_inbound_handler(EdgeHandler h) { on_inbound_ = std::move(h); }
   /// Dial; cb receives nullptr on failure (refused / timeout / filtered).
@@ -185,6 +188,9 @@ class TcpTransport {
   std::uint16_t port_;
   std::shared_ptr<net::TcpListener> listener_;
   EdgeHandler on_inbound_;
+  /// Expires with the transport; in-flight connect() callbacks check it
+  /// before touching `this` (or invoking the caller's callback).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 /// Owns the node's UDP socket and demultiplexes edges by remote endpoint.
@@ -193,6 +199,11 @@ class UdpTransport {
   using EdgeHandler = std::function<void(std::shared_ptr<Edge>)>;
 
   UdpTransport(net::Host& host, std::uint16_t port);
+  /// Closes the socket and detaches every edge (up_ = false, transport
+  /// pointer cleared) so an edge handle that outlives the transport —
+  /// e.g. across a node stop()/start() cycle — fails sends safely
+  /// instead of dereferencing a dead transport.
+  ~UdpTransport();
 
   void set_inbound_handler(EdgeHandler h) { on_inbound_ = std::move(h); }
   /// Find or create the edge to a remote endpoint (creating it sends

@@ -8,9 +8,21 @@ namespace ipop::core {
 
 BrunetArp::BrunetArp(brunet::BrunetNode& node, brunet::Dht& dht,
                      BrunetArpConfig cfg)
-    : node_(node), dht_(dht), cfg_(cfg) {
+    : node_(node), dht_(dht), cfg_(cfg), alive_(std::make_shared<bool>(true)) {
   reregister_timer_ = node_.host().loop().schedule_after(
       cfg_.reregister_interval, [this] { reregister_tick(); });
+  // Churn: a binding whose owner just vanished is stale no matter how
+  // much cache TTL remains — drop it so the next packet re-resolves
+  // (and finds the re-registered binding after a migration or re-lease).
+  node_.add_connection_lost_observer(
+      [this, alive = std::weak_ptr<bool>(alive_)](
+          const brunet::Address& lost) {
+        if (alive.expired()) return;
+        const auto n = std::erase_if(cache_, [&](const auto& kv) {
+          return kv.second.addr == lost;
+        });
+        stats_.invalidations += n;
+      });
 }
 
 BrunetArp::~BrunetArp() {
@@ -23,20 +35,39 @@ void BrunetArp::register_ip(net::Ipv4Address vip) {
       registered_.end()) {
     registered_.push_back(vip);
   }
-  do_register(vip);
+  do_register(vip, cfg_.register_retries);
 }
 
-void BrunetArp::do_register(net::Ipv4Address vip) {
+void BrunetArp::do_register(net::Ipv4Address vip, int retries_left) {
   ++stats_.registrations;
   const auto& addr = node_.address();
   std::vector<std::uint8_t> value(addr.bytes().begin(), addr.bytes().end());
-  dht_.put(key_for(vip), std::move(value), [vip](bool ok) {
-    if (!ok) {
-      IPOP_LOG_WARN("Brunet-ARP registration for " << vip.to_string()
-                                                   << " failed");
-    }
-  });
+  dht_.put(key_for(vip), std::move(value),
+           [this, vip, retries_left,
+            alive = std::weak_ptr<bool>(alive_)](bool ok) {
+             if (ok || alive.expired() || stopped_) return;
+             if (retries_left <= 0 ||
+                 std::find(registered_.begin(), registered_.end(), vip) ==
+                     registered_.end()) {
+               IPOP_LOG_WARN("Brunet-ARP registration for " << vip.to_string()
+                                                            << " failed");
+               return;
+             }
+             node_.host().loop().schedule_after(
+                 cfg_.register_retry,
+                 [this, vip, retries_left,
+                  alive2 = std::weak_ptr<bool>(alive_)] {
+                   if (alive2.expired() || stopped_) return;
+                   if (std::find(registered_.begin(), registered_.end(),
+                                 vip) == registered_.end()) {
+                     return;  // unregistered while waiting
+                   }
+                   do_register(vip, retries_left - 1);
+                 });
+           });
 }
+
+void BrunetArp::invalidate(net::Ipv4Address vip) { cache_.erase(vip); }
 
 void BrunetArp::unregister_ip(net::Ipv4Address vip) {
   std::erase(registered_, vip);
@@ -46,7 +77,9 @@ void BrunetArp::unregister_ip(net::Ipv4Address vip) {
 
 void BrunetArp::reregister_tick() {
   if (stopped_) return;
-  for (const auto& vip : registered_) do_register(vip);
+  for (const auto& vip : registered_) {
+    do_register(vip, cfg_.register_retries);
+  }
   reregister_timer_ = node_.host().loop().schedule_after(
       cfg_.reregister_interval, [this] { reregister_tick(); });
 }
@@ -83,7 +116,5 @@ void BrunetArp::resolve(net::Ipv4Address vip, ResolveCallback cb) {
     for (auto& callback : callbacks) callback(result);
   });
 }
-
-void BrunetArp::invalidate(net::Ipv4Address vip) { cache_.erase(vip); }
 
 }  // namespace ipop::core

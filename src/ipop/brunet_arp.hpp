@@ -23,6 +23,11 @@ namespace ipop::core {
 struct BrunetArpConfig {
   util::Duration cache_ttl = util::seconds(30);
   util::Duration reregister_interval = util::seconds(60);
+  /// A failed registration put (e.g. a request timeout while the ring is
+  /// converging) retries on this short fuse instead of leaving the IP
+  /// unresolvable until the next reregister_interval.
+  util::Duration register_retry = util::seconds(2);
+  int register_retries = 3;
   /// Packets queued per destination while a lookup is in flight.
   std::size_t pending_queue_limit = 64;
 };
@@ -33,6 +38,10 @@ struct BrunetArpStats {
   std::uint64_t dht_hits = 0;
   std::uint64_t dht_misses = 0;
   std::uint64_t registrations = 0;
+  /// Cached bindings dropped because their owner left the overlay (churn:
+  /// the connection-lost observer fires before the TTL would age them
+  /// out, so traffic re-resolves instead of black-holing).
+  std::uint64_t invalidations = 0;
 };
 
 class BrunetArp {
@@ -68,7 +77,7 @@ class BrunetArp {
     util::TimePoint expires{};
   };
 
-  void do_register(net::Ipv4Address vip);
+  void do_register(net::Ipv4Address vip, int retries_left);
   void reregister_tick();
 
   brunet::BrunetNode& node_;
@@ -80,6 +89,8 @@ class BrunetArp {
   std::vector<net::Ipv4Address> registered_;
   std::uint64_t reregister_timer_ = 0;
   bool stopped_ = false;
+  /// Observer-lambda sentinel (the node may outlive this BrunetArp).
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace ipop::core

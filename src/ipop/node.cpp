@@ -7,16 +7,32 @@ namespace ipop::core {
 
 IpopNode::IpopNode(net::Host& host, IpopConfig cfg)
     : host_(host), cfg_(std::move(cfg)) {
+  // Full self-configuration implies DHT-backed resolution: with no
+  // preassigned IP the overlay address cannot be SHA1(IP), so the
+  // IP -> node binding must live in Brunet-ARP.
+  if (cfg_.use_dhcp) cfg_.use_brunet_arp = true;
   tap_ = std::make_unique<TapDevice>(host_, cfg_.tap);
   // The overlay node's per-packet CPU charge is IPOP's processing cost:
   // every forwarded tunnel packet costs this much at every overlay hop.
   cfg_.overlay.cpu_per_packet = cfg_.cpu_per_packet;
-  overlay_ = std::make_unique<brunet::BrunetNode>(
-      host_, brunet::Address::from_ip(cfg_.tap.ip), cfg_.overlay);
+  const auto overlay_addr =
+      cfg_.use_dhcp ? brunet::Address::hash("ipop-node:" + host_.name())
+                    : brunet::Address::from_ip(cfg_.tap.ip);
+  overlay_ =
+      std::make_unique<brunet::BrunetNode>(host_, overlay_addr, cfg_.overlay);
   dht_ = std::make_unique<brunet::Dht>(*overlay_);
   if (cfg_.use_brunet_arp) {
     brunet_arp_ = std::make_unique<BrunetArp>(*overlay_, *dht_,
                                               cfg_.brunet_arp);
+  }
+  if (cfg_.use_dhcp) {
+    dhcp_ = std::make_unique<DhcpClient>(*overlay_, *dht_, cfg_.dhcp);
+    dhcp_->set_lease_lost_handler([this](net::Ipv4Address) {
+      // The address was re-leased elsewhere: stop answering for it and
+      // reconfigure from scratch.
+      release_address();
+      if (started_) acquire_lease();
+    });
   }
   shortcuts_ = std::make_unique<ShortcutManager>(*overlay_, cfg_.shortcuts);
 
@@ -34,13 +50,83 @@ void IpopNode::start() {
   if (started_) return;
   started_ = true;
   overlay_->start();
-  if (brunet_arp_ != nullptr) brunet_arp_->register_ip(cfg_.tap.ip);
+  if (cfg_.use_dhcp) {
+    acquire_lease();
+  } else if (brunet_arp_ != nullptr) {
+    brunet_arp_->register_ip(cfg_.tap.ip);
+  }
+}
+
+void IpopNode::acquire_lease() {
+  dhcp_->acquire([this](std::optional<net::Ipv4Address> ip) {
+    if (!started_) return;
+    if (!ip) {
+      // A probe round can exhaust itself on create() timeouts during
+      // churn turbulence; a live node must not stay unnumbered forever,
+      // so back off and re-probe (earlier timeouts may now succeed).
+      IPOP_LOG_WARN(host_.name()
+                    << ": virtual-IP acquisition failed; retrying");
+      reacquire_timer_ = host_.loop().schedule_after(
+          util::seconds(10), [this] {
+            reacquire_timer_ = 0;
+            if (started_ && !self_configured()) acquire_lease();
+          });
+      return;
+    }
+    on_lease(*ip);
+  });
+}
+
+void IpopNode::on_lease(net::Ipv4Address vip) {
+  cfg_.tap.ip = vip;
+  tap_->configure_ip(vip);
+  brunet_arp_->register_ip(vip);
+  IPOP_LOG_DEBUG(host_.name() << ": self-configured as " << vip.to_string());
+  if (on_configured_) on_configured_(vip);
+}
+
+void IpopNode::release_address() {
+  if (brunet_arp_ != nullptr && !cfg_.tap.ip.is_unspecified()) {
+    brunet_arp_->unregister_ip(cfg_.tap.ip);
+  }
+  cfg_.tap.ip = net::Ipv4Address{};
+  // Unnumbering also retracts the /32 connected route.
+  tap_->configure_ip(net::Ipv4Address{});
 }
 
 void IpopNode::stop() {
   if (!started_) return;
   started_ = false;
+  if (reacquire_timer_ != 0) {
+    host_.loop().cancel(reacquire_timer_);
+    reacquire_timer_ = 0;
+  }
+  if (dhcp_ != nullptr) {
+    dhcp_->release();
+    // The lease dies with the renewals: stop answering for the address
+    // now, or a long-crashed node would rejoin claiming self_configured
+    // with an IP that may have been re-leased in the meantime.
+    release_address();
+  }
   overlay_->stop();
+}
+
+void IpopNode::leave() {
+  if (!started_) return;
+  started_ = false;
+  if (reacquire_timer_ != 0) {
+    host_.loop().cancel(reacquire_timer_);
+    reacquire_timer_ = 0;
+  }
+  // Stop renewing and answering for the address first, then let the
+  // overlay's graceful departure run the DHT handoff (our lease and ARP
+  // records ride to the neighbors); overlay_->leave() ends in stop(), so
+  // the edges drop afterwards.
+  if (dhcp_ != nullptr) {
+    dhcp_->release();
+    release_address();
+  }
+  overlay_->leave();
 }
 
 void IpopNode::route_for(net::Ipv4Address vip) {

@@ -27,6 +27,7 @@
 #include "brunet/dht.hpp"
 #include "brunet/node.hpp"
 #include "ipop/brunet_arp.hpp"
+#include "ipop/dhcp.hpp"
 #include "ipop/shortcuts.hpp"
 #include "ipop/tap.hpp"
 
@@ -46,6 +47,13 @@ struct IpopConfig {
   bool use_brunet_arp = false;
   BrunetArpConfig brunet_arp;
   ShortcutConfig shortcuts;
+  /// Full self-configuration: boot with *no* preassigned virtual IP
+  /// (tap.ip unset), claim a lease from the pool via DHCP-over-the-DHT,
+  /// and address the tap once it lands.  Implies use_brunet_arp (the
+  /// overlay address is no longer SHA1(IP), so resolution must go through
+  /// the DHT).
+  bool use_dhcp = false;
+  DhcpConfig dhcp;
 };
 
 struct IpopMetrics {
@@ -70,7 +78,12 @@ class IpopNode {
 
   void add_seed(brunet::TransportAddress ta) { overlay_->add_seed(ta); }
   void start();
+  /// Abrupt stop (models a crash: peers discover via keepalive misses).
   void stop();
+  /// Graceful departure: the overlay announces kDeparting and the DHT
+  /// hands its records (including our lease and ARP bindings) to the ring
+  /// neighbors before edges drop.
+  void leave();
 
   /// Route for an additional virtual IP (a VM hosted here).  Requires
   /// Brunet-ARP mode; the binding is published to the DHT and the host
@@ -79,11 +92,23 @@ class IpopNode {
   /// Stop routing for a migrated-away IP.
   void unroute_for(net::Ipv4Address vip);
 
+  /// The node's virtual IP: preassigned, or 0.0.0.0 in DHCP mode until
+  /// the lease lands (see self_configured()).
   net::Ipv4Address virtual_ip() const { return cfg_.tap.ip; }
+  /// DHCP mode: true once a lease is held and the tap is addressed.
+  bool self_configured() const {
+    return !cfg_.use_dhcp || !cfg_.tap.ip.is_unspecified();
+  }
+  /// DHCP mode: invoked (possibly repeatedly, after lease loss and
+  /// re-acquisition) every time the node finishes self-configuring.
+  void set_configured_handler(std::function<void(net::Ipv4Address)> h) {
+    on_configured_ = std::move(h);
+  }
   brunet::BrunetNode& overlay() { return *overlay_; }
   TapDevice& tap() { return *tap_; }
   brunet::Dht& dht() { return *dht_; }
   BrunetArp* brunet_arp() { return brunet_arp_.get(); }
+  DhcpClient* dhcp() { return dhcp_.get(); }
   ShortcutManager& shortcuts() { return *shortcuts_; }
   const IpopMetrics& metrics() const { return metrics_; }
   net::Host& host() { return host_; }
@@ -95,6 +120,12 @@ class IpopNode {
   void on_tunnel_packet(const brunet::Packet& pkt);
   void inject(util::Buffer ip_bytes);
   bool routes_for(net::Ipv4Address ip) const;
+  void acquire_lease();
+  void on_lease(net::Ipv4Address vip);
+  /// Dropping the lease always retracts the ARP registration and
+  /// unnumbers the tap (one definition, so no teardown path can forget a
+  /// step and leave the node answering for an address it no longer owns).
+  void release_address();
 
   net::Host& host_;
   IpopConfig cfg_;
@@ -102,9 +133,12 @@ class IpopNode {
   std::unique_ptr<brunet::BrunetNode> overlay_;
   std::unique_ptr<brunet::Dht> dht_;
   std::unique_ptr<BrunetArp> brunet_arp_;
+  std::unique_ptr<DhcpClient> dhcp_;
   std::unique_ptr<ShortcutManager> shortcuts_;
+  std::function<void(net::Ipv4Address)> on_configured_;
   std::set<net::Ipv4Address> extra_ips_;
   IpopMetrics metrics_;
+  std::uint64_t reacquire_timer_ = 0;  // DHCP: backoff after a failed acquire
   bool started_ = false;
 };
 

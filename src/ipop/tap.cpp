@@ -44,4 +44,11 @@ void TapDevice::write_frame(util::Buffer frame) {
   link_.end_b().send(std::move(frame));
 }
 
+void TapDevice::configure_ip(net::Ipv4Address ip) {
+  cfg_.ip = ip;
+  if (auto idx = host_.stack().interface_by_name(cfg_.name)) {
+    host_.stack().set_interface_ip(*idx, ip);
+  }
+}
+
 }  // namespace ipop::core

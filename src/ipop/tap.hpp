@@ -47,6 +47,12 @@ class TapDevice {
   void set_frame_handler(FrameHandler h) { handler_ = std::move(h); }
   /// User face: inject a frame into the kernel as if received on tap0.
   void write_frame(util::Buffer frame);
+  /// Assign (or re-assign) the tap's virtual IP after construction — the
+  /// self-configuration path: the device comes up unnumbered
+  /// (cfg.ip = 0.0.0.0) and is addressed once the DHCP-over-DHT lease is
+  /// claimed.  The gateway route/ARP containment set up at construction
+  /// are address-independent and stay in place.
+  void configure_ip(net::Ipv4Address ip);
 
   const TapConfig& config() const { return cfg_; }
   net::MacAddress kernel_mac() const { return kernel_mac_; }

@@ -17,6 +17,17 @@ std::uint64_t hash_name(const std::string& s) {
   return h;
 }
 std::uint64_t g_mac_counter = 1;
+
+/// The connected-route subnet for an interface address — single
+/// definition shared by add_interface() and set_interface_ip() so the
+/// route added at construction and the one retracted/re-added on
+/// re-addressing can never drift apart.
+Ipv4Prefix connected_prefix(Ipv4Address ip, int prefix_len) {
+  return Ipv4Prefix{
+      Ipv4Address(ip.value &
+                  (prefix_len == 0 ? 0u : ~0u << (32 - prefix_len))),
+      prefix_len};
+}
 std::uint64_t g_stack_uid = 1;
 }  // namespace
 
@@ -59,13 +70,31 @@ std::size_t Stack::add_interface(const InterfaceConfig& icfg,
   ifaces_.push_back(std::move(iface));
   // Connected route for the interface subnet.
   if (!icfg.ip.is_unspecified()) {
-    add_route(Ipv4Prefix{Ipv4Address(icfg.ip.value & (icfg.prefix_len == 0
-                                                          ? 0u
-                                                          : ~0u << (32 - icfg.prefix_len))),
-                         icfg.prefix_len},
-              idx);
+    add_route(connected_prefix(icfg.ip, icfg.prefix_len), idx);
   }
   return idx;
+}
+
+void Stack::set_interface_ip(std::size_t iface, Ipv4Address ip) {
+  auto& cfg = ifaces_[iface]->cfg;
+  if (cfg.ip == ip) return;
+  // Retract the old address's connected route (a lost DHCP lease must
+  // stop being answered for, not linger as a stale /32).
+  if (!cfg.ip.is_unspecified()) {
+    const auto old_subnet = connected_prefix(cfg.ip, cfg.prefix_len);
+    std::erase_if(routes_, [&](const Route& r) {
+      return r.iface == iface && !r.gateway.has_value() &&
+             r.prefix.network == old_subnet.network &&
+             r.prefix.length == old_subnet.length;
+    });
+  }
+  cfg.ip = ip;
+  // Connected route for the (possibly late-assigned) interface subnet —
+  // the DHCP-over-DHT path brings interfaces up unnumbered and addresses
+  // them once the lease lands.
+  if (!ip.is_unspecified()) {
+    add_route(connected_prefix(ip, cfg.prefix_len), iface);
+  }
 }
 
 std::optional<std::size_t> Stack::interface_by_name(

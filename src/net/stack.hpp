@@ -118,6 +118,10 @@ class Stack {
     return ifaces_[idx]->cfg.name;
   }
   std::optional<std::size_t> interface_by_name(const std::string& name) const;
+  /// Re-address an interface after attach (self-configuration: the tap
+  /// comes up unnumbered and gets its IP once the DHCP lease is claimed).
+  /// Adds the connected route for the new subnet.
+  void set_interface_ip(std::size_t iface, Ipv4Address ip);
 
   void add_route(Ipv4Prefix prefix, std::size_t iface,
                  std::optional<Ipv4Address> gateway = {}, int metric = 0);

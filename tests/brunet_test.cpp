@@ -181,6 +181,45 @@ TEST(ConnectionTableTest, AddUpgradesTypeAndDeduplicates) {
   EXPECT_EQ(table.find(peer)->type, ConnectionType::kStructuredNear);
 }
 
+// --- NodeInfo wire encoding --------------------------------------------------
+
+TEST(NodeInfoEncoding, CountByteClampsAt255) {
+  // Regression: the u8 count prefix used to be written unclamped, so a
+  // >255-entry list silently truncated the count byte (e.g. 300 -> 44)
+  // and the decoder read garbage where entry 45 should have ended.
+  std::vector<NodeInfo> infos;
+  for (int i = 0; i < 300; ++i) {
+    NodeInfo info;
+    info.addr = Address::hash("clamp-" + std::to_string(i));
+    info.addrs.push_back({TransportAddress::Proto::kUdp,
+                          net::Ipv4Address(10, 0, 0, 1),
+                          static_cast<std::uint16_t>(1000 + i)});
+    infos.push_back(std::move(info));
+  }
+  util::ByteWriter w;
+  EXPECT_EQ(encode_node_infos(w, infos), 255u);
+  util::ByteReader r(w.data());
+  const std::uint8_t n = r.u8();
+  ASSERT_EQ(n, 255u);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    NodeInfo decoded = NodeInfo::decode(r);
+    EXPECT_EQ(decoded.addr, infos[i].addr) << "entry " << int{i};
+  }
+  EXPECT_EQ(r.remaining(), 0u) << "count byte and entries must agree";
+}
+
+TEST(NodeInfoEncoding, SmallListsRoundTripExactly) {
+  std::vector<NodeInfo> infos(3);
+  for (int i = 0; i < 3; ++i) {
+    infos[static_cast<std::size_t>(i)].addr =
+        Address::hash("rt-" + std::to_string(i));
+  }
+  util::ByteWriter w;
+  EXPECT_EQ(encode_node_infos(w, infos), 3u);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 3u);
+}
+
 // --- Overlay fixtures ------------------------------------------------------------
 
 /// N public hosts on one switch, each running a BrunetNode.
@@ -264,6 +303,56 @@ TEST(RingFormationTcp, TcpRingConverges) {
   f.build(8, TransportAddress::Proto::kTcp);
   f.start_all();
   EXPECT_TRUE(f.converge());
+}
+
+TEST(Bootstrap, CrossProtoSeedIsDialedNotSkipped) {
+  // Regression: bootstrap() used to skip seeds whose protocol differed
+  // from the node's configured transport, so a UDP node handed only TCP
+  // seeds retried forever.  It must instead dial the seed through a
+  // lazily created transport of the matching protocol.
+  net::Network net{404};
+  auto& sw = net.add_switch("sw");
+  sim::LinkConfig lan;
+  lan.delay = util::microseconds(100);
+  std::vector<net::Host*> hosts;
+  for (int i = 0; i < 3; ++i) {
+    auto& h = net.add_host("x" + std::to_string(i));
+    net.connect_to_switch(
+        h.stack(),
+        {"eth0", net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+         24},
+        sw, lan);
+    hosts.push_back(&h);
+  }
+  // Two TCP nodes form the existing overlay.
+  NodeConfig tcp_cfg;
+  tcp_cfg.transport = TransportAddress::Proto::kTcp;
+  BrunetNode a(*hosts[0], Address::hash("tcp-a"), tcp_cfg);
+  BrunetNode b(*hosts[1], Address::hash("tcp-b"), tcp_cfg);
+  b.add_seed({TransportAddress::Proto::kTcp, net::Ipv4Address(10, 0, 0, 1),
+              tcp_cfg.port});
+  a.start();
+  b.start();
+  net.loop().run_until(seconds(30));
+  ASSERT_TRUE(a.table().contains(b.address()));
+
+  // A UDP node whose only seed is a's TCP endpoint.
+  NodeConfig udp_cfg;
+  udp_cfg.transport = TransportAddress::Proto::kUdp;
+  BrunetNode c(*hosts[2], Address::hash("udp-c"), udp_cfg);
+  c.add_seed({TransportAddress::Proto::kTcp, net::Ipv4Address(10, 0, 0, 1),
+              tcp_cfg.port});
+  c.start();
+  net.loop().run_until(net.loop().now() + seconds(30));
+  EXPECT_GE(c.stats().bootstrap_cross_proto, 1u);
+  ASSERT_TRUE(c.table().contains(a.address()))
+      << "cross-proto seed was never dialed";
+  // The leaf edge routes real traffic: an overlay ping crosses it.
+  bool got = false;
+  c.request(a.address(), PacketType::kPing, RoutingMode::kExact, {1, 2},
+            [&](std::optional<Packet> resp) { got = resp.has_value(); });
+  net.loop().run_until(net.loop().now() + seconds(5));
+  EXPECT_TRUE(got);
 }
 
 TEST(OverlayRouting, ExactDeliveryBetweenAllPairs) {
@@ -370,6 +459,42 @@ TEST(OverlayChurn, RingAbsorbsLateJoin) {
   f.net.loop().run_until(seconds(30));
   f.nodes.back()->start();
   EXPECT_TRUE(f.converge(seconds(60)));
+}
+
+TEST(OverlayChurn, GracefulLeaveEvictsImmediatelyAndRepairsRing) {
+  OverlayFixture f;
+  f.build(8, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  const Address departed = f.addrs[3];
+  f.nodes[3]->leave();
+  // kDeparting is synchronous up to the transport: peers evict the
+  // departed node as soon as the notice is delivered — far inside the
+  // 15-second keepalive timeout a crash would need.
+  f.net.loop().run_until(f.net.loop().now() + seconds(2));
+  std::uint64_t departures_seen = 0;
+  for (const auto& n : f.nodes) {
+    if (!n->started()) continue;
+    EXPECT_FALSE(n->table().contains(departed))
+        << n->address().short_hex() << " still lists the departed node";
+    departures_seen += n->stats().departures_seen;
+  }
+  EXPECT_GE(departures_seen, 2u);  // at least its two ring neighbors heard
+  EXPECT_TRUE(f.converge(seconds(60))) << "ring did not close the gap";
+}
+
+TEST(OverlayChurn, KeepaliveMissCountsEvictions) {
+  OverlayFixture f;
+  f.build(6, TransportAddress::Proto::kUdp);
+  f.start_all();
+  ASSERT_TRUE(f.converge());
+  f.nodes[2]->stop();  // crash: no departure notice
+  ASSERT_TRUE(f.converge(seconds(120)));
+  std::uint64_t evictions = 0;
+  for (const auto& n : f.nodes) {
+    if (n->started()) evictions += n->stats().keepalive_evictions;
+  }
+  EXPECT_GE(evictions, 1u) << "crash must be detected by keepalive misses";
 }
 
 TEST(OverlayChurn, SurvivesMultipleFailures) {
@@ -593,6 +718,125 @@ TEST_F(DhtFixture, SurvivesOwnerFailure) {
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
   ASSERT_TRUE(got.has_value()) << "value lost after owner failure";
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{7, 7}));
+}
+
+TEST_F(DhtFixture, CreateIsAtomicFirstWriterWins) {
+  const auto key = Address::hash("lease-172.16.1.7");
+  bool first_ok = false;
+  dhts[1]->create(key, {1, 1, 1}, [&](bool ok) { first_ok = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(first_ok);
+  // A competing create with a different value must lose...
+  bool second_ok = true;
+  dhts[2]->create(key, {2, 2, 2}, [&](bool ok) { second_ok = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_FALSE(second_ok);
+  // ...and the stored value stays the first writer's.
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[3]->get(key, [&](auto v) { got = std::move(v); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 1, 1}));
+  std::uint64_t conflicts = 0;
+  for (const auto& d : dhts) conflicts += d->stats().create_conflicts;
+  EXPECT_EQ(conflicts, 1u);
+}
+
+TEST_F(DhtFixture, CreateWithOwnValueRenews) {
+  const auto key = Address::hash("renewable-lease");
+  bool ok1 = false;
+  dhts[0]->create(key, {9}, [&](bool ok) { ok1 = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(ok1);
+  // Re-claiming with the identical value is the renewal path: accepted,
+  // expiry pushed out, replicas refreshed.
+  bool ok2 = false;
+  dhts[0]->create(key, {9}, [&](bool ok) { ok2 = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_TRUE(ok2);
+}
+
+TEST_F(DhtFixture, CreateSucceedsAfterRecordExpires) {
+  // A fresh overlay with a tiny record TTL: an abandoned claim must leak
+  // back to the pool once it expires.
+  OverlayFixture g;
+  g.build(4, TransportAddress::Proto::kUdp, /*seed=*/911);
+  g.start_all();
+  ASSERT_TRUE(g.converge());
+  DhtConfig dcfg;
+  dcfg.record_ttl = seconds(10);
+  std::vector<std::unique_ptr<Dht>> ds;
+  for (auto& n : g.nodes) ds.push_back(std::make_unique<Dht>(*n, dcfg));
+  const auto key = Address::hash("expiring-lease");
+  bool ok1 = false;
+  ds[0]->create(key, {1}, [&](bool ok) { ok1 = ok; });
+  g.net.loop().run_until(g.net.loop().now() + seconds(5));
+  ASSERT_TRUE(ok1);
+  bool contested = true;
+  ds[1]->create(key, {2}, [&](bool ok) { contested = ok; });
+  g.net.loop().run_until(g.net.loop().now() + seconds(5));
+  EXPECT_FALSE(contested);
+  // Holder never renews; wait out the TTL and claim again.
+  g.net.loop().run_until(g.net.loop().now() + seconds(15));
+  bool reclaimed = false;
+  ds[1]->create(key, {2}, [&](bool ok) { reclaimed = ok; });
+  g.net.loop().run_until(g.net.loop().now() + seconds(5));
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST_F(DhtFixture, HandoffSurvivesSimultaneousAdjacentDepartures) {
+  const auto key = Address::hash("churn-proof-record");
+  bool put_ok = false;
+  dhts[0]->put(key, {4, 2}, [&](bool ok) { put_ok = ok; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  ASSERT_TRUE(put_ok);
+  // The owner and its ring successor hold the record (owner + first
+  // replica).  Both leave in the same instant — the worst case for
+  // handoff, because each may aim its records at the other.
+  std::size_t owner = 0;
+  for (std::size_t i = 1; i < f.addrs.size(); ++i) {
+    if (Address::closer(key, f.addrs[i], f.addrs[owner])) owner = i;
+  }
+  // Ring successor of the owner in global address order.
+  std::vector<std::size_t> order(f.addrs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return f.addrs[a] < f.addrs[b];
+  });
+  std::size_t owner_pos = 0;
+  while (order[owner_pos] != owner) ++owner_pos;
+  const std::size_t successor = order[(owner_pos + 1) % order.size()];
+
+  f.nodes[owner]->leave();
+  f.nodes[successor]->leave();
+  ASSERT_TRUE(f.converge(seconds(120)));
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+
+  // No record loss: any survivor can still resolve the key.
+  std::size_t asker = 0;
+  while (asker == owner || asker == successor) ++asker;
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[asker]->get(key, [&](auto v) { got = std::move(v); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value())
+      << "record lost when two adjacent owners departed together";
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{4, 2}));
+
+  // Correct re-replication accounting: the departing holders handed off
+  // their records, and the survivors pushed fresh copies when the losses
+  // were noticed.
+  EXPECT_GE(dhts[owner]->stats().handoffs + dhts[successor]->stats().handoffs,
+            2u);
+  std::uint64_t rereplications = 0;
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < dhts.size(); ++i) {
+    if (i == owner || i == successor) continue;
+    rereplications += dhts[i]->stats().rereplications;
+    holders += dhts[i]->local_records();
+  }
+  EXPECT_GE(rereplications, 1u)
+      << "survivors must re-replicate after losing two replica holders";
+  EXPECT_GE(holders, 2u) << "replication factor not restored";
 }
 
 // --- batched fan-out sends ---------------------------------------------------

@@ -451,6 +451,146 @@ TEST_F(Fig4IpopTest, BidirectionalConnectivityRestoredByIpop) {
   EXPECT_TRUE(accepted);
 }
 
+// ---------------------------------------------------------------------------
+// Self-configuration: DHCP over the DHT
+// ---------------------------------------------------------------------------
+
+/// N hosts on a LAN, every IpopNode booting with *no* preassigned virtual
+/// IP: addresses come from DHCP-over-the-DHT leases.
+struct DhcpLanFixture : ::testing::Test {
+  net::Network net{93};
+  std::vector<net::Host*> hosts;
+  std::vector<std::unique_ptr<IpopNode>> nodes;
+
+  void build(int n, DhcpConfig dcfg = {}, bool autostart = true) {
+    auto& sw = net.add_switch("sw");
+    sim::LinkConfig lan;
+    lan.delay = util::microseconds(100);
+    for (int i = 0; i < n; ++i) {
+      add_node(sw, lan, i, dcfg);
+    }
+    if (autostart) {
+      for (auto& nd : nodes) nd->start();
+    }
+  }
+
+  IpopNode& add_node(sim::Switch& sw, const sim::LinkConfig& lan, int i,
+                     const DhcpConfig& dcfg) {
+    auto& h = net.add_host("d" + std::to_string(i));
+    net.connect_to_switch(
+        h.stack(),
+        {"eth0", net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+         24},
+        sw, lan);
+    hosts.push_back(&h);
+    IpopConfig cfg;
+    cfg.use_dhcp = true;  // tap.ip stays 0.0.0.0
+    cfg.dhcp = dcfg;
+    cfg.overlay.near_per_side = 3;
+    cfg.cpu_per_packet = util::microseconds(50);
+    cfg.sched_latency = util::microseconds(200);
+    auto node = std::make_unique<IpopNode>(h, cfg);
+    if (i > 0) {
+      node->add_seed({brunet::TransportAddress::Proto::kUdp,
+                      net::Ipv4Address(10, 0, 0, 1), 17001});
+    }
+    nodes.push_back(std::move(node));
+    return *nodes.back();
+  }
+
+  bool all_configured(util::Duration budget = seconds(120)) {
+    const auto deadline = net.loop().now() + budget;
+    auto done = [&] {
+      for (auto& nd : nodes) {
+        if (!nd->self_configured()) return false;
+      }
+      return true;
+    };
+    while (net.loop().now() < deadline) {
+      net.loop().run_until(net.loop().now() + milliseconds(500));
+      if (done()) return true;
+    }
+    return done();
+  }
+};
+
+TEST_F(DhcpLanFixture, NodesBootWithNoIpAndAcquireDistinctLeases) {
+  build(5, {}, /*autostart=*/false);
+  for (auto& nd : nodes) {
+    EXPECT_TRUE(nd->virtual_ip().is_unspecified()) << "IP preassigned";
+    EXPECT_FALSE(nd->self_configured());
+  }
+  for (auto& nd : nodes) nd->start();
+  ASSERT_TRUE(all_configured());
+  std::set<net::Ipv4Address> ips;
+  DhcpConfig dcfg;
+  for (auto& nd : nodes) {
+    const auto ip = nd->virtual_ip();
+    EXPECT_FALSE(ip.is_unspecified());
+    EXPECT_GE(ip.value, dcfg.pool_start.value) << ip.to_string();
+    EXPECT_LT(ip.value, dcfg.pool_start.value + dcfg.pool_size)
+        << ip.to_string() << " outside pool";
+    EXPECT_TRUE(ips.insert(ip).second)
+        << "duplicate lease " << ip.to_string();
+    EXPECT_TRUE(nd->host().stack().is_local_ip(ip))
+        << "tap not configured with the leased address";
+  }
+}
+
+TEST_F(DhcpLanFixture, TrafficFlowsBetweenSelfConfiguredNodes) {
+  build(3);
+  ASSERT_TRUE(all_configured());
+  // Let Brunet-ARP registrations land.
+  net.loop().run_until(net.loop().now() + seconds(5));
+  net::Pinger pinger(hosts[0]->stack());
+  net::Pinger::Options opts;
+  opts.count = 5;
+  opts.interval = milliseconds(100);
+  opts.timeout = seconds(3);
+  net::PingResult res;
+  pinger.run(nodes[2]->virtual_ip(), opts,
+             [&](net::PingResult r) { res = std::move(r); });
+  net.loop().run_until(net.loop().now() + seconds(15));
+  EXPECT_GE(res.received, 4);  // first packet may race the DHT lookup
+}
+
+TEST_F(DhcpLanFixture, LeasesRenewOnTimer) {
+  DhcpConfig dcfg;
+  dcfg.renew_interval = seconds(10);
+  build(3, dcfg);
+  ASSERT_TRUE(all_configured());
+  const auto ip0 = nodes[0]->virtual_ip();
+  net.loop().run_until(net.loop().now() + seconds(35));
+  for (auto& nd : nodes) {
+    EXPECT_GE(nd->dhcp()->stats().renewals, 2u);
+    EXPECT_EQ(nd->dhcp()->stats().lost_leases, 0u);
+  }
+  EXPECT_EQ(nodes[0]->virtual_ip(), ip0) << "renewal must keep the address";
+}
+
+TEST_F(DhcpLanFixture, ContendedTinyPoolAllocatesAtomically) {
+  // A pool with exactly one usable address (last-octet 0 is skipped):
+  // both nodes race for it, the DHT create arbitrates, and exactly one
+  // wins — the loser reports conflicts, not a duplicate address.
+  DhcpConfig dcfg;
+  dcfg.pool_start = net::Ipv4Address(172, 16, 9, 0);
+  dcfg.pool_size = 2;  // only .1 usable
+  dcfg.max_attempts = 4;
+  build(2, dcfg);
+  net.loop().run_until(net.loop().now() + seconds(120));
+  int configured = 0;
+  std::uint64_t conflicts = 0;
+  for (auto& nd : nodes) {
+    if (nd->self_configured()) {
+      ++configured;
+      EXPECT_EQ(nd->virtual_ip(), net::Ipv4Address(172, 16, 9, 1));
+    }
+    conflicts += nd->dhcp()->stats().conflicts;
+  }
+  EXPECT_EQ(configured, 1) << "atomic create must allow exactly one winner";
+  EXPECT_GE(conflicts, 1u);
+}
+
 TEST_F(Fig4IpopTest, TcpTransportLinksMeasuredPairs) {
   make(brunet::TransportAddress::Proto::kTcp);
   overlay->loop().run_until(overlay->loop().now() + seconds(30));

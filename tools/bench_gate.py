@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for bench_micro_core JSON output.
+"""Bench-regression gate for the repository's machine-readable bench JSON.
 
 Usage:
-    tools/bench_gate.py FRESH.json [--baseline BENCH_micro_core.json]
-    tools/bench_gate.py FRESH.json --self-test
+    tools/bench_gate.py FRESH.json [--suite micro|churn]
+                        [--baseline COMMITTED.json] [--self-test]
 
-Two classes of deterministic checks (wall-clock timings are deliberately
-NOT gated — CI machines are too noisy):
+Suites:
+  micro  (default) — bench_micro_core output: the zero-copy invariants
+         (bytes_copied_* = 0) and the sendmmsg amortization
+         (datagrams_per_syscall) against the committed
+         BENCH_micro_core.json.
+  churn  — bench_churn_soak output: the self-configuration invariants.
+         duplicate_leases must be exactly 0 (the DHT create() uniqueness
+         guarantee), resolution_success_rate and lease_acquired_fraction
+         must clear their absolute floors, and resolution_success_rate
+         must not fall more than a small tolerance below the committed
+         BENCH_churn_soak.json (CI legs run a smaller N whose run name
+         differs from the baseline's; baseline-relative rules then skip).
 
-  * zero-copy invariants: the counters that prove the scatter-gather
-    pipeline ships 0 CPU payload copies must be exactly 0.
-  * key-counter regressions vs the committed baseline: batching
-    amortization (datagrams_per_syscall) must not fall below the
-    baseline, and delivery fractions must stay near 1.
+Wall-clock timings are deliberately NOT gated — CI machines are noisy.
+Every gated counter is a deterministic count or ratio.
 
---self-test verifies the gate actually fails on a deliberately regressed
-copy counter (and on a lost batch amortization), then exits 0.  CI runs
-it after the real gate so a silently broken parser cannot pass green.
+--self-test verifies the gate actually fails on deliberately regressed
+counters, then exits 0.  CI runs it after the real gate so a silently
+broken parser cannot pass green.
 """
 
 import argparse
@@ -25,29 +32,47 @@ import json
 import re
 import sys
 
-# Counters that must be exactly 0 for matching benchmark names.  The
-# ablation/legacy variants (BM_ForwardHopCopy, BM_NatRewriteCopyAtCrossing,
-# BM_NatForwardSim/1/*, BM_UdpFanoutCopyPerDest) are intentionally absent:
-# their nonzero counters are the comparison, not a regression.
-ZERO_RULES = [
-    (r"^BM_ForwardHopZeroCopy/", "bytes_copied_per_hop"),
-    (r"^BM_NatRewriteInPlace/", "bytes_copied_per_forward"),
-    (r"^BM_NatForwardSim/0/", "bytes_copied_per_forward"),
-    (r"^BM_TcpEdgeStreamSend/", "bytes_copied_per_send"),
-    (r"^BM_UdpFanoutBatchShared/", "bytes_copied_per_datagram"),
-]
-
-# (name regex, counter, absolute floor): fresh value must be >= floor.
-FLOOR_RULES = [
-    (r"^BM_NatForwardSim/0/", "delivered_fraction", 0.9),
-    (r"^BM_TcpEdgeStreamSend/", "delivered_fraction", 0.9),
-]
-
-# (name regex, counter): fresh value must be >= the committed baseline's
-# (deterministic amortization counters; a drop means batching broke).
-BASELINE_MIN_RULES = [
-    (r"^BM_UdpFanoutBatchShared/", "datagrams_per_syscall"),
-]
+SUITES = {
+    "micro": {
+        "default_baseline": "BENCH_micro_core.json",
+        # Counters that must be exactly 0 for matching benchmark names.
+        # The ablation/legacy variants (BM_ForwardHopCopy,
+        # BM_NatRewriteCopyAtCrossing, BM_NatForwardSim/1/*,
+        # BM_UdpFanoutCopyPerDest) are intentionally absent: their nonzero
+        # counters are the comparison, not a regression.
+        "zero": [
+            (r"^BM_ForwardHopZeroCopy/", "bytes_copied_per_hop"),
+            (r"^BM_NatRewriteInPlace/", "bytes_copied_per_forward"),
+            (r"^BM_NatForwardSim/0/", "bytes_copied_per_forward"),
+            (r"^BM_TcpEdgeStreamSend/", "bytes_copied_per_send"),
+            (r"^BM_UdpFanoutBatchShared/", "bytes_copied_per_datagram"),
+        ],
+        # (name regex, counter, absolute floor): fresh must be >= floor.
+        "floor": [
+            (r"^BM_NatForwardSim/0/", "delivered_fraction", 0.9),
+            (r"^BM_TcpEdgeStreamSend/", "delivered_fraction", 0.9),
+        ],
+        # (name regex, counter, tolerance): fresh must be >= committed
+        # baseline value - tolerance for the same run name.
+        "baseline_min": [
+            (r"^BM_UdpFanoutBatchShared/", "datagrams_per_syscall", 0.0),
+        ],
+    },
+    "churn": {
+        "default_baseline": "BENCH_churn_soak.json",
+        "zero": [
+            (r"^ChurnSoak/", "duplicate_leases"),
+            (r"^ChurnSoak/", "lease_losses"),
+        ],
+        "floor": [
+            (r"^ChurnSoak/", "resolution_success_rate", 0.99),
+            (r"^ChurnSoak/", "lease_acquired_fraction", 0.99),
+        ],
+        "baseline_min": [
+            (r"^ChurnSoak/", "resolution_success_rate", 0.005),
+        ],
+    },
+}
 
 
 def load(path):
@@ -63,7 +88,7 @@ def runs(doc):
     }
 
 
-def check(fresh_doc, baseline_doc):
+def check(suite, fresh_doc, baseline_doc):
     """Returns a list of failure strings (empty = gate passes)."""
     failures = []
     fresh = runs(fresh_doc)
@@ -72,7 +97,7 @@ def check(fresh_doc, baseline_doc):
     def matching(rules_name_re):
         return [(n, b) for n, b in fresh.items() if re.search(rules_name_re, n)]
 
-    for name_re, counter in ZERO_RULES:
+    for name_re, counter in suite["zero"]:
         matched = matching(name_re)
         if not matched:
             failures.append(f"no benchmark matches {name_re} (bench deleted?)")
@@ -83,9 +108,9 @@ def check(fresh_doc, baseline_doc):
                 failures.append(f"{name}: counter {counter} missing")
             elif value != 0:
                 failures.append(
-                    f"{name}: {counter} = {value} (zero-copy invariant broken)")
+                    f"{name}: {counter} = {value} (must be exactly 0)")
 
-    for name_re, counter, floor in FLOOR_RULES:
+    for name_re, counter, floor in suite["floor"]:
         for name, bench in matching(name_re):
             value = bench.get(counter)
             if value is None:
@@ -93,7 +118,7 @@ def check(fresh_doc, baseline_doc):
             elif value < floor:
                 failures.append(f"{name}: {counter} = {value} < floor {floor}")
 
-    for name_re, counter in BASELINE_MIN_RULES:
+    for name_re, counter, tolerance in suite["baseline_min"]:
         for name, bench in matching(name_re):
             base = baseline.get(name)
             if base is None or counter not in base:
@@ -101,43 +126,54 @@ def check(fresh_doc, baseline_doc):
             value = bench.get(counter)
             if value is None:
                 failures.append(f"{name}: counter {counter} missing")
-            elif value < base[counter]:
+            elif value < base[counter] - tolerance:
                 failures.append(
                     f"{name}: {counter} regressed to {value} "
-                    f"(baseline {base[counter]})")
+                    f"(baseline {base[counter]}, tolerance {tolerance})")
 
     return failures
 
 
-def self_test(fresh_doc, baseline_doc):
+def self_test(suite, fresh_doc, baseline_doc):
     """The gate must fail when a gated counter is deliberately regressed."""
-    clean = check(fresh_doc, baseline_doc)
+    clean = check(suite, fresh_doc, baseline_doc)
     if clean:
         print("self-test inconclusive: gate already failing:", file=sys.stderr)
         for f in clean:
             print(f"  {f}", file=sys.stderr)
         return 1
 
-    # Regress every zero-rule counter on its first matching benchmark.
-    for name_re, counter in ZERO_RULES:
+    def regress(counter_re, counter, value):
         doc = copy.deepcopy(fresh_doc)
         for b in doc["benchmarks"]:
-            if re.search(name_re, b["name"]) and counter in b:
-                b[counter] = 1456.0
+            if re.search(counter_re, b["name"]) and counter in b:
+                b[counter] = value
                 break
-        if not check(doc, baseline_doc):
+        return doc
+
+    # Regress every zero-rule counter on its first matching benchmark.
+    for name_re, counter in suite["zero"]:
+        if not check(suite, regress(name_re, counter, 1456.0), baseline_doc):
             print(f"self-test FAILED: regressed {counter} on {name_re} "
                   "was not caught", file=sys.stderr)
             return 1
 
-    # Regress the batch amortization below its committed baseline.
-    for name_re, counter in BASELINE_MIN_RULES:
-        doc = copy.deepcopy(fresh_doc)
-        for b in doc["benchmarks"]:
-            if re.search(name_re, b["name"]) and counter in b:
-                b[counter] = 0.5
-                break
-        if not check(doc, baseline_doc):
+    # Drop every floored counter below its floor.
+    for name_re, counter, floor in suite["floor"]:
+        if not check(suite, regress(name_re, counter, floor * 0.5),
+                     baseline_doc):
+            print(f"self-test FAILED: regressed {counter} on {name_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
+    # Regress baseline-relative counters beyond their tolerance (only
+    # conclusive when the committed baseline actually names this run).
+    for name_re, counter, tolerance in suite["baseline_min"]:
+        base_runs = runs(baseline_doc) if baseline_doc else {}
+        if not any(re.search(name_re, n) and counter in b
+                   for n, b in base_runs.items()):
+            continue
+        if not check(suite, regress(name_re, counter, -1.0), baseline_doc):
             print(f"self-test FAILED: regressed {counter} on {name_re} "
                   "was not caught", file=sys.stderr)
             return 1
@@ -147,32 +183,40 @@ def self_test(fresh_doc, baseline_doc):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("fresh", help="bench_micro_core JSON from this run")
-    ap.add_argument("--baseline", default="BENCH_micro_core.json",
-                    help="committed reference JSON (default: %(default)s)")
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("fresh", help="bench JSON from this run")
+    ap.add_argument("--suite", choices=sorted(SUITES), default="micro",
+                    help="rule set to apply (default: %(default)s)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed reference JSON "
+                         "(default: the suite's committed file)")
     ap.add_argument("--self-test", action="store_true",
-                    help="verify the gate catches a regressed counter")
+                    help="verify the gate catches regressed counters")
     args = ap.parse_args()
+
+    suite = SUITES[args.suite]
+    baseline_path = args.baseline or suite["default_baseline"]
 
     fresh_doc = load(args.fresh)
     try:
-        baseline_doc = load(args.baseline)
+        baseline_doc = load(baseline_path)
     except FileNotFoundError:
-        print(f"warning: baseline {args.baseline} not found; "
+        print(f"warning: baseline {baseline_path} not found; "
               "baseline-relative rules skipped", file=sys.stderr)
         baseline_doc = None
 
     if args.self_test:
-        sys.exit(self_test(fresh_doc, baseline_doc))
+        sys.exit(self_test(suite, fresh_doc, baseline_doc))
 
-    failures = check(fresh_doc, baseline_doc)
+    failures = check(suite, fresh_doc, baseline_doc)
     if failures:
-        print("bench gate FAILED:")
+        print(f"bench gate FAILED ({args.suite}):")
         for f in failures:
             print(f"  {f}")
         sys.exit(1)
-    print("bench gate OK: zero-copy invariants hold, "
+    print(f"bench gate OK ({args.suite}): invariants hold, "
           "no key-counter regressions")
 
 

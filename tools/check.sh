@@ -11,4 +11,6 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DIPOP_WERROR=ON
 cmake --build "${build_dir}" -j "${jobs}"
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+# JUnit XML lands next to the binaries so CI can upload it per matrix leg.
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+      --output-junit junit.xml
