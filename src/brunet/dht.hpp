@@ -33,6 +33,13 @@ struct DhtConfig {
   /// not-yet-evicted dead node, and by the retry the ring has healed.
   int get_retries = 2;
   Duration get_retry_delay = util::milliseconds(1500);
+  /// A node younger than this must not mint records for keys it holds no
+  /// copy of: its table may deliver/consult far from the key's true ring
+  /// region, and a blind accept there double-allocates a taken key.  It
+  /// answers kRetry instead, and create() backs off and retries.
+  Duration min_owner_age = util::seconds(5);
+  int create_retries = 8;
+  Duration create_retry_delay = util::milliseconds(1000);
 };
 
 struct DhtStats {
@@ -45,12 +52,30 @@ struct DhtStats {
   std::uint64_t creates = 0;
   /// Second-chance lookups issued after a miss/timeout under churn.
   std::uint64_t get_retries = 0;
+  /// Per-attempt failure taxonomy (counts every attempt, not just final
+  /// outcomes): the request timed out in flight vs. a node answered
+  /// kNotFound (routing delivered somewhere without the record).
+  std::uint64_t get_timeouts = 0;
+  std::uint64_t get_notfound = 0;
   /// Owner-side create() rejections: a live record with a different value
   /// already held the key.
   std::uint64_t create_conflicts = 0;
   /// Records pushed back out to ring neighbors after a connection loss
   /// left them under-replicated.
   std::uint64_t rereplications = 0;
+  /// Owner-side consult-on-miss fallbacks: a get/create arrived for a key
+  /// we hold no record for, so we asked the next-closest node (likely the
+  /// previous owner, pre-handoff) before answering.  consult_hits counts
+  /// the ones where that node did hold the record.
+  std::uint64_t consults = 0;
+  std::uint64_t consult_hits = 0;
+  /// Creates answered kRetry because this node was too young to trust its
+  /// own miss (see DhtConfig::min_owner_age).
+  std::uint64_t create_deferrals = 0;
+  /// Incoming replicas older than our stored copy, answered by pushing
+  /// the newer record back at the stale holder (read repair on the
+  /// replication plane).
+  std::uint64_t antientropy_pushbacks = 0;
 };
 
 class Dht {
@@ -93,10 +118,23 @@ class Dht {
   };
 
   enum class Op : std::uint8_t { kPut = 0, kGet = 1, kReplica = 2,
-                                 kCreate = 3 };
+                                 kCreate = 3,
+                                 // Strictly-local lookup, used by the
+                                 // consult-on-miss fallback so it can
+                                 // never recurse past one hop.
+                                 kGetLocal = 4 };
 
+  /// Version stamp for an outgoing write: clock-derived so stamps order
+  /// writes *across* writers (see the definition for why writer-local
+  /// counters poison anti-entropy), strictly monotonic per writer.
+  std::uint64_t write_stamp();
   void handle_request(const Packet& pkt);
   void get_attempt(const Key& key, int retries_left, GetCallback cb);
+  void create_attempt(const Key& key, std::vector<std::uint8_t> value,
+                      int retries_left, PutCallback cb);
+  /// Accept a put/create: stamp expiry, dominate the stored version,
+  /// store, replicate, and answer kOk to the original requester.
+  void accept_write(const Key& key, Record rec, const Packet& req);
   /// Raise an accepted write's version above the stored record's (writers
   /// stamp from independent counters; an overwrite the owner accepted
   /// must dominate the previous writer's stamp on every replica too).

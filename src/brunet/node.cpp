@@ -62,6 +62,7 @@ void BrunetNode::add_seed(TransportAddress ta) { seeds_.push_back(ta); }
 void BrunetNode::start() {
   if (started_) return;
   started_ = true;
+  started_at_ = host_.loop().now();
   if (cfg_.transport == TransportAddress::Proto::kTcp) {
     tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
     tcp_->set_inbound_handler(
@@ -95,9 +96,7 @@ void BrunetNode::leave() {
   encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
   notice.set_payload(w.take());
   const auto wire = notice.to_wire();
-  for (const auto* c : table_.all()) {
-    c->edge->send(wire);
-  }
+  table_.for_each([&](const Connection& c) { c.edge->send(wire); });
   stop();
 }
 
@@ -144,7 +143,7 @@ void BrunetNode::stop() {
   for (auto& e : edges) {
     if (e) e->close();
   }
-  while (!table_.all().empty()) table_.remove(table_.all().front()->addr);
+  table_.clear();
   // Tear the transports down: a stopped node's sockets close, so inbound
   // traffic can no longer spawn edges that would dangle across a later
   // restart (start() builds fresh transports).
@@ -172,9 +171,7 @@ void BrunetNode::broadcast_identity() {
   ping.set_payload(w.take());
   // One wire buffer, shared by every edge's send.
   const auto wire = ping.to_wire();
-  for (const auto* c : table_.all()) {
-    c->edge->send(wire);
-  }
+  table_.for_each([&](const Connection& c) { c.edge->send(wire); });
 }
 
 std::vector<TransportAddress> BrunetNode::local_addresses() const {
@@ -198,15 +195,15 @@ std::vector<TransportAddress> BrunetNode::local_addresses() const {
 }
 
 std::optional<Address> BrunetNode::left_neighbor() const {
-  auto v = table_.left_neighbors(1);
-  if (v.empty()) return std::nullopt;
-  return v.front()->addr;
+  const Connection* c = table_.left_neighbor();
+  if (c == nullptr) return std::nullopt;
+  return c->addr;
 }
 
 std::optional<Address> BrunetNode::right_neighbor() const {
-  auto v = table_.right_neighbors(1);
-  if (v.empty()) return std::nullopt;
-  return v.front()->addr;
+  const Connection* c = table_.right_neighbor();
+  if (c == nullptr) return std::nullopt;
+  return c->addr;
 }
 
 // ---------------------------------------------------------------------------
@@ -379,10 +376,15 @@ std::size_t BrunetNode::send_batch(std::span<const Address> dsts,
 
 BrunetNode::NextHop BrunetNode::pick_next_hop(const Address& dst,
                                               const Address& src) const {
-  // Never route a packet back toward its source (unless the destination
-  // *is* the source, e.g. a response).
-  const Address* exclude = (dst != src) ? &src : nullptr;
-  const Connection* best = table_.closest_to(dst, exclude);
+  // Never route a packet back toward its source: a transit packet only
+  // reached us because the sender saw us strictly closer to dst, so the
+  // source is never progress.  Crucially this must hold even when
+  // dst == src — that is the self-addressed locate probe, and without
+  // exclusion the first hop sees the prober in its own table at ring
+  // distance zero and bounces the probe straight back, turning ring
+  // positioning into a no-op (masked at small N by the stabilize crawl,
+  // fatal at 10^3+ where the crawl freezes short of convergence).
+  const Connection* best = table_.closest_to(dst, &src);
   return {best,
           best != nullptr && Address::closer(dst, best->addr, addr_)};
 }
@@ -519,7 +521,11 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
     return;
   }
   record_observed(my_observed);
-  Connection conn{sender.addr, edge, type, sender.addrs};
+  Connection conn;
+  conn.addr = sender.addr;
+  conn.edge = edge;
+  conn.type = type;
+  conn.advertised = sender.addrs;
   conn.peer_requested_near = (type == ConnectionType::kStructuredNear);
   table_.add(conn);
   ++stats_.edges_opened;
@@ -564,7 +570,12 @@ void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
     if (link->second.timer != 0) host_.loop().cancel(link->second.timer);
     linking_.erase(link);
   }
-  table_.add(Connection{sender.addr, edge, type, sender.addrs});
+  Connection conn;
+  conn.addr = sender.addr;
+  conn.edge = edge;
+  conn.type = type;
+  conn.advertised = sender.addrs;
+  table_.add(conn);
   ++stats_.edges_opened;
   IPOP_LOG_DEBUG(addr_.short_hex() << ": link established to "
                                    << sender.addr.short_hex());
@@ -578,8 +589,11 @@ void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
       NodeInfo info = NodeInfo::decode(r);
       // Refresh the peer's advertised endpoints (it may have just learned
       // its translated address).
-      table_.add(Connection{info.addr, edge, ConnectionType::kLeaf,
-                            info.addrs});
+      Connection conn;
+      conn.addr = info.addr;
+      conn.edge = edge;
+      conn.advertised = info.addrs;
+      table_.add(conn);
     } catch (const util::ParseError&) {
     }
   }
@@ -649,6 +663,7 @@ void BrunetNode::connect_to(const Address& target,
   }
   auto [it, inserted] = linking_.try_emplace(target);
   if (!inserted) return;  // attempt already running
+  ++stats_.links_started;
   LinkAttempt& attempt = it->second;
   attempt.type = type;
   attempt.attempts_left = cfg_.link_attempts;
@@ -677,6 +692,7 @@ void BrunetNode::link_retry_tick(Address target) {
   if (attempt.attempts_left-- <= 0) {
     IPOP_LOG_DEBUG(addr_.short_hex() << ": link to " << target.short_hex()
                                      << " failed (no response)");
+    ++stats_.links_failed;
     linking_.erase(it);
     return;
   }
@@ -711,11 +727,27 @@ void BrunetNode::link_retry_tick(Address target) {
 void BrunetNode::maintenance_tick() {
   if (!started_) return;
   bootstrap();
+  ++maintenance_ticks_;
   if (table_.size() > 0) {
+    // Locate while the near set is thin — but also periodically after it
+    // fills.  reclassify() marks the table's nearest entries near whether
+    // or not they are the *true* ring neighbors, so after a mass join a
+    // node can look saturated while sitting in the wrong ring position;
+    // stabilize()'s neighbor-of-neighbor window then closes the gap only
+    // one position per round.  The routed locate probe jumps straight to
+    // the node currently closest to us (greedy over shortcuts), giving
+    // O(log n) convergence instead of O(gap).
     if (table_.count(ConnectionType::kStructuredNear) <
-        2 * cfg_.near_per_side) {
+            2 * cfg_.near_per_side ||
+        maintenance_ticks_ % 4 == 0) {
       locate_ring_position();
     }
+    // Partition healing: table-routed probes cannot escape a clique that
+    // closed over itself, so periodically inject one through the seed
+    // set (see probe_via_seed).  The jittered tick spreads these out, so
+    // the seed sees O(n / 16 ticks) probe traffic, each one greedy-routed
+    // onward at O(log n) cost.
+    if (maintenance_ticks_ % 16 == 0) probe_via_seed();
     stabilize();
     table_.reclassify(cfg_.near_per_side);
     maintain_shortcuts();
@@ -769,10 +801,48 @@ void BrunetNode::bootstrap() {
 void BrunetNode::locate_ring_position() {
   const Connection* via = table_.closest_to(addr_);
   if (via == nullptr) return;
+  send_locate_probe(via->edge);
+}
+
+// Route one locate probe through a bootstrap seed instead of our own
+// table.  A mass join can strand small cliques whose connection tables
+// point only at each other: every table-routed probe then circulates
+// inside the clique and the partition is stable forever.  The seed set is
+// the one rendezvous all partitions share, so a probe injected there is
+// routed within the seed's partition and lands at our true ring
+// neighbor, whose dial-back merges the components.
+void BrunetNode::probe_via_seed() {
+  if (seeds_.empty()) return;
+  auto& rng = host_.stack().rng();
+  const auto pick =
+      static_cast<std::size_t>(rng.uniform_int(0, seeds_.size() - 1));
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    const auto& seed = seeds_[(pick + i) % seeds_.size()];
+    if (seed.proto != cfg_.transport) continue;
+    if (host_.stack().is_local_ip(seed.ip) && seed.port == cfg_.port) continue;
+    if (cfg_.transport == TransportAddress::Proto::kUdp) {
+      if (udp_ == nullptr) return;
+      auto edge = udp_->edge_to(seed.ip, seed.port);
+      if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
+      send_locate_probe(edge);
+    } else {
+      if (tcp_ == nullptr) return;
+      tcp_->connect(seed.ip, seed.port, [this](std::shared_ptr<Edge> edge) {
+        if (edge == nullptr || !started_) return;
+        adopt_edge(edge);
+        send_locate_probe(edge);
+      });
+    }
+    return;
+  }
+}
+
+void BrunetNode::send_locate_probe(const std::shared_ptr<Edge>& via) {
   const std::uint32_t id = next_msg_id();
   PendingRequest pr;
   pr.cb = [this](std::optional<Packet> resp) {
     if (!resp) return;
+    ++stats_.locate_responses;
     try {
       util::ByteReader r(resp->payload());
       NodeInfo closest = NodeInfo::decode(r);
@@ -809,7 +879,7 @@ void BrunetNode::locate_ring_position() {
   NodeInfo{addr_, local_addresses()}.encode(w);
   pkt.set_payload(w.take());
   ++stats_.originated;
-  via->edge->send(pkt.take_wire());
+  via->send(pkt.take_wire());
 }
 
 void BrunetNode::handle_connect_request(const Packet& pkt) {
@@ -822,20 +892,23 @@ void BrunetNode::handle_connect_request(const Packet& pkt) {
   } catch (const util::ParseError&) {
     return;
   }
+  ++stats_.connect_requests;
   connect_to(requester.addr, requester.addrs, type);
   // Answer with our identity and our current neighborhood so the joiner
-  // discovers its true ring neighbors.
+  // discovers its true ring neighbors (double-width window, matching
+  // handle_neighbor_query, so a misplaced joiner reaches further per
+  // round).
   util::ByteWriter w;
   NodeInfo{addr_, local_addresses()}.encode(w);
-  encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
+  encode_node_infos(w, neighbor_infos(2 * cfg_.near_per_side));
   respond(pkt, PacketType::kConnectResponse, w.take());
 }
 
 void BrunetNode::stabilize() {
   for (bool left : {false, true}) {
-    auto v = left ? table_.left_neighbors(1) : table_.right_neighbors(1);
-    if (v.empty()) continue;
-    request(v.front()->addr, PacketType::kNeighborQuery, RoutingMode::kExact,
+    const Connection* c = left ? table_.left_neighbor() : table_.right_neighbor();
+    if (c == nullptr) continue;
+    request(c->addr, PacketType::kNeighborQuery, RoutingMode::kExact,
             {}, [this](std::optional<Packet> resp) {
               if (!resp) return;
               try {
@@ -856,8 +929,11 @@ void BrunetNode::handle_neighbor_query(const Packet& pkt) {
   util::ByteWriter w;
   // Self goes first: it is the one entry the querier cannot learn
   // elsewhere, so the 255-entry clamp must never be able to cut it.
+  // Answer with twice the near window: a repairing querier whose true
+  // neighbor sits just outside our own near set still discovers it, which
+  // doubles the per-round repair reach after correlated joins.
   std::vector<NodeInfo> infos{NodeInfo{addr_, local_addresses()}};
-  for (auto& info : neighbor_infos(cfg_.near_per_side)) {
+  for (auto& info : neighbor_infos(2 * cfg_.near_per_side)) {
     infos.push_back(std::move(info));
   }
   encode_node_infos(w, infos);
@@ -866,24 +942,24 @@ void BrunetNode::handle_neighbor_query(const Packet& pkt) {
 
 std::vector<NodeInfo> BrunetNode::neighbor_infos(std::size_t k) const {
   std::vector<NodeInfo> out;
-  auto add = [&](const Connection* c) {
+  auto add = [&](const Connection& c) {
     for (const auto& existing : out) {
-      if (existing.addr == c->addr) return;
+      if (existing.addr == c.addr) return;
     }
     NodeInfo info;
-    info.addr = c->addr;
-    info.addrs = c->advertised;
+    info.addr = c.addr;
+    info.addrs = c.advertised;
     // The endpoint we actually talk to is dialable for cone NATs; gossip
     // it alongside whatever the peer advertised.
-    const auto live = c->edge->remote();
+    const auto live = c.edge->remote();
     if (std::find(info.addrs.begin(), info.addrs.end(), live) ==
         info.addrs.end()) {
       info.addrs.push_back(live);
     }
     out.push_back(std::move(info));
   };
-  for (const auto* c : table_.left_neighbors(k)) add(c);
-  for (const auto* c : table_.right_neighbors(k)) add(c);
+  table_.for_each_left(k, add);
+  table_.for_each_right(k, add);
   return out;
 }
 
@@ -901,14 +977,14 @@ bool BrunetNode::should_be_near(const Address& candidate) const {
   const auto left_d = Address::directed_distance(candidate, addr_);
   std::size_t closer_right = 0;
   std::size_t closer_left = 0;
-  for (const auto* c : table_.all()) {
-    if (compare_bytes(Address::directed_distance(addr_, c->addr), right_d) < 0) {
+  table_.for_each([&](const Connection& c) {
+    if (compare_bytes(Address::directed_distance(addr_, c.addr), right_d) < 0) {
       ++closer_right;
     }
-    if (compare_bytes(Address::directed_distance(c->addr, addr_), left_d) < 0) {
+    if (compare_bytes(Address::directed_distance(c.addr, addr_), left_d) < 0) {
       ++closer_left;
     }
-  }
+  });
   return closer_right < cfg_.near_per_side || closer_left < cfg_.near_per_side;
 }
 
@@ -975,12 +1051,12 @@ void BrunetNode::trim_connections() {
     std::shared_ptr<Edge> edge;
   };
   std::vector<Victim> trimmable;
-  for (const auto* c : table_.all()) {
-    if (c->type == ConnectionType::kStructuredNear) continue;
-    if (c->type == ConnectionType::kTrafficShortcut) continue;
-    if (c->peer_requested_near) continue;
-    trimmable.push_back({c->addr, c->edge});
-  }
+  table_.for_each([&](const Connection& c) {
+    if (c.type == ConnectionType::kStructuredNear) return;
+    if (c.type == ConnectionType::kTrafficShortcut) return;
+    if (c.peer_requested_near) return;
+    trimmable.push_back({c.addr, c.edge});
+  });
   if (trimmable.size() <= cfg_.shortcut_target) return;
   std::sort(trimmable.begin(), trimmable.end(),
             [](const Victim& a, const Victim& b) {
@@ -998,14 +1074,14 @@ void BrunetNode::keepalive() {
   const auto now = host_.loop().now();
   std::vector<Address> dead;
   std::vector<std::shared_ptr<Edge>> to_ping;
-  for (const auto* c : table_.all()) {
-    const auto idle = now - c->edge->last_received();
-    if (!c->edge->is_up() || idle > cfg_.edge_timeout) {
-      dead.push_back(c->addr);
+  table_.for_each([&](const Connection& c) {
+    const auto idle = now - c.edge->last_received();
+    if (!c.edge->is_up() || idle > cfg_.edge_timeout) {
+      dead.push_back(c.addr);
     } else if (idle > cfg_.edge_idle_ping) {
-      to_ping.push_back(c->edge);
+      to_ping.push_back(c.edge);
     }
-  }
+  });
   for (const auto& addr : dead) {
     ++stats_.edges_closed;
     ++stats_.keepalive_evictions;

@@ -25,6 +25,7 @@
 #include <set>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,12 @@ struct NodeStats {
   /// Connections evicted by keepalive-miss failure detection (edge
   /// timeout / dead edge), as opposed to graceful departures.
   std::uint64_t keepalive_evictions = 0;
+  /// Link-path diagnostics: connect requests delivered to us, link
+  /// attempts started / abandoned, locate probes answered.
+  std::uint64_t connect_requests = 0;
+  std::uint64_t links_started = 0;
+  std::uint64_t links_failed = 0;
+  std::uint64_t locate_responses = 0;
 };
 
 /// Identity + dialable endpoints of a node, gossiped in the maintenance
@@ -113,6 +120,9 @@ class BrunetNode {
   /// its records here), then stop().
   void leave();
   bool started() const { return started_; }
+  /// Time since start(); resets on restart.  Young nodes have immature
+  /// routing state (see Dht's owner-age gate on create).
+  util::Duration uptime() const { return host_.loop().now() - started_at_; }
   /// True once this node is attached to the overlay: it has at least one
   /// connection, or it *is* the overlay origin (no seeds configured).
   /// Consumers that must not act on a still-isolated view of the ring —
@@ -180,6 +190,7 @@ class BrunetNode {
   net::Host& host() { return host_; }
   NodeConfig& config() { return cfg_; }
   const NodeStats& stats() const { return stats_; }
+  std::uint64_t maintenance_ticks() const { return maintenance_ticks_; }
   /// Local + NAT-observed endpoints, advertised during handshakes.
   std::vector<TransportAddress> local_addresses() const;
   std::optional<Address> left_neighbor() const;
@@ -234,6 +245,8 @@ class BrunetNode {
   void maintenance_tick();
   void bootstrap();
   void locate_ring_position();
+  void send_locate_probe(const std::shared_ptr<Edge>& via);
+  void probe_via_seed();
   void stabilize();
   void reclassify_connections();
   void maintain_shortcuts();
@@ -258,6 +271,7 @@ class BrunetNode {
   ConnectionTable table_;
   NodeStats stats_;
   bool started_ = false;
+  util::TimePoint started_at_{};
 
   std::unique_ptr<TcpTransport> tcp_;
   std::unique_ptr<UdpTransport> udp_;
@@ -269,12 +283,19 @@ class BrunetNode {
   // Registry of every adopted edge (handshaken or not).  Ownership here
   // guarantees the receive-handler lookup succeeds even for duplicate
   // edges that lost the connection-table race on one side only.
+  // Deliberately an ordered map: keepalive and stop() iterate it, and
+  // pointer *comparison* order is stable under an ASLR base shift while
+  // pointer *hash* order is not — an unordered_map here would make edge
+  // close order (and thus the whole event schedule) vary across runs.
   std::map<Edge*, std::shared_ptr<Edge>> edges_;
   std::map<PacketType, PacketHandler> handlers_;
-  std::map<Address, LinkAttempt> linking_;
-  std::map<std::uint32_t, PendingRequest> pending_requests_;
+  // Only iterated in stop() to cancel timers (order-insensitive): O(1)
+  // lookup wins on the response-correlation and link-attempt paths.
+  std::unordered_map<Address, LinkAttempt> linking_;
+  std::unordered_map<std::uint32_t, PendingRequest> pending_requests_;
   std::uint32_t msg_id_counter_ = 1;
   std::uint64_t maintenance_timer_ = 0;
+  std::uint64_t maintenance_ticks_ = 0;
 };
 
 }  // namespace ipop::brunet

@@ -32,7 +32,9 @@ net::Ipv4Address DhcpClient::candidate(int attempt) const {
   for (auto byte : node_.address().bytes()) {
     seed = util::splitmix64(seed) ^ byte;
   }
-  util::Rng rng(seed + static_cast<std::uint64_t>(attempt) * 0x9E3779B9ull);
+  std::uint64_t round_salt = probe_round_;
+  util::Rng rng(seed + static_cast<std::uint64_t>(attempt) * 0x9E3779B9ull +
+                util::splitmix64(round_salt));
   for (int tries = 0; tries < 64; ++tries) {
     const auto idx = static_cast<std::uint32_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(cfg_.pool_size) - 1));
@@ -50,6 +52,7 @@ void DhcpClient::acquire(AcquireCallback cb) {
     return;
   }
   acquiring_ = true;
+  ++probe_round_;
   try_claim(epoch_, 0, std::move(cb));
 }
 
@@ -139,6 +142,7 @@ void DhcpClient::renew_tick(std::uint64_t epoch) {
     }
     if (ok) {
       ++stats_.renewals;
+      dispute_rounds_ = 0;
       renew_timer_ = node_.host().loop().schedule_after(
           cfg_.renew_interval, [this, epoch] { renew_tick(epoch); });
       return;
@@ -156,11 +160,27 @@ void DhcpClient::renew_tick(std::uint64_t epoch) {
                }
                if (!v || *v == lease_value()) {
                  // Still ours (or unreachable): retry on a short fuse.
+                 dispute_rounds_ = 0;
                  renew_timer_ = node_.host().loop().schedule_after(
                      cfg_.renew_interval / 4,
                      [this, epoch] { renew_tick(epoch); });
                  return;
                }
+               // Someone else's value is visible — but under churn that is
+               // usually a transient split-brain: a rival's create was
+               // accepted by a fresh post-churn owner that missed the
+               // handoff, and the rival's own read-back then disagreed and
+               // walked on, stranding its record.  The incumbent is the
+               // one node still renewing, so republish/handoff reconciles
+               // toward us; dispute a few rounds before conceding.
+               if (dispute_rounds_ < cfg_.dispute_rounds) {
+                 ++dispute_rounds_;
+                 renew_timer_ = node_.host().loop().schedule_after(
+                     cfg_.renew_interval / 4,
+                     [this, epoch] { renew_tick(epoch); });
+                 return;
+               }
+               dispute_rounds_ = 0;
                ++stats_.lost_leases;
                lease_.reset();
                IPOP_LOG_WARN("DHCP: lease on " << ip.to_string()

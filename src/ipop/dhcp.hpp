@@ -40,6 +40,12 @@ struct DhcpConfig {
   /// value: catches the double-allocation race where ring churn briefly
   /// splits ownership of the key.
   bool confirm_readback = true;
+  /// Consecutive renewal read-backs showing a rival value tolerated
+  /// before the lease is declared lost.  Split-brains under churn are
+  /// usually stranded records from a rival that already walked on;
+  /// disputing (short-fuse re-renewals) lets republish/handoff reconcile
+  /// toward the incumbent instead of churning the address.
+  int dispute_rounds = 3;
 };
 
 struct DhcpStats {
@@ -97,6 +103,15 @@ class DhcpClient {
   std::optional<net::Ipv4Address> lease_;
   LeaseLostHandler on_lost_;
   bool acquiring_ = false;
+  /// Salts candidate(): bumped once per acquisition round so a retry
+  /// after "pool exhausted" probes a FRESH pseudo-random walk.  Without
+  /// it the walk is fully determined by the node address, and a node
+  /// whose max_attempts candidates are all genuinely taken (likely at
+  /// high pool load — 10k nodes on a 20k pool is a coin flip per probe)
+  /// re-probes the same taken addresses forever.
+  std::uint64_t probe_round_ = 0;
+  /// Consecutive disputed renewals (see DhcpConfig::dispute_rounds).
+  int dispute_rounds_ = 0;
   std::uint64_t renew_timer_ = 0;
   std::uint64_t claim_timer_ = 0;  // join-wait poll
   /// Bumped by release(): continuations of an older acquire/renew chain

@@ -20,7 +20,7 @@ IpopNode::IpopNode(net::Host& host, IpopConfig cfg)
                     : brunet::Address::from_ip(cfg_.tap.ip);
   overlay_ =
       std::make_unique<brunet::BrunetNode>(host_, overlay_addr, cfg_.overlay);
-  dht_ = std::make_unique<brunet::Dht>(*overlay_);
+  dht_ = std::make_unique<brunet::Dht>(*overlay_, cfg_.dht);
   if (cfg_.use_brunet_arp) {
     brunet_arp_ = std::make_unique<BrunetArp>(*overlay_, *dht_,
                                               cfg_.brunet_arp);

@@ -46,6 +46,8 @@ struct IpopConfig {
   /// static SHA1 mapping (enables multi-IP routing and migration).
   bool use_brunet_arp = false;
   BrunetArpConfig brunet_arp;
+  /// DHT tuning (replication factor, TTLs, retry budgets).
+  brunet::DhtConfig dht;
   ShortcutConfig shortcuts;
   /// Full self-configuration: boot with *no* preassigned virtual IP
   /// (tap.ip unset), claim a lease from the pool via DHCP-over-the-DHT,

@@ -47,8 +47,14 @@ sim::Link& Network::connect_to_switch(Stack& stack,
                                       const sim::LinkConfig& lcfg) {
   sim::Link& link =
       make_link(lcfg, stack.name() + "<->" + sw.name());
-  stack.add_interface(icfg, &link.end_a());
-  sw.attach(link.end_b());
+  const std::size_t iface = stack.add_interface(icfg, &link.end_a());
+  const std::size_t port = sw.attach(link.end_b());
+  // Record the binding for proxy-ARP; inert unless the switch has
+  // suppression turned on (the scale harness does, paper topologies not).
+  if (!icfg.ip.is_unspecified()) {
+    sw.register_endpoint(icfg.ip.value, stack.interface_mac(iface).octets,
+                         port);
+  }
   return link;
 }
 

@@ -1,32 +1,45 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
+
 namespace ipop::sim {
+
+namespace {
+// Below this, skipping dead entries on pop is cheaper than rebuilding.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
 
 EventLoop::EventId EventLoop::schedule_at(TimePoint t, Callback cb) {
   if (t < now_) t = now_;
   const EventId id = next_id_++;
-  heap_.push(Item{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  heap_.push_back(Item{t, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end());
+  live_.insert(id);
   return id;
 }
 
 void EventLoop::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already ran or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  if (live_.erase(id) == 0) return;  // already ran or cancelled
+  maybe_compact();
+}
+
+void EventLoop::maybe_compact() {
+  // Rebuild once dead entries outnumber live ones: amortized O(1) per
+  // cancel, and the heap never holds more than ~2x the live events.
+  if (heap_.size() < kCompactMinHeap) return;
+  if (heap_.size() - live_.size() <= heap_.size() / 2) return;
+  std::erase_if(heap_,
+                [&](const Item& it) { return !live_.contains(it.id); });
+  std::make_heap(heap_.begin(), heap_.end());
 }
 
 bool EventLoop::pop_next(Item& out) {
   while (!heap_.empty()) {
-    Item item = heap_.top();
-    heap_.pop();
-    auto cit = cancelled_.find(item.id);
-    if (cit != cancelled_.end()) {
-      cancelled_.erase(cit);
-      continue;
-    }
-    out = item;
+    std::pop_heap(heap_.begin(), heap_.end());
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    if (live_.erase(item.id) == 0) continue;  // cancelled: discard lazily
+    out = std::move(item);
     return true;
   }
   return false;
@@ -36,11 +49,8 @@ bool EventLoop::run_one() {
   Item item;
   if (!pop_next(item)) return false;
   now_ = item.at;
-  auto it = callbacks_.find(item.id);
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
   ++processed_;
-  cb();
+  item.cb();
   return true;
 }
 
@@ -58,16 +68,15 @@ std::size_t EventLoop::run_until(TimePoint t) {
     Item item;
     if (!pop_next(item)) break;
     if (item.at > t) {
-      // Put it back untouched; cheapest is to re-push.
-      heap_.push(item);
+      // Put it back untouched (pop_next removed it from the live set).
+      live_.insert(item.id);
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end());
       break;
     }
     now_ = item.at;
-    auto it = callbacks_.find(item.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
     ++processed_;
-    cb();
+    item.cb();
     ++n;
   }
   if (now_ < t) now_ = t;

@@ -5,12 +5,17 @@
 // order (a monotone sequence number breaks ties), which makes entire
 // experiments bit-for-bit reproducible across runs — the property all the
 // paper-table benches and churn tests rely on.
+//
+// Layout is sized for 10^4..10^5-node runs: the callback lives inside the
+// heap item (one allocation-free slot per event instead of a side map
+// entry each), liveness is a single id set, and cancellation is lazy with
+// compaction — a churning overlay cancels far-future keepalive/renew
+// timers constantly, and without compaction those dead slots would
+// dominate the heap.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -52,7 +57,12 @@ class EventLoop {
   /// Make run()/run_until() return at the next event boundary.
   void stop() { stopped_ = true; }
 
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Live (scheduled, not cancelled, not yet run) events — exact.
+  std::size_t pending() const { return live_.size(); }
+  /// Heap slots actually held, including lazily-cancelled entries not yet
+  /// compacted.  Bounded at O(pending()): the growth-regression test
+  /// asserts cancelled debris cannot accumulate.
+  std::size_t queue_depth() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
  private:
@@ -60,6 +70,7 @@ class EventLoop {
     TimePoint at;
     std::uint64_t seq;
     EventId id;
+    Callback cb;
     // Heap is a max-heap; invert so earliest (then lowest seq) pops first.
     bool operator<(const Item& o) const {
       if (at != o.at) return at > o.at;
@@ -68,15 +79,17 @@ class EventLoop {
   };
 
   bool pop_next(Item& out);
+  void maybe_compact();
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Item> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  // Binary heap via push_heap/pop_heap (priority_queue would hide the
+  // storage needed for compaction).
+  std::vector<Item> heap_;
+  std::unordered_set<EventId> live_;
 };
 
 }  // namespace ipop::sim

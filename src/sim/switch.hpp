@@ -4,6 +4,15 @@
 // F4 and the campus public segment).  The switch learns source MACs per
 // port, forwards unicast to the learned port and floods unknown/broadcast
 // destinations, with a small per-frame forwarding latency.
+//
+// For the scale harness the switch can additionally run EVPN-style ARP
+// suppression: endpoints register their IP→(MAC, port) binding at attach
+// time, broadcast ARP requests for registered IPs are answered by the
+// switch itself on the ingress port, and the MAC table is pre-seeded so
+// unknown-unicast floods never happen.  Without this, N nodes resolving
+// each other on one segment cost O(N²) flooded frames — fatal at 10^4
+// ports.  Off by default: the small paper topologies exercise the real
+// flood-and-learn behavior.
 #pragma once
 
 #include <array>
@@ -29,7 +38,18 @@ class Switch {
   std::size_t ports() const { return ports_.size(); }
   std::uint64_t frames_forwarded() const { return forwarded_; }
   std::uint64_t frames_flooded() const { return flooded_; }
+  std::uint64_t arp_suppressed() const { return arp_suppressed_; }
   const std::string& name() const { return name_; }
+
+  /// Turn proxy-ARP / flood suppression on; replays already-registered
+  /// endpoints into the MAC table.
+  void set_arp_suppression(bool on);
+  bool arp_suppression() const { return suppress_arp_; }
+  /// Register an endpoint's IPv4→(MAC, port) binding (host byte order).
+  /// Consulted only while suppression is on.
+  void register_endpoint(std::uint32_t ipv4,
+                         const std::array<std::uint8_t, 6>& mac,
+                         std::size_t port);
 
  private:
   using MacKey = std::uint64_t;  // 48-bit MAC packed into 64 bits
@@ -37,14 +57,25 @@ class Switch {
   static bool is_broadcast(const Frame& f);
 
   void handle_frame(std::size_t in_port, Frame frame);
+  /// True when the frame was a broadcast ARP request for a registered IP
+  /// and a proxy reply has been scheduled on the ingress port.
+  bool try_suppress_arp(std::size_t in_port, const Frame& f);
+
+  struct Endpoint {
+    std::array<std::uint8_t, 6> mac;
+    std::size_t port;
+  };
 
   EventLoop& loop_;
   std::string name_;
   Duration delay_;
   std::vector<LinkEnd*> ports_;
   std::unordered_map<MacKey, std::size_t> mac_table_;
+  std::unordered_map<std::uint32_t, Endpoint> arp_registry_;
+  bool suppress_arp_ = false;
   std::uint64_t forwarded_ = 0;
   std::uint64_t flooded_ = 0;
+  std::uint64_t arp_suppressed_ = 0;
 };
 
 }  // namespace ipop::sim

@@ -181,6 +181,112 @@ TEST(ConnectionTableTest, AddUpgradesTypeAndDeduplicates) {
   EXPECT_EQ(table.find(peer)->type, ConnectionType::kStructuredNear);
 }
 
+// The ring index must agree with the obvious O(n) reference on randomized
+// tables: closest_to (with and without exclusion, including duplicate-
+// distance ties), the k-neighbor walks, and the single-neighbor
+// accessors.  This is the property the binary-search rewrite must not
+// break — greedy routing at 10^4 nodes fails silently on any divergence.
+TEST(ConnectionTableTest, RingIndexMatchesLinearReference) {
+  util::Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    const Address self = Address::random(rng);
+    ConnectionTable table(self);
+    std::vector<Address> members;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < n; ++i) {
+      Address a = Address::random(rng);
+      if (rng.uniform() < 0.3) {
+        // Cluster some entries near self/extremes to exercise wraparound.
+        Address::Bytes b = self.bytes();
+        b[Address::kBytes - 1] ^= static_cast<std::uint8_t>(
+            rng.uniform_int(0, 255));
+        a = Address(b);
+      }
+      if (a == self) continue;
+      Connection c;
+      c.addr = a;
+      table.add(c);
+      if (std::find(members.begin(), members.end(), a) == members.end()) {
+        members.push_back(a);
+      }
+    }
+    ASSERT_EQ(table.size(), members.size());
+
+    // Linear reference: min ring distance, ties to the lower address.
+    auto reference = [&](const Address& target,
+                         const Address* exclude) -> std::optional<Address> {
+      std::optional<Address> best;
+      for (const auto& a : members) {
+        if (exclude != nullptr && a == *exclude) continue;
+        if (!best || Address::closer(target, a, *best) ||
+            (!Address::closer(target, *best, a) && a < *best)) {
+          best = a;
+        }
+      }
+      return best;
+    };
+
+    for (int probe = 0; probe < 20; ++probe) {
+      Address target = Address::random(rng);
+      if (rng.uniform() < 0.3) {
+        target = members[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(members.size()) -
+                                   1))];
+      }
+      const Connection* got = table.closest_to(target);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->addr, *reference(target, nullptr));
+      const Address excl = got->addr;
+      const Connection* got2 = table.closest_to(target, &excl);
+      const auto ref2 = reference(target, &excl);
+      if (ref2) {
+        ASSERT_NE(got2, nullptr);
+        EXPECT_EQ(got2->addr, *ref2);
+      } else {
+        EXPECT_EQ(got2, nullptr);
+      }
+    }
+
+    // Neighbor walks: sort members by clockwise distance from self and
+    // compare both directions at several k, plus the single accessors.
+    std::vector<Address> cw = members;
+    std::sort(cw.begin(), cw.end(), [&](const Address& a, const Address& b) {
+      return compare_bytes(Address::directed_distance(self, a),
+                           Address::directed_distance(self, b)) < 0;
+    });
+    for (std::size_t k : {std::size_t{1}, std::size_t{3},
+                          members.size(), members.size() + 5}) {
+      const auto right = table.right_neighbors(k);
+      const auto left = table.left_neighbors(k);
+      const std::size_t expect = std::min(k, members.size());
+      ASSERT_EQ(right.size(), expect);
+      ASSERT_EQ(left.size(), expect);
+      for (std::size_t i = 0; i < expect; ++i) {
+        EXPECT_EQ(right[i]->addr, cw[i]);
+        EXPECT_EQ(left[i]->addr, cw[cw.size() - 1 - i]);
+      }
+    }
+    ASSERT_NE(table.right_neighbor(), nullptr);
+    ASSERT_NE(table.left_neighbor(), nullptr);
+    EXPECT_EQ(table.right_neighbor()->addr, cw.front());
+    EXPECT_EQ(table.left_neighbor()->addr, cw.back());
+
+    // reclassify at k >= n marks everything near; at k < n exactly the k
+    // clockwise-closest and k counter-clockwise-closest are near.
+    table.reclassify(members.size() + 3);
+    EXPECT_EQ(table.count(ConnectionType::kStructuredNear), members.size());
+    const std::size_t k = 2;
+    table.reclassify(k);
+    for (std::size_t i = 0; i < cw.size(); ++i) {
+      const bool expect_near =
+          cw.size() <= 2 * k || i < k || i >= cw.size() - k;
+      EXPECT_EQ(table.find(cw[i])->type == ConnectionType::kStructuredNear,
+                expect_near)
+          << "offset " << i << " of " << cw.size();
+    }
+  }
+}
+
 // --- NodeInfo wire encoding --------------------------------------------------
 
 TEST(NodeInfoEncoding, CountByteClampsAt255) {
@@ -770,7 +876,10 @@ TEST_F(DhtFixture, CreateSucceedsAfterRecordExpires) {
   const auto key = Address::hash("expiring-lease");
   bool ok1 = false;
   ds[0]->create(key, {1}, [&](bool ok) { ok1 = ok; });
-  g.net.loop().run_until(g.net.loop().now() + seconds(5));
+  // A fresh overlay converges well inside DhtConfig::min_owner_age, so the
+  // first create is deferred (kRetry) until the owner is old enough to
+  // trust its own miss; give the retry loop room to land.
+  g.net.loop().run_until(g.net.loop().now() + seconds(12));
   ASSERT_TRUE(ok1);
   bool contested = true;
   ds[1]->create(key, {2}, [&](bool ok) { contested = ok; });

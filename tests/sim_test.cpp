@@ -106,6 +106,35 @@ TEST(EventLoopTest, StopInterruptsRun) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(EventLoopTest, CancelledDebrisIsCompacted) {
+  // Churn pattern: schedule far-future timers and cancel almost all of
+  // them (keepalive/renew timers of departing nodes).  pending() must
+  // track live events exactly, and the heap must shed lazily-cancelled
+  // slots instead of accumulating them — queue_depth() stays O(pending()).
+  EventLoop loop;
+  std::vector<EventLoop::EventId> ids;
+  constexpr int kRounds = 200;
+  constexpr int kPerRound = 100;
+  for (int r = 0; r < kRounds; ++r) {
+    ids.clear();
+    for (int i = 0; i < kPerRound; ++i) {
+      ids.push_back(loop.schedule_at(seconds(3600 + r), [] {}));
+    }
+    // Cancel all but one per round, as a departing node would.
+    for (std::size_t i = 1; i < ids.size(); ++i) loop.cancel(ids[i]);
+  }
+  EXPECT_EQ(loop.pending(), static_cast<std::size_t>(kRounds));
+  // 20k cancels against 200 survivors: without compaction queue_depth()
+  // would be ~20200.  The lazy-cancel bound is 2x live + the small
+  // compaction floor.
+  EXPECT_LE(loop.queue_depth(), 2 * loop.pending() + 64);
+  // Survivors still run, in order, exactly once.
+  std::size_t ran = loop.run();
+  EXPECT_EQ(ran, static_cast<std::size_t>(kRounds));
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.queue_depth(), 0u);
+}
+
 // --- CpuScheduler --------------------------------------------------------------
 
 TEST(CpuTest, SerializesWork) {

@@ -17,9 +17,14 @@ Suites:
          must not fall more than a small tolerance below the committed
          BENCH_churn_soak.json (CI legs run a smaller N whose run name
          differs from the baseline's; baseline-relative rules then skip).
+  scale  — the 10k-node soak: duplicate_leases == 0 plus the resolution
+         and acquisition floors, with lease_losses bounded by a ceiling
+         instead of pinned to zero (see the suite comment).
 
-Wall-clock timings are deliberately NOT gated — CI machines are noisy.
-Every gated counter is a deterministic count or ratio.
+Absolute wall-clock timings are deliberately NOT gated — CI machines are
+noisy.  Every gated counter is a deterministic count or ratio; the one
+timing-derived rule class ("scaling") compares two runs from the SAME
+fresh JSON against each other, so machine speed cancels out.
 
 --self-test verifies the gate actually fails on deliberately regressed
 counters, then exits 0.  CI runs it after the real gate so a silently
@@ -57,6 +62,14 @@ SUITES = {
         "baseline_min": [
             (r"^BM_UdpFanoutBatchShared/", "datagrams_per_syscall", 0.0),
         ],
+        # (small run, large run, max cpu_time ratio): both runs come from
+        # the same fresh JSON, so machine speed cancels.  A 16x table must
+        # not cost more than ~4x per lookup — that is the ring-sorted
+        # index's O(log n) promise; a linear scan would blow straight
+        # through this (observed ~16x).
+        "scaling": [
+            ("BM_GreedyNextHop/512", "BM_GreedyNextHop/8192", 4.0),
+        ],
     },
     "churn": {
         "default_baseline": "BENCH_churn_soak.json",
@@ -71,6 +84,28 @@ SUITES = {
         "baseline_min": [
             (r"^ChurnSoak/", "resolution_success_rate", 0.005),
         ],
+    },
+    # The 10k-node scale soak.  Same safety invariant (duplicate_leases
+    # is exactly 0 — the DHT create() uniqueness guarantee) and the same
+    # resolution/acquisition floors, but lease_losses is a bounded
+    # ceiling instead of a strict zero: at 10 % churn/min over 10k nodes
+    # a handful of renewals legitimately lose a split-brain dispute to a
+    # concurrently re-leased address, and the client re-acquires.  The
+    # ceiling keeps that a rare event, not a churn storm.
+    "scale": {
+        "default_baseline": None,
+        "zero": [
+            (r"^ChurnSoak/", "duplicate_leases"),
+        ],
+        "floor": [
+            (r"^ChurnSoak/", "resolution_success_rate", 0.99),
+            (r"^ChurnSoak/", "lease_acquired_fraction", 0.99),
+        ],
+        # (name regex, counter, max): fresh must be <= max.
+        "ceiling": [
+            (r"^ChurnSoak/", "lease_losses", 100),
+        ],
+        "baseline_min": [],
     },
 }
 
@@ -117,6 +152,31 @@ def check(suite, fresh_doc, baseline_doc):
                 failures.append(f"{name}: counter {counter} missing")
             elif value < floor:
                 failures.append(f"{name}: {counter} = {value} < floor {floor}")
+
+    for name_re, counter, cap in suite.get("ceiling", ()):
+        for name, bench in matching(name_re):
+            value = bench.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif value > cap:
+                failures.append(f"{name}: {counter} = {value} > ceiling {cap}")
+
+    for small_name, large_name, max_ratio in suite.get("scaling", ()):
+        small, large = fresh.get(small_name), fresh.get(large_name)
+        if small is None or large is None:
+            failures.append(
+                f"scaling rule {small_name} vs {large_name}: run missing "
+                "(bench args trimmed?)")
+            continue
+        st, lt = small.get("cpu_time"), large.get("cpu_time")
+        if not st or lt is None:
+            failures.append(
+                f"scaling rule {small_name} vs {large_name}: cpu_time missing")
+        elif lt > st * max_ratio:
+            failures.append(
+                f"{large_name}: cpu_time {lt:.1f} > {max_ratio}x "
+                f"{small_name} ({st:.1f}) — lookup no longer scales "
+                "logarithmically")
 
     for name_re, counter, tolerance in suite["baseline_min"]:
         for name, bench in matching(name_re):
@@ -166,6 +226,25 @@ def self_test(suite, fresh_doc, baseline_doc):
                   "was not caught", file=sys.stderr)
             return 1
 
+    # Push every ceilinged counter past its cap.
+    for name_re, counter, cap in suite.get("ceiling", ()):
+        if not check(suite, regress(name_re, counter, cap + 1), baseline_doc):
+            print(f"self-test FAILED: regressed {counter} on {name_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
+    # Blow the large run's cpu_time past every scaling ratio.
+    for small_name, large_name, max_ratio in suite.get("scaling", ()):
+        doc = copy.deepcopy(fresh_doc)
+        for b in doc["benchmarks"]:
+            if b["name"] == large_name and "cpu_time" in b:
+                b["cpu_time"] = b["cpu_time"] * max_ratio * 100.0
+                break
+        if not check(suite, doc, baseline_doc):
+            print(f"self-test FAILED: {large_name} scaling blow-up "
+                  "was not caught", file=sys.stderr)
+            return 1
+
     # Regress baseline-relative counters beyond their tolerance (only
     # conclusive when the committed baseline actually names this run).
     for name_re, counter, tolerance in suite["baseline_min"]:
@@ -200,12 +279,13 @@ def main():
     baseline_path = args.baseline or suite["default_baseline"]
 
     fresh_doc = load(args.fresh)
-    try:
-        baseline_doc = load(baseline_path)
-    except FileNotFoundError:
-        print(f"warning: baseline {baseline_path} not found; "
-              "baseline-relative rules skipped", file=sys.stderr)
-        baseline_doc = None
+    baseline_doc = None
+    if baseline_path is not None:
+        try:
+            baseline_doc = load(baseline_path)
+        except FileNotFoundError:
+            print(f"warning: baseline {baseline_path} not found; "
+                  "baseline-relative rules skipped", file=sys.stderr)
 
     if args.self_test:
         sys.exit(self_test(suite, fresh_doc, baseline_doc))
