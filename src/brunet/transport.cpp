@@ -105,6 +105,7 @@ void TcpEdge::pump() {
                               static_cast<std::uint32_t>(rx_buf_[pos + 2]) << 8 |
                               static_cast<std::uint32_t>(rx_buf_[pos + 3]);
     if (rx_buf_.size() - pos - 4 < len) break;
+    // lint:allow(zero-copy): stream reframing — bytes leave the shared TCP rx ring exactly once
     auto frame = util::Buffer::copy_of(
         std::span<const std::uint8_t>(rx_buf_.data() + pos + 4, len));
     pos += 4 + len;

@@ -58,6 +58,7 @@ class Edge {
   /// being flattened by the caller.  The base fallback coalesces once;
   /// transports override with a copy-free path.
   virtual void send_chain(util::BufferChain chain) {
+    // lint:allow(zero-copy): base-class fallback only — both real transports override copy-free
     send(chain.coalesce().share());
   }
   /// Batched send: every chain is one packet, emitted with a single

@@ -163,10 +163,13 @@ void IpopNode::on_tap_frame(util::Buffer frame) {
   ++metrics_.frames_captured;
   // User-level capture cost: serial CPU work plus pipelined wakeup latency.
   host_.cpu().run(cfg_.cpu_per_packet,
-                  [this, frame = std::move(frame)]() mutable {
+                  [this, alive = alive_.guard(),
+                   frame = std::move(frame)]() mutable {
+                    if (!alive) return;
                     host_.loop().schedule_after(
                         cfg_.sched_latency,
-                        [this, frame = std::move(frame)]() mutable {
+                        [this, alive, frame = std::move(frame)]() mutable {
+                          if (!alive) return;
                           if (started_) process_captured(std::move(frame));
                         });
                   });
@@ -268,7 +271,9 @@ void IpopNode::on_tunnel_packet(const brunet::Packet& pkt) {
   // is a sub-buffer share, not a copy.
   auto bytes = pkt.share_payload();
   host_.loop().schedule_after(cfg_.sched_latency,
-                              [this, bytes = std::move(bytes)]() mutable {
+                              [this, alive = alive_.guard(),
+                               bytes = std::move(bytes)]() mutable {
+                                if (!alive) return;
                                 if (started_) inject(std::move(bytes));
                               });
 }

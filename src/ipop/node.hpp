@@ -30,6 +30,7 @@
 #include "ipop/dhcp.hpp"
 #include "ipop/shortcuts.hpp"
 #include "ipop/tap.hpp"
+#include "util/lifetime.hpp"
 
 namespace ipop::core {
 
@@ -142,6 +143,9 @@ class IpopNode {
   IpopMetrics metrics_;
   std::uint64_t reacquire_timer_ = 0;  // DHCP: backoff after a failed acquire
   bool started_ = false;
+  // Declared last: capture/injection latency events may still be queued
+  // when the node dies; their lambdas carry a guard, not a bare `this`.
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::core

@@ -143,6 +143,7 @@ std::size_t patch_icmp_quote_endpoint(Ipv4Packet& pkt, const IcmpQuoteView& q,
     // Copy-on-write: another handle (a flooded frame, a queued
     // retransmit) still reads the original bytes.
     copied = pkt.payload.size();
+    // lint:allow(zero-copy): explicit COW before an in-place rewrite of shared storage (counted)
     pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
   }
   util::Buffer& b = pkt.payload;
@@ -229,6 +230,7 @@ std::size_t patch_l4_endpoints(Ipv4Packet& pkt,
     // Copy-on-write: another handle (a flooded frame, a queued
     // retransmit) still reads the original bytes.
     copied = pkt.payload.size();
+    // lint:allow(zero-copy): explicit COW before an in-place rewrite of shared storage (counted)
     pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
   }
   switch (pkt.hdr.proto) {

@@ -48,7 +48,11 @@ void Pinger::run(Ipv4Address dst, const Options& opts,
 
 void Pinger::send_next() {
   if (next_seq_ >= opts_.count) {
-    stack_.loop().schedule_after(opts_.timeout, [this] { finish(); });
+    stack_.loop().schedule_after(opts_.timeout,
+                                 [this, alive = alive_.guard()] {
+                                   if (!alive) return;
+                                   finish();
+                                 });
     return;
   }
   // Payload carries the transmit timestamp, like real ping.
@@ -59,7 +63,11 @@ void Pinger::send_next() {
                            static_cast<std::uint16_t>(next_seq_), w.take());
   ++result_.sent;
   ++next_seq_;
-  stack_.loop().schedule_after(opts_.interval, [this] { send_next(); });
+  stack_.loop().schedule_after(opts_.interval,
+                               [this, alive = alive_.guard()] {
+                                 if (!alive) return;
+                                 send_next();
+                               });
 }
 
 void Pinger::on_reply(const IcmpMessage& msg) {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "net/stack.hpp"
+#include "util/lifetime.hpp"
 #include "util/stats.hpp"
 
 namespace ipop::net {
@@ -74,6 +75,10 @@ class Pinger {
   std::function<void(PingResult)> done_;
   PingResult result_;
   int next_seq_ = 0;
+  // Declared last: interval/timeout timers outlive a Pinger torn down
+  // mid-run (benches stack-allocate them), so every scheduled lambda
+  // carries a guard instead of a bare `this`.
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::net

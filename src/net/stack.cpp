@@ -162,7 +162,9 @@ const Route* Stack::lookup_route(Ipv4Address dst) const {
 void Stack::on_frame(std::size_t iface, sim::Frame frame) {
   // Kernel receive-path traversal cost.
   loop_.schedule_after(cfg_.per_packet_delay,
-                       [this, iface, frame = std::move(frame)]() mutable {
+                       [this, alive = alive_.guard(), iface,
+                        frame = std::move(frame)]() mutable {
+                         if (!alive) return;
                          process_frame(iface, std::move(frame));
                        });
 }
@@ -247,6 +249,7 @@ void Stack::handle_ip(std::size_t iface, util::Buffer bytes) {
     // Ablation: the pre-zero-copy kernel copied the packet out of the
     // receive ring on every traversal.
     counters_.payload_bytes_copied += pkt.payload.size();
+    // lint:allow(zero-copy): copy_at_stack_crossing ablation mode — the copy IS the experiment
     pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
   }
   if (prerouting_ && !prerouting_(pkt, iface)) {
@@ -308,7 +311,9 @@ void Stack::send_ip(Ipv4Packet pkt) {
     if (pkt.hdr.src.is_unspecified()) pkt.hdr.src = pkt.hdr.dst;
     ++counters_.ip_tx;
     loop_.schedule_after(cfg_.per_packet_delay,
-                         [this, pkt = std::move(pkt)]() mutable {
+                         [this, alive = alive_.guard(),
+                          pkt = std::move(pkt)]() mutable {
+                           if (!alive) return;
                            deliver_local(0, std::move(pkt));
                          });
     return;
@@ -393,6 +398,7 @@ void Stack::emit_ip(std::size_t iface, MacAddress dst, Ipv4Packet pkt) {
     // Ablation: the pre-zero-copy kernel serialized the packet into a
     // fresh frame on every transmit.
     counters_.payload_bytes_copied += pkt.payload.size();
+    // lint:allow(zero-copy): copy_at_stack_crossing ablation mode — the copy IS the experiment
     pkt.payload = pkt.payload.clone(util::kPacketHeadroom);
   }
   if (!pkt.wire_in_place(EthernetFrame::kHeaderSize)) {
@@ -410,10 +416,14 @@ void Stack::emit_ip(std::size_t iface, MacAddress dst, Ipv4Packet pkt) {
 }
 
 void Stack::emit_frame(std::size_t iface, util::Buffer frame) {
-  Interface& ifc = *ifaces_[iface];
-  // Kernel transmit-path traversal cost.
+  // Kernel transmit-path traversal cost.  The interface is re-looked-up
+  // inside the callback (by index, behind the liveness guard) because the
+  // event can outlive both the Interface object and the whole Stack.
   loop_.schedule_after(cfg_.per_packet_delay,
-                       [&ifc, raw = std::move(frame)]() mutable {
+                       [this, alive = alive_.guard(), iface,
+                        raw = std::move(frame)]() mutable {
+                         if (!alive) return;
+                         Interface& ifc = *ifaces_[iface];
                          if (ifc.link != nullptr) ifc.link->send(std::move(raw));
                        });
 }
@@ -452,6 +462,7 @@ void Stack::deliver_icmp(Ipv4Packet pkt) {
     m.code = msg.code;
     m.id = msg.id;
     m.seq = msg.seq;
+    // lint:allow(zero-copy): echo-handler struct compat — ICMP control plane, not forwarded traffic
     m.payload = msg.payload.to_vector();
     return m;
   };
@@ -469,6 +480,7 @@ void Stack::deliver_icmp(Ipv4Packet pkt) {
       if (out.payload.use_count() > 1) {
         // Shared storage (e.g. a flooded frame): copy-on-write.
         counters_.payload_bytes_copied += out.payload.size();
+        // lint:allow(zero-copy): explicit COW before an in-place patch of shared storage (counted)
         out.payload = out.payload.clone(util::kPacketHeadroom);
       }
       const std::uint16_t old_word = static_cast<std::uint16_t>(
@@ -555,6 +567,7 @@ void Stack::send_icmp_error(const Ipv4Packet& original, IcmpType type,
   std::vector<std::uint8_t> quoted(Ipv4Header::kSize + quote_payload);
   Ipv4Packet::encode_header(quoted.data(), original.hdr,
                             original.total_length());
+  // lint:allow(zero-copy): ICMP error builder quotes <= 8 payload bytes (RFC 792), control plane
   std::copy_n(original.payload.begin(), quote_payload,
               quoted.begin() + Ipv4Header::kSize);
   msg.payload = std::move(quoted);
@@ -775,6 +788,7 @@ void UdpSocket::emit_datagram(Ipv4Address dst, std::uint16_t dst_port,
     if (stack_->cfg_.copy_at_stack_crossing) {
       // Ablation: force the historical user/kernel send copy.
       stack_->counters_.payload_bytes_copied += data.size();
+      // lint:allow(zero-copy): copy_at_stack_crossing ablation mode — the copy IS the experiment
       data = data.clone(util::kPacketHeadroom);
     }
     if (!(data.use_count() == 1 &&
@@ -802,6 +816,7 @@ void UdpSocket::deliver(Ipv4Address src, std::uint16_t src_port,
     if (stack_ != nullptr && stack_->cfg_.copy_at_stack_crossing) {
       // Ablation: force the historical kernel/user delivery copy.
       stack_->counters_.payload_bytes_copied += data.size();
+      // lint:allow(zero-copy): copy_at_stack_crossing ablation mode — the copy IS the experiment
       data = data.clone();
     }
     buf_handler_(src, src_port, std::move(data));
@@ -809,6 +824,7 @@ void UdpSocket::deliver(Ipv4Address src, std::uint16_t src_port,
     if (stack_ != nullptr) {
       stack_->counters_.payload_bytes_copied += data.size();
     }
+    // lint:allow(zero-copy): legacy vector-handler delivery, counted above; zero-copy apps use buf_handler_
     handler_(src, src_port, data.to_vector());
   }
 }

@@ -31,6 +31,7 @@
 #include "net/udp.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/link.hpp"
+#include "util/lifetime.hpp"
 #include "util/random.hpp"
 
 namespace ipop::net {
@@ -303,6 +304,10 @@ class Stack {
   EchoReplyHandler echo_reply_handler_;
   IcmpErrorHandler icmp_error_handler_;
   StackCounters counters_;
+  // Declared last: per-packet-delay events (receive, loopback, transmit)
+  // still sit in the loop when a Stack is torn down mid-traffic; their
+  // lambdas carry a guard from this token instead of a bare `this`.
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::net

@@ -453,6 +453,7 @@ std::size_t TcpSocket::send(std::span<const std::uint8_t> data) {
     // The historical owning path: one user/socket copy into a fresh
     // queue segment.
     stats_.payload_bytes_copied += take;
+    // lint:allow(zero-copy): historical span-send path, counted; zero-copy callers pass Buffer/chain
     send_queue_.append(util::Buffer::copy_of(data.subspan(0, take)));
   }
   if (take < data.size()) send_buf_was_full_ = true;

@@ -69,7 +69,9 @@ void Link::transmit(bool from_a, Frame frame) {
   const std::size_t frame_size = frame.size();
 
   loop_.schedule_at(
-      deliver_at, [&d, &dst, frame = std::move(frame), frame_size]() mutable {
+      deliver_at, [alive = alive_.guard(), &d, &dst,
+                   frame = std::move(frame), frame_size]() mutable {
+        if (!alive) return;
         ++d.stats.frames_delivered;
         d.stats.bytes_delivered += frame_size;
         if (dst.receiver_) dst.receiver_(std::move(frame));

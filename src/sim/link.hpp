@@ -17,6 +17,7 @@
 
 #include "sim/event_loop.hpp"
 #include "util/buffer.hpp"
+#include "util/lifetime.hpp"
 #include "util/random.hpp"
 
 namespace ipop::sim {
@@ -106,6 +107,9 @@ class Link {
   bool up_ = true;
   Direction dir_[2];  // [0]: a->b, [1]: b->a
   LinkEnd a_, b_;
+  // Declared last: in-flight delivery events reference dir_/ends by
+  // reference; the guard turns them into no-ops once the Link is gone.
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::sim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/link.hpp"
+#include "util/lifetime.hpp"
 
 namespace ipop::sim {
 
@@ -76,6 +77,9 @@ class Switch {
   std::uint64_t forwarded_ = 0;
   std::uint64_t flooded_ = 0;
   std::uint64_t arp_suppressed_ = 0;
+  // Declared last: forwarding-delay events may still be queued when a
+  // Switch is destroyed; their lambdas carry a guard, not a bare `this`.
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::sim

@@ -1,5 +1,6 @@
 #include "util/buffer.hpp"
 
+#include <cassert>
 #include <cstring>
 
 namespace ipop::util {
@@ -90,13 +91,24 @@ void Buffer::drop_back(std::size_t n) {
 
 void Buffer::patch_u8(std::size_t offset, std::uint8_t v) {
   if (offset >= size()) throw ParseError("Buffer: patch_u8 out of range");
+  assert(patchable() &&
+         "Buffer: in-place patch of shared storage — call ensure_unique() "
+         "(COW) or assume_exclusive() (ownership claim) first");
   data()[offset] = v;
 }
 
 void Buffer::patch_u16(std::size_t offset, std::uint16_t v) {
   if (offset + 2 > size()) throw ParseError("Buffer: patch_u16 out of range");
+  assert(patchable() &&
+         "Buffer: in-place patch of shared storage — call ensure_unique() "
+         "(COW) or assume_exclusive() (ownership claim) first");
   data()[offset] = static_cast<std::uint8_t>(v >> 8);
   data()[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void Buffer::ensure_unique(std::size_t headroom) {
+  if (!s_ || unique()) return;
+  *this = clone(headroom);
 }
 
 Buffer Buffer::share(std::size_t offset, std::size_t len) const {

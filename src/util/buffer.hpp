@@ -82,8 +82,27 @@ class Buffer {
   void drop_back(std::size_t n);
 
   /// In-place single-byte / big-endian 16-bit patch (bounds-checked).
+  /// Debug builds additionally assert patchable(): writing through a
+  /// shared handle silently mutates every reader, so a patch requires
+  /// unique ownership, an explicit ensure_unique() COW, or an
+  /// assume_exclusive() ownership claim.
   void patch_u8(std::size_t offset, std::uint8_t v);
   void patch_u16(std::size_t offset, std::uint16_t v);
+
+  /// Explicit copy-on-write: make this handle the sole owner of its
+  /// bytes (clones when the storage is shared, no-op when already
+  /// unique).  Call before in-place patching a possibly-shared buffer.
+  void ensure_unique(std::size_t headroom = 0);
+  /// Ownership claim for in-place patches on storage that is refcounted
+  /// but exclusively owned per the rules above (e.g. a packet adopted
+  /// from a transport whose other handles never read the bytes again).
+  /// The claim is handle-local; copies of this handle inherit it.
+  Buffer& assume_exclusive() {
+    exclusive_ = true;
+    return *this;
+  }
+  /// True when an in-place patch through this handle is sanctioned.
+  bool patchable() const { return unique() || exclusive_; }
 
   /// O(1) handle sharing the same storage.
   Buffer share() const { return *this; }
@@ -107,6 +126,7 @@ class Buffer {
   std::shared_ptr<Storage> s_;
   std::size_t begin_ = 0;  // data region [begin_, end_) within storage
   std::size_t end_ = 0;
+  bool exclusive_ = false;  // assume_exclusive() patch-ownership claim
 };
 
 }  // namespace ipop::util

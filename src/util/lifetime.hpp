@@ -1,0 +1,42 @@
+// Owner-side liveness token for deferred callbacks.
+//
+// The timer-lifetime discipline (enforced by tools/lint/run.py): an
+// EventLoop callback that captures `this` must either keep the returned
+// EventId as a cancellation handle, or carry a liveness guard so the
+// callback turns into a no-op once the owner is gone.  AliveToken is the
+// reusable form of the guard: the owner holds one as a member (declare it
+// last so it dies first), every scheduled lambda captures
+// `alive = alive_.guard()` and bails out with `if (!alive) return;`.
+// Destroying the owner expires every outstanding guard atomically —
+// exactly the use-after-free class AddressSanitizer caught twice in
+// transport teardown before this existed.
+#pragma once
+
+#include <memory>
+
+namespace ipop::util {
+
+class AliveToken {
+ public:
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(std::weak_ptr<const void> w) : w_(std::move(w)) {}
+    /// True while the owning AliveToken still exists.
+    explicit operator bool() const { return !w_.expired(); }
+
+   private:
+    std::weak_ptr<const void> w_;
+  };
+
+  AliveToken() : tok_(std::make_shared<char>(0)) {}
+  AliveToken(const AliveToken&) = delete;
+  AliveToken& operator=(const AliveToken&) = delete;
+
+  Guard guard() const { return Guard(tok_); }
+
+ private:
+  std::shared_ptr<const void> tok_;
+};
+
+}  // namespace ipop::util

@@ -74,9 +74,12 @@ Sha1Digest Sha1::finish() {
 void Sha1::process_block(const std::uint8_t* block) {
   std::uint32_t w[80];
   for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<std::uint32_t>(block[i * 4] << 24) |
-           static_cast<std::uint32_t>(block[i * 4 + 1] << 16) |
-           static_cast<std::uint32_t>(block[i * 4 + 2] << 8) |
+    // Cast each byte *before* shifting: the integer promotion is to
+    // signed int, and a byte >= 0x80 shifted by 24 would land in the
+    // sign bit.
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
            static_cast<std::uint32_t>(block[i * 4 + 3]);
   }
   for (int i = 16; i < 80; ++i) {

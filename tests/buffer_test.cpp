@@ -94,10 +94,48 @@ TEST(BufferTest, SubBufferSharesStorage) {
   EXPECT_EQ(mid.data(), b.data() + 10);
   EXPECT_EQ(mid[0], 10);
   // Patches through one handle are visible through the other (shared
-  // storage is the point).
-  mid.patch_u8(0, 0x7F);
+  // storage is the point) — but writing through a shared handle must be
+  // acknowledged explicitly.
+  mid.assume_exclusive().patch_u8(0, 0x7F);
   EXPECT_EQ(b[10], 0x7F);
 }
+
+TEST(BufferTest, EnsureUniqueClonesSharedStorage) {
+  Buffer b = Buffer::copy_of(pattern(16));
+  Buffer other = b.share();
+  ASSERT_EQ(b.use_count(), 2);
+  b.ensure_unique();
+  // COW: this handle now owns fresh storage; the other handle's bytes
+  // are untouched by subsequent patches.
+  EXPECT_EQ(b.use_count(), 1);
+  EXPECT_EQ(other.use_count(), 1);
+  EXPECT_NE(b.data(), other.data());
+  b.patch_u8(3, 0xEE);
+  EXPECT_EQ(b[3], 0xEE);
+  EXPECT_EQ(other[3], 3);
+  // Already-unique handles are left alone (no reallocation).
+  const std::uint8_t* ptr = b.data();
+  b.ensure_unique();
+  EXPECT_EQ(b.data(), ptr);
+}
+
+#ifndef NDEBUG
+TEST(BufferDeathTest, PatchingSharedStorageWithoutAcknowledgementAsserts) {
+  Buffer b = Buffer::copy_of(pattern(8));
+  Buffer other = b.share();
+  ASSERT_FALSE(b.patchable());
+  EXPECT_DEATH(b.patch_u8(0, 0xFF), "ensure_unique|assume_exclusive");
+  EXPECT_DEATH(b.patch_u16(0, 0xFFFF), "ensure_unique|assume_exclusive");
+  // Either acknowledgement path silences the assertion.
+  b.ensure_unique();
+  EXPECT_TRUE(b.patchable());
+  b.patch_u8(0, 0xFF);
+  Buffer c = other.share();
+  c.assume_exclusive();
+  EXPECT_TRUE(c.patchable());
+  c.patch_u16(0, 0xBEEF);
+}
+#endif
 
 TEST(BufferTest, PatchesAreBoundsChecked) {
   Buffer b = Buffer::copy_of(pattern(4));

@@ -1,12 +1,14 @@
 // Unit tests for src/sim: event loop, CPU scheduler, link, switch.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/cpu.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/link.hpp"
 #include "sim/switch.hpp"
+#include "util/lifetime.hpp"
 
 namespace ipop::sim {
 namespace {
@@ -132,6 +134,79 @@ TEST(EventLoopTest, CancelledDebrisIsCompacted) {
   std::size_t ran = loop.run();
   EXPECT_EQ(ran, static_cast<std::size_t>(kRounds));
   EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.queue_depth(), 0u);
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFiresAfterOwnerDestruction) {
+  // The timer-lifetime pattern the lint pass enforces: an owner whose
+  // callback captures `this` must either cancel its EventId on
+  // destruction or capture a liveness guard.  Model both and destroy the
+  // owner before its deadline — neither callback may touch freed state.
+  EventLoop loop;
+  int fired = 0;
+
+  struct CancellingOwner {
+    EventLoop& loop;
+    int& fired;
+    EventLoop::EventId id = 0;
+    CancellingOwner(EventLoop& l, int& f) : loop(l), fired(f) {
+      id = loop.schedule_after(milliseconds(10), [this] { ++fired; });
+    }
+    ~CancellingOwner() { loop.cancel(id); }
+  };
+  struct GuardedOwner {
+    int& fired;
+    util::AliveToken alive_;
+    GuardedOwner(EventLoop& l, int& f) : fired(f) {
+      l.schedule_after(milliseconds(10),
+                       [this, alive = alive_.guard()] {
+                         if (!alive) return;
+                         ++fired;
+                       });
+    }
+  };
+
+  {
+    CancellingOwner a(loop, fired);
+    GuardedOwner b(loop, fired);
+  }  // both destroyed before their deadlines
+  loop.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.pending(), 0u);
+
+  // Control: the same owners left alive past the deadline do fire.
+  auto a = std::make_unique<CancellingOwner>(loop, fired);
+  auto b = std::make_unique<GuardedOwner>(loop, fired);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, QueueDepthBoundedUnderCancelHeavyLoad) {
+  // Steady-state churn: every tick reschedules a keepalive (cancel the
+  // old timer, schedule a replacement) for each of kNodes nodes.  The
+  // heap must stay O(live) *throughout* the run, not just after a final
+  // drain — an unbounded high-water mark is the regression this guards.
+  EventLoop loop;
+  constexpr int kNodes = 50;
+  constexpr int kTicks = 400;
+  std::vector<EventLoop::EventId> keepalive(kNodes, 0);
+  for (int n = 0; n < kNodes; ++n) {
+    keepalive[n] = loop.schedule_at(seconds(3600), [] {});
+  }
+  std::size_t max_depth = 0;
+  for (int t = 1; t <= kTicks; ++t) {
+    loop.run_until(milliseconds(t));
+    for (int n = 0; n < kNodes; ++n) {
+      loop.cancel(keepalive[n]);
+      keepalive[n] = loop.schedule_at(seconds(3600 + t), [] {});
+    }
+    max_depth = std::max(max_depth, loop.queue_depth());
+  }
+  EXPECT_EQ(loop.pending(), static_cast<std::size_t>(kNodes));
+  // 20k cancels with 50 live events: the lazy-cancel invariant bounds the
+  // heap at 2x live + the compaction floor at every observation point.
+  EXPECT_LE(max_depth, 2 * static_cast<std::size_t>(kNodes) + 64);
+  loop.run();
   EXPECT_EQ(loop.queue_depth(), 0u);
 }
 

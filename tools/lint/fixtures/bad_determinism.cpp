@@ -1,0 +1,67 @@
+// lint-fixture-path: src/brunet/fixture_determinism.cpp
+//
+// Known-bad determinism snippets: wall clocks, unseeded randomness and
+// hash-order iteration that reaches the wire must fire; order-insensitive
+// iteration and allowlisted lines must not.
+// NOT part of the build — compiled only by `tools/lint/run.py --self-test`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <sys/time.h>
+#include <unordered_map>
+
+namespace fixture {
+
+void encode_entry(int key, int value);
+
+inline long wall_clock_now() {
+  return time(nullptr);  // expect(determinism)
+}
+
+inline long wall_clock_us() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // expect(determinism)
+  return tv.tv_usec;
+}
+
+inline auto wall_clock_chrono() {
+  return std::chrono::system_clock::now();  // expect(determinism)
+}
+
+inline int unseeded() {
+  return rand();  // expect(determinism)
+}
+
+inline unsigned hardware_entropy() {
+  std::random_device rd;  // expect(determinism)
+  return rd();
+}
+
+struct Registry {
+  std::unordered_map<int, int> table_;
+
+  void broadcast_all() {
+    for (const auto& [key, value] : table_) {  // expect(determinism)
+      encode_entry(key, value);
+    }
+  }
+
+  int local_sum() const {
+    int sum = 0;
+    // Order-insensitive aggregation never leaves the node: silent.
+    for (const auto& [key, value] : table_) {
+      sum += value;
+    }
+    return sum;
+  }
+
+  void xor_digest() {
+    // lint:allow(determinism): XOR digest is iteration-order independent
+    for (const auto& [key, value] : table_) {
+      encode_entry(key ^ value, 0);
+    }
+  }
+};
+
+}  // namespace fixture

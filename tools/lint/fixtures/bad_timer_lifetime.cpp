@@ -1,0 +1,68 @@
+// lint-fixture-path: src/ipop/fixture_timer_lifetime.cpp
+//
+// Known-bad timer-lifetime snippets: schedule_after/schedule_at lambdas
+// capturing `this` (or by reference) with the EventId discarded and no
+// weak/alive guard must fire; retained handles, guarded captures and
+// allowlisted lines must not.
+// NOT part of the build — compiled only by `tools/lint/run.py --self-test`.
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct Loop {
+  using EventId = std::uint64_t;
+  EventId schedule_after(long d, std::function<void()> cb);
+  EventId schedule_at(long t, std::function<void()> cb);
+  void cancel(EventId id);
+};
+
+struct Owner {
+  Loop& loop_;
+  Loop::EventId timer_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  int x_ = 0;
+
+  void tick();
+  void tock(int x);
+
+  void bad_raw_this() {
+    loop_.schedule_after(100, [this] { tick(); });  // expect(timer-lifetime)
+  }
+
+  void bad_at_with_value() {
+    loop_.schedule_at(7, [this, x = x_] { tock(x); });  // expect(timer-lifetime)
+  }
+
+  void bad_by_reference() {
+    loop_.schedule_after(100, [&] { tick(); });  // expect(timer-lifetime)
+  }
+
+  void ok_handle_retained() {
+    timer_ = loop_.schedule_after(100, [this] { tick(); });
+  }
+
+  Loop::EventId ok_handle_returned() {
+    return loop_.schedule_after(100, [this] { tick(); });
+  }
+
+  void ok_weak_guard() {
+    loop_.schedule_after(
+        100, [this, alive = std::weak_ptr<bool>(alive_)] {
+          if (alive.expired()) return;
+          tick();
+        });
+  }
+
+  void ok_value_only_capture(int snapshot) {
+    // Copies have their own lifetime; nothing to outlive.
+    loop_.schedule_after(100, [snapshot] { (void)snapshot; });
+  }
+
+  void ok_allowlisted() {
+    loop_.schedule_after(100, [this] { tick(); });  // lint:allow(timer-lifetime): Owner outlives the loop in every fixture
+  }
+};
+
+}  // namespace fixture
