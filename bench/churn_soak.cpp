@@ -16,11 +16,16 @@
 // tools/bench_gate.py --suite churn can gate CI on them.
 //
 //   bench_churn_soak [--nodes N] [--churn-minutes M] [--churn-rate R]
-//                    [--seed S] [--out PATH]
+//                    [--seed S] [--shards K] [--out PATH]
 //
 // R is expressed in events per node per minute (0.10 = "10% churn").
+// --shards K runs the same scenario on K engine shards; the event-trace
+// digest and every protocol counter are identical for any K (the gate
+// compares the legs), only wall_seconds changes.
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "ipop/node.hpp"
 #include "net/topology.hpp"
 #include "util/stats.hpp"
@@ -45,6 +51,7 @@ struct Options {
   double churn_rate = 0.10;  // events / node / minute
   std::uint64_t seed = 1;
   double warmup_seconds = 0.0;  // 0 = auto-scale with node count
+  int shards = 1;
   std::string out = "BENCH_churn_soak.json";
 };
 
@@ -65,6 +72,10 @@ struct SoakNode {
   bool live = false;
   ipop::util::TimePoint started{};
   ipop::util::TimePoint configured{};
+  /// Acquisition samples appended by the configured handler on the node's
+  /// shard thread; the main thread harvests them between engine windows
+  /// (the barrier orders the handoff, so no lock is needed).
+  std::vector<double> pending_acq_ms;
 };
 
 struct Metrics {
@@ -76,10 +87,13 @@ struct Metrics {
   std::uint64_t duplicate_leases = 0;
   std::uint64_t lease_audits = 0;
   std::uint64_t resolution_attempts = 0;
-  std::uint64_t resolution_successes = 0;
-  std::uint64_t resolution_aborted = 0;
-  std::uint64_t resolution_misses = 0;  // lookup returned nothing
-  std::uint64_t resolution_wrong = 0;   // lookup returned a stale owner
+  // Resolve callbacks execute on the prober's shard thread; the totals
+  // are order-independent sums, so plain atomics keep them exact (and
+  // TSan-clean) for any shard count.
+  std::atomic<std::uint64_t> resolution_successes = 0;
+  std::atomic<std::uint64_t> resolution_aborted = 0;
+  std::atomic<std::uint64_t> resolution_misses = 0;  // lookup found nothing
+  std::atomic<std::uint64_t> resolution_wrong = 0;   // stale owner returned
 };
 
 }  // namespace
@@ -100,6 +114,8 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (std::strcmp(argv[i], "--warmup-seconds") == 0) {
       opt.warmup_seconds = std::atof(next());
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opt.shards = ipop::bench::parse_shards(next());
     } else if (std::strcmp(argv[i], "--out") == 0) {
       opt.out = next();
     } else {
@@ -108,11 +124,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("churn soak: %d nodes, %.0f%% churn/node/min, %.1f min\n",
-              opt.nodes, opt.churn_rate * 100.0, opt.churn_minutes);
+  std::printf("churn soak: %d nodes, %.0f%% churn/node/min, %.1f min, "
+              "%d shard%s\n",
+              opt.nodes, opt.churn_rate * 100.0, opt.churn_minutes,
+              opt.shards, opt.shards == 1 ? "" : "s");
 
   ipop::net::Network net{opt.seed};
-  auto& loop = net.loop();
   auto& sw = net.add_switch("core");
   // One flat segment at 10^4..10^5 ports only works with proxy ARP: a
   // flood-and-learn broadcast per resolution would cost O(N) frames per
@@ -135,11 +152,23 @@ int main(int argc, char** argv) {
   // its previous holder (shared with the probe-eligibility rule below).
   const auto kArpCacheTtl = seconds(10);
   std::vector<SoakNode> soak(static_cast<std::size_t>(opt.nodes));
+  // Phase 1 — physical build only.  The shard planner needs the complete
+  // link graph, and the overlay layer arms timers at construction, so
+  // IPOP nodes may only be created after plan_shards() has re-homed every
+  // host onto its final shard loop.
   for (int i = 0; i < opt.nodes; ++i) {
     auto& s = soak[static_cast<std::size_t>(i)];
     auto& h = net.add_host("c" + std::to_string(i));
     net.connect_to_switch(h.stack(), {"eth0", underlay_ip(i), 8}, sw, lan);
     s.host = &h;
+  }
+  net.plan_shards(static_cast<std::size_t>(opt.shards));
+  // Trace every delivery so runs with different shard counts can be
+  // compared digest-for-digest.
+  net.engine().set_tracing(true);
+  // Phase 2 — the overlay layer, on final shard loops.
+  for (int i = 0; i < opt.nodes; ++i) {
+    auto& s = soak[static_cast<std::size_t>(i)];
     ipop::core::IpopConfig cfg;
     cfg.use_dhcp = true;
     cfg.dhcp.renew_interval = seconds(30);
@@ -171,17 +200,30 @@ int main(int argc, char** argv) {
     // the calibrated Planet-Lab processing model.
     cfg.cpu_per_packet = ipop::util::microseconds(50);
     cfg.sched_latency = ipop::util::microseconds(200);
-    s.node = std::make_unique<ipop::core::IpopNode>(h, cfg);
+    s.node = std::make_unique<ipop::core::IpopNode>(*s.host, cfg);
     if (i > 0) {
       s.node->add_seed({ipop::brunet::TransportAddress::Proto::kUdp,
                         soak[0].host->stack().interface_ip(0), 17001});
     }
-    s.node->set_configured_handler([&m, &s, &loop](ipop::net::Ipv4Address) {
-      s.configured = loop.now();
-      m.acquisition_ms.add(ipop::util::to_milliseconds(s.configured -
-                                                       s.started));
+    // Fires on the node's shard thread: touch only this node's slot and
+    // stamp with the node's own shard clock (identical to global time up
+    // to the conservative window, and exact at harvest barriers).
+    s.node->set_configured_handler([&s](ipop::net::Ipv4Address) {
+      s.configured = s.host->loop().now();
+      s.pending_acq_ms.push_back(
+          ipop::util::to_milliseconds(s.configured - s.started));
     });
   }
+  // Move shard-thread acquisition samples into the shared histogram; only
+  // ever called from the main thread between engine windows, in node-index
+  // order, so the sample stream is identical for every shard count.
+  auto harvest_acquisitions = [&] {
+    for (auto& s : soak) {
+      for (const double v : s.pending_acq_ms) m.acquisition_ms.add(v);
+      s.pending_acq_ms.clear();
+    }
+  };
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // --- warmup: staggered joins, wait for full self-configuration --------
   // Batched stagger: one node per 250 ms step at small N (the original
@@ -191,11 +233,11 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(1, soak.size() / 64);
   for (std::size_t i = 0; i < soak.size(); ++i) {
     auto& s = soak[i];
-    s.started = loop.now();
+    s.started = net.now();
     s.live = true;
     s.node->start();
     if ((i + 1) % join_batch == 0) {
-      loop.run_until(loop.now() + milliseconds(250));
+      net.run_until(net.now() + milliseconds(250));
     }
   }
   const double warmup_s =
@@ -203,7 +245,7 @@ int main(int argc, char** argv) {
           ? opt.warmup_seconds
           : std::max(300.0, static_cast<double>(opt.nodes) * 0.1);
   const auto warmup_deadline =
-      loop.now() + ipop::util::seconds_f(warmup_s);
+      net.now() + ipop::util::seconds_f(warmup_s);
   auto all_configured = [&] {
     return std::all_of(soak.begin(), soak.end(), [](const SoakNode& s) {
       return !s.live || s.node->self_configured();
@@ -269,15 +311,15 @@ int main(int argc, char** argv) {
     return dups;
   };
   std::size_t ring_linked = 0, ring_total = 0;
-  auto next_progress = loop.now() + seconds(30);
-  while (loop.now() < warmup_deadline) {
-    loop.run_until(loop.now() + ipop::util::seconds_f(2.0));
-    if (loop.now() >= next_progress) {
+  auto next_progress = net.now() + seconds(30);
+  while (net.now() < warmup_deadline) {
+    net.run_until(net.now() + ipop::util::seconds_f(2.0));
+    if (net.now() >= next_progress) {
       ring_consistency(&ring_linked, &ring_total);
       std::printf("  warmup t=%.0fs: ring %zu/%zu linked, %zu dup leases\n",
-                  ipop::util::to_seconds(loop.now()), ring_linked,
+                  ipop::util::to_seconds(net.now()), ring_linked,
                   ring_total, duplicate_vips());
-      next_progress = loop.now() + seconds(30);
+      next_progress = net.now() + seconds(30);
     }
     if (!all_configured()) continue;
     ring_consistency(&ring_linked, &ring_total);
@@ -380,6 +422,7 @@ int main(int argc, char** argv) {
                  duplicate_vips());
     return 1;
   }
+  harvest_acquisitions();
   double warm_conn_mean = 0.0;
   std::uint64_t warm_conn_max = 0;
   table_stats(&warm_conn_mean, &warm_conn_max);
@@ -387,7 +430,7 @@ int main(int argc, char** argv) {
               ring_linked, ring_total);
   std::printf("warmup done at t=%.1fs: %d nodes self-configured, "
               "mean acquisition %.1f ms, connections mean %.1f max %llu\n",
-              ipop::util::to_seconds(loop.now()), opt.nodes,
+              ipop::util::to_seconds(net.now()), opt.nodes,
               m.acquisition_ms.mean(), warm_conn_mean,
               static_cast<unsigned long long>(warm_conn_max));
 
@@ -408,13 +451,13 @@ int main(int argc, char** argv) {
   const double events_per_minute =
       opt.churn_rate * static_cast<double>(opt.nodes);
   const auto t_end =
-      loop.now() + ipop::util::seconds_f(opt.churn_minutes * 60.0);
+      net.now() + ipop::util::seconds_f(opt.churn_minutes * 60.0);
 
   auto live_configured = [&](ipop::util::Duration min_age) {
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < soak.size(); ++i) {
       if (soak[i].live && soak[i].node->self_configured() &&
-          loop.now() - soak[i].configured > min_age) {
+          net.now() - soak[i].configured > min_age) {
         out.push_back(i);
       }
     }
@@ -434,7 +477,7 @@ int main(int argc, char** argv) {
       if (idx.size() > 1) {
         m.duplicate_leases += static_cast<std::uint64_t>(idx.size() - 1);
         std::fprintf(stderr, "DUPLICATE LEASE: t=%.0fs %s held by %zu nodes:",
-                     ipop::util::to_seconds(loop.now()),
+                     ipop::util::to_seconds(net.now()),
                      ip.to_string().c_str(), idx.size());
         for (const auto i : idx) {
           std::fprintf(stderr, " %s(acq t=%.0fs)",
@@ -502,7 +545,7 @@ int main(int argc, char** argv) {
       const auto i = down[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(down.size()) - 1))];
       ++m.joins;
-      soak[i].started = loop.now();
+      soak[i].started = net.now();
       soak[i].live = true;
       soak[i].node->start();
     } else if (!live.empty()) {
@@ -520,26 +563,30 @@ int main(int argc, char** argv) {
   };
 
   auto next_event =
-      loop.now() + ipop::util::seconds_f(rng.exponential(
+      net.now() + ipop::util::seconds_f(rng.exponential(
                        60.0 / events_per_minute));
-  auto next_audit = loop.now() + seconds(5);
-  while (loop.now() < t_end) {
+  auto next_audit = net.now() + seconds(5);
+  while (net.now() < t_end) {
     const auto next = std::min(std::min(next_event, next_audit), t_end);
-    loop.run_until(next);
-    if (loop.now() >= next_event) {
+    net.run_until(next);
+    if (net.now() >= next_event) {
       churn_event();
-      next_event = loop.now() + ipop::util::seconds_f(rng.exponential(
+      next_event = net.now() + ipop::util::seconds_f(rng.exponential(
                                     60.0 / events_per_minute));
     }
-    if (loop.now() >= next_audit) {
+    if (net.now() >= next_audit) {
       audit_leases();
       probe_resolution();
-      next_audit = loop.now() + seconds(5);
+      next_audit = net.now() + seconds(5);
     }
   }
   // Drain: let in-flight lookups and reacquisitions settle, final audit.
-  loop.run_until(loop.now() + seconds(30));
+  net.run_until(net.now() + seconds(30));
   audit_leases();
+  harvest_acquisitions();
+  const double wall_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - wall_start).count();
+  const std::string trace_digest = net.engine().trace_digest();
 
   std::uint64_t live_count = 0;
   std::uint64_t configured_count = 0;
@@ -641,6 +688,20 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(drop_ttl),
       static_cast<unsigned long long>(drop_no_route),
       static_cast<unsigned long long>(drop_exact));
+  std::printf("  trace digest %s; wall %.1f s on %d shard%s\n",
+              trace_digest.c_str(), wall_seconds, opt.shards,
+              opt.shards == 1 ? "" : "s");
+
+  // Same scenario on any shard count keeps the baseline-matched run name;
+  // extra-shard legs get a suffixed name so the scale suite can compare
+  // them against the 1-shard leg inside one JSON report.
+  char run_name[64];
+  if (opt.shards > 1) {
+    std::snprintf(run_name, sizeof run_name, "ChurnSoak/%d/shards:%d",
+                  opt.nodes, opt.shards);
+  } else {
+    std::snprintf(run_name, sizeof run_name, "ChurnSoak/%d", opt.nodes);
+  }
 
   // google-benchmark JSON shape, so tools/bench_gate.py shares one parser.
   std::FILE* f = std::fopen(opt.out.c_str(), "w");
@@ -655,11 +716,12 @@ int main(int argc, char** argv) {
                "    \"nodes\": %d,\n"
                "    \"churn_rate_per_node_per_min\": %.4f,\n"
                "    \"churn_minutes\": %.2f,\n"
-               "    \"seed\": %llu\n"
+               "    \"seed\": %llu,\n"
+               "    \"shards\": %d\n"
                "  },\n"
                "  \"benchmarks\": [\n"
                "    {\n"
-               "      \"name\": \"ChurnSoak/%d\",\n"
+               "      \"name\": \"%s\",\n"
                "      \"run_type\": \"iteration\",\n"
                "      \"iterations\": 1,\n"
                "      \"real_time\": %.3f,\n"
@@ -686,14 +748,18 @@ int main(int argc, char** argv) {
                "      \"dht_antientropy_pushbacks\": %llu,\n"
                "      \"keepalive_evictions\": %llu,\n"
                "      \"departures_seen\": %llu,\n"
-               "      \"arp_invalidations\": %llu\n"
+               "      \"arp_invalidations\": %llu,\n"
+               "      \"shards\": %d,\n"
+               "      \"wall_seconds\": %.3f,\n"
+               "      \"trace_digest\": \"%s\"\n"
                "    }\n"
                "  ]\n"
                "}\n",
                opt.nodes, opt.churn_rate, opt.churn_minutes,
-               static_cast<unsigned long long>(opt.seed), opt.nodes,
-               ipop::util::to_seconds(loop.now()),
-               ipop::util::to_seconds(loop.now()),
+               static_cast<unsigned long long>(opt.seed), opt.shards,
+               run_name,
+               ipop::util::to_seconds(net.now()),
+               ipop::util::to_seconds(net.now()),
                static_cast<unsigned long long>(m.churn_events),
                static_cast<unsigned long long>(m.joins),
                static_cast<unsigned long long>(m.graceful_leaves),
@@ -713,7 +779,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(antientropy),
                static_cast<unsigned long long>(keepalive_evictions),
                static_cast<unsigned long long>(departures_seen),
-               static_cast<unsigned long long>(arp_invalidations));
+               static_cast<unsigned long long>(arp_invalidations),
+               opt.shards, wall_seconds, trace_digest.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", opt.out.c_str());
 

@@ -12,6 +12,7 @@
 // the NAT's external port) early.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -93,9 +94,9 @@ class CtSweepTimer {
   /// entries remain (keep sweeping).
   CtSweepTimer(sim::EventLoop& loop, util::Duration interval,
                std::function<bool(util::TimePoint)> sweep)
-      : loop_(loop), interval_(interval), sweep_(std::move(sweep)) {}
+      : loop_(&loop), interval_(interval), sweep_(std::move(sweep)) {}
   ~CtSweepTimer() {
-    if (timer_ != 0) loop_.cancel(timer_);
+    if (timer_ != 0) loop_->cancel(timer_);
   }
 
   CtSweepTimer(const CtSweepTimer&) = delete;
@@ -106,15 +107,22 @@ class CtSweepTimer {
     if (timer_ == 0) arm();
   }
 
+  /// Re-home onto a shard loop (engine planning).  Planning precedes all
+  /// traffic, so nothing can be armed yet.
+  void rebind(sim::EventLoop& loop) {
+    assert(timer_ == 0 && "rebind with a sweep armed on the old loop");
+    loop_ = &loop;
+  }
+
  private:
   void arm() {
-    timer_ = loop_.schedule_after(interval_, [this] {
+    timer_ = loop_->schedule_after(interval_, [this] {
       timer_ = 0;
-      if (sweep_(loop_.now())) arm();
+      if (sweep_(loop_->now())) arm();
     });
   }
 
-  sim::EventLoop& loop_;
+  sim::EventLoop* loop_;
   util::Duration interval_;
   std::function<bool(util::TimePoint)> sweep_;
   std::uint64_t timer_ = 0;

@@ -74,6 +74,11 @@ class Firewall {
   Firewall& operator=(const Firewall&) = delete;
 
   Stack& stack() { return stack_; }
+  /// Re-home onto a shard loop (engine planning).
+  void rebind(sim::EventLoop& loop) {
+    stack_.rebind(loop);
+    sweeper_.rebind(loop);
+  }
   const std::string& name() const { return name_; }
   const FirewallStats& stats() const { return stats_; }
   const FirewallConfig& config() const { return fwcfg_; }

@@ -26,6 +26,12 @@ class Host {
   sim::CpuScheduler& cpu() { return cpu_; }
   sim::EventLoop& loop() { return stack_.loop(); }
 
+  /// Re-home the host onto its shard loop (engine planning).
+  void rebind(sim::EventLoop& loop) {
+    stack_.rebind(loop);
+    cpu_.rebind(loop);
+  }
+
  private:
   std::string name_;
   Stack stack_;

@@ -88,6 +88,11 @@ class NatBox {
   NatBox& operator=(const NatBox&) = delete;
 
   Stack& stack() { return stack_; }
+  /// Re-home onto a shard loop (engine planning).
+  void rebind(sim::EventLoop& loop) {
+    stack_.rebind(loop);
+    sweeper_.rebind(loop);
+  }
   NatType type() const { return type_; }
   const NatStats& stats() const { return stats_; }
   const NatConfig& config() const { return ncfg_; }

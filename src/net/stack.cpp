@@ -32,7 +32,7 @@ std::uint64_t g_stack_uid = 1;
 }  // namespace
 
 Stack::Stack(sim::EventLoop& loop, std::string host_name, StackConfig cfg)
-    : loop_(loop),
+    : loop_(&loop),
       name_(std::move(host_name)),
       uid_(g_stack_uid++),
       cfg_(cfg),
@@ -161,7 +161,7 @@ const Route* Stack::lookup_route(Ipv4Address dst) const {
 
 void Stack::on_frame(std::size_t iface, sim::Frame frame) {
   // Kernel receive-path traversal cost.
-  loop_.schedule_after(cfg_.per_packet_delay,
+  loop_->schedule_after(cfg_.per_packet_delay,
                        [this, alive = alive_.guard(), iface,
                         frame = std::move(frame)]() mutable {
                          if (!alive) return;
@@ -212,7 +212,7 @@ void Stack::handle_arp(std::size_t iface,
     // Flush any packets queued on this resolution.
     auto pending = ifc.arp_pending.find(msg.sender_ip);
     if (pending != ifc.arp_pending.end()) {
-      if (pending->second.timer != 0) loop_.cancel(pending->second.timer);
+      if (pending->second.timer != 0) loop_->cancel(pending->second.timer);
       auto queue = std::move(pending->second.queue);
       ifc.arp_pending.erase(pending);
       for (auto& pkt : queue) {
@@ -310,7 +310,7 @@ void Stack::send_ip(Ipv4Packet pkt) {
   if (is_local_ip(pkt.hdr.dst)) {
     if (pkt.hdr.src.is_unspecified()) pkt.hdr.src = pkt.hdr.dst;
     ++counters_.ip_tx;
-    loop_.schedule_after(cfg_.per_packet_delay,
+    loop_->schedule_after(cfg_.per_packet_delay,
                          [this, alive = alive_.guard(),
                           pkt = std::move(pkt)]() mutable {
                            if (!alive) return;
@@ -357,7 +357,7 @@ void Stack::resolve_and_send(std::size_t iface, Ipv4Address next_hop,
   if (pending.timer == 0) {
     pending.attempts = 0;
     send_arp_request(iface, next_hop);
-    pending.timer = loop_.schedule_after(
+    pending.timer = loop_->schedule_after(
         cfg_.arp_retry, [this, iface, next_hop] { arp_retry(iface, next_hop); });
   }
 }
@@ -373,7 +373,7 @@ void Stack::arp_retry(std::size_t iface, Ipv4Address target) {
     return;
   }
   send_arp_request(iface, target);
-  pending.timer = loop_.schedule_after(
+  pending.timer = loop_->schedule_after(
       cfg_.arp_retry, [this, iface, target] { arp_retry(iface, target); });
 }
 
@@ -419,7 +419,7 @@ void Stack::emit_frame(std::size_t iface, util::Buffer frame) {
   // Kernel transmit-path traversal cost.  The interface is re-looked-up
   // inside the callback (by index, behind the liveness guard) because the
   // event can outlive both the Interface object and the whole Stack.
-  loop_.schedule_after(cfg_.per_packet_delay,
+  loop_->schedule_after(cfg_.per_packet_delay,
                        [this, alive = alive_.guard(), iface,
                         raw = std::move(frame)]() mutable {
                          if (!alive) return;

@@ -179,7 +179,10 @@ class Stack {
                                           TcpConfig cfg = {});
 
   // --- introspection -----------------------------------------------------
-  sim::EventLoop& loop() { return loop_; }
+  sim::EventLoop& loop() { return *loop_; }
+  /// Re-home onto a shard loop (engine planning).  Must happen before any
+  /// traffic: a pending ARP-retry timer would be stranded on the old loop.
+  void rebind(sim::EventLoop& loop) { loop_ = &loop; }
   const std::string& name() const { return name_; }
   /// Process-unique stack identity (never reused, unlike the address of a
   /// destroyed Stack); used to key per-stack registries safely.
@@ -278,7 +281,7 @@ class Stack {
     reg.push_back(sock);
   }
 
-  sim::EventLoop& loop_;
+  sim::EventLoop* loop_;
   std::string name_;
   std::uint64_t uid_;
   StackConfig cfg_;

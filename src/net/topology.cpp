@@ -3,7 +3,8 @@
 namespace ipop::net {
 
 Host& Network::add_host(const std::string& name, StackConfig scfg) {
-  hosts_.push_back(std::make_unique<Host>(loop_, name, scfg));
+  hosts_.push_back(std::make_unique<Host>(loop(), name, scfg));
+  vertex_of(hosts_.back()->stack());
   return *hosts_.back();
 }
 
@@ -16,28 +17,81 @@ Host& Network::add_router(const std::string& name) {
 }
 
 sim::Switch& Network::add_switch(const std::string& name) {
-  switches_.push_back(std::make_unique<sim::Switch>(loop_, name));
+  switches_.push_back(std::make_unique<sim::Switch>(loop(), name));
+  vertex_of(*switches_.back());
   return *switches_.back();
 }
 
 NatBox& Network::add_nat(const std::string& name, NatType type,
                          StackConfig scfg, NatConfig ncfg) {
   scfg.per_packet_delay = util::microseconds(10);
-  nats_.push_back(std::make_unique<NatBox>(loop_, name, type, scfg, ncfg));
+  nats_.push_back(std::make_unique<NatBox>(loop(), name, type, scfg, ncfg));
+  vertex_of(nats_.back()->stack());
   return *nats_.back();
 }
 
 Firewall& Network::add_firewall(const std::string& name, StackConfig scfg,
                                 FirewallConfig fwcfg) {
   scfg.per_packet_delay = util::microseconds(10);
-  firewalls_.push_back(std::make_unique<Firewall>(loop_, name, scfg, fwcfg));
+  firewalls_.push_back(std::make_unique<Firewall>(loop(), name, scfg, fwcfg));
+  vertex_of(firewalls_.back()->stack());
   return *firewalls_.back();
+}
+
+sim::ShardedEngine::VertexId Network::vertex_of(const Stack& stack) {
+  auto it = stack_vertex_.find(&stack);
+  if (it != stack_vertex_.end()) return it->second;
+  const auto v = engine_.add_vertex();
+  stack_vertex_.emplace(&stack, v);
+  return v;
+}
+
+sim::ShardedEngine::VertexId Network::vertex_of(const sim::Switch& sw) {
+  auto it = switch_vertex_.find(&sw);
+  if (it != switch_vertex_.end()) return it->second;
+  const auto v = engine_.add_vertex();
+  switch_vertex_.emplace(&sw, v);
+  return v;
+}
+
+void Network::record_link(sim::Link& link, sim::ShardedEngine::VertexId a,
+                          sim::ShardedEngine::VertexId b,
+                          util::Duration delay) {
+  engine_.add_edge(a, b, delay);
+  link_bindings_.push_back(LinkBinding{&link, a, b});
+}
+
+void Network::plan_shards(std::size_t n) {
+  engine_.plan(n, seed_);
+  if (engine_.shards() <= 1) return;  // everything stays on loop 0
+  for (auto& h : hosts_) {
+    h->rebind(engine_.loop_of(vertex_of(h->stack())));
+  }
+  for (auto& sw : switches_) {
+    sw->rebind(engine_.loop_of(vertex_of(*sw)));
+  }
+  for (auto& nb : nats_) {
+    nb->rebind(engine_.loop_of(vertex_of(nb->stack())));
+  }
+  for (auto& fw : firewalls_) {
+    fw->rebind(engine_.loop_of(vertex_of(fw->stack())));
+  }
+  for (const LinkBinding& lb : link_bindings_) {
+    const std::size_t sa = engine_.shard_of(lb.a);
+    const std::size_t sb = engine_.shard_of(lb.b);
+    lb.link->bind(engine_.loop(sa), engine_.loop(sb),
+                  engine_.channel(sa, sb), engine_.channel(sb, sa));
+  }
 }
 
 sim::Link& Network::make_link(const sim::LinkConfig& lcfg,
                               const std::string& name) {
+  const std::size_t idx = links_.size();
   links_.push_back(
-      std::make_unique<sim::Link>(loop_, lcfg, rng_.fork(links_.size()), name));
+      std::make_unique<sim::Link>(loop(), lcfg, rng_.fork(idx), name));
+  // Stream ids come off the creation index, which every run (and every
+  // shard count) replays identically — the canonical delivery sort key.
+  links_.back()->set_streams(2 * idx, 2 * idx + 1);
   return *links_.back();
 }
 
@@ -49,6 +103,7 @@ sim::Link& Network::connect_to_switch(Stack& stack,
       make_link(lcfg, stack.name() + "<->" + sw.name());
   const std::size_t iface = stack.add_interface(icfg, &link.end_a());
   const std::size_t port = sw.attach(link.end_b());
+  record_link(link, vertex_of(stack), vertex_of(sw), lcfg.delay);
   // Record the binding for proxy-ARP; inert unless the switch has
   // suppression turned on (the scale harness does, paper topologies not).
   if (!icfg.ip.is_unspecified()) {
@@ -64,6 +119,7 @@ sim::Link& Network::connect(Stack& a, const InterfaceConfig& ia, Stack& b,
   sim::Link& link = make_link(lcfg, a.name() + "<->" + b.name());
   a.add_interface(ia, &link.end_a());
   b.add_interface(ib, &link.end_b());
+  record_link(link, vertex_of(a), vertex_of(b), lcfg.delay);
   return link;
 }
 

@@ -14,23 +14,46 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/firewall.hpp"
 #include "net/host.hpp"
 #include "net/nat.hpp"
 #include "net/stack.hpp"
+#include "sim/engine.hpp"
 #include "sim/switch.hpp"
 
 namespace ipop::net {
 
 /// Container/owner for one simulated internetwork.
+///
+/// The Network also feeds the sharded engine's planner: every host,
+/// switch and middlebox registers as a graph vertex, every connect() call
+/// records a link-graph edge with its delay, and plan_shards(n) partitions
+/// the graph, re-homes all owned objects onto their shard loops and routes
+/// cross-shard links through engine channels.  Build the physical
+/// topology first, then plan, then construct the IPOP/overlay layer —
+/// overlay objects arm timers at construction time and must land on their
+/// final shard loop.  With plan_shards never called (or n == 1) everything
+/// runs single-threaded on loop 0, exactly as before the engine refactor.
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 42) : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 42) : seed_(seed), rng_(seed) {}
 
-  sim::EventLoop& loop() { return loop_; }
+  sim::ShardedEngine& engine() { return engine_; }
+  /// Shard-0 loop: correct for all single-shard use and for pre-plan
+  /// construction; sharded runs drive time via run_until()/run_for().
+  sim::EventLoop& loop() { return engine_.loop(0); }
   util::Rng& rng() { return rng_; }
+
+  /// Partition the registered topology into `n` shards (see class
+  /// comment).  Call at most once, after the physical build, before any
+  /// traffic or overlay construction.
+  void plan_shards(std::size_t n);
+  util::TimePoint now() const { return engine_.now(); }
+  std::size_t run_until(util::TimePoint t) { return engine_.run_until(t); }
+  std::size_t run_for(util::Duration d) { return engine_.run_for(d); }
 
   Host& add_host(const std::string& name, StackConfig scfg = {});
   /// A router is a forwarding host with a small (hardware-ish) per-packet
@@ -48,19 +71,36 @@ class Network {
   /// Point-to-point wire between two stacks (new interface on each).
   sim::Link& connect(Stack& a, const InterfaceConfig& ia, Stack& b,
                      const InterfaceConfig& ib, const sim::LinkConfig& lcfg);
-  /// Create an unattached link (used by the tap device).
+  /// Create an unattached link; every link gets its pair of global
+  /// delivery-stream ids from the creation index (partition-invariant).
   sim::Link& make_link(const sim::LinkConfig& lcfg, const std::string& name);
 
   Host* find_host(const std::string& name);
 
  private:
-  sim::EventLoop loop_;
+  /// Planner vertex for a stack's owner (lazily registered).
+  sim::ShardedEngine::VertexId vertex_of(const Stack& stack);
+  sim::ShardedEngine::VertexId vertex_of(const sim::Switch& sw);
+  void record_link(sim::Link& link, sim::ShardedEngine::VertexId a,
+                   sim::ShardedEngine::VertexId b, util::Duration delay);
+
+  struct LinkBinding {
+    sim::Link* link;
+    sim::ShardedEngine::VertexId a, b;
+  };
+
+  std::uint64_t seed_;
+  sim::ShardedEngine engine_;
   util::Rng rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<sim::Switch>> switches_;
   std::vector<std::unique_ptr<NatBox>> nats_;
   std::vector<std::unique_ptr<Firewall>> firewalls_;
   std::vector<std::unique_ptr<sim::Link>> links_;
+  std::unordered_map<const Stack*, sim::ShardedEngine::VertexId> stack_vertex_;
+  std::unordered_map<const sim::Switch*, sim::ShardedEngine::VertexId>
+      switch_vertex_;
+  std::vector<LinkBinding> link_bindings_;
 };
 
 /// Knobs for the Figure-4 testbed; defaults are calibrated so the physical

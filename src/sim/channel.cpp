@@ -1,0 +1,22 @@
+#include "sim/channel.hpp"
+
+#include <iterator>
+#include <utility>
+
+namespace ipop::sim {
+
+void Channel::push(StampedEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(ev));
+}
+
+void Channel::drain(std::vector<StampedEvent>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return;
+  forwarded_ += pending_.size();
+  out.insert(out.end(), std::make_move_iterator(pending_.begin()),
+             std::make_move_iterator(pending_.end()));
+  pending_.clear();
+}
+
+}  // namespace ipop::sim

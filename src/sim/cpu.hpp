@@ -19,7 +19,10 @@ namespace ipop::sim {
 class CpuScheduler {
  public:
   CpuScheduler(EventLoop& loop, std::string name)
-      : loop_(loop), name_(std::move(name)) {}
+      : loop_(&loop), name_(std::move(name)) {}
+
+  /// Re-home onto a shard loop (engine planning; before any work runs).
+  void rebind(EventLoop& loop) { loop_ = &loop; }
 
   /// External contention: effective task cost = cost * (1 + load).
   void set_load(double load) { load_ = load < 0 ? 0 : load; }
@@ -48,7 +51,7 @@ class CpuScheduler {
   const std::string& name() const { return name_; }
 
  private:
-  EventLoop& loop_;
+  EventLoop* loop_;
   std::string name_;
   double load_ = 0.0;
   Duration sched_quantum_{};

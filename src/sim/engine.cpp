@@ -1,0 +1,295 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "util/sha1.hpp"
+
+namespace ipop::sim {
+
+struct ShardedEngine::BarrierState {
+  explicit BarrierState(std::ptrdiff_t parties) : barrier(parties) {}
+  std::barrier<> barrier;
+};
+
+ShardedEngine::ShardedEngine() {
+  loops_.push_back(std::make_unique<EventLoop>());
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (!threads_.empty()) {
+    quit_ = true;
+    bar_->barrier.arrive_and_wait();  // release workers into their exit path
+    for (auto& th : threads_) th.join();
+  }
+}
+
+ShardedEngine::VertexId ShardedEngine::add_vertex() {
+  assert(!planned_ && "register vertices before plan()");
+  shard_of_.push_back(0);
+  return shard_of_.size() - 1;
+}
+
+void ShardedEngine::add_edge(VertexId a, VertexId b, Duration delay) {
+  assert(!planned_ && "register edges before plan()");
+  edges_.push_back(Edge{a, b, delay});
+}
+
+namespace {
+// Small deterministic union-find for the shard planner.
+struct UnionFind {
+  std::vector<std::size_t> parent, size;
+  explicit UnionFind(std::size_t n) : parent(n), size(n, 1) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size[a] < size[b]) std::swap(a, b);
+    parent[b] = a;
+    size[a] += size[b];
+    return true;
+  }
+};
+}  // namespace
+
+void ShardedEngine::plan(std::size_t n, std::uint64_t seed) {
+  assert(!planned_ && "plan() must run exactly once");
+  assert(loops_[0]->pending() == 0 &&
+         "plan() must precede all event scheduling");
+  if (n < 1) n = 1;
+  planned_ = true;
+  seed_ = seed;
+
+  const std::size_t v_count = shard_of_.size();
+  if (v_count == 0) n = 1;  // nothing to distribute
+  if (v_count > 0 && n > 1) {
+    UnionFind uf(v_count);
+    // Zero-delay edges must never be cut: a zero-delay cross-shard link
+    // would force a zero lookahead (empty windows forever).  Contract
+    // them unconditionally first.
+    for (const Edge& e : edges_) {
+      if (e.delay <= Duration::zero()) uf.unite(e.a, e.b);
+    }
+    // Kruskal under a balance cap: merge along the *smallest*-delay edges
+    // so the edges left in the cut are the highest-latency ones — they
+    // set the lookahead, and a wide window amortizes the barriers.
+    std::vector<std::size_t> order(edges_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return edges_[x].delay < edges_[y].delay;
+                     });
+    const std::size_t cap = (v_count + n - 1) / n;
+    for (std::size_t idx : order) {
+      const Edge& e = edges_[idx];
+      const std::size_t ra = uf.find(e.a), rb = uf.find(e.b);
+      if (ra == rb) continue;
+      if (uf.size[ra] + uf.size[rb] > cap) continue;
+      uf.unite(ra, rb);
+    }
+    // Clusters in first-vertex order, then greedy largest-first onto the
+    // least-loaded shard (ties to the lowest ordinal) — all deterministic.
+    std::vector<std::size_t> roots;
+    std::vector<std::size_t> cluster_of(v_count);
+    for (std::size_t v = 0; v < v_count; ++v) {
+      const std::size_t r = uf.find(v);
+      auto it = std::find(roots.begin(), roots.end(), r);
+      if (it == roots.end()) {
+        roots.push_back(r);
+        cluster_of[v] = roots.size() - 1;
+      } else {
+        cluster_of[v] = static_cast<std::size_t>(it - roots.begin());
+      }
+    }
+    // Never spawn more shards than clusters: surplus shards would be
+    // empty loops paying barrier cost for nothing.
+    n = std::min(n, roots.size());
+    std::vector<std::size_t> cluster_order(roots.size());
+    std::iota(cluster_order.begin(), cluster_order.end(), std::size_t{0});
+    std::stable_sort(cluster_order.begin(), cluster_order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return uf.size[roots[x]] > uf.size[roots[y]];
+                     });
+    std::vector<std::size_t> load(n, 0);
+    std::vector<std::size_t> cluster_shard(roots.size(), 0);
+    for (std::size_t c : cluster_order) {
+      const std::size_t s = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      cluster_shard[c] = s;
+      load[s] += uf.size[roots[c]];
+    }
+    for (std::size_t v = 0; v < v_count; ++v) {
+      shard_of_[v] = cluster_shard[cluster_of[v]];
+    }
+  }
+
+  // Lookahead = min delay across the cut.
+  lookahead_ = Duration::max();
+  for (const Edge& e : edges_) {
+    if (shard_of_[e.a] != shard_of_[e.b]) {
+      lookahead_ = std::min(lookahead_, e.delay);
+    }
+  }
+  assert((n == 1 || lookahead_ > Duration::zero()) &&
+         "zero-delay edge crossed the cut");
+
+  while (loops_.size() < n) loops_.push_back(std::make_unique<EventLoop>());
+  if (n > 1) {
+    channels_.resize(n * n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        if (s != d) channels_[s * n + d] = std::make_unique<Channel>();
+      }
+    }
+    phase_counts_.assign(n, 0);
+    bar_ = std::make_unique<BarrierState>(static_cast<std::ptrdiff_t>(n) + 1);
+    threads_.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      threads_.emplace_back([this, s] { worker_main(s); });
+    }
+  }
+}
+
+Channel* ShardedEngine::channel(std::size_t src, std::size_t dst) {
+  if (channels_.empty() || src == dst) return nullptr;
+  return channels_[src * loops_.size() + dst].get();
+}
+
+void ShardedEngine::worker_main(std::size_t shard) {
+  for (;;) {
+    bar_->barrier.arrive_and_wait();  // window start
+    if (quit_) return;                // coordinator skips the end barrier too
+    EventLoop& lp = *loops_[shard];
+    phase_counts_[shard] = (phase_ == Phase::kWindow)
+                               ? lp.run_window(phase_end_)
+                               : lp.run_until(phase_end_);
+    bar_->barrier.arrive_and_wait();  // window end
+  }
+}
+
+void ShardedEngine::run_phase(Phase phase, TimePoint end) {
+  phase_ = phase;
+  phase_end_ = end;
+  bar_->barrier.arrive_and_wait();  // start: workers run their loops
+  bar_->barrier.arrive_and_wait();  // end: all shards reached `end`
+  ++windows_;
+}
+
+void ShardedEngine::drain_channels() {
+  const std::size_t n = loops_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    drain_buf_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      channels_[src * n + dst]->drain(drain_buf_);
+    }
+    // Insertion order is irrelevant: the destination heap sorts by the
+    // canonical (at, stream, seq) stamp the sender assigned.
+    EventLoop& lp = *loops_[dst];
+    for (StampedEvent& ev : drain_buf_) {
+      lp.schedule_delivery(ev.at, ev.stream, ev.seq, ev.aux,
+                           std::move(ev.cb));
+    }
+  }
+  drain_buf_.clear();
+}
+
+std::size_t ShardedEngine::run_until(TimePoint t) {
+  if (loops_.size() == 1) return loops_[0]->run_until(t);
+
+  std::size_t total = 0;
+  for (;;) {
+    drain_channels();
+    TimePoint next = TimePoint::max();
+    for (auto& lp : loops_) next = std::min(next, lp->next_event_at());
+    if (next > t) break;  // nothing left at or before the target
+    // Jump straight to the global next event (empty-gap skip), then run
+    // one conservative window.  When the horizon would pass the target,
+    // finish with an inclusive run-to-t: every cross-shard send produced
+    // by an event at s <= t delivers at >= next + lookahead > t, so the
+    // tail phase is still causally closed.
+    if (lookahead_ == Duration::max() || next > t - lookahead_) {
+      run_phase(Phase::kUntil, t);
+    } else {
+      run_phase(Phase::kWindow, next + lookahead_);
+    }
+    for (std::size_t s = 0; s < phase_counts_.size(); ++s) {
+      total += phase_counts_[s];
+    }
+  }
+  for (auto& lp : loops_) lp->advance_to(t);
+  return total;
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : loops_) n += lp->events_processed();
+  return n;
+}
+
+std::uint64_t ShardedEngine::channel_events() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    if (ch) n += ch->events_forwarded();
+  }
+  return n;
+}
+
+void ShardedEngine::set_tracing(bool on) {
+  for (auto& lp : loops_) lp->set_tracing(on);
+}
+
+std::string ShardedEngine::trace_digest() const {
+  // Within one run a stream (link direction) delivers to exactly one
+  // shard, so merging the per-loop tables is a disjoint union; sorting by
+  // stream id makes the digest independent of the partition.
+  std::map<std::uint64_t, EventLoop::TraceStream> merged;
+  for (const auto& lp : loops_) {
+    for (const auto& [stream, ts] : lp->trace()) {
+      auto [it, inserted] = merged.emplace(stream, ts);
+      if (!inserted) {
+        // Defensive: fold duplicates deterministically (cannot happen
+        // while links keep a fixed receiver shard within a run).
+        it->second.chain ^= ts.chain;
+        it->second.count += ts.count;
+      }
+    }
+  }
+  util::Sha1 sha;
+  for (const auto& [stream, ts] : merged) {
+    std::uint8_t rec[24];
+    auto put64 = [&rec](std::size_t off, std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        rec[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+      }
+    };
+    put64(0, stream);
+    put64(8, ts.chain);
+    put64(16, ts.count);
+    sha.update(std::span<const std::uint8_t>(rec, sizeof rec));
+  }
+  const util::Sha1Digest digest = sha.finish();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace ipop::sim

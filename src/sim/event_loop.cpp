@@ -7,19 +7,63 @@ namespace ipop::sim {
 namespace {
 // Below this, skipping dead entries on pop is cheaper than rebuilding.
 constexpr std::size_t kCompactMinHeap = 64;
+
+// splitmix64 finalizer — decorrelates the trace-chain inputs so the
+// merged digest is sensitive to every (at, seq, aux) triple.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
-EventLoop::EventId EventLoop::schedule_at(TimePoint t, Callback cb) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  heap_.push_back(Item{t, next_seq_++, id, std::move(cb)});
+TimePoint EventLoop::clamp_to_now(TimePoint t) {
+  // A past timestamp means some layer computed a deadline from stale
+  // state — under sharding that is a window-synchronization bug, not a
+  // convenience to paper over.
+  assert(t >= now_ && "schedule into the past (cross-shard sync bug?)");
+  if (t < now_) {
+    ++clamped_;
+    t = now_;
+  }
+  return t;
+}
+
+void EventLoop::push_item(Item item) {
+  heap_.push_back(std::move(item));
   std::push_heap(heap_.begin(), heap_.end());
-  live_.insert(id);
+  ++pending_;
+}
+
+EventLoop::EventId EventLoop::schedule_at(TimePoint t, Callback cb) {
+  t = clamp_to_now(t);
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  slots_[slot].live = true;
+  const EventId id =
+      (static_cast<EventId>(slot) << 32) | slots_[slot].gen;
+  push_item(Item{t, 0, next_seq_++, id, 0, std::move(cb)});
   return id;
 }
 
+void EventLoop::schedule_delivery(TimePoint t, std::uint64_t stream,
+                                  std::uint64_t seq, std::uint32_t aux,
+                                  Callback cb) {
+  t = clamp_to_now(t);
+  push_item(Item{t, stream + 1, seq, 0, aux, std::move(cb)});
+}
+
 void EventLoop::cancel(EventId id) {
-  if (live_.erase(id) == 0) return;  // already ran or cancelled
+  if (!slot_live(id)) return;  // already ran or cancelled (or a delivery)
+  release_slot(id);
+  --pending_;
   maybe_compact();
 }
 
@@ -27,9 +71,8 @@ void EventLoop::maybe_compact() {
   // Rebuild once dead entries outnumber live ones: amortized O(1) per
   // cancel, and the heap never holds more than ~2x the live events.
   if (heap_.size() < kCompactMinHeap) return;
-  if (heap_.size() - live_.size() <= heap_.size() / 2) return;
-  std::erase_if(heap_,
-                [&](const Item& it) { return !live_.contains(it.id); });
+  if (heap_.size() - pending_ <= heap_.size() / 2) return;
+  std::erase_if(heap_, [&](const Item& it) { return !item_live(it); });
   std::make_heap(heap_.begin(), heap_.end());
 }
 
@@ -38,19 +81,45 @@ bool EventLoop::pop_next(Item& out) {
     std::pop_heap(heap_.begin(), heap_.end());
     Item item = std::move(heap_.back());
     heap_.pop_back();
-    if (live_.erase(item.id) == 0) continue;  // cancelled: discard lazily
+    if (!item_live(item)) continue;  // cancelled: discard lazily
+    --pending_;
     out = std::move(item);
     return true;
   }
   return false;
 }
 
+void EventLoop::restore(Item item) { push_item(std::move(item)); }
+
+TimePoint EventLoop::next_event_at() {
+  while (!heap_.empty() && !item_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.front().at;
+}
+
+void EventLoop::execute(Item& item) {
+  now_ = item.at;
+  ++processed_;
+  if (item.id != 0) {
+    release_slot(item.id);
+  } else if (tracing_) {
+    TraceStream& ts = trace_[item.key0 - 1];
+    ts.chain = mix64(ts.chain ^ mix64(static_cast<std::uint64_t>(
+                                          item.at.count()) ^
+                                      mix64(item.key1) ^
+                                      mix64(item.aux)));
+    ++ts.count;
+  }
+  item.cb();
+}
+
 bool EventLoop::run_one() {
   Item item;
   if (!pop_next(item)) return false;
-  now_ = item.at;
-  ++processed_;
-  item.cb();
+  execute(item);
   return true;
 }
 
@@ -68,18 +137,30 @@ std::size_t EventLoop::run_until(TimePoint t) {
     Item item;
     if (!pop_next(item)) break;
     if (item.at > t) {
-      // Put it back untouched (pop_next removed it from the live set).
-      live_.insert(item.id);
-      heap_.push_back(std::move(item));
-      std::push_heap(heap_.begin(), heap_.end());
+      restore(std::move(item));  // put it back untouched
       break;
     }
-    now_ = item.at;
-    ++processed_;
-    item.cb();
+    execute(item);
     ++n;
   }
   if (now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t EventLoop::run_window(TimePoint end) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_) {
+    Item item;
+    if (!pop_next(item)) break;
+    if (item.at >= end) {
+      restore(std::move(item));  // horizon event: next window's work
+      break;
+    }
+    execute(item);
+    ++n;
+  }
+  if (now_ < end) now_ = end;
   return n;
 }
 

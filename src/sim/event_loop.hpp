@@ -1,22 +1,41 @@
 // Deterministic discrete-event simulation core.
 //
 // Every host, link, protocol timer and application in the reproduction is
-// driven by one EventLoop.  Events at equal timestamps fire in scheduling
-// order (a monotone sequence number breaks ties), which makes entire
-// experiments bit-for-bit reproducible across runs — the property all the
-// paper-table benches and churn tests rely on.
+// driven by an EventLoop.  Since the engine refactor a run may use several
+// loops — one per shard — so the tie-break order at equal timestamps must
+// be *partition-invariant*: it cannot depend on which loop an event landed
+// on or on a global scheduling counter.  The ordering contract is:
+//
+//   1. primary key: timestamp `at` (simulated nanoseconds);
+//   2. at equal timestamps, timer events (schedule_at/schedule_after) run
+//      before link deliveries (schedule_delivery);
+//   3. timer ties break on the loop-local scheduling sequence.  All
+//      inter-vertex links have positive delay, so two vertices can only
+//      produce same-timestamp timers via causally independent chains whose
+//      relative order is fixed by construction order — which every
+//      partition replays identically;
+//   4. delivery ties break on (stream id, per-stream sequence), both
+//      assigned by the sender independent of partitioning.
+//
+// Under this contract entire experiments are bit-for-bit reproducible
+// across runs *and across shard counts* — the property all the
+// paper-table benches, churn tests and the cross-shard digest test rely
+// on.
 //
 // Layout is sized for 10^4..10^5-node runs: the callback lives inside the
 // heap item (one allocation-free slot per event instead of a side map
-// entry each), liveness is a single id set, and cancellation is lazy with
+// entry each), liveness is a generation-stamped slot vector (O(1) array
+// indexing per cancel/pop, no hashing), and cancellation is lazy with
 // compaction — a churning overlay cancels far-future keepalive/renew
 // timers constantly, and without compaction those dead slots would
 // dominate the heap.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
+#include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "util/time.hpp"
@@ -29,7 +48,15 @@ using util::TimePoint;
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+  /// (slot << 32) | generation.  0 is never a valid id (generations start
+  /// at 1), so callers can use 0 as a "no timer armed" sentinel.
   using EventId = std::uint64_t;
+
+  /// Chained per-stream trace state; see trace().
+  struct TraceStream {
+    std::uint64_t chain = 0;
+    std::uint64_t count = 0;
+  };
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -37,12 +64,21 @@ class EventLoop {
 
   TimePoint now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t` (clamped to now if in the past).
+  /// Schedule `cb` at absolute time `t`.  Scheduling in the past is a
+  /// synchronization bug under sharding: debug builds assert; release
+  /// builds clamp to now() and count it in clamped_schedules().
   EventId schedule_at(TimePoint t, Callback cb);
   /// Schedule `cb` after a relative delay.
   EventId schedule_after(Duration d, Callback cb) {
     return schedule_at(now_ + d, std::move(cb));
   }
+  /// Schedule a link delivery carrying its canonical cross-partition sort
+  /// key: `stream` is the global link-direction id, `seq` the sender's
+  /// per-stream monotone sequence, `aux` a payload discriminator (frame
+  /// size) folded into the event-trace digest.  Deliveries are not
+  /// cancellable (links guard their callbacks with AliveTokens instead).
+  void schedule_delivery(TimePoint t, std::uint64_t stream, std::uint64_t seq,
+                         std::uint32_t aux, Callback cb);
   /// Cancel a pending event; harmless if it already ran.
   void cancel(EventId id);
 
@@ -52,44 +88,110 @@ class EventLoop {
   std::size_t run();
   /// Run all events with timestamp <= t, then advance the clock to t.
   std::size_t run_until(TimePoint t);
+  /// Run all events with timestamp strictly < end, then advance the clock
+  /// to end.  This is the conservative-window primitive: the sharded
+  /// engine runs disjoint half-open windows [w, w+lookahead) so an event
+  /// at exactly the horizon lands in the next window on every shard.
+  std::size_t run_window(TimePoint end);
   /// Convenience: run_until(now + d).
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
   /// Make run()/run_until() return at the next event boundary.
   void stop() { stopped_ = true; }
 
+  /// Timestamp of the earliest pending event, or TimePoint::max() when
+  /// the queue is empty.  Prunes cancelled debris from the heap top.
+  TimePoint next_event_at();
+
+  /// Advance the clock without running anything (engine barrier path;
+  /// asserts no event would be skipped).
+  void advance_to(TimePoint t) {
+    assert(next_event_at() >= t);
+    if (now_ < t) now_ = t;
+  }
+
   /// Live (scheduled, not cancelled, not yet run) events — exact.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return pending_; }
   /// Heap slots actually held, including lazily-cancelled entries not yet
   /// compacted.  Bounded at O(pending()): the growth-regression test
   /// asserts cancelled debris cannot accumulate.
   std::size_t queue_depth() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+  /// Release-build count of past-timestamp schedules clamped to now().
+  std::uint64_t clamped_schedules() const { return clamped_; }
+
+  /// Event-trace recording: when on, every executed delivery folds
+  /// (at, seq, aux) into its stream's running chain.  The per-stream
+  /// tables of all shards merge into one digest independent of execution
+  /// interleaving — see ShardedEngine::trace_digest().
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  const std::unordered_map<std::uint64_t, TraceStream>& trace() const {
+    return trace_;
+  }
 
  private:
   struct Item {
     TimePoint at;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t key0;  // 0 = timer; stream id + 1 = delivery
+    std::uint64_t key1;  // timer: loop-local seq; delivery: stream seq
+    EventId id;          // 0 for deliveries (not cancellable)
+    std::uint32_t aux;
     Callback cb;
-    // Heap is a max-heap; invert so earliest (then lowest seq) pops first.
+    // Heap is a max-heap; invert so the canonical order pops first.
     bool operator<(const Item& o) const {
       if (at != o.at) return at > o.at;
-      return seq > o.seq;
+      if (key0 != o.key0) return key0 > o.key0;
+      return key1 > o.key1;
     }
   };
 
+  /// One liveness slot per outstanding timer.  The generation stamp makes
+  /// stale EventIds (and lazily-dead heap entries) O(1) detectable after
+  /// the slot is reused.
+  struct Slot {
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  bool item_live(const Item& it) const {
+    if (it.id == 0) return true;  // deliveries are never cancelled
+    return slot_live(it.id);
+  }
+  bool slot_live(EventId id) const {
+    const std::size_t slot = id >> 32;
+    const auto gen = static_cast<std::uint32_t>(id);
+    return slot < slots_.size() && slots_[slot].gen == gen &&
+           slots_[slot].live;
+  }
+  /// Free a timer's slot once it has executed (or been cancelled).
+  /// Bumping the generation invalidates every outstanding copy of the id.
+  void release_slot(EventId id) {
+    const std::size_t slot = id >> 32;
+    slots_[slot].live = false;
+    ++slots_[slot].gen;
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
+
+  TimePoint clamp_to_now(TimePoint t);
+  void push_item(Item item);
   bool pop_next(Item& out);
+  void restore(Item item);
+  void execute(Item& item);
   void maybe_compact();
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t clamped_ = 0;
+  std::size_t pending_ = 0;  // live items currently in heap_
   bool stopped_ = false;
+  bool tracing_ = false;
   // Binary heap via push_heap/pop_heap (priority_queue would hide the
   // storage needed for compaction).
   std::vector<Item> heap_;
-  std::unordered_set<EventId> live_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<std::uint64_t, TraceStream> trace_;
 };
 
 }  // namespace ipop::sim

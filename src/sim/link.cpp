@@ -14,30 +14,53 @@ Link::Link(EventLoop& loop, const LinkConfig& cfg, util::Rng rng,
 
 Link::Link(EventLoop& loop, const LinkConfig& a_to_b, const LinkConfig& b_to_a,
            util::Rng rng, std::string name)
-    : loop_(loop), name_(std::move(name)), rng_(std::move(rng)) {
+    : name_(std::move(name)) {
   dir_[0].cfg = a_to_b;
   dir_[1].cfg = b_to_a;
+  // Independent per-direction streams so the two senders' draws stay
+  // uncoupled when the directions run on different shards.
+  dir_[0].rng = rng.fork(0);
+  dir_[1].rng = rng.fork(1);
+  for (Direction& d : dir_) {
+    d.src_loop = &loop;
+    d.dst_loop = &loop;
+  }
   a_.link_ = this;
   a_.is_a_ = true;
   b_.link_ = this;
   b_.is_a_ = false;
 }
 
+void Link::set_streams(std::uint64_t a_to_b, std::uint64_t b_to_a) {
+  dir_[0].stream = a_to_b;
+  dir_[1].stream = b_to_a;
+}
+
+void Link::bind(EventLoop& loop_a, EventLoop& loop_b, Channel* a_to_b,
+                Channel* b_to_a) {
+  dir_[0].src_loop = &loop_a;
+  dir_[0].dst_loop = &loop_b;
+  dir_[0].channel = a_to_b;
+  dir_[1].src_loop = &loop_b;
+  dir_[1].dst_loop = &loop_a;
+  dir_[1].channel = b_to_a;
+}
+
 void Link::transmit(bool from_a, Frame frame) {
   Direction& d = dir_[from_a ? 0 : 1];
   LinkEnd& dst = from_a ? b_ : a_;
-  ++d.stats.frames_sent;
+  ++d.frames_sent;
 
   if (!up_) {
-    ++d.stats.frames_dropped_loss;
+    ++d.frames_dropped_loss;
     return;
   }
-  if (d.cfg.loss_rate > 0 && rng_.chance(d.cfg.loss_rate)) {
-    ++d.stats.frames_dropped_loss;
+  if (d.cfg.loss_rate > 0 && d.rng.chance(d.cfg.loss_rate)) {
+    ++d.frames_dropped_loss;
     return;
   }
 
-  const TimePoint now = loop_.now();
+  const TimePoint now = d.src_loop->now();
   // Current backlog in bytes is the unserialized horizon times bandwidth.
   double backlog_bytes = 0.0;
   if (d.cfg.bandwidth_bps > 0 && d.tx_free_at > now) {
@@ -46,7 +69,7 @@ void Link::transmit(bool from_a, Frame frame) {
   }
   if (backlog_bytes + static_cast<double>(frame.size()) >
       static_cast<double>(d.cfg.queue_bytes)) {
-    ++d.stats.frames_dropped_queue;
+    ++d.frames_dropped_queue;
     IPOP_LOG_TRACE(name_ << ": queue drop (" << backlog_bytes << "B backlog)");
     return;
   }
@@ -63,19 +86,33 @@ void Link::transmit(bool from_a, Frame frame) {
   Duration jitter{};
   if (d.cfg.jitter.count() > 0) {
     jitter = Duration{static_cast<std::int64_t>(
-        rng_.uniform(0, static_cast<double>(d.cfg.jitter.count())))};
+        d.rng.uniform(0, static_cast<double>(d.cfg.jitter.count())))};
   }
   const TimePoint deliver_at = tx_done + d.cfg.delay + jitter;
   const std::size_t frame_size = frame.size();
 
-  loop_.schedule_at(
-      deliver_at, [alive = alive_.guard(), &d, &dst,
-                   frame = std::move(frame), frame_size]() mutable {
-        if (!alive) return;
-        ++d.stats.frames_delivered;
-        d.stats.bytes_delivered += frame_size;
-        if (dst.receiver_) dst.receiver_(std::move(frame));
-      });
+  // The delivery closure touches only receiver-shard state; the sender's
+  // counters above were already settled on this thread.
+  auto deliver = [alive = alive_.guard(), &d, &dst, frame = std::move(frame),
+                  frame_size]() mutable {
+    if (!alive) return;
+    ++d.rx_frames_delivered;
+    d.rx_bytes_delivered += frame_size;
+    if (dst.receiver_) dst.receiver_(std::move(frame));
+  };
+
+  if (d.channel != nullptr) {
+    d.channel->push(StampedEvent{deliver_at, d.stream, d.seq++,
+                                 static_cast<std::uint32_t>(frame_size),
+                                 std::move(deliver)});
+  } else if (d.stream != kNoStream) {
+    d.dst_loop->schedule_delivery(deliver_at, d.stream, d.seq++,
+                                  static_cast<std::uint32_t>(frame_size),
+                                  std::move(deliver));
+  } else {
+    // Untagged (unit-test / intra-host) link: plain loop-local event.
+    d.dst_loop->schedule_at(deliver_at, std::move(deliver));
+  }
 }
 
 }  // namespace ipop::sim

@@ -7,6 +7,17 @@
 // bandwidth, fixed propagation delay, optional uniform jitter and random
 // loss.  This is the substrate that stands in for the paper's ACIS LAN,
 // Abilene WAN paths and Planet-Lab access links.
+//
+// Shard affinity: a direction's state is split by which shard touches it.
+// The transmit path (loss draw, backlog accounting, tx_free_at, drop/sent
+// counters) runs on the *sender's* loop; the delivery lambda (delivered
+// counters, receiver handler) runs on the *receiver's* loop.  When the two
+// ends live on different shards the delivery is stamped with the
+// direction's (stream, seq) key and routed through the engine Channel
+// instead of being scheduled directly — scheduling onto a peer shard's
+// loop is the race the shard-affinity lint rule flags.  The frame Buffer
+// crosses by handle (zero-copy); the window barrier serializes the
+// refcount hand-off.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/channel.hpp"
 #include "sim/event_loop.hpp"
 #include "util/buffer.hpp"
 #include "util/lifetime.hpp"
@@ -68,6 +80,10 @@ class LinkEnd {
 
 class Link {
  public:
+  /// No canonical delivery stream assigned: deliveries schedule as plain
+  /// loop-local events (unit tests, intra-host tap links).
+  static constexpr std::uint64_t kNoStream = ~0ULL;
+
   /// Symmetric link.
   Link(EventLoop& loop, const LinkConfig& cfg, util::Rng rng,
        std::string name = "link");
@@ -78,12 +94,21 @@ class Link {
   LinkEnd& end_a() { return a_; }
   LinkEnd& end_b() { return b_; }
 
-  const LinkStats& stats_a_to_b() const { return dir_[0].stats; }
-  const LinkStats& stats_b_to_a() const { return dir_[1].stats; }
+  /// Assign the global delivery-stream ids (canonical cross-partition
+  /// sort key; Network derives them from the link's creation index).
+  void set_streams(std::uint64_t a_to_b, std::uint64_t b_to_a);
+  /// Re-home the two ends onto their shard loops after planning.  A null
+  /// channel means the corresponding direction stays intra-shard.
+  void bind(EventLoop& loop_a, EventLoop& loop_b, Channel* a_to_b,
+            Channel* b_to_a);
+
+  LinkStats stats_a_to_b() const { return stats(0); }
+  LinkStats stats_b_to_a() const { return stats(1); }
   const std::string& name() const { return name_; }
 
   /// Administratively disable/enable (frames dropped while down); used by
-  /// churn and failure-injection tests.
+  /// churn and failure-injection tests.  Under sharding, call only from
+  /// the coordinator between windows (workers never write it).
   void set_up(bool up) { up_ = up; }
   bool is_up() const { return up_; }
 
@@ -91,19 +116,36 @@ class Link {
   friend class LinkEnd;
 
   struct Direction {
-    LinkConfig cfg;
+    LinkConfig cfg;  // immutable after construction
+    // --- sender-shard state (touched only on src_loop's thread) --------
     // Time at which the transmitter finishes serializing queued frames;
     // the byte backlog is derived from this horizon, so drop-tail
     // accounting is exact.
     TimePoint tx_free_at{};
-    LinkStats stats;
+    util::Rng rng;  // per-direction stream: loss + jitter draws
+    std::uint64_t stream = kNoStream;
+    std::uint64_t seq = 0;  // per-stream monotone delivery sequence
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_dropped_queue = 0;
+    std::uint64_t frames_dropped_loss = 0;
+    EventLoop* src_loop = nullptr;
+    // --- receiver-shard state (touched only on dst_loop's thread) ------
+    std::uint64_t rx_frames_delivered = 0;
+    std::uint64_t rx_bytes_delivered = 0;
+    EventLoop* dst_loop = nullptr;
+    Channel* channel = nullptr;  // non-null when the direction crosses
   };
+
+  LinkStats stats(int d) const {
+    return LinkStats{dir_[d].frames_sent, dir_[d].rx_frames_delivered,
+                     dir_[d].frames_dropped_queue,
+                     dir_[d].frames_dropped_loss,
+                     dir_[d].rx_bytes_delivered};
+  }
 
   void transmit(bool from_a, Frame frame);
 
-  EventLoop& loop_;
   std::string name_;
-  util::Rng rng_;
   bool up_ = true;
   Direction dir_[2];  // [0]: a->b, [1]: b->a
   LinkEnd a_, b_;

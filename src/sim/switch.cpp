@@ -79,7 +79,7 @@ bool Switch::try_suppress_arp(std::size_t in_port, const Frame& f) {
   for (std::size_t i = 0; i < 6; ++i) r[32 + i] = f[22 + i];  // tha
   for (std::size_t i = 0; i < 4; ++i) r[38 + i] = f[28 + i];  // tpa
   ++arp_suppressed_;
-  loop_.schedule_after(delay_,
+  loop_->schedule_after(delay_,
                        [this, alive = alive_.guard(), in_port,
                         reply = std::move(reply)]() mutable {
                          if (!alive) return;
@@ -94,7 +94,7 @@ void Switch::handle_frame(std::size_t in_port, Frame frame) {
   mac_table_[mac_key(frame, 6)] = in_port;  // learn source
 
   auto forward = [this](std::size_t port, Frame f) {
-    loop_.schedule_after(delay_, [this, alive = alive_.guard(), port,
+    loop_->schedule_after(delay_, [this, alive = alive_.guard(), port,
                                   f = std::move(f)]() mutable {
       if (!alive) return;
       ports_[port]->send(std::move(f));

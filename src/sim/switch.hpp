@@ -30,7 +30,10 @@ class Switch {
  public:
   Switch(EventLoop& loop, std::string name,
          Duration forwarding_delay = util::microseconds(5))
-      : loop_(loop), name_(std::move(name)), delay_(forwarding_delay) {}
+      : loop_(&loop), name_(std::move(name)), delay_(forwarding_delay) {}
+
+  /// Re-home onto a shard loop (engine planning; before any frame flows).
+  void rebind(EventLoop& loop) { loop_ = &loop; }
 
   /// Attach a link end as a switch port; the switch takes over its receive
   /// handler.  Returns the port index.
@@ -67,7 +70,7 @@ class Switch {
     std::size_t port;
   };
 
-  EventLoop& loop_;
+  EventLoop* loop_;
   std::string name_;
   Duration delay_;
   std::vector<LinkEnd*> ports_;

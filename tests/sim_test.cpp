@@ -84,14 +84,44 @@ TEST(EventLoopTest, EventsScheduleMoreEvents) {
 }
 
 TEST(EventLoopTest, PastTimestampsClampToNow) {
+#ifndef NDEBUG
+  // Debug builds treat a past timestamp as a cross-shard synchronization
+  // bug and abort so the offender is caught at its source.
   EventLoop loop;
   loop.schedule_at(milliseconds(10), [] {});
   loop.run();
+  EXPECT_DEATH(loop.schedule_at(milliseconds(1), [] {}),
+               "schedule into the past");
+#else
+  // Release builds clamp to now() (late is better than time travel) and
+  // count the offence so soaks can assert the count stayed zero.
+  EventLoop loop;
+  loop.schedule_at(milliseconds(10), [] {});
+  loop.run();
+  EXPECT_EQ(loop.clamped_schedules(), 0u);
   bool ran = false;
   loop.schedule_at(milliseconds(1), [&] { ran = true; });  // in the past
   loop.run();
   EXPECT_TRUE(ran);
   EXPECT_EQ(loop.now(), milliseconds(10));
+  EXPECT_EQ(loop.clamped_schedules(), 1u);
+#endif
+}
+
+TEST(EventLoopTest, StaleIdCannotCancelRecycledSlot) {
+  // EventIds carry a generation stamp: once a timer fires, its slot can
+  // be recycled by a later schedule, and cancelling the *old* id must not
+  // kill the new tenant.
+  EventLoop loop;
+  bool second = false;
+  const auto id1 = loop.schedule_at(milliseconds(1), [] {});
+  loop.run();  // id1's slot is released and eligible for reuse
+  const auto id2 = loop.schedule_at(milliseconds(2), [&] { second = true; });
+  EXPECT_NE(id1, id2);  // generation differs even when the slot is reused
+  loop.cancel(id1);     // stale handle: must be a no-op
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_TRUE(second);
 }
 
 TEST(EventLoopTest, StopInterruptsRun) {

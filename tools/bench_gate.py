@@ -2,8 +2,12 @@
 """Bench-regression gate for the repository's machine-readable bench JSON.
 
 Usage:
-    tools/bench_gate.py FRESH.json [--suite micro|churn]
+    tools/bench_gate.py FRESH.json [MORE.json ...] [--suite micro|churn|scale]
                         [--baseline COMMITTED.json] [--self-test]
+
+Several FRESH files are merged into one run table before gating — the
+scale suite uses this to see the --shards 1 and --shards 4 soak legs
+(distinct run names) side by side in a single gate invocation.
 
 Suites:
   micro  (default) — bench_micro_core output: the zero-copy invariants
@@ -17,14 +21,21 @@ Suites:
          must not fall more than a small tolerance below the committed
          BENCH_churn_soak.json (CI legs run a smaller N whose run name
          differs from the baseline's; baseline-relative rules then skip).
-  scale  — the 10k-node soak: duplicate_leases == 0 plus the resolution
-         and acquisition floors, with lease_losses bounded by a ceiling
-         instead of pinned to zero (see the suite comment).
+  scale  — the 10k-node soak, run as a --shards 1 and a --shards 4 leg:
+         duplicate_leases == 0 plus the resolution and acquisition
+         floors on BOTH legs (the ^ChurnSoak/ regexes match each leg's
+         run name), lease_losses bounded by a ceiling instead of pinned
+         to zero (see the suite comment), the two legs' trace digests
+         and key counters bit-for-bit equal ("equal" rules — the
+         sharded engine's determinism contract), and the 4-shard leg's
+         wall clock at most 0.5x the 1-shard leg's ("speedup" rule —
+         sharding must actually pay).
 
 Absolute wall-clock timings are deliberately NOT gated — CI machines are
-noisy.  Every gated counter is a deterministic count or ratio; the one
-timing-derived rule class ("scaling") compares two runs from the SAME
-fresh JSON against each other, so machine speed cancels out.
+noisy.  Every gated counter is a deterministic count or ratio; the two
+timing-derived rule classes ("scaling" and "speedup") compare two runs
+from the SAME fresh run table against each other, so machine speed
+cancels out.
 
 --self-test verifies the gate actually fails on deliberately regressed
 counters, then exits 0.  CI runs it after the real gate so a silently
@@ -85,13 +96,25 @@ SUITES = {
             (r"^ChurnSoak/", "resolution_success_rate", 0.005),
         ],
     },
-    # The 10k-node scale soak.  Same safety invariant (duplicate_leases
+    # The 10k-node scale soak, fed both the --shards 1 leg
+    # (run name ChurnSoak/<N>) and the --shards 4 leg
+    # (ChurnSoak/<N>/shards:4).  Same safety invariant (duplicate_leases
     # is exactly 0 — the DHT create() uniqueness guarantee) and the same
-    # resolution/acquisition floors, but lease_losses is a bounded
-    # ceiling instead of a strict zero: at 10 % churn/min over 10k nodes
-    # a handful of renewals legitimately lose a split-brain dispute to a
-    # concurrently re-leased address, and the client re-acquires.  The
-    # ceiling keeps that a rare event, not a churn storm.
+    # resolution/acquisition floors — the ^ChurnSoak/ regexes match BOTH
+    # legs, so each is gated independently — but lease_losses is a
+    # bounded ceiling instead of a strict zero: at 10 % churn/min over
+    # 10k nodes a handful of renewals legitimately lose a split-brain
+    # dispute to a concurrently re-leased address, and the client
+    # re-acquires.  The ceiling keeps that a rare event, not a churn
+    # storm.
+    #
+    # The "equal" rules pin the sharded engine's determinism contract:
+    # the 4-shard run must replay the 1-shard run bit for bit, so its
+    # event-trace digest and every deterministic counter are identical.
+    # The "speedup" rule pins that sharding pays: the 4-shard leg's wall
+    # clock must be at most 0.5x the 1-shard leg's (>= 2x speedup).
+    # Both legs come from the same runner in the same job, so machine
+    # speed cancels out of the ratio.
     "scale": {
         "default_baseline": None,
         "zero": [
@@ -104,6 +127,23 @@ SUITES = {
         # (name regex, counter, max): fresh must be <= max.
         "ceiling": [
             (r"^ChurnSoak/", "lease_losses", 100),
+        ],
+        # (base run regex, other run regex, counter): exactly one run
+        # must match each regex, and the counter must compare equal
+        # (strings included — trace_digest is a sha1 hex).
+        "equal": [
+            (r"^ChurnSoak/\d+$", r"^ChurnSoak/\d+/shards:4$",
+             "trace_digest"),
+            (r"^ChurnSoak/\d+$", r"^ChurnSoak/\d+/shards:4$",
+             "resolution_success_rate"),
+            (r"^ChurnSoak/\d+$", r"^ChurnSoak/\d+/shards:4$",
+             "lease_acquired_fraction"),
+        ],
+        # (base run regex, other run regex, counter, max ratio): the
+        # other run's counter must be <= max ratio * the base run's.
+        "speedup": [
+            (r"^ChurnSoak/\d+$", r"^ChurnSoak/\d+/shards:4$",
+             "wall_seconds", 0.5),
         ],
         "baseline_min": [],
     },
@@ -178,6 +218,44 @@ def check(suite, fresh_doc, baseline_doc):
                 f"{small_name} ({st:.1f}) — lookup no longer scales "
                 "logarithmically")
 
+    def single(name_re, rule_desc):
+        matched = matching(name_re)
+        if len(matched) != 1:
+            failures.append(
+                f"{rule_desc}: expected exactly one run matching {name_re}, "
+                f"got {len(matched)} (soak leg missing or renamed?)")
+            return None
+        return matched[0]
+
+    for base_re, other_re, counter in suite.get("equal", ()):
+        desc = f"equal rule on {counter}"
+        base, other = single(base_re, desc), single(other_re, desc)
+        if base is None or other is None:
+            continue
+        bv, ov = base[1].get(counter), other[1].get(counter)
+        if bv is None or ov is None:
+            failures.append(f"{desc}: counter missing "
+                            f"({base[0]}: {bv!r}, {other[0]}: {ov!r})")
+        elif bv != ov:
+            failures.append(
+                f"{other[0]}: {counter} = {ov!r} != {base[0]}'s {bv!r} "
+                "(shard legs must replay bit-for-bit)")
+
+    for base_re, other_re, counter, max_ratio in suite.get("speedup", ()):
+        desc = f"speedup rule on {counter}"
+        base, other = single(base_re, desc), single(other_re, desc)
+        if base is None or other is None:
+            continue
+        bv, ov = base[1].get(counter), other[1].get(counter)
+        if not bv or ov is None:
+            failures.append(f"{desc}: counter missing or zero "
+                            f"({base[0]}: {bv!r}, {other[0]}: {ov!r})")
+        elif ov > bv * max_ratio:
+            failures.append(
+                f"{other[0]}: {counter} {ov:.3f} > {max_ratio}x "
+                f"{base[0]} ({bv:.3f}) — sharding no longer pays "
+                "for itself")
+
     for name_re, counter, tolerance in suite["baseline_min"]:
         for name, bench in matching(name_re):
             base = baseline.get(name)
@@ -245,6 +323,30 @@ def self_test(suite, fresh_doc, baseline_doc):
                   "was not caught", file=sys.stderr)
             return 1
 
+    # Flip every equality-pinned counter on the non-base leg: a digest
+    # or counter drift between shard legs must be caught.  The regressed
+    # value keeps the counter's type (and stays above any floor) so only
+    # the equal rule can be the one that fires.
+    for _base_re, other_re, counter in suite.get("equal", ()):
+        doc = copy.deepcopy(fresh_doc)
+        for b in doc["benchmarks"]:
+            if re.search(other_re, b["name"]) and counter in b:
+                b[counter] = ("0xdeadbeef" if isinstance(b[counter], str)
+                              else b[counter] + 1456.0)
+                break
+        if not check(suite, doc, baseline_doc):
+            print(f"self-test FAILED: diverged {counter} on {other_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
+    # Blow the sharded leg's wall clock past every speedup ratio.
+    for _base_re, other_re, counter, _max_ratio in suite.get("speedup", ()):
+        if not check(suite, regress(other_re, counter, 1.0e12),
+                     baseline_doc):
+            print(f"self-test FAILED: regressed {counter} on {other_re} "
+                  "was not caught", file=sys.stderr)
+            return 1
+
     # Regress baseline-relative counters beyond their tolerance (only
     # conclusive when the committed baseline actually names this run).
     for name_re, counter, tolerance in suite["baseline_min"]:
@@ -265,7 +367,10 @@ def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("fresh", help="bench JSON from this run")
+    ap.add_argument("fresh", nargs="+",
+                    help="bench JSON from this run; several files are "
+                         "merged into one run table (scale suite: pass "
+                         "the --shards 1 and --shards 4 legs together)")
     ap.add_argument("--suite", choices=sorted(SUITES), default="micro",
                     help="rule set to apply (default: %(default)s)")
     ap.add_argument("--baseline", default=None,
@@ -278,7 +383,10 @@ def main():
     suite = SUITES[args.suite]
     baseline_path = args.baseline or suite["default_baseline"]
 
-    fresh_doc = load(args.fresh)
+    fresh_doc = load(args.fresh[0])
+    for extra in args.fresh[1:]:
+        fresh_doc.setdefault("benchmarks", []).extend(
+            load(extra).get("benchmarks", []))
     baseline_doc = None
     if baseline_path is not None:
         try:

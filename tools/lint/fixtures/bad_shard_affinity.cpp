@@ -1,0 +1,110 @@
+// lint-fixture-path: src/sim/fixture_shard_affinity.cpp
+//
+// Known-bad shard-affinity snippets: scheduling through another
+// component's loop() accessor and delivery callbacks mutating
+// sender-shard link state must fire; same-loop scheduling, receiver-side
+// counters, sender-side mutation in the *argument list* (evaluated on
+// the send thread) and allowlisted lines must not.
+// NOT part of the build — compiled only by `tools/lint/run.py --self-test`.
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+struct Loop {
+  using EventId = std::uint64_t;
+  EventId schedule_at(long t, std::function<void()> cb);
+  EventId schedule_delivery(long t, std::uint64_t stream, std::uint64_t seq,
+                            std::uint32_t aux, std::function<void()> cb);
+};
+
+struct StampedEvent {
+  long at;
+  std::uint64_t stream, seq;
+  std::uint32_t aux;
+  std::function<void()> cb;
+};
+
+struct Channel {
+  void push(StampedEvent ev);
+};
+
+struct Peer {
+  Loop& loop();
+};
+
+struct Direction {
+  long tx_free_at = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped_queue = 0;
+  std::uint64_t frames_dropped_loss = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t rx_frames_delivered = 0;
+};
+
+struct Fixture {
+  Loop local_;
+  Peer peer_;
+  Channel ch_;
+  Direction d_;
+
+  void bad_foreign_schedule(std::function<void()> cb) {
+    peer_.loop().schedule_at(5, cb);  // expect(shard-affinity)
+  }
+
+  void bad_sender_counter_in_delivery() {
+    Direction& d = d_;
+    local_.schedule_delivery(9, 1, 2, 64, [&d] {
+      ++d.frames_sent;  // expect(shard-affinity)
+    });
+  }
+
+  void bad_tx_horizon_in_delivery() {
+    Direction& d = d_;
+    local_.schedule_delivery(9, 1, 3, 64, [&d] {
+      d.tx_free_at += 3;  // expect(shard-affinity)
+    });
+  }
+
+  void bad_drop_counter_in_channel_push() {
+    Direction& d = d_;
+    ch_.push(StampedEvent{9, 1, 4, 64, [&d] {
+      d.frames_dropped_queue = 0;  // expect(shard-affinity)
+    }});
+  }
+
+  void ok_receiver_side_counters() {
+    Direction& d = d_;
+    local_.schedule_delivery(9, 1, 5, 64, [&d] {
+      ++d.rx_frames_delivered;  // receiver-shard state: fine
+    });
+  }
+
+  void ok_sender_mutation_in_arg_list() {
+    Direction& d = d_;
+    // d.seq++ in the argument list runs on the send thread at call time
+    // (and `seq` is not a flagged field); only the callback body is
+    // receiver-shard.
+    local_.schedule_delivery(9, 1, d.seq++, 64, [] {});
+  }
+
+  void ok_read_without_mutation(std::uint64_t* out) {
+    Direction& d = d_;
+    local_.schedule_delivery(9, 1, 6, 64, [&d, out] {
+      *out = d.frames_sent;  // read: the receiver may observe, not write
+    });
+  }
+
+  void ok_same_object_loop(std::function<void()> cb) {
+    local_.schedule_at(5, cb);  // no foreign loop() hop
+  }
+
+  void ok_allowlisted() {
+    Direction& d = d_;
+    local_.schedule_delivery(9, 1, 7, 64, [&d] {
+      ++d.frames_sent;  // lint:allow(shard-affinity): fixture proves the pragma
+    });
+  }
+};
+
+}  // namespace fixture

@@ -32,6 +32,17 @@ Three rule families, each protecting a property the compiler cannot see
                   capture list.  This is the exact use-after-free class
                   ASan has caught twice in transport teardown.
 
+  shard-affinity  Cross-shard interaction in src/sim/ must go through
+                  engine Channels.  Flags (a) a direct schedule through
+                  another component's loop() accessor — under sharding
+                  that loop may belong to a peer shard, and scheduling
+                  onto it from this thread is a data race on the heap —
+                  and (b) delivery callbacks (schedule_delivery /
+                  StampedEvent spans) that mutate sender-shard link state
+                  (tx_free_at, frames_sent, frames_dropped_*): the
+                  callback executes on the receiver's shard, so those
+                  writes would race the transmit path.
+
 Per-line allowlist pragma (a reason is required):
 
     some_code();  // lint:allow(zero-copy): explicit COW before patch
@@ -68,7 +79,7 @@ from dataclasses import dataclass, field
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 
-RULES = ("zero-copy", "determinism", "timer-lifetime")
+RULES = ("zero-copy", "determinism", "timer-lifetime", "shard-affinity")
 
 # Directories whose files are on the packet hot path (zero-copy scope).
 HOT_PATH_DIRS = ("src/brunet/", "src/net/", "src/ipop/")
@@ -110,6 +121,17 @@ ZC_PAYLOAD_HINT_RE = re.compile(r"\bpayload\b|\bPayload\b")
 
 SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:after|at)\s*\(")
 GUARD_CAPTURE_RE = re.compile(r"weak_ptr|weak_from_this|weak|alive|guard", re.I)
+
+# shard-affinity: scheduling through another component's loop() accessor.
+SHARD_FOREIGN_SCHED_RE = re.compile(
+    r"\b\w+\s*(?:\.|->)\s*loop\s*\(\)\s*(?:\.|->)\s*schedule_\w+\s*\(")
+# shard-affinity: spans that become receiver-shard delivery callbacks.
+SHARD_DELIVERY_SPAN_RE = re.compile(
+    r"\bschedule_delivery\s*\(|\bStampedEvent\s*\{")
+# Link sender-shard state; mutating it inside a delivery span races the
+# transmit path.
+SHARD_SENDER_FIELDS_RE = re.compile(
+    r"\b(tx_free_at|frames_sent|frames_dropped_queue|frames_dropped_loss)\b")
 
 ALLOW_PRAGMA_RE = re.compile(
     r"lint:allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)\s*:\s*(\S.*)"
@@ -462,6 +484,46 @@ def check_timer_lifetime(sf: SourceFile, findings: list):
                 "callback can outlive its owner (UAF class seen twice)"))
 
 
+# --- rule: shard-affinity ---------------------------------------------------
+
+def sender_mutation_near(span: str, m) -> bool:
+    """True when the matched sender-field mention in `span` is a mutation:
+    pre/post increment/decrement or a compound/plain assignment target."""
+    before = span[:m.start()]
+    after = span[m.end():]
+    if re.search(r"(\+\+|--)\s*[\w.\->\[\]]*$", before):
+        return True
+    return bool(re.match(r"\s*(\+\+|--|(?:[+\-*/%|&^]|<<|>>)?=(?!=))", after))
+
+
+def check_shard_affinity(sf: SourceFile, findings: list):
+    if not sf.path.startswith("src/sim/"):
+        return
+    text = sf.blanked
+    for m in SHARD_FOREIGN_SCHED_RE.finditer(text):
+        findings.append(Finding(
+            sf.path, line_of_offset(text, m.start()), "shard-affinity",
+            "direct schedule through another component's loop() — under "
+            "sharding that loop may belong to a peer shard; route "
+            "cross-shard work through an engine Channel"))
+    for m in SHARD_DELIVERY_SPAN_RE.finditer(text):
+        opener = text[m.end() - 1]
+        closer = ")" if opener == "(" else "}"
+        span, _ = balanced_region(text, m.end() - 1, opener, closer)
+        if span is None:
+            continue
+        for fm in SHARD_SENDER_FIELDS_RE.finditer(span):
+            if not sender_mutation_near(span, fm):
+                continue
+            findings.append(Finding(
+                sf.path, line_of_offset(text, m.end() + fm.start()),
+                "shard-affinity",
+                f"delivery callback mutates sender-shard link state "
+                f"'{fm.group(1)}' — it executes on the receiver's shard "
+                "and races the transmit path; keep sender counters on the "
+                "send side of the channel"))
+
+
 # --- clang engine (optional refinement) -------------------------------------
 
 def try_load_clang():
@@ -579,6 +641,7 @@ def lint_sources(sources, engine, cindex=None, cc_map=None):
                       "using text engine for this file", file=sys.stderr)
         check_determinism(sf, findings, unordered_names, clang_fors)
         check_timer_lifetime(sf, findings)
+        check_shard_affinity(sf, findings)
 
     kept = []
     for f in findings:
@@ -653,8 +716,8 @@ def run_self_test(engine, cindex):
             print("  " + msg, file=sys.stderr)
         return 1
     print(f"lint --self-test OK: {len(expected)} expectations across "
-          f"{len(fixture_paths)} fixtures, all three rule families fire "
-          f"and the allow pragma suppresses.")
+          f"{len(fixture_paths)} fixtures, all {len(RULES)} rule families "
+          f"fire and the allow pragma suppresses.")
     return 0
 
 
