@@ -16,12 +16,22 @@
 // tools/bench_gate.py --suite churn can gate CI on them.
 //
 //   bench_churn_soak [--nodes N] [--churn-minutes M] [--churn-rate R]
-//                    [--seed S] [--shards K] [--out PATH]
+//                    [--seed S] [--shards K] [--hostile] [--out PATH]
 //
 // R is expressed in events per node per minute (0.10 = "10% churn").
 // --shards K runs the same scenario on K engine shards; the event-trace
 // digest and every protocol counter are identical for any K (the gate
 // compares the legs), only wall_seconds changes.
+//
+// --hostile puts every node behind its own NAT box (type mix cycling
+// full-cone / restricted / port-restricted / symmetric, with a TCP-native
+// minority), every site on the *same* 192.168.0.0/24 prefix — the
+// worst-case internet where no advertised private address is dialable and
+// every link must be hole-punched or relayed.  Only the seed gets a
+// port-forward pinhole.  The run additionally audits the traversal
+// outcome (direct / punched / relayed) of every formed link per NAT-type
+// pair and emits the rates to BENCH_hostile_soak.json for
+// tools/bench_gate.py --suite hostile.
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -37,7 +47,9 @@
 
 #include "common.hpp"
 #include "ipop/node.hpp"
+#include "net/nat.hpp"
 #include "net/topology.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -52,7 +64,8 @@ struct Options {
   std::uint64_t seed = 1;
   double warmup_seconds = 0.0;  // 0 = auto-scale with node count
   int shards = 1;
-  std::string out = "BENCH_churn_soak.json";
+  bool hostile = false;
+  std::string out;  // default depends on --hostile
 };
 
 // Underlay address for node i: base-250 digits under 10.0.0.0/8, so one
@@ -68,6 +81,10 @@ ipop::net::Ipv4Address underlay_ip(int i) {
 
 struct SoakNode {
   ipop::net::Host* host = nullptr;
+  /// Hostile mode: the node's own NAT box and its configured type (the
+  /// ground truth the traversal audit classifies link outcomes against).
+  ipop::net::NatBox* nat = nullptr;
+  ipop::net::NatType nat_type = ipop::net::NatType::kFullCone;
   std::unique_ptr<ipop::core::IpopNode> node;
   bool live = false;
   ipop::util::TimePoint started{};
@@ -116,6 +133,8 @@ int main(int argc, char** argv) {
       opt.warmup_seconds = std::atof(next());
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       opt.shards = ipop::bench::parse_shards(next());
+    } else if (std::strcmp(argv[i], "--hostile") == 0) {
+      opt.hostile = true;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       opt.out = next();
     } else {
@@ -123,11 +142,24 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (opt.out.empty()) {
+    opt.out = opt.hostile ? "BENCH_hostile_soak.json" : "BENCH_churn_soak.json";
+  }
+  // Protocol-level visibility for debugging convergence stalls:
+  //   IPOP_LOG=debug bench_churn_soak --hostile ...
+  if (const char* lvl = std::getenv("IPOP_LOG")) {
+    if (std::strcmp(lvl, "debug") == 0) {
+      ipop::util::Logger::instance().set_level(ipop::util::LogLevel::kDebug);
+    } else if (std::strcmp(lvl, "trace") == 0) {
+      ipop::util::Logger::instance().set_level(ipop::util::LogLevel::kTrace);
+    }
+  }
 
-  std::printf("churn soak: %d nodes, %.0f%% churn/node/min, %.1f min, "
+  std::printf("%s soak: %d nodes, %.0f%% churn/node/min, %.1f min, "
               "%d shard%s\n",
-              opt.nodes, opt.churn_rate * 100.0, opt.churn_minutes,
-              opt.shards, opt.shards == 1 ? "" : "s");
+              opt.hostile ? "hostile" : "churn", opt.nodes,
+              opt.churn_rate * 100.0, opt.churn_minutes, opt.shards,
+              opt.shards == 1 ? "" : "s");
 
   ipop::net::Network net{opt.seed};
   auto& sw = net.add_switch("core");
@@ -156,10 +188,40 @@ int main(int argc, char** argv) {
   // link graph, and the overlay layer arms timers at construction, so
   // IPOP nodes may only be created after plan_shards() has re-homed every
   // host onto its final shard loop.
+  // Hostile-mode NAT type mix: every fourth node symmetric, the rest
+  // spread across the three cone variants.  Node 0 (the seed) is pinned
+  // full-cone with a port-forward pinhole so bootstrap has one reachable
+  // rendezvous; everything else is dialable only via punching or relays.
+  const ipop::net::NatType kTypeMix[4] = {
+      ipop::net::NatType::kFullCone, ipop::net::NatType::kRestrictedCone,
+      ipop::net::NatType::kPortRestrictedCone,
+      ipop::net::NatType::kSymmetric};
+  const ipop::net::Ipv4Address kSiteHostIp(192, 168, 0, 2);
+  const ipop::net::Ipv4Address kSiteGwIp(192, 168, 0, 1);
   for (int i = 0; i < opt.nodes; ++i) {
     auto& s = soak[static_cast<std::size_t>(i)];
     auto& h = net.add_host("c" + std::to_string(i));
-    net.connect_to_switch(h.stack(), {"eth0", underlay_ip(i), 8}, sw, lan);
+    if (opt.hostile) {
+      // Every site reuses the *same* RFC1918 prefix — as real home NATs
+      // do — so an advertised private address is never dialable from
+      // another site (and is in fact the dialer's own address, which the
+      // linker's self-dial guard must skip).
+      s.nat_type = i == 0 ? ipop::net::NatType::kFullCone : kTypeMix[i % 4];
+      auto& nat = net.add_nat("nat" + std::to_string(i), s.nat_type);
+      net.connect(h.stack(), {"eth0", kSiteHostIp, 24}, nat.stack(),
+                  {"in", kSiteGwIp, 24}, lan);
+      net.connect_to_switch(nat.stack(), {"out", underlay_ip(i), 8}, sw,
+                            lan);
+      h.stack().add_route(ipop::net::Ipv4Prefix::parse("0.0.0.0/0"), 0,
+                          kSiteGwIp);
+      if (i == 0) {
+        nat.add_port_forward(ipop::net::IpProto::kUdp, 17001,
+                             {kSiteHostIp, 17001});
+      }
+      s.nat = &nat;
+    } else {
+      net.connect_to_switch(h.stack(), {"eth0", underlay_ip(i), 8}, sw, lan);
+    }
     s.host = &h;
   }
   net.plan_shards(static_cast<std::size_t>(opt.shards));
@@ -200,10 +262,19 @@ int main(int argc, char** argv) {
     // the calibrated Planet-Lab processing model.
     cfg.cpu_per_packet = ipop::util::microseconds(50);
     cfg.sched_latency = ipop::util::microseconds(200);
+    if (opt.hostile && i % 8 == 5) {
+      // TCP-native minority: their links exercise the linker's
+      // cross-protocol fallback on top of NAT traversal.
+      cfg.overlay.transport = ipop::brunet::TransportAddress::Proto::kTcp;
+    }
     s.node = std::make_unique<ipop::core::IpopNode>(*s.host, cfg);
     if (i > 0) {
+      // Hostile mode: the dialable seed endpoint is the pinhole on its
+      // NAT's *external* address, not the private interface address.
       s.node->add_seed({ipop::brunet::TransportAddress::Proto::kUdp,
-                        soak[0].host->stack().interface_ip(0), 17001});
+                        opt.hostile ? underlay_ip(0)
+                                    : soak[0].host->stack().interface_ip(0),
+                        17001});
     }
     // Fires on the node's shard thread: touch only this node's slot and
     // stamp with the node's own shard clock (identical to global time up
@@ -327,6 +398,29 @@ int main(int argc, char** argv) {
   }
   if (!all_configured()) {
     std::fprintf(stderr, "FAIL: warmup did not self-configure all nodes\n");
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+      const auto& s = soak[i];
+      if (!s.live || s.node->self_configured()) continue;
+      const auto& ov = s.node->overlay();
+      std::fprintf(stderr,
+                   "  unconfigured c%zu %s (%s): table %zu, links %llu/%llu "
+                   "fail, punches %llu sent %llu answered, relay edges "
+                   "%llu\n",
+                   i, ov.address().short_hex().c_str(),
+                   ipop::net::nat_type_name(s.nat_type),
+                   ov.table().size(),
+                   (unsigned long long)ov.stats().links_failed,
+                   (unsigned long long)ov.stats().links_started,
+                   (unsigned long long)ov.stats().punch_requests_sent,
+                   (unsigned long long)ov.stats().punch_responses,
+                   (unsigned long long)ov.stats().relay_edges);
+      const auto& seed_ov = soak[0].node->overlay();
+      std::fprintf(stderr,
+                   "    seed sees it: %d; seed relay fwd %llu, drops %llu\n",
+                   seed_ov.table().contains(ov.address()) ? 1 : 0,
+                   (unsigned long long)seed_ov.stats().relay_forwarded,
+                   (unsigned long long)seed_ov.stats().relay_drop_no_route);
+    }
     return 1;
   }
   ring_consistency(&ring_linked, &ring_total);
@@ -600,11 +694,24 @@ int main(int argc, char** argv) {
   std::uint64_t arp_invalidations = 0;
   std::uint64_t gets = 0, get_timeouts = 0, get_notfound = 0;
   std::uint64_t drop_ttl = 0, drop_no_route = 0, drop_exact = 0;
+  std::uint64_t punch_req_sent = 0, punch_responses = 0;
+  std::uint64_t links_punched = 0, links_relayed = 0, links_cross_proto = 0;
+  std::uint64_t relay_edges = 0, relay_forwarded = 0, relay_no_route = 0;
+  std::uint64_t relay_wrap_copied = 0;
   for (const auto& s : soak) {
     if (s.live) {
       ++live_count;
       if (s.node->self_configured()) ++configured_count;
     }
+    punch_req_sent += s.node->overlay().stats().punch_requests_sent;
+    punch_responses += s.node->overlay().stats().punch_responses;
+    links_punched += s.node->overlay().stats().links_punched;
+    links_relayed += s.node->overlay().stats().links_relayed;
+    links_cross_proto += s.node->overlay().stats().links_cross_proto;
+    relay_edges += s.node->overlay().stats().relay_edges;
+    relay_forwarded += s.node->overlay().stats().relay_forwarded;
+    relay_no_route += s.node->overlay().stats().relay_drop_no_route;
+    relay_wrap_copied += s.node->overlay().stats().relay_wrap_bytes_copied;
     handoffs += s.node->dht().stats().handoffs;
     rereplications += s.node->dht().stats().rereplications;
     gets += s.node->dht().stats().gets;
@@ -640,6 +747,104 @@ int main(int argc, char** argv) {
   ring_consistency(&ring_linked, &ring_total);
   std::printf("ring consistency at end: %zu/%zu successor-linked\n",
               ring_linked, ring_total);
+
+  // --- hostile-mode traversal audit --------------------------------------
+  // Classify every link between live nodes by how it was established —
+  // direct dial, hole-punched, or relayed — bucketed by the NAT-type pair
+  // of its endpoints.  Both directions of a link are inspected and the
+  // strongest assistance wins (relayed > punched > direct): the side that
+  // accepted an inbound dial legitimately sees its own leg as "direct".
+  struct PairCell {
+    std::uint64_t total = 0, punched = 0, relayed = 0;
+  };
+  PairCell cells[4][4] = {};  // upper triangle, indexed by type rank
+  static const char* const kRankName[4] = {"fc", "rc", "pr", "sym"};
+  auto type_rank = [](ipop::net::NatType t) {
+    switch (t) {
+      case ipop::net::NatType::kFullCone: return 0;
+      case ipop::net::NatType::kRestrictedCone: return 1;
+      case ipop::net::NatType::kPortRestrictedCone: return 2;
+      case ipop::net::NatType::kSymmetric: return 3;
+    }
+    return 0;
+  };
+  std::uint64_t total_pairs = 0, total_punched = 0, total_relayed = 0;
+  if (opt.hostile) {
+    std::map<ipop::brunet::Address, std::size_t> addr_index;
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+      if (soak[i].live) {
+        addr_index[soak[i].node->overlay().address()] = i;
+      }
+    }
+    std::map<std::pair<std::size_t, std::size_t>, int> outcome;
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+      if (!soak[i].live) continue;
+      soak[i].node->overlay().table().for_each(
+          [&](const ipop::brunet::Connection& conn) {
+            const auto it = addr_index.find(conn.addr);
+            if (it == addr_index.end()) return;  // peer churned away
+            int o = 0;
+            if (conn.edge != nullptr &&
+                conn.edge->remote().proto ==
+                    ipop::brunet::TransportAddress::Proto::kRelay) {
+              o = 2;
+            } else if (conn.punched) {
+              o = 1;
+            }
+            auto key = std::minmax(i, it->second);
+            auto& cur = outcome[{key.first, key.second}];
+            cur = std::max(cur, o);
+          });
+    }
+    for (const auto& [key, o] : outcome) {
+      int a = type_rank(soak[key.first].nat_type);
+      int b = type_rank(soak[key.second].nat_type);
+      if (a > b) std::swap(a, b);
+      auto& c = cells[a][b];
+      ++c.total;
+      ++total_pairs;
+      if (o == 2) {
+        ++c.relayed;
+        ++total_relayed;
+      } else if (o == 1) {
+        ++c.punched;
+        ++total_punched;
+      }
+    }
+    std::printf("traversal outcomes (%llu links between live nodes):\n",
+                static_cast<unsigned long long>(total_pairs));
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a; b < 4; ++b) {
+        const auto& c = cells[a][b];
+        if (c.total == 0) continue;
+        std::printf("  %s-%s: %llu links, %llu punched, %llu relayed\n",
+                    kRankName[a], kRankName[b],
+                    static_cast<unsigned long long>(c.total),
+                    static_cast<unsigned long long>(c.punched),
+                    static_cast<unsigned long long>(c.relayed));
+      }
+    }
+    std::printf("  punches: %llu sent, %llu answered; relays: %llu edges, "
+                "%llu forwards, %llu no-route drops, %llu wrap bytes "
+                "copied; cross-proto links %llu\n",
+                static_cast<unsigned long long>(punch_req_sent),
+                static_cast<unsigned long long>(punch_responses),
+                static_cast<unsigned long long>(relay_edges),
+                static_cast<unsigned long long>(relay_forwarded),
+                static_cast<unsigned long long>(relay_no_route),
+                static_cast<unsigned long long>(relay_wrap_copied),
+                static_cast<unsigned long long>(links_cross_proto));
+  }
+  const std::uint64_t nonrelayed_sym_sym =
+      cells[3][3].total - cells[3][3].relayed;
+  const double relayed_edge_fraction =
+      total_pairs > 0 ? static_cast<double>(total_relayed) /
+                            static_cast<double>(total_pairs)
+                      : 0.0;
+  const double copied_per_forward =
+      relay_forwarded > 0 ? static_cast<double>(relay_wrap_copied) /
+                                static_cast<double>(relay_forwarded)
+                          : static_cast<double>(relay_wrap_copied);
 
   std::printf(
       "soak done: %llu events (%llu joins, %llu leaves, %llu fails)\n"
@@ -696,11 +901,12 @@ int main(int argc, char** argv) {
   // extra-shard legs get a suffixed name so the scale suite can compare
   // them against the 1-shard leg inside one JSON report.
   char run_name[64];
+  const char* soak_name = opt.hostile ? "HostileSoak" : "ChurnSoak";
   if (opt.shards > 1) {
-    std::snprintf(run_name, sizeof run_name, "ChurnSoak/%d/shards:%d",
+    std::snprintf(run_name, sizeof run_name, "%s/%d/shards:%d", soak_name,
                   opt.nodes, opt.shards);
   } else {
-    std::snprintf(run_name, sizeof run_name, "ChurnSoak/%d", opt.nodes);
+    std::snprintf(run_name, sizeof run_name, "%s/%d", soak_name, opt.nodes);
   }
 
   // google-benchmark JSON shape, so tools/bench_gate.py shares one parser.
@@ -717,6 +923,7 @@ int main(int argc, char** argv) {
                "    \"churn_rate_per_node_per_min\": %.4f,\n"
                "    \"churn_minutes\": %.2f,\n"
                "    \"seed\": %llu,\n"
+               "    \"hostile\": %s,\n"
                "    \"shards\": %d\n"
                "  },\n"
                "  \"benchmarks\": [\n"
@@ -748,15 +955,10 @@ int main(int argc, char** argv) {
                "      \"dht_antientropy_pushbacks\": %llu,\n"
                "      \"keepalive_evictions\": %llu,\n"
                "      \"departures_seen\": %llu,\n"
-               "      \"arp_invalidations\": %llu,\n"
-               "      \"shards\": %d,\n"
-               "      \"wall_seconds\": %.3f,\n"
-               "      \"trace_digest\": \"%s\"\n"
-               "    }\n"
-               "  ]\n"
-               "}\n",
+               "      \"arp_invalidations\": %llu,\n",
                opt.nodes, opt.churn_rate, opt.churn_minutes,
-               static_cast<unsigned long long>(opt.seed), opt.shards,
+               static_cast<unsigned long long>(opt.seed),
+               opt.hostile ? "true" : "false", opt.shards,
                run_name,
                ipop::util::to_seconds(net.now()),
                ipop::util::to_seconds(net.now()),
@@ -779,7 +981,68 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(antientropy),
                static_cast<unsigned long long>(keepalive_evictions),
                static_cast<unsigned long long>(departures_seen),
-               static_cast<unsigned long long>(arp_invalidations),
+               static_cast<unsigned long long>(arp_invalidations));
+  if (opt.hostile) {
+    // Per-NAT-type-pair traversal outcomes.  punch_success_rate_<a>_<b>
+    // is the fraction of that pair's links that did NOT need a relay
+    // (direct or punched both count: traversal succeeded).  The gate's
+    // rate rules only apply where the companion pairs_<a>_<b> count is
+    // nonzero, so quiet cells stay neutral.
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a; b < 4; ++b) {
+        const auto& c = cells[a][b];
+        const double rate =
+            c.total > 0 ? static_cast<double>(c.total - c.relayed) /
+                              static_cast<double>(c.total)
+                        : 1.0;
+        std::fprintf(f,
+                     "      \"pairs_%s_%s\": %llu,\n"
+                     "      \"punched_%s_%s\": %llu,\n"
+                     "      \"relayed_%s_%s\": %llu,\n"
+                     "      \"punch_success_rate_%s_%s\": %.6f,\n",
+                     kRankName[a], kRankName[b],
+                     static_cast<unsigned long long>(c.total), kRankName[a],
+                     kRankName[b], static_cast<unsigned long long>(c.punched),
+                     kRankName[a], kRankName[b],
+                     static_cast<unsigned long long>(c.relayed), kRankName[a],
+                     kRankName[b], rate);
+      }
+    }
+    std::fprintf(f,
+                 "      \"links_audited\": %llu,\n"
+                 "      \"links_punched_total\": %llu,\n"
+                 "      \"links_relayed_total\": %llu,\n"
+                 "      \"nonrelayed_sym_sym\": %llu,\n"
+                 "      \"relayed_edge_fraction\": %.6f,\n"
+                 "      \"punch_requests_sent\": %llu,\n"
+                 "      \"punch_responses\": %llu,\n"
+                 "      \"links_cross_proto\": %llu,\n"
+                 "      \"relay_edges\": %llu,\n"
+                 "      \"relay_forwarded\": %llu,\n"
+                 "      \"relay_drop_no_route\": %llu,\n"
+                 "      \"relay_wrap_bytes_copied\": %llu,\n"
+                 "      \"bytes_copied_per_forward\": %.6f,\n",
+                 static_cast<unsigned long long>(total_pairs),
+                 static_cast<unsigned long long>(total_punched),
+                 static_cast<unsigned long long>(total_relayed),
+                 static_cast<unsigned long long>(nonrelayed_sym_sym),
+                 relayed_edge_fraction,
+                 static_cast<unsigned long long>(punch_req_sent),
+                 static_cast<unsigned long long>(punch_responses),
+                 static_cast<unsigned long long>(links_cross_proto),
+                 static_cast<unsigned long long>(relay_edges),
+                 static_cast<unsigned long long>(relay_forwarded),
+                 static_cast<unsigned long long>(relay_no_route),
+                 static_cast<unsigned long long>(relay_wrap_copied),
+                 copied_per_forward);
+  }
+  std::fprintf(f,
+               "      \"shards\": %d,\n"
+               "      \"wall_seconds\": %.3f,\n"
+               "      \"trace_digest\": \"%s\"\n"
+               "    }\n"
+               "  ]\n"
+               "}\n",
                opt.shards, wall_seconds, trace_digest.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", opt.out.c_str());
@@ -794,6 +1057,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: resolution success %.4f < 0.99\n",
                  resolution_rate);
     return 1;
+  }
+  if (opt.hostile) {
+    // Symmetric-symmetric pairs cannot hole-punch (per-destination
+    // mappings); any such link NOT riding a relay tunnel means the
+    // outcome classifier or the fallback logic is broken.
+    if (nonrelayed_sym_sym != 0) {
+      std::fprintf(stderr, "FAIL: %llu sym-sym links not relayed\n",
+                   static_cast<unsigned long long>(nonrelayed_sym_sym));
+      return 1;
+    }
+    // Relayed tunnels must stay zero-copy end to end: per-path headroom
+    // means the inner wire image is built deep enough that the wrapper
+    // prepends in place.
+    if (relay_wrap_copied != 0) {
+      std::fprintf(stderr, "FAIL: relay wrap copied %llu bytes\n",
+                   static_cast<unsigned long long>(relay_wrap_copied));
+      return 1;
+    }
   }
   return 0;
 }

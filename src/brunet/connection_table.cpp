@@ -47,6 +47,7 @@ void ConnectionTable::add(const Connection& conn) {
     }
     if (!conn.advertised.empty()) c.advertised = conn.advertised;
     c.peer_requested_near |= conn.peer_requested_near;
+    c.punched |= conn.punched;
     return;
   }
   conns_.insert(conns_.begin() + static_cast<std::ptrdiff_t>(i), conn);

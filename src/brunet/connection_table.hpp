@@ -52,6 +52,11 @@ struct Connection {
   /// never trim such links (prevents trim/relink flapping when the ring
   /// view is asymmetric).
   bool peer_requested_near = false;
+  /// The link needed NAT hole-punch assistance (established after the
+  /// first dial round while a punch exchange was in flight).  Sticky
+  /// across re-adds.  A *relayed* link is recognized by its edge instead:
+  /// edge->remote().proto == kRelay.
+  bool punched = false;
   std::shared_ptr<Edge> edge;
   /// Dialable endpoints advertised by the peer in its link handshake.
   /// (The edge's remote endpoint is an ephemeral port for TCP, so gossip

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "brunet/relay_edge.hpp"
 #include "util/logging.hpp"
 
 namespace ipop::brunet {
@@ -15,6 +16,7 @@ bool is_response_type(PacketType t) {
     case PacketType::kConnectResponse:
     case PacketType::kNeighborReply:
     case PacketType::kPingResponse:
+    case PacketType::kPunchResponse:
     case PacketType::kDhtResponse:
       return true;
     default:
@@ -22,6 +24,16 @@ bool is_response_type(PacketType t) {
   }
 }
 }  // namespace
+
+const char* nat_class_name(NatClass c) {
+  switch (c) {
+    case NatClass::kUnknown: return "unknown";
+    case NatClass::kOpen: return "open";
+    case NatClass::kCone: return "cone";
+    case NatClass::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
 
 void NodeInfo::encode(util::ByteWriter& w) const {
   w.bytes(std::span<const std::uint8_t>(addr.bytes().data(), Address::kBytes));
@@ -64,13 +76,9 @@ void BrunetNode::start() {
   started_ = true;
   started_at_ = host_.loop().now();
   if (cfg_.transport == TransportAddress::Proto::kTcp) {
-    tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
-    tcp_->set_inbound_handler(
-        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+    ensure_tcp();
   } else {
-    udp_ = std::make_unique<UdpTransport>(host_, cfg_.port);
-    udp_->set_inbound_handler(
-        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+    ensure_udp();
   }
   maintenance_tick();
 }
@@ -95,7 +103,7 @@ void BrunetNode::leave() {
   NodeInfo{addr_, local_addresses()}.encode(w);
   encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
   notice.set_payload(w.take());
-  const auto wire = notice.to_wire();
+  const auto wire = notice.to_wire(send_headroom_);
   table_.for_each([&](const Connection& c) { c.edge->send(wire); });
   stop();
 }
@@ -138,12 +146,16 @@ void BrunetNode::stop() {
   linking_.clear();
   // Close all edges (copy: close mutates the table via callbacks).
   std::vector<std::shared_ptr<Edge>> edges;
+  edges.reserve(edges_.size());
   for (auto& [ptr, e] : edges_) edges.push_back(e);
   edges_.clear();
+  relay_edges_.clear();
+  relay_via_activity_.clear();
   for (auto& e : edges) {
     if (e) e->close();
   }
   table_.clear();
+  send_headroom_ = util::kPacketHeadroom;
   // Tear the transports down: a stopped node's sockets close, so inbound
   // traffic can no longer spawn edges that would dangle across a later
   // restart (start() builds fresh transports).
@@ -152,11 +164,37 @@ void BrunetNode::stop() {
 }
 
 void BrunetNode::record_observed(const TransportAddress& ta) {
-  if (ta.proto != cfg_.transport) return;
-  if (host_.stack().is_local_ip(ta.ip)) return;  // not translated
+  // A relay tunnel's pseudo-endpoint says nothing about our NAT and must
+  // never be advertised as dialable.
+  if (ta.proto == TransportAddress::Proto::kRelay) return;
+  if (host_.stack().is_local_ip(ta.ip)) {
+    // Peers see our packets untranslated: no NAT in front of us (at
+    // least toward them).
+    if (nat_class_ == NatClass::kUnknown) nat_class_ = NatClass::kOpen;
+    return;
+  }
+  // A symmetric NAT mints a fresh mapping per peer, so its observed set
+  // would grow with the peer count; eight entries are plenty for both
+  // the classification (two suffice) and the gossip clamp.
+  if (observed_.size() >= 8) return;
   if (!observed_.insert(ta).second) return;
+  // Self-classification (decentralized STUN): one stable external
+  // mapping per protocol reads as cone; two distinct external ports on
+  // the same external IP and protocol mean per-destination mappings —
+  // symmetric.  Symmetric is sticky (extra cone-looking observations
+  // never downgrade it).
+  std::size_t same_proto_ip = 0;
+  for (const auto& o : observed_) {
+    if (o.proto == ta.proto && o.ip == ta.ip) ++same_proto_ip;
+  }
+  if (same_proto_ip >= 2) {
+    nat_class_ = NatClass::kSymmetric;
+  } else if (nat_class_ != NatClass::kSymmetric) {
+    nat_class_ = NatClass::kCone;
+  }
   IPOP_LOG_DEBUG(addr_.short_hex() << ": learned translated address "
-                                   << ta.to_string());
+                                   << ta.to_string() << " (nat: "
+                                   << nat_class_name(nat_class_) << ")");
   // Our advertised endpoints changed: refresh every peer's view so gossip
   // carries the dialable (translated) endpoint, not just the private one.
   broadcast_identity();
@@ -170,20 +208,32 @@ void BrunetNode::broadcast_identity() {
   NodeInfo{addr_, local_addresses()}.encode(w);
   ping.set_payload(w.take());
   // One wire buffer, shared by every edge's send.
-  const auto wire = ping.to_wire();
+  const auto wire = ping.to_wire(send_headroom_);
   table_.for_each([&](const Connection& c) { c.edge->send(wire); });
 }
 
 std::vector<TransportAddress> BrunetNode::local_addresses() const {
   std::vector<TransportAddress> out;
-  const auto proto = cfg_.transport;
   for (std::size_t i = 0; i < host_.stack().interface_count(); ++i) {
     // The tap interface belongs to the *virtual* network; advertising it
     // would invite peers to dial through the tunnel they are building.
     if (host_.stack().interface_name(i).starts_with("tap")) continue;
     const auto ip = host_.stack().interface_ip(i);
     if (ip.is_unspecified()) continue;
-    out.push_back({proto, ip, cfg_.port});
+    // Advertise every protocol we can accept on — the native transport
+    // first, so same-protocol dialing stays preferred — letting
+    // mixed-transport peers fall back to whichever we share.
+    if (cfg_.transport == TransportAddress::Proto::kTcp) {
+      if (tcp_ != nullptr) out.push_back({TransportAddress::Proto::kTcp, ip,
+                                          cfg_.port});
+      if (udp_ != nullptr) out.push_back({TransportAddress::Proto::kUdp, ip,
+                                          cfg_.port});
+    } else {
+      if (udp_ != nullptr) out.push_back({TransportAddress::Proto::kUdp, ip,
+                                          cfg_.port});
+      if (tcp_ != nullptr) out.push_back({TransportAddress::Proto::kTcp, ip,
+                                          cfg_.port});
+    }
   }
   for (const auto& obs : observed_) {
     if (std::find(out.begin(), out.end(), obs) == out.end()) {
@@ -220,6 +270,21 @@ void BrunetNode::adopt_edge(const std::shared_ptr<Edge>& edge) {
         if (it != edges_.end()) on_edge_packet(it->second, std::move(bytes));
       });
   edge->set_close_handler([this, e = edge.get()] { on_edge_closed(e); });
+  recompute_send_headroom();
+}
+
+void BrunetNode::recompute_send_headroom() {
+  // Buffer-ownership rule 6: every wire image this node builds carries
+  // enough front slack for the costliest live edge — our 48-byte header
+  // plus everything that edge (and the layers it rides) prepends.  A
+  // node with only base-transport edges keeps the historical 128; one
+  // with a relay tunnel grows the budget so tunnel-in-tunnel frames stay
+  // zero-copy end to end.
+  std::size_t h = util::kPacketHeadroom;
+  for (const auto& [ptr, e] : edges_) {
+    h = std::max(h, Packet::kHeaderSize + e->headroom());
+  }
+  send_headroom_ = h;
 }
 
 void BrunetNode::on_edge_packet(const std::shared_ptr<Edge>& edge,
@@ -261,6 +326,23 @@ void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
       case PacketType::kDeparting:
         handle_departing(edge, pkt);
         break;
+      case PacketType::kRelayForward:
+        handle_relay_forward(edge, std::move(pkt));
+        break;
+      case PacketType::kRelayDeliver:
+        handle_relay_deliver(edge, pkt);
+        break;
+      case PacketType::kEdgeClose:
+        // The peer dropped this edge.  Evict now instead of zombie-pinging
+        // an endpoint that no longer tracks us (and, if this was our only
+        // connection, re-bootstrap on the next maintenance tick).
+        if (const Connection* c = table_.find_by_edge(edge.get())) {
+          ++stats_.edges_closed;
+          evict_connection(c->addr);
+        } else {
+          edge->close();
+        }
+        break;
       default:
         break;
     }
@@ -271,6 +353,22 @@ void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
 
 void BrunetNode::on_edge_closed(Edge* edge) {
   edges_.erase(edge);
+  relay_via_activity_.erase(edge);
+  // A tunnel is only as alive as its carrier: collect relay edges riding
+  // the dead edge, then close them (each close re-enters here for the
+  // tunnel itself, one level deep — a relay's via is always direct).
+  std::vector<std::shared_ptr<RelayEdge>> dead_tunnels;
+  for (auto it = relay_edges_.begin(); it != relay_edges_.end();) {
+    if (it->second.get() == edge) {
+      it = relay_edges_.erase(it);
+    } else if (it->second->via().get() == edge) {
+      dead_tunnels.push_back(it->second);
+      it = relay_edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& re : dead_tunnels) re->close();
   if (const Connection* c = table_.find_by_edge(edge)) {
     const Address addr = c->addr;  // copy: remove() invalidates c
     IPOP_LOG_DEBUG(addr_.short_hex() << ": lost edge to " << addr.short_hex());
@@ -278,6 +376,7 @@ void BrunetNode::on_edge_closed(Edge* edge) {
     table_.remove(addr);
     notify_connection_lost(addr);
   }
+  recompute_send_headroom();
 }
 
 // ---------------------------------------------------------------------------
@@ -339,7 +438,7 @@ std::size_t BrunetNode::send_batch(std::span<const Address> dsts,
     }
     // Per-destination header segment in front of the shared payload —
     // the payload's storage is never duplicated across the fan-out.
-    auto chain = pkt.wire_chain(payload.share());
+    auto chain = pkt.wire_chain(payload.share(), send_headroom_);
     auto it = std::find_if(batches.begin(), batches.end(), [&](const auto& b) {
       return b.first.get() == best->edge.get();
     });
@@ -420,7 +519,7 @@ void BrunetNode::route(Packet pkt, bool from_transit) {
   // patch and the *same* buffer goes out on the next edge — released by
   // the Packet, so the UDP layer below can prepend its headers into the
   // storage too: forwarding cost is O(1) header work, zero copies.
-  best->edge->send(pkt.take_wire());
+  best->edge->send(pkt.take_wire(send_headroom_));
 }
 
 void BrunetNode::deliver(const Packet& pkt) {
@@ -442,6 +541,9 @@ void BrunetNode::deliver(const Packet& pkt) {
       return;
     case PacketType::kNeighborQuery:
       handle_neighbor_query(pkt);
+      return;
+    case PacketType::kPunchRequest:
+      handle_punch_request(pkt);
       return;
     case PacketType::kPing:
       // Echo the payload back.  The response adopts the request's payload
@@ -504,7 +606,7 @@ void BrunetNode::send_link_request(const std::shared_ptr<Edge>& edge,
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);  // "this is where I believe you are"
   pkt.set_payload(w.take());
-  edge->send(pkt.take_wire());
+  edge->send(pkt.take_wire(send_headroom_));
 }
 
 void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
@@ -527,9 +629,18 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
   conn.type = type;
   conn.advertised = sender.addrs;
   conn.peer_requested_near = (type == ConnectionType::kStructuredNear);
+  auto link = linking_.find(sender.addr);
+  // The inbound request won a link we were dialing ourselves: if our
+  // first round had already failed and a punch exchange was in flight,
+  // this is the punched simultaneous open, not plain reachability.
+  conn.punched = link != linking_.end() && link->second.punch_sent &&
+                 link->second.round >= 1;
   table_.add(conn);
   ++stats_.edges_opened;
-  auto link = linking_.find(sender.addr);
+  if (conn.punched) ++stats_.links_punched;
+  if (edge->remote().proto == TransportAddress::Proto::kRelay) {
+    ++stats_.links_relayed;
+  }
   if (link != linking_.end()) {
     if (link->second.timer != 0) host_.loop().cancel(link->second.timer);
     linking_.erase(link);
@@ -544,7 +655,7 @@ void BrunetNode::handle_link_request(const std::shared_ptr<Edge>& edge,
   NodeInfo{addr_, local_addresses()}.encode(w);
   edge->remote().encode(w);
   resp.set_payload(w.take());
-  edge->send(resp.take_wire());
+  edge->send(resp.take_wire(send_headroom_));
   IPOP_LOG_DEBUG(addr_.short_hex() << ": accepted link from "
                                    << sender.addr.short_hex() << " ("
                                    << connection_type_name(type) << ")");
@@ -564,9 +675,14 @@ void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
     return;
   }
   record_observed(my_observed);
+  bool punched = false;
   auto link = linking_.find(sender.addr);
   if (link != linking_.end()) {
     type = link->second.type;
+    // A response on the very first dial round means the target was
+    // plainly reachable; success on a later round with a punch exchange
+    // in flight means the hole punch opened the path.
+    punched = link->second.punch_sent && link->second.round >= 2;
     if (link->second.timer != 0) host_.loop().cancel(link->second.timer);
     linking_.erase(link);
   }
@@ -575,8 +691,13 @@ void BrunetNode::handle_link_response(const std::shared_ptr<Edge>& edge,
   conn.edge = edge;
   conn.type = type;
   conn.advertised = sender.addrs;
+  conn.punched = punched;
   table_.add(conn);
   ++stats_.edges_opened;
+  if (punched) ++stats_.links_punched;
+  if (edge->remote().proto == TransportAddress::Proto::kRelay) {
+    ++stats_.links_relayed;
+  }
   IPOP_LOG_DEBUG(addr_.short_hex() << ": link established to "
                                    << sender.addr.short_hex());
 }
@@ -604,7 +725,7 @@ void BrunetNode::handle_edge_ping(const std::shared_ptr<Edge>& edge,
   util::ByteWriter w;
   edge->remote().encode(w);
   pong.set_payload(w.take());
-  edge->send(pong.take_wire());
+  edge->send(pong.take_wire(send_headroom_));
 }
 
 void BrunetNode::handle_edge_pong(const std::shared_ptr<Edge>& /*edge*/,
@@ -648,9 +769,37 @@ void BrunetNode::handle_departing(const std::shared_ptr<Edge>& edge,
 // Linker (connection establishment, NAT traversal)
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Merge dialable candidates into an attempt: relay pseudo-addresses are
+/// never dialable, and same-protocol endpoints are preferred — only a
+/// peer offering none falls back to its own protocol (the bootstrap
+/// cross-proto rule, now applied to every ring link).  Returns true when
+/// the merge had to fall back.
+bool merge_candidates(std::vector<TransportAddress>& into,
+                      const std::vector<TransportAddress>& candidates,
+                      TransportAddress::Proto native) {
+  bool have_native = false;
+  for (const auto& ta : candidates) {
+    if (ta.proto == native) {
+      have_native = true;
+      break;
+    }
+  }
+  for (const auto& ta : candidates) {
+    if (ta.proto == TransportAddress::Proto::kRelay) continue;
+    if (have_native && ta.proto != native) continue;
+    if (std::find(into.begin(), into.end(), ta) == into.end()) {
+      into.push_back(ta);
+    }
+  }
+  return !have_native && !candidates.empty();
+}
+}  // namespace
+
 void BrunetNode::connect_to(const Address& target,
                             const std::vector<TransportAddress>& candidates,
-                            ConnectionType type) {
+                            ConnectionType type,
+                            const std::vector<NodeInfo>& via_hints) {
   if (!started_ || target == addr_) return;
   if (const Connection* existing = table_.find(target)) {
     // Already connected: upgrade the classification if needed.
@@ -661,63 +810,298 @@ void BrunetNode::connect_to(const Address& target,
     table_.add(upgrade);
     return;
   }
+  auto merge_hints = [](LinkAttempt& a, const std::vector<NodeInfo>& hints) {
+    for (const auto& h : hints) {
+      const bool known = std::any_of(
+          a.relay_candidates.begin(), a.relay_candidates.end(),
+          [&](const NodeInfo& r) { return r.addr == h.addr; });
+      if (!known) a.relay_candidates.push_back(h);
+    }
+  };
   auto [it, inserted] = linking_.try_emplace(target);
-  if (!inserted) return;  // attempt already running
+  if (!inserted) {
+    // Attempt already running — still fold in fresh relay hints (a
+    // re-probing joiner may have gained reachable neighbors since).
+    merge_hints(it->second, via_hints);
+    return;
+  }
   ++stats_.links_started;
   LinkAttempt& attempt = it->second;
   attempt.type = type;
   attempt.attempts_left = cfg_.link_attempts;
-  for (const auto& ta : candidates) {
-    if (ta.proto != cfg_.transport) continue;
-    if (std::find(attempt.candidates.begin(), attempt.candidates.end(), ta) ==
-        attempt.candidates.end()) {
-      attempt.candidates.push_back(ta);
-    }
+  merge_hints(attempt, via_hints);
+  if (merge_candidates(attempt.candidates, candidates, cfg_.transport)) {
+    ++stats_.links_cross_proto;
   }
   if (attempt.candidates.empty()) {
     linking_.erase(it);
     return;
   }
   link_retry_tick(target);
+  // Rendezvous through the overlay: tell the target to dial us back so
+  // both NATs see outbound traffic (simultaneous open, Section III-D) —
+  // and to report its NAT class and neighbors (our relay candidates).
+  // Needs a routable table; a joining node's first links skip it.
+  if (table_.size() > 0 && linking_.find(target) != linking_.end()) {
+    send_punch_request(target);
+  }
 }
 
 void BrunetNode::link_retry_tick(Address target) {
   auto it = linking_.find(target);
   if (it == linking_.end() || !started_) return;
   LinkAttempt& attempt = it->second;
+  attempt.timer = 0;
   if (table_.contains(target)) {
     linking_.erase(it);
     return;
   }
   if (attempt.attempts_left-- <= 0) {
+    // Dialing is spent.  Before giving up, tunnel the handshake through
+    // a mutual neighbor: symmetric↔symmetric pairs can never punch, and
+    // an exhausted cone pair gets one relay try too.
+    if (!attempt.relay_tried && start_relay(target, attempt)) {
+      attempt.relay_tried = true;
+      attempt.attempts_left = 2;  // rounds for the handshake over the tunnel
+      attempt.timer = host_.loop().schedule_after(
+          cfg_.link_retry, [this, alive = alive_.guard(), target] {
+            if (!alive) return;
+            link_retry_tick(target);
+          });
+      return;
+    }
     IPOP_LOG_DEBUG(addr_.short_hex() << ": link to " << target.short_hex()
                                      << " failed (no response)");
     ++stats_.links_failed;
     linking_.erase(it);
     return;
   }
+  ++attempt.round;
   const ConnectionType type = attempt.type;
   for (const auto& ta : attempt.candidates) {
-    if (cfg_.transport == TransportAddress::Proto::kUdp) {
-      auto edge = udp_->edge_to(ta.ip, ta.port);
+    // A NATed node advertises its private endpoints too; our copy of
+    // that private address is our *own* socket (every private LAN looks
+    // alike) — dialing it would handshake with ourselves.
+    if (host_.stack().is_local_ip(ta.ip) && ta.port == cfg_.port) continue;
+    if (ta.proto == TransportAddress::Proto::kUdp) {
+      auto edge = ensure_udp()->edge_to(ta.ip, ta.port);
       if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
       send_link_request(edge, type);
     } else {
-      tcp_->connect(ta.ip, ta.port,
-                    [this, target, type](std::shared_ptr<Edge> edge) {
-                      if (edge == nullptr || !started_) return;
-                      if (linking_.find(target) == linking_.end() &&
-                          table_.contains(target)) {
-                        edge->close();  // race: already linked elsewhere
-                        return;
-                      }
-                      adopt_edge(edge);
-                      send_link_request(edge, type);
-                    });
+      ensure_tcp()->connect(
+          ta.ip, ta.port, [this, target, type](std::shared_ptr<Edge> edge) {
+            if (edge == nullptr || !started_) return;
+            if (linking_.find(target) == linking_.end() &&
+                table_.contains(target)) {
+              edge->close();  // race: already linked elsewhere
+              return;
+            }
+            adopt_edge(edge);
+            send_link_request(edge, type);
+          });
     }
   }
+  // Per-NAT-type pacing: against a symmetric endpoint every retry lands
+  // on a fresh mapping, so rapid-fire probing burns attempts without
+  // widening coverage — stretch the interval linearly instead and give
+  // the punched dial-back time to arrive.
+  Duration delay = cfg_.link_retry;
+  if (nat_class_ == NatClass::kSymmetric ||
+      attempt.peer_nat == NatClass::kSymmetric) {
+    delay = cfg_.link_retry * attempt.round;
+  }
   attempt.timer = host_.loop().schedule_after(
-      cfg_.link_retry, [this, target] { link_retry_tick(target); });
+      delay, [this, alive = alive_.guard(), target] {
+        if (!alive) return;
+        link_retry_tick(target);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// NAT traversal: hole punching + relay fallback
+// ---------------------------------------------------------------------------
+
+void BrunetNode::send_punch_request(const Address& target) {
+  auto it = linking_.find(target);
+  if (it == linking_.end()) return;
+  it->second.punch_sent = true;
+  ++stats_.punch_requests_sent;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(it->second.type));
+  w.u8(static_cast<std::uint8_t>(nat_class_));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  request(target, PacketType::kPunchRequest, RoutingMode::kExact, w.take(),
+          [this, target](std::optional<Packet> resp) {
+            on_punch_response(target, std::move(resp));
+          });
+}
+
+void BrunetNode::handle_punch_request(const Packet& pkt) {
+  ConnectionType type;
+  NatClass requester_nat;
+  NodeInfo requester;
+  try {
+    util::ByteReader r(pkt.payload());
+    type = static_cast<ConnectionType>(r.u8());
+    requester_nat = static_cast<NatClass>(r.u8());
+    requester = NodeInfo::decode(r);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  ++stats_.punch_requests;
+  // Dial back: our outbound probes open our NAT toward the requester
+  // while its own probes open the reverse path — whichever direction a
+  // NAT admits first brings the edge up.  Idempotent via linking_, which
+  // also terminates the request ping-pong (our connect_to's punch
+  // request finds the requester already linking toward us).
+  connect_to(requester.addr, requester.addrs, type);
+  if (auto it = linking_.find(requester.addr); it != linking_.end()) {
+    it->second.peer_nat = requester_nat;
+  }
+  // Answer with our NAT class and neighbors: if neither side's probes
+  // land, the requester picks its relay from this set.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(nat_class_));
+  NodeInfo{addr_, local_addresses()}.encode(w);
+  encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
+  respond(pkt, PacketType::kPunchResponse, w.take());
+}
+
+void BrunetNode::on_punch_response(const Address& target,
+                                   std::optional<Packet> resp) {
+  if (!resp) return;
+  ++stats_.punch_responses;
+  NatClass peer_nat;
+  NodeInfo peer;
+  std::vector<NodeInfo> relays;
+  try {
+    util::ByteReader r(resp->payload());
+    peer_nat = static_cast<NatClass>(r.u8());
+    peer = NodeInfo::decode(r);
+    const std::uint8_t n = r.u8();
+    for (std::uint8_t i = 0; i < n; ++i) {
+      relays.push_back(NodeInfo::decode(r));
+    }
+  } catch (const util::ParseError&) {
+    return;
+  }
+  auto it = linking_.find(target);
+  if (it == linking_.end()) return;  // already linked (or given up)
+  LinkAttempt& attempt = it->second;
+  attempt.peer_nat = peer_nat;
+  attempt.relay_candidates = std::move(relays);
+  merge_candidates(attempt.candidates, peer.addrs, cfg_.transport);
+  if (nat_class_ == NatClass::kSymmetric &&
+      peer_nat == NatClass::kSymmetric) {
+    // Hopeless pairing: both sides mint per-destination mappings, so no
+    // advertised endpoint will ever match a probe.  Skip the remaining
+    // dial rounds and relay now.
+    if (attempt.timer != 0) {
+      host_.loop().cancel(attempt.timer);
+      attempt.timer = 0;
+    }
+    attempt.attempts_left = 0;
+    link_retry_tick(target);
+  }
+}
+
+bool BrunetNode::start_relay(const Address& target, LinkAttempt& attempt) {
+  if (auto existing = relay_edges_.find(target);
+      existing != relay_edges_.end() && existing->second->is_up()) {
+    send_link_request(existing->second, attempt.type);
+    return true;
+  }
+  // Pick the relay R: a node adjacent to the target (its neighbor set
+  // from the punch response) that we hold a *direct* edge to — relays
+  // only forward over non-relay edges, which bounds tunnel nesting at
+  // one layer.  Deterministic min-address pick.
+  const Connection* via = nullptr;
+  for (const auto& info : attempt.relay_candidates) {
+    if (info.addr == addr_ || info.addr == target) continue;
+    const Connection* c = table_.find(info.addr);
+    if (c == nullptr || c->edge == nullptr || !c->edge->is_up()) continue;
+    if (c->edge->remote().proto == TransportAddress::Proto::kRelay) continue;
+    if (via == nullptr || c->addr < via->addr) via = c;
+  }
+  if (via == nullptr) {
+    // No punch response made it back (or no mutual neighbor): fall back
+    // to our direct connection ring-closest to the target, which on a
+    // converging ring is very likely the target's neighbor.
+    table_.for_each([&](const Connection& c) {
+      if (c.addr == target || c.edge == nullptr || !c.edge->is_up()) return;
+      if (c.edge->remote().proto == TransportAddress::Proto::kRelay) return;
+      if (via == nullptr || Address::closer(target, c.addr, via->addr)) {
+        via = &c;
+      }
+    });
+  }
+  if (via == nullptr) return false;
+  IPOP_LOG_DEBUG(addr_.short_hex() << ": relaying link to "
+                                   << target.short_hex() << " via "
+                                   << via->addr.short_hex());
+  auto re = std::make_shared<RelayEdge>(addr_, target, via->addr, via->edge,
+                                        &stats_.relay_wrap_bytes_copied);
+  adopt_edge(re);
+  relay_edges_[target] = re;
+  ++stats_.relay_edges;
+  send_link_request(re, attempt.type);
+  return true;
+}
+
+void BrunetNode::handle_relay_forward(const std::shared_ptr<Edge>& edge,
+                                      Packet pkt) {
+  if (pkt.hops >= pkt.ttl) {
+    ++stats_.relay_drop_no_route;
+    return;
+  }
+  ++pkt.hops;
+  const Connection* c = table_.find(pkt.dst);
+  if (c == nullptr || c->edge == nullptr || !c->edge->is_up() ||
+      c->edge->remote().proto == TransportAddress::Proto::kRelay) {
+    // Forwarding only over a direct edge keeps tunnels one layer deep
+    // (no wrap-in-wrap recursion between mutually relaying nodes).
+    ++stats_.relay_drop_no_route;
+    return;
+  }
+  ++stats_.relay_forwarded;
+  const auto now = host_.loop().now();
+  relay_via_activity_[edge.get()] = now;
+  relay_via_activity_[c->edge.get()] = now;
+  // The relay's forward is a one-byte type patch on the arriving wire
+  // image (plus the hop-count patch take_wire() always does): the same
+  // buffer goes out on the direct edge to the tunnel target — zero bytes
+  // copied, zero bytes allocated here.
+  auto wire = pkt.take_wire();
+  wire.patch_u8(0, static_cast<std::uint8_t>(PacketType::kRelayDeliver));
+  c->edge->send(std::move(wire));
+}
+
+void BrunetNode::handle_relay_deliver(const std::shared_ptr<Edge>& edge,
+                                      const Packet& pkt) {
+  if (pkt.dst != addr_) return;  // misdelivered wrapper
+  std::shared_ptr<RelayEdge> re;
+  if (auto it = relay_edges_.find(pkt.src);
+      it != relay_edges_.end() && it->second->is_up()) {
+    re = it->second;
+  } else {
+    // First wrapped frame from this tunnel peer: materialize our end of
+    // the tunnel over the edge it arrived on (the relay's direct edge to
+    // us), so the handshake — and everything after — has a real Edge to
+    // ride.
+    Address relay_addr;
+    if (const Connection* rc = table_.find_by_edge(edge.get())) {
+      relay_addr = rc->addr;
+    }
+    re = std::make_shared<RelayEdge>(addr_, pkt.src, relay_addr, edge,
+                                     &stats_.relay_wrap_bytes_copied);
+    adopt_edge(re);
+    relay_edges_[pkt.src] = re;
+    ++stats_.relay_edges;
+  }
+  // The inner frame shares the wrapper's storage: unwrapping is a
+  // 48-byte offset, not a copy — and refunds exactly the headroom the
+  // next node on a reply path would need.
+  re->deliver_inner(host_.loop().now(), pkt.share_payload());
 }
 
 // ---------------------------------------------------------------------------
@@ -762,6 +1146,24 @@ void BrunetNode::maintenance_tick() {
       host_.loop().schedule_after(interval, [this] { maintenance_tick(); });
 }
 
+UdpTransport* BrunetNode::ensure_udp() {
+  if (udp_ == nullptr) {
+    udp_ = std::make_unique<UdpTransport>(host_, cfg_.port);
+    udp_->set_inbound_handler(
+        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+  }
+  return udp_.get();
+}
+
+TcpTransport* BrunetNode::ensure_tcp() {
+  if (tcp_ == nullptr) {
+    tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
+    tcp_->set_inbound_handler(
+        [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
+  }
+  return tcp_.get();
+}
+
 void BrunetNode::bootstrap() {
   if (table_.size() > 0 || seeds_.empty()) return;
   for (const auto& seed : seeds_) {
@@ -770,30 +1172,18 @@ void BrunetNode::bootstrap() {
     // A seed whose protocol differs from our configured transport is still
     // dialable: bring up the matching transport lazily and bootstrap
     // through it (a UDP node handed only TCP seeds must not spin forever).
-    // Ring links made later by the linker still use cfg_.transport; only
-    // the bootstrap leaf edge crosses protocols.
     if (seed.proto != cfg_.transport) ++stats_.bootstrap_cross_proto;
     if (seed.proto == TransportAddress::Proto::kUdp) {
-      if (udp_ == nullptr) {
-        udp_ = std::make_unique<UdpTransport>(host_, cfg_.port);
-        udp_->set_inbound_handler(
-            [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
-      }
-      auto edge = udp_->edge_to(seed.ip, seed.port);
+      auto edge = ensure_udp()->edge_to(seed.ip, seed.port);
       if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
       send_link_request(edge, ConnectionType::kLeaf);
     } else {
-      if (tcp_ == nullptr) {
-        tcp_ = std::make_unique<TcpTransport>(host_, cfg_.port);
-        tcp_->set_inbound_handler(
-            [this](std::shared_ptr<Edge> e) { adopt_edge(e); });
-      }
-      tcp_->connect(seed.ip, seed.port,
-                    [this](std::shared_ptr<Edge> edge) {
-                      if (edge == nullptr || !started_) return;
-                      adopt_edge(edge);
-                      send_link_request(edge, ConnectionType::kLeaf);
-                    });
+      ensure_tcp()->connect(seed.ip, seed.port,
+                            [this](std::shared_ptr<Edge> edge) {
+                              if (edge == nullptr || !started_) return;
+                              adopt_edge(edge);
+                              send_link_request(edge, ConnectionType::kLeaf);
+                            });
     }
   }
 }
@@ -818,20 +1208,21 @@ void BrunetNode::probe_via_seed() {
       static_cast<std::size_t>(rng.uniform_int(0, seeds_.size() - 1));
   for (std::size_t i = 0; i < seeds_.size(); ++i) {
     const auto& seed = seeds_[(pick + i) % seeds_.size()];
-    if (seed.proto != cfg_.transport) continue;
     if (host_.stack().is_local_ip(seed.ip) && seed.port == cfg_.port) continue;
-    if (cfg_.transport == TransportAddress::Proto::kUdp) {
-      if (udp_ == nullptr) return;
-      auto edge = udp_->edge_to(seed.ip, seed.port);
+    // Cross-protocol seeds are as good a rendezvous as native ones: dial
+    // through whichever transport matches (lazily created, same as
+    // bootstrap).
+    if (seed.proto == TransportAddress::Proto::kUdp) {
+      auto edge = ensure_udp()->edge_to(seed.ip, seed.port);
       if (edges_.find(edge.get()) == edges_.end()) adopt_edge(edge);
       send_locate_probe(edge);
     } else {
-      if (tcp_ == nullptr) return;
-      tcp_->connect(seed.ip, seed.port, [this](std::shared_ptr<Edge> edge) {
-        if (edge == nullptr || !started_) return;
-        adopt_edge(edge);
-        send_locate_probe(edge);
-      });
+      ensure_tcp()->connect(seed.ip, seed.port,
+                            [this](std::shared_ptr<Edge> edge) {
+                              if (edge == nullptr || !started_) return;
+                              adopt_edge(edge);
+                              send_locate_probe(edge);
+                            });
     }
     return;
   }
@@ -877,23 +1268,51 @@ void BrunetNode::send_locate_probe(const std::shared_ptr<Edge>& via) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(ConnectionType::kStructuredNear));
   NodeInfo{addr_, local_addresses()}.encode(w);
+  // Reachable-via hints: until we are ring-linked, a responder can reach
+  // us neither by routed punch request (exact routing drops at our
+  // would-be neighbor) nor by dialing our NATed endpoints — but it can
+  // tunnel a link request through any node we already hold an edge to
+  // (the bootstrap seed, at minimum).
+  encode_node_infos(w, direct_edge_hints());
   pkt.set_payload(w.take());
   ++stats_.originated;
-  via->send(pkt.take_wire());
+  via->send(pkt.take_wire(send_headroom_));
+}
+
+std::vector<NodeInfo> BrunetNode::direct_edge_hints() const {
+  std::vector<NodeInfo> hints;
+  hints.reserve(4);
+  table_.for_each([&](const Connection& c) {
+    if (hints.size() >= 4) return;
+    if (c.edge == nullptr || !c.edge->is_up()) return;
+    if (c.edge->remote().proto == TransportAddress::Proto::kRelay) return;
+    hints.push_back(NodeInfo{c.addr, {}});
+  });
+  return hints;
 }
 
 void BrunetNode::handle_connect_request(const Packet& pkt) {
   ConnectionType type;
   NodeInfo requester;
+  std::vector<NodeInfo> via_hints;
   try {
     util::ByteReader r(pkt.payload());
     type = static_cast<ConnectionType>(r.u8());
     requester = NodeInfo::decode(r);
+    // Optional trailing reachable-via hint list (locate probes from
+    // NATed joiners; requests from older senders simply end here).
+    if (r.remaining() > 0) {
+      const std::uint8_t n = r.u8();
+      via_hints.reserve(n);
+      for (std::uint8_t i = 0; i < n; ++i) {
+        via_hints.push_back(NodeInfo::decode(r));
+      }
+    }
   } catch (const util::ParseError&) {
     return;
   }
   ++stats_.connect_requests;
-  connect_to(requester.addr, requester.addrs, type);
+  connect_to(requester.addr, requester.addrs, type, via_hints);
   // Answer with our identity and our current neighborhood so the joiner
   // discovers its true ring neighbors (double-width window, matching
   // handle_neighbor_query, so a misplaced joiner reaches further per
@@ -915,6 +1334,7 @@ void BrunetNode::stabilize() {
                 util::ByteReader r(resp->payload());
                 const std::uint8_t n = r.u8();
                 std::vector<NodeInfo> infos;
+                infos.reserve(n);
                 for (std::uint8_t i = 0; i < n; ++i) {
                   infos.push_back(NodeInfo::decode(r));
                 }
@@ -950,10 +1370,13 @@ std::vector<NodeInfo> BrunetNode::neighbor_infos(std::size_t k) const {
     info.addr = c.addr;
     info.addrs = c.advertised;
     // The endpoint we actually talk to is dialable for cone NATs; gossip
-    // it alongside whatever the peer advertised.
+    // it alongside whatever the peer advertised.  A relayed neighbor's
+    // live endpoint is a tunnel pseudo-address — meaningless to anyone
+    // else, so only its advertised set goes out.
     const auto live = c.edge->remote();
-    if (std::find(info.addrs.begin(), info.addrs.end(), live) ==
-        info.addrs.end()) {
+    if (live.proto != TransportAddress::Proto::kRelay &&
+        std::find(info.addrs.begin(), info.addrs.end(), live) ==
+            info.addrs.end()) {
       info.addrs.push_back(live);
     }
     out.push_back(std::move(info));
@@ -1051,10 +1474,23 @@ void BrunetNode::trim_connections() {
     std::shared_ptr<Edge> edge;
   };
   std::vector<Victim> trimmable;
+  const auto now = host_.loop().now();
+  auto carries_tunnel = [&](const std::shared_ptr<Edge>& e) {
+    // Our own tunnels' carriers are load-bearing however the connection
+    // is classified...
+    for (const auto& [peer, re] : relay_edges_) {
+      if (re->via() == e) return true;
+    }
+    // ...and so are edges recently forwarding someone *else's* tunnel
+    // through us (we are their R; cutting the edge cuts their link).
+    auto a = relay_via_activity_.find(e.get());
+    return a != relay_via_activity_.end() && now - a->second < cfg_.edge_timeout;
+  };
   table_.for_each([&](const Connection& c) {
     if (c.type == ConnectionType::kStructuredNear) return;
     if (c.type == ConnectionType::kTrafficShortcut) return;
     if (c.peer_requested_near) return;
+    if (carries_tunnel(c.edge)) return;
     trimmable.push_back({c.addr, c.edge});
   });
   if (trimmable.size() <= cfg_.shortcut_target) return;
@@ -1066,8 +1502,17 @@ void BrunetNode::trim_connections() {
   for (std::size_t i = 0; i < excess; ++i) {
     table_.remove(trimmable[i].addr);
     ++stats_.edges_closed;
+    send_edge_close(trimmable[i].edge);
     trimmable[i].edge->close();
   }
+}
+
+void BrunetNode::send_edge_close(const std::shared_ptr<Edge>& edge) {
+  if (edge == nullptr || !edge->is_up()) return;
+  Packet bye;
+  bye.type = PacketType::kEdgeClose;
+  bye.src = addr_;
+  edge->send(bye.take_wire(send_headroom_));
 }
 
 void BrunetNode::keepalive() {
@@ -1093,7 +1538,7 @@ void BrunetNode::keepalive() {
     Packet ping;
     ping.type = PacketType::kEdgePing;
     ping.src = addr_;
-    edge->send(ping.take_wire());
+    edge->send(ping.take_wire(send_headroom_));
   }
   // Reap stale edges that are not the table's edge for any connection
   // (half-open handshakes and losing duplicates).
@@ -1102,8 +1547,17 @@ void BrunetNode::keepalive() {
     if (table_.find_by_edge(ptr) != nullptr) continue;
     if (now - e->last_received() > cfg_.edge_timeout) stale.push_back(e);
   }
+  // edges_ is keyed by pointer, so the reap order above is heap-address
+  // order.  The close notices below hit the wire back-to-back; sort by
+  // remote endpoint so the emission order is partition-invariant (the
+  // cross-shard digest contract) instead of allocator-dependent.
+  std::sort(stale.begin(), stale.end(),
+            [](const std::shared_ptr<Edge>& a, const std::shared_ptr<Edge>& b) {
+              return a->remote() < b->remote();
+            });
   for (auto& e : stale) {
     edges_.erase(e.get());
+    send_edge_close(e);
     e->close();
   }
 }

@@ -33,8 +33,29 @@
 #include "brunet/packet.hpp"
 #include "brunet/transport.hpp"
 #include "net/host.hpp"
+#include "util/lifetime.hpp"
 
 namespace ipop::brunet {
+
+class RelayEdge;
+
+/// Self-classified NAT behavior, inferred from the translated addresses
+/// peers report back during handshakes and keepalives (the decentralized
+/// STUN of paper Section III-D).  Coarse on purpose: one stable external
+/// mapping per protocol reads as cone, distinct external ports toward
+/// different peers read as symmetric, and an untranslated observation
+/// means no NAT at all.  Restricted vs. port-restricted filtering cannot
+/// be told apart without cooperative probe servers, and the linker does
+/// not need to: those cases resolve through punch retries or the relay
+/// fallback.
+enum class NatClass : std::uint8_t {
+  kUnknown = 0,
+  kOpen = 1,
+  kCone = 2,
+  kSymmetric = 3,
+};
+
+const char* nat_class_name(NatClass c);
 
 struct NodeConfig {
   TransportAddress::Proto transport = TransportAddress::Proto::kUdp;
@@ -78,6 +99,29 @@ struct NodeStats {
   std::uint64_t links_started = 0;
   std::uint64_t links_failed = 0;
   std::uint64_t locate_responses = 0;
+  // NAT traversal (hole punching + relay fallback).
+  /// Punch requests we routed to link targets / received from peers /
+  /// answers that made it back to us.
+  std::uint64_t punch_requests_sent = 0;
+  std::uint64_t punch_requests = 0;
+  std::uint64_t punch_responses = 0;
+  /// Connections that needed punch assistance (established after the
+  /// first dial round while a punch exchange was in flight).
+  std::uint64_t links_punched = 0;
+  /// Connections established over a relay tunnel.
+  std::uint64_t links_relayed = 0;
+  /// Link attempts whose candidates all carried the peer's (non-native)
+  /// protocol, dialed through the lazily created secondary transport.
+  std::uint64_t links_cross_proto = 0;
+  /// Relay tunnel endpoints materialized at this node (either side).
+  std::uint64_t relay_edges = 0;
+  /// Wrapped frames forwarded while acting as the relay, and forwards
+  /// dropped for want of a direct edge to the tunnel target.
+  std::uint64_t relay_forwarded = 0;
+  std::uint64_t relay_drop_no_route = 0;
+  /// Bytes copied wrapping outbound tunnel frames: stays 0 while the
+  /// per-path headroom budget (buffer-ownership rule 6) holds.
+  std::uint64_t relay_wrap_bytes_copied = 0;
 };
 
 /// Identity + dialable endpoints of a node, gossiped in the maintenance
@@ -174,9 +218,14 @@ class BrunetNode {
   // --- linker ------------------------------------------------------------
   /// Establish a direct connection to `target`, dialing all candidates
   /// (simultaneous-open NAT traversal).  Idempotent while in progress.
+  /// `via_hints` names overlay nodes the target says it already holds
+  /// edges to — relay candidates if dialing and punching both fail (a
+  /// NATed joiner not yet in the ring is unreachable by routed punch
+  /// requests, so these hints are the only way to it).
   void connect_to(const Address& target,
                   const std::vector<TransportAddress>& candidates,
-                  ConnectionType type);
+                  ConnectionType type,
+                  const std::vector<NodeInfo>& via_hints = {});
   /// Ask a known overlay address (whose endpoints we do not know) to link
   /// with us: a ConnectRequest is routed to it; the target dials back and
   /// its response gives us its endpoints.  Used by IPOP's traffic-driven
@@ -195,6 +244,19 @@ class BrunetNode {
   std::vector<TransportAddress> local_addresses() const;
   std::optional<Address> left_neighbor() const;
   std::optional<Address> right_neighbor() const;
+  /// What this node has inferred about the NAT in front of it.
+  NatClass nat_class() const { return nat_class_; }
+  /// Per-path send headroom (buffer-ownership rule 6): the reallocation
+  /// budget left in front of locally built wire images, derived at
+  /// edge-establishment time as max(kPacketHeadroom, header + the
+  /// costliest live edge's headroom()) so frames bound for tunneling
+  /// edges stay zero-copy through every encapsulation layer.
+  std::size_t send_headroom() const { return send_headroom_; }
+  /// Live relay tunnels keyed by tunnel peer (introspection for tests
+  /// and the hostile soak's path audit).
+  const std::map<Address, std::shared_ptr<RelayEdge>>& relay_edges() const {
+    return relay_edges_;
+  }
 
  private:
   struct PendingRequest {
@@ -203,8 +265,17 @@ class BrunetNode {
   };
   struct LinkAttempt {
     std::vector<TransportAddress> candidates;
+    /// The peer's neighbors (from its punch response): relay candidates
+    /// if dialing fails.
+    std::vector<NodeInfo> relay_candidates;
     ConnectionType type = ConnectionType::kStructuredNear;
     int attempts_left = 0;
+    /// Dial rounds completed; round 1 successes are direct links,
+    /// anything later that needed the punch exchange counts as punched.
+    int round = 0;
+    NatClass peer_nat = NatClass::kUnknown;
+    bool punch_sent = false;
+    bool relay_tried = false;
     std::uint64_t timer = 0;
   };
 
@@ -237,6 +308,17 @@ class BrunetNode {
   void handle_edge_ping(const std::shared_ptr<Edge>& edge, const Packet& pkt);
   void handle_edge_pong(const std::shared_ptr<Edge>& edge, const Packet& pkt);
   void handle_departing(const std::shared_ptr<Edge>& edge, const Packet& pkt);
+
+  // NAT traversal.
+  void send_punch_request(const Address& target);
+  void on_punch_response(const Address& target, std::optional<Packet> resp);
+  void handle_punch_request(const Packet& pkt);
+  /// Tunnel the link handshake through a mutual neighbor; returns false
+  /// when no usable relay is known.
+  bool start_relay(const Address& target, LinkAttempt& attempt);
+  void handle_relay_forward(const std::shared_ptr<Edge>& edge, Packet pkt);
+  void handle_relay_deliver(const std::shared_ptr<Edge>& edge,
+                            const Packet& pkt);
   /// Drop a connection and tell the churn observers about it.
   void evict_connection(const Address& addr);
   void notify_connection_lost(const Address& addr);
@@ -251,6 +333,9 @@ class BrunetNode {
   void reclassify_connections();
   void maintain_shortcuts();
   void trim_connections();
+  /// Tell the peer we are dropping this edge (datagram edges have no
+  /// transport-level close; without the notice the peer zombie-pings).
+  void send_edge_close(const std::shared_ptr<Edge>& edge);
   void keepalive();
   void handle_connect_request(const Packet& pkt);
   void handle_neighbor_query(const Packet& pkt);
@@ -259,10 +344,23 @@ class BrunetNode {
   void link_retry_tick(Address target);
 
   std::vector<NodeInfo> neighbor_infos(std::size_t k) const;
-  /// Remember a translated endpoint peers observe for us; on new
-  /// discovery, push a refreshed identity to every connection.
+  /// Overlay nodes we hold a live *direct* (non-relay) edge to, as
+  /// address-only NodeInfos: the "reachable via" hints a locate probe
+  /// carries so responders can tunnel a link back to us before we are
+  /// routable (capped at 4 — one reachable relay suffices).
+  std::vector<NodeInfo> direct_edge_hints() const;
+  /// Remember a translated endpoint peers observe for us (and refine the
+  /// NAT self-classification); on new discovery, push a refreshed
+  /// identity to every connection.
   void record_observed(const TransportAddress& ta);
   void broadcast_identity();
+  /// Lazily bring up a transport (bootstrap and the mixed-transport
+  /// linker fallback dial whatever protocol the peer offers).
+  UdpTransport* ensure_udp();
+  TcpTransport* ensure_tcp();
+  /// Re-derive send_headroom_ from the live edge set; called whenever an
+  /// edge is adopted or closed.
+  void recompute_send_headroom();
   std::uint32_t next_msg_id() { return msg_id_counter_++; }
 
   net::Host& host_;
@@ -277,6 +375,16 @@ class BrunetNode {
   std::unique_ptr<UdpTransport> udp_;
   std::vector<TransportAddress> seeds_;
   std::set<TransportAddress> observed_;
+  NatClass nat_class_ = NatClass::kUnknown;
+  std::size_t send_headroom_ = util::kPacketHeadroom;
+  /// Live relay tunnels by tunnel peer.  Ordered map: teardown on via
+  /// close iterates it, and address order is stable across runs where
+  /// pointer hash order is not.
+  std::map<Address, std::shared_ptr<RelayEdge>> relay_edges_;
+  /// Last time an edge carried a relay forward *through* us (we were the
+  /// R of someone else's tunnel).  Keeps trim_connections from cutting a
+  /// tunnel we cannot see from our own relay_edges_.
+  std::map<Edge*, TimePoint> relay_via_activity_;
   std::vector<ConnectionLostHandler> conn_lost_observers_;
   std::vector<std::function<void()>> departure_hooks_;
 
@@ -296,6 +404,10 @@ class BrunetNode {
   std::uint32_t msg_id_counter_ = 1;
   std::uint64_t maintenance_timer_ = 0;
   std::uint64_t maintenance_ticks_ = 0;
+  /// Guards the punch/link retry timers: declared last so a node dying
+  /// mid-punch expires every outstanding callback before the members
+  /// they would touch are gone (timer-lifetime rule).
+  util::AliveToken alive_;
 };
 
 }  // namespace ipop::brunet

@@ -11,10 +11,15 @@ const char* packet_type_name(PacketType t) {
     case PacketType::kEdgePing: return "EdgePing";
     case PacketType::kEdgePong: return "EdgePong";
     case PacketType::kDeparting: return "Departing";
+    case PacketType::kRelayForward: return "RelayForward";
+    case PacketType::kRelayDeliver: return "RelayDeliver";
+    case PacketType::kEdgeClose: return "EdgeClose";
     case PacketType::kConnectRequest: return "ConnectRequest";
     case PacketType::kConnectResponse: return "ConnectResponse";
     case PacketType::kNeighborQuery: return "NeighborQuery";
     case PacketType::kNeighborReply: return "NeighborReply";
+    case PacketType::kPunchRequest: return "PunchRequest";
+    case PacketType::kPunchResponse: return "PunchResponse";
     case PacketType::kPing: return "Ping";
     case PacketType::kPingResponse: return "PingResponse";
     case PacketType::kIpTunnel: return "IpTunnel";
@@ -57,7 +62,7 @@ void Packet::write_header(std::uint8_t* h) const {
   std::copy(dst.bytes().begin(), dst.bytes().end(), h + 8 + Address::kBytes);
 }
 
-void Packet::finalize() {
+void Packet::finalize(std::size_t headroom) {
   if (wire_) {
     // Transit only mutates ttl/hops: sync them with two in-place patches.
     buf_.patch_u8(kTtlOffset, ttl);
@@ -65,14 +70,16 @@ void Packet::finalize() {
     return;
   }
   // Prepend the header into the payload buffer's headroom (zero-copy when
-  // the storage is uniquely owned, one reallocation otherwise).
-  auto h = buf_.grow_front(kHeaderSize);
+  // the storage is uniquely owned, one reallocation otherwise — with the
+  // caller's per-path headroom budget in front).
+  auto h = buf_.grow_front(kHeaderSize, headroom);
   write_header(h.data());
   wire_ = true;
 }
 
-util::BufferChain Packet::wire_chain(util::Buffer shared_payload) const {
-  auto hdr = util::Buffer::allocate(kHeaderSize, util::kPacketHeadroom);
+util::BufferChain Packet::wire_chain(util::Buffer shared_payload,
+                                     std::size_t headroom) const {
+  auto hdr = util::Buffer::allocate(kHeaderSize, headroom);
   write_header(hdr.data());
   util::BufferChain chain;
   chain.append(std::move(hdr));
@@ -80,13 +87,13 @@ util::BufferChain Packet::wire_chain(util::Buffer shared_payload) const {
   return chain;
 }
 
-util::Buffer Packet::to_wire() {
-  finalize();
+util::Buffer Packet::to_wire(std::size_t headroom) {
+  finalize(headroom);
   return buf_;
 }
 
-util::Buffer Packet::take_wire() {
-  finalize();
+util::Buffer Packet::take_wire(std::size_t headroom) {
+  finalize(headroom);
   wire_ = false;
   return std::move(buf_);
 }

@@ -35,11 +35,20 @@ enum class PacketType : std::uint8_t {
   kEdgePing = 3,      // keepalive probe
   kEdgePong = 4,      // keepalive response; carries observed remote address
   kDeparting = 5,     // graceful leave: sender hands off its ring position
+  kRelayForward = 6,  // tunnel-in-tunnel: wrapped edge frame, relay-bound
+  kRelayDeliver = 7,  // wrapped edge frame arriving at the tunnel endpoint
+  // Sender is dropping this edge (trim, stale-reap).  Datagram edges have
+  // no transport-level close: without the notice the trimmed peer keeps a
+  // zombie connection whose pings we would keep answering, and — if we
+  // were its bootstrap rendezvous — never re-joins.
+  kEdgeClose = 8,
   // Routed.
   kConnectRequest = 10,   // "please connect to me" (ring join / shortcut)
   kConnectResponse = 11,  // closest node's neighbor info
   kNeighborQuery = 12,    // stabilization: ask a peer for its neighbors
   kNeighborReply = 13,
+  kPunchRequest = 14,   // hole punch: "dial me back, simultaneously"
+  kPunchResponse = 15,  // target's NAT class + relay-candidate neighbors
   kPing = 20,  // overlay-level echo, for diagnostics
   kPingResponse = 21,
   kIpTunnel = 30,  // IPOP: encapsulated virtual IPv4 packet
@@ -92,21 +101,26 @@ struct Packet {
   /// one-byte patches (ttl, hops) — the payload is never copied.  For a
   /// locally built packet the header is prepended into the payload
   /// buffer's headroom (zero-copy when uniquely owned, one copy
-  /// otherwise).
-  util::Buffer to_wire();
+  /// otherwise).  `headroom` is the reallocation budget for that one
+  /// copy: nodes pass their per-path headroom (buffer-ownership rule 6)
+  /// so a wire image bound for a tunneling edge leaves room for every
+  /// encapsulation layer below.
+  util::Buffer to_wire(std::size_t headroom = util::kPacketHeadroom);
   /// to_wire() + release: returns the wire buffer and leaves the packet
   /// empty.  Use at the final send site — the transport (and the
   /// simulated kernel below it) then holds the storage uniquely and can
   /// prepend its headers into the same buffer instead of reallocating.
-  util::Buffer take_wire();
+  util::Buffer take_wire(std::size_t headroom = util::kPacketHeadroom);
   /// Wire image as a scatter-gather chain: the 48-byte header (taken
   /// from this packet's fields; its own buffer/payload is ignored) is
-  /// written into a small per-destination buffer — with headroom so the
-  /// transport/UDP/IP headers prepend into it downstream — and
+  /// written into a small per-destination buffer — with `headroom` so
+  /// the transport/UDP/IP headers prepend into it downstream — and
   /// `shared_payload` is linked behind it untouched.  The fan-out idiom:
   /// N destinations share one payload buffer, each rides its own header
   /// segment.
-  util::BufferChain wire_chain(util::Buffer shared_payload) const;
+  util::BufferChain wire_chain(util::Buffer shared_payload,
+                               std::size_t headroom =
+                                   util::kPacketHeadroom) const;
 
   /// Zero-copy decode: parses the header and adopts `wire` as the shared
   /// backing store.  Throws util::ParseError on truncation.
@@ -116,7 +130,7 @@ struct Packet {
 
  private:
   void write_header(std::uint8_t* h) const;
-  void finalize();
+  void finalize(std::size_t headroom);
 
   util::Buffer buf_;   // wire image if wire_, else payload-only storage
   bool wire_ = false;

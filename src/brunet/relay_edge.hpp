@@ -1,0 +1,83 @@
+// RelayEdge: an overlay edge tunneled through a mutual neighbor.
+//
+// When hole punching cannot connect two NATed nodes (symmetric NAT on
+// both sides, or symmetric against port-restricted), the linker falls
+// back to relaying through a ring neighbor R that holds direct edges to
+// both endpoints.  The relay is stateless: A wraps each edge frame in a
+// kRelayForward packet (full 48-byte Brunet header, src = A, dst = B)
+// and sends it on its direct edge to R; R patches the type byte to
+// kRelayDeliver in place and resends the *same* buffer on its direct
+// edge to B — zero bytes copied, zero bytes allocated at the relay.  B
+// demultiplexes by the wrapper's src address into its own RelayEdge,
+// whose deliver() hands the inner frame to the node like any other edge.
+//
+// The wrap on the endpoint side is where per-path headroom earns its
+// keep: a wire image built with the node's derived send headroom has
+// room for the 48-byte wrapper *and* the underlay prepends below the
+// carrying edge, so nested encapsulation stays zero-copy end to end.
+// Frames that arrive without the budget (transit traffic originated by a
+// node with no relay edges) take one counted copy that restores it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "brunet/packet.hpp"
+#include "brunet/transport.hpp"
+
+namespace ipop::brunet {
+
+class RelayEdge : public Edge {
+ public:
+  /// Bound on relay forwards per wrapper.  A wrapper crosses exactly one
+  /// relay by construction (relays only forward over non-relay edges),
+  /// so this is a belt-and-suspenders drop for corrupted hop counts.
+  static constexpr std::uint8_t kWrapperTtl = 4;
+
+  /// `wrap_copy_counter` (owned by the node's stats) accumulates bytes
+  /// copied by the cold wrap path; it must outlive every send.
+  RelayEdge(Address local, Address peer, Address relay,
+            std::shared_ptr<Edge> via, std::uint64_t* wrap_copy_counter)
+      : local_(local),
+        peer_(peer),
+        relay_(relay),
+        via_(std::move(via)),
+        wrap_copies_(wrap_copy_counter) {}
+
+  void send(util::Buffer bytes) override;
+  void send_chain(util::BufferChain chain) override;
+  void close() override;
+  /// kRelay pseudo-address: never dialable, never gossiped; ip/port pack
+  /// relay/peer identity bytes so log lines distinguish edges.
+  TransportAddress remote() const override;
+  bool is_up() const override {
+    return up_ && via_ != nullptr && via_->is_up();
+  }
+  /// Wrapper header on top of everything the carrying edge needs.
+  std::size_t headroom() const override {
+    return (via_ != nullptr ? via_->headroom() : kUnderlayHeadroom) +
+           Packet::kHeaderSize;
+  }
+
+  const std::shared_ptr<Edge>& via() const { return via_; }
+  const Address& peer() const { return peer_; }
+  const Address& relay() const { return relay_; }
+
+  /// Node-side entry point for an unwrapped inbound frame.
+  void deliver_inner(TimePoint now, util::Buffer inner) {
+    deliver(now, std::move(inner));
+  }
+
+ private:
+  util::Buffer wrap(util::Buffer inner);
+
+  Address local_;
+  Address peer_;
+  Address relay_;
+  std::shared_ptr<Edge> via_;
+  std::uint64_t* wrap_copies_;
+  bool up_ = true;
+};
+
+}  // namespace ipop::brunet

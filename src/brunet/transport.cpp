@@ -9,8 +9,10 @@ namespace ipop::brunet {
 // ---------------------------------------------------------------------------
 
 std::string TransportAddress::to_string() const {
-  return std::string(proto == Proto::kTcp ? "tcp://" : "udp://") +
-         ip.to_string() + ":" + std::to_string(port);
+  const char* scheme = proto == Proto::kTcp     ? "tcp://"
+                       : proto == Proto::kRelay ? "relay://"
+                                                : "udp://";
+  return scheme + ip.to_string() + ":" + std::to_string(port);
 }
 
 void TransportAddress::encode(util::ByteWriter& w) const {

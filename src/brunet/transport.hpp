@@ -26,8 +26,18 @@ namespace ipop::brunet {
 using util::Duration;
 using util::TimePoint;
 
+/// Headroom budget a base (non-tunneling) edge asks its senders to leave
+/// in front of a Brunet wire image: the underlay prepends below the edge
+/// (8B UDP or stream framing + 20B IPv4 + 14B Ethernet = 42B) rounded up
+/// for slack.  Tunneling edges report more (their encapsulation plus the
+/// budget of the edge they ride) — see Edge::headroom().
+inline constexpr std::size_t kUnderlayHeadroom = 64;
+
 struct TransportAddress {
-  enum class Proto : std::uint8_t { kTcp = 0, kUdp = 1 };
+  /// kRelay marks an edge tunneled through a relay node rather than a
+  /// dialable socket endpoint; its ip/port carry the relay's identity
+  /// for logging only and must never be dialed or gossiped.
+  enum class Proto : std::uint8_t { kTcp = 0, kUdp = 1, kRelay = 2 };
   Proto proto = Proto::kUdp;
   net::Ipv4Address ip;
   std::uint16_t port = 0;
@@ -70,6 +80,14 @@ class Edge {
   virtual void close() = 0;
   virtual TransportAddress remote() const = 0;
   virtual bool is_up() const = 0;
+  /// Headroom (bytes) a sender should leave in front of a wire image
+  /// handed to send() so this edge and every layer below it prepend
+  /// zero-copy.  Base transports return the underlay budget; tunneling
+  /// edges (RelayEdge) add their own encapsulation on top of the edge
+  /// they ride.  Nodes derive their per-path send headroom from the max
+  /// over their live edges at edge-establishment time (buffer-ownership
+  /// rule 6).
+  virtual std::size_t headroom() const { return kUnderlayHeadroom; }
 
   void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
   void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }

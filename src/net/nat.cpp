@@ -68,6 +68,26 @@ CtTcpState NatBox::tcp_state_of(std::uint16_t ext_port) const {
   return mappings_.at(it->second).flow.tcp;
 }
 
+void NatBox::add_port_forward(IpProto proto, std::uint16_t ext_port,
+                              L4Endpoint inside) {
+  forwards_[{proto, ext_port}] = inside;
+}
+
+std::optional<L4Endpoint> NatBox::reflexive_endpoint(
+    IpProto proto, const L4Endpoint& inside,
+    std::optional<L4Endpoint> dst) const {
+  for (const auto& [key, fwd_inside] : forwards_) {
+    if (key.first == proto && fwd_inside == inside) {
+      return Endpoint{external_ip(), key.second};
+    }
+  }
+  MapKey key{proto, inside, std::nullopt};
+  if (type_ == NatType::kSymmetric) key.dst = dst;
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) return std::nullopt;
+  return Endpoint{external_ip(), it->second.ext_port};
+}
+
 std::uint16_t NatBox::alloc_ext_port(IpProto proto) {
   // Exhaustion fast path: without it, every packet of every unmapped
   // flow would re-scan the full port range once the space fills up.
@@ -81,6 +101,7 @@ std::uint16_t NatBox::alloc_ext_port(IpProto proto) {
     // wrap below resets it before the next read).
     const std::uint16_t p = next_ext_port_++;
     if (next_ext_port_ == 0) next_ext_port_ = ncfg_.first_ext_port;
+    if (forwards_.find({proto, p}) != forwards_.end()) continue;
     if (by_ext_port_.find({proto, p}) == by_ext_port_.end()) return p;
   }
   return 0;
@@ -132,6 +153,19 @@ bool NatBox::snat(Ipv4Packet& pkt, std::size_t /*out_iface*/) {
   auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;  // untranslatable protocol: drop
   auto& [src, dst] = *eps;
+  // A forwarded inside endpoint keeps its pinned external port so peers
+  // see one consistent address in both directions (no dynamic mapping).
+  for (const auto& [key, fwd_inside] : forwards_) {
+    if (key.first == pkt.hdr.proto && fwd_inside == src) {
+      try {
+        rewrite(pkt, Endpoint{external_ip(), key.second}, std::nullopt);
+      } catch (const util::ParseError&) {
+        return false;
+      }
+      ++stats_.translated_out;
+      return true;
+    }
+  }
   Mapping* m = find_or_create(pkt.hdr.proto, src, dst);
   if (m == nullptr) return false;  // external port space exhausted
   m->contacted.insert(dst);
@@ -182,6 +216,17 @@ bool NatBox::dnat(Ipv4Packet& pkt, std::size_t /*in_iface*/) {
   auto eps = l4_endpoints_of(pkt);
   if (!eps) return false;
   auto& [remote, ext] = *eps;
+  auto fwd = forwards_.find({pkt.hdr.proto, ext.port});
+  if (fwd != forwards_.end()) {
+    try {
+      rewrite(pkt, std::nullopt, fwd->second);
+    } catch (const util::ParseError&) {
+      return false;
+    }
+    ++stats_.port_forwarded_in;
+    ++stats_.translated_in;
+    return true;
+  }
   auto key_it = by_ext_port_.find({pkt.hdr.proto, ext.port});
   if (key_it == by_ext_port_.end()) {
     ++stats_.blocked_in;

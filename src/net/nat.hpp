@@ -64,6 +64,8 @@ struct NatStats {
   std::uint64_t translated_in = 0;
   std::uint64_t blocked_in = 0;
   std::uint64_t dropped_port_exhausted = 0;
+  /// Inbound packets admitted by a static port-forward pinhole.
+  std::uint64_t port_forwarded_in = 0;
   /// ICMP errors whose embedded quote matched a live mapping and was
   /// rewritten back to the inside (in) / out to the public side (out).
   std::uint64_t icmp_errors_translated_in = 0;
@@ -100,6 +102,26 @@ class NatBox {
 
   /// The external address used for translations (outside interface IP).
   Ipv4Address external_ip() const { return stack_.interface_ip(1); }
+
+  /// Static port forward (the home-router "DMZ pinhole"): inbound
+  /// traffic to external `ext_port` is rewritten to `inside`
+  /// unconditionally — no prior outbound packet and no per-type address
+  /// filtering — and outbound traffic from `inside` leaves from the same
+  /// external port.  This is how a NATed overlay bootstrap node is made
+  /// reachable; the pinhole behaves full-cone for that port regardless
+  /// of the box's configured type.
+  void add_port_forward(IpProto proto, std::uint16_t ext_port,
+                        L4Endpoint inside);
+
+  /// Reflexive-mapping observability: the external endpoint a peer would
+  /// see for `inside` traffic (toward `dst`, which only matters for the
+  /// symmetric type's per-destination mappings).  Consults port forwards
+  /// first, then live conntrack mappings; nullopt when neither exists.
+  /// Lets tests and the hostile soak verify what the overlay's STUN-style
+  /// discovery reported against ground truth.
+  std::optional<L4Endpoint> reflexive_endpoint(
+      IpProto proto, const L4Endpoint& inside,
+      std::optional<L4Endpoint> dst = std::nullopt) const;
 
   /// Live translation entries (bounded by the conntrack sweep).
   std::size_t mapping_count() const { return mappings_.size(); }
@@ -160,6 +182,10 @@ class NatBox {
   NatType type_;
   NatConfig ncfg_;
   NatStats stats_;
+  /// Port forwards never interact with the dynamic mapping state: dnat
+  /// consults them before conntrack, snat restores the forwarded source
+  /// before creating a mapping, and alloc_ext_port skips their ports.
+  std::map<std::pair<IpProto, std::uint16_t>, Endpoint> forwards_;
   std::map<MapKey, Mapping> mappings_;
   std::map<std::pair<IpProto, std::uint16_t>, MapKey> by_ext_port_;
   std::map<IpProto, std::size_t> ext_ports_in_use_;

@@ -53,7 +53,8 @@ std::size_t Buffer::tailroom() const {
   return s_ ? s_->bytes.size() - end_ : 0;
 }
 
-std::span<std::uint8_t> Buffer::grow_front(std::size_t n) {
+std::span<std::uint8_t> Buffer::grow_front(std::size_t n,
+                                           std::size_t realloc_headroom) {
   if (n == 0) return {data(), 0};
   if (s_ && unique() && headroom() >= n) {
     begin_ -= n;
@@ -63,13 +64,13 @@ std::span<std::uint8_t> Buffer::grow_front(std::size_t n) {
   // old storage is left untouched, so other handles never observe the
   // prepend.
   auto s = std::make_shared<Storage>();
-  s->bytes.assign(kPacketHeadroom + n + size(), 0);
+  s->bytes.assign(realloc_headroom + n + size(), 0);
   if (size() > 0) {
-    std::memcpy(s->bytes.data() + kPacketHeadroom + n, data(), size());
+    std::memcpy(s->bytes.data() + realloc_headroom + n, data(), size());
   }
-  const std::size_t new_end = kPacketHeadroom + n + size();
+  const std::size_t new_end = realloc_headroom + n + size();
   s_ = std::move(s);
-  begin_ = kPacketHeadroom;
+  begin_ = realloc_headroom;
   end_ = new_end;
   return {data(), n};
 }

@@ -72,9 +72,14 @@ class Buffer {
 
   /// Extend the data region n bytes to the front and return the writable
   /// header slot.  Zero-copy when the storage is uniquely referenced and
-  /// has enough headroom; otherwise reallocates once (with fresh
-  /// kPacketHeadroom in front).
-  std::span<std::uint8_t> grow_front(std::size_t n);
+  /// has enough headroom; otherwise reallocates once with
+  /// `realloc_headroom` fresh bytes in front.  Callers on a path whose
+  /// encapsulation stack is deeper than the default budget (tunneled
+  /// relay edges) pass their derived per-path headroom here so the one
+  /// reallocation leaves room for every remaining prepend.
+  std::span<std::uint8_t> grow_front(std::size_t n,
+                                     std::size_t realloc_headroom =
+                                         kPacketHeadroom);
   /// grow_front + copy `header` into the slot.
   void prepend(std::span<const std::uint8_t> header);
   /// Shrink the data region from the front (the bytes become headroom).

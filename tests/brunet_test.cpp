@@ -725,7 +725,7 @@ TEST_P(NatTraversalFixture, HolePunchDirectEdgeBetweenNattedNodes) {
   EXPECT_TRUE(node_b->table().contains(node_a->address()));
 }
 
-TEST(NatTraversalSymmetric, SymmetricPairCannotPunch) {
+TEST(NatTraversalSymmetric, SymmetricPairFallsBackToRelay) {
   NatTraversalEnv f;
   f.build(net::NatType::kSymmetric, net::NatType::kSymmetric);
   f.seed->start();
@@ -735,9 +735,22 @@ TEST(NatTraversalSymmetric, SymmetricPairCannotPunch) {
   // Both can join via the public seed...
   EXPECT_TRUE(f.seed->table().contains(f.node_a->address()));
   EXPECT_TRUE(f.seed->table().contains(f.node_b->address()));
-  // ...but symmetric-symmetric direct traversal must fail (the observed
-  // port is per-destination, so the punch targets the wrong mapping).
-  EXPECT_FALSE(f.node_a->table().contains(f.node_b->address()));
+  // ...and symmetric-symmetric direct traversal must fail (the observed
+  // port is per-destination, so the punch targets the wrong mapping) —
+  // but the link still forms, tunneled through the public seed as relay.
+  const Connection* ab = f.node_a->table().find(f.node_b->address());
+  ASSERT_NE(ab, nullptr) << "A<->B link missing: relay fallback never ran";
+  ASSERT_NE(ab->edge, nullptr);
+  EXPECT_EQ(ab->edge->remote().proto, TransportAddress::Proto::kRelay)
+      << "symmetric pair linked over a non-relay edge";
+  const Connection* ba = f.node_b->table().find(f.node_a->address());
+  ASSERT_NE(ba, nullptr);
+  ASSERT_NE(ba->edge, nullptr);
+  EXPECT_EQ(ba->edge->remote().proto, TransportAddress::Proto::kRelay);
+  // The tunnel rides existing seed edges: no new NAT mappings may have
+  // been punched between the two symmetric boxes.
+  EXPECT_GE(f.node_a->stats().links_relayed + f.node_b->stats().links_relayed,
+            1u);
 }
 
 // --- DHT ------------------------------------------------------------------------

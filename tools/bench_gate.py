@@ -2,7 +2,8 @@
 """Bench-regression gate for the repository's machine-readable bench JSON.
 
 Usage:
-    tools/bench_gate.py FRESH.json [MORE.json ...] [--suite micro|churn|scale]
+    tools/bench_gate.py FRESH.json [MORE.json ...]
+                        [--suite micro|churn|scale|hostile]
                         [--baseline COMMITTED.json] [--self-test]
 
 Several FRESH files are merged into one run table before gating — the
@@ -30,6 +31,18 @@ Suites:
          sharded engine's determinism contract), and the 4-shard leg's
          wall clock at most 0.5x the 1-shard leg's ("speedup" rule —
          sharding must actually pay).
+  hostile — bench_churn_soak --hostile output: every node behind a NAT
+         of a mixed type, mixed UDP/TCP transports, 10 % churn.  The
+         self-configuration invariants still hold (duplicate_leases ==
+         0, resolution/acquisition floors), plus the traversal
+         contract: per NAT-type-pair punch_success_rate floors
+         ("rate_floor" rules — each applies only when the companion
+         pairs_<a>_<b> count is nonzero, so a small CI leg with an
+         empty bucket does not gate on its vacuous 1.0), every
+         symmetric-symmetric link relayed (nonrelayed_sym_sym == 0), a
+         ceiling on relayed_edge_fraction (relay is the fallback, not
+         the norm), and zero bytes copied wrapping relay frames (the
+         per-path headroom budget holds on tunneled paths).
 
 Absolute wall-clock timings are deliberately NOT gated — CI machines are
 noisy.  Every gated counter is a deterministic count or ratio; the two
@@ -147,6 +160,68 @@ SUITES = {
         ],
         "baseline_min": [],
     },
+    # The hostile-internet soak: 64 nodes, all behind NATs in a
+    # full-cone / restricted-cone / port-restricted / symmetric mix,
+    # every 8th node on TCP, 10 % churn.  The floors follow RFC 3489
+    # punchability physics measured on the committed baseline:
+    #   - anything involving a full cone is directly dialable or
+    #     trivially punched (measured 0.96-1.0);
+    #   - cone-cone pairs punch via simultaneous open (rc-rc measured
+    #     0.72: a punch that races an eviction or a symmetric re-dial
+    #     falls back to relay, which is correct behavior — hence the
+    #     lenient floor);
+    #   - rc-sym punches because a restricted cone filters on IP only,
+    #     and the symmetric side's fresh mapping still comes from the
+    #     same IP (measured 0.94);
+    #   - pr-sym and sym-sym CANNOT punch (the port-restricted side
+    #     filters on the exact port, which the symmetric NAT rewrites
+    #     per destination) — no rate floor, and instead
+    #     nonrelayed_sym_sym == 0 pins that every such link went
+    #     through the relay fallback rather than silently failing.
+    # relayed_edge_fraction caps relay at fallback levels (measured
+    # 0.23 with 2/16 of type slots symmetric); relay_wrap_bytes_copied
+    # == 0 pins the per-path headroom contract on tunneled sends.
+    "hostile": {
+        "default_baseline": "BENCH_hostile_soak.json",
+        "zero": [
+            (r"^HostileSoak/", "duplicate_leases"),
+            (r"^HostileSoak/", "nonrelayed_sym_sym"),
+            (r"^HostileSoak/", "relay_wrap_bytes_copied"),
+            (r"^HostileSoak/", "bytes_copied_per_forward"),
+        ],
+        "floor": [
+            (r"^HostileSoak/", "resolution_success_rate", 0.99),
+            (r"^HostileSoak/", "lease_acquired_fraction", 0.99),
+        ],
+        "ceiling": [
+            (r"^HostileSoak/", "relayed_edge_fraction", 0.35),
+        ],
+        # (name regex, counter, floor, guard counter): fresh must be
+        # >= floor, but only when the guard counter is present and
+        # nonzero — an empty NAT-pair bucket reports a vacuous 1.0
+        # that must neither pass nor fail the floor.
+        "rate_floor": [
+            (r"^HostileSoak/", "punch_success_rate_fc_fc", 0.90,
+             "pairs_fc_fc"),
+            (r"^HostileSoak/", "punch_success_rate_fc_rc", 0.90,
+             "pairs_fc_rc"),
+            (r"^HostileSoak/", "punch_success_rate_fc_pr", 0.90,
+             "pairs_fc_pr"),
+            (r"^HostileSoak/", "punch_success_rate_fc_sym", 0.75,
+             "pairs_fc_sym"),
+            (r"^HostileSoak/", "punch_success_rate_rc_rc", 0.50,
+             "pairs_rc_rc"),
+            (r"^HostileSoak/", "punch_success_rate_rc_pr", 0.85,
+             "pairs_rc_pr"),
+            (r"^HostileSoak/", "punch_success_rate_rc_sym", 0.75,
+             "pairs_rc_sym"),
+            (r"^HostileSoak/", "punch_success_rate_pr_pr", 0.80,
+             "pairs_pr_pr"),
+        ],
+        "baseline_min": [
+            (r"^HostileSoak/", "resolution_success_rate", 0.005),
+        ],
+    },
 }
 
 
@@ -200,6 +275,22 @@ def check(suite, fresh_doc, baseline_doc):
                 failures.append(f"{name}: counter {counter} missing")
             elif value > cap:
                 failures.append(f"{name}: {counter} = {value} > ceiling {cap}")
+
+    for name_re, counter, floor, guard in suite.get("rate_floor", ()):
+        for name, bench in matching(name_re):
+            population = bench.get(guard)
+            if population is None:
+                failures.append(f"{name}: guard counter {guard} missing")
+                continue
+            if population == 0:
+                continue  # empty bucket: the rate is vacuous, not gated
+            value = bench.get(counter)
+            if value is None:
+                failures.append(f"{name}: counter {counter} missing")
+            elif value < floor:
+                failures.append(
+                    f"{name}: {counter} = {value} < floor {floor} "
+                    f"(over {population} pairs)")
 
     for small_name, large_name, max_ratio in suite.get("scaling", ()):
         small, large = fresh.get(small_name), fresh.get(large_name)
@@ -309,6 +400,29 @@ def self_test(suite, fresh_doc, baseline_doc):
         if not check(suite, regress(name_re, counter, cap + 1), baseline_doc):
             print(f"self-test FAILED: regressed {counter} on {name_re} "
                   "was not caught", file=sys.stderr)
+            return 1
+
+    # Drop every guarded rate below its floor (only conclusive when the
+    # guard bucket is populated in the fresh run), then verify the guard
+    # itself: a regressed rate over an EMPTY bucket must NOT fail the
+    # gate — that is the rule's defining semantic.
+    for name_re, counter, floor, guard in suite.get("rate_floor", ()):
+        populated = any(b.get(guard) for _n, b in runs(fresh_doc).items()
+                        if re.search(name_re, _n))
+        if populated:
+            if not check(suite, regress(name_re, counter, floor * 0.5),
+                         baseline_doc):
+                print(f"self-test FAILED: regressed {counter} on {name_re} "
+                      "was not caught", file=sys.stderr)
+                return 1
+        vacuous = regress(name_re, counter, 0.0)
+        for b in vacuous["benchmarks"]:
+            if re.search(name_re, b["name"]) and guard in b:
+                b[guard] = 0
+                break
+        if check(suite, vacuous, baseline_doc):
+            print(f"self-test FAILED: {counter} on {name_re} gated an "
+                  "empty bucket (guard not honored)", file=sys.stderr)
             return 1
 
     # Blow the large run's cpu_time past every scaling ratio.
