@@ -16,7 +16,8 @@
 // tools/bench_gate.py --suite churn can gate CI on them.
 //
 //   bench_churn_soak [--nodes N] [--churn-minutes M] [--churn-rate R]
-//                    [--seed S] [--shards K] [--hostile] [--out PATH]
+//                    [--seed S] [--shards K] [--hostile]
+//                    [--hijack-fraction F] [--out PATH]
 //
 // R is expressed in events per node per minute (0.10 = "10% churn").
 // --shards K runs the same scenario on K engine shards; the event-trace
@@ -32,10 +33,21 @@
 // outcome (direct / punched / relayed) of every formed link per NAT-type
 // pair and emits the rates to BENCH_hostile_soak.json for
 // tools/bench_gate.py --suite hostile.
+//
+// --hijack-fraction F turns roughly F of the nodes (deterministically
+// chosen) into malicious insiders: fully protocol-conformant members
+// that additionally forge writes against OTHER nodes' DHT keys —
+// overwriting a victim's Brunet-ARP binding with their own (correctly
+// signed) identity, overwriting its DHCP lease record, and racing
+// create() on its lease key.  Every attempt and its outcome is counted;
+// hijacks_succeeded must be exactly 0 (the storing-node ownership gate,
+// netsukuku-ANDNA style), which both the binary and the hostile bench
+// gate enforce.
 #include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +77,8 @@ struct Options {
   double warmup_seconds = 0.0;  // 0 = auto-scale with node count
   int shards = 1;
   bool hostile = false;
+  /// Fraction of nodes that actively attempt lease/ARP hijacks.
+  double hijack_fraction = 0.0;
   std::string out;  // default depends on --hostile
 };
 
@@ -86,6 +100,8 @@ struct SoakNode {
   ipop::net::NatBox* nat = nullptr;
   ipop::net::NatType nat_type = ipop::net::NatType::kFullCone;
   std::unique_ptr<ipop::core::IpopNode> node;
+  /// Hijack mode: this node forges writes against other nodes' records.
+  bool attacker = false;
   bool live = false;
   ipop::util::TimePoint started{};
   ipop::util::TimePoint configured{};
@@ -111,6 +127,11 @@ struct Metrics {
   std::atomic<std::uint64_t> resolution_aborted = 0;
   std::atomic<std::uint64_t> resolution_misses = 0;  // lookup found nothing
   std::atomic<std::uint64_t> resolution_wrong = 0;   // stale owner returned
+  // Hijack audit: forged writes issued against other nodes' keys, and
+  // their outcomes.  Callbacks fire on the attacker's shard thread.
+  std::uint64_t hijacks_attempted = 0;
+  std::atomic<std::uint64_t> hijacks_succeeded = 0;
+  std::atomic<std::uint64_t> hijacks_rejected = 0;
 };
 
 }  // namespace
@@ -135,6 +156,8 @@ int main(int argc, char** argv) {
       opt.shards = ipop::bench::parse_shards(next());
     } else if (std::strcmp(argv[i], "--hostile") == 0) {
       opt.hostile = true;
+    } else if (std::strcmp(argv[i], "--hijack-fraction") == 0) {
+      opt.hijack_fraction = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       opt.out = next();
     } else {
@@ -229,8 +252,17 @@ int main(int argc, char** argv) {
   // compared digest-for-digest.
   net.engine().set_tracing(true);
   // Phase 2 — the overlay layer, on final shard loops.
+  // Deterministic attacker roster for --hijack-fraction: every k-th node
+  // (k = round(1/F)), never the seed.  Attackers are ordinary members in
+  // every other respect — they lease, register and resolve like anyone.
+  const int hijack_stride =
+      opt.hijack_fraction > 0.0
+          ? std::max(2, static_cast<int>(
+                            std::lround(1.0 / opt.hijack_fraction)))
+          : 0;
   for (int i = 0; i < opt.nodes; ++i) {
     auto& s = soak[static_cast<std::size_t>(i)];
+    s.attacker = hijack_stride > 0 && i > 0 && i % hijack_stride == 1;
     ipop::core::IpopConfig cfg;
     cfg.use_dhcp = true;
     cfg.dhcp.renew_interval = seconds(30);
@@ -607,21 +639,68 @@ int main(int argc, char** argv) {
       ++m.resolution_attempts;
       soak[ai].node->brunet_arp()->resolve(
           vip, [&m, &soak, ai, expect](
-                   std::optional<ipop::brunet::Address> addr) {
+                   std::optional<ipop::core::ArpBinding> binding) {
             if (!soak[ai].live) {
               // The prober itself churned away mid-lookup; the timeout
               // says nothing about the DHT.
               ++m.resolution_aborted;
               return;
             }
-            if (addr && *addr == expect) {
+            if (binding && binding->addr == expect) {
               ++m.resolution_successes;
-            } else if (!addr) {
+            } else if (!binding) {
               ++m.resolution_misses;
             } else {
               ++m.resolution_wrong;
             }
           });
+    }
+  };
+
+  // Hijack attempts: an attacker forges writes against a victim's DHT
+  // keys, signed with the attacker's own (perfectly valid) identity —
+  // the storing node must reject them on ownership, not signature
+  // malformation.  Three shapes per round: overwrite the victim's
+  // Brunet-ARP binding (resolution capture), overwrite its DHCP lease
+  // record (lease theft by put), and race create() on its lease key
+  // (lease theft by allocation).
+  auto attempt_hijacks = [&] {
+    if (hijack_stride == 0) return;
+    const auto eligible = live_configured(seconds(2));
+    std::vector<std::size_t> attackers;
+    for (const auto i : eligible) {
+      if (soak[i].attacker) attackers.push_back(i);
+    }
+    if (attackers.empty() || eligible.size() < 2) return;
+    for (int p = 0; p < 4; ++p) {
+      const auto ai = attackers[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(attackers.size()) - 1))];
+      auto bi = eligible[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(eligible.size()) - 1))];
+      if (bi == ai) continue;  // self-targeting proves nothing
+      const auto vip = soak[bi].node->virtual_ip();
+      auto& attacker = *soak[ai].node;
+      // Forged binding/lease value: the attacker's overlay address and
+      // public key — byte-for-byte what its honest registration would
+      // carry, just bound to the victim's key.
+      const auto& addr_bytes = attacker.overlay().address().bytes();
+      const auto& pk = attacker.overlay().identity().keys.public_key().bytes;
+      std::vector<std::uint8_t> forged(addr_bytes.begin(), addr_bytes.end());
+      forged.insert(forged.end(), pk.begin(), pk.end());
+      auto count_outcome = [&m](bool ok) {
+        if (ok) {
+          ++m.hijacks_succeeded;
+        } else {
+          ++m.hijacks_rejected;
+        }
+      };
+      m.hijacks_attempted += 3;
+      attacker.dht().put(ipop::core::BrunetArp::key_for(vip), forged,
+                         count_outcome);
+      attacker.dht().put(ipop::core::DhcpClient::key_for(vip), forged,
+                         count_outcome);
+      attacker.dht().create(ipop::core::DhcpClient::key_for(vip), forged,
+                            count_outcome);
     }
   };
 
@@ -671,6 +750,7 @@ int main(int argc, char** argv) {
     if (net.now() >= next_audit) {
       audit_leases();
       probe_resolution();
+      attempt_hijacks();
       next_audit = net.now() + seconds(5);
     }
   }
@@ -698,6 +778,7 @@ int main(int argc, char** argv) {
   std::uint64_t links_punched = 0, links_relayed = 0, links_cross_proto = 0;
   std::uint64_t relay_edges = 0, relay_forwarded = 0, relay_no_route = 0;
   std::uint64_t relay_wrap_copied = 0;
+  std::uint64_t dht_owner_rejects = 0, dht_sig_rejects = 0;
   for (const auto& s : soak) {
     if (s.live) {
       ++live_count;
@@ -726,6 +807,8 @@ int main(int argc, char** argv) {
     drop_no_route += s.node->overlay().stats().dropped_no_route;
     drop_exact += s.node->overlay().stats().dropped_exact;
     arp_invalidations += s.node->brunet_arp()->stats().invalidations;
+    dht_owner_rejects += s.node->dht().stats().owner_rejects;
+    dht_sig_rejects += s.node->dht().stats().sig_rejects;
   }
   const double resolution_rate =
       m.resolution_attempts > m.resolution_aborted
@@ -893,6 +976,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(drop_ttl),
       static_cast<unsigned long long>(drop_no_route),
       static_cast<unsigned long long>(drop_exact));
+  if (hijack_stride > 0) {
+    std::printf("  hijacks: %llu forged writes issued, %llu accepted, "
+                "%llu rejected; storing-node rejects: %llu owner, %llu "
+                "signature\n",
+                static_cast<unsigned long long>(m.hijacks_attempted),
+                static_cast<unsigned long long>(m.hijacks_succeeded.load()),
+                static_cast<unsigned long long>(m.hijacks_rejected.load()),
+                static_cast<unsigned long long>(dht_owner_rejects),
+                static_cast<unsigned long long>(dht_sig_rejects));
+  }
   std::printf("  trace digest %s; wall %.1f s on %d shard%s\n",
               trace_digest.c_str(), wall_seconds, opt.shards,
               opt.shards == 1 ? "" : "s");
@@ -900,13 +993,18 @@ int main(int argc, char** argv) {
   // Same scenario on any shard count keeps the baseline-matched run name;
   // extra-shard legs get a suffixed name so the scale suite can compare
   // them against the 1-shard leg inside one JSON report.
+  // A hijack leg gets its own "/hijack" suffix: the hostile gate's
+  // prefix rules (^HostileSoak/) still cover it, while exact-name
+  // baseline comparisons keep matching only the attacker-free leg.
   char run_name[64];
   const char* soak_name = opt.hostile ? "HostileSoak" : "ChurnSoak";
+  const char* hijack_tag = hijack_stride > 0 ? "/hijack" : "";
   if (opt.shards > 1) {
-    std::snprintf(run_name, sizeof run_name, "%s/%d/shards:%d", soak_name,
-                  opt.nodes, opt.shards);
+    std::snprintf(run_name, sizeof run_name, "%s/%d%s/shards:%d", soak_name,
+                  opt.nodes, hijack_tag, opt.shards);
   } else {
-    std::snprintf(run_name, sizeof run_name, "%s/%d", soak_name, opt.nodes);
+    std::snprintf(run_name, sizeof run_name, "%s/%d%s", soak_name, opt.nodes,
+                  hijack_tag);
   }
 
   // google-benchmark JSON shape, so tools/bench_gate.py shares one parser.
@@ -924,6 +1022,7 @@ int main(int argc, char** argv) {
                "    \"churn_minutes\": %.2f,\n"
                "    \"seed\": %llu,\n"
                "    \"hostile\": %s,\n"
+               "    \"hijack_fraction\": %.4f,\n"
                "    \"shards\": %d\n"
                "  },\n"
                "  \"benchmarks\": [\n"
@@ -958,8 +1057,8 @@ int main(int argc, char** argv) {
                "      \"arp_invalidations\": %llu,\n",
                opt.nodes, opt.churn_rate, opt.churn_minutes,
                static_cast<unsigned long long>(opt.seed),
-               opt.hostile ? "true" : "false", opt.shards,
-               run_name,
+               opt.hostile ? "true" : "false", opt.hijack_fraction,
+               opt.shards, run_name,
                ipop::util::to_seconds(net.now()),
                ipop::util::to_seconds(net.now()),
                static_cast<unsigned long long>(m.churn_events),
@@ -1036,6 +1135,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(relay_wrap_copied),
                  copied_per_forward);
   }
+  if (opt.hostile || hijack_stride > 0) {
+    // Every hostile run emits the hijack counters — the gate's zero
+    // rule on hijacks_succeeded must bite even on attacker-free legs
+    // (where all three stay 0 and the ownership rejects are organic).
+    std::fprintf(f,
+                 "      \"hijacks_attempted\": %llu,\n"
+                 "      \"hijacks_succeeded\": %llu,\n"
+                 "      \"hijacks_rejected\": %llu,\n"
+                 "      \"dht_owner_rejects\": %llu,\n"
+                 "      \"dht_sig_rejects\": %llu,\n",
+                 static_cast<unsigned long long>(m.hijacks_attempted),
+                 static_cast<unsigned long long>(m.hijacks_succeeded.load()),
+                 static_cast<unsigned long long>(m.hijacks_rejected.load()),
+                 static_cast<unsigned long long>(dht_owner_rejects),
+                 static_cast<unsigned long long>(dht_sig_rejects));
+  }
   std::fprintf(f,
                "      \"shards\": %d,\n"
                "      \"wall_seconds\": %.3f,\n"
@@ -1075,6 +1190,19 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(relay_wrap_copied));
       return 1;
     }
+  }
+  // Cryptographic ownership is an all-or-nothing property: a single
+  // accepted forged write means some storing node let an attacker
+  // capture another node's lease or ARP binding.
+  if (m.hijacks_succeeded.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu forged writes accepted\n",
+                 static_cast<unsigned long long>(m.hijacks_succeeded.load()));
+    return 1;
+  }
+  if (hijack_stride > 0 && m.hijacks_attempted == 0) {
+    std::fprintf(stderr,
+                 "FAIL: hijack mode requested but no attacks were issued\n");
+    return 1;
   }
   return 0;
 }

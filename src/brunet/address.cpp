@@ -52,6 +52,13 @@ Address Address::hash(std::string_view data) {
   return Address(util::sha1(data));
 }
 
+Address Address::from_public_key(const util::crypto::PublicKey& pk) {
+  util::Sha1 ctx;
+  ctx.update(std::string_view("ipop-key:"));
+  ctx.update(std::span<const std::uint8_t>(pk.bytes));
+  return Address(ctx.finish());
+}
+
 Address Address::random(util::Rng& rng) {
   Bytes b;
   for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xFF);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/ipv4.hpp"
+#include "util/crypto.hpp"
 #include "util/random.hpp"
 #include "util/sha1.hpp"
 
@@ -30,6 +31,10 @@ class Address {
   static Address from_ip(net::Ipv4Address ip);
   /// SHA-1 of an arbitrary string (DHT keys, test fixtures).
   static Address hash(std::string_view data);
+  /// SHA-1 over a domain-separated encoding of an Ed25519 public key.
+  /// Key-derived addresses make overlay identity cryptographic: only the
+  /// holder of the matching private key can sign for this ring position.
+  static Address from_public_key(const util::crypto::PublicKey& pk);
   static Address random(util::Rng& rng);
   /// Parse 40 hex chars.
   static Address from_hex(std::string_view hex);

@@ -11,7 +11,57 @@ constexpr std::uint8_t kOk = 1;
 constexpr std::uint8_t kNotFound = 0;
 constexpr std::uint8_t kConflict = 2;  // create(): key taken by other value
 constexpr std::uint8_t kRetry = 3;     // create(): owner too young to decide
+
+/// Record fields behind the status/op byte and key: the one wire layout
+/// shared by put/create/replica requests and get responses.
+void encode_record_fields(util::ByteWriter& w, const Record& rec) {
+  w.u64(rec.version);
+  w.u32(rec.ttl);
+  w.u8(rec.flags);
+  if (rec.is_signed()) {
+    w.bytes(std::span<const std::uint8_t>(rec.owner.bytes));
+    w.bytes(std::span<const std::uint8_t>(rec.sig.bytes));
+  }
+  w.lp_bytes(rec.value.as_span());
+}
 }  // namespace
+
+std::vector<std::uint8_t> Record::signed_bytes(const Address& key) const {
+  std::vector<std::uint8_t> m;
+  m.reserve(Address::kBytes + 13 + value.size());
+  m.insert(m.end(), key.bytes().begin(), key.bytes().end());
+  for (int i = 7; i >= 0; --i) {
+    m.push_back(static_cast<std::uint8_t>(version >> (i * 8)));
+  }
+  for (int i = 3; i >= 0; --i) {
+    m.push_back(static_cast<std::uint8_t>(ttl >> (i * 8)));
+  }
+  m.push_back(flags);
+  const auto v = value.as_span();
+  m.insert(m.end(), v.begin(), v.end());
+  return m;
+}
+
+void Record::sign(const Address& key, const util::crypto::KeyPair& keys) {
+  flags |= kSigned;
+  owner = keys.public_key();
+  sig = keys.sign(signed_bytes(key));
+}
+
+bool Record::verify(const Address& key) const {
+  if (!is_signed()) return false;
+  // kKeyBound: the value's leading bytes claim an overlay address, and a
+  // valid signature alone must not let key X bind node Y's address — the
+  // claimed address has to derive from the signing key.  A release
+  // (empty value) claims nothing, so only the signature matters there.
+  if (key_bound() && !value.empty()) {
+    if (value.size() < Address::kBytes) return false;
+    Address::Bytes claimed{};
+    std::copy_n(value.data(), Address::kBytes, claimed.begin());
+    if (Address(claimed) != Address::from_public_key(owner)) return false;
+  }
+  return util::crypto::verify(owner, signed_bytes(key), sig);
+}
 
 Dht::Dht(BrunetNode& node, DhtConfig cfg)
     : node_(node), cfg_(cfg), alive_(std::make_shared<bool>(true)) {
@@ -28,8 +78,8 @@ Dht::Dht(BrunetNode& node, DhtConfig cfg)
         // crash/rejoin): clear the handoff stamps aimed at it so the
         // republish tick re-sends the records it lost, instead of
         // starving the rejoined owner forever.
-        for (auto& [key, rec] : store_) {
-          if (rec.handed && rec.handed_to == lost) rec.handed = false;
+        for (auto& [key, s] : store_) {
+          if (s.handed && s.handed_to == lost) s.handed = false;
         }
         schedule_rereplication();
       });
@@ -62,36 +112,62 @@ std::uint64_t Dht::write_stamp() {
   return version_counter_;
 }
 
-void Dht::put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
+void Dht::finalize_outgoing(const Key& key, Record& rec) {
+  rec.version = write_stamp();
+  // Every write from an identity-bearing node is signed — the subsystems
+  // above (DHCP, Brunet-ARP) get ownership protection without holding
+  // key material themselves.  Signing happens after the version stamp
+  // because the signature covers it (replay protection).
+  if (node_.has_identity()) {
+    rec.sign(key, node_.identity().keys);
+  }
+}
+
+void Dht::put(const Key& key, Record rec, PutCallback cb) {
   ++stats_.puts;
-  util::ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Op::kPut));
-  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-  w.u64(write_stamp());
-  w.lp_bytes(value);
-  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
+  finalize_outgoing(key, rec);
+  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest,
+                encode_record(Op::kPut, key, rec),
                 [cb = std::move(cb)](std::optional<Packet> resp) {
                   if (cb) cb(resp.has_value() && !resp->payload().empty() &&
                              resp->payload()[0] == kOk);
                 });
 }
 
-void Dht::create(const Key& key, std::vector<std::uint8_t> value,
-                 PutCallback cb) {
-  ++stats_.creates;
-  create_attempt(key, std::move(value), cfg_.create_retries, std::move(cb));
+void Dht::release(const Key& key, PutCallback cb) {
+  // An unsigned release would be a free hijack primitive (anyone could
+  // erase anyone's record), so it only exists for identity-bearing
+  // nodes; the storing node enforces the same rule.
+  if (!node_.has_identity()) {
+    if (cb) cb(false);
+    return;
+  }
+  ++stats_.puts;
+  Record rec;  // empty value = release
+  finalize_outgoing(key, rec);
+  node_.request(key, PacketType::kDhtRequest, RoutingMode::kClosest,
+                encode_record(Op::kPut, key, rec),
+                [cb = std::move(cb)](std::optional<Packet> resp) {
+                  if (cb) cb(resp.has_value() && !resp->payload().empty() &&
+                             resp->payload()[0] == kOk);
+                });
 }
 
-void Dht::create_attempt(const Key& key, std::vector<std::uint8_t> value,
-                         int retries_left, PutCallback cb) {
-  util::ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Op::kCreate));
-  w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-  w.u64(write_stamp());
-  w.lp_bytes(value);
+void Dht::create(const Key& key, Record rec, PutCallback cb) {
+  ++stats_.creates;
+  create_attempt(key, std::move(rec), cfg_.create_retries, std::move(cb));
+}
+
+void Dht::create_attempt(const Key& key, Record rec, int retries_left,
+                         PutCallback cb) {
+  // Keep the caller's record as the retry template (copying shares the
+  // value's storage, O(1)); each attempt gets a fresh stamp + signature.
+  Record wire = rec;
+  finalize_outgoing(key, wire);
   node_.request(
-      key, PacketType::kDhtRequest, RoutingMode::kClosest, w.take(),
-      [this, key, value = std::move(value), retries_left, cb = std::move(cb),
+      key, PacketType::kDhtRequest, RoutingMode::kClosest,
+      encode_record(Op::kCreate, key, wire),
+      [this, key, rec = std::move(rec), retries_left, cb = std::move(cb),
        alive = std::weak_ptr<bool>(alive_)](std::optional<Packet> resp) mutable {
         if (alive.expired()) return;
         // kRetry means delivery hit a node too young to decide (its miss
@@ -101,10 +177,10 @@ void Dht::create_attempt(const Key& key, std::vector<std::uint8_t> value,
             retries_left > 0 && !stopped_) {
           node_.host().loop().schedule_after(
               cfg_.create_retry_delay,
-              [this, key, value = std::move(value), retries_left,
+              [this, key, rec = std::move(rec), retries_left,
                cb = std::move(cb), alive2 = std::move(alive)]() mutable {
                 if (alive2.expired() || stopped_) return;
-                create_attempt(key, std::move(value), retries_left - 1,
+                create_attempt(key, std::move(rec), retries_left - 1,
                                std::move(cb));
               });
           return;
@@ -157,11 +233,62 @@ void Dht::get_attempt(const Key& key, int retries_left, GetCallback cb) {
         try {
           util::ByteReader r(resp->payload());
           r.u8();  // status
-          if (cb) cb(r.lp_bytes());
+          // The record's value shares the response packet's storage —
+          // resolvers read the bytes in place, no copy.
+          if (cb) cb(decode_record(r, resp->share_payload()));
         } catch (const util::ParseError&) {
           if (cb) cb(std::nullopt);
         }
       });
+}
+
+Record Dht::decode_record(util::ByteReader& r, const util::Buffer& storage) {
+  Record rec;
+  rec.version = r.u64();
+  rec.ttl = r.u32();
+  rec.flags = r.u8();
+  if (rec.is_signed()) {
+    const auto pk = r.bytes(rec.owner.bytes.size());
+    std::copy(pk.begin(), pk.end(), rec.owner.bytes.begin());
+    const auto sg = r.bytes(rec.sig.bytes.size());
+    std::copy(sg.begin(), sg.end(), rec.sig.bytes.begin());
+  }
+  const std::uint32_t len = r.u32();
+  // `storage` backs exactly the span the reader walks, so the value is a
+  // sub-buffer of the carrying packet: zero-copy decode, and the record
+  // keeps the packet storage alive for as long as it lives.
+  const std::size_t off = storage.size() - r.remaining();
+  r.bytes(len);  // bounds check + advance
+  rec.value = storage.share(off, len);
+  return rec;
+}
+
+std::uint8_t Dht::check_ownership(const Key& key, const Record& rec) {
+  if (rec.is_signed() && !rec.verify(key)) {
+    ++stats_.sig_rejects;
+    return kConflict;
+  }
+  auto it = store_.find(key);
+  if (it == store_.end() ||
+      it->second.expires < node_.host().loop().now() ||
+      !it->second.rec.is_signed()) {
+    return kOk;  // no live signed incumbent: first come, first served
+  }
+  // A live signed record holds the key: only its owner may touch it.
+  if (!rec.is_signed() || !(rec.owner == it->second.rec.owner)) {
+    ++stats_.owner_rejects;
+    return kConflict;
+  }
+  // Replay gate: the signature covers the version, so an attacker cannot
+  // restamp a captured record — but they can resend it verbatim.  A
+  // same-owner write older than the live copy is such a replay (or a
+  // badly stale replica); reject instead of answering kOk while
+  // silently keeping the newer record.
+  if (rec.version < it->second.rec.version) {
+    ++stats_.sig_rejects;
+    return kConflict;
+  }
+  return kOk;
 }
 
 void Dht::handle_request(const Packet& pkt) {
@@ -177,23 +304,80 @@ void Dht::handle_request(const Packet& pkt) {
 
     switch (op) {
       case Op::kPut: {
-        Record rec;
-        rec.version = r.u64();
-        rec.value = r.lp_bytes();
+        Record rec = decode_record(r, pkt.share_payload());
+        const std::uint8_t st = check_ownership(key, rec);
+        if (st != kOk) {
+          node_.respond(pkt, PacketType::kDhtResponse,
+                        std::vector<std::uint8_t>{st});
+          return;
+        }
+        // FCFS on an authoritative miss is correct; FCFS on a YOUNG
+        // node's miss hands the key to whoever writes first during the
+        // handoff window — exactly the lease/binding hijack the hostile
+        // soak probes.  Consult the ex-closest node first: a live record
+        // there signed by a DIFFERENT key outranks the newcomer (the
+        // create path runs the same consult for the same reason).
+        auto inc = store_.find(key);
+        const bool incumbent_live =
+            inc != store_.end() &&
+            inc->second.expires >= node_.host().loop().now() &&
+            inc->second.rec.is_signed();
+        if (!incumbent_live && rec.is_signed() &&
+            node_.uptime() < cfg_.min_owner_age) {
+          const Connection* prev = node_.table().closest_to(key);
+          if (prev != nullptr) {
+            ++stats_.consults;
+            util::ByteWriter cw;
+            cw.u8(static_cast<std::uint8_t>(Op::kGetLocal));
+            cw.bytes(std::span<const std::uint8_t>(key.bytes().data(),
+                                                   Address::kBytes));
+            node_.request(
+                prev->addr, PacketType::kDhtRequest, RoutingMode::kExact,
+                cw.take(),
+                [this, key, rec, req = pkt,
+                 alive = std::weak_ptr<bool>(alive_)](
+                    std::optional<Packet> resp) mutable {
+                  if (alive.expired() || stopped_) return;
+                  if (resp && !resp->payload().empty() &&
+                      resp->payload()[0] == kOk) {
+                    try {
+                      util::ByteReader rr(resp->payload());
+                      rr.u8();  // status
+                      Record held = decode_record(rr, resp->share_payload());
+                      if (held.is_signed() && !(held.owner == rec.owner)) {
+                        ++stats_.consult_hits;
+                        ++stats_.owner_rejects;
+                        node_.respond(req, PacketType::kDhtResponse,
+                                      std::vector<std::uint8_t>{kConflict});
+                        return;
+                      }
+                    } catch (const util::ParseError&) {
+                    }
+                  }
+                  accept_write(key, std::move(rec), req);
+                });
+            return;
+          }
+        }
         accept_write(key, std::move(rec), pkt);
         return;
       }
       case Op::kCreate: {
-        Record rec;
-        rec.version = r.u64();
-        rec.value = r.lp_bytes();
+        Record rec = decode_record(r, pkt.share_payload());
+        const std::uint8_t st = check_ownership(key, rec);
+        if (st != kOk) {
+          ++stats_.create_conflicts;
+          node_.respond(pkt, PacketType::kDhtResponse,
+                        std::vector<std::uint8_t>{st});
+          return;
+        }
         // Owner-side uniqueness check: a live record with a different
         // value wins; an expired record or the writer's own value does
         // not block (the latter is how a lease holder renews).
         auto it = store_.find(key);
         if (it != store_.end() &&
             it->second.expires >= node_.host().loop().now() &&
-            it->second.value != rec.value) {
+            !it->second.rec.same_value(rec)) {
           ++stats_.create_conflicts;
           node_.respond(pkt, PacketType::kDhtResponse,
                         std::vector<std::uint8_t>{kConflict});
@@ -236,7 +420,8 @@ void Dht::handle_request(const Packet& pkt) {
                     try {
                       util::ByteReader rr(resp->payload());
                       rr.u8();  // status
-                      if (rr.lp_bytes() != rec.value) {
+                      Record held = decode_record(rr, resp->share_payload());
+                      if (!held.same_value(rec)) {
                         ++stats_.consult_hits;
                         ++stats_.create_conflicts;
                         node_.respond(req, PacketType::kDhtResponse,
@@ -255,10 +440,19 @@ void Dht::handle_request(const Packet& pkt) {
         return;
       }
       case Op::kReplica: {
-        Record rec;
-        rec.version = r.u64();
-        rec.value = r.lp_bytes();
-        rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+        Record rec = decode_record(r, pkt.share_payload());
+        if (check_ownership(key, rec) != kOk) {
+          return;  // replicas are fire-and-forget, rejects included
+        }
+        if (rec.is_release()) {
+          // Owner-signed release propagated by the storing node: erase
+          // our copy too, so the key frees ring-wide at once.
+          if (store_.erase(key) > 0) {
+            ++stats_.releases;
+            stats_.stored = store_.size();
+          }
+          return;
+        }
         // Anti-entropy push-back: a replica OLDER than our stored copy
         // means its holder is stale (an overwritten binding it never saw
         // rewritten — e.g. a re-leased IP's old owner record).  Push our
@@ -267,11 +461,12 @@ void Dht::handle_request(const Packet& pkt) {
         // terminates because only the strictly-newer side ever replies.
         {
           auto it = store_.find(key);
-          if (it != store_.end() && it->second.version > rec.version &&
+          if (it != store_.end() && it->second.rec.version > rec.version &&
               it->second.expires >= node_.host().loop().now() &&
-              it->second.value != rec.value) {
-            node_.send(pkt.src, PacketType::kDhtRequest, RoutingMode::kExact,
-                       encode_replica(key, it->second));
+              !it->second.rec.same_value(rec)) {
+            node_.send(Destination::unicast(pkt.src),
+                       OutboundFrame(PacketType::kDhtRequest,
+                                     encode_stored(key, it->second)));
             ++stats_.antientropy_pushbacks;
             return;
           }
@@ -282,12 +477,12 @@ void Dht::handle_request(const Packet& pkt) {
         // records the believed owner, so its connection loss re-arms the
         // handoff (see the connection-lost observer).
         const Connection* best = node_.table().closest_to(key);
-        if (best != nullptr &&
+        Stored* s = store_record(key, std::move(rec));
+        if (s != nullptr && best != nullptr &&
             Address::closer(key, best->addr, node_.address())) {
-          rec.handed = true;
-          rec.handed_to = best->addr;
+          s->handed = true;
+          s->handed_to = best->addr;
         }
-        store_record(key, rec);
         return;  // replicas are fire-and-forget
       }
       case Op::kGet: {
@@ -329,7 +524,7 @@ void Dht::handle_request(const Packet& pkt) {
         }
         util::ByteWriter w;
         w.u8(kOk);
-        w.lp_bytes(it->second.value);
+        encode_record_fields(w, it->second.rec);
         node_.respond(pkt, PacketType::kDhtResponse, w.take());
         return;
       }
@@ -343,7 +538,7 @@ void Dht::handle_request(const Packet& pkt) {
         }
         util::ByteWriter w;
         w.u8(kOk);
-        w.lp_bytes(it->second.value);
+        encode_record_fields(w, it->second.rec);
         node_.respond(pkt, PacketType::kDhtResponse, w.take());
         return;
       }
@@ -353,7 +548,18 @@ void Dht::handle_request(const Packet& pkt) {
 }
 
 void Dht::accept_write(const Key& key, Record rec, const Packet& req) {
-  rec.expires = node_.host().loop().now() + cfg_.record_ttl;
+  if (rec.is_release()) {
+    // check_ownership already proved the signer owns the record (or the
+    // key is free): erase, propagate to the replica holders, done.
+    if (store_.erase(key) > 0) {
+      ++stats_.releases;
+      stats_.stored = store_.size();
+    }
+    replicate(key, rec);
+    node_.respond(req, PacketType::kDhtResponse,
+                  std::vector<std::uint8_t>{kOk});
+    return;
+  }
   bump_version(key, rec);
   store_record(key, rec);
   replicate(key, rec);
@@ -365,20 +571,22 @@ void Dht::bump_version(const Key& key, Record& rec) {
   // Writers stamp versions from their own independent counters, so an
   // accepted overwrite must also dominate whatever version the previous
   // writer left here (and on the replicas) — otherwise store_record()
-  // keeps the old record while the owner already answered kOk.
+  // keeps the old record while the owner already answered kOk.  Signed
+  // records are exempt: restamping would break the signature, and their
+  // replay gate already rejected non-dominating writes.
+  if (rec.is_signed()) return;
   auto it = store_.find(key);
   if (it != store_.end()) {
-    rec.version = std::max(rec.version, it->second.version + 1);
+    rec.version = std::max(rec.version, it->second.rec.version + 1);
   }
 }
 
-std::vector<std::uint8_t> Dht::encode_replica(const Key& key,
-                                              const Record& rec) {
+std::vector<std::uint8_t> Dht::encode_record(Op op, const Key& key,
+                                             const Record& rec) {
   util::ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Op::kReplica));
+  w.u8(static_cast<std::uint8_t>(op));
   w.bytes(std::span<const std::uint8_t>(key.bytes().data(), Address::kBytes));
-  w.u64(rec.version);
-  w.lp_bytes(rec.value);
+  encode_record_fields(w, rec);
   return w.take();
 }
 
@@ -387,7 +595,6 @@ void Dht::replicate(const Key& key, const Record& rec) {
   // and the fan-out shares that one buffer — each replica packet prepends
   // its own header segment, and replicas routing over the same edge leave
   // in one batched transport send.
-  const auto payload = util::Buffer::wrap(encode_replica(key, rec));
   std::vector<Address> replicas;
   replicas.reserve(cfg_.replicas + 1);
   node_.table().for_each_right(
@@ -402,8 +609,9 @@ void Dht::replicate(const Key& key, const Record& rec) {
       replicas.push_back(left->addr);
     }
   }
-  node_.send_batch(replicas, PacketType::kDhtRequest, RoutingMode::kExact,
-                   payload.share());
+  node_.send(Destination::fanout(replicas),
+             OutboundFrame(PacketType::kDhtRequest,
+                           encode_record(Op::kReplica, key, rec)));
 }
 
 bool Dht::owns(const Key& key) const {
@@ -424,9 +632,9 @@ void Dht::schedule_rereplication() {
 void Dht::rereplicate_owned() {
   if (stopped_) return;
   const auto now = node_.host().loop().now();
-  for (const auto& [key, rec] : store_) {
-    if (rec.expires < now || !owns(key)) continue;
-    replicate(key, rec);
+  for (const auto& [key, s] : store_) {
+    if (s.expires < now || !owns(key)) continue;
+    replicate(key, s.rec);
     ++stats_.rereplications;
   }
 }
@@ -440,27 +648,36 @@ void Dht::handoff_all() {
   // kClosest to the key itself, landing at the true owner instead of at
   // whichever connection is locally closest (which would store the copy
   // and have to relay it again next tick).
-  for (const auto& [key, rec] : store_) {
+  for (const auto& [key, s] : store_) {
     const Connection* best = node_.table().closest_to(key);
     if (best == nullptr) continue;
     if (!Address::closer(key, best->addr, node_.address())) {
-      node_.send(best->addr, PacketType::kDhtRequest, RoutingMode::kExact,
-                 encode_replica(key, rec));
+      node_.send(Destination::unicast(best->addr),
+                 OutboundFrame(PacketType::kDhtRequest,
+                               encode_stored(key, s)));
     } else {
-      node_.send(key, PacketType::kDhtRequest, RoutingMode::kClosest,
-                 encode_replica(key, rec));
+      node_.send(Destination::closest(key),
+                 OutboundFrame(PacketType::kDhtRequest,
+                               encode_stored(key, s)));
     }
     ++stats_.handoffs;
   }
 }
 
-void Dht::store_record(const Key& key, Record rec) {
+Dht::Stored* Dht::store_record(const Key& key, Record rec) {
+  const auto now = node_.host().loop().now();
   auto it = store_.find(key);
-  if (it != store_.end() && it->second.version > rec.version) {
-    return;  // stale write: keep the newer record
+  if (it != store_.end() && it->second.rec.version > rec.version &&
+      it->second.expires >= now) {
+    return nullptr;  // stale write: keep the newer live record
   }
-  store_[key] = std::move(rec);
+  Stored s;
+  s.expires = now + (rec.ttl != 0 ? util::seconds(rec.ttl) : cfg_.record_ttl);
+  s.rec = std::move(rec);
+  auto& slot = store_[key];
+  slot = std::move(s);
   stats_.stored = store_.size();
+  return &slot;
 }
 
 void Dht::republish_tick() {
@@ -479,16 +696,16 @@ void Dht::republish_tick() {
   // Each copy is forwarded once: the handed stamp suppresses re-sends even
   // when the locally-closest connection flaps, and is cleared when the
   // believed owner's connection drops or the record is rewritten.
-  for (auto& [key, rec] : store_) {
-    if (rec.handed) continue;
+  for (auto& [key, s] : store_) {
+    if (s.handed) continue;
     const Connection* best = node_.table().closest_to(key);
     if (best == nullptr || !Address::closer(key, best->addr, node_.address())) {
       continue;
     }
-    node_.send(key, PacketType::kDhtRequest, RoutingMode::kClosest,
-               encode_replica(key, rec));
-    rec.handed = true;
-    rec.handed_to = best->addr;
+    node_.send(Destination::closest(key),
+               OutboundFrame(PacketType::kDhtRequest, encode_stored(key, s)));
+    s.handed = true;
+    s.handed_to = best->addr;
     ++stats_.handoffs;
   }
   republish_timer_ = node_.host().loop().schedule_after(

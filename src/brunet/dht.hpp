@@ -8,6 +8,7 @@
 // literature.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -40,6 +41,56 @@ struct DhtConfig {
   Duration min_owner_age = util::seconds(5);
   int create_retries = 8;
   Duration create_retry_delay = util::milliseconds(1000);
+};
+
+/// One typed DHT record.  `value` is a util::Buffer, so owner-side reads
+/// and replica decodes share the carrying packet's storage instead of
+/// copying; the version stamp orders writes, the TTL bounds the record's
+/// life, and a signed record carries the writer's public key + signature
+/// over (key || version || ttl || flags || value).
+///
+/// Ownership model (netsukuku ANDNA first-come-first-served): the storing
+/// node verifies the signature, and while a *live* signed record holds a
+/// key, only a record signed by the same owner may replace it — a put,
+/// create or replica from anyone else is rejected at the storing node, so
+/// lease/binding hijacks die where the record lives, not at the honest
+/// reader.  An owner-signed record with an empty value is a release: it
+/// erases the record, freeing the key immediately (migration/departure).
+struct Record {
+  /// flags bit: owner + sig fields are present and must verify.
+  static constexpr std::uint8_t kSigned = 1;
+  /// flags bit: the value's first kBytes claim an overlay address, and
+  /// the storing node requires that address to derive from `owner` — a
+  /// key-addressed node can only bind leases and ARP entries to itself.
+  static constexpr std::uint8_t kKeyBound = 2;
+
+  util::Buffer value;
+  std::uint64_t version = 0;  // writer-supplied monotonic stamp
+  /// Lifetime in seconds; 0 = the storing node's configured default.
+  std::uint32_t ttl = 0;
+  std::uint8_t flags = 0;
+  util::crypto::PublicKey owner{};
+  util::crypto::Signature sig{};
+
+  bool is_signed() const { return (flags & kSigned) != 0; }
+  bool key_bound() const { return (flags & kKeyBound) != 0; }
+  bool is_release() const { return is_signed() && value.empty(); }
+
+  /// The byte string the signature covers.  Includes the version so a
+  /// stale record cannot be replayed with its old signature, and the
+  /// flags so a verifier cannot be tricked into skipping kKeyBound.
+  std::vector<std::uint8_t> signed_bytes(const Address& key) const;
+  /// Sign in place with `keys` (sets owner, kSigned, then sig).
+  void sign(const Address& key, const util::crypto::KeyPair& keys);
+  /// Storing-node check: signature present and valid, and (for kKeyBound
+  /// records with a value) the claimed address derives from the owner.
+  bool verify(const Address& key) const;
+  /// Same stored bytes (the create-renewal identity check).
+  bool same_value(const Record& other) const {
+    const auto a = value.as_span();
+    const auto b = other.value.as_span();
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
 };
 
 struct DhtStats {
@@ -76,39 +127,68 @@ struct DhtStats {
   /// the newer record back at the stale holder (read repair on the
   /// replication plane).
   std::uint64_t antientropy_pushbacks = 0;
+  /// Writes rejected at the storing node because their signature (or
+  /// kKeyBound address claim) failed to verify.
+  std::uint64_t sig_rejects = 0;
+  /// Writes rejected at the storing node because a live signed record
+  /// holds the key and the write was unsigned or signed by a different
+  /// key (the attempted-hijack counter the hostile soak gates on).
+  std::uint64_t owner_rejects = 0;
+  /// Owner-signed empty-value writes that erased a record (release).
+  std::uint64_t releases = 0;
 };
 
 class Dht {
  public:
   using Key = Address;
   using PutCallback = std::function<void(bool ok)>;
-  using GetCallback =
-      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+  using GetCallback = std::function<void(std::optional<Record>)>;
 
   Dht(BrunetNode& node, DhtConfig cfg = {});
   ~Dht();
 
-  /// Store value at the node closest to `key` (plus replicas).
-  void put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb);
+  /// Store a record at the node closest to `key` (plus replicas).  The
+  /// Dht stamps the version, and — when the node carries an identity —
+  /// signs the record before it leaves, so every subsystem writing
+  /// through here gets ownership protection without touching crypto.
+  /// Caller-set kKeyBound is preserved (only set it on values whose
+  /// first 20 bytes claim this node's key-derived address).
+  void put(const Key& key, Record rec, PutCallback cb);
+  void put(const Key& key, std::vector<std::uint8_t> value, PutCallback cb) {
+    put(key, Record{util::Buffer::wrap(std::move(value))}, std::move(cb));
+  }
   /// Atomic create-if-absent: succeeds only when no live record holds the
-  /// key, or the existing record already carries exactly `value` (so the
-  /// writer can renew its own claim with the same call — the refresh
+  /// key, or the existing record already carries exactly this value (so
+  /// the writer can renew its own claim with the same call — the refresh
   /// pushes the expiry out and re-replicates).  The uniqueness check runs
   /// on the owner, making this the allocation primitive DHCP-over-DHT
   /// leases are built on; accepted creates replicate like put().
-  void create(const Key& key, std::vector<std::uint8_t> value, PutCallback cb);
-  /// Fetch the freshest value for `key` from its owner.
+  void create(const Key& key, Record rec, PutCallback cb);
+  void create(const Key& key, std::vector<std::uint8_t> value,
+              PutCallback cb) {
+    create(key, Record{util::Buffer::wrap(std::move(value))}, std::move(cb));
+  }
+  /// Fetch the freshest record for `key` from its owner.  The returned
+  /// Record's value shares the response packet's storage (zero-copy); it
+  /// carries the owner's public key, which is how resolvers learn the
+  /// encryption key of the node behind a lease or ARP binding.
   void get(const Key& key, GetCallback cb);
+  /// Release `key` (owner-signed empty-value put): erases the record at
+  /// the storing node, freeing the key immediately instead of waiting
+  /// out the TTL.  No-op reported as failure when this node carries no
+  /// identity (an unsigned release would be a free hijack primitive).
+  void release(const Key& key, PutCallback cb);
 
   /// Number of records this node currently stores.
   std::size_t local_records() const { return store_.size(); }
   const DhtStats& stats() const { return stats_; }
 
  private:
-  struct Record {
-    std::vector<std::uint8_t> value;
+  /// A Record at rest on the storing node, plus local bookkeeping that
+  /// never crosses the wire.
+  struct Stored {
+    Record rec;
     TimePoint expires{};
-    std::uint64_t version = 0;  // writer-supplied monotonic stamp
     /// Ring-shift handoff bookkeeping: the owner this copy was already
     /// forwarded to.  Without it every replica re-sends every record to
     /// the owner on every republish tick — at 64 nodes that snowballs
@@ -128,25 +208,46 @@ class Dht {
   /// writes *across* writers (see the definition for why writer-local
   /// counters poison anti-entropy), strictly monotonic per writer.
   std::uint64_t write_stamp();
+  /// Stamp the version and (when the node has an identity) sign: the one
+  /// spot every outgoing put/create/release funnels through.
+  void finalize_outgoing(const Key& key, Record& rec);
   void handle_request(const Packet& pkt);
   void get_attempt(const Key& key, int retries_left, GetCallback cb);
-  void create_attempt(const Key& key, std::vector<std::uint8_t> value,
-                      int retries_left, PutCallback cb);
+  void create_attempt(const Key& key, Record rec, int retries_left,
+                      PutCallback cb);
+  /// Ownership gate for every incoming write (put/create/replica): a
+  /// malformed signature rejects outright, and a live signed record only
+  /// yields to the same owner.  Returns the status byte to answer with
+  /// (kOk = accept).
+  std::uint8_t check_ownership(const Key& key, const Record& rec);
   /// Accept a put/create: stamp expiry, dominate the stored version,
   /// store, replicate, and answer kOk to the original requester.
   void accept_write(const Key& key, Record rec, const Packet& req);
-  /// Raise an accepted write's version above the stored record's (writers
-  /// stamp from independent counters; an overwrite the owner accepted
-  /// must dominate the previous writer's stamp on every replica too).
+  /// Raise an accepted unsigned write's version above the stored
+  /// record's (writers stamp from independent counters; an overwrite the
+  /// owner accepted must dominate the previous writer's stamp on every
+  /// replica too).  Signed records are never restamped — that would
+  /// break the signature; their same-owner writes already share one
+  /// clock-derived stamp sequence.
   void bump_version(const Key& key, Record& rec);
-  /// The kReplica wire image: op byte + key + version + lp value (shared
-  /// by replication fan-out, ring-shift handoff and departure handoff).
-  std::vector<std::uint8_t> encode_replica(const Key& key, const Record& rec);
-  void store_record(const Key& key, Record rec);
+  /// The full record wire image behind an op byte (shared by put/create
+  /// requests, replication fan-out, ring-shift and departure handoff).
+  std::vector<std::uint8_t> encode_record(Op op, const Key& key,
+                                          const Record& rec);
+  /// Decode the record fields of a kPut/kCreate/kReplica payload; the
+  /// value Buffer shares `storage` (the carrying packet's bytes).
+  static Record decode_record(util::ByteReader& r, const util::Buffer& storage);
+  /// Store (last-writer-wins on version among live records); returns the
+  /// stored slot, or nullptr when a newer live record won.
+  Stored* store_record(const Key& key, Record rec);
   void republish_tick();
   /// Serialize `rec` once and fan the kReplica out to the ring neighbors
   /// (one shared payload buffer, batched per edge).
   void replicate(const Key& key, const Record& rec);
+  /// Handoff/pushback wire image for a stored copy.
+  std::vector<std::uint8_t> encode_stored(const Key& key, const Stored& s) {
+    return encode_record(Op::kReplica, key, s.rec);
+  }
   /// A connection died: schedule one coalesced re-replication pass.
   void schedule_rereplication();
   void rereplicate_owned();
@@ -158,7 +259,7 @@ class Dht {
   BrunetNode& node_;
   DhtConfig cfg_;
   DhtStats stats_;
-  std::map<Key, Record> store_;
+  std::map<Key, Stored> store_;
   std::uint64_t version_counter_ = 1;
   std::uint64_t republish_timer_ = 0;
   std::uint64_t rereplicate_timer_ = 0;

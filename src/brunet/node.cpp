@@ -67,6 +67,14 @@ std::size_t encode_node_infos(util::ByteWriter& w,
 BrunetNode::BrunetNode(net::Host& host, Address addr, NodeConfig cfg)
     : host_(host), addr_(addr), cfg_(cfg), table_(addr) {}
 
+BrunetNode::BrunetNode(net::Host& host, const NodeIdentity& identity,
+                       NodeConfig cfg)
+    : host_(host),
+      addr_(identity.address()),
+      identity_(identity),
+      cfg_(cfg),
+      table_(addr_) {}
+
 BrunetNode::~BrunetNode() { stop(); }
 
 void BrunetNode::add_seed(TransportAddress ta) { seeds_.push_back(ta); }
@@ -102,7 +110,23 @@ void BrunetNode::leave() {
   util::ByteWriter w;
   NodeInfo{addr_, local_addresses()}.encode(w);
   encode_node_infos(w, neighbor_infos(cfg_.near_per_side));
-  notice.set_payload(w.take());
+  auto body = w.take();
+  // A key-addressed node signs the notice over (address || body), so a
+  // peer can check the departure really comes from the key that owns the
+  // ring position — nobody can forge an eviction for a live node.  The
+  // appended pubkey + signature are trailing fields legacy receivers
+  // never reach while parsing.
+  if (key_addressed()) {
+    std::vector<std::uint8_t> msg;
+    msg.reserve(Address::kBytes + body.size());
+    msg.insert(msg.end(), addr_.bytes().begin(), addr_.bytes().end());
+    msg.insert(msg.end(), body.begin(), body.end());
+    const auto sig = identity_.keys.sign(msg);
+    const auto& pk = identity_.keys.public_key().bytes;
+    body.insert(body.end(), pk.begin(), pk.end());
+    body.insert(body.end(), sig.bytes.begin(), sig.bytes.end());
+  }
+  notice.set_payload(std::move(body));
   const auto wire = notice.to_wire(send_headroom_);
   table_.for_each([&](const Connection& c) { c.edge->send(wire); });
   stop();
@@ -354,16 +378,22 @@ void BrunetNode::process_packet(const std::shared_ptr<Edge>& edge,
 void BrunetNode::on_edge_closed(Edge* edge) {
   edges_.erase(edge);
   relay_via_activity_.erase(edge);
-  // A tunnel is only as alive as its carrier: collect relay edges riding
-  // the dead edge, then close them (each close re-enters here for the
-  // tunnel itself, one level deep — a relay's via is always direct).
+  // A tunnel is only as alive as its carrier — but a tunnel with a
+  // pre-armed backup relay swaps onto the backup's direct edge first
+  // (failover) and only dies when no backup can carry it.  Each close
+  // re-enters here for the tunnel itself, one level deep — a relay's via
+  // is always direct.
   std::vector<std::shared_ptr<RelayEdge>> dead_tunnels;
   for (auto it = relay_edges_.begin(); it != relay_edges_.end();) {
     if (it->second.get() == edge) {
       it = relay_edges_.erase(it);
     } else if (it->second->via().get() == edge) {
-      dead_tunnels.push_back(it->second);
-      it = relay_edges_.erase(it);
+      if (failover_relay(it->second)) {
+        ++it;
+      } else {
+        dead_tunnels.push_back(it->second);
+        it = relay_edges_.erase(it);
+      }
     } else {
       ++it;
     }
@@ -383,27 +413,28 @@ void BrunetNode::on_edge_closed(Edge* edge) {
 // Routing
 // ---------------------------------------------------------------------------
 
-void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
-                      util::Buffer payload, std::uint32_t msg_id) {
+std::size_t BrunetNode::send(const Destination& dst, OutboundFrame&& frame) {
+  if (dst.is_fanout()) {
+    return send_fanout(dst.addrs(), frame.type, dst.mode(),
+                       std::move(frame.payload));
+  }
   Packet pkt;
-  pkt.type = type;
-  pkt.mode = mode;
+  pkt.type = frame.type;
+  pkt.mode = dst.mode();
   pkt.ttl = cfg_.default_ttl;
-  pkt.msg_id = msg_id;
+  pkt.msg_id = frame.msg_id;
   pkt.src = addr_;
-  pkt.dst = dst;
-  pkt.set_payload(std::move(payload));
+  pkt.dst = dst.addr();
+  pkt.set_payload(frame.headroom == OutboundFrame::Headroom::kShare
+                      ? frame.payload.share()
+                      : std::move(frame.payload));
   route(std::move(pkt), /*from_transit=*/false);
+  return 1;
 }
 
-void BrunetNode::send(Address dst, PacketType type, RoutingMode mode,
-                      std::vector<std::uint8_t> payload, std::uint32_t msg_id) {
-  send(dst, type, mode, util::Buffer::wrap(std::move(payload)), msg_id);
-}
-
-std::size_t BrunetNode::send_batch(std::span<const Address> dsts,
-                                   PacketType type, RoutingMode mode,
-                                   util::Buffer payload) {
+std::size_t BrunetNode::send_fanout(std::span<const Address> dsts,
+                                    PacketType type, RoutingMode mode,
+                                    util::Buffer payload) {
   // Per-edge groups (shared_ptr: a deliver() reentering the node must
   // not invalidate an edge we still have frames for).
   std::vector<std::pair<std::shared_ptr<Edge>, std::vector<util::BufferChain>>>
@@ -579,12 +610,14 @@ void BrunetNode::request(Address dst, PacketType type, RoutingMode mode,
     if (cb2) cb2(std::nullopt);
   });
   pending_requests_.emplace(id, std::move(pr));
-  send(dst, type, mode, std::move(payload), id);
+  send(Destination::unicast(dst, mode),
+       OutboundFrame(type, std::move(payload), id));
 }
 
 void BrunetNode::respond(const Packet& req, PacketType type,
                          util::Buffer payload) {
-  send(req.src, type, RoutingMode::kExact, std::move(payload), req.msg_id);
+  send(Destination::unicast(req.src),
+       OutboundFrame(type, std::move(payload), req.msg_id));
 }
 
 void BrunetNode::respond(const Packet& req, PacketType type,
@@ -741,6 +774,8 @@ void BrunetNode::handle_departing(const std::shared_ptr<Edge>& edge,
                                   const Packet& pkt) {
   NodeInfo sender;
   std::vector<NodeInfo> neighbors;
+  std::size_t body_size = 0;
+  bool signed_notice = false;
   try {
     util::ByteReader r(pkt.payload());
     sender = NodeInfo::decode(r);
@@ -748,7 +783,37 @@ void BrunetNode::handle_departing(const std::shared_ptr<Edge>& edge,
     for (std::uint8_t i = 0; i < n; ++i) {
       neighbors.push_back(NodeInfo::decode(r));
     }
+    body_size = pkt.payload().size() - r.remaining();
+    // Trailing pubkey(32) + signature(64) from a key-addressed departer.
+    // The signature covers (claimed address || body), and the key must
+    // *derive* the claimed address — otherwise any node could sign an
+    // eviction notice for any ring position with its own perfectly valid
+    // key.
+    if (r.remaining() == 32 + 64) {
+      util::crypto::PublicKey pk;
+      auto pk_bytes = r.bytes(32);
+      std::copy(pk_bytes.begin(), pk_bytes.end(), pk.bytes.begin());
+      util::crypto::Signature sig;
+      auto sig_bytes = r.bytes(64);
+      std::copy(sig_bytes.begin(), sig_bytes.end(), sig.bytes.begin());
+      std::vector<std::uint8_t> msg;
+      msg.reserve(Address::kBytes + body_size);
+      msg.insert(msg.end(), sender.addr.bytes().begin(),
+                 sender.addr.bytes().end());
+      const auto body = pkt.payload().subview(0, body_size);
+      msg.insert(msg.end(), body.data(), body.data() + body.size());
+      if (Address::from_public_key(pk) != sender.addr ||
+          !util::crypto::verify(pk, msg, sig)) {
+        ++stats_.departures_rejected;
+        return;
+      }
+      signed_notice = true;
+    }
   } catch (const util::ParseError&) {
+    return;
+  }
+  if (cfg_.require_signed_departures && !signed_notice) {
+    ++stats_.departures_rejected;
     return;
   }
   ++stats_.departures_seen;
@@ -1014,14 +1079,22 @@ bool BrunetNode::start_relay(const Address& target, LinkAttempt& attempt) {
   // Pick the relay R: a node adjacent to the target (its neighbor set
   // from the punch response) that we hold a *direct* edge to — relays
   // only forward over non-relay edges, which bounds tunnel nesting at
-  // one layer.  Deterministic min-address pick.
+  // one layer.  Deterministic min-address pick; the runner-up is armed
+  // as the failover backup so a dying carrier swaps vias instead of
+  // re-running the linker.
   const Connection* via = nullptr;
+  const Connection* backup = nullptr;
   for (const auto& info : attempt.relay_candidates) {
     if (info.addr == addr_ || info.addr == target) continue;
     const Connection* c = table_.find(info.addr);
     if (c == nullptr || c->edge == nullptr || !c->edge->is_up()) continue;
     if (c->edge->remote().proto == TransportAddress::Proto::kRelay) continue;
-    if (via == nullptr || c->addr < via->addr) via = c;
+    if (via == nullptr || c->addr < via->addr) {
+      backup = via;
+      via = c;
+    } else if (backup == nullptr || c->addr < backup->addr) {
+      backup = c;
+    }
   }
   if (via == nullptr) {
     // No punch response made it back (or no mutual neighbor): fall back
@@ -1031,7 +1104,11 @@ bool BrunetNode::start_relay(const Address& target, LinkAttempt& attempt) {
       if (c.addr == target || c.edge == nullptr || !c.edge->is_up()) return;
       if (c.edge->remote().proto == TransportAddress::Proto::kRelay) return;
       if (via == nullptr || Address::closer(target, c.addr, via->addr)) {
+        backup = via;
         via = &c;
+      } else if (backup == nullptr ||
+                 Address::closer(target, c.addr, backup->addr)) {
+        backup = &c;
       }
     });
   }
@@ -1041,10 +1118,27 @@ bool BrunetNode::start_relay(const Address& target, LinkAttempt& attempt) {
                                    << via->addr.short_hex());
   auto re = std::make_shared<RelayEdge>(addr_, target, via->addr, via->edge,
                                         &stats_.relay_wrap_bytes_copied);
+  if (backup != nullptr) re->arm_backup(backup->addr);
   adopt_edge(re);
   relay_edges_[target] = re;
   ++stats_.relay_edges;
   send_link_request(re, attempt.type);
+  return true;
+}
+
+bool BrunetNode::failover_relay(const std::shared_ptr<RelayEdge>& re) {
+  const Address& backup = re->backup_relay();
+  if (backup == Address{}) return false;
+  const Connection* c = table_.find(backup);
+  if (c == nullptr || c->edge == nullptr || !c->edge->is_up() ||
+      c->edge->remote().proto == TransportAddress::Proto::kRelay) {
+    return false;
+  }
+  IPOP_LOG_DEBUG(addr_.short_hex()
+                 << ": relay to " << re->peer().short_hex()
+                 << " failing over via " << backup.short_hex());
+  re->swap_via(c->edge, c->addr);
+  ++stats_.relay_failovers;
   return true;
 }
 
@@ -1083,6 +1177,16 @@ void BrunetNode::handle_relay_deliver(const std::shared_ptr<Edge>& edge,
   if (auto it = relay_edges_.find(pkt.src);
       it != relay_edges_.end() && it->second->is_up()) {
     re = it->second;
+    // Opportunistic backup arming (the responder-side mirror of the
+    // initiator's link-time pick): a wrapped frame arriving over a
+    // different direct edge proves that edge's owner can also relay for
+    // this peer — e.g. after the peer failed over, its frames come
+    // through the new relay before our old carrier even times out.
+    if (edge.get() != re->via().get()) {
+      if (const Connection* rc = table_.find_by_edge(edge.get())) {
+        re->arm_backup(rc->addr);
+      }
+    }
   } else {
     // First wrapped frame from this tunnel peer: materialize our end of
     // the tunnel over the edge it arrived on (the relay's direct edge to

@@ -33,11 +33,37 @@
 #include "brunet/packet.hpp"
 #include "brunet/transport.hpp"
 #include "net/host.hpp"
+#include "util/crypto.hpp"
 #include "util/lifetime.hpp"
 
 namespace ipop::brunet {
 
 class RelayEdge;
+
+/// Cryptographic node identity: an Ed25519 keypair plus the overlay
+/// address derived from its public key (SHA-1 of the key, keeping the
+/// paper's 160-bit ring width).  A node addressed this way *owns* its
+/// ring position: DHT records, leases, ARP bindings and departure
+/// notices it signs are verifiable against the address itself, so
+/// nobody can squat another node's identity (netsukuku's ANDNA
+/// first-come-first-served ownership model).
+struct NodeIdentity {
+  util::crypto::KeyPair keys;
+
+  /// Keys drawn from the seeded sim generator (the only sanctioned
+  /// entropy source for in-sim key generation).
+  static NodeIdentity generate(util::Rng& rng) {
+    return NodeIdentity{util::crypto::KeyPair::generate(rng)};
+  }
+  static NodeIdentity from_seed(std::span<const std::uint8_t> seed) {
+    return NodeIdentity{util::crypto::KeyPair::from_seed(seed)};
+  }
+
+  Address address() const {
+    return Address::from_public_key(keys.public_key());
+  }
+  bool valid() const { return keys.valid(); }
+};
 
 /// Self-classified NAT behavior, inferred from the translated addresses
 /// peers report back during handshakes and keepalives (the decentralized
@@ -74,6 +100,11 @@ struct NodeConfig {
   /// CPU cost charged per received packet (routing is user-level work;
   /// IPOP raises this to its measured per-packet processing cost).
   Duration cpu_per_packet = util::microseconds(20);
+  /// Reject kDeparting notices that carry no signature.  Off by default
+  /// (plain BrunetNode rings have no identities); IPOP turns it on when
+  /// the overlay runs key-derived addresses, closing the forged-eviction
+  /// hole the hostile soak probes.
+  bool require_signed_departures = false;
 };
 
 struct NodeStats {
@@ -122,6 +153,13 @@ struct NodeStats {
   /// Bytes copied wrapping outbound tunnel frames: stays 0 while the
   /// per-path headroom budget (buffer-ownership rule 6) holds.
   std::uint64_t relay_wrap_bytes_copied = 0;
+  /// Relay tunnels whose carrier died and were swapped onto the
+  /// pre-armed backup via instead of re-running the linker.
+  std::uint64_t relay_failovers = 0;
+  /// kDeparting notices dropped because their signature was invalid,
+  /// claimed an address the signing key does not own, or was missing
+  /// while the config demands signed departures.
+  std::uint64_t departures_rejected = 0;
 };
 
 /// Identity + dialable endpoints of a node, gossiped in the maintenance
@@ -141,12 +179,77 @@ struct NodeInfo {
 std::size_t encode_node_infos(util::ByteWriter& w,
                               std::span<const NodeInfo> infos);
 
+/// Routing target of one originated payload: a single address or a
+/// fan-out list, each with a routing mode.  Fan-out spans reference the
+/// caller's storage; send() consumes them synchronously.
+class Destination {
+ public:
+  static Destination unicast(const Address& a,
+                             RoutingMode m = RoutingMode::kExact) {
+    Destination d;
+    d.single_ = a;
+    d.mode_ = m;
+    return d;
+  }
+  static Destination closest(const Address& a) {
+    return unicast(a, RoutingMode::kClosest);
+  }
+  static Destination fanout(std::span<const Address> as,
+                            RoutingMode m = RoutingMode::kExact) {
+    Destination d;
+    d.many_ = as;
+    d.is_fanout_ = true;
+    d.mode_ = m;
+    return d;
+  }
+
+  RoutingMode mode() const { return mode_; }
+  bool is_fanout() const { return is_fanout_; }
+  const Address& addr() const { return single_; }
+  std::span<const Address> addrs() const { return many_; }
+
+ private:
+  Destination() = default;
+  Address single_{};
+  std::span<const Address> many_{};
+  RoutingMode mode_ = RoutingMode::kExact;
+  bool is_fanout_ = false;
+};
+
+/// One originated routed payload: owns the bytes and states the headroom
+/// intent.  Every application packet leaves through
+/// send(Destination, OutboundFrame&&) — the single choke point the
+/// security layer wraps (IPOP seals tunnel payloads and the DHT signs
+/// records *before* constructing the frame, so nothing routed can bypass
+/// them).
+struct OutboundFrame {
+  PacketType type = PacketType::kAppData;
+  util::Buffer payload;
+  std::uint32_t msg_id = 0;
+  /// kTake consumes the payload's own front slack for in-place
+  /// encapsulation (the zero-copy unicast path); kShare leaves the
+  /// storage untouched and writes headers into per-destination side
+  /// segments.  Fan-out destinations always share.
+  enum class Headroom : std::uint8_t { kTake, kShare };
+  Headroom headroom = Headroom::kTake;
+
+  OutboundFrame(PacketType t, util::Buffer b, std::uint32_t id = 0)
+      : type(t), payload(std::move(b)), msg_id(id) {}
+  OutboundFrame(PacketType t, std::vector<std::uint8_t> b,
+                std::uint32_t id = 0)
+      : type(t), payload(util::Buffer::wrap(std::move(b))), msg_id(id) {}
+};
+
 class BrunetNode {
  public:
   using PacketHandler = std::function<void(const Packet&)>;
   using ResponseCallback = std::function<void(std::optional<Packet>)>;
 
   BrunetNode(net::Host& host, Address addr, NodeConfig cfg = {});
+  /// Key-addressed node: the overlay address is derived from the
+  /// identity's public key, so this node can sign for its ring position.
+  BrunetNode(net::Host& host, const NodeIdentity& identity,
+             NodeConfig cfg = {});
   ~BrunetNode();
 
   BrunetNode(const BrunetNode&) = delete;
@@ -186,23 +289,21 @@ class BrunetNode {
   void add_departure_hook(std::function<void()> hook);
 
   // --- messaging ---------------------------------------------------------
-  /// Buffer overload: the zero-copy path.  A payload with kHeaderSize
-  /// bytes of headroom (e.g. a captured tap frame) is encapsulated in
-  /// place; otherwise it is copied exactly once into the wire image.
-  void send(Address dst, PacketType type, RoutingMode mode,
-            util::Buffer payload, std::uint32_t msg_id = 0);
-  void send(Address dst, PacketType type, RoutingMode mode,
-            std::vector<std::uint8_t> payload, std::uint32_t msg_id = 0);
-  /// Fan-out send: one routed packet per destination, every packet
-  /// sharing `payload`'s storage (each destination's 48-byte header is
-  /// written into its own small segment with headroom for the transport
-  /// prepends).  Destinations routing over the same edge leave in one
+  /// THE outbound entry point: every originated routed packet goes
+  /// through here (request/respond are conveniences over it).
+  ///
+  /// Unicast with Headroom::kTake is the zero-copy path: a payload with
+  /// kHeaderSize bytes of front slack (e.g. a captured tap frame) is
+  /// encapsulated in place; otherwise it is copied exactly once into the
+  /// wire image.  A fan-out destination sends one routed packet per
+  /// address, every packet sharing the payload's storage (headers live
+  /// in per-destination side segments with headroom for the transport
+  /// prepends); destinations routing over the same edge leave in one
   /// batched transport send — UDP crosses the socket sendmmsg-style,
-  /// TCP as one gathered stream write.  Returns packets sent or
-  /// delivered locally (routing drops are excluded and counted in
-  /// NodeStats as usual).
-  std::size_t send_batch(std::span<const Address> dsts, PacketType type,
-                         RoutingMode mode, util::Buffer payload);
+  /// TCP as one gathered stream write.  Returns packets accepted for
+  /// routing or delivered locally (fan-out routing drops are excluded
+  /// and counted in NodeStats as usual).
+  std::size_t send(const Destination& dst, OutboundFrame&& frame);
   /// Register the handler for an application packet type (kIpTunnel,
   /// kDhtRequest, kAppData); maintenance types are handled internally.
   void set_handler(PacketType type, PacketHandler handler);
@@ -231,6 +332,22 @@ class BrunetNode {
   /// its response gives us its endpoints.  Used by IPOP's traffic-driven
   /// shortcuts (paper Section V.1).
   void request_connection(const Address& target, ConnectionType type);
+
+  // --- identity -----------------------------------------------------------
+  /// Attach signing keys to a node whose address is *not* key-derived
+  /// (the classic from_ip mapping): records it writes are still signed,
+  /// but departure notices stay unsigned since the keys cannot vouch for
+  /// the ring position.  Call before start().
+  void set_identity(NodeIdentity identity) {
+    identity_ = std::move(identity);
+  }
+  const NodeIdentity& identity() const { return identity_; }
+  bool has_identity() const { return identity_.valid(); }
+  /// True when the overlay address is derived from the identity's key —
+  /// the node can prove ownership of its ring position.
+  bool key_addressed() const {
+    return has_identity() && identity_.address() == addr_;
+  }
 
   // --- introspection ------------------------------------------------------
   const Address& address() const { return addr_; }
@@ -296,6 +413,8 @@ class BrunetNode {
   /// `src` is excluded so a packet never routes back toward its origin.
   NextHop pick_next_hop(const Address& dst, const Address& src) const;
   void route(Packet pkt, bool from_transit);
+  std::size_t send_fanout(std::span<const Address> dsts, PacketType type,
+                          RoutingMode mode, util::Buffer payload);
   void deliver(const Packet& pkt);
 
   // Link handshake.
@@ -316,6 +435,10 @@ class BrunetNode {
   /// Tunnel the link handshake through a mutual neighbor; returns false
   /// when no usable relay is known.
   bool start_relay(const Address& target, LinkAttempt& attempt);
+  /// Swap a tunnel whose carrier died onto its pre-armed backup via.
+  /// Returns false when no backup is armed or the backup edge is gone
+  /// (the tunnel then closes as before).
+  bool failover_relay(const std::shared_ptr<RelayEdge>& re);
   void handle_relay_forward(const std::shared_ptr<Edge>& edge, Packet pkt);
   void handle_relay_deliver(const std::shared_ptr<Edge>& edge,
                             const Packet& pkt);
@@ -365,6 +488,7 @@ class BrunetNode {
 
   net::Host& host_;
   Address addr_;
+  NodeIdentity identity_{};
   NodeConfig cfg_;
   ConnectionTable table_;
   NodeStats stats_;

@@ -64,6 +64,26 @@ class RelayEdge : public Edge {
   const Address& peer() const { return peer_; }
   const Address& relay() const { return relay_; }
 
+  /// Pre-arm a second relay candidate (ROADMAP item 2 follow-up): when
+  /// the carrier dies the node swaps the tunnel onto the backup's direct
+  /// edge instead of re-running the whole linker.  The initiator arms it
+  /// from the punch response's candidate list at link time; the
+  /// responder arms it opportunistically from whichever other direct
+  /// edge delivers wrapped frames (after a peer-side failover, frames
+  /// arrive through the new relay before our old carrier even times
+  /// out).
+  void arm_backup(const Address& relay) { backup_relay_ = relay; }
+  const Address& backup_relay() const { return backup_relay_; }
+
+  /// Ride a new carrier; the old relay becomes the backup (it may only
+  /// have died from the *carrier edge*'s perspective — if its node is
+  /// really gone, the next failover simply finds no direct edge to it).
+  void swap_via(std::shared_ptr<Edge> via, const Address& relay) {
+    backup_relay_ = relay_;
+    relay_ = relay;
+    via_ = std::move(via);
+  }
+
   /// Node-side entry point for an unwrapped inbound frame.
   void deliver_inner(TimePoint now, util::Buffer inner) {
     deliver(now, std::move(inner));
@@ -75,6 +95,8 @@ class RelayEdge : public Edge {
   Address local_;
   Address peer_;
   Address relay_;
+  /// All-zero address = no backup armed.
+  Address backup_relay_{};
   std::shared_ptr<Edge> via_;
   std::uint64_t* wrap_copies_;
   bool up_ = true;

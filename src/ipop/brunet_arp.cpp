@@ -19,7 +19,7 @@ BrunetArp::BrunetArp(brunet::BrunetNode& node, brunet::Dht& dht,
           const brunet::Address& lost) {
         if (alive.expired()) return;
         const auto n = std::erase_if(cache_, [&](const auto& kv) {
-          return kv.second.addr == lost;
+          return kv.second.binding.addr == lost;
         });
         stats_.invalidations += n;
       });
@@ -38,11 +38,24 @@ void BrunetArp::register_ip(net::Ipv4Address vip) {
   do_register(vip, cfg_.register_retries);
 }
 
-void BrunetArp::do_register(net::Ipv4Address vip, int retries_left) {
-  ++stats_.registrations;
+brunet::Record BrunetArp::binding_record() const {
   const auto& addr = node_.address();
   std::vector<std::uint8_t> value(addr.bytes().begin(), addr.bytes().end());
-  dht_.put(key_for(vip), std::move(value),
+  if (node_.has_identity()) {
+    const auto& pk = node_.identity().keys.public_key().bytes;
+    value.insert(value.end(), pk.begin(), pk.end());
+  }
+  brunet::Record rec;
+  rec.value = util::Buffer::wrap(std::move(value));
+  // Only a key-derived address can prove the value's address claim is
+  // the signer's own (see Record::kKeyBound).
+  if (node_.key_addressed()) rec.flags |= brunet::Record::kKeyBound;
+  return rec;
+}
+
+void BrunetArp::do_register(net::Ipv4Address vip, int retries_left) {
+  ++stats_.registrations;
+  dht_.put(key_for(vip), binding_record(),
            [this, vip, retries_left,
             alive = std::weak_ptr<bool>(alive_)](bool ok) {
              if (ok || alive.expired() || stopped_) return;
@@ -71,8 +84,10 @@ void BrunetArp::invalidate(net::Ipv4Address vip) { cache_.erase(vip); }
 
 void BrunetArp::unregister_ip(net::Ipv4Address vip) {
   std::erase(registered_, vip);
-  // The DHT record ages out via TTL; an explicit tombstone is not needed
-  // because a migrated IP re-binds with a newer version immediately.
+  // With an identity, a signed release drops the binding immediately so
+  // resolvers stop routing here; otherwise the record ages out via TTL
+  // (a migrated IP re-binds with a newer version anyway).
+  if (node_.has_identity()) dht_.release(key_for(vip), nullptr);
 }
 
 void BrunetArp::reregister_tick() {
@@ -90,22 +105,32 @@ void BrunetArp::resolve(net::Ipv4Address vip, ResolveCallback cb) {
   auto cached = cache_.find(vip);
   if (cached != cache_.end() && cached->second.expires > now) {
     ++stats_.cache_hits;
-    cb(cached->second.addr);
+    cb(cached->second.binding);
     return;
   }
   auto [it, fresh] = in_flight_.try_emplace(vip);
   it->second.push_back(std::move(cb));
   if (!fresh) return;  // lookup already running; coalesce
 
-  dht_.get(key_for(vip), [this, vip](std::optional<std::vector<std::uint8_t>> v) {
-    std::optional<brunet::Address> result;
-    if (v && v->size() == brunet::Address::kBytes) {
+  dht_.get(key_for(vip), [this, vip](std::optional<brunet::Record> rec) {
+    std::optional<ArpBinding> result;
+    if (rec && rec->value.size() >= brunet::Address::kBytes) {
       ++stats_.dht_hits;
+      const auto bytes = rec->value.as_span();
       brunet::Address::Bytes b{};
-      std::copy(v->begin(), v->end(), b.begin());
-      result = brunet::Address(b);
-      cache_[vip] = CacheEntry{*result,
+      std::copy(bytes.begin(), bytes.begin() + brunet::Address::kBytes,
+                b.begin());
+      ArpBinding binding{brunet::Address(b), {}, false};
+      // The owner key is the authoritative encryption key: the storing
+      // node verified the record signature against it.  (The copy in the
+      // value bytes is advisory — present even on unsigned records.)
+      if (rec->is_signed()) {
+        binding.key = rec->owner;
+        binding.has_key = true;
+      }
+      cache_[vip] = CacheEntry{binding,
                                node_.host().loop().now() + cfg_.cache_ttl};
+      result = binding;
     } else {
       ++stats_.dht_misses;
     }

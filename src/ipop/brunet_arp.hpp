@@ -44,10 +44,19 @@ struct BrunetArpStats {
   std::uint64_t invalidations = 0;
 };
 
+/// A resolved IP -> node binding.  Records written by identity-bearing
+/// nodes carry the owner's public key, so resolving an IP also yields
+/// the key to encrypt tunneled payloads to (how FrameSealer learns its
+/// peer keys — no extra key-exchange round trip).
+struct ArpBinding {
+  brunet::Address addr;
+  util::crypto::PublicKey key{};
+  bool has_key = false;
+};
+
 class BrunetArp {
  public:
-  using ResolveCallback =
-      std::function<void(std::optional<brunet::Address>)>;
+  using ResolveCallback = std::function<void(std::optional<ArpBinding>)>;
 
   BrunetArp(brunet::BrunetNode& node, brunet::Dht& dht,
             BrunetArpConfig cfg = {});
@@ -73,12 +82,15 @@ class BrunetArp {
 
  private:
   struct CacheEntry {
-    brunet::Address addr;
+    ArpBinding binding;
     util::TimePoint expires{};
   };
 
   void do_register(net::Ipv4Address vip, int retries_left);
   void reregister_tick();
+  /// Binding record value: this node's overlay address (plus public key
+  /// with an identity), kKeyBound when the address is key-derived.
+  brunet::Record binding_record() const;
 
   brunet::BrunetNode& node_;
   brunet::Dht& dht_;

@@ -1,5 +1,7 @@
 #include "ipop/dhcp.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace ipop::core {
@@ -20,7 +22,29 @@ brunet::Address DhcpClient::key_for(net::Ipv4Address ip) {
 
 std::vector<std::uint8_t> DhcpClient::lease_value() const {
   const auto& b = node_.address().bytes();
-  return {b.begin(), b.end()};
+  std::vector<std::uint8_t> v(b.begin(), b.end());
+  if (node_.has_identity()) {
+    const auto& pk = node_.identity().keys.public_key().bytes;
+    v.insert(v.end(), pk.begin(), pk.end());
+  }
+  return v;
+}
+
+brunet::Record DhcpClient::lease_record() const {
+  brunet::Record rec;
+  rec.value = util::Buffer::wrap(lease_value());
+  // kKeyBound makes the storing node require the claimed address to
+  // derive from the signing key: nobody can lease an IP *as us*.  Only
+  // valid when the overlay address really is key-derived.
+  if (node_.key_addressed()) rec.flags |= brunet::Record::kKeyBound;
+  return rec;
+}
+
+bool DhcpClient::value_is_ours(const brunet::Record& rec) const {
+  const auto mine = lease_value();
+  const auto theirs = rec.value.as_span();
+  return mine.size() == theirs.size() &&
+         std::equal(mine.begin(), mine.end(), theirs.begin());
 }
 
 net::Ipv4Address DhcpClient::candidate(int attempt) const {
@@ -79,7 +103,7 @@ void DhcpClient::try_claim(std::uint64_t epoch, int attempt,
   const auto ip = candidate(attempt);
   ++stats_.attempts;
   dht_.create(
-      key_for(ip), lease_value(),
+      key_for(ip), lease_record(),
       [this, epoch, ip, attempt, cb = std::move(cb)](bool ok) mutable {
         if (stopped_ || epoch != epoch_) return;
         if (!ok) {
@@ -96,9 +120,9 @@ void DhcpClient::try_claim(std::uint64_t epoch, int attempt,
         // claim stuck, walk on to the next candidate.
         dht_.get(key_for(ip),
                  [this, epoch, ip, attempt, cb = std::move(cb)](
-                     std::optional<std::vector<std::uint8_t>> v) mutable {
+                     std::optional<brunet::Record> rec) mutable {
                    if (stopped_ || epoch != epoch_) return;
-                   if (v && *v == lease_value()) {
+                   if (rec && value_is_ours(*rec)) {
                      lease_acquired(epoch, ip, std::move(cb));
                    } else {
                      ++stats_.conflicts;
@@ -135,7 +159,7 @@ void DhcpClient::renew_tick(std::uint64_t epoch) {
     return;
   }
   const auto ip = *lease_;
-  dht_.create(key_for(ip), lease_value(), [this, epoch, ip](bool ok) {
+  dht_.create(key_for(ip), lease_record(), [this, epoch, ip](bool ok) {
     if (stopped_ || epoch != epoch_ || !lease_.has_value() ||
         *lease_ != ip) {
       return;
@@ -153,12 +177,12 @@ void DhcpClient::renew_tick(std::uint64_t epoch) {
     // value because our record expired during a partition and the IP was
     // re-leased.  Read the record back to tell them apart.
     dht_.get(key_for(ip),
-             [this, epoch, ip](std::optional<std::vector<std::uint8_t>> v) {
+             [this, epoch, ip](std::optional<brunet::Record> rec) {
                if (stopped_ || epoch != epoch_ || !lease_.has_value() ||
                    *lease_ != ip) {
                  return;
                }
-               if (!v || *v == lease_value()) {
+               if (!rec || value_is_ours(*rec)) {
                  // Still ours (or unreachable): retry on a short fuse.
                  dispute_rounds_ = 0;
                  renew_timer_ = node_.host().loop().schedule_after(
@@ -191,6 +215,13 @@ void DhcpClient::renew_tick(std::uint64_t epoch) {
 }
 
 void DhcpClient::release() {
+  // A signed release hands the IP back to the pool immediately instead
+  // of waiting out the record TTL (only possible with an identity; an
+  // unsigned release would be a hijack primitive, so the DHT refuses
+  // it).  Best-effort: if the release is lost the TTL still reclaims.
+  if (lease_.has_value() && node_.has_identity()) {
+    dht_.release(key_for(*lease_), nullptr);
+  }
   // Invalidate every continuation of the current acquire/renew chain —
   // including ones parked inside the DHT's get-retry timers, which no
   // timer handle here can reach.

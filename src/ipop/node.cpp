@@ -15,11 +15,24 @@ IpopNode::IpopNode(net::Host& host, IpopConfig cfg)
   // The overlay node's per-packet CPU charge is IPOP's processing cost:
   // every forwarded tunnel packet costs this much at every overlay hop.
   cfg_.overlay.cpu_per_packet = cfg_.cpu_per_packet;
-  const auto overlay_addr =
-      cfg_.use_dhcp ? brunet::Address::hash("ipop-node:" + host_.name())
-                    : brunet::Address::from_ip(cfg_.tap.ip);
-  overlay_ =
-      std::make_unique<brunet::BrunetNode>(host_, overlay_addr, cfg_.overlay);
+  // Every node carries an Ed25519 identity; keys come from the seeded
+  // sim generator, so a run's whole keyspace replays deterministically.
+  const auto identity = brunet::NodeIdentity::generate(host_.stack().rng());
+  if (cfg_.use_dhcp) {
+    // Self-configuring mode is key-addressed: the ring position derives
+    // from the public key, so leases / ARP bindings are hijack-proof and
+    // departure notices must be signed.
+    cfg_.overlay.require_signed_departures = true;
+    overlay_ =
+        std::make_unique<brunet::BrunetNode>(host_, identity, cfg_.overlay);
+  } else {
+    // Classic mapping keeps the paper's SHA1(IP) address; the identity
+    // still signs DHT records and encrypts tunneled payloads.
+    overlay_ = std::make_unique<brunet::BrunetNode>(
+        host_, brunet::Address::from_ip(cfg_.tap.ip), cfg_.overlay);
+    overlay_->set_identity(identity);
+  }
+  sealer_ = std::make_unique<brunet::FrameSealer>(identity.keys);
   dht_ = std::make_unique<brunet::Dht>(*overlay_, cfg_.dht);
   if (cfg_.use_brunet_arp) {
     brunet_arp_ = std::make_unique<BrunetArp>(*overlay_, *dht_,
@@ -238,26 +251,40 @@ void IpopNode::process_captured(util::Buffer frame) {
 }
 
 void IpopNode::tunnel(net::Ipv4Address dst_ip, util::Buffer ip_bytes) {
-  auto send_to = [this](brunet::Address addr, util::Buffer bytes) {
+  auto send_to = [this](const brunet::Address& addr,
+                        const util::crypto::PublicKey* peer_key,
+                        util::Buffer bytes) {
     ++metrics_.packets_tunneled;
     shortcuts_->note_packet(addr);
-    overlay_->send(addr, brunet::PacketType::kIpTunnel,
-                   brunet::RoutingMode::kExact, std::move(bytes));
+    if (peer_key != nullptr) {
+      // End-to-end seal on the still-exclusive capture buffer: encrypt in
+      // place, sign, prepend the seal header into the per-path headroom.
+      bytes = sealer_->seal(std::move(bytes), *peer_key, addr,
+                            overlay_->send_headroom());
+      ++metrics_.packets_sealed;
+    } else {
+      ++metrics_.packets_clear;
+    }
+    overlay_->send(brunet::Destination::unicast(addr),
+                   brunet::OutboundFrame(brunet::PacketType::kIpTunnel,
+                                         std::move(bytes)));
   };
 
   if (!cfg_.use_brunet_arp) {
-    // Classic IPOP: the destination node *is* SHA1(destination IP).
-    send_to(brunet::Address::from_ip(dst_ip), std::move(ip_bytes));
+    // Classic IPOP: the destination node *is* SHA1(destination IP) — an
+    // address with no key behind it, so these frames go in the clear.
+    send_to(brunet::Address::from_ip(dst_ip), nullptr, std::move(ip_bytes));
     return;
   }
   brunet_arp_->resolve(
       dst_ip, [this, send_to, ip_bytes = std::move(ip_bytes)](
-                  std::optional<brunet::Address> addr) mutable {
-        if (!addr) {
+                  std::optional<ArpBinding> binding) mutable {
+        if (!binding) {
           ++metrics_.dropped_unresolved;
           return;
         }
-        send_to(*addr, std::move(ip_bytes));
+        send_to(binding->addr, binding->has_key ? &binding->key : nullptr,
+                std::move(ip_bytes));
       });
 }
 
@@ -270,6 +297,18 @@ void IpopNode::on_tunnel_packet(const brunet::Packet& pkt) {
   // only the injection latency remains.  Unwrapping the tunneled IP packet
   // is a sub-buffer share, not a copy.
   auto bytes = pkt.share_payload();
+  if (brunet::FrameSealer::looks_sealed(bytes.as_span())) {
+    // Buffer-ownership rule 7: once routing delivered the packet here the
+    // payload bytes are exclusively ours, so the in-place decrypt through
+    // this shared-refcount handle is sanctioned.
+    auto plain =
+        sealer_->open(std::move(bytes.assume_exclusive()), overlay_->address());
+    if (!plain) {
+      ++metrics_.dropped_seal_reject;
+      return;
+    }
+    bytes = std::move(*plain);
+  }
   host_.loop().schedule_after(cfg_.sched_latency,
                               [this, alive = alive_.guard(),
                                bytes = std::move(bytes)]() mutable {

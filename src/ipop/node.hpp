@@ -26,6 +26,7 @@
 
 #include "brunet/dht.hpp"
 #include "brunet/node.hpp"
+#include "brunet/secure.hpp"
 #include "ipop/brunet_arp.hpp"
 #include "ipop/dhcp.hpp"
 #include "ipop/shortcuts.hpp"
@@ -68,6 +69,14 @@ struct IpopMetrics {
   std::uint64_t dropped_parse = 0;
   std::uint64_t dropped_unresolved = 0;
   std::uint64_t dropped_not_ours = 0;
+  /// Tunnel payloads encrypted + signed before leaving, vs. sent in the
+  /// clear (no peer key known: the classic SHA1(IP) mapping, or a legacy
+  /// unsigned binding).
+  std::uint64_t packets_sealed = 0;
+  std::uint64_t packets_clear = 0;
+  /// Inbound sealed frames FrameSealer::open refused (bad signature,
+  /// frame bound to another destination, truncated header).
+  std::uint64_t dropped_seal_reject = 0;
 };
 
 class IpopNode {
@@ -108,6 +117,10 @@ class IpopNode {
     on_configured_ = std::move(h);
   }
   brunet::BrunetNode& overlay() { return *overlay_; }
+  /// The node's end-to-end crypto pipeline (per-peer DH keys, in-place
+  /// seal/open).  Its Stats expose the zero-copy counter the bench gate
+  /// pins.
+  brunet::FrameSealer& sealer() { return *sealer_; }
   TapDevice& tap() { return *tap_; }
   brunet::Dht& dht() { return *dht_; }
   BrunetArp* brunet_arp() { return brunet_arp_.get(); }
@@ -134,6 +147,7 @@ class IpopNode {
   IpopConfig cfg_;
   std::unique_ptr<TapDevice> tap_;
   std::unique_ptr<brunet::BrunetNode> overlay_;
+  std::unique_ptr<brunet::FrameSealer> sealer_;
   std::unique_ptr<brunet::Dht> dht_;
   std::unique_ptr<BrunetArp> brunet_arp_;
   std::unique_ptr<DhcpClient> dhcp_;

@@ -29,10 +29,13 @@ namespace ipop::util {
 
 /// Headroom reserved in front of freshly allocated packet buffers so the
 /// virtual-network encapsulation chain prepends without reallocating.
-/// The deepest consumer is a tunneled send: 14B Ethernet strip at the tap
-/// refunds itself, then 48B Brunet header + 8B UDP + 20B IPv4 + 14B
-/// Ethernet = 90B of prepends before the frame hits the physical link.
-inline constexpr std::size_t kPacketHeadroom = 128;
+/// The deepest consumer is a secured tunneled send: 14B Ethernet strip at
+/// the tap refunds itself, then a 105B seal header (flags + sender key +
+/// nonce + signature), 48B Brunet header, 8B UDP + 20B IPv4 + 14B
+/// Ethernet = 195B of prepends before the frame hits the physical link
+/// (a relay wrap adds another 48B, covered by the per-path send-headroom
+/// derivation on top of this floor).
+inline constexpr std::size_t kPacketHeadroom = 256;
 
 class Buffer {
  public:

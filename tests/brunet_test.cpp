@@ -8,6 +8,7 @@
 
 #include "brunet/dht.hpp"
 #include "brunet/node.hpp"
+#include "brunet/secure.hpp"
 #include "net/topology.hpp"
 
 namespace ipop::brunet {
@@ -335,7 +336,8 @@ struct OverlayFixture {
   std::vector<std::unique_ptr<BrunetNode>> nodes;
   std::vector<Address> addrs;
 
-  void build(int n, TransportAddress::Proto proto, std::uint64_t seed = 77) {
+  void build(int n, TransportAddress::Proto proto, std::uint64_t seed = 77,
+             bool key_addressed = false) {
     util::Rng rng(seed);
     auto& sw = net.add_switch("sw");
     sim::LinkConfig lan;
@@ -349,7 +351,14 @@ struct OverlayFixture {
       NodeConfig cfg;
       cfg.transport = proto;
       Address addr = Address::random(rng);
-      auto node = std::make_unique<BrunetNode>(h, addr, cfg);
+      std::unique_ptr<BrunetNode> node;
+      if (key_addressed) {
+        const auto identity = NodeIdentity::generate(rng);
+        addr = identity.address();
+        node = std::make_unique<BrunetNode>(h, identity, cfg);
+      } else {
+        node = std::make_unique<BrunetNode>(h, addr, cfg);
+      }
       if (i > 0) {
         node->add_seed({proto, hosts[0]->stack().interface_ip(0), cfg.port});
       }
@@ -478,8 +487,10 @@ TEST(OverlayRouting, ExactDeliveryBetweenAllPairs) {
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
-      f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
-                       std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+      f.nodes[i]->send(
+          Destination::unicast(f.addrs[j]),
+          OutboundFrame(PacketType::kAppData,
+                        std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)}));
     }
   }
   f.net.loop().run_until(f.net.loop().now() + seconds(10));
@@ -509,8 +520,9 @@ TEST(OverlayRouting, ClosestModeDeliversToClosestNode) {
           });
     }
     const std::size_t origin = trial % f.nodes.size();
-    f.nodes[origin]->send(target, PacketType::kAppData, RoutingMode::kClosest,
-                          std::vector<std::uint8_t>{});
+    f.nodes[origin]->send(Destination::closest(target),
+                          OutboundFrame(PacketType::kAppData,
+                                        std::vector<std::uint8_t>{}));
     f.net.loop().run_until(f.net.loop().now() + seconds(2));
     if (origin != expected) {
       EXPECT_EQ(hits, 1) << "trial " << trial;
@@ -537,8 +549,9 @@ TEST(OverlayRouting, HopCountLogarithmicWithShortcuts) {
   for (std::size_t i = 0; i < f.nodes.size(); ++i) {
     for (std::size_t j = 0; j < f.nodes.size(); ++j) {
       if (i == j) continue;
-      f.nodes[i]->send(f.addrs[j], PacketType::kAppData, RoutingMode::kExact,
-                       std::vector<std::uint8_t>{});
+      f.nodes[i]->send(Destination::unicast(f.addrs[j]),
+                       OutboundFrame(PacketType::kAppData,
+                                     std::vector<std::uint8_t>{}));
     }
   }
   f.net.loop().run_until(f.net.loop().now() + seconds(10));
@@ -769,6 +782,14 @@ struct DhtFixture : ::testing::Test {
   }
 };
 
+/// Unwrap a typed DHT record into the raw value bytes the assertions
+/// compare against.
+std::optional<std::vector<std::uint8_t>> record_value(
+    std::optional<Record> rec) {
+  if (!rec) return std::nullopt;
+  return rec->value.to_vector();
+}
+
 TEST_F(DhtFixture, PutThenGetFromAnyNode) {
   const auto key = Address::hash("test-key");
   bool put_ok = false;
@@ -777,7 +798,7 @@ TEST_F(DhtFixture, PutThenGetFromAnyNode) {
   ASSERT_TRUE(put_ok);
   for (std::size_t i = 0; i < dhts.size(); ++i) {
     std::optional<std::vector<std::uint8_t>> got;
-    dhts[i]->get(key, [&](auto v) { got = std::move(v); });
+    dhts[i]->get(key, [&](auto v) { got = record_value(std::move(v)); });
     f.net.loop().run_until(f.net.loop().now() + seconds(5));
     ASSERT_TRUE(got.has_value()) << "get from node " << i;
     EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 2, 3}));
@@ -788,7 +809,7 @@ TEST_F(DhtFixture, GetMissingKeyReturnsNullopt) {
   std::optional<std::vector<std::uint8_t>> got{{9}};
   bool called = false;
   dhts[3]->get(Address::hash("never-stored"), [&](auto v) {
-    got = std::move(v);
+    got = record_value(std::move(v));
     called = true;
   });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
@@ -803,7 +824,7 @@ TEST_F(DhtFixture, OverwriteKeepsNewestValue) {
   dhts[2]->put(key, {2}, [](bool) {});
   f.net.loop().run_until(f.net.loop().now() + seconds(2));
   std::optional<std::vector<std::uint8_t>> got;
-  dhts[4]->get(key, [&](auto v) { got = std::move(v); });
+  dhts[4]->get(key, [&](auto v) { got = record_value(std::move(v)); });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{2}));
@@ -833,7 +854,7 @@ TEST_F(DhtFixture, SurvivesOwnerFailure) {
   f.net.loop().run_until(f.net.loop().now() + seconds(10));
   std::size_t asker = (owner + 1) % dhts.size();
   std::optional<std::vector<std::uint8_t>> got;
-  dhts[asker]->get(key, [&](auto v) { got = std::move(v); });
+  dhts[asker]->get(key, [&](auto v) { got = record_value(std::move(v)); });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
   ASSERT_TRUE(got.has_value()) << "value lost after owner failure";
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{7, 7}));
@@ -852,7 +873,7 @@ TEST_F(DhtFixture, CreateIsAtomicFirstWriterWins) {
   EXPECT_FALSE(second_ok);
   // ...and the stored value stays the first writer's.
   std::optional<std::vector<std::uint8_t>> got;
-  dhts[3]->get(key, [&](auto v) { got = std::move(v); });
+  dhts[3]->get(key, [&](auto v) { got = record_value(std::move(v)); });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 1, 1}));
@@ -938,7 +959,7 @@ TEST_F(DhtFixture, HandoffSurvivesSimultaneousAdjacentDepartures) {
   std::size_t asker = 0;
   while (asker == owner || asker == successor) ++asker;
   std::optional<std::vector<std::uint8_t>> got;
-  dhts[asker]->get(key, [&](auto v) { got = std::move(v); });
+  dhts[asker]->get(key, [&](auto v) { got = record_value(std::move(v)); });
   f.net.loop().run_until(f.net.loop().now() + seconds(5));
   ASSERT_TRUE(got.has_value())
       << "record lost when two adjacent owners departed together";
@@ -959,6 +980,284 @@ TEST_F(DhtFixture, HandoffSurvivesSimultaneousAdjacentDepartures) {
   EXPECT_GE(rereplications, 1u)
       << "survivors must re-replicate after losing two replica holders";
   EXPECT_GE(holders, 2u) << "replication factor not restored";
+}
+
+// --- FrameSealer (end-to-end payload crypto) ---------------------------------
+
+TEST(FrameSealerTest, SealOpenRoundTripsInPlaceWithZeroCopies) {
+  util::Rng rng(404);
+  const auto a = util::crypto::KeyPair::generate(rng);
+  const auto b = util::crypto::KeyPair::generate(rng);
+  FrameSealer alice(a);
+  FrameSealer bob(b);
+  const Address dst = Address::from_public_key(b.public_key());
+
+  std::vector<std::uint8_t> plain(600);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(i);
+  }
+  auto payload = util::Buffer::copy_of(plain, util::kPacketHeadroom);
+  const std::uint8_t* bytes_before = payload.data();
+
+  auto sealed = alice.seal(std::move(payload), b.public_key(), dst,
+                           util::kPacketHeadroom);
+  EXPECT_EQ(alice.stats().sealed, 1u);
+  EXPECT_EQ(alice.stats().payload_bytes_copied, 0u)
+      << "seal with headroom available must not move payload bytes";
+  EXPECT_TRUE(FrameSealer::looks_sealed(sealed.as_span()));
+  // The header landed in the headroom; the (now encrypted) payload bytes
+  // did not move.
+  EXPECT_EQ(sealed.data() + FrameSealer::kHeaderSize, bytes_before);
+  EXPECT_NE(sealed.to_vector(),
+            plain)  // and they really are ciphertext now
+      << "sealed frame leaked plaintext";
+
+  auto opened = bob.open(std::move(sealed), dst);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->to_vector(), plain);
+  EXPECT_EQ(opened->data(), bytes_before) << "open must decrypt in place";
+  EXPECT_EQ(bob.stats().opened, 1u);
+  EXPECT_EQ(bob.stats().rejected, 0u);
+}
+
+TEST(FrameSealerTest, NoncesMakeIdenticalPayloadsDistinct) {
+  util::Rng rng(405);
+  const auto a = util::crypto::KeyPair::generate(rng);
+  const auto b = util::crypto::KeyPair::generate(rng);
+  FrameSealer alice(a);
+  const Address dst = Address::from_public_key(b.public_key());
+  const std::vector<std::uint8_t> plain(64, 0x5A);
+  auto s1 = alice.seal(util::Buffer::copy_of(plain, util::kPacketHeadroom),
+                       b.public_key(), dst, util::kPacketHeadroom);
+  auto s2 = alice.seal(util::Buffer::copy_of(plain, util::kPacketHeadroom),
+                       b.public_key(), dst, util::kPacketHeadroom);
+  EXPECT_NE(s1.to_vector(), s2.to_vector());
+  // One DH agreement serves both frames.
+  EXPECT_EQ(alice.stats().key_agreements, 1u);
+}
+
+TEST(FrameSealerTest, TamperedOrMisdirectedFramesRejected) {
+  util::Rng rng(406);
+  const auto a = util::crypto::KeyPair::generate(rng);
+  const auto b = util::crypto::KeyPair::generate(rng);
+  FrameSealer alice(a);
+  FrameSealer bob(b);
+  const Address dst = Address::from_public_key(b.public_key());
+  const std::vector<std::uint8_t> plain{1, 2, 3, 4, 5, 6, 7, 8};
+
+  // Bit-flipped ciphertext: the encrypt-then-sign MAC catches it.
+  auto sealed = alice.seal(util::Buffer::copy_of(plain, util::kPacketHeadroom),
+                           b.public_key(), dst, util::kPacketHeadroom);
+  sealed.patch_u8(FrameSealer::kHeaderSize + 3,
+                  sealed[FrameSealer::kHeaderSize + 3] ^ 0x10);
+  EXPECT_FALSE(bob.open(std::move(sealed), dst).has_value());
+
+  // Redirected frame: the signature binds the destination address, so a
+  // relay cannot replay a captured frame at a different node.
+  auto sealed2 = alice.seal(util::Buffer::copy_of(plain, util::kPacketHeadroom),
+                            b.public_key(), dst, util::kPacketHeadroom);
+  EXPECT_FALSE(
+      bob.open(std::move(sealed2), Address::hash("somewhere-else")).has_value());
+
+  // Truncated header.
+  auto runt = util::Buffer::wrap({FrameSealer::kSealedV1, 0x00, 0x01});
+  EXPECT_FALSE(bob.open(std::move(runt), dst).has_value());
+  EXPECT_EQ(bob.stats().rejected, 3u);
+  EXPECT_EQ(bob.stats().opened, 0u);
+}
+
+TEST(FrameSealerTest, SealWithoutHeadroomCountsTheCopy) {
+  util::Rng rng(407);
+  const auto a = util::crypto::KeyPair::generate(rng);
+  const auto b = util::crypto::KeyPair::generate(rng);
+  FrameSealer alice(a);
+  const Address dst = Address::from_public_key(b.public_key());
+  const std::vector<std::uint8_t> plain(128, 0x11);
+  // No headroom: seal still works, but the forced reallocation is
+  // visible in the zero-copy counter (what the bench gate pins at 0).
+  auto sealed = alice.seal(util::Buffer::copy_of(plain, /*headroom=*/0),
+                           b.public_key(), dst, util::kPacketHeadroom);
+  EXPECT_TRUE(FrameSealer::looks_sealed(sealed.as_span()));
+  EXPECT_EQ(alice.stats().payload_bytes_copied, plain.size());
+  FrameSealer bob(b);
+  auto opened = bob.open(std::move(sealed), dst);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->to_vector(), plain);
+}
+
+// --- record signatures & cryptographic ownership -----------------------------
+
+TEST(DhtRecordSignature, RoundTripsAndBindsKeyVersionAndValue) {
+  util::Rng rng(2024);
+  const auto keys = util::crypto::KeyPair::generate(rng);
+  const auto key = Address::hash("signed-record");
+  Record rec;
+  rec.value = util::Buffer::wrap({10, 20, 30});
+  rec.ttl = 120;
+  rec.version = 41;
+  rec.sign(key, keys);
+  EXPECT_TRUE(rec.is_signed());
+  EXPECT_TRUE(rec.verify(key));
+  // The signature covers the record's own DHT key: a valid record cannot
+  // be replanted under a different key.
+  EXPECT_FALSE(rec.verify(Address::hash("other-key")));
+}
+
+TEST(DhtRecordSignature, TamperedValueRejected) {
+  util::Rng rng(2025);
+  const auto keys = util::crypto::KeyPair::generate(rng);
+  const auto key = Address::hash("tamper-proof");
+  Record rec;
+  rec.value = util::Buffer::wrap({1, 2, 3, 4});
+  rec.sign(key, keys);
+  ASSERT_TRUE(rec.verify(key));
+  rec.value.patch_u8(2, rec.value[2] ^ 0x01);  // flip one payload bit
+  EXPECT_FALSE(rec.verify(key));
+}
+
+TEST(DhtRecordSignature, StaleVersionReplayRejected) {
+  util::Rng rng(2026);
+  const auto keys = util::crypto::KeyPair::generate(rng);
+  const auto key = Address::hash("replay-proof");
+  Record rec;
+  rec.value = util::Buffer::wrap({7});
+  rec.version = 100;
+  rec.sign(key, keys);
+  ASSERT_TRUE(rec.verify(key));
+  // Re-stamping an old record (the replay primitive: capture a signed
+  // record, bump the version to dominate the current one) invalidates
+  // the signature, because it covers the version.
+  rec.version = 200;
+  EXPECT_FALSE(rec.verify(key));
+}
+
+TEST(DhtRecordSignature, KeyBoundValueMustClaimSignersAddress) {
+  util::Rng rng(2027);
+  const auto victim = util::crypto::KeyPair::generate(rng);
+  const auto attacker = util::crypto::KeyPair::generate(rng);
+  const auto key = Address::hash("arp-10.0.0.7");
+  const auto victim_addr = Address::from_public_key(victim.public_key());
+  // An attacker binds the victim's overlay address with its own
+  // perfectly valid key: the signature verifies, but kKeyBound demands
+  // the claimed address derive from the *signing* key.
+  Record forged;
+  forged.value = util::Buffer::copy_of(victim_addr.bytes());
+  forged.flags |= Record::kKeyBound;
+  forged.sign(key, attacker);
+  EXPECT_FALSE(forged.verify(key));
+  // The honest equivalent passes.
+  Record honest;
+  honest.value = util::Buffer::copy_of(
+      Address::from_public_key(attacker.public_key()).bytes());
+  honest.flags |= Record::kKeyBound;
+  honest.sign(key, attacker);
+  EXPECT_TRUE(honest.verify(key));
+}
+
+/// Key-addressed overlay with per-node identities: every DHT write is
+/// signed, so ownership is enforced at the storing node.
+struct SignedDhtFixture : ::testing::Test {
+  OverlayFixture f;
+  std::vector<std::unique_ptr<Dht>> dhts;
+
+  void SetUp() override {
+    f.build(6, TransportAddress::Proto::kUdp, /*seed=*/77,
+            /*key_addressed=*/true);
+    f.start_all();
+    ASSERT_TRUE(f.converge());
+    for (auto& n : f.nodes) dhts.push_back(std::make_unique<Dht>(*n));
+  }
+
+  std::uint64_t total_owner_rejects() const {
+    std::uint64_t n = 0;
+    for (const auto& d : dhts) n += d->stats().owner_rejects;
+    return n;
+  }
+};
+
+TEST_F(SignedDhtFixture, ForeignCreateOnHeldKeyIsRejected) {
+  const auto key = Address::hash("lease-172.16.1.9");
+  bool ok = false;
+  dhts[1]->create(key, {1, 2, 3}, [&](bool k) { ok = k; });
+  // The freshly converged owner defers creates until min_owner_age; give
+  // the retry loop room to land.
+  f.net.loop().run_until(f.net.loop().now() + seconds(12));
+  ASSERT_TRUE(ok);
+  // The hijack attempt: another identity tries to claim the held key.
+  bool hijack = true;
+  dhts[2]->create(key, {9, 9, 9}, [&](bool k) { hijack = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_FALSE(hijack);
+  EXPECT_GE(total_owner_rejects(), 1u);
+  // The stored record still carries the first owner's value.
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[3]->get(key, [&](auto v) { got = record_value(std::move(v)); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(SignedDhtFixture, ForeignPutCannotOverwriteSignedRecord) {
+  const auto key = Address::hash("owned-binding");
+  bool ok = false;
+  dhts[0]->put(key, {5}, [&](bool k) { ok = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(ok);
+  // Unlike create, put() has overwrite semantics — but a live signed
+  // record only yields to its own owner, so the overwrite is refused.
+  bool stomp = true;
+  dhts[4]->put(key, {6}, [&](bool k) { stomp = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_FALSE(stomp);
+  EXPECT_GE(total_owner_rejects(), 1u);
+  std::optional<std::vector<std::uint8_t>> got;
+  dhts[2]->get(key, [&](auto v) { got = record_value(std::move(v)); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::uint8_t>{5}));
+  // The owner itself can still overwrite.
+  bool again = false;
+  dhts[0]->put(key, {5, 5}, [&](bool k) { again = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_TRUE(again);
+}
+
+TEST_F(SignedDhtFixture, SignedReleaseFreesKeyForNewOwner) {
+  const auto key = Address::hash("released-lease");
+  bool ok = false;
+  dhts[1]->create(key, {1}, [&](bool k) { ok = k; });
+  // min_owner_age deferral on the young owner, as above.
+  f.net.loop().run_until(f.net.loop().now() + seconds(12));
+  ASSERT_TRUE(ok);
+  bool released = false;
+  dhts[1]->release(key, [&](bool k) { released = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  EXPECT_TRUE(released);
+  // A different identity can now claim the key without waiting out the
+  // record TTL.
+  bool reclaimed = false;
+  dhts[2]->create(key, {2}, [&](bool k) { reclaimed = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST_F(SignedDhtFixture, SignedRecordRoundTripsOwnerKeyToReaders) {
+  const auto key = Address::hash("keyed-binding");
+  bool ok = false;
+  dhts[5]->put(key, {42}, [&](bool k) { ok = k; });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(ok);
+  std::optional<Record> got;
+  dhts[2]->get(key, [&](auto v) { got = std::move(v); });
+  f.net.loop().run_until(f.net.loop().now() + seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->is_signed());
+  // The reader learns the writer's public key — how resolvers find the
+  // encryption key behind a lease/binding — and it derives the writer's
+  // overlay address.
+  EXPECT_EQ(got->owner, f.nodes[5]->identity().keys.public_key());
+  EXPECT_EQ(Address::from_public_key(got->owner), f.nodes[5]->address());
+  EXPECT_TRUE(got->verify(key));
 }
 
 // --- batched fan-out sends ---------------------------------------------------
@@ -988,11 +1287,12 @@ TEST_F(BatchSendFixture, SendBatchDeliversToAllWithOneSocketCrossing) {
   const auto& c = f.hosts[0]->stack().counters();
   const auto calls_before = c.udp_send_calls;
   const auto copied_before = c.payload_bytes_copied;
-  // send_batch is synchronous down to the socket: the counters move
+  // A fan-out send is synchronous down to the socket: the counters move
   // before the loop runs again, so background maintenance cannot blur
   // the assertion.
-  EXPECT_EQ(f.nodes[0]->send_batch(dsts, PacketType::kAppData,
-                                   RoutingMode::kExact, payload.share()),
+  EXPECT_EQ(f.nodes[0]->send(Destination::fanout(dsts),
+                             OutboundFrame(PacketType::kAppData,
+                                           payload.share())),
             dsts.size());
   EXPECT_EQ(c.udp_send_calls - calls_before, 1u)
       << "fan-out to 4 destinations should cross the UDP socket once";
@@ -1012,8 +1312,9 @@ TEST_F(BatchSendFixture, SendBatchIncludesLocalDelivery) {
   });
   std::vector<Address> dsts{f.addrs[0], f.addrs[1]};
   auto payload = util::Buffer::copy_of(std::vector<std::uint8_t>{9, 9, 9});
-  EXPECT_EQ(f.nodes[0]->send_batch(dsts, PacketType::kAppData,
-                                   RoutingMode::kExact, payload.share()),
+  EXPECT_EQ(f.nodes[0]->send(Destination::fanout(dsts),
+                             OutboundFrame(PacketType::kAppData,
+                                           payload.share())),
             2u);
   EXPECT_EQ(local, (std::vector<std::uint8_t>{9, 9, 9}));
 }

@@ -554,6 +554,41 @@ TEST_F(DhcpLanFixture, TrafficFlowsBetweenSelfConfiguredNodes) {
   EXPECT_GE(res.received, 4);  // first packet may race the DHT lookup
 }
 
+TEST_F(DhcpLanFixture, TunnelPayloadsAreSealedEndToEndZeroCopy) {
+  build(3);
+  ASSERT_TRUE(all_configured());
+  net.loop().run_until(net.loop().now() + seconds(5));
+  net::Pinger pinger(hosts[0]->stack());
+  net::Pinger::Options opts;
+  opts.count = 8;
+  opts.interval = milliseconds(100);
+  opts.timeout = seconds(3);
+  net::PingResult res;
+  pinger.run(nodes[1]->virtual_ip(), opts,
+             [&](net::PingResult r) { res = std::move(r); });
+  net.loop().run_until(net.loop().now() + seconds(15));
+  EXPECT_GE(res.received, 7);
+
+  // Key-addressed overlay: every binding carries a public key, so every
+  // tunneled payload leaves encrypted — nothing falls back to cleartext.
+  std::uint64_t sealed = 0, opened = 0, rejected = 0, copied = 0, clear = 0;
+  for (auto& nd : nodes) {
+    sealed += nd->sealer().stats().sealed;
+    opened += nd->sealer().stats().opened;
+    rejected += nd->sealer().stats().rejected;
+    copied += nd->sealer().stats().payload_bytes_copied;
+    clear += nd->metrics().packets_clear;
+    EXPECT_EQ(nd->metrics().dropped_seal_reject, 0u);
+  }
+  EXPECT_GT(sealed, 0u);
+  EXPECT_GT(opened, 0u);
+  EXPECT_EQ(rejected, 0u);
+  EXPECT_EQ(clear, 0u) << "a sealed overlay sent cleartext tunnel frames";
+  // The zero-copy contract on the secured hot path: encrypt-in-place plus
+  // header-into-headroom means not one payload byte moved.
+  EXPECT_EQ(copied, 0u) << "sealing copied payload bytes";
+}
+
 TEST_F(DhcpLanFixture, LeasesRenewOnTimer) {
   DhcpConfig dcfg;
   dcfg.renew_interval = seconds(10);

@@ -42,13 +42,19 @@ enum class Outcome { kDirect, kPunched, kRelayed };
 struct TraversalEnv {
   net::Network net{317};
   net::Host* seed_host = nullptr;
+  net::Host* pub2_host = nullptr;
   net::Host* host_a = nullptr;
   net::Host* host_b = nullptr;
   net::NatBox* nat_a = nullptr;
   net::NatBox* nat_b = nullptr;
   std::unique_ptr<BrunetNode> seed;
+  std::unique_ptr<BrunetNode> pub2;
   std::unique_ptr<BrunetNode> node_a;
   std::unique_ptr<BrunetNode> node_b;
+  /// When set before build(), a second public node joins at 8.0.0.2 —
+  /// giving relay-tunnel linkers a runner-up carrier to pre-arm as
+  /// backup (the failover test needs two public candidates).
+  bool second_public = false;
 
   void build(net::NatType type_a, net::NatType type_b,
              TransportAddress::Proto proto_a =
@@ -85,6 +91,16 @@ struct TraversalEnv {
     cfg.transport = TransportAddress::Proto::kUdp;
     seed = std::make_unique<BrunetNode>(*seed_host, Address::random(rng),
                                         cfg);
+    const TransportAddress first_seed_ta{TransportAddress::Proto::kUdp,
+                                         ip("8.0.0.1"), 17001};
+    if (second_public) {
+      pub2_host = &net.add_host("pub2");
+      net.connect_to_switch(pub2_host->stack(),
+                            {"eth0", ip("8.0.0.2"), 24}, sw, lan);
+      pub2 = std::make_unique<BrunetNode>(*pub2_host, Address::random(rng),
+                                          cfg);
+      pub2->add_seed(first_seed_ta);
+    }
     cfg.transport = proto_a;
     node_a = std::make_unique<BrunetNode>(*host_a, Address::random(rng),
                                           cfg);
@@ -99,6 +115,7 @@ struct TraversalEnv {
 
   void start_and_run(util::Duration d = seconds(60)) {
     seed->start();
+    if (pub2) pub2->start();
     node_a->start();
     node_b->start();
     net.loop().run_until(d);
@@ -341,6 +358,72 @@ TEST(NatRelayZeroCopy, TunneledTrafficCopiesNothingAndGrowsHeadroom) {
   EXPECT_GE(f.node_a->send_headroom(), ab->edge->headroom());
   EXPECT_GT(ab->edge->headroom(), Packet::kHeaderSize);
   EXPECT_FALSE(f.node_a->relay_edges().empty());
+}
+
+// --- relay failover ---------------------------------------------------------
+
+// With two public carrier candidates on the ring, the relay linker
+// pre-arms the runner-up as backup.  When the active carrier departs,
+// the tunnel must swap onto the backup's direct edge (relay_failovers
+// ticks) and keep carrying overlay traffic — not collapse and force a
+// full re-link.
+TEST(NatRelayFailover, TunnelSwapsToPreArmedBackupWhenCarrierLeaves) {
+  TraversalEnv f;
+  f.second_public = true;
+  f.build(net::NatType::kSymmetric, net::NatType::kSymmetric);
+  f.start_and_run();
+
+  const Connection* ab = f.node_a->table().find(f.node_b->address());
+  ASSERT_NE(ab, nullptr);
+  ASSERT_NE(ab->edge, nullptr);
+  ASSERT_EQ(ab->edge->remote().proto, TransportAddress::Proto::kRelay);
+  auto it = f.node_a->relay_edges().find(f.node_b->address());
+  ASSERT_NE(it, f.node_a->relay_edges().end());
+  const std::shared_ptr<RelayEdge> re = it->second;
+  ASSERT_NE(re->backup_relay(), Address{})
+      << "no backup carrier armed despite two public candidates";
+  const Address active = re->relay();
+  ASSERT_TRUE(active == f.seed->address() || active == f.pub2->address());
+
+  int answered = 0;
+  auto ping_both_ways = [&] {
+    f.node_a->request(f.node_b->address(), PacketType::kPing,
+                      RoutingMode::kExact, {1, 2, 3},
+                      [&](std::optional<Packet> resp) {
+                        if (resp.has_value()) ++answered;
+                      });
+    f.node_b->request(f.node_a->address(), PacketType::kPing,
+                      RoutingMode::kExact, {4, 5, 6},
+                      [&](std::optional<Packet> resp) {
+                        if (resp.has_value()) ++answered;
+                      });
+    f.net.loop().run_until(f.net.loop().now() + seconds(1));
+  };
+  for (int i = 0; i < 4; ++i) ping_both_ways();
+  ASSERT_GE(answered, 4) << "tunnel not carrying traffic before failover";
+
+  // The active carrier leaves gracefully: its kDeparting notice closes
+  // the via edge on both tunnel endpoints while the tunnel itself is
+  // still fresh — exactly the window the pre-armed backup exists for.
+  BrunetNode* carrier =
+      active == f.seed->address() ? f.seed.get() : f.pub2.get();
+  BrunetNode* survivor =
+      carrier == f.seed.get() ? f.pub2.get() : f.seed.get();
+  carrier->leave();
+  f.net.loop().run_until(f.net.loop().now() + seconds(10));
+
+  EXPECT_GE(f.node_a->stats().relay_failovers +
+                f.node_b->stats().relay_failovers,
+            1u)
+      << "carrier death did not trigger a via swap";
+  ASSERT_TRUE(f.node_a->table().contains(f.node_b->address()))
+      << "tunnel died instead of failing over";
+  EXPECT_EQ(re->relay(), survivor->address());
+  EXPECT_TRUE(re->is_up());
+
+  answered = 0;
+  for (int i = 0; i < 6; ++i) ping_both_ways();
+  EXPECT_GE(answered, 6) << "failed-over tunnel not carrying traffic";
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
-// Unit tests for src/util: SHA-1, byte codecs, statistics, RNG, tables.
+// Unit tests for src/util: SHA-1, crypto primitives, byte codecs,
+// statistics, RNG, tables.
 #include <gtest/gtest.h>
 
 #include "util/bytes.hpp"
+#include "util/crypto.hpp"
 #include "util/random.hpp"
 #include "util/sha1.hpp"
 #include "util/stats.hpp"
@@ -237,6 +239,123 @@ TEST(RngTest, ChanceExtremes) {
     EXPECT_FALSE(rng.chance(0.0));
     EXPECT_TRUE(rng.chance(1.0));
   }
+}
+
+// --- SHA-512 (FIPS 180-4 vectors) ------------------------------------------
+
+TEST(Sha512Test, EmptyString) {
+  EXPECT_EQ(to_hex(crypto::sha512("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(to_hex(crypto::sha512("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(crypto::sha512(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'q');
+  for (std::size_t split : {0u, 1u, 127u, 128u, 129u, 255u, 300u}) {
+    crypto::Sha512 ctx;
+    ctx.update(std::string_view(msg).substr(0, split));
+    ctx.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.finish(), crypto::sha512(msg)) << "split at " << split;
+  }
+}
+
+// --- Ed25519 (RFC 8032 section 7.1 vectors) --------------------------------
+
+crypto::KeyPair rfc8032_keypair(const char* seed_hex, const char* pub_hex) {
+  const auto seed = from_hex(seed_hex);
+  auto kp = crypto::KeyPair::from_seed(seed);
+  EXPECT_TRUE(kp.valid());
+  EXPECT_EQ(to_hex(kp.public_key().bytes), pub_hex);
+  return kp;
+}
+
+TEST(Ed25519Test, Rfc8032Test1EmptyMessage) {
+  const auto kp = rfc8032_keypair(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+      "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = kp.sign({});
+  EXPECT_EQ(to_hex(sig.bytes),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(crypto::verify(kp.public_key(), {}, sig));
+}
+
+TEST(Ed25519Test, Rfc8032Test2OneByteMessage) {
+  const auto kp = rfc8032_keypair(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+      "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const std::vector<std::uint8_t> msg{0x72};
+  const auto sig = kp.sign(msg);
+  EXPECT_EQ(to_hex(sig.bytes),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(crypto::verify(kp.public_key(), msg, sig));
+}
+
+TEST(Ed25519Test, TamperedMessageOrSignatureRejected) {
+  const auto seed = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto kp = crypto::KeyPair::from_seed(seed);
+  std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  auto sig = kp.sign(msg);
+  ASSERT_TRUE(crypto::verify(kp.public_key(), msg, sig));
+  msg[2] ^= 0x01;  // flip one payload bit
+  EXPECT_FALSE(crypto::verify(kp.public_key(), msg, sig));
+  msg[2] ^= 0x01;
+  sig.bytes[10] ^= 0x80;  // flip one signature bit
+  EXPECT_FALSE(crypto::verify(kp.public_key(), msg, sig));
+}
+
+TEST(Ed25519Test, GenerateFromRngIsDeterministic) {
+  Rng a(777), b(777), c(778);
+  const auto ka = crypto::KeyPair::generate(a);
+  const auto kb = crypto::KeyPair::generate(b);
+  const auto kc = crypto::KeyPair::generate(c);
+  EXPECT_EQ(ka.public_key(), kb.public_key());
+  EXPECT_NE(ka.public_key(), kc.public_key());
+}
+
+TEST(Ed25519Test, SharedKeyIsSymmetric) {
+  Rng rng(31337);
+  const auto a = crypto::KeyPair::generate(rng);
+  const auto b = crypto::KeyPair::generate(rng);
+  const auto ab = a.shared_key(b.public_key());
+  const auto ba = b.shared_key(a.public_key());
+  EXPECT_EQ(ab, ba);
+  const auto c = crypto::KeyPair::generate(rng);
+  EXPECT_NE(ab, a.shared_key(c.public_key()));
+}
+
+TEST(StreamXorTest, RoundTripsAndNoncesDiverge) {
+  Rng rng(9);
+  const auto kp = crypto::KeyPair::generate(rng);
+  const auto key = kp.shared_key(kp.public_key());
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto original = data;
+  crypto::stream_xor(data, key, /*nonce=*/1);
+  EXPECT_NE(data, original);
+  auto other_nonce = original;
+  crypto::stream_xor(other_nonce, key, /*nonce=*/2);
+  EXPECT_NE(other_nonce, data) << "nonces must give distinct keystreams";
+  crypto::stream_xor(data, key, /*nonce=*/1);  // decrypt = same op
+  EXPECT_EQ(data, original);
 }
 
 // --- Time helpers ---------------------------------------------------------------

@@ -12,9 +12,12 @@ scale suite uses this to see the --shards 1 and --shards 4 soak legs
 
 Suites:
   micro  (default) — bench_micro_core output: the zero-copy invariants
-         (bytes_copied_* = 0) and the sendmmsg amortization
-         (datagrams_per_syscall) against the committed
-         BENCH_micro_core.json.
+         (bytes_copied_* = 0, and the sealed tunnel path's
+         payload_bytes_copied = 0 on both seal and open), the sendmmsg
+         amortization (datagrams_per_syscall) against the committed
+         BENCH_micro_core.json, and the per-packet crypto cost bound
+         (full-MTU seal/open at most 2x a 64-byte frame — crypto cost
+         is per packet, not per byte).
   churn  — bench_churn_soak output: the self-configuration invariants.
          duplicate_leases must be exactly 0 (the DHT create() uniqueness
          guarantee), resolution_success_rate and lease_acquired_fraction
@@ -75,6 +78,13 @@ SUITES = {
             (r"^BM_NatForwardSim/0/", "bytes_copied_per_forward"),
             (r"^BM_TcpEdgeStreamSend/", "bytes_copied_per_send"),
             (r"^BM_UdpFanoutBatchShared/", "bytes_copied_per_datagram"),
+            # The secured hot path: encrypt/decrypt in place on the
+            # uniquely-owned capture buffer, seal header prepended into
+            # headroom — zero payload bytes moved, and a well-formed
+            # frame never bounces off the verifier.
+            (r"^BM_SealInPlace/", "payload_bytes_copied"),
+            (r"^BM_OpenInPlace/", "payload_bytes_copied"),
+            (r"^BM_OpenInPlace/", "frames_rejected"),
         ],
         # (name regex, counter, absolute floor): fresh must be >= floor.
         "floor": [
@@ -93,6 +103,13 @@ SUITES = {
         # through this (observed ~16x).
         "scaling": [
             ("BM_GreedyNextHop/512", "BM_GreedyNextHop/8192", 4.0),
+            # Per-packet crypto cost is bounded by the constant
+            # sign/verify, not payload size: sealing/opening a full-MTU
+            # frame must cost at most 2x a 64-byte one (measured ~1.1x;
+            # a per-byte crypto path — or a payload copy smuggled into
+            # the seal — blows straight through this).
+            ("BM_SealInPlace/64", "BM_SealInPlace/1400", 2.0),
+            ("BM_OpenInPlace/64", "BM_OpenInPlace/1400", 2.0),
         ],
     },
     "churn": {
@@ -181,6 +198,10 @@ SUITES = {
     # relayed_edge_fraction caps relay at fallback levels (measured
     # 0.23 with 2/16 of type slots symmetric); relay_wrap_bytes_copied
     # == 0 pins the per-path headroom contract on tunneled sends.
+    # The CI job runs two legs through this suite: the attacker-free
+    # soak (HostileSoak/<N>) and a --hijack-fraction leg
+    # (HostileSoak/<N>/hijack) where a fraction of nodes forge
+    # lease/ARP writes; hijacks_succeeded == 0 gates both.
     "hostile": {
         "default_baseline": "BENCH_hostile_soak.json",
         "zero": [
@@ -188,6 +209,13 @@ SUITES = {
             (r"^HostileSoak/", "nonrelayed_sym_sym"),
             (r"^HostileSoak/", "relay_wrap_bytes_copied"),
             (r"^HostileSoak/", "bytes_copied_per_forward"),
+            # Cryptographic ownership: forged lease/ARP writes (validly
+            # signed by the attacker, bound to a victim's key) must all
+            # be rejected at the storing node.  Every hostile run emits
+            # the counter, so the attacker-free leg is pinned to 0 too
+            # and the --hijack-fraction leg proves rejection under
+            # active attack.
+            (r"^HostileSoak/", "hijacks_succeeded"),
         ],
         "floor": [
             (r"^HostileSoak/", "resolution_success_rate", 0.99),

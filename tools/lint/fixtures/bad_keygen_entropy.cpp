@@ -1,0 +1,57 @@
+// lint-fixture-path: src/brunet/fixture_keygen_entropy.cpp
+//
+// Known-bad key-generation entropy snippets: OS entropy sources and
+// keypairs minted from anything but the seeded sim RNG must fire; the
+// seeded-RNG call and allowlisted injected material must not.  A
+// non-deterministic keypair forks the node address, the DHT layout and
+// every signed record downstream of it on the first replay.
+// NOT part of the build — compiled only by `tools/lint/run.py --self-test`.
+#include <cstdint>
+#include <fstream>
+#include <sys/random.h>
+
+namespace fixture {
+
+struct Rng {
+  std::uint64_t next();
+};
+
+struct KeyPair {
+  static KeyPair generate(Rng& rng);
+  static KeyPair from_entropy(const unsigned char* seed);
+};
+
+KeyPair operator_provisioned_material();
+
+inline KeyPair os_entropy_keypair() {
+  unsigned char seed[32];
+  getrandom(seed, sizeof(seed), 0);  // expect(determinism)
+  return KeyPair::from_entropy(seed);
+}
+
+inline KeyPair dev_random_keypair() {
+  std::ifstream dev("/dev/urandom", std::ios::binary);  // expect(determinism)
+  unsigned char seed[32];
+  dev.read(reinterpret_cast<char*>(seed), sizeof(seed));
+  return KeyPair::from_entropy(seed);
+}
+
+inline std::uint32_t bsd_entropy() {
+  return arc4random();  // expect(determinism)
+}
+
+inline KeyPair ad_hoc_keypair(std::uint64_t node_index) {
+  return KeyPair::generate(node_index);  // expect(determinism)
+}
+
+inline KeyPair seeded_keypair(Rng& rng) {
+  // The seeded sim RNG is the only legitimate key entropy: silent.
+  return KeyPair::generate(rng);
+}
+
+inline KeyPair injected_keypair() {
+  // lint:allow(determinism): operator-provisioned key material, injected
+  return KeyPair::generate(operator_provisioned_material());
+}
+
+}  // namespace fixture

@@ -16,8 +16,14 @@ Three rule families, each protecting a property the compiler cannot see
   determinism     The simulation must stay bit-for-bit reproducible.
                   Bans wall-clock sources (std::chrono::system_clock,
                   time(), gettimeofday(), clock_gettime(), localtime(),
-                  gmtime()) and unseeded randomness (rand(), srand(),
-                  std::random_device) anywhere in src/, and flags
+                  gmtime()), unseeded randomness (rand(), srand(),
+                  std::random_device) and ad-hoc entropy (getrandom(),
+                  getentropy(), arc4random(), RAND_bytes(),
+                  /dev/[u]random) anywhere in src/ — in particular
+                  keypair generation (KeyPair/NodeIdentity::generate)
+                  must draw from the seeded util::Rng or be injected,
+                  since the node address and every signature derive
+                  from it.  Also flags
                   range-for iteration over std::unordered_map/
                   unordered_set whose body reaches a wire-encode or
                   DHT-ordering decision: hash-order leaking onto the wire
@@ -96,7 +102,22 @@ BANNED_CALLS = [
     (re.compile(r"\bgmtime(_r)?\s*\("), "gmtime() (wall clock)"),
     (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() (unseeded randomness)"),
     (re.compile(r"\brandom_device\b"), "std::random_device (unseeded randomness)"),
+    (re.compile(r"\bgetrandom\s*\("), "getrandom() (OS entropy)"),
+    (re.compile(r"\bgetentropy\s*\("), "getentropy() (OS entropy)"),
+    (re.compile(r"\barc4random(?:_buf|_uniform)?\s*\("), "arc4random() (OS entropy)"),
+    (re.compile(r"\bRAND_bytes\s*\("), "RAND_bytes() (OS entropy)"),
 ]
+
+# Key generation must draw from the seeded sim RNG (or take injected key
+# material); any other entropy forks otherwise-identical runs at the
+# first keypair — and the node address, the DHT layout and every signed
+# record downstream of it.  Name-based on purpose: every legitimate call
+# site passes a util::Rng whose spelling contains "rng".
+KEYGEN_CALL_RE = re.compile(r"\b(?:KeyPair|NodeIdentity)::generate\s*\(")
+RNG_ARG_RE = re.compile(r"rng", re.I)
+# String literals are blanked, so /dev/random paths are scanned in raw
+# text (comment-only mentions are skipped).
+DEV_RANDOM_RE = re.compile(r"/dev/u?random")
 
 # A range-for body "reaches the wire" (or a DHT ordering decision) when it
 # calls anything matching this.  Deliberately name-based: the codebase's
@@ -427,6 +448,28 @@ def check_determinism(sf: SourceFile, findings: list, unordered_names: set,
                 "— hash iteration order leaks into the wire/DHT"))
 
 
+def check_keygen_entropy(sf: SourceFile, findings: list):
+    """Determinism-family entropy rule: keypairs come from the seeded sim
+    RNG or arrive injected — never from ad-hoc entropy."""
+    text = sf.blanked
+    for m in KEYGEN_CALL_RE.finditer(text):
+        args, _ = balanced_region(text, m.end() - 1, "(", ")")
+        if args is None or RNG_ARG_RE.search(args):
+            continue
+        findings.append(Finding(
+            sf.path, line_of_offset(text, m.start()), "determinism",
+            "key generation from ad-hoc entropy — keypairs must draw from "
+            "the seeded util::Rng (or be injected), or the node address, "
+            "DHT layout and every signature diverge across replays"))
+    for i, line in enumerate(sf.raw.split("\n"), start=1):
+        if DEV_RANDOM_RE.search(line) and \
+                not DEV_RANDOM_RE.search(sf.comments.get(i, "")):
+            findings.append(Finding(
+                sf.path, i, "determinism",
+                "/dev/[u]random OS entropy breaks bit-for-bit reproducible "
+                "runs; use the seeded util::Rng"))
+
+
 # --- rule: timer-lifetime ---------------------------------------------------
 
 def find_lambda_capture(args_text: str):
@@ -640,6 +683,7 @@ def lint_sources(sources, engine, cindex=None, cc_map=None):
                 print(f"lint: clang parse failed for {sf.path} ({e}); "
                       "using text engine for this file", file=sys.stderr)
         check_determinism(sf, findings, unordered_names, clang_fors)
+        check_keygen_entropy(sf, findings)
         check_timer_lifetime(sf, findings)
         check_shard_affinity(sf, findings)
 
